@@ -1,0 +1,39 @@
+// Design-choice ablation called out in Section III-B: the phase-1
+// termination target p1 ("we experimented with different values of p1;
+// p1 = 1% balances them well"). Sweeps p1 and reports how the final
+// largest cluster, total U, and runtime respond.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+using namespace dfmres;
+using namespace dfmres::bench;
+
+int main() {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  const auto circuits = selected_circuits({"tv80"});
+  for (const auto& name : circuits) {
+    std::printf("==== p1 sweep: %s ====\n", name.c_str());
+    std::printf("%8s %8s %8s %10s %9s %8s\n", "p1", "U", "Smax", "%Smax_all",
+                "accepts", "seconds");
+    for (const double p1 : {0.005, 0.01, 0.02}) {
+      DesignFlow flow(osu018_library(), bench_flow_options());
+      const FlowState original = flow.run_initial(build_benchmark(name));
+      ResynthesisOptions options = bench_resyn_options();
+      options.p1 = p1;
+      const auto t0 = std::chrono::steady_clock::now();
+      const ResynthesisResult result = resynthesize(flow, original, options);
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      int accepts = 0;
+      for (const auto& r : result.report.trace) accepts += r.accepted;
+      std::printf("%7.2f%% %8zu %8zu %9.2f%% %9d %8.1f\n", 100.0 * p1,
+                  result.state.num_undetectable(), result.state.smax(),
+                  100.0 * result.state.smax_fraction(), accepts, seconds);
+    }
+  }
+  return 0;
+}

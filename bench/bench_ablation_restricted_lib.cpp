@@ -1,0 +1,107 @@
+// Reproduces the final experiment of Section IV: instead of targeted
+// resynthesis, simply remove the seven cells with the largest internal
+// fault counts from the library and synthesize the whole block with the
+// rest. The paper reports critical path delays of 130%/137% and power of
+// 109% for sparc_ifu / sparc_fpu, versus the proposed procedure's <=105%
+// under the same floorplan -- i.e. naive library restriction does not
+// maintain the design constraints.
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "src/netlist/stats.hpp"
+
+using namespace dfmres;
+using namespace dfmres::bench;
+
+int main() {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  const auto circuits = selected_circuits({"sparc_ifu", "sparc_fpu"});
+  std::printf("==== Ablation: whole-library restriction vs procedure ====\n");
+  std::printf("%-10s %-22s %8s %8s %8s %8s\n", "Circuit", "variant", "U",
+              "Cov", "Delay", "Power");
+
+  for (const auto& name : circuits) {
+    DesignFlow flow(osu018_library(), bench_flow_options());
+    const Netlist rtl = build_benchmark(name);
+    const FlowState original = flow.run_initial(rtl);
+    const StateStats so = stats_of(original);
+    std::printf("%-10s %-22s %8zu %7.2f%% %8s %8s\n", name.c_str(),
+                "original", so.u, 100.0 * so.coverage, "100%", "100%");
+
+    // Naive restriction: ban the 7 cells with the most internal faults
+    // everywhere and rebuild the block from scratch in the same
+    // floorplan-sizing discipline.
+    {
+      const auto order = flow.cells_by_internal_faults();
+      std::vector<bool> banned(flow.target().num_cells(), false);
+      std::string names;
+      for (std::size_t i = 0; i < order.size() && i < 7; ++i) {
+        banned[order[i].value()] = true;
+        names += flow.target().cell(order[i]).name + " ";
+      }
+      DesignFlow restricted_flow(osu018_library(), bench_flow_options());
+      // Rebuild with the restricted subset by re-running the initial flow
+      // on a netlist mapped under the ban.
+      MapOptions mo;
+      mo.banned = banned;
+      const auto& slib = rtl.library();
+      const auto pin = [&](const char* s, const char* d) {
+        if (auto sid = slib.find(s)) {
+          if (auto did = flow.target().find(d)) {
+            mo.fixed_map.emplace(sid->value(), *did);
+          }
+        }
+      };
+      pin("DFF", "DFFPOSX1");
+      // FA/HA macros are among the banned cells: no pinning, they get
+      // decomposed like everything else.
+      auto mapped = technology_map(rtl, osu018_library(), mo);
+      if (!mapped) {
+        std::printf("%-10s %-22s mapping failed\n", "", "restricted-lib");
+      } else {
+        // Same floorplan as the original design (paper: "completed the
+        // layouts with the same floorplans").
+        Floorplan plan = original.placement.plan;
+        if (!plan.fits(*mapped)) {
+          // The paper's tools squeezed it in; our row packer needs the
+          // real area, so grow rows minimally and report the overflow.
+          while (!plan.fits(*mapped)) ++plan.rows;
+          std::printf("  note: %s does not fit the original floorplan; "
+                      "rows %d -> %d\n",
+                      "restricted-lib netlist", original.placement.plan.rows,
+                      plan.rows);
+        }
+        const Placement placement = global_place(*mapped, plan, {});
+        const RoutingResult routes = route(*mapped, placement, {});
+        const TimingPower timing = analyze_timing_power(*mapped, routes, {});
+        const FaultUniverse universe =
+            extract_dfm_faults(*mapped, placement, routes, flow.udfm());
+        AtpgOptions atpg_options = bench_flow_options().atpg;
+        atpg_options.generate_tests = false;
+        const AtpgResult atpg =
+            run_atpg(*mapped, universe, flow.udfm(), atpg_options, nullptr);
+        std::printf("%-10s %-22s %8zu %7.2f%% %7.2f%% %7.2f%%   (banned: %s)\n",
+                    "", "restricted-lib", atpg.num_undetectable,
+                    100.0 * atpg.coverage(universe.size()),
+                    100.0 * timing.critical_delay /
+                        original.timing.critical_delay,
+                    100.0 * timing.total_power() /
+                        original.timing.total_power(),
+                    names.c_str());
+      }
+    }
+
+    // The proposed procedure on the same block.
+    {
+      const ResynthesisResult result =
+          resynthesize(flow, original, bench_resyn_options());
+      const StateStats sr = stats_of(result.state);
+      std::printf("%-10s %-22s %8zu %7.2f%% %7.2f%% %7.2f%%   (q=%d)\n", "",
+                  "proposed procedure", sr.u, 100.0 * sr.coverage,
+                  100.0 * sr.delay / so.delay, 100.0 * sr.power / so.power,
+                  result.report.q_used);
+    }
+  }
+  return 0;
+}

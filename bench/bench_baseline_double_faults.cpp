@@ -1,0 +1,72 @@
+// The alternative the paper argues against (Section I, refs [14][15]):
+// keep the netlist and instead add tests for double faults (undetectable
+// fault + adjacent detectable fault) to shore up the coverage of the
+// uncovered subcircuits. The paper's point: for DFM-related clusters the
+// required number of additional patterns grows the test set
+// unacceptably, while resynthesis removes the root cause at an
+// essentially flat test count.
+//
+// This bench quantifies both sides on the same blocks.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.hpp"
+#include "src/atpg/double_fault.hpp"
+
+using namespace dfmres;
+using namespace dfmres::bench;
+
+int main() {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  std::printf("==== Baseline: double-fault test augmentation vs "
+              "resynthesis ====\n");
+  std::printf("%-10s %6s %8s %10s %10s %10s | %9s %7s\n", "Circuit", "T",
+              "2f-tgts", "T-covered", "extraT@95", "T-growth", "resyn-T",
+              "resyn-U");
+
+  for (const auto& name : selected_circuits({"tv80", "sparc_tlu"})) {
+    DesignFlow flow(osu018_library(), bench_flow_options());
+    const FlowState original = flow.run_initial(build_benchmark(name));
+
+    // Double-fault targets around the undetectable clusters.
+    const auto targets = enumerate_double_faults(
+        original.netlist, original.universe, original.atpg.status);
+    const auto base_cov = evaluate_double_fault_coverage(
+        original.netlist, original.universe, flow.udfm(), targets,
+        original.atpg.tests);
+
+    // Augment the test set toward 95% double-fault coverage.
+    std::vector<TestPattern> augmented = original.atpg.tests;
+    const std::size_t added = augment_tests_for_double_faults(
+        original.netlist, original.universe, flow.udfm(), targets,
+        /*goal=*/0.95, /*max_new=*/4096, /*seed=*/17, &augmented);
+
+    // The proposed alternative: resynthesize.
+    const ResynthesisResult resyn =
+        resynthesize(flow, original, bench_resyn_options());
+
+    std::printf("%-10s %6zu %8zu %8zu/%zu %10zu %9.1f%% | %9zu %7zu\n",
+                name.c_str(), original.atpg.tests.size(), targets.size(),
+                base_cov.covered, base_cov.total, added,
+                original.atpg.tests.empty()
+                    ? 0.0
+                    : 100.0 * static_cast<double>(added) /
+                          static_cast<double>(original.atpg.tests.size()),
+                resyn.state.atpg.tests.size(),
+                resyn.state.num_undetectable());
+    std::printf("           (resynthesis: U %zu -> %zu, coverage %.2f%% -> "
+                "%.2f%%, T %+.1f%%)\n",
+                original.num_undetectable(),
+                resyn.state.num_undetectable(), 100.0 * original.coverage(),
+                100.0 * resyn.state.coverage(),
+                original.atpg.tests.empty()
+                    ? 0.0
+                    : 100.0 *
+                          (static_cast<double>(resyn.state.atpg.tests.size()) /
+                               static_cast<double>(
+                                   original.atpg.tests.size()) -
+                           1.0));
+  }
+  return 0;
+}

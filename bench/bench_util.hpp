@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/circuits/benchmarks.hpp"
+#include "src/core/flow.hpp"
+#include "src/core/resynthesis.hpp"
+#include "src/library/osu018.hpp"
+
+namespace dfmres::bench {
+
+/// Flow options tuned for benchmark runs: slightly smaller search budgets
+/// than the library defaults keep a full 12-circuit sweep tractable on
+/// one core without changing any observed trend.
+inline FlowOptions bench_flow_options() {
+  FlowOptions options;
+  options.atpg.random_batches = 4;
+  options.atpg.backtrack_limit = 1000;
+  return options;
+}
+
+inline ResynthesisOptions bench_resyn_options() {
+  ResynthesisOptions options;
+  options.max_iterations_per_phase = 12;
+  options.reanalyses_per_iteration = 10;
+  return options;
+}
+
+/// Environment override: DFMRES_BENCH_CIRCUITS="tv80,aes_core" restricts a
+/// bench to a subset (useful while iterating).
+inline std::vector<std::string> selected_circuits(
+    std::initializer_list<const char*> defaults) {
+  std::vector<std::string> out;
+  if (const char* env = std::getenv("DFMRES_BENCH_CIRCUITS")) {
+    std::string s(env);
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+      const std::size_t comma = s.find(',', pos);
+      const std::size_t end = comma == std::string::npos ? s.size() : comma;
+      if (end > pos) out.push_back(s.substr(pos, end - pos));
+      pos = end + 1;
+    }
+  }
+  if (out.empty()) {
+    for (const char* name : defaults) out.emplace_back(name);
+  }
+  return out;
+}
+
+struct StateStats {
+  std::size_t f = 0, f_in = 0, f_ex = 0;
+  std::size_t u = 0, u_in = 0, u_ex = 0;
+  std::size_t g_u = 0, gmax = 0, smax = 0, smax_internal = 0;
+  std::size_t tests = 0;
+  double coverage = 0, delay = 0, power = 0;
+};
+
+inline StateStats stats_of(const FlowState& s) {
+  StateStats out;
+  out.f = s.num_faults();
+  out.f_in = s.universe.count_internal();
+  out.f_ex = out.f - out.f_in;
+  out.u = s.num_undetectable();
+  for (std::size_t i = 0; i < s.universe.size(); ++i) {
+    out.u_in += s.universe.faults[i].scope == FaultScope::Internal &&
+                s.atpg.status[i] == FaultStatus::Undetectable;
+  }
+  out.u_ex = out.u - out.u_in;
+  out.g_u = s.clusters.gates_u.size();
+  out.gmax = s.clusters.gmax.size();
+  out.smax = s.smax();
+  out.smax_internal = s.clusters.smax_internal(s.universe);
+  out.tests = s.atpg.tests.size();
+  out.coverage = s.coverage();
+  out.delay = s.timing.critical_delay;
+  out.power = s.timing.total_power();
+  return out;
+}
+
+}  // namespace dfmres::bench

@@ -1,0 +1,105 @@
+// DFM audit: run the sign-off style guideline check on a benchmark block
+// and print where the potential systematic defects are anticipated —
+// per-guideline violation counts, fault-kind breakdown, per-cell-type
+// internal fault pressure, and an ASCII die map of undetectable-fault
+// density (the paper's Fig. 2 "clusters in certain areas" picture).
+//
+// Usage: ./build/examples/dfm_audit [circuit]     (default: sparc_exu)
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "src/circuits/benchmarks.hpp"
+#include "src/core/flow.hpp"
+#include "src/dfm/guidelines.hpp"
+#include "src/library/osu018.hpp"
+
+using namespace dfmres;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "sparc_exu";
+  DesignFlow flow(osu018_library(), {});
+  const FlowState state = flow.run_initial(build_benchmark(name));
+
+  std::printf("==== DFM audit: %s ====\n", name.c_str());
+  std::printf("%zu gates, %zu nets, die %d rows x %d sites\n",
+              state.netlist.num_live_gates(), state.netlist.num_live_nets(),
+              state.placement.plan.rows, state.placement.plan.sites_per_row);
+
+  // Fault-kind breakdown.
+  const char* kind_names[] = {"stuck-at", "transition", "bridge",
+                              "cell-aware"};
+  std::size_t by_kind[4] = {}, undet_by_kind[4] = {};
+  for (std::size_t i = 0; i < state.universe.size(); ++i) {
+    const auto k = static_cast<int>(state.universe.faults[i].kind);
+    ++by_kind[k];
+    undet_by_kind[k] +=
+        state.atpg.status[i] == FaultStatus::Undetectable;
+  }
+  std::printf("\nfaults by model:\n");
+  for (int k = 0; k < 4; ++k) {
+    std::printf("  %-11s F=%-7zu U=%zu\n", kind_names[k], by_kind[k],
+                undet_by_kind[k]);
+  }
+
+  // Top guidelines by violation-induced faults.
+  const auto per_guideline = state.universe.per_guideline(kNumGuidelines);
+  std::vector<std::size_t> order(kNumGuidelines);
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return per_guideline[x] > per_guideline[y];
+  });
+  std::printf("\ntop guidelines by fault count:\n");
+  for (std::size_t i = 0; i < 10 && per_guideline[order[i]] > 0; ++i) {
+    std::printf("  %-40s %zu\n", all_guidelines()[order[i]].name,
+                per_guideline[order[i]]);
+  }
+
+  // Internal fault pressure per cell type.
+  std::map<std::string, std::pair<std::size_t, std::size_t>> per_cell;
+  for (std::size_t i = 0; i < state.universe.size(); ++i) {
+    const Fault& f = state.universe.faults[i];
+    if (f.scope != FaultScope::Internal) continue;
+    auto& [total, undet] = per_cell[state.netlist.cell_of(f.owner).name];
+    ++total;
+    undet += state.atpg.status[i] == FaultStatus::Undetectable;
+  }
+  std::printf("\ninternal faults by cell type (F / U):\n");
+  for (const auto& [cell, counts] : per_cell) {
+    std::printf("  %-10s %6zu / %zu\n", cell.c_str(), counts.first,
+                counts.second);
+  }
+
+  // Die map of undetectable-fault density.
+  const int gw = state.routing.grid_w, gh = state.routing.grid_h;
+  std::vector<int> density(static_cast<std::size_t>(gw) * gh, 0);
+  for (const std::uint32_t idx : state.clusters.undetectable) {
+    const Fault& f = state.universe.faults[idx];
+    for (GateId g : corresponding_gates(f, state.netlist)) {
+      const auto& p = state.placement.of(g);
+      if (!p.valid()) continue;
+      const int gx = std::min(gw - 1, p.x / state.routing.options.gcell_sites);
+      const int gy = std::min(gh - 1, p.y / state.routing.options.gcell_rows);
+      ++density[static_cast<std::size_t>(gy) * gw + gx];
+    }
+  }
+  const int peak = *std::max_element(density.begin(), density.end());
+  std::printf("\nundetectable-fault density map (peak=%d per gcell):\n",
+              peak);
+  const char* shades = " .:-=+*#%@";
+  for (int y = gh - 1; y >= 0; --y) {
+    std::printf("  ");
+    for (int x = 0; x < gw; ++x) {
+      const int d = density[static_cast<std::size_t>(y) * gw + x];
+      const int level =
+          peak == 0 ? 0 : std::min(9, d * 9 / std::max(1, peak));
+      std::printf("%c", shades[level]);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nS_max = %zu faults over %zu gates; %zu clusters total\n",
+              state.smax(), state.clusters.gmax.size(),
+              state.clusters.clusters.size());
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Resynthesize one benchmark block end to end and print a Table-II style
+// before/after row plus the accepted-iteration trace.
+//
+// Usage: ./build/examples/resynthesize_block [circuit] [q_max] [p1_pct]
+//   circuit  one of the 12 benchmark names        (default sparc_tlu)
+//   q_max    max % increase in delay/power, 0..5  (default 5)
+//   p1_pct   phase-1 cluster target in percent    (default 1.0)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/circuits/benchmarks.hpp"
+#include "src/core/resynthesis.hpp"
+#include "src/library/osu018.hpp"
+
+using namespace dfmres;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "sparc_tlu";
+  ResynthesisOptions options;
+  if (argc > 2) options.q_max = std::atoi(argv[2]);
+  if (argc > 3) options.p1 = std::atof(argv[3]) / 100.0;
+
+  bool known = false;
+  for (const auto n : benchmark_names()) known |= n == name;
+  if (!known) {
+    std::printf("unknown circuit '%s'; choose one of:", name.c_str());
+    for (const auto n : benchmark_names()) {
+      std::printf(" %.*s", static_cast<int>(n.size()), n.data());
+    }
+    std::printf("\n");
+    return 1;
+  }
+
+  DesignFlow flow(osu018_library(), {});
+  const FlowState original = flow.run_initial(build_benchmark(name));
+  std::printf("%-12s %8s %6s %9s %5s %6s %10s %8s %8s\n", "", "F", "U",
+              "Cov", "T", "Smax", "%Smax_all", "Delay", "Power");
+  const auto print_state = [&](const char* label, const FlowState& s) {
+    std::printf("%-12s %8zu %6zu %8.2f%% %5zu %6zu %9.2f%% %7.1f%% %7.1f%%\n",
+                label, s.num_faults(), s.num_undetectable(),
+                100.0 * s.coverage(), s.atpg.tests.size(), s.smax(),
+                100.0 * s.smax_fraction(),
+                100.0 * s.timing.critical_delay /
+                    original.timing.critical_delay,
+                100.0 * s.timing.total_power() /
+                    original.timing.total_power());
+  };
+  print_state(name.c_str(), original);
+
+  const ResynthesisResult result = resynthesize(flow, original, options);
+  print_state("resyn", result.state);
+
+  std::printf("\nlargest accepted q: %d%%   procedure runtime: %.1fs\n",
+              result.report.q_used, result.report.runtime_seconds);
+  std::printf("accepted iterations:\n");
+  for (const auto& r : result.report.trace) {
+    if (!r.accepted) continue;
+    std::printf("  q=%d phase=%d  Smax=%-6zu U=%-6zu banned through %s%s\n",
+                r.q, r.phase, r.smax, r.undetectable,
+                r.banned_through.c_str(),
+                r.via_backtracking ? "  (backtracking)" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,241 @@
+#include "src/atpg/engine.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/util/rng.hpp"
+
+namespace dfmres {
+
+namespace {
+
+/// Completes a V3 source assignment into a fully specified frame,
+/// randomizing the don't-cares.
+std::vector<std::uint8_t> concretize(std::span<const V3> assign, Rng& rng) {
+  std::vector<std::uint8_t> out(assign.size());
+  for (std::size_t i = 0; i < assign.size(); ++i) {
+    switch (assign[i]) {
+      case V3::Zero: out[i] = 0; break;
+      case V3::One: out[i] = 1; break;
+      case V3::X: out[i] = rng.flip() ? 1 : 0; break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> random_frame(std::size_t n, Rng& rng) {
+  std::vector<std::uint8_t> out(n);
+  for (auto& v : out) v = rng.flip() ? 1 : 0;
+  return out;
+}
+
+}  // namespace
+
+AtpgResult run_atpg(const Netlist& nl, const FaultUniverse& universe,
+                    const UdfmMap& udfm, const AtpgOptions& options,
+                    FaultStatusCache* cache) {
+  AtpgResult result;
+  result.status.assign(universe.size(), FaultStatus::Unknown);
+
+  const CombView view = CombView::build(nl);
+  const std::size_t num_sources = view.sources.size();
+  Rng rng(options.seed);
+
+  // Pre-build excitations; resolve trivially undetectable and cached
+  // faults immediately.
+  std::vector<std::vector<Excitation>> excitations(universe.size());
+  std::vector<std::uint32_t> targets;  // indices still needing work
+  // Distinct physical violations can induce the same logic fault (e.g.
+  // several weak vias on one net); classify one representative per key
+  // and mirror the verdict onto the duplicates at the end.
+  std::unordered_map<Fault::Key, std::uint32_t> representative;
+  std::vector<std::uint32_t> mirror_of(universe.size(),
+                                       std::numeric_limits<std::uint32_t>::max());
+  for (std::uint32_t i = 0; i < universe.size(); ++i) {
+    const Fault& f = universe.faults[i];
+    const auto [it, inserted] = representative.emplace(f.key(), i);
+    if (!inserted) {
+      mirror_of[i] = it->second;
+      continue;
+    }
+    if (cache) {
+      const FaultStatus cached = cache->lookup(f);
+      if (cached == FaultStatus::Undetectable ||
+          cached == FaultStatus::Aborted ||
+          (cached == FaultStatus::Detected && !options.generate_tests)) {
+        result.status[i] = cached;
+        continue;
+      }
+    }
+    excitations[i] = build_excitations(f, nl, udfm);
+    if (excitations[i].empty()) {
+      // Not excitable even at the cell boundary: undetectable by
+      // construction (counted in U like any other fault).
+      result.status[i] = FaultStatus::Undetectable;
+      continue;
+    }
+    targets.push_back(i);
+  }
+
+  FaultSimulator simulator(nl, view);
+  std::vector<TestPattern> tests;
+
+  const auto drop_with_batch = [&](std::size_t first, std::size_t count) {
+    simulator.load(tests, first, count);
+    std::vector<std::uint32_t> still;
+    std::uint64_t useful_lanes = 0;
+    still.reserve(targets.size());
+    for (const std::uint32_t i : targets) {
+      const std::uint64_t mask = simulator.detect_mask(excitations[i]);
+      if (mask != 0) {
+        result.status[i] = FaultStatus::Detected;
+        useful_lanes |= mask & (~mask + 1);  // credit the first lane
+      } else {
+        still.push_back(i);
+      }
+    }
+    targets = std::move(still);
+    return useful_lanes;
+  };
+
+  // ---- phase 1: random pattern pairs with fault dropping ----
+  std::vector<TestPattern> kept_random;
+  for (int batch = 0; batch < options.random_batches && !targets.empty();
+       ++batch) {
+    const std::size_t first = tests.size();
+    for (int lane = 0; lane < 64; ++lane) {
+      tests.push_back({random_frame(num_sources, rng),
+                       random_frame(num_sources, rng)});
+    }
+    const std::uint64_t useful = drop_with_batch(first, 64);
+    // Keep only lanes that first-detected something; discard the rest.
+    std::vector<TestPattern> kept;
+    for (int lane = 0; lane < 64; ++lane) {
+      if ((useful >> lane) & 1) kept.push_back(std::move(tests[first + lane]));
+    }
+    tests.resize(first);
+    for (auto& t : kept) tests.push_back(std::move(t));
+  }
+
+  // ---- phase 2: deterministic PODEM ----
+  Podem podem(nl, view, {options.backtrack_limit});
+  // Process remaining targets; each generated test also drops others.
+  std::vector<std::uint32_t> queue = std::move(targets);
+  targets.clear();
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const std::uint32_t i = queue[qi];
+    if (result.status[i] != FaultStatus::Unknown) continue;
+
+    bool any_aborted = false;
+    bool detected = false;
+    for (const Excitation& exc : excitations[i]) {
+      // Frame-0 cube first: an unjustifiable initialization kills the
+      // whole excitation.
+      std::vector<CondLiteral> frame0;
+      for (const CondLiteral& lit : exc.lits) {
+        if (lit.frame == 0) frame0.push_back(lit);
+      }
+      std::vector<V3> assign0;
+      if (!frame0.empty()) {
+        const auto r = podem.justify(frame0, &assign0);
+        if (r == Podem::Outcome::Undetectable) continue;
+        if (r == Podem::Outcome::Aborted) {
+          any_aborted = true;
+          continue;
+        }
+      }
+      std::vector<V3> assign1;
+      const auto r = podem.detect(exc, &assign1);
+      if (r == Podem::Outcome::Aborted) {
+        any_aborted = true;
+        continue;
+      }
+      if (r == Podem::Outcome::Undetectable) continue;
+
+      detected = true;
+      result.status[i] = FaultStatus::Detected;
+      if (options.generate_tests) {
+        TestPattern t;
+        t.frame0 = assign0.empty() ? random_frame(num_sources, rng)
+                                   : concretize(assign0, rng);
+        t.frame1 = concretize(assign1, rng);
+        tests.push_back(std::move(t));
+        // Drop other queued faults with the fresh test.
+        targets.clear();
+        for (std::size_t qj = qi + 1; qj < queue.size(); ++qj) {
+          if (result.status[queue[qj]] == FaultStatus::Unknown) {
+            targets.push_back(queue[qj]);
+          }
+        }
+        simulator.load(tests, tests.size() - 1, 1);
+        for (const std::uint32_t j : targets) {
+          if (simulator.detect_mask(excitations[j]) != 0) {
+            result.status[j] = FaultStatus::Detected;
+          }
+        }
+      }
+      break;
+    }
+    if (!detected) {
+      result.status[i] =
+          any_aborted ? FaultStatus::Aborted : FaultStatus::Undetectable;
+    }
+  }
+
+  // ---- phase 3: reverse-order test compaction ----
+  if (options.generate_tests && !tests.empty()) {
+    std::vector<std::uint32_t> uncovered;
+    for (std::uint32_t i = 0; i < universe.size(); ++i) {
+      if (result.status[i] == FaultStatus::Detected) uncovered.push_back(i);
+    }
+    std::vector<TestPattern> compacted;
+    std::vector<TestPattern> reversed(tests.rbegin(), tests.rend());
+    for (std::size_t first = 0; first < reversed.size() && !uncovered.empty();
+         first += 64) {
+      const std::size_t count = std::min<std::size_t>(64, reversed.size() - first);
+      simulator.load(reversed, first, count);
+      std::vector<std::uint64_t> masks(uncovered.size());
+      for (std::size_t u = 0; u < uncovered.size(); ++u) {
+        masks[u] = simulator.detect_mask(excitations[uncovered[u]]);
+      }
+      for (std::size_t lane = 0; lane < count; ++lane) {
+        bool useful = false;
+        std::vector<std::uint32_t> still;
+        std::vector<std::uint64_t> still_masks;
+        for (std::size_t u = 0; u < uncovered.size(); ++u) {
+          if ((masks[u] >> lane) & 1) {
+            useful = true;
+          } else {
+            still.push_back(uncovered[u]);
+            still_masks.push_back(masks[u]);
+          }
+        }
+        if (useful) {
+          compacted.push_back(reversed[first + lane]);
+          uncovered = std::move(still);
+          masks = std::move(still_masks);
+        }
+      }
+    }
+    result.tests = std::move(compacted);
+  }
+
+  // ---- bookkeeping ----
+  for (std::uint32_t i = 0; i < universe.size(); ++i) {
+    if (mirror_of[i] != std::numeric_limits<std::uint32_t>::max()) {
+      result.status[i] = result.status[mirror_of[i]];
+    }
+  }
+  for (std::uint32_t i = 0; i < universe.size(); ++i) {
+    switch (result.status[i]) {
+      case FaultStatus::Detected: ++result.num_detected; break;
+      case FaultStatus::Undetectable: ++result.num_undetectable; break;
+      case FaultStatus::Aborted: ++result.num_aborted; break;
+      case FaultStatus::Unknown: break;
+    }
+    if (cache) cache->store(universe.faults[i], result.status[i]);
+  }
+  return result;
+}
+
+}  // namespace dfmres

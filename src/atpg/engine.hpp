@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/atpg/fault_sim.hpp"
+#include "src/atpg/podem.hpp"
+#include "src/faults/fault.hpp"
+#include "src/faults/udfm_map.hpp"
+
+namespace dfmres {
+
+enum class FaultStatus : std::uint8_t {
+  Unknown = 0,
+  Detected,
+  Undetectable,
+  Aborted,  ///< search budget exhausted; never counted as undetectable
+};
+
+/// Detectability memo across resynthesis iterations. Valid because the
+/// procedure's rewrites are function-preserving and net/gate ids are
+/// never reused: a fault outside the rewritten region keeps its
+/// excitation, propagation, and therefore its status (see DESIGN.md).
+struct FaultStatusCache {
+  std::unordered_map<Fault::Key, FaultStatus> map;
+
+  [[nodiscard]] FaultStatus lookup(const Fault& f) const {
+    const auto it = map.find(f.key());
+    return it == map.end() ? FaultStatus::Unknown : it->second;
+  }
+  void store(const Fault& f, FaultStatus s) { map[f.key()] = s; }
+};
+
+struct AtpgOptions {
+  int random_batches = 8;        ///< 64 random pattern pairs per batch
+  long backtrack_limit = 4000;
+  bool generate_tests = true;    ///< collect + reverse-compact a test set
+  std::uint64_t seed = 12345;
+};
+
+struct AtpgResult {
+  std::vector<FaultStatus> status;  ///< parallel to universe.faults
+  std::vector<TestPattern> tests;   ///< compacted; empty if not requested
+  std::size_t num_detected = 0;
+  std::size_t num_undetectable = 0;
+  std::size_t num_aborted = 0;
+
+  [[nodiscard]] double coverage(std::size_t num_faults) const {
+    if (num_faults == 0) return 1.0;
+    return 1.0 - static_cast<double>(num_undetectable) /
+                     static_cast<double>(num_faults);
+  }
+};
+
+/// Full classification of a DFM fault universe: random-pattern fault
+/// simulation with dropping, then complete PODEM for the remainder
+/// (detect / prove-undetectable / abort), with optional test-set
+/// generation and reverse-order compaction. `cache`, when given, is
+/// consulted before any search and updated afterwards.
+[[nodiscard]] AtpgResult run_atpg(const Netlist& nl,
+                                  const FaultUniverse& universe,
+                                  const UdfmMap& udfm,
+                                  const AtpgOptions& options = {},
+                                  FaultStatusCache* cache = nullptr);
+
+}  // namespace dfmres

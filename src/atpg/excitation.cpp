@@ -1,0 +1,62 @@
+#include "src/atpg/excitation.hpp"
+
+namespace dfmres {
+
+std::vector<Excitation> build_excitations(const Fault& fault,
+                                          const Netlist& nl,
+                                          const UdfmMap& udfm) {
+  std::vector<Excitation> out;
+  switch (fault.kind) {
+    case FaultKind::StuckAt: {
+      Excitation e;
+      e.victim = fault.victim;
+      e.faulty_value = fault.value;
+      out.push_back(std::move(e));
+      break;
+    }
+    case FaultKind::Transition: {
+      // Slow-to-leave-`value`: the net held `value` in the previous
+      // pattern and behaves as stuck-at `value` in the detection frame.
+      Excitation e;
+      e.victim = fault.victim;
+      e.faulty_value = fault.value;
+      e.lits.push_back({fault.victim, fault.value, 0});
+      out.push_back(std::move(e));
+      break;
+    }
+    case FaultKind::Bridge: {
+      Excitation e;
+      e.victim = fault.victim;
+      const bool dominant = fault.bridge_type == BridgeType::DomOr;
+      e.faulty_value = dominant;  // wired-OR pulls 1, wired-AND pulls 0
+      e.lits.push_back({fault.aggressor, dominant, 1});
+      out.push_back(std::move(e));
+      break;
+    }
+    case FaultKind::CellAware: {
+      const auto& gate = nl.gate(fault.owner);
+      const CellUdfm& cu = udfm.of(gate.cell);
+      const CellInternalFault& cif = cu.faults[fault.udfm_index];
+      for (const UdfmPattern& pat : cif.patterns) {
+        Excitation e;
+        e.victim = gate.outputs[pat.output];
+        e.faulty_value = pat.faulty_value;
+        for (std::size_t pin = 0; pin < gate.fanin.size(); ++pin) {
+          e.lits.push_back(
+              {gate.fanin[pin], ((pat.inputs >> pin) & 1u) != 0, 1});
+        }
+        if (pat.has_prev) {
+          for (std::size_t pin = 0; pin < gate.fanin.size(); ++pin) {
+            e.lits.push_back(
+                {gate.fanin[pin], ((pat.prev_inputs >> pin) & 1u) != 0, 0});
+          }
+        }
+        out.push_back(std::move(e));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace dfmres

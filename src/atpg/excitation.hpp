@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "src/faults/fault.hpp"
+#include "src/faults/udfm_map.hpp"
+#include "src/netlist/netlist.hpp"
+
+namespace dfmres {
+
+/// One condition literal of a fault excitation. Frame 1 is the detection
+/// frame; frame 0 is the preceding scan pattern (transition faults and
+/// two-pattern cell-aware entries). The two frames are justified
+/// independently (launch-on-shift full-scan model; see DESIGN.md).
+struct CondLiteral {
+  NetId net;
+  bool value = false;
+  std::uint8_t frame = 1;
+};
+
+/// One way to excite a fault: when every literal holds, `victim` takes
+/// `faulty_value` instead of its good value. Detection = justify all
+/// frame-1 literals, have the victim's good value be the complement, and
+/// propagate the flip to an observation point; frame-0 literals need a
+/// separate justification.
+struct Excitation {
+  std::vector<CondLiteral> lits;
+  NetId victim;
+  bool faulty_value = false;
+};
+
+/// All alternative excitations of a fault (UDFM faults have one per
+/// detecting cell pattern; the others have exactly one).
+[[nodiscard]] std::vector<Excitation> build_excitations(const Fault& fault,
+                                                        const Netlist& nl,
+                                                        const UdfmMap& udfm);
+
+}  // namespace dfmres

@@ -1,0 +1,145 @@
+#include "src/atpg/fault_sim.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/sim/parallel_sim.hpp"
+
+namespace dfmres {
+
+FaultSimulator::FaultSimulator(const Netlist& nl, const CombView& view)
+    : nl_(nl), view_(view) {
+  good0_.resize(view.net_slots, 0);
+  good1_.resize(view.net_slots, 0);
+  faulty_.resize(view.net_slots, 0);
+  stamp_.resize(view.net_slots, 0);
+  topo_pos_.resize(nl.gate_capacity(), 0);
+  scheduled_.resize(nl.gate_capacity(), false);
+  for (std::uint32_t i = 0; i < view.order.size(); ++i) {
+    topo_pos_[view.order[i].value()] = i;
+  }
+}
+
+void FaultSimulator::load(std::span<const TestPattern> tests,
+                          std::size_t first, std::size_t count) {
+  lanes_ = static_cast<int>(std::min<std::size_t>(count, 64));
+  const std::size_t num_sources = view_.sources.size();
+  std::vector<std::uint64_t> src0(num_sources, 0), src1(num_sources, 0);
+  for (int lane = 0; lane < lanes_; ++lane) {
+    const TestPattern& t = tests[first + lane];
+    for (std::size_t s = 0; s < num_sources; ++s) {
+      if (t.frame0[s]) src0[s] |= std::uint64_t{1} << lane;
+      if (t.frame1[s]) src1[s] |= std::uint64_t{1} << lane;
+    }
+  }
+  const auto run = [&](std::span<const std::uint64_t> src,
+                       std::vector<std::uint64_t>& out) {
+    for (std::size_t s = 0; s < num_sources; ++s) {
+      out[view_.sources[s].value()] = src[s];
+    }
+    std::uint64_t ins[kMaxCellInputs];
+    for (GateId g : view_.order) {
+      const auto& gate = nl_.gate(g);
+      const CellSpec& cell = nl_.cell_of(g);
+      for (std::size_t i = 0; i < gate.fanin.size(); ++i) {
+        ins[i] = out[gate.fanin[i].value()];
+      }
+      for (int k = 0; k < cell.num_outputs; ++k) {
+        out[gate.outputs[static_cast<std::size_t>(k)].value()] =
+            ParallelSimulator::eval_cell(cell, k, {ins, gate.fanin.size()});
+      }
+    }
+  };
+  run(src0, good0_);
+  run(src1, good1_);
+}
+
+std::uint64_t FaultSimulator::detect_mask(
+    std::span<const Excitation> excitations) {
+  const std::uint64_t lane_mask =
+      lanes_ == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << lanes_) - 1);
+  std::uint64_t detected = 0;
+
+  for (const Excitation& exc : excitations) {
+    // Lanes where every condition literal holds and the victim's good
+    // value opposes the forced value.
+    std::uint64_t e = lane_mask;
+    for (const CondLiteral& lit : exc.lits) {
+      const std::uint64_t v = (lit.frame == 0 ? good0_ : good1_)[lit.net.value()];
+      e &= lit.value ? v : ~v;
+      if (e == 0) break;
+    }
+    if (e == 0) continue;
+    const std::uint64_t victim_good = good1_[exc.victim.value()];
+    e &= exc.faulty_value ? ~victim_good : victim_good;
+    if (e == 0) continue;
+
+    // Event-driven forward propagation of the flip (frame 1 only).
+    ++epoch_;
+    const auto fv_of = [&](NetId n) {
+      return stamp_[n.value()] == epoch_ ? faulty_[n.value()]
+                                         : good1_[n.value()];
+    };
+    const auto set_fv = [&](NetId n, std::uint64_t v) {
+      faulty_[n.value()] = v;
+      stamp_[n.value()] = epoch_;
+    };
+    set_fv(exc.victim, (victim_good & ~e) |
+                           (exc.faulty_value ? e : std::uint64_t{0}));
+
+    // Min-heap of gates by topological position.
+    std::priority_queue<std::pair<std::uint32_t, std::uint32_t>,
+                        std::vector<std::pair<std::uint32_t, std::uint32_t>>,
+                        std::greater<>>
+        queue;
+    std::vector<std::uint32_t> touched_gates;
+    const auto schedule_sinks = [&](NetId n) {
+      for (const PinRef& sink : nl_.net(n).sinks) {
+        const std::uint32_t gs = sink.gate.value();
+        if (nl_.cell_of(sink.gate).sequential) continue;
+        if (!scheduled_[gs]) {
+          scheduled_[gs] = true;
+          touched_gates.push_back(gs);
+          queue.emplace(topo_pos_[gs], gs);
+        }
+      }
+    };
+    schedule_sinks(exc.victim);
+    while (!queue.empty()) {
+      const auto [pos, gs] = queue.top();
+      queue.pop();
+      const GateId g{gs};
+      const auto& gate = nl_.gate(g);
+      const CellSpec& cell = nl_.cell_of(g);
+      std::uint64_t ins[kMaxCellInputs];
+      for (std::size_t i = 0; i < gate.fanin.size(); ++i) {
+        ins[i] = fv_of(gate.fanin[i]);
+      }
+      for (int k = 0; k < cell.num_outputs; ++k) {
+        const NetId out = gate.outputs[static_cast<std::size_t>(k)];
+        const std::uint64_t nv =
+            ParallelSimulator::eval_cell(cell, k, {ins, gate.fanin.size()});
+        if (nv != fv_of(out)) {
+          set_fv(out, nv);
+          schedule_sinks(out);
+        }
+      }
+    }
+    for (std::uint32_t gs : touched_gates) scheduled_[gs] = false;
+
+    // Detection at observation points.
+    for (NetId obs : view_.observe) {
+      if (stamp_[obs.value()] == epoch_) {
+        detected |= (faulty_[obs.value()] ^ good1_[obs.value()]) & e;
+      }
+    }
+    // The victim itself may be observed directly.
+    if (nl_.net(exc.victim).is_primary_output) {
+      detected |= (fv_of(exc.victim) ^ victim_good) & e;
+    }
+    if (detected == lane_mask) break;
+  }
+  return detected & lane_mask;
+}
+
+}  // namespace dfmres

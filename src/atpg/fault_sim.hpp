@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/atpg/excitation.hpp"
+#include "src/netlist/netlist.hpp"
+
+namespace dfmres {
+
+/// One test: a fully specified assignment per source (PIs and flop
+/// outputs) for the initialization frame and the detection frame. In the
+/// full-scan model the two frames are independent scan loads.
+struct TestPattern {
+  std::vector<std::uint8_t> frame0;
+  std::vector<std::uint8_t> frame1;
+};
+
+/// 64-lane single-fault simulator with event-driven cone propagation.
+/// Load a batch of up to 64 tests, then query detection masks fault by
+/// fault (the engine drops detected faults as it goes).
+class FaultSimulator {
+ public:
+  FaultSimulator(const Netlist& nl, const CombView& view);
+
+  /// Packs tests[first..first+count) into the 64 lanes and simulates the
+  /// good machine for both frames.
+  void load(std::span<const TestPattern> tests, std::size_t first,
+            std::size_t count);
+
+  /// Lane mask of tests that detect a fault with the given excitations.
+  [[nodiscard]] std::uint64_t detect_mask(
+      std::span<const Excitation> excitations);
+
+  [[nodiscard]] int lanes() const { return lanes_; }
+  [[nodiscard]] const CombView& view() const { return view_; }
+
+ private:
+  const Netlist& nl_;
+  const CombView& view_;
+  int lanes_ = 0;
+  std::vector<std::uint64_t> good0_, good1_;   // per net slot
+  // Copy-on-write faulty values with epoch stamps (avoids clearing).
+  std::vector<std::uint64_t> faulty_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> topo_pos_;        // gate slot -> position
+  std::vector<bool> scheduled_;                // gate slot scratch
+};
+
+}  // namespace dfmres

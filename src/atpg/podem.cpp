@@ -1,0 +1,449 @@
+#include "src/atpg/podem.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace dfmres {
+
+namespace {
+constexpr int kPow3[7] = {1, 3, 9, 27, 81, 243, 729};
+}
+
+Podem::Podem(const Netlist& nl, const CombView& view, Config config)
+    : nl_(nl), view_(view), config_(config) {
+  value_.resize(view.net_slots);
+  source_assign_.resize(view.sources.size());
+  source_ordinal_.assign(view.net_slots, -1);
+  for (std::size_t i = 0; i < view.sources.size(); ++i) {
+    source_ordinal_[view.sources[i].value()] = static_cast<std::int32_t>(i);
+  }
+  // Precompute ternary evaluation LUTs per cell output: index is the
+  // base-3 encoding of the input values (0, 1, X). This makes the full
+  // forward implication pass ~10x cheaper than enumerating X inputs.
+  const Library& lib = nl.library();
+  lut_.resize(lib.num_cells());
+  for (std::uint32_t c = 0; c < lib.num_cells(); ++c) {
+    const CellSpec& cell = lib.cell(CellId{c});
+    if (cell.sequential) continue;
+    const int n = cell.num_inputs;
+    const int combos = kPow3[n];
+    for (int out = 0; out < cell.num_outputs; ++out) {
+      auto& table = lut_[c][static_cast<std::size_t>(out)];
+      table.resize(static_cast<std::size_t>(combos));
+      V3 ins[kMaxCellInputs];
+      for (int idx = 0; idx < combos; ++idx) {
+        int rest = idx;
+        for (int i = 0; i < n; ++i) {
+          ins[i] = static_cast<V3>(rest % 3);
+          rest /= 3;
+        }
+        table[static_cast<std::size_t>(idx)] = static_cast<std::uint8_t>(
+            eval_cell_v3(cell, out, {ins, static_cast<std::size_t>(n)}));
+      }
+    }
+  }
+  // Topological positions for cone ordering.
+  topo_pos_.assign(nl.gate_capacity(), 0);
+  for (std::uint32_t i = 0; i < view.order.size(); ++i) {
+    topo_pos_[view.order[i].value()] = i;
+  }
+  in_cone_net_.assign(view.net_slots, 0);
+  visited_net_.assign(view.net_slots, 0);
+  observe_flag_.assign(view.net_slots, false);
+  for (NetId obs : view.observe) observe_flag_[obs.value()] = true;
+}
+
+V3 Podem::eval_gate(GateId g, int out) const {
+  const auto& gate = nl_.gate(g);
+  int idx = 0;
+  for (std::size_t i = 0; i < gate.fanin.size(); ++i) {
+    idx += static_cast<int>(value_[gate.fanin[i].value()].good) * kPow3[i];
+  }
+  return static_cast<V3>(
+      lut_[nl_.gate(g).cell.value()][static_cast<std::size_t>(out)]
+          [static_cast<std::size_t>(idx)]);
+}
+
+void Podem::simulate_good() {
+  for (std::size_t i = 0; i < view_.sources.size(); ++i) {
+    value_[view_.sources[i].value()].good = source_assign_[i];
+  }
+  for (GateId g : view_.order) {
+    const auto& gate = nl_.gate(g);
+    const auto& luts = lut_[gate.cell.value()];
+    int idx = 0;
+    for (std::size_t i = 0; i < gate.fanin.size(); ++i) {
+      idx += static_cast<int>(value_[gate.fanin[i].value()].good) * kPow3[i];
+    }
+    for (std::size_t k = 0; k < gate.outputs.size(); ++k) {
+      value_[gate.outputs[k].value()].good =
+          static_cast<V3>(luts[k][static_cast<std::size_t>(idx)]);
+    }
+  }
+}
+
+void Podem::build_cone(NetId victim) {
+  ++cone_epoch_;
+  cone_gates_.clear();
+  in_cone_net_[victim.value()] = cone_epoch_;
+  // BFS over sinks; gates collected then sorted topologically.
+  std::vector<NetId> queue{victim};
+  std::vector<bool> gate_seen(nl_.gate_capacity(), false);
+  while (!queue.empty()) {
+    const NetId n = queue.back();
+    queue.pop_back();
+    for (const PinRef& sink : nl_.net(n).sinks) {
+      if (nl_.cell_of(sink.gate).sequential) continue;
+      if (gate_seen[sink.gate.value()]) continue;
+      gate_seen[sink.gate.value()] = true;
+      cone_gates_.push_back(sink.gate);
+      for (NetId out : nl_.gate(sink.gate).outputs) {
+        if (in_cone_net_[out.value()] != cone_epoch_) {
+          in_cone_net_[out.value()] = cone_epoch_;
+          queue.push_back(out);
+        }
+      }
+    }
+  }
+  std::sort(cone_gates_.begin(), cone_gates_.end(),
+            [&](GateId a, GateId b) {
+              return topo_pos_[a.value()] < topo_pos_[b.value()];
+            });
+}
+
+V3 Podem::faulty_of(NetId n) const {
+  return in_cone_net_[n.value()] == cone_epoch_ ? value_[n.value()].faulty
+                                                : value_[n.value()].good;
+}
+
+void Podem::simulate_faulty(const Excitation& exc, V3 excited) {
+  // Victim injection on the faulty side; everything outside the victim's
+  // fanout cone equals the good machine by construction.
+  V5& v = value_[exc.victim.value()];
+  if (excited == V3::One) {
+    v.faulty = v3_of(exc.faulty_value);
+  } else if (excited == V3::X && v.good != v3_of(exc.faulty_value)) {
+    v.faulty = V3::X;
+  } else {
+    v.faulty = v.good;
+  }
+  for (GateId g : cone_gates_) {
+    const auto& gate = nl_.gate(g);
+    const auto& luts = lut_[gate.cell.value()];
+    int idx = 0;
+    for (std::size_t i = 0; i < gate.fanin.size(); ++i) {
+      idx += static_cast<int>(faulty_of(gate.fanin[i])) * kPow3[i];
+    }
+    for (std::size_t k = 0; k < gate.outputs.size(); ++k) {
+      value_[gate.outputs[k].value()].faulty =
+          static_cast<V3>(luts[k][static_cast<std::size_t>(idx)]);
+    }
+  }
+}
+
+V3 Podem::excitation_state(std::span<const CondLiteral> lits) const {
+  bool any_x = false;
+  for (const CondLiteral& lit : lits) {
+    if (lit.frame != 1) continue;
+    const V3 v = value_[lit.net.value()].good;
+    if (v == V3::X) {
+      any_x = true;
+    } else if (v != v3_of(lit.value)) {
+      return V3::Zero;  // definitely broken
+    }
+  }
+  return any_x ? V3::X : V3::One;
+}
+
+bool Podem::fault_observed(NetId victim) const {
+  if (observe_flag_[victim.value()] &&
+      value_[victim.value()].has_fault_effect()) {
+    return true;
+  }
+  for (GateId g : cone_gates_) {
+    for (NetId out : nl_.gate(g).outputs) {
+      if (observe_flag_[out.value()] &&
+          value_[out.value()].has_fault_effect()) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool Podem::x_path_exists(NetId victim) {
+  // Forward BFS inside the cone through nets that could still carry the
+  // fault effect.
+  ++visit_epoch_;
+  const auto passable = [&](NetId n) {
+    const V5 v{value_[n.value()].good, faulty_of(n)};
+    return v.has_fault_effect() || v.faulty == V3::X || v.good == V3::X;
+  };
+  if (!passable(victim)) return false;
+  scratch_queue_.clear();
+  scratch_queue_.push_back(victim);
+  visited_net_[victim.value()] = visit_epoch_;
+  while (!scratch_queue_.empty()) {
+    const NetId n = scratch_queue_.back();
+    scratch_queue_.pop_back();
+    if (nl_.net(n).is_primary_output) return true;
+    for (const PinRef& sink : nl_.net(n).sinks) {
+      if (nl_.cell_of(sink.gate).sequential) return true;  // reaches a flop
+      for (NetId out : nl_.gate(sink.gate).outputs) {
+        if (visited_net_[out.value()] != visit_epoch_ && passable(out)) {
+          visited_net_[out.value()] = visit_epoch_;
+          scratch_queue_.push_back(out);
+        }
+      }
+    }
+  }
+  return false;
+}
+
+std::optional<Podem::Objective> Podem::pick_objective(
+    std::span<const CondLiteral> lits, const Excitation* exc) {
+  // 1. Unjustified condition literal.
+  for (const CondLiteral& lit : lits) {
+    if (lit.frame != 1) continue;
+    if (value_[lit.net.value()].good == V3::X) {
+      return Objective{lit.net, lit.value};
+    }
+  }
+  if (!exc) return std::nullopt;  // pure justification: everything done
+
+  // 2. Victim good value must oppose the forced value.
+  const V5& v = value_[exc->victim.value()];
+  if (v.good == V3::X) {
+    return Objective{exc->victim, !exc->faulty_value};
+  }
+
+  // 3. D-frontier inside the victim cone: a gate with a fault effect on
+  // an input whose output is still undecided; set one X input to help.
+  for (GateId g : cone_gates_) {
+    const auto& gate = nl_.gate(g);
+    bool has_d_input = false;
+    for (NetId in : gate.fanin) {
+      const V5 iv{value_[in.value()].good, faulty_of(in)};
+      if (iv.has_fault_effect()) {
+        has_d_input = true;
+        break;
+      }
+    }
+    if (!has_d_input) continue;
+    bool output_undecided = false;
+    for (NetId out : gate.outputs) {
+      const V5 ov{value_[out.value()].good, faulty_of(out)};
+      if (!ov.has_fault_effect() &&
+          (ov.faulty == V3::X || ov.good == V3::X)) {
+        output_undecided = true;
+      }
+    }
+    if (!output_undecided) continue;
+    // Choose an X input; prefer the value that exposes the effect.
+    const CellSpec& cell = nl_.cell_of(g);
+    for (std::size_t i = 0; i < gate.fanin.size(); ++i) {
+      if (value_[gate.fanin[i].value()].good != V3::X) continue;
+      V3 goods[kMaxCellInputs], faults[kMaxCellInputs];
+      for (std::size_t j = 0; j < gate.fanin.size(); ++j) {
+        goods[j] = value_[gate.fanin[j].value()].good;
+        faults[j] = faulty_of(gate.fanin[j]);
+      }
+      for (const bool candidate : {true, false}) {
+        goods[i] = v3_of(candidate);
+        faults[i] = v3_of(candidate);
+        for (int k = 0; k < cell.num_outputs; ++k) {
+          const V3 go = eval_cell_v3(cell, k, {goods, gate.fanin.size()});
+          const V3 fo = eval_cell_v3(cell, k, {faults, gate.fanin.size()});
+          if (is_definite(go) && is_definite(fo) && go != fo) {
+            return Objective{gate.fanin[i], candidate};
+          }
+        }
+      }
+      // Neither value provably propagates; still try one (search explores
+      // the other on backtrack).
+      return Objective{gate.fanin[i], true};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Podem::Decision> Podem::backtrace(Objective obj) const {
+  NetId net = obj.net;
+  bool want = obj.value;
+  for (;;) {
+    if (source_ordinal_[net.value()] >= 0) {
+      return Decision{static_cast<std::size_t>(source_ordinal_[net.value()]),
+                      want, false};
+    }
+    const auto& n = nl_.net(net);
+    if (!n.has_gate_driver()) return std::nullopt;  // undriven: dead end
+    const GateId g = n.driver_gate;
+    const auto& gate = nl_.gate(g);
+    const CellSpec& cell = nl_.cell_of(g);
+    const int out_pin = n.driver_pin;
+
+    // Pick an X input; choose the value most likely to produce `want`.
+    int chosen = -1;
+    bool chosen_value = want;
+    V3 ins[kMaxCellInputs];
+    for (std::size_t j = 0; j < gate.fanin.size(); ++j) {
+      ins[j] = value_[gate.fanin[j].value()].good;
+    }
+    for (std::size_t i = 0; i < gate.fanin.size() && chosen < 0; ++i) {
+      if (ins[i] != V3::X) continue;
+      for (const bool candidate : {true, false}) {
+        V3 trial[kMaxCellInputs];
+        std::copy(ins, ins + gate.fanin.size(), trial);
+        trial[i] = v3_of(candidate);
+        const V3 out =
+            eval_cell_v3(cell, out_pin, {trial, gate.fanin.size()});
+        if (out == v3_of(want) || out == V3::X) {
+          chosen = static_cast<int>(i);
+          chosen_value = candidate;
+          if (out == v3_of(want)) break;  // exact justification preferred
+        }
+      }
+    }
+    if (chosen < 0) {
+      // Every input definite yet output X is impossible; definite output
+      // means the objective is already decided against us.
+      return std::nullopt;
+    }
+    net = gate.fanin[static_cast<std::size_t>(chosen)];
+    want = chosen_value;
+  }
+}
+
+void Podem::assign_source(std::size_t source, V3 v) {
+  trail_marks_.push_back(trail_.size());
+  source_assign_[source] = v;
+  const NetId src_net = view_.sources[source];
+  if (value_[src_net.value()].good == v) return;
+  trail_.push_back({src_net, value_[src_net.value()].good});
+  value_[src_net.value()].good = v;
+  // Event-driven propagation in topological order.
+  std::priority_queue<std::pair<std::uint32_t, std::uint32_t>,
+                      std::vector<std::pair<std::uint32_t, std::uint32_t>>,
+                      std::greater<>>
+      queue;
+  const auto schedule_sinks = [&](NetId n) {
+    for (const PinRef& sink : nl_.net(n).sinks) {
+      if (nl_.cell_of(sink.gate).sequential) continue;
+      queue.emplace(topo_pos_[sink.gate.value()], sink.gate.value());
+    }
+  };
+  schedule_sinks(src_net);
+  std::uint32_t last = std::numeric_limits<std::uint32_t>::max();
+  while (!queue.empty()) {
+    const auto [pos, gs] = queue.top();
+    queue.pop();
+    if (gs == last) continue;  // dedupe repeated scheduling
+    last = gs;
+    const GateId g{gs};
+    const auto& gate = nl_.gate(g);
+    const auto& luts = lut_[gate.cell.value()];
+    int idx = 0;
+    for (std::size_t i = 0; i < gate.fanin.size(); ++i) {
+      idx += static_cast<int>(value_[gate.fanin[i].value()].good) * kPow3[i];
+    }
+    for (std::size_t k = 0; k < gate.outputs.size(); ++k) {
+      const NetId out = gate.outputs[k];
+      const V3 nv = static_cast<V3>(luts[k][static_cast<std::size_t>(idx)]);
+      if (value_[out.value()].good != nv) {
+        trail_.push_back({out, value_[out.value()].good});
+        value_[out.value()].good = nv;
+        schedule_sinks(out);
+      }
+    }
+  }
+}
+
+void Podem::undo_last_assignment() {
+  const std::size_t mark = trail_marks_.back();
+  trail_marks_.pop_back();
+  while (trail_.size() > mark) {
+    value_[trail_.back().net.value()].good = trail_.back().old_good;
+    trail_.pop_back();
+  }
+}
+
+Podem::Outcome Podem::search(std::span<const CondLiteral> lits,
+                             const Excitation* exc, std::vector<V3>* test) {
+  std::fill(source_assign_.begin(), source_assign_.end(), V3::X);
+  if (exc) build_cone(exc->victim);
+  std::vector<Decision> stack;
+  long backtracks = 0;
+  trail_.clear();
+  trail_marks_.clear();
+  simulate_good();  // all-X baseline; decisions propagate incrementally
+
+  for (;;) {
+    const V3 excited = excitation_state(lits);
+    bool need_backtrack = false;
+
+    if (excited == V3::Zero) {
+      need_backtrack = true;  // a condition literal is definitely broken
+    } else if (exc) {
+      const V5& v = value_[exc->victim.value()];
+      if (v.good == v3_of(exc->faulty_value)) {
+        need_backtrack = true;  // victim cannot oppose the forced value
+      } else {
+        simulate_faulty(*exc, excited);
+        if (fault_observed(exc->victim)) {
+          if (test) *test = source_assign_;
+          return Outcome::Detected;
+        }
+        if (!x_path_exists(exc->victim)) need_backtrack = true;
+      }
+    } else if (excited == V3::One) {
+      if (test) *test = source_assign_;
+      return Outcome::Detected;  // justification complete
+    }
+
+    if (!need_backtrack) {
+      const auto obj = pick_objective(lits, exc);
+      if (!obj) {
+        need_backtrack = true;
+      } else {
+        const auto decision = backtrace(*obj);
+        if (!decision) {
+          need_backtrack = true;
+        } else {
+          assign_source(decision->source, v3_of(decision->value));
+          stack.push_back(*decision);
+          continue;
+        }
+      }
+    }
+
+    // Backtrack: flip the deepest unflipped decision.
+    if (++backtracks > config_.backtrack_limit) return Outcome::Aborted;
+    while (!stack.empty() && stack.back().flipped) {
+      undo_last_assignment();
+      source_assign_[stack.back().source] = V3::X;
+      stack.pop_back();
+    }
+    if (stack.empty()) return Outcome::Undetectable;
+    undo_last_assignment();
+    stack.back().flipped = true;
+    stack.back().value = !stack.back().value;
+    assign_source(stack.back().source, v3_of(stack.back().value));
+  }
+}
+
+Podem::Outcome Podem::detect(const Excitation& excitation,
+                             std::vector<V3>* test) {
+  return search(excitation.lits, &excitation, test);
+}
+
+Podem::Outcome Podem::justify(std::span<const CondLiteral> lits,
+                              std::vector<V3>* test) {
+  // The engine justifies frame-0 cubes as an independent single-frame
+  // problem; normalize the literals so the search sees all of them.
+  std::vector<CondLiteral> frame1(lits.begin(), lits.end());
+  for (CondLiteral& lit : frame1) lit.frame = 1;
+  return search(frame1, nullptr, test);
+}
+
+}  // namespace dfmres

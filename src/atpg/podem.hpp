@@ -1,0 +1,103 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/atpg/excitation.hpp"
+#include "src/atpg/values.hpp"
+#include "src/netlist/netlist.hpp"
+
+namespace dfmres {
+
+/// PODEM test generator over the combinational (full-scan) view.
+///
+/// Handles every fault model through condition cubes: the engine
+/// justifies the excitation literals on the good machine, forces the
+/// victim to its faulty value, and propagates the composite D value to an
+/// observation point, branching only on sources (PIs and flop outputs).
+/// The search is complete: exhausting it proves undetectability (the
+/// paper's U set); hitting the backtrack limit yields Aborted, which is
+/// never counted as undetectable.
+class Podem {
+ public:
+  struct Config {
+    long backtrack_limit = 50000;
+  };
+
+  enum class Outcome { Detected, Undetectable, Aborted };
+
+  Podem(const Netlist& nl, const CombView& view, Config config);
+  Podem(const Netlist& nl, const CombView& view) : Podem(nl, view, Config{}) {}
+
+  /// Attempts to detect one excitation (frame-1 literals only; frame-0
+  /// literals are a separate justify() call). On success `*test`
+  /// receives one V3 per source (X = free).
+  Outcome detect(const Excitation& excitation, std::vector<V3>* test);
+
+  /// Justifies a set of (frame-agnostic) literals with no propagation
+  /// requirement; used for the initializing pattern of two-frame faults.
+  Outcome justify(std::span<const CondLiteral> lits, std::vector<V3>* test);
+
+  [[nodiscard]] const CombView& view() const { return view_; }
+
+ private:
+  struct Objective {
+    NetId net;
+    bool value;
+  };
+  struct Decision {
+    std::size_t source;  // ordinal in view.sources
+    bool value;
+    bool flipped;
+  };
+
+  Outcome search(std::span<const CondLiteral> lits, const Excitation* exc,
+                 std::vector<V3>* test);
+
+  [[nodiscard]] V3 eval_gate(GateId g, int out) const;
+  void simulate_good();
+  /// Incremental decision handling: assigning a source propagates events
+  /// through its fanout and records an undo trail.
+  void assign_source(std::size_t source, V3 v);
+  void undo_last_assignment();
+  /// Collects the victim's fanout cone (the only region where faulty
+  /// values can differ from good ones).
+  void build_cone(NetId victim);
+  [[nodiscard]] V3 faulty_of(NetId n) const;
+  void simulate_faulty(const Excitation& exc, V3 excited);
+  /// All literals hold / definitely broken / undecided on good values.
+  [[nodiscard]] V3 excitation_state(std::span<const CondLiteral> lits) const;
+  [[nodiscard]] bool fault_observed(NetId victim) const;
+  [[nodiscard]] bool x_path_exists(NetId victim);
+  [[nodiscard]] std::optional<Objective> pick_objective(
+      std::span<const CondLiteral> lits, const Excitation* exc);
+  /// Maps an objective to a source assignment, or nullopt on dead end.
+  [[nodiscard]] std::optional<Decision> backtrace(Objective obj) const;
+
+  const Netlist& nl_;
+  const CombView& view_;
+  Config config_;
+  std::vector<V5> value_;           // per net slot
+  std::vector<V3> source_assign_;   // per source ordinal
+  std::vector<std::int32_t> source_ordinal_;  // net slot -> ordinal or -1
+  // Ternary LUTs: lut_[cell][output][base-3 input index].
+  std::vector<std::array<std::vector<std::uint8_t>, 2>> lut_;
+  std::vector<std::uint32_t> topo_pos_;  // gate slot -> topo position
+  // Victim-cone state (epoch-stamped to avoid clearing).
+  std::vector<GateId> cone_gates_;
+  std::vector<std::uint32_t> in_cone_net_;
+  std::uint32_t cone_epoch_ = 0;
+  std::vector<std::uint32_t> visited_net_;
+  std::uint32_t visit_epoch_ = 0;
+  std::vector<NetId> scratch_queue_;
+  std::vector<bool> observe_flag_;  // net slot -> is observation point
+  struct TrailEntry {
+    NetId net;
+    V3 old_good;
+  };
+  std::vector<TrailEntry> trail_;
+  std::vector<std::size_t> trail_marks_;
+};
+
+}  // namespace dfmres

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/library/cell.hpp"
+
+namespace dfmres {
+
+/// Three-valued logic for test generation.
+enum class V3 : std::uint8_t { Zero = 0, One = 1, X = 2 };
+
+[[nodiscard]] constexpr V3 v3_of(bool b) { return b ? V3::One : V3::Zero; }
+[[nodiscard]] constexpr bool is_definite(V3 v) { return v != V3::X; }
+[[nodiscard]] constexpr V3 v3_not(V3 v) {
+  if (v == V3::X) return V3::X;
+  return v == V3::One ? V3::Zero : V3::One;
+}
+
+/// Composite good/faulty value (five-valued algebra: 0, 1, X, D = 1/0,
+/// D' = 0/1, plus partially-unknown mixtures).
+struct V5 {
+  V3 good = V3::X;
+  V3 faulty = V3::X;
+
+  [[nodiscard]] bool is_d() const {
+    return good == V3::One && faulty == V3::Zero;
+  }
+  [[nodiscard]] bool is_dbar() const {
+    return good == V3::Zero && faulty == V3::One;
+  }
+  [[nodiscard]] bool has_fault_effect() const { return is_d() || is_dbar(); }
+
+  friend bool operator==(V5, V5) = default;
+};
+
+/// Three-valued evaluation of one cell output: enumerate the X inputs
+/// (cells have at most 4 inputs) and collapse.
+[[nodiscard]] V3 eval_cell_v3(const CellSpec& cell, int output,
+                              std::span<const V3> inputs);
+
+}  // namespace dfmres

@@ -1,0 +1,559 @@
+#include "src/circuits/benchmarks.hpp"
+
+#include <array>
+#include <cstdlib>
+#include <functional>
+
+#include "src/circuits/builder.hpp"
+#include "src/util/fmt.hpp"
+#include "src/util/logging.hpp"
+#include "src/util/rng.hpp"
+
+namespace dfmres {
+
+namespace {
+
+using Bus = std::vector<NetId>;
+
+/// Fixed pseudo-random wiring permutation.
+std::vector<std::size_t> permutation(std::size_t n, Rng& rng) {
+  std::vector<std::size_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(p[i - 1], p[rng.below(i)]);
+  }
+  return p;
+}
+
+Bus permute(const Bus& in, const std::vector<std::size_t>& p) {
+  Bus out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = in[p[i]];
+  return out;
+}
+
+/// One-hot result multiplexer: or-reduce of (grant_k AND value_k) per bit.
+/// The one-hot correlation among selects is the classic source of
+/// unjustifiable cell input combinations after mapping.
+Bus onehot_mux(CircuitBuilder& cb, std::span<const NetId> sel,
+               std::span<const Bus> values) {
+  const std::size_t width = values[0].size();
+  Bus out;
+  for (std::size_t bit = 0; bit < width; ++bit) {
+    std::vector<NetId> terms;
+    for (std::size_t k = 0; k < values.size(); ++k) {
+      terms.push_back(cb.and2(sel[k], values[k][bit]));
+    }
+    out.push_back(cb.or_n(terms));
+  }
+  return out;
+}
+
+/// Encode a one-hot vector into binary (or-trees of selected positions).
+Bus encode(CircuitBuilder& cb, std::span<const NetId> onehot, int bits) {
+  Bus out;
+  for (int b = 0; b < bits; ++b) {
+    std::vector<NetId> terms;
+    for (std::size_t i = 0; i < onehot.size(); ++i) {
+      if ((i >> b) & 1u) terms.push_back(onehot[i]);
+    }
+    out.push_back(terms.empty() ? cb.and2(onehot[0], cb.not_(onehot[0]))
+                                : cb.or_n(terms));
+  }
+  return out;
+}
+
+Bus sbox_layer(CircuitBuilder& cb, const Bus& in, Rng& rng) {
+  Bus out;
+  for (std::size_t i = 0; i + 4 <= in.size(); i += 4) {
+    const NetId nibble[] = {in[i], in[i + 1], in[i + 2], in[i + 3]};
+    const Bus s = cb.sbox4(nibble, rng);
+    out.insert(out.end(), s.begin(), s.end());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// tv80: 8-bit microprocessor ALU + flags + decode, two stages.
+Netlist build_tv80() {
+  CircuitBuilder cb("tv80");
+  Rng rng(0x7480);
+  const Bus a = cb.dff_bus(cb.input_bus("a", 16));
+  const Bus b = cb.dff_bus(cb.input_bus("b", 16));
+  const Bus op = cb.dff_bus(cb.input_bus("op", 3));
+  const NetId cin = cb.dff(cb.input("cin"));
+
+  const Bus dec = cb.decoder(op);
+  // Operation results.
+  Bus b_inv;
+  for (NetId x : b) b_inv.push_back(cb.not_(x));
+  const auto [add_sum, add_carry] = cb.ripple_add(a, b, cin);
+  const auto [sub_sum, sub_carry] = cb.ripple_add(a, b_inv, cb.not_(cin));
+  Bus land, lor, lxor, rot;
+  for (int i = 0; i < 16; ++i) {
+    land.push_back(cb.and2(a[i], b[i]));
+    lor.push_back(cb.or2(a[i], b[i]));
+    lxor.push_back(cb.xor2(a[i], b[i]));
+    rot.push_back(a[(i + 15) % 16]);
+  }
+  Bus pass_b;
+  for (int i = 0; i < 16; ++i) pass_b.push_back(cb.opaque_copy(b[i], dec[6]));
+  const std::array<Bus, 8> results = {add_sum, sub_sum, land, lor,
+                                      lxor,   rot,     pass_b, a};
+  const Bus result = onehot_mux(cb, dec, results);
+
+  // Flag logic.
+  std::vector<NetId> nres;
+  for (NetId r : result) nres.push_back(cb.not_(r));
+  const NetId zero = cb.and_n(nres);
+  const NetId carry = cb.mux(add_carry, sub_carry, dec[0]);
+  const NetId parity = cb.xor_n(result);
+  const NetId sign = cb.opaque_copy(result[7], dec[1]);
+
+  // Registered second stage: accumulator updated by xor-merge (keeps the
+  // adder count to the main ALU).
+  const Bus acc = cb.dff_bus(result);
+  Bus acc2 = cb.xor_bus(acc, result);
+  acc2[0] = cb.mux(acc2[0], result[0], carry);
+  const NetId acc_c = cb.and2(acc[15], result[15]);
+  cb.output_bus(acc2);
+  cb.output(zero);
+  cb.output(carry);
+  cb.output(parity);
+  cb.output(sign);
+  cb.output(acc_c);
+  (void)rng;
+  return cb.take();
+}
+
+// ---------------------------------------------------------------------
+// systemcaes: one AES-like round on a 16-bit state, 4 S-boxes.
+Netlist build_systemcaes() {
+  CircuitBuilder cb("systemcaes");
+  Rng rng(0xAE51);
+  const Bus state_in = cb.input_bus("s", 32);
+  const Bus key = cb.dff_bus(cb.input_bus("k", 32));
+  const NetId enc = cb.input("enc");
+
+  const Bus state = cb.dff_bus(state_in);
+  Bus x = cb.xor_bus(state, key);
+  x = sbox_layer(cb, x, rng);
+  // Mix: xor each nibble with its rotated neighbor.
+  const auto perm = permutation(32, rng);
+  const Bus shifted = permute(x, perm);
+  Bus mixed = cb.xor_bus(x, shifted);
+  // Guarded second round.
+  Bus round2 = sbox_layer(cb, mixed, rng);
+  round2 = cb.xor_bus(round2, permute(key, permutation(32, rng)));
+  const Bus out = cb.mux_bus(round2, mixed, enc);
+  for (std::size_t i = 0; i < 8; ++i) {
+    cb.output(cb.opaque_copy(out[i * 4], enc));
+  }
+  cb.output_bus(cb.dff_bus(out));
+  return cb.take();
+}
+
+// ---------------------------------------------------------------------
+// aes_core: 32-bit state, 8 S-boxes, 2 rounds plus key schedule.
+Netlist build_aes_core() {
+  CircuitBuilder cb("aes_core");
+  Rng rng(0xAE52);
+  const Bus state_in = cb.input_bus("s", 48);
+  const Bus key_in = cb.input_bus("k", 48);
+  const NetId load = cb.input("load");
+
+  const Bus state = cb.dff_bus(cb.mux_bus(state_in, state_in, load));
+  const Bus key = cb.dff_bus(key_in);
+
+  // Key schedule: rotate + sbox + xor.
+  Bus ks = permute(key, permutation(48, rng));
+  ks = sbox_layer(cb, ks, rng);
+  const Bus round_key = cb.xor_bus(ks, key);
+
+  Bus x = cb.xor_bus(state, round_key);
+  for (int round = 0; round < 2; ++round) {
+    x = sbox_layer(cb, x, rng);
+    const Bus shifted = permute(x, permutation(48, rng));
+    x = cb.xor_bus(x, shifted);
+    x = cb.xor_bus(x, round_key);
+  }
+  cb.output_bus(cb.dff_bus(x));
+  cb.output(cb.xor_n(x));  // round parity check bit
+  return cb.take();
+}
+
+// ---------------------------------------------------------------------
+// wb_conmax: 4x4 wishbone-style crossbar with priority arbitration.
+Netlist build_wb_conmax() {
+  CircuitBuilder cb("wb_conmax");
+  Rng rng(0xC0B);
+  std::array<Bus, 4> mdata, maddr;
+  std::array<NetId, 4> mreq;
+  for (int m = 0; m < 4; ++m) {
+    mdata[m] = cb.dff_bus(cb.input_bus(strfmt("m%dd", m), 12));
+    maddr[m] = cb.dff_bus(cb.input_bus(strfmt("m%da", m), 4));
+    mreq[m] = cb.input(strfmt("m%dreq", m));
+  }
+  for (int s = 0; s < 4; ++s) {
+    // Master m targets slave s when addr[3:2] == s and req.
+    std::vector<NetId> want;
+    for (int m = 0; m < 4; ++m) {
+      const NetId a2 = (s & 1) ? maddr[m][2] : cb.not_(maddr[m][2]);
+      const NetId a3 = (s & 2) ? maddr[m][3] : cb.not_(maddr[m][3]);
+      want.push_back(cb.and2(mreq[m], cb.and2(a2, a3)));
+    }
+    const Bus grant = cb.priority_grant(want);
+    const std::array<Bus, 4> lanes = {mdata[0], mdata[1], mdata[2], mdata[3]};
+    const Bus out = onehot_mux(cb, grant, lanes);
+    const NetId busy = cb.or_n(grant);
+    cb.output_bus(cb.dff_bus(out));
+    cb.output(busy);
+    for (int m = 0; m < 4; ++m) cb.output(cb.opaque_copy(grant[m], busy));
+  }
+  (void)rng;
+  return cb.take();
+}
+
+// ---------------------------------------------------------------------
+// des_perf: two Feistel rounds, 16-bit halves, S-boxes and P-boxes.
+Netlist build_des_perf() {
+  CircuitBuilder cb("des_perf");
+  Rng rng(0xDE5);
+  const Bus l_in = cb.input_bus("l", 24);
+  const Bus r_in = cb.input_bus("r", 24);
+  const Bus k1 = cb.dff_bus(cb.input_bus("k1", 24));
+  const Bus k2 = cb.dff_bus(cb.input_bus("k2", 24));
+
+  Bus l = cb.dff_bus(l_in), r = cb.dff_bus(r_in);
+  for (int round = 0; round < 2; ++round) {
+    const Bus& key = round == 0 ? k1 : k2;
+    Bus f = cb.xor_bus(permute(r, permutation(24, rng)), key);
+    f = sbox_layer(cb, f, rng);
+    f = permute(f, permutation(24, rng));
+    f = sbox_layer(cb, f, rng);
+    const Bus new_r = cb.xor_bus(l, f);
+    l = r;
+    r = round == 0 ? cb.dff_bus(new_r) : new_r;
+  }
+  cb.output_bus(l);
+  cb.output_bus(cb.dff_bus(r));
+  return cb.take();
+}
+
+// ---------------------------------------------------------------------
+// sparc_spu: stream/crypto unit: rotates, xor mixing, byte adders.
+Netlist build_sparc_spu() {
+  CircuitBuilder cb("sparc_spu");
+  Rng rng(0x59C0);
+  const Bus data = cb.input_bus("d", 32);
+  const Bus key = cb.dff_bus(cb.input_bus("k", 32));
+  const Bus amt = cb.dff_bus(cb.input_bus("amt", 3));
+
+  const Bus state = cb.dff_bus(data);
+  Bus mixed = cb.xor_bus(state, key);
+  mixed = cb.rotate_left(mixed, amt);
+  // Byte-wise adders with the key bytes.
+  Bus accum;
+  for (int byte = 0; byte < 4; ++byte) {
+    const std::span<const NetId> a(&mixed[byte * 8], 8);
+    const std::span<const NetId> b(&key[byte * 8], 8);
+    auto [sum, carry] = cb.ripple_add(a, b, amt[0]);
+    accum.insert(accum.end(), sum.begin(), sum.end());
+    cb.output(cb.opaque_copy(carry, amt[1]));
+  }
+  // Per-byte parity.
+  for (int byte = 0; byte < 4; ++byte) {
+    cb.output(cb.xor_n(std::span<const NetId>(&accum[byte * 8], 8)));
+  }
+  cb.output_bus(cb.dff_bus(accum));
+  (void)rng;
+  return cb.take();
+}
+
+// ---------------------------------------------------------------------
+// sparc_ffu: FP front-end: barrel rotate, leading-zero, masks, parity.
+Netlist build_sparc_ffu() {
+  CircuitBuilder cb("sparc_ffu");
+  const Bus in = cb.dff_bus(cb.input_bus("d", 24));
+  const Bus shamt = cb.dff_bus(cb.input_bus("sh", 5));
+  const NetId mode = cb.input("mode");
+
+  const Bus rotated = cb.rotate_left(in, shamt);
+  const Bus grant = cb.priority_grant(rotated);  // leading-one detect
+  const Bus lz = encode(cb, grant, 4);
+  // Thermometer mask from the leading-one position.
+  Bus thermo;
+  NetId running = grant[0];
+  thermo.push_back(running);
+  for (std::size_t i = 1; i < grant.size(); ++i) {
+    running = cb.or2(running, grant[i]);
+    thermo.push_back(running);
+  }
+  const Bus masked = cb.mux_bus(rotated, thermo, mode);
+  cb.output_bus(cb.dff_bus(masked));
+  cb.output_bus(lz);
+  cb.output(cb.xor_n(masked));
+  cb.output(cb.opaque_copy(cb.or_n(grant), mode));
+  return cb.take();
+}
+
+// ---------------------------------------------------------------------
+// sparc_exu: 16-bit ALU with bypass network and condition codes.
+Netlist build_sparc_exu() {
+  CircuitBuilder cb("sparc_exu");
+  const Bus a_in = cb.input_bus("a", 24);
+  const Bus b_in = cb.input_bus("b", 24);
+  const Bus op = cb.dff_bus(cb.input_bus("op", 3));
+  const NetId fwd_a = cb.input("fwd_a");
+  const NetId fwd_b = cb.input("fwd_b");
+
+  // Bypass: previous result register forwards over either operand.
+  // (Result register defined below; build with a placeholder bus of DFFs
+  // fed later is impossible here, so forward the registered operands.)
+  const Bus a_reg = cb.dff_bus(a_in);
+  const Bus b_reg = cb.dff_bus(b_in);
+  const Bus a = cb.mux_bus(a_reg, a_in, fwd_a);
+  const Bus b = cb.mux_bus(b_reg, b_in, fwd_b);
+
+  const Bus dec = cb.decoder(op);
+  Bus b_inv;
+  for (NetId x : b) b_inv.push_back(cb.not_(x));
+  const NetId one = cb.or2(dec[1], dec[1]);
+  const auto [add_sum, add_c] = cb.ripple_add(a, b, cb.and2(dec[1], one));
+  const auto [sub_sum, sub_c] = cb.ripple_add(a, b_inv, one);
+  Bus land, lor, lxor, shl;
+  for (int i = 0; i < 24; ++i) {
+    land.push_back(cb.and2(a[i], b[i]));
+    lor.push_back(cb.or2(a[i], b[i]));
+    lxor.push_back(cb.xor2(a[i], b[i]));
+    shl.push_back(i == 0 ? cb.and2(a[0], cb.not_(a[0])) : a[i - 1]);
+  }
+  Bus pass;
+  for (int i = 0; i < 24; ++i) pass.push_back(cb.opaque_copy(b[i], dec[7]));
+  const std::array<Bus, 8> results = {add_sum, add_sum, sub_sum, land,
+                                      lor,     lxor,    shl,     pass};
+  const Bus result = onehot_mux(cb, dec, results);
+
+  std::vector<NetId> nres;
+  for (NetId r : result) nres.push_back(cb.not_(r));
+  const NetId zero = cb.and_n(nres);
+  const NetId neg = result[23];
+  const NetId carry = cb.mux(sub_c, add_c, dec[2]);
+  const NetId eq = cb.equals(a, b);
+
+  cb.output_bus(cb.dff_bus(result));
+  cb.output(zero);
+  cb.output(neg);
+  cb.output(carry);
+  cb.output(eq);
+  return cb.take();
+}
+
+// ---------------------------------------------------------------------
+// sparc_ifu: fetch unit: PC increment, branch target, decode predicates.
+Netlist build_sparc_ifu() {
+  CircuitBuilder cb("sparc_ifu");
+  const Bus pc_in = cb.input_bus("pc", 24);
+  const Bus imm = cb.dff_bus(cb.input_bus("imm", 8));
+  const Bus opcode = cb.dff_bus(cb.input_bus("opc", 4));
+  const Bus cc = cb.dff_bus(cb.input_bus("cc", 4));
+
+  const Bus pc = cb.dff_bus(pc_in);
+  const NetId one = cb.or2(opcode[0], cb.not_(opcode[0]));  // constant 1
+  const auto [pc_inc, inc_c] = cb.increment(pc, one);
+  // Sign-extended immediate added to PC.
+  Bus sext(imm.begin(), imm.end());
+  for (int i = 8; i < 24; ++i) sext.push_back(cb.opaque_copy(imm[7], opcode[3]));
+  const auto [target, tgt_c] = cb.ripple_add(pc, sext, cb.and2(inc_c, cb.not_(inc_c)));
+
+  const Bus dec = cb.decoder(std::span<const NetId>(opcode.data(), 3));
+  // Branch condition predicates over the condition codes.
+  const NetId take_eq = cb.and2(dec[1], cc[0]);
+  const NetId take_lt = cb.and2(dec[2], cb.xor2(cc[1], cc[2]));
+  const NetId take_always = cb.and2(dec[3], opcode[3]);
+  const NetId taken = cb.or2(take_eq, cb.or2(take_lt, take_always));
+
+  const Bus next_pc = cb.mux_bus(target, pc_inc, taken);
+  cb.output_bus(cb.dff_bus(next_pc));
+  for (int i = 0; i < 8; ++i) cb.output(dec[i]);
+  cb.output(taken);
+  cb.output(cb.opaque_copy(tgt_c, taken));
+  return cb.take();
+}
+
+// ---------------------------------------------------------------------
+// sparc_tlu: trap logic: masked priority over 16 sources, trap state.
+Netlist build_sparc_tlu() {
+  CircuitBuilder cb("sparc_tlu");
+  const Bus traps = cb.dff_bus(cb.input_bus("t", 24));
+  const Bus mask = cb.dff_bus(cb.input_bus("m", 24));
+  const Bus tl_in = cb.input_bus("tl", 2);
+  const Bus type_cmp = cb.input_bus("tt", 4);
+
+  Bus masked;
+  for (int i = 0; i < 24; ++i) masked.push_back(cb.and2(traps[i], mask[i]));
+  const Bus grant = cb.priority_grant(masked);
+  const Bus ttype = encode(cb, grant, 5);
+  const NetId any = cb.or_n(grant);
+  const NetId match = cb.equals(ttype, type_cmp);
+
+  // Trap-level state machine (2 bits): level saturates upward on a trap.
+  const Bus tl = cb.dff_bus(tl_in);
+  const NetId at_max = cb.and2(tl[0], tl[1]);
+  const auto [tl_inc, tl_c] = cb.increment(tl, any);
+  const Bus tl_next = cb.mux_bus(tl, tl_inc, at_max);
+  cb.output_bus(cb.dff_bus(tl_next));
+  cb.output_bus(ttype);
+  cb.output(any);
+  cb.output(match);
+  cb.output(cb.opaque_copy(tl_c, match));
+  for (int i = 0; i < 24; i += 2) cb.output(grant[i]);
+  return cb.take();
+}
+
+// ---------------------------------------------------------------------
+// sparc_lsu: load/store: address gen, alignment, tag compare, masks.
+Netlist build_sparc_lsu() {
+  CircuitBuilder cb("sparc_lsu");
+  const Bus base = cb.input_bus("base", 24);
+  const Bus offset = cb.input_bus("off", 8);
+  const Bus tag0 = cb.dff_bus(cb.input_bus("tag0", 8));
+  const Bus tag1 = cb.dff_bus(cb.input_bus("tag1", 8));
+  const Bus wdata = cb.dff_bus(cb.input_bus("wd", 24));
+  const NetId size = cb.input("size");
+
+  Bus sext(offset.begin(), offset.end());
+  for (int i = 8; i < 24; ++i) sext.push_back(cb.opaque_copy(offset[7], size));
+  const auto [addr, addr_c] = cb.ripple_add(base, sext,
+                                            cb.and2(size, cb.not_(size)));
+
+  // Alignment: rotate write data by byte offset.
+  const NetId amt_bits[] = {addr[0], addr[1], addr[2], addr[3]};
+  const Bus aligned = cb.rotate_left(wdata, std::span<const NetId>(amt_bits, 3));
+
+  // Tag compare against two ways.
+  const std::span<const NetId> line(&addr[12], 8);
+  const NetId hit0 = cb.equals(line, tag0);
+  const NetId hit1 = cb.equals(line, tag1);
+  const NetId hit = cb.or2(hit0, hit1);
+  const NetId conflict = cb.and2(hit0, hit1);  // correlated: nearly never 1
+
+  // Byte enable decoder from addr[1:0] and size.
+  const NetId sel[] = {addr[0], addr[1]};
+  const Bus lanes = cb.decoder(std::span<const NetId>(sel, 2));
+  Bus be;
+  for (int i = 0; i < 4; ++i) be.push_back(cb.or2(lanes[i], size));
+
+  cb.output_bus(cb.dff_bus(aligned));
+  cb.output_bus(be);
+  cb.output(hit);
+  cb.output(conflict);
+  cb.output(cb.opaque_copy(addr_c, hit));
+  cb.output_bus(cb.dff_bus(std::vector<NetId>(addr.begin(), addr.begin() + 8)));
+  return cb.take();
+}
+
+// ---------------------------------------------------------------------
+// sparc_fpu: simplified FP adder: exponent diff, align, add, normalize.
+Netlist build_sparc_fpu() {
+  CircuitBuilder cb("sparc_fpu");
+  const Bus man_a = cb.dff_bus(cb.input_bus("ma", 16));
+  const Bus man_b = cb.dff_bus(cb.input_bus("mb", 16));
+  const Bus exp_a = cb.dff_bus(cb.input_bus("ea", 8));
+  const Bus exp_b = cb.dff_bus(cb.input_bus("eb", 8));
+  const NetId sub = cb.input("sub");
+
+  // Exponent difference (a - b).
+  Bus eb_inv;
+  for (NetId x : exp_b) eb_inv.push_back(cb.not_(x));
+  const NetId one = cb.or2(sub, cb.not_(sub));
+  const auto [ediff, eborrow] = cb.ripple_add(exp_a, eb_inv, one);
+  const NetId a_ge_b = eborrow;
+
+  // Operand swap so the larger exponent stays fixed.
+  const Bus big = cb.mux_bus(man_a, man_b, a_ge_b);
+  const Bus small = cb.mux_bus(man_b, man_a, a_ge_b);
+  const Bus big_exp = cb.mux_bus(exp_a, exp_b, a_ge_b);
+
+  // Alignment shift of the smaller mantissa (rotate as approximation of
+  // shift keeps the mux structure identical).
+  const NetId amt[] = {ediff[0], ediff[1], ediff[2], ediff[3]};
+  const Bus aligned = cb.rotate_left(small, std::span<const NetId>(amt, 4));
+
+  // Add/subtract mantissas.
+  Bus addend;
+  for (NetId x : aligned) addend.push_back(cb.xor2(x, sub));
+  const auto [mant_sum, mant_c] = cb.ripple_add(big, addend, sub);
+
+  // Leading-zero count and normalize.
+  Bus reversed(mant_sum.rbegin(), mant_sum.rend());
+  const Bus grant = cb.priority_grant(reversed);
+  const Bus lzc = encode(cb, grant, 4);
+  const Bus normalized = cb.rotate_left(mant_sum, lzc);
+
+  // Rounding increment on the low bits.
+  const auto [rounded, round_c] =
+      cb.increment(std::span<const NetId>(normalized.data(), 6),
+                   cb.and2(normalized[0], normalized[1]));
+
+  // Exponent adjust.
+  const auto [exp_adj, exp_c] = cb.ripple_add(
+      big_exp, std::vector<NetId>{lzc[0], lzc[1], lzc[2], lzc[3],
+                                  cb.not_(one), cb.not_(one),
+                                  cb.not_(one), cb.not_(one)},
+      mant_c);
+
+  cb.output_bus(cb.dff_bus(normalized));
+  cb.output_bus(rounded);
+  cb.output_bus(cb.dff_bus(exp_adj));
+  cb.output(mant_c);
+  cb.output(round_c);
+  cb.output(cb.opaque_copy(exp_c, sub));
+  cb.output(cb.xor_n(normalized));
+  return cb.take();
+}
+
+constexpr std::array<std::string_view, 12> kNames = {
+    "tv80",      "systemcaes", "aes_core",  "wb_conmax",
+    "des_perf",  "sparc_spu",  "sparc_ffu", "sparc_exu",
+    "sparc_ifu", "sparc_tlu",  "sparc_lsu", "sparc_fpu"};
+
+}  // namespace
+
+std::span<const std::string_view> benchmark_names() { return kNames; }
+
+Netlist build_benchmark(std::string_view name) {
+  if (name == "tv80") return build_tv80();
+  if (name == "systemcaes") return build_systemcaes();
+  if (name == "aes_core") return build_aes_core();
+  if (name == "wb_conmax") return build_wb_conmax();
+  if (name == "des_perf") return build_des_perf();
+  if (name == "sparc_spu") return build_sparc_spu();
+  if (name == "sparc_ffu") return build_sparc_ffu();
+  if (name == "sparc_exu") return build_sparc_exu();
+  if (name == "sparc_ifu") return build_sparc_ifu();
+  if (name == "sparc_tlu") return build_sparc_tlu();
+  if (name == "sparc_lsu") return build_sparc_lsu();
+  if (name == "sparc_fpu") return build_sparc_fpu();
+  log_error("unknown benchmark '%s'", std::string(name).c_str());
+  std::abort();
+}
+
+Netlist build_c17() {
+  CircuitBuilder cb("c17");
+  const NetId n1 = cb.input("1");
+  const NetId n2 = cb.input("2");
+  const NetId n3 = cb.input("3");
+  const NetId n6 = cb.input("6");
+  const NetId n7 = cb.input("7");
+  const NetId n10 = cb.nand2(n1, n3);
+  const NetId n11 = cb.nand2(n3, n6);
+  const NetId n16 = cb.nand2(n2, n11);
+  const NetId n19 = cb.nand2(n11, n7);
+  const NetId n22 = cb.nand2(n10, n16);
+  const NetId n23 = cb.nand2(n16, n19);
+  cb.output(n22);
+  cb.output(n23);
+  return cb.take();
+}
+
+}  // namespace dfmres

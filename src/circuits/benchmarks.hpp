@@ -1,0 +1,27 @@
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "src/netlist/netlist.hpp"
+
+namespace dfmres {
+
+/// Names of the 12 benchmark blocks used in the paper's evaluation
+/// (OpenCores blocks and OpenSPARC T1 logic blocks). The originals'
+/// RTL is not redistributable here, so each name maps to a deterministic
+/// structural generator that reproduces the block's character — datapath
+/// widths, S-boxes, crossbars, ALUs, priority/trap logic — at roughly
+/// 5-10x reduced gate count so that complete ATPG (undetectability
+/// proofs) stays tractable on one machine. See DESIGN.md, substitutions.
+[[nodiscard]] std::span<const std::string_view> benchmark_names();
+
+/// Builds the named benchmark over the generic library; aborts on an
+/// unknown name.
+[[nodiscard]] Netlist build_benchmark(std::string_view name);
+
+/// The ISCAS-85 c17 circuit (6 NAND2 gates), handy for tests and the
+/// quickstart example.
+[[nodiscard]] Netlist build_c17();
+
+}  // namespace dfmres

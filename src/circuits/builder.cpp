@@ -1,0 +1,258 @@
+#include "src/circuits/builder.hpp"
+
+#include <cassert>
+
+#include "src/util/fmt.hpp"
+
+namespace dfmres {
+
+CircuitBuilder::CircuitBuilder(std::string name)
+    : lib_(generic_library()), nl_(lib_, std::move(name)) {
+  not_id_ = lib_->require("NOT");
+  and_id_ = lib_->require("AND2");
+  or_id_ = lib_->require("OR2");
+  xor_id_ = lib_->require("XOR2");
+  nand_id_ = lib_->require("NAND2");
+  nor_id_ = lib_->require("NOR2");
+  xnor_id_ = lib_->require("XNOR2");
+  mux_id_ = lib_->require("MUX2");
+  dff_id_ = lib_->require("DFF");
+  fa_id_ = lib_->require("FA");
+  ha_id_ = lib_->require("HA");
+}
+
+NetId CircuitBuilder::input(const std::string& name) {
+  return nl_.add_primary_input(name);
+}
+
+std::vector<NetId> CircuitBuilder::input_bus(const std::string& prefix,
+                                             int width) {
+  std::vector<NetId> bus;
+  bus.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    bus.push_back(input(strfmt("%s%d", prefix.c_str(), i)));
+  }
+  return bus;
+}
+
+void CircuitBuilder::output(NetId net) { nl_.mark_primary_output(net); }
+
+void CircuitBuilder::output_bus(std::span<const NetId> nets) {
+  for (NetId n : nets) output(n);
+}
+
+NetId CircuitBuilder::gate1(CellId cell, NetId a) {
+  const NetId ins[] = {a};
+  return nl_.gate(nl_.add_gate(cell, ins)).outputs[0];
+}
+
+NetId CircuitBuilder::gate2(CellId cell, NetId a, NetId b) {
+  const NetId ins[] = {a, b};
+  return nl_.gate(nl_.add_gate(cell, ins)).outputs[0];
+}
+
+NetId CircuitBuilder::not_(NetId a) { return gate1(not_id_, a); }
+NetId CircuitBuilder::and2(NetId a, NetId b) { return gate2(and_id_, a, b); }
+NetId CircuitBuilder::or2(NetId a, NetId b) { return gate2(or_id_, a, b); }
+NetId CircuitBuilder::xor2(NetId a, NetId b) { return gate2(xor_id_, a, b); }
+NetId CircuitBuilder::nand2(NetId a, NetId b) { return gate2(nand_id_, a, b); }
+NetId CircuitBuilder::nor2(NetId a, NetId b) { return gate2(nor_id_, a, b); }
+NetId CircuitBuilder::xnor2(NetId a, NetId b) { return gate2(xnor_id_, a, b); }
+
+NetId CircuitBuilder::mux(NetId a, NetId b, NetId sel) {
+  const NetId ins[] = {a, b, sel};
+  return nl_.gate(nl_.add_gate(mux_id_, ins)).outputs[0];
+}
+
+namespace {
+template <typename F>
+NetId tree(std::span<const NetId> xs, F&& combine) {
+  assert(!xs.empty());
+  std::vector<NetId> level(xs.begin(), xs.end());
+  while (level.size() > 1) {
+    std::vector<NetId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(combine(level[i], level[i + 1]));
+    }
+    if (level.size() % 2) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level[0];
+}
+}  // namespace
+
+NetId CircuitBuilder::and_n(std::span<const NetId> xs) {
+  return tree(xs, [this](NetId a, NetId b) { return and2(a, b); });
+}
+NetId CircuitBuilder::or_n(std::span<const NetId> xs) {
+  return tree(xs, [this](NetId a, NetId b) { return or2(a, b); });
+}
+NetId CircuitBuilder::xor_n(std::span<const NetId> xs) {
+  return tree(xs, [this](NetId a, NetId b) { return xor2(a, b); });
+}
+
+NetId CircuitBuilder::dff(NetId d) { return gate1(dff_id_, d); }
+
+std::vector<NetId> CircuitBuilder::dff_bus(std::span<const NetId> d) {
+  std::vector<NetId> q;
+  q.reserve(d.size());
+  for (NetId n : d) q.push_back(dff(n));
+  return q;
+}
+
+std::pair<std::vector<NetId>, NetId> CircuitBuilder::ripple_add(
+    std::span<const NetId> a, std::span<const NetId> b, NetId carry_in) {
+  assert(a.size() == b.size());
+  std::vector<NetId> sum;
+  NetId carry = carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const NetId ins[] = {a[i], b[i], carry};
+    const GateId fa = nl_.add_gate(fa_id_, ins);
+    carry = nl_.gate(fa).outputs[0];
+    sum.push_back(nl_.gate(fa).outputs[1]);
+  }
+  return {std::move(sum), carry};
+}
+
+std::pair<std::vector<NetId>, NetId> CircuitBuilder::increment(
+    std::span<const NetId> a, NetId carry_in) {
+  std::vector<NetId> sum;
+  NetId carry = carry_in;
+  for (const NetId bit : a) {
+    const NetId ins[] = {bit, carry};
+    const GateId ha = nl_.add_gate(ha_id_, ins);
+    carry = nl_.gate(ha).outputs[0];
+    sum.push_back(nl_.gate(ha).outputs[1]);
+  }
+  return {std::move(sum), carry};
+}
+
+NetId CircuitBuilder::func(std::uint64_t tt, std::span<const NetId> vars) {
+  const int n = static_cast<int>(vars.size());
+  assert(n >= 1 && n <= 6);
+  const std::uint64_t mask =
+      n == 6 ? ~std::uint64_t{0} : ((std::uint64_t{1} << (1u << n)) - 1);
+  tt &= mask;
+  // Base cases on 1 variable.
+  if (n == 1) {
+    switch (tt) {
+      case 0x0: return and2(vars[0], not_(vars[0]));  // constant 0
+      case 0x1: return not_(vars[0]);
+      case 0x2: return or2(vars[0], vars[0]);  // buffered copy
+      default: return or2(vars[0], not_(vars[0]));  // constant 1
+    }
+  }
+  const int var = n - 1;
+  const std::uint32_t half = 1u << var;
+  const std::uint64_t lo_mask = (std::uint64_t{1} << half) - 1;
+  const std::uint64_t tt0 = tt & lo_mask;
+  const std::uint64_t tt1 = (tt >> half) & lo_mask;
+  const auto sub = vars.subspan(0, static_cast<std::size_t>(var));
+  if (tt0 == tt1) return func(tt0, sub);
+  const std::uint64_t full = lo_mask;
+  // Simplified Shannon forms avoid materializing constants.
+  if (tt0 == 0) {
+    if (tt1 == full) return or2(vars[var], vars[var]);
+    return and2(vars[var], func(tt1, sub));
+  }
+  if (tt1 == 0) return and2(not_(vars[var]), func(tt0, sub));
+  if (tt0 == full) return or2(not_(vars[var]), func(tt1, sub));
+  if (tt1 == full) return or2(vars[var], func(tt0, sub));
+  return mux(func(tt1, sub), func(tt0, sub), vars[var]);
+}
+
+std::vector<NetId> CircuitBuilder::sbox4(std::span<const NetId> in, Rng& rng) {
+  assert(in.size() == 4);
+  std::vector<NetId> out;
+  for (int k = 0; k < 4; ++k) {
+    // A random, balanced-ish 4-input function per output bit.
+    const std::uint64_t tt = rng.next() & 0xFFFF;
+    out.push_back(func(tt == 0 || tt == 0xFFFF ? 0x6996u : tt, in));
+  }
+  return out;
+}
+
+std::vector<NetId> CircuitBuilder::decoder(std::span<const NetId> sel) {
+  const int n = static_cast<int>(sel.size());
+  std::vector<NetId> inv;
+  for (NetId s : sel) inv.push_back(not_(s));
+  std::vector<NetId> out;
+  for (std::uint32_t m = 0; m < (1u << n); ++m) {
+    std::vector<NetId> terms;
+    for (int i = 0; i < n; ++i) {
+      terms.push_back(((m >> i) & 1u) ? sel[static_cast<std::size_t>(i)]
+                                      : inv[static_cast<std::size_t>(i)]);
+    }
+    out.push_back(and_n(terms));
+  }
+  return out;
+}
+
+std::vector<NetId> CircuitBuilder::priority_grant(
+    std::span<const NetId> requests) {
+  std::vector<NetId> grant;
+  NetId none_above;  // "no higher-priority request"
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (i == 0) {
+      grant.push_back(or2(requests[0], requests[0]));
+      none_above = not_(requests[0]);
+    } else {
+      grant.push_back(and2(requests[i], none_above));
+      if (i + 1 < requests.size()) {
+        none_above = and2(none_above, not_(requests[i]));
+      }
+    }
+  }
+  return grant;
+}
+
+NetId CircuitBuilder::equals(std::span<const NetId> a,
+                             std::span<const NetId> b) {
+  assert(a.size() == b.size());
+  std::vector<NetId> bits;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    bits.push_back(xnor2(a[i], b[i]));
+  }
+  return and_n(bits);
+}
+
+std::vector<NetId> CircuitBuilder::mux_bus(std::span<const NetId> a,
+                                           std::span<const NetId> b,
+                                           NetId sel) {
+  assert(a.size() == b.size());
+  std::vector<NetId> out;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.push_back(mux(a[i], b[i], sel));
+  }
+  return out;
+}
+
+std::vector<NetId> CircuitBuilder::rotate_left(std::span<const NetId> a,
+                                               std::span<const NetId> amount) {
+  std::vector<NetId> cur(a.begin(), a.end());
+  const std::size_t n = cur.size();
+  for (std::size_t stage = 0; stage < amount.size(); ++stage) {
+    const std::size_t shift = (std::size_t{1} << stage) % n;
+    std::vector<NetId> rotated(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      rotated[(i + shift) % n] = cur[i];
+    }
+    cur = mux_bus(rotated, cur, amount[stage]);
+  }
+  return cur;
+}
+
+std::vector<NetId> CircuitBuilder::xor_bus(std::span<const NetId> a,
+                                           std::span<const NetId> b) {
+  assert(a.size() == b.size());
+  std::vector<NetId> out;
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(xor2(a[i], b[i]));
+  return out;
+}
+
+NetId CircuitBuilder::opaque_copy(NetId a, NetId ctrl) {
+  // mux(ctrl ? a : a): functionally `a`, structurally control-dependent.
+  return mux(a, a, ctrl);
+}
+
+}  // namespace dfmres

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/library/osu018.hpp"
+#include "src/netlist/netlist.hpp"
+#include "src/util/rng.hpp"
+
+namespace dfmres {
+
+/// Convenience layer for writing structural "RTL" over the generic
+/// library: the benchmark generators are built from these datapath and
+/// control idioms (adders, S-boxes, muxes, decoders, priority logic).
+class CircuitBuilder {
+ public:
+  explicit CircuitBuilder(std::string name);
+
+  [[nodiscard]] Netlist take() { return std::move(nl_); }
+  [[nodiscard]] Netlist& netlist() { return nl_; }
+
+  // ---- ports ----
+  NetId input(const std::string& name);
+  std::vector<NetId> input_bus(const std::string& prefix, int width);
+  void output(NetId net);
+  void output_bus(std::span<const NetId> nets);
+
+  // ---- gates ----
+  NetId not_(NetId a);
+  NetId and2(NetId a, NetId b);
+  NetId or2(NetId a, NetId b);
+  NetId xor2(NetId a, NetId b);
+  NetId nand2(NetId a, NetId b);
+  NetId nor2(NetId a, NetId b);
+  NetId xnor2(NetId a, NetId b);
+  /// sel ? a : b
+  NetId mux(NetId a, NetId b, NetId sel);
+  NetId and_n(std::span<const NetId> xs);
+  NetId or_n(std::span<const NetId> xs);
+  NetId xor_n(std::span<const NetId> xs);
+
+  // ---- state ----
+  NetId dff(NetId d);
+  std::vector<NetId> dff_bus(std::span<const NetId> d);
+
+  // ---- datapath ----
+  /// Ripple-carry adder from generic FA macros; returns (sum, carry-out).
+  std::pair<std::vector<NetId>, NetId> ripple_add(std::span<const NetId> a,
+                                                  std::span<const NetId> b,
+                                                  NetId carry_in);
+  /// Incrementer from HA macros; returns (sum, carry-out).
+  std::pair<std::vector<NetId>, NetId> increment(std::span<const NetId> a,
+                                                 NetId carry_in);
+  /// Arbitrary function of up to 6 variables by Shannon decomposition.
+  NetId func(std::uint64_t tt, std::span<const NetId> vars);
+  /// Random (seeded) 4-bit -> 4-bit substitution box.
+  std::vector<NetId> sbox4(std::span<const NetId> in, Rng& rng);
+  /// One-hot decoder: 2^n outputs from n select bits.
+  std::vector<NetId> decoder(std::span<const NetId> sel);
+  /// Priority encoder: for each position, "this is the highest-priority
+  /// active request" (one-hot grant vector).
+  std::vector<NetId> priority_grant(std::span<const NetId> requests);
+  NetId equals(std::span<const NetId> a, std::span<const NetId> b);
+  /// Word-wide 2:1 mux.
+  std::vector<NetId> mux_bus(std::span<const NetId> a,
+                             std::span<const NetId> b, NetId sel);
+  /// Barrel rotate-left by a variable amount (log-depth mux stages).
+  std::vector<NetId> rotate_left(std::span<const NetId> a,
+                                 std::span<const NetId> amount);
+  std::vector<NetId> xor_bus(std::span<const NetId> a,
+                             std::span<const NetId> b);
+
+  /// Functionally returns `a`, built through a control-dependent redundant
+  /// mux structure (mux(ctrl; a, a)) that structural hashing cannot
+  /// collapse. Models the guarded/duplicated logic real RTL carries and
+  /// is a classic source of undetectable faults in synthesized designs.
+  NetId opaque_copy(NetId a, NetId ctrl);
+
+ private:
+  NetId gate1(CellId cell, NetId a);
+  NetId gate2(CellId cell, NetId a, NetId b);
+
+  std::shared_ptr<const Library> lib_;
+  Netlist nl_;
+  CellId not_id_, and_id_, or_id_, xor_id_, nand_id_, nor_id_, xnor_id_,
+      mux_id_, dff_id_, fa_id_, ha_id_;
+};
+
+}  // namespace dfmres

@@ -1,0 +1,87 @@
+#include "src/cluster/clustering.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/util/union_find.hpp"
+
+namespace dfmres {
+
+std::size_t ClusterAnalysis::smax_internal(
+    const FaultUniverse& universe) const {
+  if (clusters.empty()) return 0;
+  std::size_t count = 0;
+  for (const std::uint32_t pos : clusters.front()) {
+    if (universe.faults[undetectable[pos]].scope == FaultScope::Internal) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+ClusterAnalysis cluster_undetectable(const Netlist& nl,
+                                     const FaultUniverse& universe,
+                                     std::span<const FaultStatus> status) {
+  ClusterAnalysis out;
+  for (std::uint32_t i = 0; i < universe.size(); ++i) {
+    if (status[i] == FaultStatus::Undetectable) out.undetectable.push_back(i);
+  }
+
+  // Per-gate list of undetectable-fault positions.
+  std::vector<std::vector<std::uint32_t>> faults_of_gate(nl.gate_capacity());
+  for (std::uint32_t pos = 0; pos < out.undetectable.size(); ++pos) {
+    const Fault& f = universe.faults[out.undetectable[pos]];
+    for (GateId g : corresponding_gates(f, nl)) {
+      faults_of_gate[g.value()].push_back(pos);
+    }
+  }
+
+  // Union faults sharing a gate, then faults on driver/sink adjacent gates.
+  UnionFind uf(out.undetectable.size());
+  for (std::uint32_t gs = 0; gs < faults_of_gate.size(); ++gs) {
+    const auto& list = faults_of_gate[gs];
+    for (std::size_t i = 1; i < list.size(); ++i) uf.merge(list[0], list[i]);
+  }
+  for (std::uint32_t gs = 0; gs < faults_of_gate.size(); ++gs) {
+    if (faults_of_gate[gs].empty() || !nl.gate_alive(GateId{gs})) continue;
+    for (NetId outnet : nl.gate(GateId{gs}).outputs) {
+      for (const PinRef& sink : nl.net(outnet).sinks) {
+        const auto& other = faults_of_gate[sink.gate.value()];
+        if (!other.empty()) uf.merge(faults_of_gate[gs][0], other[0]);
+      }
+    }
+  }
+
+  // Materialize clusters, largest first.
+  std::vector<std::vector<std::uint32_t>> by_root(out.undetectable.size());
+  for (std::uint32_t pos = 0; pos < out.undetectable.size(); ++pos) {
+    by_root[uf.find(pos)].push_back(pos);
+  }
+  for (auto& cluster : by_root) {
+    if (!cluster.empty()) out.clusters.push_back(std::move(cluster));
+  }
+  std::sort(out.clusters.begin(), out.clusters.end(),
+            [](const auto& a, const auto& b) { return a.size() > b.size(); });
+
+  // G_U and G_max.
+  std::unordered_set<std::uint32_t> gu;
+  for (std::uint32_t gs = 0; gs < faults_of_gate.size(); ++gs) {
+    if (!faults_of_gate[gs].empty()) gu.insert(gs);
+  }
+  out.gates_u.reserve(gu.size());
+  for (std::uint32_t gs : gu) out.gates_u.emplace_back(gs);
+  std::sort(out.gates_u.begin(), out.gates_u.end());
+
+  if (!out.clusters.empty()) {
+    std::unordered_set<std::uint32_t> gmax_set;
+    for (const std::uint32_t pos : out.clusters.front()) {
+      const Fault& f = universe.faults[out.undetectable[pos]];
+      for (GateId g : corresponding_gates(f, nl)) gmax_set.insert(g.value());
+    }
+    for (std::uint32_t gs : gmax_set) out.gmax.emplace_back(gs);
+    std::sort(out.gmax.begin(), out.gmax.end());
+  }
+  return out;
+}
+
+}  // namespace dfmres

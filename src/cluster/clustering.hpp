@@ -1,0 +1,39 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/atpg/engine.hpp"
+#include "src/faults/fault.hpp"
+#include "src/netlist/netlist.hpp"
+
+namespace dfmres {
+
+/// Partition of the undetectable faults into subsets of structurally
+/// adjacent faults (paper Section II): a gate *corresponds* to a fault if
+/// the fault is inside it (internal) or on its input/output nets
+/// (external); two gates are adjacent if one drives the other; two faults
+/// are adjacent if they share a gate or sit on adjacent gates. Subsets
+/// are merged to closure, exactly the S_0, S_1, ... construction.
+struct ClusterAnalysis {
+  /// Indices into the fault universe of all undetectable faults.
+  std::vector<std::uint32_t> undetectable;
+  /// Clusters as lists of positions into `undetectable`, largest first.
+  std::vector<std::vector<std::uint32_t>> clusters;
+  /// Gates corresponding to at least one undetectable fault (G_U).
+  std::vector<GateId> gates_u;
+  /// Gates corresponding to the faults of the largest cluster (G_max).
+  std::vector<GateId> gmax;
+
+  [[nodiscard]] std::size_t smax() const {
+    return clusters.empty() ? 0 : clusters.front().size();
+  }
+  /// Undetectable *internal* faults inside the largest cluster (Smax_I).
+  [[nodiscard]] std::size_t smax_internal(const FaultUniverse& universe) const;
+};
+
+[[nodiscard]] ClusterAnalysis cluster_undetectable(
+    const Netlist& nl, const FaultUniverse& universe,
+    std::span<const FaultStatus> status);
+
+}  // namespace dfmres

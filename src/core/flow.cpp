@@ -1,0 +1,96 @@
+#include "src/core/flow.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/library/osu018.hpp"
+#include "src/util/logging.hpp"
+
+namespace dfmres {
+
+DesignFlow::DesignFlow(std::shared_ptr<const Library> target,
+                       FlowOptions options)
+    : target_(std::move(target)), options_(options), udfm_(*target_) {}
+
+FlowState DesignFlow::run_initial(const Netlist& rtl) {
+  // Synthesize(): technology mapping with arithmetic/sequential macros
+  // pinned, the way RTL synthesis instantiates adder and flop cells.
+  MapOptions map_options;
+  const Library& slib = rtl.library();
+  const auto pin_macro = [&](const char* src_name, const char* dst_name) {
+    if (const auto src = slib.find(src_name)) {
+      if (const auto dst = target_->find(dst_name)) {
+        map_options.fixed_map.emplace(src->value(), *dst);
+      }
+    }
+  };
+  pin_macro("DFF", "DFFPOSX1");
+  pin_macro("FA", "FAX1");
+  pin_macro("HA", "HAX1");
+
+  auto mapped = technology_map(rtl, target_, map_options);
+  if (!mapped) {
+    log_error("run_initial: mapping failed for '%s'", rtl.name().c_str());
+    std::abort();
+  }
+
+  const Floorplan plan = make_floorplan(*mapped, options_.utilization);
+  const Placement placement = global_place(*mapped, plan, options_.place);
+  auto state = reanalyze_with_placement(std::move(*mapped), placement,
+                                        /*generate_tests=*/true);
+  return std::move(*state);
+}
+
+std::optional<FlowState> DesignFlow::reanalyze(Netlist netlist,
+                                               const Placement& previous,
+                                               bool generate_tests) {
+  auto placement = incremental_place(netlist, previous);
+  if (!placement) return std::nullopt;  // die full: area constraint
+  return reanalyze_with_placement(std::move(netlist), *placement,
+                                  generate_tests);
+}
+
+std::optional<FlowState> DesignFlow::reanalyze_with_placement(
+    Netlist netlist, Placement placement, bool generate_tests) {
+  RoutingResult routing = route(netlist, placement, options_.route);
+  TimingPower timing = analyze_timing_power(netlist, routing, options_.sta);
+  FaultUniverse universe =
+      extract_dfm_faults(netlist, placement, routing, udfm_);
+  AtpgOptions atpg_options = options_.atpg;
+  atpg_options.generate_tests = generate_tests;
+  AtpgResult atpg = run_atpg(netlist, universe, udfm_, atpg_options, &cache_);
+  ClusterAnalysis clusters =
+      cluster_undetectable(netlist, universe, atpg.status);
+  return FlowState{std::move(netlist), std::move(placement),
+                   std::move(routing), std::move(timing),
+                   std::move(universe), std::move(atpg),
+                   std::move(clusters)};
+}
+
+std::size_t DesignFlow::count_undetectable_internal(const Netlist& nl) {
+  const FaultUniverse internal = extract_internal_faults(nl, udfm_);
+  AtpgOptions atpg_options = options_.atpg;
+  atpg_options.generate_tests = false;
+  const AtpgResult result =
+      run_atpg(nl, internal, udfm_, atpg_options, &cache_);
+  return result.num_undetectable;
+}
+
+std::vector<CellId> DesignFlow::cells_by_internal_faults() const {
+  std::vector<std::pair<std::size_t, CellId>> ranked;
+  for (std::uint32_t i = 0; i < target_->num_cells(); ++i) {
+    const CellId id{i};
+    if (target_->cell(id).sequential) continue;
+    const std::size_t count = internal_fault_count(*target_, udfm_, id);
+    if (count > 0) ranked.emplace_back(count, id);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  std::vector<CellId> order;
+  order.reserve(ranked.size());
+  for (const auto& [count, id] : ranked) order.push_back(id);
+  return order;
+}
+
+}  // namespace dfmres

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "src/atpg/engine.hpp"
+#include "src/cluster/clustering.hpp"
+#include "src/dfm/checker.hpp"
+#include "src/layout/floorplan.hpp"
+#include "src/place/placement.hpp"
+#include "src/route/router.hpp"
+#include "src/sta/sta.hpp"
+#include "src/synth/mapper.hpp"
+
+namespace dfmres {
+
+struct FlowOptions {
+  double utilization = 0.70;  ///< core utilization (paper Section IV)
+  AtpgOptions atpg;
+  PlaceOptions place;
+  RouteOptions route;
+  StaOptions sta;
+};
+
+/// A fully analyzed design point: mapped netlist, layout, timing/power,
+/// DFM fault universe with classification, and the clustering of the
+/// undetectable faults.
+struct FlowState {
+  Netlist netlist;
+  Placement placement;
+  RoutingResult routing;
+  TimingPower timing;
+  FaultUniverse universe;
+  AtpgResult atpg;
+  ClusterAnalysis clusters;
+
+  [[nodiscard]] std::size_t num_faults() const { return universe.size(); }
+  [[nodiscard]] std::size_t num_undetectable() const {
+    return atpg.num_undetectable;
+  }
+  [[nodiscard]] double coverage() const {
+    return atpg.coverage(universe.size());
+  }
+  [[nodiscard]] std::size_t smax() const { return clusters.smax(); }
+  /// Fraction of all faults that sit in the largest cluster (%Smax_all).
+  [[nodiscard]] double smax_fraction() const {
+    return universe.size() == 0
+               ? 0.0
+               : static_cast<double>(smax()) /
+                     static_cast<double>(universe.size());
+  }
+};
+
+/// Orchestrates Synthesize() / PDesign() / sign-off DFM extraction /
+/// ATPG the way the paper's flow does, with a fault-status cache that
+/// exploits the function-preserving nature of the resynthesis rewrites
+/// (statuses of faults outside a rewritten region are invariant; see
+/// DESIGN.md).
+class DesignFlow {
+ public:
+  DesignFlow(std::shared_ptr<const Library> target, FlowOptions options);
+
+  /// Initial implementation flow from a technology-independent netlist:
+  /// macro-maps DFF/FA/HA, maps the logic, floorplans at the target
+  /// utilization, places, routes, extracts DFM faults and runs full ATPG
+  /// with test generation.
+  [[nodiscard]] FlowState run_initial(const Netlist& rtl);
+
+  /// Re-analysis of an edited mapped netlist inside the frozen floorplan
+  /// of `previous`: incremental placement, rerouting, STA, DFM
+  /// extraction, cached ATPG. Returns nullopt when the die cannot absorb
+  /// the edit (area constraint).
+  [[nodiscard]] std::optional<FlowState> reanalyze(Netlist netlist,
+                                                   const Placement& previous,
+                                                   bool generate_tests);
+
+  /// Same pipeline with an explicit (already legal) placement.
+  [[nodiscard]] std::optional<FlowState> reanalyze_with_placement(
+      Netlist netlist, Placement placement, bool generate_tests);
+
+  /// Number of undetectable *internal* faults of a netlist. Internal
+  /// faults do not depend on placement or routing, so this runs before
+  /// PDesign() and gates it (paper Section III-B).
+  [[nodiscard]] std::size_t count_undetectable_internal(const Netlist& nl);
+
+  [[nodiscard]] const UdfmMap& udfm() const { return udfm_; }
+  [[nodiscard]] const Library& target() const { return *target_; }
+  [[nodiscard]] const std::shared_ptr<const Library>& target_ptr() const {
+    return target_;
+  }
+  [[nodiscard]] const FlowOptions& options() const { return options_; }
+  [[nodiscard]] FaultStatusCache& cache() { return cache_; }
+  void clear_cache() { cache_.map.clear(); }
+
+  /// Library cells ordered by decreasing internal-fault count (the
+  /// consideration order of the resynthesis procedure). Sequential cells
+  /// and cells with no internal faults are excluded.
+  [[nodiscard]] std::vector<CellId> cells_by_internal_faults() const;
+
+ private:
+  std::shared_ptr<const Library> target_;
+  FlowOptions options_;
+  UdfmMap udfm_;
+  FaultStatusCache cache_;
+};
+
+}  // namespace dfmres

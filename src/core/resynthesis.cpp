@@ -1,0 +1,415 @@
+#include "src/core/resynthesis.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <unordered_map>
+
+#include "src/netlist/extract.hpp"
+#include "src/util/fmt.hpp"
+#include "src/util/logging.hpp"
+
+namespace dfmres {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Gate slots carrying at least one undetectable internal fault.
+std::vector<bool> undet_internal_gates(const FlowState& s) {
+  std::vector<bool> out(s.netlist.gate_capacity(), false);
+  for (std::uint32_t i = 0; i < s.universe.size(); ++i) {
+    if (s.universe.faults[i].scope == FaultScope::Internal &&
+        s.atpg.status[i] == FaultStatus::Undetectable) {
+      out[s.universe.faults[i].owner.value()] = true;
+    }
+  }
+  return out;
+}
+
+std::size_t count_undet_internal(const FlowState& s) {
+  std::size_t n = 0;
+  for (std::uint32_t i = 0; i < s.universe.size(); ++i) {
+    n += s.universe.faults[i].scope == FaultScope::Internal &&
+         s.atpg.status[i] == FaultStatus::Undetectable;
+  }
+  return n;
+}
+
+struct Budgets {
+  double delay = 0.0;
+  double power = 0.0;
+};
+
+/// Everything needed to judge a candidate without keeping its FlowState.
+/// Candidates are deterministic in (current state, region, banned), so
+/// these are memoized across the q sweep.
+struct CandMetrics {
+  bool map_failed = false;
+  bool area_failed = false;
+  bool u_in_gate_failed = false;
+  std::size_t u_in_new = 0;
+  std::size_t undetectable = 0;
+  std::size_t smax = 0;
+  std::size_t faults = 0;
+  double delay = 0.0;
+  double power = 0.0;
+};
+
+class Procedure {
+ public:
+  Procedure(DesignFlow& flow, const FlowState& original,
+            const ResynthesisOptions& options)
+      : flow_(flow),
+        options_(options),
+        cell_order_(flow.cells_by_internal_faults()),
+        original_delay_(original.timing.critical_delay),
+        original_power_(original.timing.total_power()) {}
+
+  ResynthesisResult run(const FlowState& original) {
+    const auto t0 = Clock::now();
+    FlowState current = original;
+
+    for (int q = 0; q <= options_.q_max; ++q) {
+      budgets_.delay = original_delay_ * (1.0 + q / 100.0);
+      budgets_.power = original_power_ * (1.0 + q / 100.0);
+      bool accepted_at_q = false;
+
+      // ---- phase 1: break up the largest clusters ----
+      for (int iter = 0; iter < options_.max_iterations_per_phase; ++iter) {
+        const double smax_of_f =
+            current.num_faults() == 0
+                ? 0.0
+                : static_cast<double>(current.smax()) /
+                      static_cast<double>(current.num_faults());
+        if (smax_of_f <= options_.p1) break;
+        auto next = try_region(current, q, /*phase=*/1, /*p2=*/0.0);
+        if (!next) break;
+        current = std::move(*next);
+        ++state_version_;
+        accepted_at_q = true;
+      }
+
+      // p2: the larger of p1 and the %Smax left by phase 1.
+      const double p2 = std::max(
+          options_.p1,
+          current.num_faults() == 0
+              ? 0.0
+              : static_cast<double>(current.smax()) /
+                    static_cast<double>(current.num_faults()));
+
+      // ---- phase 2: shrink U over the whole circuit ----
+      for (int iter = 0; iter < options_.max_iterations_per_phase; ++iter) {
+        auto next = try_region(current, q, /*phase=*/2, p2);
+        if (!next) break;
+        current = std::move(*next);
+        ++state_version_;
+        accepted_at_q = true;
+      }
+
+      if (accepted_at_q) {
+        report_.q_used = q;
+        report_.any_accepted = true;
+      }
+    }
+
+    // Final sign-off analysis with test generation.
+    auto final_state = flow_.reanalyze_with_placement(
+        current.netlist, current.placement, /*generate_tests=*/true);
+    report_.runtime_seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    return {std::move(*final_state), std::move(report_)};
+  }
+
+ private:
+  /// Gates to re-map in this iteration (C_sub minus G_zero): gates with
+  /// undetectable internal faults, restricted to G_max in phase 1.
+  std::vector<GateId> region_of(const FlowState& s, int phase) const {
+    const auto undet = undet_internal_gates(s);
+    std::vector<GateId> region;
+    const auto eligible = [&](GateId g) {
+      return s.netlist.gate_alive(g) && !s.netlist.cell_of(g).sequential &&
+             undet[g.value()];
+    };
+    if (phase == 1) {
+      for (GateId g : s.clusters.gmax) {
+        if (eligible(g)) region.push_back(g);
+      }
+    } else {
+      for (GateId g : s.netlist.live_gates()) {
+        if (eligible(g)) region.push_back(g);
+      }
+    }
+    return region;
+  }
+
+  /// Maps the region over the allowed cell subset and splices it in.
+  std::optional<Netlist> build_candidate(const FlowState& s,
+                                         std::span<const GateId> region,
+                                         const std::vector<bool>& banned) {
+    Netlist copy = s.netlist;
+    const Subcircuit sub = extract_subcircuit(copy, region);
+    MapOptions map_options;
+    map_options.banned = banned;
+    auto mapped = technology_map(sub.circuit, flow_.target_ptr(), map_options);
+    if (!mapped) return std::nullopt;
+    replace_region(copy, sub, *mapped);
+    return copy;
+  }
+
+  std::string memo_key(std::span<const GateId> region,
+                       const std::vector<bool>& banned) const {
+    std::string key = strfmt("v%llu|",
+                             static_cast<unsigned long long>(state_version_));
+    for (bool b : banned) key += b ? '1' : '0';
+    key += '|';
+    for (GateId g : region) key += strfmt("%u,", g.value());
+    return key;
+  }
+
+  /// Evaluates a candidate's metrics, memoized across the q sweep.
+  /// Leaves no cache or netlist side effects behind. Respects the
+  /// per-iteration PDesign() budget: once exhausted, further candidates
+  /// report as gate-failed without being memoized (so a later iteration
+  /// with fresh budget can still evaluate them).
+  const CandMetrics& measure(const FlowState& cur,
+                             std::span<const GateId> region,
+                             const std::vector<bool>& banned) {
+    const std::string key = memo_key(region, banned);
+    if (auto it = memo_.find(key); it != memo_.end()) return it->second;
+    CandMetrics m;
+    const FaultStatusCache saved_cache = flow_.cache();
+    auto candidate = build_candidate(cur, region, banned);
+    if (!candidate) {
+      m.map_failed = true;
+    } else {
+      m.u_in_new = flow_.count_undetectable_internal(*candidate);
+      const std::size_t u_in_cur = count_undet_internal(cur);
+      if (m.u_in_new >= u_in_cur) {
+        // PDesign() gate (Section III-B): physical design only when the
+        // undetectable internal fault count decreased.
+        m.u_in_gate_failed = true;
+      } else if (reanalyses_left_ <= 0) {
+        flow_.cache() = saved_cache;
+        scratch_ = m;
+        scratch_.u_in_gate_failed = true;  // budget exhausted: skip, unmemoized
+        return scratch_;
+      } else {
+        --reanalyses_left_;
+        auto state =
+            flow_.reanalyze(std::move(*candidate), cur.placement, false);
+        if (!state) {
+          m.area_failed = true;
+        } else {
+          m.undetectable = state->num_undetectable();
+          m.smax = state->smax();
+          m.faults = state->num_faults();
+          m.delay = state->timing.critical_delay;
+          m.power = state->timing.total_power();
+        }
+      }
+    }
+    flow_.cache() = saved_cache;
+    return memo_.emplace(std::move(key), m).first->second;
+  }
+
+  /// Re-runs the full evaluation of an already-vetted candidate to
+  /// produce its FlowState (keeping the cache updates this time).
+  std::optional<FlowState> realize(const FlowState& cur,
+                                   std::span<const GateId> region,
+                                   const std::vector<bool>& banned) {
+    auto candidate = build_candidate(cur, region, banned);
+    if (!candidate) return std::nullopt;
+    return flow_.reanalyze(std::move(*candidate), cur.placement, false);
+  }
+
+  bool accepts(const FlowState& cur, const CandMetrics& m, int phase,
+               double p2) const {
+    if (m.map_failed || m.area_failed || m.u_in_gate_failed) return false;
+    if (phase == 1) {
+      // S_max must shrink without growing total U.
+      return m.smax < cur.smax() && m.undetectable <= cur.num_undetectable();
+    }
+    const double smax_fraction =
+        m.faults == 0
+            ? 0.0
+            : static_cast<double>(m.smax) / static_cast<double>(m.faults);
+    return m.undetectable < cur.num_undetectable() &&
+           smax_fraction <= p2 + 1e-12;
+  }
+
+  [[nodiscard]] bool constraints_ok(const CandMetrics& m) const {
+    constexpr double kEps = 1e-9;
+    return !m.area_failed && m.delay <= budgets_.delay + kEps &&
+           m.power <= budgets_.power + kEps;
+  }
+
+  void record(int q, int phase, const FlowState& after, bool accepted,
+              bool via_backtracking, const std::string& banned_through) {
+    report_.trace.push_back({q, phase, after.smax(),
+                             after.num_undetectable(), accepted,
+                             via_backtracking, banned_through});
+  }
+
+  /// One resynthesis iteration: scan cells in decreasing internal-fault
+  /// order, evaluate candidates, run backtracking on constraint
+  /// violations. Returns the accepted state or nullopt.
+  std::optional<FlowState> try_region(const FlowState& cur, int q, int phase,
+                                      double p2) {
+    const std::vector<GateId> region = region_of(cur, phase);
+    if (region.empty()) return std::nullopt;
+    reanalyses_left_ = options_.reanalyses_per_iteration;
+
+    int rising = 0;
+    std::size_t last_u = std::numeric_limits<std::size_t>::max();
+    std::vector<bool> banned(flow_.target().num_cells(), false);
+
+    for (std::size_t ci = 0; ci < cell_order_.size(); ++ci) {
+      const CellId cell = cell_order_[ci];
+      banned[cell.value()] = true;
+      // Note on eligibility (paper conditions (1)/(2)): skipping ban
+      // prefixes whose last cell is absent from the region can jump over
+      // the affordable rung when the *replacement* logic would reuse a
+      // not-yet-banned high-fault cell (banning FAX1 alone re-maps onto
+      // XNOR2X1). We therefore evaluate every prefix of the order; the
+      // u_in gate discards the useless ones cheaply.
+      const std::string& cell_name = flow_.target().cell(cell).name;
+
+      const CandMetrics& m = measure(cur, region, banned);
+      if (m.map_failed) break;  // subset insufficient; larger bans too
+      if (m.u_in_gate_failed) continue;
+
+      const bool ok_accept = accepts(cur, m, phase, p2);
+      const bool ok_constraints = constraints_ok(m);
+      log_debug("resyn q=%d ph=%d region=%zu ban<=%s u_in->%zu U %zu->%zu "
+                "acc=%d con=%d",
+                q, phase, region.size(), cell_name.c_str(), m.u_in_new,
+                cur.num_undetectable(), m.undetectable, int(ok_accept),
+                int(ok_constraints));
+
+      if (!m.area_failed) {
+        // Early phase termination on a rising total-U trend.
+        rising = (last_u != std::numeric_limits<std::size_t>::max() &&
+                  m.undetectable > last_u)
+                     ? rising + 1
+                     : 0;
+        last_u = m.undetectable;
+      }
+
+      if (ok_accept && ok_constraints) {
+        auto state = realize(cur, region, banned);
+        if (state) {
+          record(q, phase, *state, true, false, cell_name);
+          return state;
+        }
+      } else if (m.area_failed || ok_accept) {
+        // Acceptance-worthy but over budget (or placement failed): run
+        // the sqrt(n)-group backtracking procedure.
+        auto bt = backtrack(cur, region, banned, phase, p2, q, cell_name);
+        if (bt) return bt;
+      }
+      if (rising >= options_.trend_window) break;
+    }
+    return std::nullopt;
+  }
+
+  /// Section III-C: freeze gates of banned types in groups of sqrt(n)
+  /// (G_back) to lower the design overhead, then thaw the last group one
+  /// by one when the shrunken rewrite no longer improves enough.
+  std::optional<FlowState> backtrack(const FlowState& cur,
+                                     std::span<const GateId> region,
+                                     const std::vector<bool>& banned,
+                                     int phase, double p2, int q,
+                                     const std::string& cell_name) {
+    std::vector<GateId> g_i;  // replaceable gates of banned types
+    std::vector<GateId> keep;
+    for (GateId g : region) {
+      if (banned[cur.netlist.gate(g).cell.value()]) {
+        g_i.push_back(g);
+      } else {
+        keep.push_back(g);
+      }
+    }
+    const std::size_t n = g_i.size();
+    if (n == 0) return std::nullopt;
+    // Freeze the costliest replacements first ("modifying fewer gates
+    // implies lower relative effect on design constraints", Section
+    // III-C): large cells whose decompositions dominate the overhead go
+    // into G_back before cheap swaps such as drive downsizing.
+    std::sort(g_i.begin(), g_i.end(), [&](GateId a, GateId b) {
+      const double aa = cur.netlist.cell_of(a).area_um2;
+      const double ab = cur.netlist.cell_of(b).area_um2;
+      return aa != ab ? aa > ab : a < b;
+    });
+    const std::size_t group =
+        std::max<std::size_t>(1, static_cast<std::size_t>(std::sqrt(n)));
+
+    // Verdict: 1 accept, -1 constraints violated, -2 acceptance failed.
+    const auto judge = [&](std::size_t frozen)
+        -> std::pair<int, std::vector<GateId>> {
+      std::vector<GateId> sub_region = keep;
+      sub_region.insert(sub_region.end(), g_i.begin() + frozen, g_i.end());
+      if (sub_region.empty()) return {-2, {}};
+      const CandMetrics& m = measure(cur, sub_region, banned);
+      if (m.map_failed || m.u_in_gate_failed) return {-2, {}};
+      const bool ok_accept = accepts(cur, m, phase, p2);
+      const bool ok_constraints = constraints_ok(m);
+      if (ok_accept && ok_constraints) return {1, std::move(sub_region)};
+      if (!ok_constraints) return {-1, {}};
+      return {-2, {}};
+    };
+
+    std::size_t frozen = 0;
+    while (frozen < n) {
+      frozen = std::min(n, frozen + group);
+      auto [verdict, sub_region] = judge(frozen);
+      if (verdict == 1) {
+        auto state = realize(cur, sub_region, banned);
+        if (state) {
+          record(q, phase, *state, true, true, cell_name);
+          return state;
+        }
+      }
+      if (verdict == -2) {
+        // Constraints fine but not enough improvement: thaw the last
+        // group one gate at a time.
+        const std::size_t group_start = frozen - std::min(frozen, group);
+        for (std::size_t f = frozen; f-- > group_start;) {
+          auto [verdict2, sub_region2] = judge(f);
+          if (verdict2 == 1) {
+            auto state = realize(cur, sub_region2, banned);
+            if (state) {
+              record(q, phase, *state, true, true, cell_name);
+              return state;
+            }
+          }
+          if (verdict2 == -1) break;  // overheads reappeared
+        }
+        return std::nullopt;
+      }
+    }
+    return std::nullopt;
+  }
+
+  DesignFlow& flow_;
+  const ResynthesisOptions& options_;
+  std::vector<CellId> cell_order_;
+  double original_delay_;
+  double original_power_;
+  Budgets budgets_;
+  ResynthesisReport report_;
+  std::unordered_map<std::string, CandMetrics> memo_;
+  std::uint64_t state_version_ = 0;
+  int reanalyses_left_ = 0;
+  CandMetrics scratch_;
+};
+
+}  // namespace
+
+ResynthesisResult resynthesize(DesignFlow& flow, const FlowState& original,
+                               const ResynthesisOptions& options) {
+  Procedure procedure(flow, original, options);
+  return procedure.run(original);
+}
+
+}  // namespace dfmres

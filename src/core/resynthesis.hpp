@@ -1,0 +1,66 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/flow.hpp"
+
+namespace dfmres {
+
+struct ResynthesisOptions {
+  /// Phase-1 target: stop when the largest cluster holds at most this
+  /// fraction of all faults (p1 = 1% in the paper).
+  double p1 = 0.01;
+  /// Maximum acceptable percentage increase in delay and power (q swept
+  /// 0..q_max; die area is never allowed to grow).
+  int q_max = 5;
+  /// Safety bound on accepted iterations per phase per q step.
+  int max_iterations_per_phase = 24;
+  /// Early phase termination: stop scanning cells after the candidate
+  /// total-U trend has risen this many consecutive times (Section III-B).
+  int trend_window = 2;
+  /// Budget of PDesign()-backed candidate evaluations per iteration
+  /// (ladder scan + backtracking); memo hits are free. Bounds the
+  /// exploration cost of one accepted step.
+  int reanalyses_per_iteration = 64;
+};
+
+/// One evaluated candidate (for the Fig. 2 style per-iteration trace).
+struct IterationRecord {
+  int q = 0;
+  int phase = 1;
+  std::size_t smax = 0;          ///< after this step
+  std::size_t undetectable = 0;  ///< after this step
+  bool accepted = false;
+  bool via_backtracking = false;
+  std::string banned_through;    ///< last cell banned for this attempt
+};
+
+struct ResynthesisReport {
+  int q_used = 0;  ///< largest q at which an acceptance happened (Max Inc)
+  bool any_accepted = false;
+  std::vector<IterationRecord> trace;
+  double runtime_seconds = 0.0;
+};
+
+struct ResynthesisResult {
+  FlowState state;  ///< final design, re-analyzed with test generation
+  ResynthesisReport report;
+};
+
+/// The paper's two-phase resynthesis procedure (Section III):
+///  - phase 1 repeatedly re-maps the gates of the largest undetectable
+///    cluster that carry undetectable internal faults, banning cells in
+///    decreasing internal-fault order, until %Smax <= p1;
+///  - phase 2 does the same over every gate with undetectable internal
+///    faults, accepting only strict total-U decreases with %Smax <= p2;
+///  - PDesign() runs only when the undetectable internal fault count
+///    drops; constraint violations trigger the sqrt(n)-group
+///    backtracking procedure (Section III-C);
+///  - q (the delay/power envelope) is swept 0..q_max, each step applied
+///    on top of the previous solution.
+[[nodiscard]] ResynthesisResult resynthesize(DesignFlow& flow,
+                                             const FlowState& original,
+                                             const ResynthesisOptions& options);
+
+}  // namespace dfmres

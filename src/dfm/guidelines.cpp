@@ -1,0 +1,157 @@
+#include "src/dfm/guidelines.hpp"
+
+#include <array>
+#include <cassert>
+
+namespace dfmres {
+
+namespace {
+
+constexpr GuidelineCategory V = GuidelineCategory::Via;
+constexpr GuidelineCategory M = GuidelineCategory::Metal;
+constexpr GuidelineCategory D = GuidelineCategory::Density;
+
+/// The master guideline table. Thresholds for route-level rules are in
+/// gcell units; density rules use utilization fractions. Intra-cell
+/// rules (threshold 0) are matched structurally by defect kind.
+constexpr std::array<Guideline, kNumGuidelines> kGuidelines = {{
+    // ---- Via category (19) ----
+    {V, 0, "via.cell.contact_open.a", 0},
+    {V, 1, "via.cell.contact_open.b", 0},
+    {V, 2, "via.cell.contact_open.c", 0},
+    {V, 3, "via.cell.contact_open.d", 0},
+    {V, 4, "via.cell.contact_open.e", 0},
+    {V, 5, "via.cell.contact_open.f", 0},
+    {V, 6, "via.cell.poly_contact.a", 0},
+    {V, 7, "via.cell.poly_contact.b", 0},
+    {V, 8, "via.cell.poly_contact.c", 0},
+    {V, 9, "via.cell.finger_contact.a", 0},
+    {V, 10, "via.cell.finger_contact.b", 0},
+    {V, 11, "via.route.single_via_long_wire.10", 10},
+    {V, 12, "via.route.single_via_long_wire.20", 20},
+    {V, 13, "via.route.single_via_long_wire.40", 40},
+    {V, 14, "via.route.single_via_long_wire.80", 80},
+    {V, 15, "via.route.via_count.4", 4},
+    {V, 16, "via.route.via_count.7", 7},
+    {V, 17, "via.route.end_of_line_enclosure.15", 15},
+    {V, 18, "via.route.end_of_line_enclosure.45", 45},
+    // ---- Metal category (29) ----
+    {M, 0, "metal.cell.channel_short.a", 0},
+    {M, 1, "metal.cell.channel_short.b", 0},
+    {M, 2, "metal.cell.channel_short.c", 0},
+    {M, 3, "metal.cell.channel_short.d", 0},
+    {M, 4, "metal.cell.channel_short.e", 0},
+    {M, 5, "metal.cell.channel_short.f", 0},
+    {M, 6, "metal.cell.channel_short.g", 0},
+    {M, 7, "metal.cell.channel_short.h", 0},
+    {M, 8, "metal.cell.node_bridge.a", 0},
+    {M, 9, "metal.cell.node_bridge.b", 0},
+    {M, 10, "metal.cell.node_bridge.c", 0},
+    {M, 11, "metal.cell.node_bridge.d", 0},
+    {M, 12, "metal.cell.node_bridge.e", 0},
+    {M, 13, "metal.cell.node_bridge.f", 0},
+    {M, 14, "metal.cell.rail_short_vdd.a", 0},
+    {M, 15, "metal.cell.rail_short_vdd.b", 0},
+    {M, 16, "metal.cell.rail_short_gnd.a", 0},
+    {M, 17, "metal.cell.rail_short_gnd.b", 0},
+    {M, 18, "metal.route.parallel_run.6", 6},
+    {M, 19, "metal.route.parallel_run.8", 8},
+    {M, 20, "metal.route.parallel_run.10", 10},
+    {M, 21, "metal.route.parallel_run.12", 12},
+    {M, 22, "metal.route.parallel_run.16", 16},
+    {M, 23, "metal.route.parallel_run.20", 20},
+    {M, 24, "metal.route.narrow_long_wire.30", 30},
+    {M, 25, "metal.route.narrow_long_wire.60", 60},
+    {M, 26, "metal.route.narrow_long_wire.120", 120},
+    {M, 27, "metal.route.congested_jog.70", 0.70},
+    {M, 28, "metal.route.congested_jog.90", 0.90},
+    // ---- Density category (11) ----
+    {D, 0, "density.window.high.78", 0.78},
+    {D, 1, "density.window.high.84", 0.84},
+    {D, 2, "density.window.high.90", 0.90},
+    {D, 3, "density.window.high.95", 0.95},
+    {D, 4, "density.window.low.25", 0.25},
+    {D, 5, "density.window.low.18", 0.18},
+    {D, 6, "density.window.low.12", 0.12},
+    {D, 7, "density.window.low.06", 0.06},
+    {D, 8, "density.wiring.60", 0.60},
+    {D, 9, "density.wiring.75", 0.75},
+    {D, 10, "density.wiring.90", 0.90},
+}};
+
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::span<const Guideline> all_guidelines() { return kGuidelines; }
+
+std::uint16_t guideline_id(GuidelineCategory category, int index) {
+  switch (category) {
+    case GuidelineCategory::Via:
+      assert(index < kNumViaGuidelines);
+      return static_cast<std::uint16_t>(index);
+    case GuidelineCategory::Metal:
+      assert(index < kNumMetalGuidelines);
+      return static_cast<std::uint16_t>(kNumViaGuidelines + index);
+    case GuidelineCategory::Density:
+      assert(index < kNumDensityGuidelines);
+      return static_cast<std::uint16_t>(kNumViaGuidelines +
+                                        kNumMetalGuidelines + index);
+  }
+  return 0;
+}
+
+std::uint16_t guideline_for_cell_defect(const CellDefect& d) {
+  switch (d.kind) {
+    case DefectKind::TransistorStuckOpen:
+      return guideline_id(GuidelineCategory::Via, d.a % 6);
+    case DefectKind::PinOpen:
+      return guideline_id(GuidelineCategory::Via, 6 + d.a % 3);
+    case DefectKind::DriveFingerOpen:
+      return guideline_id(GuidelineCategory::Via, 9 + d.a % 2);
+    case DefectKind::TransistorStuckOn:
+      return guideline_id(GuidelineCategory::Metal, d.a % 8);
+    case DefectKind::NodeBridge:
+      return guideline_id(GuidelineCategory::Metal, 8 + d.a % 6);
+    case DefectKind::NodeShortToVdd:
+      return guideline_id(GuidelineCategory::Metal, 14 + d.a % 2);
+    case DefectKind::NodeShortToGnd:
+      return guideline_id(GuidelineCategory::Metal, 16 + d.a % 2);
+  }
+  return 0;
+}
+
+bool cell_defect_selected(const std::string& cell_name,
+                          std::size_t defect_index,
+                          std::size_t num_transistors, DefectKind kind,
+                          bool masked) {
+  // Violation fraction grows with cell density: small cells have clean,
+  // guideline-conforming layouts; dense multi-stack cells cannot satisfy
+  // every recommendation. Contact/via opens and internal bridges are the
+  // dominant guideline families.
+  const double base =
+      std::min(0.80, 0.12 + 0.022 * static_cast<double>(num_transistors));
+  double weight = 1.0;
+  switch (kind) {
+    case DefectKind::TransistorStuckOpen: weight = 1.7; break;
+    case DefectKind::NodeBridge: weight = 1.4; break;
+    case DefectKind::PinOpen: weight = 1.0; break;
+    case DefectKind::DriveFingerOpen: weight = 1.0; break;
+    case DefectKind::TransistorStuckOn: weight = 0.6; break;
+    case DefectKind::NodeShortToVdd:
+    case DefectKind::NodeShortToGnd: weight = 0.5; break;
+  }
+  if (masked) weight *= 2.5;  // marginal geometry: likeliest violation
+  const double fraction = std::min(0.92, base * weight);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : cell_name) h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  h = splitmix(h ^ (defect_index * 0x9e3779b97f4a7c15ULL));
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < fraction;
+}
+
+}  // namespace dfmres

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "src/switchlevel/switch_sim.hpp"
+
+namespace dfmres {
+
+/// The paper's three DFM guideline categories (Section IV): 19 Via
+/// guidelines, 29 Metal guidelines, 11 Density guidelines. Guidelines
+/// recommend width/spacing/redundancy margins; locations that violate
+/// them are where systematic defects are anticipated.
+enum class GuidelineCategory : std::uint8_t { Via, Metal, Density };
+
+inline constexpr int kNumViaGuidelines = 19;
+inline constexpr int kNumMetalGuidelines = 29;
+inline constexpr int kNumDensityGuidelines = 11;
+inline constexpr int kNumGuidelines =
+    kNumViaGuidelines + kNumMetalGuidelines + kNumDensityGuidelines;
+
+struct Guideline {
+  GuidelineCategory category;
+  int index_in_category;
+  const char* name;
+  double threshold;  ///< rule-specific parameter (lengths in gcells,
+                     ///< densities as fractions, counts as counts)
+};
+
+/// All 59 guidelines; the table index is the global guideline id.
+[[nodiscard]] std::span<const Guideline> all_guidelines();
+
+/// Global id from (category, index within category).
+[[nodiscard]] std::uint16_t guideline_id(GuidelineCategory category,
+                                         int index);
+
+/// Guideline anticipated to be violated by an intra-cell defect site.
+/// Contact/via opens map to Via guidelines; shorts and bridges map to
+/// Metal guidelines (paper refs [7-9]: guideline families apply to
+/// features both inside and outside cells).
+[[nodiscard]] std::uint16_t guideline_for_cell_defect(const CellDefect& d);
+
+/// Deterministic selection of which enumerated cell defect sites are
+/// actual DFM guideline violations in the cell's layout. Denser cells
+/// (more transistors) violate a larger fraction of their sites, and
+/// contact/via-open style sites (the strictest to detect) dominate the
+/// guideline families, which is what makes complex cells carry more --
+/// and harder -- internal faults.
+/// `masked` marks defects whose cell-level behavior is charge-sharing
+/// masked (no detecting pattern): those are precisely the marginal
+/// layout configurations the via/contact guidelines warn about, so they
+/// are the most likely violations.
+[[nodiscard]] bool cell_defect_selected(const std::string& cell_name,
+                                        std::size_t defect_index,
+                                        std::size_t num_transistors,
+                                        DefectKind kind, bool masked);
+
+}  // namespace dfmres

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+#include "src/library/library.hpp"
+#include "src/switchlevel/udfm.hpp"
+
+namespace dfmres {
+
+/// Per-cell-type internal fault universes for a whole library, extracted
+/// once (switch-level simulation is deterministic, so every instance of a
+/// cell shares the same CellUdfm — paper Section I).
+class UdfmMap {
+ public:
+  explicit UdfmMap(const Library& lib);
+
+  [[nodiscard]] const CellUdfm& of(CellId cell) const {
+    return udfm_[cell.value()];
+  }
+
+ private:
+  std::vector<CellUdfm> udfm_;
+};
+
+}  // namespace dfmres

@@ -1,0 +1,42 @@
+#include "src/layout/floorplan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dfmres {
+
+long total_width_sites(const Netlist& nl) {
+  long total = 0;
+  for (GateId g : nl.live_gates()) total += nl.cell_of(g).width_sites;
+  return total;
+}
+
+double Floorplan::utilization(const Netlist& nl) const {
+  if (total_sites() == 0) return 1.0;
+  return static_cast<double>(total_width_sites(nl)) /
+         static_cast<double>(total_sites());
+}
+
+bool Floorplan::fits(const Netlist& nl) const {
+  // Row packing needs a little slack over the raw area bound; cap at 97%
+  // of the sites so legalization can always succeed.
+  return static_cast<double>(total_width_sites(nl)) <=
+         0.97 * static_cast<double>(total_sites());
+}
+
+Floorplan make_floorplan(const Netlist& nl, double utilization) {
+  const long occupied = std::max(1L, total_width_sites(nl));
+  const auto needed =
+      static_cast<long>(std::ceil(static_cast<double>(occupied) / utilization));
+  Floorplan plan;
+  plan.utilization_target = utilization;
+  plan.rows = std::max(1, static_cast<int>(std::lround(std::sqrt(
+                              static_cast<double>(needed) / 8.0))));
+  plan.sites_per_row = static_cast<int>(
+      (needed + plan.rows - 1) / plan.rows);
+  // Rows hold ~8x more sites than their count: cells are much wider than
+  // tall, which matches standard-cell aspect ratios.
+  return plan;
+}
+
+}  // namespace dfmres

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/netlist/netlist.hpp"
+
+namespace dfmres {
+
+/// Row-based floorplan. Placement sites are unit-width cells on `rows`
+/// horizontal rows of `sites_per_row` sites each. The die outline is
+/// fixed once computed from the original design (the paper keeps the
+/// floorplan and die area unchanged through resynthesis).
+struct Floorplan {
+  int rows = 0;
+  int sites_per_row = 0;
+  double utilization_target = 0.70;
+
+  [[nodiscard]] long total_sites() const {
+    return static_cast<long>(rows) * sites_per_row;
+  }
+  /// Utilization of a netlist in this floorplan (occupied / total sites).
+  [[nodiscard]] double utilization(const Netlist& nl) const;
+
+  /// True if the netlist's cells can physically fit.
+  [[nodiscard]] bool fits(const Netlist& nl) const;
+};
+
+/// Sum of placement widths (sites) over live gates.
+[[nodiscard]] long total_width_sites(const Netlist& nl);
+
+/// Computes a roughly square floorplan sized for `nl` at `utilization`
+/// core utilization (70% in the paper's experiments).
+[[nodiscard]] Floorplan make_floorplan(const Netlist& nl,
+                                       double utilization = 0.70);
+
+}  // namespace dfmres

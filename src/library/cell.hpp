@@ -1,0 +1,56 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/library/transistor.hpp"
+#include "src/util/ids.hpp"
+
+namespace dfmres {
+
+/// Maximum number of inputs of any library cell; functions are stored as
+/// 64-bit truth tables indexed by the input pattern (input pin k is bit k
+/// of the pattern index).
+inline constexpr int kMaxCellInputs = 6;
+inline constexpr int kMaxCellOutputs = 2;
+
+/// Static description of one standard cell (or one technology-independent
+/// generic gate). Electrical numbers are representative of a 0.18um
+/// standard cell library (OSU018-style); the flow only ever uses them
+/// relatively, never as absolute silicon values.
+struct CellSpec {
+  std::string name;
+  std::uint8_t num_inputs = 0;
+  std::uint8_t num_outputs = 1;
+  bool sequential = false;
+
+  /// Truth table per output over the cell inputs (valid bits:
+  /// 2^num_inputs). Undefined for sequential cells.
+  std::array<std::uint64_t, kMaxCellOutputs> function{};
+
+  double area_um2 = 0.0;
+  int width_sites = 1;        ///< placement footprint in row sites
+  double intrinsic_delay = 0; ///< ns, pin-to-pin unloaded
+  double drive_res = 0;       ///< ns per pF of load
+  double input_cap = 0;       ///< pF per input pin
+  double leakage = 0;         ///< relative leakage power
+  double sw_energy = 0;       ///< relative internal energy per output toggle
+  int drive_fingers = 1;      ///< layout fingers; adds intra-cell DFM sites
+
+  TransistorNetwork network;  ///< empty for generic / sequential cells
+
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+
+  [[nodiscard]] std::uint64_t truth(int output) const {
+    return function[static_cast<std::size_t>(output)];
+  }
+  /// Output value for a fully specified input pattern.
+  [[nodiscard]] bool eval(int output, std::uint32_t pattern) const {
+    return (truth(output) >> pattern) & 1u;
+  }
+};
+
+}  // namespace dfmres

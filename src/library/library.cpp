@@ -1,0 +1,38 @@
+#include "src/library/library.hpp"
+
+#include <cassert>
+#include <cstdlib>
+
+#include "src/util/logging.hpp"
+
+namespace dfmres {
+
+CellId Library::add(CellSpec spec) {
+  assert(spec.num_inputs <= kMaxCellInputs);
+  assert(spec.num_outputs >= 1 && spec.num_outputs <= kMaxCellOutputs);
+  const CellId id{static_cast<std::uint32_t>(cells_.size())};
+  auto [it, inserted] = by_name_.emplace(spec.name, id);
+  if (!inserted) {
+    log_error("duplicate cell name '%s' in library '%s'", spec.name.c_str(), name_.c_str());
+    std::abort();
+  }
+  cells_.push_back(std::move(spec));
+  return id;
+}
+
+std::optional<CellId> Library::find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+CellId Library::require(std::string_view name) const {
+  auto id = find(name);
+  if (!id) {
+    log_error("cell '%s' not found in library '%s'", std::string(name).c_str(), name_.c_str());
+    std::abort();
+  }
+  return *id;
+}
+
+}  // namespace dfmres

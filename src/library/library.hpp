@@ -1,0 +1,45 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/library/cell.hpp"
+#include "src/util/ids.hpp"
+
+namespace dfmres {
+
+/// An ordered collection of cell specs. Cell order is meaningful only as a
+/// stable id space; the resynthesis procedure orders cells by internal
+/// fault count separately (paper Section III-B).
+class Library {
+ public:
+  explicit Library(std::string name) : name_(std::move(name)) {}
+
+  /// Adds a cell; the name must be unique. Returns its id.
+  CellId add(CellSpec spec);
+
+  [[nodiscard]] const CellSpec& cell(CellId id) const {
+    return cells_[id.value()];
+  }
+  [[nodiscard]] std::optional<CellId> find(std::string_view name) const;
+  /// Like find() but aborts if absent; for library-internal wiring.
+  [[nodiscard]] CellId require(std::string_view name) const;
+
+  [[nodiscard]] std::size_t num_cells() const { return cells_.size(); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  [[nodiscard]] auto begin() const { return cells_.begin(); }
+  [[nodiscard]] auto end() const { return cells_.end(); }
+
+ private:
+  std::string name_;
+  std::vector<CellSpec> cells_;
+  std::unordered_map<std::string, CellId, std::hash<std::string>,
+                     std::equal_to<>>
+      by_name_;
+};
+
+}  // namespace dfmres

@@ -1,0 +1,459 @@
+#include "src/library/osu018.hpp"
+
+#include <cmath>
+#include <span>
+#include <utility>
+
+namespace dfmres {
+
+namespace {
+
+using u16 = std::uint16_t;
+
+/// Adds a chain of series transistors from `from` to `to`, one per gate
+/// node, creating internal nodes between them. Returns nothing; the chain
+/// conducts when all gates are active.
+void series(TransistorNetwork& nw, bool pmos, u16 from,
+            std::span<const u16> gates, u16 to) {
+  u16 prev = from;
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const u16 next = (i + 1 == gates.size()) ? to : nw.new_node();
+    if (pmos) {
+      nw.add_pmos(gates[i], prev, next);
+    } else {
+      nw.add_nmos(gates[i], prev, next);
+    }
+    prev = next;
+  }
+}
+
+/// Adds one transistor per gate node, all in parallel between from/to.
+void parallel(TransistorNetwork& nw, bool pmos, u16 from,
+              std::span<const u16> gates, u16 to) {
+  for (u16 g : gates) {
+    if (pmos) {
+      nw.add_pmos(g, from, to);
+    } else {
+      nw.add_nmos(g, from, to);
+    }
+  }
+}
+
+constexpr u16 kGnd = TransistorNetwork::kGnd;
+constexpr u16 kVdd = TransistorNetwork::kVdd;
+
+/// Creates a network with n input nodes and one (or more later) outputs.
+TransistorNetwork make_network(int num_inputs) {
+  TransistorNetwork nw;
+  for (int i = 0; i < num_inputs; ++i) nw.input_nodes.push_back(nw.new_node());
+  return nw;
+}
+
+/// Static CMOS inverter from `in` onto a fresh node; returns that node.
+u16 add_inverter(TransistorNetwork& nw, u16 in) {
+  const u16 out = nw.new_node();
+  nw.add_pmos(in, kVdd, out);
+  nw.add_nmos(in, kGnd, out);
+  return out;
+}
+
+struct Electrical {
+  double area, delay, dres, icap, leak;
+  int fingers;
+};
+
+CellSpec comb_cell(std::string name, int num_inputs,
+                   std::uint64_t tt, Electrical e,
+                   TransistorNetwork nw,
+                   std::vector<std::string> input_names) {
+  CellSpec c;
+  c.name = std::move(name);
+  c.num_inputs = static_cast<std::uint8_t>(num_inputs);
+  c.num_outputs = 1;
+  c.function = {tt, 0};
+  c.area_um2 = e.area;
+  c.width_sites = std::max(1, static_cast<int>(std::lround(e.area / 6.5)));
+  c.intrinsic_delay = e.delay;
+  c.drive_res = e.dres;
+  c.input_cap = e.icap;
+  c.leakage = e.leak;
+  c.sw_energy = e.area / 13.0;
+  c.drive_fingers = e.fingers;
+  c.network = std::move(nw);
+  c.input_names = std::move(input_names);
+  c.output_names = {"Y"};
+  return c;
+}
+
+TransistorNetwork nand_network(int n) {
+  TransistorNetwork nw = make_network(n);
+  const u16 y = nw.new_node();
+  nw.output_nodes = {y};
+  parallel(nw, /*pmos=*/true, kVdd, nw.input_nodes, y);
+  series(nw, /*pmos=*/false, y, nw.input_nodes, kGnd);
+  return nw;
+}
+
+TransistorNetwork nor_network(int n) {
+  TransistorNetwork nw = make_network(n);
+  const u16 y = nw.new_node();
+  nw.output_nodes = {y};
+  series(nw, /*pmos=*/true, kVdd, nw.input_nodes, y);
+  parallel(nw, /*pmos=*/false, y, nw.input_nodes, kGnd);
+  return nw;
+}
+
+TransistorNetwork inv_network() {
+  TransistorNetwork nw = make_network(1);
+  nw.output_nodes = {add_inverter(nw, nw.input_nodes[0])};
+  return nw;
+}
+
+TransistorNetwork buf_network() {
+  TransistorNetwork nw = make_network(1);
+  const u16 mid = add_inverter(nw, nw.input_nodes[0]);
+  nw.output_nodes = {add_inverter(nw, mid)};
+  return nw;
+}
+
+/// NAND/NOR followed by an inverter (AND2X2 / OR2X2).
+TransistorNetwork and_or_network(int n, bool is_and) {
+  TransistorNetwork nw = is_and ? nand_network(n) : nor_network(n);
+  const u16 inner = nw.output_nodes[0];
+  nw.output_nodes = {add_inverter(nw, inner)};
+  return nw;
+}
+
+/// AOI21: Y = !(A*B + C).  Inputs A,B,C = pins 0,1,2.
+TransistorNetwork aoi21_network() {
+  TransistorNetwork nw = make_network(3);
+  const u16 a = nw.input_nodes[0], b = nw.input_nodes[1],
+            c = nw.input_nodes[2];
+  const u16 y = nw.new_node();
+  nw.output_nodes = {y};
+  // Pull-down: series(A,B) parallel with C.
+  const std::array<u16, 2> ab{a, b};
+  series(nw, false, y, ab, kGnd);
+  nw.add_nmos(c, y, kGnd);
+  // Pull-up: C in series with parallel(A,B).
+  const u16 mid = nw.new_node();
+  nw.add_pmos(c, kVdd, mid);
+  parallel(nw, true, mid, ab, y);
+  return nw;
+}
+
+/// AOI22: Y = !(A*B + C*D). Pins A,B,C,D = 0..3, but the gate nodes may be
+/// internal (used to build XOR/XNOR/MUX with internal inverters).
+void aoi22_into(TransistorNetwork& nw, u16 a, u16 b, u16 c, u16 d, u16 y) {
+  const std::array<u16, 2> ab{a, b}, cd{c, d};
+  series(nw, false, y, ab, kGnd);
+  series(nw, false, y, cd, kGnd);
+  const u16 mid = nw.new_node();
+  parallel(nw, true, kVdd, ab, mid);
+  parallel(nw, true, mid, cd, y);
+}
+
+TransistorNetwork aoi22_network() {
+  TransistorNetwork nw = make_network(4);
+  const u16 y = nw.new_node();
+  nw.output_nodes = {y};
+  aoi22_into(nw, nw.input_nodes[0], nw.input_nodes[1], nw.input_nodes[2],
+             nw.input_nodes[3], y);
+  return nw;
+}
+
+/// OAI21: Y = !((A+B)*C).
+TransistorNetwork oai21_network() {
+  TransistorNetwork nw = make_network(3);
+  const u16 a = nw.input_nodes[0], b = nw.input_nodes[1],
+            c = nw.input_nodes[2];
+  const u16 y = nw.new_node();
+  nw.output_nodes = {y};
+  const std::array<u16, 2> ab{a, b};
+  // Pull-down: parallel(A,B) in series with C.
+  const u16 mid = nw.new_node();
+  parallel(nw, false, y, ab, mid);
+  nw.add_nmos(c, mid, kGnd);
+  // Pull-up: series(A,B) parallel with C, between VDD and Y.
+  series(nw, true, kVdd, ab, y);
+  nw.add_pmos(c, kVdd, y);
+  return nw;
+}
+
+/// OAI22: Y = !((A+B)*(C+D)).
+TransistorNetwork oai22_network() {
+  TransistorNetwork nw = make_network(4);
+  const u16 a = nw.input_nodes[0], b = nw.input_nodes[1],
+            c = nw.input_nodes[2], d = nw.input_nodes[3];
+  const u16 y = nw.new_node();
+  nw.output_nodes = {y};
+  const std::array<u16, 2> ab{a, b}, cd{c, d};
+  const u16 mid = nw.new_node();
+  parallel(nw, false, y, ab, mid);
+  parallel(nw, false, mid, cd, kGnd);
+  series(nw, true, kVdd, ab, y);
+  series(nw, true, kVdd, cd, y);
+  return nw;
+}
+
+/// XOR2: transmission-gate style (10T): Y = A when B=0 (TG1), !A when
+/// B=1 (TG2). Unlike the AOI-core XOR inside HAX1/FAX1/XNOR2X1, every
+/// open defect here degrades a TG to a single device, which the
+/// strength-aware switch model resolves to X — so the standalone XOR has
+/// no charge-sharing-masked (cell-level undetectable) defects. This is
+/// the cheap replacement rung the resynthesis procedure climbs to.
+TransistorNetwork xor2_network() {
+  TransistorNetwork nw = make_network(2);
+  const u16 a = nw.input_nodes[0], b = nw.input_nodes[1];
+  const u16 na = add_inverter(nw, a);
+  const u16 nb = add_inverter(nw, b);
+  const u16 y = nw.new_node();
+  nw.output_nodes = {y};
+  // TG1 passes A while B=0.
+  nw.add_nmos(nb, a, y);
+  nw.add_pmos(b, a, y);
+  // TG2 passes !A while B=1.
+  nw.add_nmos(b, na, y);
+  nw.add_pmos(nb, na, y);
+  return nw;
+}
+
+/// XNOR2: Y = !(A^B) = !(A*nB + nA*B).
+TransistorNetwork xnor2_network() {
+  TransistorNetwork nw = make_network(2);
+  const u16 a = nw.input_nodes[0], b = nw.input_nodes[1];
+  const u16 na = add_inverter(nw, a);
+  const u16 nb = add_inverter(nw, b);
+  const u16 y = nw.new_node();
+  nw.output_nodes = {y};
+  aoi22_into(nw, a, nb, na, b, y);
+  return nw;
+}
+
+/// MUX2: Y = S ? A : B. Pins A,B,S = 0,1,2.
+/// invS + AOI22(A,S,B,nS) + output inverter: !( !(A*S + B*nS) ).
+TransistorNetwork mux2_network() {
+  TransistorNetwork nw = make_network(3);
+  const u16 a = nw.input_nodes[0], b = nw.input_nodes[1],
+            s = nw.input_nodes[2];
+  const u16 ns = add_inverter(nw, s);
+  const u16 m = nw.new_node();
+  aoi22_into(nw, a, s, b, ns, m);
+  nw.output_nodes = {add_inverter(nw, m)};
+  return nw;
+}
+
+/// Half adder: YC = A*B, YS = A^B. Outputs [YC, YS].
+TransistorNetwork ha_network() {
+  TransistorNetwork nw = make_network(2);
+  const u16 a = nw.input_nodes[0], b = nw.input_nodes[1];
+  // Carry: NAND2 + inverter.
+  const u16 nc = nw.new_node();
+  const std::array<u16, 2> ab{a, b};
+  parallel(nw, true, kVdd, ab, nc);
+  series(nw, false, nc, ab, kGnd);
+  const u16 yc = add_inverter(nw, nc);
+  // Sum: XOR via inverters + AOI22.
+  const u16 na = add_inverter(nw, a);
+  const u16 nb = add_inverter(nw, b);
+  const u16 ys = nw.new_node();
+  aoi22_into(nw, a, b, na, nb, ys);
+  nw.output_nodes = {yc, ys};
+  return nw;
+}
+
+/// Full adder (mirror adder): YC = MAJ(A,B,C), YS = A^B^C.
+/// Outputs [YC, YS].
+TransistorNetwork fa_network() {
+  TransistorNetwork nw = make_network(3);
+  const u16 a = nw.input_nodes[0], b = nw.input_nodes[1],
+            c = nw.input_nodes[2];
+  const std::array<u16, 2> ab{a, b};
+  const std::array<u16, 3> abc{a, b, c};
+
+  // ncout = !(A*B + C*(A+B))
+  const u16 ncout = nw.new_node();
+  series(nw, false, ncout, ab, kGnd);
+  {
+    const u16 mid = nw.new_node();
+    nw.add_nmos(c, ncout, mid);
+    parallel(nw, false, mid, ab, kGnd);
+  }
+  series(nw, true, kVdd, ab, ncout);
+  {
+    const u16 mid = nw.new_node();
+    nw.add_pmos(c, kVdd, mid);
+    parallel(nw, true, mid, ab, ncout);
+  }
+  const u16 yc = add_inverter(nw, ncout);
+
+  // nsum = !(A*B*C + ncout*(A+B+C))
+  const u16 nsum = nw.new_node();
+  series(nw, false, nsum, abc, kGnd);
+  {
+    const u16 mid = nw.new_node();
+    nw.add_nmos(ncout, nsum, mid);
+    parallel(nw, false, mid, abc, kGnd);
+  }
+  series(nw, true, kVdd, abc, nsum);
+  {
+    const u16 mid = nw.new_node();
+    nw.add_pmos(ncout, kVdd, mid);
+    parallel(nw, true, mid, abc, nsum);
+  }
+  const u16 ys = add_inverter(nw, nsum);
+
+  nw.output_nodes = {yc, ys};
+  return nw;
+}
+
+std::shared_ptr<const Library> build_osu018() {
+  auto lib = std::make_shared<Library>("osu018");
+
+  const std::vector<std::string> in1{"A"};
+  const std::vector<std::string> in2{"A", "B"};
+  const std::vector<std::string> in3{"A", "B", "C"};
+  const std::vector<std::string> in4{"A", "B", "C", "D"};
+  const std::vector<std::string> mux_in{"A", "B", "S"};
+
+  lib->add(comb_cell("INVX1", 1, 0x1, {13, .030, .60, .010, 1.0, 1},
+                     inv_network(), in1));
+  lib->add(comb_cell("INVX2", 1, 0x1, {16, .030, .30, .020, 1.7, 2},
+                     inv_network(), in1));
+  lib->add(comb_cell("INVX4", 1, 0x1, {22, .032, .15, .040, 3.0, 3},
+                     inv_network(), in1));
+  lib->add(comb_cell("INVX8", 1, 0x1, {35, .035, .08, .080, 5.5, 4},
+                     inv_network(), in1));
+  lib->add(comb_cell("BUFX2", 1, 0x2, {16, .065, .30, .010, 1.8, 2},
+                     buf_network(), in1));
+  lib->add(comb_cell("BUFX4", 1, 0x2, {26, .070, .15, .012, 3.2, 3},
+                     buf_network(), in1));
+  lib->add(comb_cell("NAND2X1", 2, 0x7, {16, .040, .55, .011, 1.5, 1},
+                     nand_network(2), in2));
+  lib->add(comb_cell("NAND3X1", 3, 0x7F, {22, .051, .58, .012, 2.1, 1},
+                     nand_network(3), in3));
+  lib->add(comb_cell("NOR2X1", 2, 0x1, {16, .045, .62, .011, 1.6, 1},
+                     nor_network(2), in2));
+  lib->add(comb_cell("NOR3X1", 3, 0x01, {22, .062, .70, .012, 2.3, 1},
+                     nor_network(3), in3));
+  lib->add(comb_cell("AND2X2", 2, 0x8, {22, .075, .28, .011, 2.4, 2},
+                     and_or_network(2, true), in2));
+  lib->add(comb_cell("OR2X2", 2, 0xE, {22, .080, .28, .011, 2.5, 2},
+                     and_or_network(2, false), in2));
+  lib->add(comb_cell("XOR2X1", 2, 0x6, {26, .080, .62, .015, 2.9, 1},
+                     xor2_network(), in2));
+  lib->add(comb_cell("XNOR2X1", 2, 0x9, {35, .090, .60, .016, 3.4, 1},
+                     xnor2_network(), in2));
+  lib->add(comb_cell("AOI21X1", 3, 0x07, {22, .050, .62, .012, 2.0, 1},
+                     aoi21_network(), in3));
+  lib->add(comb_cell("AOI22X1", 4, 0x0777, {29, .058, .66, .013, 2.6, 1},
+                     aoi22_network(), in4));
+  lib->add(comb_cell("OAI21X1", 3, 0x1F, {22, .052, .62, .012, 2.0, 1},
+                     oai21_network(), in3));
+  lib->add(comb_cell("OAI22X1", 4, 0x111F, {29, .060, .66, .013, 2.6, 1},
+                     oai22_network(), in4));
+  lib->add(comb_cell("MUX2X1", 3, 0xAC, {35, .085, .55, .014, 3.2, 1},
+                     mux2_network(), mux_in));
+
+  {
+    CellSpec ha = comb_cell("HAX1", 2, 0x8, {58, .110, .58, .017, 5.2, 1},
+                            ha_network(), in2);
+    ha.num_outputs = 2;
+    ha.function = {0x8, 0x6};  // YC = AND, YS = XOR
+    ha.output_names = {"YC", "YS"};
+    lib->add(std::move(ha));
+  }
+  {
+    CellSpec fa = comb_cell("FAX1", 3, 0xE8, {95, .130, .60, .020, 8.4, 1},
+                            fa_network(), in3);
+    fa.num_outputs = 2;
+    fa.function = {0xE8, 0x96};  // YC = MAJ, YS = parity
+    fa.output_names = {"YC", "YS"};
+    lib->add(std::move(fa));
+  }
+
+  {
+    CellSpec dff;
+    dff.name = "DFFPOSX1";
+    dff.num_inputs = 1;
+    dff.num_outputs = 1;
+    dff.sequential = true;
+    dff.area_um2 = 85;
+    dff.width_sites = 13;
+    dff.intrinsic_delay = 0.200;
+    dff.drive_res = 0.40;
+    dff.input_cap = 0.015;
+    dff.leakage = 6.0;
+    dff.sw_energy = 64 / 13.0;
+    dff.input_names = {"D"};
+    dff.output_names = {"Q"};
+    lib->add(std::move(dff));
+  }
+
+  return lib;
+}
+
+CellSpec generic_cell(std::string name, int n, std::uint64_t tt) {
+  CellSpec c;
+  c.name = std::move(name);
+  c.num_inputs = static_cast<std::uint8_t>(n);
+  c.num_outputs = 1;
+  c.function = {tt, 0};
+  for (int i = 0; i < n; ++i) c.input_names.push_back(std::string(1, char('A' + i)));
+  c.output_names = {"Y"};
+  return c;
+}
+
+std::shared_ptr<const Library> build_generic() {
+  auto lib = std::make_shared<Library>("generic");
+  lib->add(generic_cell("NOT", 1, 0x1));
+  lib->add(generic_cell("BUF", 1, 0x2));
+  lib->add(generic_cell("AND2", 2, 0x8));
+  lib->add(generic_cell("AND3", 3, 0x80));
+  lib->add(generic_cell("AND4", 4, 0x8000));
+  lib->add(generic_cell("OR2", 2, 0xE));
+  lib->add(generic_cell("OR3", 3, 0xFE));
+  lib->add(generic_cell("OR4", 4, 0xFFFE));
+  lib->add(generic_cell("NAND2", 2, 0x7));
+  lib->add(generic_cell("NOR2", 2, 0x1));
+  lib->add(generic_cell("XOR2", 2, 0x6));
+  lib->add(generic_cell("XNOR2", 2, 0x9));
+  lib->add(generic_cell("MUX2", 3, 0xAC));  // pins A,B,S; Y = S ? A : B
+  {
+    // Arithmetic macros: instantiated by the benchmark generators and
+    // macro-mapped 1:1 onto FAX1/HAX1 in the initial flow (the way RTL
+    // synthesis maps adders onto full-adder cells).
+    CellSpec ha = generic_cell("HA", 2, 0x8);
+    ha.num_outputs = 2;
+    ha.function = {0x8, 0x6};
+    ha.output_names = {"C", "S"};
+    lib->add(std::move(ha));
+    CellSpec fa = generic_cell("FA", 3, 0xE8);
+    fa.num_outputs = 2;
+    fa.function = {0xE8, 0x96};
+    fa.output_names = {"C", "S"};
+    lib->add(std::move(fa));
+  }
+  {
+    CellSpec dff = generic_cell("DFF", 1, 0);
+    dff.sequential = true;
+    dff.input_names = {"D"};
+    dff.output_names = {"Q"};
+    lib->add(std::move(dff));
+  }
+  return lib;
+}
+
+}  // namespace
+
+std::shared_ptr<const Library> osu018_library() {
+  static const std::shared_ptr<const Library> lib = build_osu018();
+  return lib;
+}
+
+std::shared_ptr<const Library> generic_library() {
+  static const std::shared_ptr<const Library> lib = build_generic();
+  return lib;
+}
+
+}  // namespace dfmres

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <memory>
+
+#include "src/library/library.hpp"
+
+namespace dfmres {
+
+/// The standard cell library used throughout the reproduction: 21
+/// combinational cells plus a positive-edge D flip-flop, modeled on the
+/// OSU 0.18um (TSMC018) library the paper uses. Every combinational cell
+/// carries a CMOS transistor network from which intra-cell DFM defect
+/// sites and their UDFM excitation patterns are extracted
+/// (src/switchlevel). Built once; shared.
+[[nodiscard]] std::shared_ptr<const Library> osu018_library();
+
+/// Technology-independent gate library used by the benchmark circuit
+/// generators before technology mapping: NOT/BUF/AND/OR/NAND/NOR/XOR/
+/// XNOR/MUX2 plus a generic DFF. Cells have no transistor networks and
+/// therefore no internal faults.
+[[nodiscard]] std::shared_ptr<const Library> generic_library();
+
+}  // namespace dfmres

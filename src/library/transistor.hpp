@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dfmres {
+
+/// Transistor-level (switch-level) model of a standard cell.
+///
+/// Nodes are small integers. Node 0 is GND and node 1 is VDD. Input pins,
+/// output pins and internal nodes occupy the remaining indices. Transistor
+/// gates may be driven by input pins *or* internal nodes (cells such as
+/// MUX2X1 and XOR2X1 contain internal inverters).
+struct Transistor {
+  bool is_pmos = false;
+  std::uint16_t gate_node = 0;
+  std::uint16_t source_node = 0;
+  std::uint16_t drain_node = 0;
+};
+
+struct TransistorNetwork {
+  static constexpr std::uint16_t kGnd = 0;
+  static constexpr std::uint16_t kVdd = 1;
+
+  std::uint16_t num_nodes = 2;  // including GND/VDD
+  std::vector<std::uint16_t> input_nodes;   // node index per cell input pin
+  std::vector<std::uint16_t> output_nodes;  // node index per cell output pin
+  std::vector<Transistor> transistors;
+
+  [[nodiscard]] bool empty() const { return transistors.empty(); }
+
+  std::uint16_t new_node() { return num_nodes++; }
+
+  void add_nmos(std::uint16_t gate, std::uint16_t source, std::uint16_t drain) {
+    transistors.push_back({false, gate, source, drain});
+  }
+  void add_pmos(std::uint16_t gate, std::uint16_t source, std::uint16_t drain) {
+    transistors.push_back({true, gate, source, drain});
+  }
+};
+
+}  // namespace dfmres

@@ -1,0 +1,164 @@
+#include "src/netlist/extract.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/util/logging.hpp"
+
+namespace dfmres {
+
+Subcircuit extract_subcircuit(const Netlist& parent,
+                              std::span<const GateId> region) {
+  std::unordered_set<std::uint32_t> in_region;
+  in_region.reserve(region.size());
+  for (GateId g : region) {
+    if (!parent.gate_alive(g)) {
+      log_error("extract_subcircuit: dead gate %u", g.value());
+      std::abort();
+    }
+    if (parent.cell_of(g).sequential) {
+      log_error("extract_subcircuit: sequential gate %u in region",
+                g.value());
+      std::abort();
+    }
+    in_region.insert(g.value());
+  }
+
+  Subcircuit sub{Netlist(parent.library_ptr(), parent.name() + "_sub"),
+                 {}, {}, {region.begin(), region.end()}};
+
+  auto driven_in_region = [&](NetId n) {
+    const auto& net = parent.net(n);
+    return net.has_gate_driver() && in_region.contains(net.driver_gate.value());
+  };
+
+  // Boundary inputs: region fanins driven outside, deduplicated in
+  // first-seen order for determinism.
+  std::unordered_map<std::uint32_t, NetId> net_map;  // parent net -> sub net
+  for (GateId g : region) {
+    for (NetId in : parent.gate(g).fanin) {
+      if (driven_in_region(in) || net_map.contains(in.value())) continue;
+      const NetId sub_net = sub.circuit.add_primary_input();
+      net_map.emplace(in.value(), sub_net);
+      sub.boundary_inputs.push_back(in);
+    }
+  }
+
+  // Create sub nets for all region-driven nets.
+  for (GateId g : region) {
+    for (NetId out : parent.gate(g).outputs) {
+      net_map.emplace(out.value(), sub.circuit.add_net());
+    }
+  }
+
+  // Instantiate gates (any order; nets pre-created).
+  for (GateId g : region) {
+    const auto& gate = parent.gate(g);
+    std::vector<NetId> fanins, outputs;
+    for (NetId in : gate.fanin) fanins.push_back(net_map.at(in.value()));
+    for (NetId out : gate.outputs) outputs.push_back(net_map.at(out.value()));
+    sub.circuit.add_gate_driving(gate.cell, fanins, outputs);
+  }
+
+  // Boundary outputs: region-driven nets observed outside the region.
+  for (GateId g : region) {
+    for (NetId out : parent.gate(g).outputs) {
+      const auto& net = parent.net(out);
+      bool observed = net.is_primary_output;
+      for (const PinRef& sink : net.sinks) {
+        if (!in_region.contains(sink.gate.value())) {
+          observed = true;
+          break;
+        }
+        // A sink on a sequential gate can only be outside the region.
+      }
+      if (observed) {
+        sub.circuit.mark_primary_output(net_map.at(out.value()));
+        sub.boundary_outputs.push_back(out);
+      }
+    }
+  }
+  return sub;
+}
+
+std::vector<GateId> replace_region(Netlist& parent, const Subcircuit& sub,
+                                   const Netlist& replacement) {
+  if (replacement.primary_inputs().size() != sub.boundary_inputs.size() ||
+      replacement.primary_outputs().size() != sub.boundary_outputs.size()) {
+    log_error("replace_region: boundary mismatch (pi %zu vs %zu, po %zu vs %zu)",
+              replacement.primary_inputs().size(), sub.boundary_inputs.size(),
+              replacement.primary_outputs().size(),
+              sub.boundary_outputs.size());
+    std::abort();
+  }
+
+  for (GateId g : sub.region) parent.remove_gate(g);
+  sweep_dangling_nets(parent);
+
+  // Map replacement nets onto parent nets.
+  std::vector<NetId> net_map(replacement.net_capacity(), NetId::invalid());
+  for (std::size_t i = 0; i < replacement.primary_inputs().size(); ++i) {
+    net_map[replacement.primary_inputs()[i].value()] = sub.boundary_inputs[i];
+  }
+  // Pre-assign each boundary output net to the first replacement PO that
+  // uses a fresh, gate-driven replacement net; the rest get buffers below.
+  std::vector<bool> po_direct(replacement.primary_outputs().size(), false);
+  std::unordered_set<std::uint32_t> claimed;
+  for (std::size_t i = 0; i < replacement.primary_outputs().size(); ++i) {
+    const NetId rnet = replacement.primary_outputs()[i];
+    if (!replacement.net(rnet).has_gate_driver()) continue;  // wire-through
+    if (!claimed.insert(rnet.value()).second) continue;      // shared driver
+    net_map[rnet.value()] = sub.boundary_outputs[i];
+    po_direct[i] = true;
+  }
+  // All other replacement nets become fresh parent nets.
+  for (NetId rnet : replacement.live_nets()) {
+    if (!net_map[rnet.value()].valid()) {
+      net_map[rnet.value()] = parent.add_net();
+    }
+  }
+
+  std::vector<GateId> added;
+  for (GateId rg : replacement.live_gates()) {
+    const auto& gate = replacement.gate(rg);
+    std::vector<NetId> fanins, outputs;
+    for (NetId in : gate.fanin) fanins.push_back(net_map[in.value()]);
+    for (NetId out : gate.outputs) outputs.push_back(net_map[out.value()]);
+    added.push_back(parent.add_gate_driving(gate.cell, fanins, outputs));
+  }
+
+  // Boundary outputs that could not take a driver directly (wire-through
+  // POs and duplicate-driver POs) are merged onto their source nets; a
+  // buffer here would re-introduce cells the caller may have banned.
+  for (std::size_t i = 0; i < replacement.primary_outputs().size(); ++i) {
+    if (po_direct[i]) continue;
+    const NetId src = net_map[replacement.primary_outputs()[i].value()];
+    const NetId dst = sub.boundary_outputs[i];
+    if (src == dst || !parent.net_alive(dst)) continue;
+    parent.merge_net_into(dst, src);
+  }
+  sweep_dangling_nets(parent);
+  return added;
+}
+
+void sweep_dangling_nets(Netlist& nl) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::uint32_t i = 0; i < nl.net_capacity(); ++i) {
+      const NetId id{i};
+      if (!nl.net_alive(id)) continue;
+      const auto& net = nl.net(id);
+      if (net.sinks.empty() && !net.has_gate_driver() &&
+          !net.is_primary_input && !net.is_primary_output) {
+        nl.remove_net(id);
+        changed = true;
+      }
+    }
+  }
+}
+
+}  // namespace dfmres

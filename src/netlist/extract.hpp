@@ -1,0 +1,40 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/netlist/netlist.hpp"
+
+namespace dfmres {
+
+/// A combinational region of a parent netlist lifted out as a standalone
+/// circuit (paper Section III-B: C_sub, connected to the rest of C_all
+/// through shared nets).
+struct Subcircuit {
+  Netlist circuit;  ///< standalone; PI k ~ boundary_inputs[k], PO k ~ boundary_outputs[k]
+  std::vector<NetId> boundary_inputs;   ///< parent nets feeding the region
+  std::vector<NetId> boundary_outputs;  ///< parent nets driven by the region and observed outside it
+  std::vector<GateId> region;           ///< parent gates included
+};
+
+/// Extracts the subcircuit induced by `region` (combinational gates only;
+/// sequential gates in the span are rejected with abort). Boundary inputs
+/// are nets consumed by the region but driven outside it (or primary
+/// inputs); boundary outputs are region-driven nets with sinks outside the
+/// region or primary-output markings.
+[[nodiscard]] Subcircuit extract_subcircuit(const Netlist& parent,
+                                            std::span<const GateId> region);
+
+/// Splices `replacement` into `parent` in place of `sub.region`.
+/// `replacement` must have exactly sub.boundary_inputs.size() primary
+/// inputs and sub.boundary_outputs.size() primary outputs, positionally
+/// matched, and must use the same library as the parent. Wire-through and
+/// shared-driver outputs are merged onto their source nets. Returns the
+/// gates added to the parent.
+std::vector<GateId> replace_region(Netlist& parent, const Subcircuit& sub,
+                                   const Netlist& replacement);
+
+/// Kills every net that has neither driver nor sinks nor PI/PO marking.
+void sweep_dangling_nets(Netlist& nl);
+
+}  // namespace dfmres

@@ -1,0 +1,40 @@
+#include "src/netlist/stats.hpp"
+
+#include "src/util/fmt.hpp"
+
+namespace dfmres {
+
+CellUsage cell_usage(const Netlist& nl) {
+  CellUsage usage;
+  std::vector<std::size_t> counts(nl.library().num_cells(), 0);
+  for (GateId g : nl.live_gates()) {
+    ++counts[nl.gate(g).cell.value()];
+    ++usage.num_gates;
+    if (nl.cell_of(g).sequential) ++usage.num_sequential;
+  }
+  for (std::uint32_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const CellId id{i};
+    usage.entries.push_back({id, nl.library().cell(id).name, counts[i]});
+  }
+  usage.num_nets = nl.num_live_nets();
+  usage.num_primary_inputs = nl.primary_inputs().size();
+  usage.num_primary_outputs = nl.primary_outputs().size();
+  usage.area_um2 = nl.total_area();
+  return usage;
+}
+
+std::string describe(const Netlist& nl) {
+  const CellUsage usage = cell_usage(nl);
+  std::string out = strfmt(
+      "netlist '%s': %zu gates (%zu sequential), %zu nets, %zu PIs, %zu POs, "
+      "area %.1f um^2\n",
+      nl.name().c_str(), usage.num_gates, usage.num_sequential, usage.num_nets,
+      usage.num_primary_inputs, usage.num_primary_outputs, usage.area_um2);
+  for (const auto& e : usage.entries) {
+    out += strfmt("  %-10s x%zu\n", e.name.c_str(), e.count);
+  }
+  return out;
+}
+
+}  // namespace dfmres

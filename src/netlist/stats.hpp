@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/netlist/netlist.hpp"
+
+namespace dfmres {
+
+/// Per-cell-type instance counts plus aggregate size figures.
+struct CellUsage {
+  struct Entry {
+    CellId cell;
+    std::string name;
+    std::size_t count = 0;
+  };
+  std::vector<Entry> entries;  ///< one per library cell with count > 0
+  std::size_t num_gates = 0;
+  std::size_t num_sequential = 0;
+  std::size_t num_nets = 0;
+  std::size_t num_primary_inputs = 0;
+  std::size_t num_primary_outputs = 0;
+  double area_um2 = 0.0;
+};
+
+[[nodiscard]] CellUsage cell_usage(const Netlist& nl);
+
+/// Multi-line human-readable summary of a netlist.
+[[nodiscard]] std::string describe(const Netlist& nl);
+
+}  // namespace dfmres

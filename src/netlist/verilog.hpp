@@ -1,0 +1,26 @@
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/netlist/netlist.hpp"
+
+namespace dfmres {
+
+/// Writes the netlist as structural Verilog: one module, `input`/`output`
+/// /`wire` declarations, one instance per gate with named pin connections
+/// (pin names from the cell specs), and one `assign` per primary output.
+/// The emitted subset is exactly what read_verilog() accepts, so designs
+/// can be exported, inspected with standard tooling, and re-imported.
+void write_verilog(const Netlist& nl, std::ostream& os);
+[[nodiscard]] std::string to_verilog(const Netlist& nl);
+
+/// Parses the structural subset emitted by write_verilog() against the
+/// given cell library. Returns nullopt (with a log message) on syntax
+/// errors, unknown cells, or dangling references.
+[[nodiscard]] std::optional<Netlist> read_verilog(
+    std::string_view text, std::shared_ptr<const Library> lib);
+
+}  // namespace dfmres

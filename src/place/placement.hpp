@@ -1,0 +1,61 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/layout/floorplan.hpp"
+#include "src/netlist/netlist.hpp"
+#include "src/util/rng.hpp"
+
+namespace dfmres {
+
+/// Row/site position of every live gate (by gate slot). Primary inputs
+/// and outputs are pinned to the left/right die edges as virtual pads.
+struct Placement {
+  struct Pos {
+    int x = -1;  ///< leftmost occupied site
+    int y = -1;  ///< row
+    [[nodiscard]] bool valid() const { return x >= 0; }
+  };
+
+  Floorplan plan;
+  std::vector<Pos> pos;  ///< indexed by gate slot (dead gates invalid)
+
+  [[nodiscard]] const Pos& of(GateId g) const { return pos[g.value()]; }
+
+  /// Pin coordinate used for wirelength and routing: cell center.
+  [[nodiscard]] std::pair<double, double> pin_of(GateId g,
+                                                 int width_sites) const {
+    const Pos& p = pos[g.value()];
+    return {p.x + width_sites / 2.0, static_cast<double>(p.y)};
+  }
+};
+
+/// Half-perimeter wirelength over all live nets, including edge pads.
+[[nodiscard]] double total_hpwl(const Netlist& nl, const Placement& pl);
+
+/// Pad coordinate of a primary input/output net on the die edge.
+[[nodiscard]] std::pair<double, double> pad_position(const Netlist& nl,
+                                                     const Floorplan& plan,
+                                                     NetId net);
+
+struct PlaceOptions {
+  /// Simulated-annealing moves per gate.
+  int moves_per_gate = 32;
+  std::uint64_t seed = 1;
+};
+
+/// Global placement: connectivity-ordered row fill followed by
+/// simulated-annealing refinement on half-perimeter wirelength.
+[[nodiscard]] Placement global_place(const Netlist& nl, const Floorplan& plan,
+                                     const PlaceOptions& options = {});
+
+/// Incremental placement after resynthesis: surviving gates keep their
+/// positions (the floorplan is frozen, paper Section I); new gates are
+/// legalized into free sites near the centroid of their placed neighbors.
+/// Returns nullopt when the die cannot absorb the new cells — this is the
+/// area design-constraint check.
+[[nodiscard]] std::optional<Placement> incremental_place(
+    const Netlist& nl, const Placement& previous, std::uint64_t seed = 1);
+
+}  // namespace dfmres

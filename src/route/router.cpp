@@ -1,0 +1,159 @@
+#include "src/route/router.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dfmres {
+
+namespace {
+
+struct GridPoint {
+  int x, y;
+  friend bool operator==(GridPoint, GridPoint) = default;
+};
+
+}  // namespace
+
+RoutingResult route(const Netlist& nl, const Placement& pl,
+                    const RouteOptions& options) {
+  RoutingResult rr;
+  rr.options = options;
+  rr.grid_w = std::max(
+      1, (pl.plan.sites_per_row + options.gcell_sites - 1) / options.gcell_sites);
+  rr.grid_h =
+      std::max(1, (pl.plan.rows + options.gcell_rows - 1) / options.gcell_rows);
+  rr.h_usage.assign(static_cast<std::size_t>(rr.grid_w) * rr.grid_h, 0);
+  rr.v_usage.assign(static_cast<std::size_t>(rr.grid_w) * rr.grid_h, 0);
+  rr.nets.resize(nl.net_capacity());
+
+  const auto to_gcell = [&](double x, double y) {
+    GridPoint p;
+    p.x = std::clamp(static_cast<int>(x) / options.gcell_sites, 0,
+                     rr.grid_w - 1);
+    p.y = std::clamp(static_cast<int>(y) / options.gcell_rows, 0,
+                     rr.grid_h - 1);
+    return p;
+  };
+
+  // Worst congestion a horizontal run [x0,x1]@y would see.
+  const auto h_worst = [&](int x0, int x1, int y) {
+    if (x0 > x1) std::swap(x0, x1);
+    int worst = 0;
+    for (int x = x0; x <= x1; ++x) {
+      worst = std::max<int>(worst, rr.h_usage[rr.cell(x, y)]);
+    }
+    return worst;
+  };
+  const auto v_worst = [&](int y0, int y1, int x) {
+    if (y0 > y1) std::swap(y0, y1);
+    int worst = 0;
+    for (int y = y0; y <= y1; ++y) {
+      worst = std::max<int>(worst, rr.v_usage[rr.cell(x, y)]);
+    }
+    return worst;
+  };
+
+  for (NetId net : nl.live_nets()) {
+    const auto& n = nl.net(net);
+    std::vector<GridPoint> pins;
+    if (n.has_gate_driver()) {
+      const auto [x, y] =
+          pl.pin_of(n.driver_gate, nl.cell_of(n.driver_gate).width_sites);
+      pins.push_back(to_gcell(x, y));
+    }
+    if (n.is_primary_input || n.is_primary_output) {
+      const auto [x, y] = pad_position(nl, pl.plan, net);
+      pins.push_back(to_gcell(std::max(0.0, x), y));
+    }
+    for (const PinRef& sink : n.sinks) {
+      const auto [x, y] =
+          pl.pin_of(sink.gate, nl.cell_of(sink.gate).width_sites);
+      pins.push_back(to_gcell(x, y));
+    }
+    // Deduplicate pin gcells, preserving order.
+    {
+      std::vector<GridPoint> unique;
+      for (GridPoint p : pins) {
+        if (std::find(unique.begin(), unique.end(), p) == unique.end()) {
+          unique.push_back(p);
+        }
+      }
+      pins = std::move(unique);
+    }
+    NetRoute& nr = rr.nets[net.value()];
+    if (pins.size() < 2) continue;
+
+    // Chain pins in x-major order starting from the driver pin.
+    std::vector<GridPoint> chain{pins.front()};
+    std::sort(pins.begin() + 1, pins.end(), [](GridPoint a, GridPoint b) {
+      return a.x != b.x ? a.x < b.x : a.y < b.y;
+    });
+    chain.insert(chain.end(), pins.begin() + 1, pins.end());
+
+    const auto add_via = [&](int x, int y, bool at_end) {
+      const bool redundant =
+          rr.congestion_pct(x, y) < 50;  // room for a doubled cut
+      rr.vias.push_back({net, x, y, redundant, at_end});
+      ++nr.num_vias;
+    };
+    const auto add_h = [&](int x0, int x1, int y) {
+      if (x0 == x1) return;
+      if (x0 > x1) std::swap(x0, x1);
+      rr.segments.push_back({net, true, y, x0, x1});
+      for (int x = x0; x <= x1; ++x) ++rr.h_usage[rr.cell(x, y)];
+      nr.wirelength += x1 - x0;
+    };
+    const auto add_v = [&](int y0, int y1, int x) {
+      if (y0 == y1) return;
+      if (y0 > y1) std::swap(y0, y1);
+      rr.segments.push_back({net, false, x, y0, y1});
+      for (int y = y0; y <= y1; ++y) ++rr.v_usage[rr.cell(x, y)];
+      nr.wirelength += y1 - y0;
+    };
+
+    const std::size_t first_segment = rr.segments.size();
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+      const GridPoint a = chain[i];
+      const GridPoint b = chain[i + 1];
+      add_via(a.x, a.y, /*at_end=*/true);  // pin via up to routing layers
+      if (a.x == b.x && a.y == b.y) continue;
+      if (a.y == b.y) {
+        add_h(a.x, b.x, a.y);
+      } else if (a.x == b.x) {
+        add_v(a.y, b.y, a.x);
+      } else {
+        // L-shape: horizontal-first (elbow at (b.x, a.y)) or
+        // vertical-first (elbow at (a.x, b.y)); pick the less congested.
+        const int cost_hf = std::max(h_worst(a.x, b.x, a.y),
+                                     v_worst(a.y, b.y, b.x));
+        const int cost_vf = std::max(v_worst(a.y, b.y, a.x),
+                                     h_worst(a.x, b.x, b.y));
+        if (cost_hf <= cost_vf) {
+          add_h(a.x, b.x, a.y);
+          add_v(a.y, b.y, b.x);
+          add_via(b.x, a.y, /*at_end=*/false);  // elbow layer change
+        } else {
+          add_v(a.y, b.y, a.x);
+          add_h(a.x, b.x, b.y);
+          add_via(a.x, b.y, /*at_end=*/false);
+        }
+      }
+    }
+    add_via(chain.back().x, chain.back().y, /*at_end=*/true);
+
+    // Record worst congestion along everything this net touches.
+    int worst = 0;
+    for (std::size_t si = first_segment; si < rr.segments.size(); ++si) {
+      const RouteSegment& s = rr.segments[si];
+      for (int t = s.lo; t <= s.hi; ++t) {
+        const int x = s.horizontal ? t : s.fixed;
+        const int y = s.horizontal ? s.fixed : t;
+        worst = std::max(worst, rr.congestion_pct(x, y));
+      }
+    }
+    nr.max_congestion_pct = worst;
+  }
+  return rr;
+}
+
+}  // namespace dfmres

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/place/placement.hpp"
+
+namespace dfmres {
+
+/// One routed wire piece on a global-routing grid cell line.
+/// Horizontal segments live on metal-2, vertical on metal-3 (metal-1 is
+/// cell-internal); `fixed` is the gcell row (horizontal) or column
+/// (vertical), [lo, hi] the inclusive span.
+struct RouteSegment {
+  NetId net;
+  bool horizontal = true;
+  int fixed = 0;
+  int lo = 0, hi = 0;
+
+  [[nodiscard]] int length() const { return hi - lo; }
+};
+
+/// A layer change or pin connection.
+struct Via {
+  NetId net;
+  int x = 0, y = 0;
+  bool redundant = false;      ///< doubled via (inserted where congestion allows)
+  bool at_segment_end = false; ///< pin via with minimal metal enclosure
+};
+
+struct NetRoute {
+  double wirelength = 0.0;  ///< gcell units
+  int num_vias = 0;
+  int max_congestion_pct = 0;  ///< worst congestion along the route, 0-100+
+};
+
+struct RouteOptions {
+  int gcell_sites = 8;        ///< sites per gcell horizontally
+  int gcell_rows = 2;         ///< rows per gcell vertically
+  int capacity_per_layer = 8; ///< tracks per gcell per layer
+};
+
+/// Global-routing result: per-net topology plus grid usage, everything
+/// the DFM guideline checker needs (wire lengths, via counts/styles,
+/// parallel runs, congestion, density).
+struct RoutingResult {
+  RouteOptions options;
+  int grid_w = 0, grid_h = 0;
+  std::vector<RouteSegment> segments;
+  std::vector<Via> vias;
+  std::vector<NetRoute> nets;          ///< indexed by net slot
+  std::vector<std::uint16_t> h_usage;  ///< per gcell, horizontal layer
+  std::vector<std::uint16_t> v_usage;  ///< per gcell, vertical layer
+
+  [[nodiscard]] std::size_t cell(int x, int y) const {
+    return static_cast<std::size_t>(y) * grid_w + x;
+  }
+  /// Combined usage of a gcell as a percentage of both-layer capacity.
+  [[nodiscard]] int congestion_pct(int x, int y) const {
+    const int used = h_usage[cell(x, y)] + v_usage[cell(x, y)];
+    return used * 100 / (2 * options.capacity_per_layer);
+  }
+  /// Deterministic pseudo track index of a net inside a gcell line.
+  [[nodiscard]] int track_of(NetId net) const {
+    return static_cast<int>((net.value() * 2654435761u) %
+                            static_cast<std::uint32_t>(
+                                options.capacity_per_layer));
+  }
+};
+
+/// Routes every live net: pin gcells are chained in coordinate order and
+/// connected with congestion-aware L-shapes; vias are doubled (redundant)
+/// where local congestion permits.
+[[nodiscard]] RoutingResult route(const Netlist& nl, const Placement& pl,
+                                  const RouteOptions& options = {});
+
+}  // namespace dfmres

@@ -1,0 +1,50 @@
+#include "src/sim/parallel_sim.hpp"
+
+#include <cassert>
+
+namespace dfmres {
+
+ParallelSimulator::ParallelSimulator(const Netlist& nl, const CombView& view)
+    : nl_(nl), view_(view), values_(view.net_slots, 0) {}
+
+void ParallelSimulator::set_source(NetId net, std::uint64_t bits) {
+  values_[net.value()] = bits;
+}
+
+void ParallelSimulator::randomize_sources(Rng& rng) {
+  for (NetId src : view_.sources) values_[src.value()] = rng.next();
+}
+
+std::uint64_t ParallelSimulator::eval_cell(
+    const CellSpec& cell, int output, std::span<const std::uint64_t> inputs) {
+  assert(inputs.size() == cell.num_inputs);
+  const std::uint64_t tt = cell.truth(output);
+  const auto num_minterms = std::uint32_t{1} << cell.num_inputs;
+  std::uint64_t out = 0;
+  for (std::uint32_t m = 0; m < num_minterms; ++m) {
+    if (((tt >> m) & 1u) == 0) continue;
+    std::uint64_t term = ~std::uint64_t{0};
+    for (std::uint32_t i = 0; i < cell.num_inputs; ++i) {
+      term &= ((m >> i) & 1u) ? inputs[i] : ~inputs[i];
+    }
+    out |= term;
+  }
+  return out;
+}
+
+void ParallelSimulator::run() {
+  std::uint64_t ins[kMaxCellInputs];
+  for (GateId g : view_.order) {
+    const auto& gate = nl_.gate(g);
+    const CellSpec& cell = nl_.library().cell(gate.cell);
+    for (std::size_t i = 0; i < gate.fanin.size(); ++i) {
+      ins[i] = values_[gate.fanin[i].value()];
+    }
+    for (int k = 0; k < cell.num_outputs; ++k) {
+      values_[gate.outputs[k].value()] =
+          eval_cell(cell, k, {ins, gate.fanin.size()});
+    }
+  }
+}
+
+}  // namespace dfmres

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/netlist/netlist.hpp"
+#include "src/util/rng.hpp"
+
+namespace dfmres {
+
+/// 64-way bit-parallel logic simulator over the combinational view of a
+/// netlist: one machine word per net, one pattern per bit lane.
+class ParallelSimulator {
+ public:
+  ParallelSimulator(const Netlist& nl, const CombView& view);
+
+  /// Assigns the 64 pattern values of a source net.
+  void set_source(NetId net, std::uint64_t bits);
+  /// Random values on every source net.
+  void randomize_sources(Rng& rng);
+
+  /// Propagates source values through the combinational logic.
+  void run();
+
+  [[nodiscard]] std::uint64_t value(NetId net) const {
+    return values_[net.value()];
+  }
+  [[nodiscard]] std::span<const std::uint64_t> values() const {
+    return values_;
+  }
+  [[nodiscard]] const CombView& view() const { return view_; }
+
+  /// Evaluates one cell output from packed input words — shared helper
+  /// for fault simulation and power estimation.
+  [[nodiscard]] static std::uint64_t eval_cell(
+      const CellSpec& cell, int output, std::span<const std::uint64_t> inputs);
+
+ private:
+  const Netlist& nl_;
+  const CombView& view_;
+  std::vector<std::uint64_t> values_;
+};
+
+}  // namespace dfmres

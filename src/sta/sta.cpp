@@ -1,0 +1,78 @@
+#include "src/sta/sta.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/sim/parallel_sim.hpp"
+#include "src/util/rng.hpp"
+
+namespace dfmres {
+
+TimingPower analyze_timing_power(const Netlist& nl,
+                                 const RoutingResult& routes,
+                                 const StaOptions& options) {
+  TimingPower out;
+  out.arrival.assign(nl.net_capacity(), 0.0);
+
+  const auto wire_cap = [&](NetId net) {
+    return options.wire_cap_per_gcell * routes.nets[net.value()].wirelength;
+  };
+  const auto load_of = [&](NetId net) {
+    double cap = wire_cap(net);
+    for (const PinRef& sink : nl.net(net).sinks) {
+      cap += nl.cell_of(sink.gate).input_cap;
+    }
+    return cap;
+  };
+
+  const CombView view = CombView::build(nl);
+  // Launch arrivals: primary inputs at 0, flop outputs after clk->q.
+  for (NetId src : view.sources) {
+    const auto& net = nl.net(src);
+    out.arrival[src.value()] =
+        net.has_gate_driver() ? nl.cell_of(net.driver_gate).intrinsic_delay
+                              : 0.0;
+  }
+  for (GateId g : view.order) {
+    const auto& gate = nl.gate(g);
+    const CellSpec& cell = nl.cell_of(g);
+    double in_arrival = 0.0;
+    for (NetId in : gate.fanin) {
+      in_arrival = std::max(in_arrival, out.arrival[in.value()]);
+    }
+    for (NetId o : gate.outputs) {
+      out.arrival[o.value()] =
+          in_arrival + cell.intrinsic_delay + cell.drive_res * load_of(o);
+    }
+  }
+  for (NetId obs : view.observe) {
+    out.critical_delay = std::max(out.critical_delay,
+                                  out.arrival[obs.value()]);
+  }
+
+  // Switching activity from 64 random vectors: toggle probability of a
+  // net between two independent vectors is 2p(1-p).
+  ParallelSimulator sim(nl, view);
+  Rng rng(options.activity_seed);
+  sim.randomize_sources(rng);
+  sim.run();
+  for (NetId net : nl.live_nets()) {
+    const double p =
+        static_cast<double>(std::popcount(sim.value(net))) / 64.0;
+    const double activity = 2.0 * p * (1.0 - p);
+    out.dynamic_power += activity * load_of(net) * 100.0;
+    const auto& n = nl.net(net);
+    if (n.has_gate_driver()) {
+      out.dynamic_power += activity * nl.cell_of(n.driver_gate).sw_energy;
+    }
+  }
+  for (GateId g : nl.live_gates()) {
+    out.leakage_power += nl.cell_of(g).leakage;
+    if (nl.cell_of(g).sequential) {
+      out.dynamic_power += options.clock_power_per_flop;
+    }
+  }
+  return out;
+}
+
+}  // namespace dfmres

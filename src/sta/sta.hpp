@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/netlist/netlist.hpp"
+#include "src/route/router.hpp"
+
+namespace dfmres {
+
+/// Static timing and power figures of a placed-and-routed netlist. Only
+/// ever used *relatively* (resynthesized vs. original, the paper's Delay
+/// and Power columns), never as absolute silicon numbers.
+struct TimingPower {
+  double critical_delay = 0.0;   ///< ns, worst source-to-observe path
+  double dynamic_power = 0.0;    ///< relative units
+  double leakage_power = 0.0;    ///< relative units
+  std::vector<double> arrival;   ///< per net slot, ns
+
+  [[nodiscard]] double total_power() const {
+    return dynamic_power + leakage_power;
+  }
+};
+
+struct StaOptions {
+  double wire_cap_per_gcell = 0.0015;  ///< pF of routed wire per gcell
+  std::uint64_t activity_seed = 7;     ///< random vectors for switching
+  /// Clock-tree + internal flop power per sequential cell (the clock
+  /// toggles every cycle, so flops dominate block power the way they do
+  /// in real full-scan designs).
+  double clock_power_per_flop = 130.0;
+};
+
+/// Topological arrival-time analysis with a lumped-load delay model
+/// (intrinsic + drive resistance x load capacitance) plus a switching-
+/// activity power estimate from 64 random patterns.
+[[nodiscard]] TimingPower analyze_timing_power(const Netlist& nl,
+                                               const RoutingResult& routes,
+                                               const StaOptions& options = {});
+
+}  // namespace dfmres

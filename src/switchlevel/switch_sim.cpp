@@ -1,0 +1,223 @@
+#include "src/switchlevel/switch_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace dfmres {
+
+namespace {
+
+enum class Conduction : std::uint8_t { Off, On, Maybe };
+
+constexpr std::uint16_t kGnd = TransistorNetwork::kGnd;
+constexpr std::uint16_t kVdd = TransistorNetwork::kVdd;
+
+struct RepMap {
+  std::vector<std::uint16_t> parent;
+
+  explicit RepMap(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), std::uint16_t{0});
+  }
+  std::uint16_t find(std::uint16_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  /// Merge, preferring rails (then lower index) as the root so that rail
+  /// identity survives bridging defects.
+  void merge(std::uint16_t a, std::uint16_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (b == kGnd || b == kVdd || (a != kGnd && a != kVdd && b < a)) {
+      std::swap(a, b);
+    }
+    parent[b] = a;
+  }
+};
+
+/// Per-node driver reachability flags for one logic value.
+struct Reach {
+  std::vector<bool> strong;  ///< definite path, full-swing devices only
+  std::vector<bool> any;     ///< definite path, possibly degraded
+  std::vector<bool> maybe;   ///< path through uncertain (X-gate) devices
+
+  explicit Reach(std::size_t n) : strong(n), any(n), maybe(n) {}
+};
+
+}  // namespace
+
+SwitchSim::SwitchSim(const TransistorNetwork& network) : network_(network) {}
+
+std::vector<SwitchValue> SwitchSim::eval(
+    std::uint32_t pattern, const CellDefect* defect,
+    std::span<const SwitchValue> prev) const {
+  const auto& nw = network_;
+  const std::size_t n = nw.num_nodes;
+  RepMap reps(n);
+
+  // Apply topology-changing defects.
+  if (defect) {
+    switch (defect->kind) {
+      case DefectKind::NodeShortToVdd: reps.merge(defect->a, kVdd); break;
+      case DefectKind::NodeShortToGnd: reps.merge(defect->a, kGnd); break;
+      case DefectKind::NodeBridge: reps.merge(defect->a, defect->b); break;
+      default: break;
+    }
+  }
+
+  // Pinned values: rails and input pins are driver sources. A rep merged
+  // with a rail takes the rail value.
+  std::vector<SwitchValue> value(n, SwitchValue::X);
+  std::vector<bool> pinned(n, false);
+  auto pin = [&](std::uint16_t node, SwitchValue v) {
+    const std::uint16_t r = reps.find(node);
+    if (!pinned[r]) {
+      value[r] = v;
+      pinned[r] = true;
+    }
+  };
+  pin(kGnd, SwitchValue::Zero);
+  pin(kVdd, SwitchValue::One);
+  for (std::size_t i = 0; i < nw.input_nodes.size(); ++i) {
+    pin(nw.input_nodes[i],
+        ((pattern >> i) & 1u) ? SwitchValue::One : SwitchValue::Zero);
+  }
+
+  // Per-transistor adjacency on representatives.
+  std::vector<std::vector<std::uint32_t>> adjacency(n);
+  for (std::uint32_t t = 0; t < nw.transistors.size(); ++t) {
+    adjacency[reps.find(nw.transistors[t].source_node)].push_back(t);
+    adjacency[reps.find(nw.transistors[t].drain_node)].push_back(t);
+  }
+
+  std::vector<Conduction> cond(nw.transistors.size(), Conduction::Off);
+
+  // BFS from one driver source. `value_driven` selects device strength:
+  // NMOS passes 0 at full swing but degrades 1; PMOS the reverse. `mode`
+  // 0 = strong-definite, 1 = any-definite, 2 = maybe.
+  const auto run_reach = [&](std::uint16_t start, bool value_driven, int mode,
+                             std::vector<bool>& out) {
+    if (out[start]) return;  // another source of this class already swept
+    std::vector<std::uint16_t> queue{start};
+    out[start] = true;
+    while (!queue.empty()) {
+      const std::uint16_t node = queue.back();
+      queue.pop_back();
+      if (node != start && pinned[node]) continue;  // sources terminate paths
+      for (std::uint32_t t : adjacency[node]) {
+        const Conduction c = cond[t];
+        if (c == Conduction::Off) continue;
+        if (mode < 2 && c == Conduction::Maybe) continue;
+        if (mode == 0) {
+          const bool full_swing = value_driven ? nw.transistors[t].is_pmos
+                                               : !nw.transistors[t].is_pmos;
+          if (!full_swing) continue;
+        }
+        const std::uint16_t s = reps.find(nw.transistors[t].source_node);
+        const std::uint16_t d = reps.find(nw.transistors[t].drain_node);
+        const std::uint16_t other = (s == node) ? d : s;
+        if (!out[other]) {
+          out[other] = true;
+          queue.push_back(other);
+        }
+      }
+    }
+  };
+
+  Reach reach0(n), reach1(n);
+
+  for (int iter = 0; iter < 8; ++iter) {
+    // Transistor conduction from gate values.
+    for (std::uint32_t t = 0; t < nw.transistors.size(); ++t) {
+      const Transistor& tr = nw.transistors[t];
+      if (defect && defect->kind == DefectKind::TransistorStuckOpen &&
+          defect->a == t) {
+        cond[t] = Conduction::Off;
+        continue;
+      }
+      if (defect && defect->kind == DefectKind::TransistorStuckOn &&
+          defect->a == t) {
+        cond[t] = Conduction::On;
+        continue;
+      }
+      SwitchValue g = value[reps.find(tr.gate_node)];
+      if (defect && defect->kind == DefectKind::PinOpen &&
+          tr.gate_node == nw.input_nodes[defect->a]) {
+        g = SwitchValue::X;  // floating gate
+      }
+      switch (g) {
+        case SwitchValue::Zero:
+          cond[t] = tr.is_pmos ? Conduction::On : Conduction::Off;
+          break;
+        case SwitchValue::One:
+          cond[t] = tr.is_pmos ? Conduction::Off : Conduction::On;
+          break;
+        default:
+          cond[t] = Conduction::Maybe;
+          break;
+      }
+    }
+
+    // Reachability from every driver source, split by driven value.
+    for (auto* r : {&reach0, &reach1}) {
+      std::fill(r->strong.begin(), r->strong.end(), false);
+      std::fill(r->any.begin(), r->any.end(), false);
+      std::fill(r->maybe.begin(), r->maybe.end(), false);
+    }
+    for (std::uint16_t node = 0; node < n; ++node) {
+      if (reps.find(node) != node || !pinned[node]) continue;
+      const SwitchValue v = value[node];
+      if (v == SwitchValue::Zero || v == SwitchValue::X) {
+        Reach& r = reach0;
+        run_reach(node, false, 0, r.strong);
+        run_reach(node, false, 1, r.any);
+        run_reach(node, false, 2, r.maybe);
+      }
+      if (v == SwitchValue::One || v == SwitchValue::X) {
+        Reach& r = reach1;
+        run_reach(node, true, 0, r.strong);
+        run_reach(node, true, 1, r.any);
+        run_reach(node, true, 2, r.maybe);
+      }
+    }
+
+    bool changed = false;
+    for (std::uint16_t r = 0; r < n; ++r) {
+      if (reps.find(r) != r || pinned[r]) continue;
+      const bool s0 = reach0.strong[r], a0 = reach0.any[r],
+                 m0 = reach0.maybe[r];
+      const bool s1 = reach1.strong[r], a1 = reach1.any[r],
+                 m1 = reach1.maybe[r];
+      SwitchValue v;
+      if (s0 && !a1 && !m1) {
+        v = SwitchValue::Zero;
+      } else if (s1 && !a0 && !m0) {
+        v = SwitchValue::One;
+      } else if (a0 || a1 || m0 || m1) {
+        // Fight, degraded-only drive, or uncertain topology: the node
+        // voltage is not a dependable full-swing logic level.
+        v = SwitchValue::X;
+      } else if (!prev.empty()) {
+        v = prev[r];  // isolated: retain charge
+      } else {
+        v = SwitchValue::Z;
+      }
+      if (value[r] != v) {
+        value[r] = v;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Expand representative values to all nodes.
+  std::vector<SwitchValue> out(n);
+  for (std::uint16_t i = 0; i < n; ++i) out[i] = value[reps.find(i)];
+  return out;
+}
+
+}  // namespace dfmres

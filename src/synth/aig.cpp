@@ -1,0 +1,205 @@
+#include "src/synth/aig.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace dfmres {
+
+Aig::Aig() {
+  nodes_.push_back({});  // node 0: constant false
+  kind_.push_back(NodeKind::Const);
+}
+
+std::uint32_t Aig::add_input() {
+  const auto node = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back({});
+  kind_.push_back(NodeKind::Input);
+  ++num_inputs_;
+  return node;
+}
+
+Aig::Lit Aig::and2(Lit a, Lit b) {
+  if (a > b) std::swap(a, b);
+  // Constant and trivial folding.
+  if (a == kFalse) return kFalse;
+  if (a == kTrue) return b;
+  if (a == b) return a;
+  if (a == neg(b)) return kFalse;
+  const std::uint64_t key = (std::uint64_t{a} << 32) | b;
+  if (auto it = strash_.find(key); it != strash_.end()) {
+    return make(it->second, false);
+  }
+  const auto node = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back({a, b});
+  kind_.push_back(NodeKind::And);
+  strash_.emplace(key, node);
+  return make(node, false);
+}
+
+Aig::Lit Aig::xor2(Lit a, Lit b) {
+  // a ^ b = !( !(a & !b) & !(!a & b) )
+  return neg(and2(neg(and2(a, neg(b))), neg(and2(neg(a), b))));
+}
+
+Aig::Lit Aig::mux(Lit sel, Lit t, Lit e) {
+  return neg(and2(neg(and2(sel, t)), neg(and2(neg(sel), e))));
+}
+
+Aig::Lit Aig::build_function(std::uint64_t tt, std::span<const Lit> inputs,
+                             int num_vars) {
+  assert(num_vars >= 0 && num_vars <= 6);
+  assert(inputs.size() >= static_cast<std::size_t>(num_vars));
+  const std::uint64_t mask =
+      num_vars == 6 ? ~std::uint64_t{0}
+                    : ((std::uint64_t{1} << (1u << num_vars)) - 1);
+  tt &= mask;
+  if (tt == 0) return kFalse;
+  if (tt == mask) return kTrue;
+  assert(num_vars > 0);
+  // Shannon on the top variable.
+  const int var = num_vars - 1;
+  const std::uint32_t half = 1u << var;
+  const std::uint64_t lo_mask = (std::uint64_t{1} << half) - 1;
+  const std::uint64_t tt0 = tt & lo_mask;
+  const std::uint64_t tt1 = (tt >> half) & lo_mask;
+  if (tt0 == tt1) return build_function(tt0, inputs, var);
+  if (tt1 == (tt0 ^ lo_mask)) {
+    // Complementary cofactors: f = var XOR f0, sharing one subtree
+    // (essential for parity/adder logic to map onto XOR cells).
+    return xor2(inputs[var], build_function(tt0, inputs, var));
+  }
+  const Lit f0 = build_function(tt0, inputs, var);
+  const Lit f1 = build_function(tt1, inputs, var);
+  return mux(inputs[var], f1, f0);
+}
+
+std::uint32_t Aig::add_po(Lit l) {
+  pos_.push_back(l);
+  return static_cast<std::uint32_t>(pos_.size() - 1);
+}
+
+std::vector<std::uint32_t> Aig::reference_counts() const {
+  std::vector<std::uint32_t> refs(nodes_.size(), 0);
+  for (std::uint32_t n = 0; n < nodes_.size(); ++n) {
+    if (!is_and(n)) continue;
+    ++refs[node_of(nodes_[n].f0)];
+    ++refs[node_of(nodes_[n].f1)];
+  }
+  for (Lit po : pos_) ++refs[node_of(po)];
+  return refs;
+}
+
+std::vector<std::uint32_t> Aig::levels() const {
+  std::vector<std::uint32_t> level(nodes_.size(), 0);
+  for (std::uint32_t n = 0; n < nodes_.size(); ++n) {
+    if (!is_and(n)) continue;
+    level[n] = 1 + std::max(level[node_of(nodes_[n].f0)],
+                            level[node_of(nodes_[n].f1)]);
+  }
+  return level;
+}
+
+std::vector<std::uint64_t> Aig::simulate(
+    std::span<const std::uint64_t> input_words) const {
+  assert(input_words.size() == num_inputs_);
+  std::vector<std::uint64_t> value(nodes_.size(), 0);
+  std::size_t next_input = 0;
+  for (std::uint32_t n = 0; n < nodes_.size(); ++n) {
+    switch (kind_[n]) {
+      case NodeKind::Const:
+        value[n] = 0;
+        break;
+      case NodeKind::Input:
+        value[n] = input_words[next_input++];
+        break;
+      case NodeKind::And: {
+        const Lit a = nodes_[n].f0, b = nodes_[n].f1;
+        const std::uint64_t va =
+            compl_of(a) ? ~value[node_of(a)] : value[node_of(a)];
+        const std::uint64_t vb =
+            compl_of(b) ? ~value[node_of(b)] : value[node_of(b)];
+        value[n] = va & vb;
+        break;
+      }
+    }
+  }
+  return value;
+}
+
+Aig balance(const Aig& src) {
+  Aig dst;
+  // old node -> new literal (positive phase of the old node).
+  std::vector<Aig::Lit> lit_map(src.num_nodes(), Aig::kFalse);
+  std::vector<bool> mapped(src.num_nodes(), false);
+  lit_map[0] = Aig::kFalse;
+  mapped[0] = true;
+  for (std::uint32_t n = 0; n < src.num_nodes(); ++n) {
+    if (src.is_input(n)) {
+      lit_map[n] = Aig::make(dst.add_input(), false);
+      mapped[n] = true;
+    }
+  }
+
+  // Incremental level tracking for dst nodes (and2 may or may not create
+  // a node, so sync after every call).
+  std::vector<std::uint32_t> dlevel;
+  auto sync_levels = [&] {
+    while (dlevel.size() < dst.num_nodes()) {
+      const auto n = static_cast<std::uint32_t>(dlevel.size());
+      dlevel.push_back(dst.is_and(n)
+                           ? 1 + std::max(dlevel[Aig::node_of(dst.fanin0(n))],
+                                          dlevel[Aig::node_of(dst.fanin1(n))])
+                           : 0);
+    }
+  };
+  sync_levels();
+  auto dst_and = [&](Aig::Lit a, Aig::Lit b) {
+    const Aig::Lit r = dst.and2(a, b);
+    sync_levels();
+    return r;
+  };
+
+  const auto refs = src.reference_counts();
+
+  std::function<Aig::Lit(Aig::Lit)> rebuild = [&](Aig::Lit lit) -> Aig::Lit {
+    const std::uint32_t node = Aig::node_of(lit);
+    if (!mapped[node]) {
+      // Gather the multi-input conjunction under this node. Stop at
+      // complemented edges, inputs, and shared (multi-reference) nodes.
+      std::vector<Aig::Lit> leaves;
+      std::function<void(Aig::Lit)> gather = [&](Aig::Lit l) {
+        const std::uint32_t m = Aig::node_of(l);
+        if (!Aig::compl_of(l) && src.is_and(m) && refs[m] <= 1) {
+          gather(src.fanin0(m));
+          gather(src.fanin1(m));
+        } else {
+          leaves.push_back(rebuild(l));
+        }
+      };
+      gather(src.fanin0(node));
+      gather(src.fanin1(node));
+      // Combine shallow-first (min-level pairing) to minimize depth.
+      auto level_of = [&](Aig::Lit l) { return dlevel[Aig::node_of(l)]; };
+      while (leaves.size() > 1) {
+        std::sort(leaves.begin(), leaves.end(),
+                  [&](Aig::Lit a, Aig::Lit b) {
+                    return level_of(a) > level_of(b);
+                  });
+        const Aig::Lit a = leaves.back();
+        leaves.pop_back();
+        const Aig::Lit b = leaves.back();
+        leaves.pop_back();
+        leaves.push_back(dst_and(a, b));
+      }
+      lit_map[node] = leaves.empty() ? Aig::kTrue : leaves[0];
+      mapped[node] = true;
+    }
+    return Aig::compl_of(lit) ? Aig::neg(lit_map[node]) : lit_map[node];
+  };
+
+  for (Aig::Lit po : src.pos()) dst.add_po(rebuild(po));
+  return dst;
+}
+
+}  // namespace dfmres

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace dfmres {
+
+/// And-Inverter Graph with structural hashing and constant folding — the
+/// technology-independent form used by Synthesize() (paper Section III).
+///
+/// Literals encode (node << 1) | complemented. Node 0 is the constant-
+/// false node, so literal 0 = false and literal 1 = true. Input nodes and
+/// AND nodes share the index space; AND nodes always reference
+/// lower-indexed nodes, so index order is a topological order.
+class Aig {
+ public:
+  using Lit = std::uint32_t;
+  static constexpr Lit kFalse = 0;
+  static constexpr Lit kTrue = 1;
+
+  static constexpr Lit make(std::uint32_t node, bool complemented) {
+    return (node << 1) | (complemented ? 1u : 0u);
+  }
+  static constexpr std::uint32_t node_of(Lit l) { return l >> 1; }
+  static constexpr bool compl_of(Lit l) { return (l & 1u) != 0; }
+  static constexpr Lit neg(Lit l) { return l ^ 1u; }
+
+  Aig();
+
+  /// Adds a primary input node; returns its node index.
+  std::uint32_t add_input();
+
+  // ---- boolean construction (hash-consed, constant-folding) ----
+  Lit and2(Lit a, Lit b);
+  Lit or2(Lit a, Lit b) { return neg(and2(neg(a), neg(b))); }
+  Lit xor2(Lit a, Lit b);
+  Lit mux(Lit sel, Lit t, Lit e);  ///< sel ? t : e
+
+  /// Builds an arbitrary function from its truth table over `inputs`
+  /// (bit i of a minterm index = value of inputs[i]) by Shannon
+  /// decomposition. `num_vars` <= 6.
+  Lit build_function(std::uint64_t tt, std::span<const Lit> inputs,
+                     int num_vars);
+
+  /// Registers a primary output; returns its index.
+  std::uint32_t add_po(Lit l);
+
+  // ---- access ----
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_inputs() const { return num_inputs_; }
+  [[nodiscard]] bool is_input(std::uint32_t node) const {
+    return kind_[node] == NodeKind::Input;
+  }
+  [[nodiscard]] bool is_and(std::uint32_t node) const {
+    return kind_[node] == NodeKind::And;
+  }
+  [[nodiscard]] bool is_const(std::uint32_t node) const { return node == 0; }
+  [[nodiscard]] Lit fanin0(std::uint32_t node) const {
+    return nodes_[node].f0;
+  }
+  [[nodiscard]] Lit fanin1(std::uint32_t node) const {
+    return nodes_[node].f1;
+  }
+  [[nodiscard]] const std::vector<Lit>& pos() const { return pos_; }
+
+  /// Number of references (AND fanins + POs) per node; used for area-flow
+  /// estimation during mapping.
+  [[nodiscard]] std::vector<std::uint32_t> reference_counts() const;
+
+  /// Logic depth (ANDs) per node.
+  [[nodiscard]] std::vector<std::uint32_t> levels() const;
+
+  /// Simulates 64 parallel patterns; `input_words[i]` drives input i.
+  [[nodiscard]] std::vector<std::uint64_t> simulate(
+      std::span<const std::uint64_t> input_words) const;
+
+ private:
+  enum class NodeKind : std::uint8_t { Const, Input, And };
+
+  struct Node {
+    Lit f0 = 0;
+    Lit f1 = 0;
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<NodeKind> kind_;
+  std::vector<Lit> pos_;
+  std::unordered_map<std::uint64_t, std::uint32_t> strash_;
+  std::size_t num_inputs_ = 0;
+};
+
+/// Returns a depth-reduced equivalent AIG: conjunction trees are
+/// re-balanced bottom-up (classic balancing; helps meet the delay
+/// constraint after resynthesis). Input/PO order is preserved.
+[[nodiscard]] Aig balance(const Aig& aig);
+
+}  // namespace dfmres

@@ -1,0 +1,200 @@
+#include "src/synth/cuts.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dfmres {
+
+namespace tt4 {
+
+namespace {
+constexpr std::uint16_t kVarTables[4] = {0xAAAA, 0xCCCC, 0xF0F0, 0xFF00};
+}
+
+std::uint16_t var(int v) { return kVarTables[v]; }
+
+std::uint16_t pad(std::uint16_t tt, int num_vars) {
+  // Replicate the low 2^num_vars bits across the 16-bit table.
+  int bits = 1 << num_vars;
+  while (bits < 16) {
+    const std::uint16_t mask =
+        static_cast<std::uint16_t>((1u << bits) - 1u);
+    tt = static_cast<std::uint16_t>((tt & mask) | ((tt & mask) << bits));
+    bits <<= 1;
+  }
+  return tt;
+}
+
+std::uint16_t expand(std::uint16_t tt, const Cut& from, const Cut& to) {
+  // Map each variable of `from` to its position in `to`, then rebuild the
+  // table minterm by minterm over `to`.
+  std::array<int, kMaxCutSize> pos{};
+  for (int i = 0; i < from.size; ++i) {
+    int p = -1;
+    for (int j = 0; j < to.size; ++j) {
+      if (to.leaves[j] == from.leaves[i]) {
+        p = j;
+        break;
+      }
+    }
+    assert(p >= 0 && "expand: from-leaf missing in to-cut");
+    pos[i] = p;
+  }
+  std::uint16_t out = 0;
+  for (unsigned m = 0; m < 16u; ++m) {
+    unsigned src_minterm = 0;
+    for (int i = 0; i < from.size; ++i) {
+      if ((m >> pos[i]) & 1u) src_minterm |= 1u << i;
+    }
+    if ((tt >> src_minterm) & 1u) out |= std::uint16_t(1u << m);
+  }
+  return out;
+}
+
+std::uint16_t permute(std::uint16_t tt, int num_vars,
+                      const std::array<int, 4>& perm) {
+  std::uint16_t out = 0;
+  for (unsigned m = 0; m < 16u; ++m) {
+    unsigned src = 0;
+    for (int i = 0; i < num_vars; ++i) {
+      if ((m >> i) & 1u) src |= 1u << perm[i];
+    }
+    if ((tt >> src) & 1u) out |= std::uint16_t(1u << m);
+  }
+  return pad(out, num_vars);
+}
+
+std::uint16_t flip_inputs(std::uint16_t tt, int num_vars, unsigned mask) {
+  std::uint16_t out = 0;
+  for (unsigned m = 0; m < 16u; ++m) {
+    const unsigned src = (m ^ mask) & 15u;
+    if ((tt >> src) & 1u) out |= std::uint16_t(1u << m);
+  }
+  return pad(out, num_vars);
+}
+
+bool depends_on(std::uint16_t tt, int v) {
+  const std::uint16_t t = var(v);
+  const std::uint16_t hi = tt & t;
+  const std::uint16_t lo = static_cast<std::uint16_t>(tt & ~t);
+  // Compare cofactors by aligning them.
+  const int shift = 1 << v;
+  return static_cast<std::uint16_t>(hi >> shift) != lo;
+}
+
+}  // namespace tt4
+
+bool Cut::dominates(const Cut& other) const {
+  if (size > other.size) return false;
+  for (int i = 0; i < size; ++i) {
+    if (!other.contains(leaves[i])) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Merges the leaf sets of two cuts; returns false if > kMaxCutSize.
+bool merge_leaves(const Cut& a, const Cut& b, Cut& out) {
+  int i = 0, j = 0, k = 0;
+  while (i < a.size || j < b.size) {
+    std::uint32_t next;
+    if (j >= b.size || (i < a.size && a.leaves[i] <= b.leaves[j])) {
+      next = a.leaves[i];
+      if (j < b.size && b.leaves[j] == next) ++j;
+      ++i;
+    } else {
+      next = b.leaves[j];
+      ++j;
+    }
+    if (k == kMaxCutSize) return false;
+    out.leaves[k++] = next;
+  }
+  out.size = static_cast<std::uint8_t>(k);
+  return true;
+}
+
+void add_cut(std::vector<Cut>& cuts, const Cut& cut) {
+  // Drop if dominated by an existing cut; remove cuts it dominates.
+  for (const Cut& c : cuts) {
+    if (c.dominates(cut)) return;
+  }
+  std::erase_if(cuts, [&](const Cut& c) { return cut.dominates(c); });
+  cuts.push_back(cut);
+}
+
+}  // namespace
+
+CutSet::CutSet(const Aig& aig) : cuts_(aig.num_nodes()) {
+  for (std::uint32_t n = 0; n < aig.num_nodes(); ++n) {
+    if (aig.is_const(n)) continue;
+    std::vector<Cut>& out = cuts_[n];
+    if (aig.is_input(n)) {
+      Cut trivial;
+      trivial.leaves[0] = n;
+      trivial.size = 1;
+      trivial.tt = tt4::pad(0x2, 1);  // f = x0
+      out.push_back(trivial);
+      continue;
+    }
+    const Aig::Lit l0 = aig.fanin0(n);
+    const Aig::Lit l1 = aig.fanin1(n);
+    const auto& cuts0 = cuts_[Aig::node_of(l0)];
+    const auto& cuts1 = cuts_[Aig::node_of(l1)];
+    // The base cut {fanin0, fanin1} must always survive: it is the
+    // fallback that keeps any node mappable with just NAND/NOR + INV.
+    Cut base;
+    {
+      const std::uint32_t n0 = Aig::node_of(l0), n1 = Aig::node_of(l1);
+      base.size = 2;
+      base.leaves[0] = std::min(n0, n1);
+      base.leaves[1] = std::max(n0, n1);
+      // Variable of each fanin by its leaf position.
+      const std::uint16_t v0 = (n0 == base.leaves[0]) ? tt4::var(0)
+                                                      : tt4::var(1);
+      const std::uint16_t v1 = (n1 == base.leaves[0]) ? tt4::var(0)
+                                                      : tt4::var(1);
+      const std::uint16_t a =
+          Aig::compl_of(l0) ? static_cast<std::uint16_t>(~v0) : v0;
+      const std::uint16_t b =
+          Aig::compl_of(l1) ? static_cast<std::uint16_t>(~v1) : v1;
+      base.tt = static_cast<std::uint16_t>(a & b);
+    }
+    for (const Cut& c0 : cuts0) {
+      for (const Cut& c1 : cuts1) {
+        Cut merged;
+        if (!merge_leaves(c0, c1, merged)) continue;
+        std::uint16_t t0 = tt4::expand(c0.tt, c0, merged);
+        std::uint16_t t1 = tt4::expand(c1.tt, c1, merged);
+        if (Aig::compl_of(l0)) t0 = static_cast<std::uint16_t>(~t0);
+        if (Aig::compl_of(l1)) t1 = static_cast<std::uint16_t>(~t1);
+        merged.tt = static_cast<std::uint16_t>(t0 & t1);
+        add_cut(out, merged);
+        if (out.size() >= kCutsPerNode * 3) break;
+      }
+      if (out.size() >= kCutsPerNode * 3) break;
+    }
+    add_cut(out, base);
+    // Keep the smallest cuts (they match the cheapest cells) up to the
+    // priority budget, then append the trivial cut for parent merging.
+    std::sort(out.begin(), out.end(), [](const Cut& a, const Cut& b) {
+      return a.size < b.size;
+    });
+    if (out.size() > kCutsPerNode) out.resize(kCutsPerNode);
+    const bool base_present = std::any_of(
+        out.begin(), out.end(), [&](const Cut& c) {
+          return c.size == base.size &&
+                 std::equal(c.leaves.begin(), c.leaves.begin() + c.size,
+                            base.leaves.begin()) &&
+                 c.tt == base.tt;
+        });
+    if (!base_present) out.back() = base;
+    Cut trivial;
+    trivial.leaves[0] = n;
+    trivial.size = 1;
+    trivial.tt = tt4::pad(0x2, 1);
+    out.push_back(trivial);
+  }
+}
+
+}  // namespace dfmres

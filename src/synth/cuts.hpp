@@ -1,0 +1,79 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/synth/aig.hpp"
+
+namespace dfmres {
+
+/// Maximum cut width for technology mapping; the largest library cells
+/// (AOI22/OAI22) have 4 inputs.
+inline constexpr int kMaxCutSize = 4;
+/// Priority cuts kept per node.
+inline constexpr int kCutsPerNode = 8;
+
+/// A k-feasible cut of an AIG node: a set of leaf nodes (sorted, unique)
+/// plus the node's function over those leaves as a 4-variable truth table
+/// (leaf i = variable i; unused variables are don't-care-padded by
+/// repetition).
+struct Cut {
+  std::array<std::uint32_t, kMaxCutSize> leaves{};
+  std::uint8_t size = 0;
+  std::uint16_t tt = 0;
+
+  [[nodiscard]] bool contains(std::uint32_t node) const {
+    for (int i = 0; i < size; ++i) {
+      if (leaves[i] == node) return true;
+    }
+    return false;
+  }
+  /// True if every leaf of this cut also appears in `other` (this
+  /// dominates other: other is redundant).
+  [[nodiscard]] bool dominates(const Cut& other) const;
+};
+
+/// Per-node priority cut sets for a whole AIG. The first cut of every
+/// non-const node is its trivial cut {node}.
+class CutSet {
+ public:
+  explicit CutSet(const Aig& aig);
+
+  [[nodiscard]] const std::vector<Cut>& cuts(std::uint32_t node) const {
+    return cuts_[node];
+  }
+
+ private:
+  std::vector<std::vector<Cut>> cuts_;
+};
+
+namespace tt4 {
+
+/// Truth table of variable `v` over 4 variables.
+[[nodiscard]] std::uint16_t var(int v);
+
+/// Expands `tt` defined over `from` leaves to the leaf set `to`
+/// (`from` must be a subset of `to`; both sorted ascending).
+[[nodiscard]] std::uint16_t expand(std::uint16_t tt,
+                                   const Cut& from, const Cut& to);
+
+/// Applies an input permutation: result(x_{perm[0]},...,) — variable i of
+/// the output reads variable perm[i] of the input table.
+[[nodiscard]] std::uint16_t permute(std::uint16_t tt, int num_vars,
+                                    const std::array<int, 4>& perm);
+
+/// Complements selected input variables (bit i of mask = flip var i).
+[[nodiscard]] std::uint16_t flip_inputs(std::uint16_t tt, int num_vars,
+                                        unsigned mask);
+
+/// Masks a table down to its valid bits for `num_vars` variables,
+/// replicating so that unused high variables are don't cares.
+[[nodiscard]] std::uint16_t pad(std::uint16_t tt, int num_vars);
+
+/// True if variable v actually influences the (padded) table.
+[[nodiscard]] bool depends_on(std::uint16_t tt, int v);
+
+}  // namespace tt4
+
+}  // namespace dfmres

@@ -1,0 +1,535 @@
+#include "src/synth/mapper.hpp"
+
+#include "src/netlist/extract.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <functional>
+#include <numeric>
+#include <set>
+
+#include "src/util/logging.hpp"
+
+namespace dfmres {
+
+namespace {
+
+constexpr double kInf = 1e18;
+
+/// Mapping-time delay estimate: intrinsic plus drive under a nominal load.
+double cell_delay(const CellSpec& c) {
+  return c.intrinsic_delay + c.drive_res * 0.02;
+}
+
+std::uint32_t table_key(int size, std::uint16_t tt) {
+  return (static_cast<std::uint32_t>(size) << 16) | tt;
+}
+
+}  // namespace
+
+MatchTable::MatchTable(const Library& lib, const std::vector<bool>& banned) {
+  const auto is_banned = [&](std::uint32_t idx) {
+    return idx < banned.size() && banned[idx];
+  };
+  double best_inv_area = kInf;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;  // (key, cell)
+
+  for (std::uint32_t idx = 0; idx < lib.num_cells(); ++idx) {
+    const CellId id{idx};
+    const CellSpec& c = lib.cell(id);
+    if (c.sequential || c.num_outputs != 1 || is_banned(idx)) continue;
+    if (c.num_inputs == 1) {
+      if (c.truth(0) == 0x1 && c.area_um2 < best_inv_area) {
+        best_inv_area = c.area_um2;
+        inverter_ = id;
+      }
+      continue;  // 1-input cells are phase converters, not cut matches
+    }
+    if (c.num_inputs > kMaxCutSize) continue;
+
+    const int n = c.num_inputs;
+    const std::uint16_t base = tt4::pad(static_cast<std::uint16_t>(c.truth(0)), n);
+    std::array<int, 4> p{0, 1, 2, 3};
+    std::vector<int> idxs(static_cast<std::size_t>(n));
+    std::iota(idxs.begin(), idxs.end(), 0);
+    do {
+      for (int i = 0; i < n; ++i) p[static_cast<std::size_t>(i)] = idxs[static_cast<std::size_t>(i)];
+      std::array<std::uint8_t, kMaxCutSize> inv_p{};
+      for (int i = 0; i < n; ++i) inv_p[static_cast<std::size_t>(idxs[static_cast<std::size_t>(i)])] = static_cast<std::uint8_t>(i);
+      for (unsigned flip = 0; flip < (1u << n); ++flip) {
+        // variant(x) = cell(y ^ flip) with y_{p[i]} = x_i, i.e. cell pin j
+        // reads cut leaf inv_p[j], complemented iff bit j of flip.
+        const std::uint16_t c2 = tt4::flip_inputs(base, n, flip);
+        const std::uint16_t variant = tt4::permute(c2, n, p);
+        bool full_support = true;
+        for (int v = 0; v < n; ++v) {
+          if (!tt4::depends_on(variant, v)) full_support = false;
+        }
+        if (!full_support) continue;  // a smaller cut covers this function
+        const std::uint32_t key = table_key(n, variant);
+        if (!seen.emplace(key, idx).second) continue;
+        MatchEntry entry;
+        entry.cell = id;
+        entry.num_inputs = static_cast<std::uint8_t>(n);
+        entry.neg_mask = static_cast<std::uint8_t>(flip);
+        for (int j = 0; j < n; ++j) entry.leaf_of_pin[static_cast<std::size_t>(j)] = inv_p[static_cast<std::size_t>(j)];
+        table_[key].push_back(entry);
+      }
+    } while (std::next_permutation(idxs.begin(), idxs.end()));
+  }
+}
+
+const std::vector<MatchEntry>* MatchTable::find(int cut_size,
+                                                std::uint16_t tt) const {
+  auto it = table_.find(table_key(cut_size, tt));
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+struct PhaseBest {
+  double arrival = kInf;
+  double area_flow = kInf;
+  int cut = -1;
+  const MatchEntry* match = nullptr;
+  bool via_inv = false;
+
+  [[nodiscard]] bool valid() const { return arrival < kInf / 2; }
+  /// Combined objective: area-driven with a delay term, the balance a
+  /// commercial area/timing mapper strikes (and what keeps resynthesized
+  /// regions inside the fixed die).
+  [[nodiscard]] double cost(double delay_weight) const {
+    return area_flow + delay_weight * arrival;
+  }
+};
+
+void take_better(PhaseBest& cur, const PhaseBest& cand, double delay_weight) {
+  if (cand.cost(delay_weight) < cur.cost(delay_weight)) cur = cand;
+}
+
+/// Builds a constant-valued net in `dst` from reference net `x` using any
+/// available (non-banned) 2+-input cell fed from {x, ~x}; real libraries
+/// use tie cells, ours synthesizes the constant the way mapped logic
+/// would. Returns invalid if no cell works.
+NetId materialize_constant(Netlist& dst, bool value, NetId x, NetId x_inv,
+                           const std::vector<bool>& banned) {
+  const Library& lib = dst.library();
+  for (std::uint32_t idx = 0; idx < lib.num_cells(); ++idx) {
+    if (idx < banned.size() && banned[idx]) continue;
+    const CellSpec& c = lib.cell(CellId{idx});
+    if (c.sequential || c.num_outputs != 1 || c.num_inputs < 2) continue;
+    const int n = c.num_inputs;
+    for (unsigned assign = 0; assign < (1u << n); ++assign) {
+      // Pin j gets ~x when bit j set. Output over x in {0,1}:
+      unsigned m_x0 = 0, m_x1 = 0;
+      for (int j = 0; j < n; ++j) {
+        const bool pin_is_inv = (assign >> j) & 1u;
+        if (!pin_is_inv) m_x1 |= 1u << j;  // pin = x
+        if (pin_is_inv) m_x0 |= 1u << j;   // pin = ~x, high when x=0
+      }
+      const bool v0 = c.eval(0, m_x0);
+      const bool v1 = c.eval(0, m_x1);
+      if (v0 == value && v1 == value) {
+        std::vector<NetId> fanins;
+        for (int j = 0; j < n; ++j) {
+          fanins.push_back(((assign >> j) & 1u) ? x_inv : x);
+        }
+        const GateId g = dst.add_gate(CellId{idx}, fanins);
+        return dst.gate(g).outputs[0];
+      }
+    }
+  }
+  return NetId::invalid();
+}
+
+/// Load-driven drive selection: real flows size inverters to their
+/// fanout and buffer heavily loaded nets. High-drive cells carry extra
+/// finger-contact DFM sites (statically undetectable), so this pass is
+/// where the paper's tension between performance cells and testable
+/// cells enters the design.
+void size_drives(Netlist& dst, const std::vector<bool>& banned) {
+  const Library& lib = dst.library();
+  const auto pick = [&](std::initializer_list<const char*> names)
+      -> std::optional<CellId> {
+    for (const char* n : names) {
+      if (auto id = lib.find(n)) {
+        if (id->value() >= banned.size() || !banned[id->value()]) return id;
+      }
+    }
+    return std::nullopt;
+  };
+
+  // Inverters sized by fanout.
+  for (GateId g : dst.live_gates()) {
+    const CellSpec& c = dst.cell_of(g);
+    if (c.sequential || c.num_inputs != 1 || c.truth(0) != 0x1) continue;
+    const std::size_t fanout = dst.net(dst.gate(g).outputs[0]).sinks.size();
+    std::optional<CellId> want;
+    if (fanout >= 12) {
+      want = pick({"INVX8", "INVX4", "INVX2", "INVX1"});
+    } else if (fanout >= 6) {
+      want = pick({"INVX4", "INVX2", "INVX1"});
+    } else if (fanout >= 3) {
+      want = pick({"INVX2", "INVX1"});
+    }
+    if (want && *want != dst.gate(g).cell) dst.retype_gate(g, *want);
+  }
+
+  // Buffers split heavily loaded nets whose driver cannot be upsized.
+  for (NetId net : dst.live_nets()) {
+    const auto& nn = dst.net(net);
+    if (nn.has_gate_driver()) {
+      const CellSpec& driver = dst.cell_of(nn.driver_gate);
+      if (driver.num_inputs == 1 && !driver.sequential) continue;  // sized above
+    }
+    const std::vector<PinRef> sinks = nn.sinks;  // snapshot
+    if (sinks.size() < 6) continue;
+    const auto buf = sinks.size() >= 12 ? pick({"BUFX4", "BUFX2"})
+                                        : pick({"BUFX2", "BUFX4"});
+    if (!buf) continue;
+    const NetId fanin[] = {net};
+    const GateId g = dst.add_gate(*buf, fanin);
+    const NetId bout = dst.gate(g).outputs[0];
+    for (std::size_t i = sinks.size() / 2; i < sinks.size(); ++i) {
+      dst.rewire_fanin(sinks[i].gate, sinks[i].pin, bout);
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<Netlist> technology_map(const Netlist& src,
+                                      std::shared_ptr<const Library> target,
+                                      const MapOptions& options) {
+  const Library& slib = src.library();
+  const Library& tlib = *target;
+  const MatchTable table(tlib, options.banned);
+
+  // ---- classify gates: fixed (pass-through) vs mapped logic ----
+  const auto fixed_cell_of = [&](GateId g) -> std::optional<CellId> {
+    const CellId sc = src.gate(g).cell;
+    if (auto it = options.fixed_map.find(sc.value());
+        it != options.fixed_map.end()) {
+      return it->second;
+    }
+    if (slib.cell(sc).sequential) {
+      const auto same = tlib.find(slib.cell(sc).name);
+      if (!same) {
+        log_error("technology_map: sequential cell '%s' has no target "
+                  "mapping",
+                  slib.cell(sc).name.c_str());
+        std::abort();
+      }
+      return *same;
+    }
+    return std::nullopt;
+  };
+
+  const auto live = src.live_gates();
+  std::vector<GateId> fixed_gates;
+  std::vector<bool> is_fixed_slot(src.gate_capacity(), false);
+  for (GateId g : live) {
+    if (fixed_cell_of(g)) {
+      fixed_gates.push_back(g);
+      is_fixed_slot[g.value()] = true;
+    }
+  }
+
+  // Topological order over non-fixed gates (fixed outputs are sources).
+  std::vector<GateId> order;
+  {
+    std::vector<std::uint32_t> pending(src.gate_capacity(), 0);
+    std::vector<GateId> ready;
+    std::size_t num_logic = 0;
+    for (GateId g : live) {
+      if (is_fixed_slot[g.value()]) continue;
+      ++num_logic;
+      std::uint32_t unresolved = 0;
+      for (NetId in : src.gate(g).fanin) {
+        const auto& net = src.net(in);
+        if (net.has_gate_driver() && !is_fixed_slot[net.driver_gate.value()]) {
+          ++unresolved;
+        }
+      }
+      pending[g.value()] = unresolved;
+      if (unresolved == 0) ready.push_back(g);
+    }
+    while (!ready.empty()) {
+      const GateId g = ready.back();
+      ready.pop_back();
+      order.push_back(g);
+      for (NetId out : src.gate(g).outputs) {
+        for (const PinRef& sink : src.net(out).sinks) {
+          if (is_fixed_slot[sink.gate.value()]) continue;
+          if (--pending[sink.gate.value()] == 0) ready.push_back(sink.gate);
+        }
+      }
+    }
+    if (order.size() != num_logic) {
+      log_error("technology_map: cycle among mapped logic in '%s'",
+                src.name().c_str());
+      std::abort();
+    }
+  }
+
+  // ---- build the AIG ----
+  Aig raw;
+  std::vector<Aig::Lit> lit_of(src.net_capacity(), Aig::kFalse);
+  std::vector<bool> lit_set(src.net_capacity(), false);
+  std::vector<NetId> source_nets;  // AIG input ordinal -> src net
+  const auto add_source = [&](NetId n) {
+    lit_of[n.value()] = Aig::make(raw.add_input(), false);
+    lit_set[n.value()] = true;
+    source_nets.push_back(n);
+  };
+  for (NetId pi : src.primary_inputs()) add_source(pi);
+  for (GateId g : fixed_gates) {
+    for (NetId out : src.gate(g).outputs) add_source(out);
+  }
+  for (GateId g : order) {
+    const auto& gate = src.gate(g);
+    const CellSpec& cell = slib.cell(gate.cell);
+    std::vector<Aig::Lit> ins;
+    ins.reserve(gate.fanin.size());
+    for (NetId in : gate.fanin) {
+      assert(lit_set[in.value()]);
+      ins.push_back(lit_of[in.value()]);
+    }
+    for (int k = 0; k < cell.num_outputs; ++k) {
+      lit_of[gate.outputs[static_cast<std::size_t>(k)].value()] =
+          raw.build_function(cell.truth(k), ins, cell.num_inputs);
+      lit_set[gate.outputs[static_cast<std::size_t>(k)].value()] = true;
+    }
+  }
+  // Observed points: src POs, then fixed-gate fanins (in gate/pin order).
+  std::vector<std::pair<GateId, int>> fixed_observes;
+  for (NetId po : src.primary_outputs()) {
+    assert(lit_set[po.value()]);
+    raw.add_po(lit_of[po.value()]);
+  }
+  for (GateId g : fixed_gates) {
+    const auto& gate = src.gate(g);
+    for (std::size_t pin = 0; pin < gate.fanin.size(); ++pin) {
+      assert(lit_set[gate.fanin[pin].value()]);
+      raw.add_po(lit_of[gate.fanin[pin].value()]);
+      fixed_observes.emplace_back(g, static_cast<int>(pin));
+    }
+  }
+
+  const Aig aig = balance(raw);
+
+  // ---- covering DP over (node, phase) ----
+  const CutSet cuts(aig);
+  const auto refs = aig.reference_counts();
+  std::vector<std::array<PhaseBest, 2>> best(aig.num_nodes());
+
+  double inv_delay = kInf, inv_area = kInf;
+  if (table.inverter()) {
+    const CellSpec& inv = tlib.cell(*table.inverter());
+    inv_delay = cell_delay(inv);
+    inv_area = inv.area_um2;
+  }
+  const double delay_weight = options.delay_weight;
+
+  for (std::uint32_t n = 1; n < aig.num_nodes(); ++n) {
+    auto& pb = best[n];
+    if (aig.is_input(n)) {
+      pb[0] = {0.0, 0.0, -1, nullptr, false};
+    } else {
+      for (const int phase : {0, 1}) {
+        const auto& node_cuts = cuts.cuts(n);
+        for (std::size_t ci = 0; ci < node_cuts.size(); ++ci) {
+          const Cut& cut = node_cuts[ci];
+          if (cut.contains(n)) continue;  // trivial self-cut
+          const std::uint16_t want =
+              phase ? static_cast<std::uint16_t>(~cut.tt) : cut.tt;
+          const auto* entries = table.find(cut.size, want);
+          if (!entries) continue;
+          for (const MatchEntry& e : *entries) {
+            double arrival = 0.0, af_sum = 0.0;
+            bool feasible = true;
+            for (int j = 0; j < e.num_inputs; ++j) {
+              const std::uint32_t leaf = cut.leaves[e.leaf_of_pin[static_cast<std::size_t>(j)]];
+              const int ph = (e.neg_mask >> j) & 1;
+              const PhaseBest& lb = best[leaf][static_cast<std::size_t>(ph)];
+              if (!lb.valid()) {
+                feasible = false;
+                break;
+              }
+              arrival = std::max(arrival, lb.arrival);
+              af_sum += lb.area_flow;
+            }
+            if (!feasible) continue;
+            const CellSpec& cell = tlib.cell(e.cell);
+            PhaseBest cand;
+            cand.arrival = arrival + cell_delay(cell);
+            cand.area_flow = (cell.area_um2 + af_sum) /
+                             std::max<std::uint32_t>(1, refs[n]);
+            cand.cut = static_cast<int>(ci);
+            cand.match = &e;
+            take_better(pb[static_cast<std::size_t>(phase)], cand,
+                        delay_weight);
+          }
+        }
+      }
+    }
+    // Cross-phase relaxation through an inverter (run twice so either
+    // direction settles).
+    if (inv_delay < kInf) {
+      for (int rep = 0; rep < 2; ++rep) {
+        for (const int phase : {0, 1}) {
+          const PhaseBest& other = pb[static_cast<std::size_t>(phase ^ 1)];
+          if (!other.valid()) continue;
+          PhaseBest cand;
+          cand.arrival = other.arrival + inv_delay;
+          cand.area_flow = other.area_flow + inv_area;
+          cand.via_inv = true;
+          take_better(pb[static_cast<std::size_t>(phase)], cand,
+                      delay_weight);
+        }
+      }
+    }
+  }
+
+  // ---- feasibility check over everything the POs require ----
+  {
+    std::vector<std::array<bool, 2>> visited(aig.num_nodes(), {false, false});
+    std::vector<std::pair<std::uint32_t, int>> stack;
+    for (Aig::Lit po : aig.pos()) {
+      const std::uint32_t node = Aig::node_of(po);
+      if (node == 0) continue;
+      stack.emplace_back(node, Aig::compl_of(po) ? 1 : 0);
+    }
+    while (!stack.empty()) {
+      auto [node, phase] = stack.back();
+      stack.pop_back();
+      if (visited[node][static_cast<std::size_t>(phase)]) continue;
+      visited[node][static_cast<std::size_t>(phase)] = true;
+      const PhaseBest& pb = best[node][static_cast<std::size_t>(phase)];
+      if (aig.is_input(node)) {
+        if (phase == 1 && inv_delay >= kInf) return std::nullopt;
+        continue;
+      }
+      if (!pb.valid()) return std::nullopt;
+      if (pb.via_inv) {
+        stack.emplace_back(node, phase ^ 1);
+      } else {
+        const Cut& cut = cuts.cuts(node)[static_cast<std::size_t>(pb.cut)];
+        for (int j = 0; j < pb.match->num_inputs; ++j) {
+          stack.emplace_back(cut.leaves[pb.match->leaf_of_pin[static_cast<std::size_t>(j)]],
+                             (pb.match->neg_mask >> j) & 1);
+        }
+      }
+    }
+  }
+
+  // ---- emission ----
+  Netlist dst(target, src.name());
+  const auto input_ordinals = [&] {
+    std::vector<std::uint32_t> nodes;
+    for (std::uint32_t n = 0; n < aig.num_nodes(); ++n) {
+      if (aig.is_input(n)) nodes.push_back(n);
+    }
+    return nodes;
+  }();
+  assert(input_ordinals.size() == source_nets.size());
+
+  std::vector<std::array<NetId, 2>> realized(
+      aig.num_nodes(), {NetId::invalid(), NetId::invalid()});
+  // Interface nets: PIs then fixed-gate outputs.
+  for (std::size_t i = 0; i < source_nets.size(); ++i) {
+    const bool is_pi = i < src.primary_inputs().size();
+    const NetId net = is_pi ? dst.add_primary_input(src.input_name(i))
+                            : dst.add_net();
+    realized[input_ordinals[i]][0] = net;
+  }
+
+  const auto add_inverter_gate = [&](NetId in) {
+    const NetId fanin[] = {in};
+    const GateId g = dst.add_gate(*table.inverter(), fanin);
+    return dst.gate(g).outputs[0];
+  };
+
+  std::function<NetId(std::uint32_t, int)> realize =
+      [&](std::uint32_t node, int phase) -> NetId {
+    NetId& slot = realized[node][static_cast<std::size_t>(phase)];
+    if (slot.valid()) return slot;
+    if (aig.is_input(node)) {
+      assert(phase == 1);
+      slot = add_inverter_gate(realized[node][0]);
+      return slot;
+    }
+    const PhaseBest& pb = best[node][static_cast<std::size_t>(phase)];
+    assert(pb.valid());
+    if (pb.via_inv) {
+      slot = add_inverter_gate(realize(node, phase ^ 1));
+      return slot;
+    }
+    const Cut& cut = cuts.cuts(node)[static_cast<std::size_t>(pb.cut)];
+    std::vector<NetId> fanins;
+    fanins.reserve(pb.match->num_inputs);
+    for (int j = 0; j < pb.match->num_inputs; ++j) {
+      const std::uint32_t leaf = cut.leaves[pb.match->leaf_of_pin[static_cast<std::size_t>(j)]];
+      fanins.push_back(realize(leaf, (pb.match->neg_mask >> j) & 1));
+    }
+    const GateId g = dst.add_gate(pb.match->cell, fanins);
+    slot = dst.gate(g).outputs[0];
+    return slot;
+  };
+
+  // Constants (rare: logic that collapsed to 0/1) are synthesized from
+  // the first source net.
+  NetId const_net[2] = {NetId::invalid(), NetId::invalid()};
+  const auto constant = [&](bool value) -> NetId {
+    NetId& slot = const_net[value ? 1 : 0];
+    if (slot.valid()) return slot;
+    if (source_nets.empty() || !table.inverter()) return NetId::invalid();
+    const NetId x = realized[input_ordinals[0]][0];
+    const NetId xn = realize(input_ordinals[0], 1);
+    slot = materialize_constant(dst, value, x, xn, options.banned);
+    return slot;
+  };
+
+  const auto net_for_lit = [&](Aig::Lit l) -> NetId {
+    if (Aig::node_of(l) == 0) return constant(Aig::compl_of(l));
+    return realize(Aig::node_of(l), Aig::compl_of(l) ? 1 : 0);
+  };
+
+  // Primary outputs.
+  const std::size_t num_src_pos = src.primary_outputs().size();
+  for (std::size_t i = 0; i < num_src_pos; ++i) {
+    const NetId net = net_for_lit(aig.pos()[i]);
+    if (!net.valid()) return std::nullopt;  // unmaterializable constant
+    dst.mark_primary_output(net);
+  }
+  // Fixed gates.
+  for (std::size_t fo = 0, gi = 0; gi < fixed_gates.size(); ++gi) {
+    const GateId g = fixed_gates[gi];
+    const auto& gate = src.gate(g);
+    std::vector<NetId> fanins;
+    for (std::size_t pin = 0; pin < gate.fanin.size(); ++pin, ++fo) {
+      const NetId net = net_for_lit(aig.pos()[num_src_pos + fo]);
+      if (!net.valid()) return std::nullopt;
+      fanins.push_back(net);
+    }
+    std::vector<NetId> outputs;
+    for (NetId out : gate.outputs) {
+      // Position of this output in source_nets gives its interface net.
+      const auto it =
+          std::find(source_nets.begin(), source_nets.end(), out);
+      assert(it != source_nets.end());
+      const std::size_t ordinal =
+          static_cast<std::size_t>(it - source_nets.begin());
+      outputs.push_back(realized[input_ordinals[ordinal]][0]);
+    }
+    dst.add_gate_driving(*fixed_cell_of(g), fanins, outputs);
+  }
+
+  size_drives(dst, options.banned);
+  sweep_dangling_nets(dst);
+  assert(dst.validate().empty());
+  return dst;
+}
+
+}  // namespace dfmres

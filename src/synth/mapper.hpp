@@ -1,0 +1,70 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/netlist/netlist.hpp"
+#include "src/synth/aig.hpp"
+#include "src/synth/cuts.hpp"
+
+namespace dfmres {
+
+/// One way of implementing a cut function with a library cell: cell input
+/// pin j connects to cut leaf `leaf_of_pin[j]`, complemented iff bit j of
+/// `neg_mask` is set.
+struct MatchEntry {
+  CellId cell;
+  std::array<std::uint8_t, kMaxCutSize> leaf_of_pin{};
+  std::uint8_t neg_mask = 0;
+  std::uint8_t num_inputs = 0;
+};
+
+/// Precomputed cut-function -> cell bindings for a library, honoring a
+/// cell exclusion set (the lever of the resynthesis procedure: cells with
+/// many internal faults are progressively banned, paper Section III-B).
+/// Only single-output combinational cells with 2..4 inputs are matched;
+/// inverters are handled separately as phase converters.
+class MatchTable {
+ public:
+  MatchTable(const Library& lib, const std::vector<bool>& banned);
+
+  [[nodiscard]] const std::vector<MatchEntry>* find(int cut_size,
+                                                    std::uint16_t tt) const;
+
+  /// Cheapest available inverter, if any.
+  [[nodiscard]] std::optional<CellId> inverter() const { return inverter_; }
+
+ private:
+  std::unordered_map<std::uint32_t, std::vector<MatchEntry>> table_;
+  std::optional<CellId> inverter_;
+};
+
+struct MapOptions {
+  /// Per-target-CellId ban flags; empty = nothing banned.
+  std::vector<bool> banned;
+  /// Source cells passed through 1:1 (e.g. generic DFF -> DFFPOSX1,
+  /// generic FA -> FAX1 macro mapping in the initial flow). Keys are
+  /// source CellId values.
+  std::unordered_map<std::uint32_t, CellId> fixed_map;
+  /// Weight of the arrival-time term against area flow in the covering
+  /// objective (area units per ns).
+  double delay_weight = 60.0;
+};
+
+/// Technology mapping: source netlist (any library with truth tables) ->
+/// netlist over `target`. Combinational logic is rebuilt through an AIG
+/// (structural hashing + constant propagation + tree balancing) and
+/// covered with library cells via priority-cut matching; sequential
+/// gates and `fixed_map` cells pass through unchanged.
+///
+/// Returns nullopt when the allowed cell subset cannot implement the
+/// logic (this is how the resynthesis procedure discovers that cells
+/// i+1..m-1 are insufficient, eligibility condition (3) of Section
+/// III-B).
+[[nodiscard]] std::optional<Netlist> technology_map(
+    const Netlist& src, std::shared_ptr<const Library> target,
+    const MapOptions& options);
+
+}  // namespace dfmres

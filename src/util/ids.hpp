@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace dfmres {
+
+/// Strongly typed 32-bit index. `Tag` distinguishes unrelated id spaces at
+/// compile time so a GateId cannot be passed where a NetId is expected.
+template <typename Tag>
+class Id {
+ public:
+  using value_type = std::uint32_t;
+  static constexpr value_type kInvalid = std::numeric_limits<value_type>::max();
+
+  constexpr Id() = default;
+  constexpr explicit Id(value_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(Id, Id) = default;
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+  static constexpr Id invalid() { return Id{}; }
+
+ private:
+  value_type value_ = kInvalid;
+};
+
+struct GateTag {};
+struct NetTag {};
+struct CellTag {};
+struct FaultTag {};
+struct PatternTag {};
+
+using GateId = Id<GateTag>;
+using NetId = Id<NetTag>;
+using CellId = Id<CellTag>;
+using FaultId = Id<FaultTag>;
+using PatternId = Id<PatternTag>;
+
+}  // namespace dfmres
+
+namespace std {
+template <typename Tag>
+struct hash<dfmres::Id<Tag>> {
+  size_t operator()(dfmres::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,55 @@
+#include "src/util/logging.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+
+namespace dfmres {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+  }
+  return "?";
+}
+
+void vlog(LogLevel level, const char* fmt, std::va_list args) {
+  if (level < g_level.load()) return;
+  std::fprintf(stderr, "[%s] ", level_name(level));
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log(LogLevel level, const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  vlog(level, fmt, args);
+  va_end(args);
+}
+
+#define DFMRES_LOG_IMPL(name, level)            \
+  void name(const char* fmt, ...) {             \
+    std::va_list args;                          \
+    va_start(args, fmt);                        \
+    vlog(level, fmt, args);                     \
+    va_end(args);                               \
+  }
+
+DFMRES_LOG_IMPL(log_debug, LogLevel::Debug)
+DFMRES_LOG_IMPL(log_info, LogLevel::Info)
+DFMRES_LOG_IMPL(log_warn, LogLevel::Warn)
+DFMRES_LOG_IMPL(log_error, LogLevel::Error)
+
+#undef DFMRES_LOG_IMPL
+
+}  // namespace dfmres

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string_view>
+
+namespace dfmres {
+
+enum class LogLevel { Debug, Info, Warn, Error };
+
+/// Process-wide minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// printf-style logging helpers.
+[[gnu::format(printf, 2, 3)]] void log(LogLevel level, const char* fmt, ...);
+[[gnu::format(printf, 1, 2)]] void log_debug(const char* fmt, ...);
+[[gnu::format(printf, 1, 2)]] void log_info(const char* fmt, ...);
+[[gnu::format(printf, 1, 2)]] void log_warn(const char* fmt, ...);
+[[gnu::format(printf, 1, 2)]] void log_error(const char* fmt, ...);
+
+}  // namespace dfmres

@@ -1,0 +1,46 @@
+#include "src/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dfmres {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  ++count_;
+}
+
+double RunningStats::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double percentile(std::span<const double> values, double pct) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(pct, 0.0, 100.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+std::vector<std::size_t> histogram(std::span<const double> values, double lo,
+                                   double hi, std::size_t bins) {
+  std::vector<std::size_t> out(bins, 0);
+  if (bins == 0 || hi <= lo) return out;
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double v : values) {
+    auto bin = static_cast<long>(std::floor((v - lo) / width));
+    bin = std::clamp(bin, 0L, static_cast<long>(bins) - 1);
+    ++out[static_cast<std::size_t>(bin)];
+  }
+  return out;
+}
+
+}  // namespace dfmres

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dfmres {
+
+/// Streaming accumulator for min / max / mean over doubles.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile (0..100) of a sample by nearest-rank; copies and sorts.
+[[nodiscard]] double percentile(std::span<const double> values, double pct);
+
+/// Histogram with fixed-width bins over [lo, hi); out-of-range values clamp
+/// to the first/last bin.
+[[nodiscard]] std::vector<std::size_t> histogram(
+    std::span<const double> values, double lo, double hi, std::size_t bins);
+
+}  // namespace dfmres

@@ -1,0 +1,36 @@
+#include "src/util/union_find.hpp"
+
+#include <numeric>
+
+namespace dfmres {
+
+void UnionFind::reset(std::size_t n) {
+  parent_.resize(n);
+  std::iota(parent_.begin(), parent_.end(), 0u);
+  size_.assign(n, 1u);
+  num_sets_ = n;
+}
+
+std::uint32_t UnionFind::find(std::uint32_t x) {
+  std::uint32_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {
+    std::uint32_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::merge(std::uint32_t a, std::uint32_t b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (size_[a] < size_[b]) std::swap(a, b);
+  parent_[b] = a;
+  size_[a] += size_[b];
+  --num_sets_;
+  return true;
+}
+
+}  // namespace dfmres

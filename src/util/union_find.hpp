@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dfmres {
+
+/// Disjoint-set forest with union by size and path compression.
+/// Used for merging subsets of structurally adjacent undetectable faults
+/// (paper Section II) and for net connectivity checks.
+class UnionFind {
+ public:
+  UnionFind() = default;
+  explicit UnionFind(std::size_t n) { reset(n); }
+
+  void reset(std::size_t n);
+
+  /// Representative of x's set.
+  [[nodiscard]] std::uint32_t find(std::uint32_t x);
+
+  /// Merge the sets containing a and b. Returns false iff already merged.
+  bool merge(std::uint32_t a, std::uint32_t b);
+
+  [[nodiscard]] bool same(std::uint32_t a, std::uint32_t b) {
+    return find(a) == find(b);
+  }
+
+  /// Number of elements in x's set.
+  [[nodiscard]] std::uint32_t size_of(std::uint32_t x) {
+    return size_[find(x)];
+  }
+
+  [[nodiscard]] std::size_t num_elements() const { return parent_.size(); }
+  [[nodiscard]] std::size_t num_sets() const { return num_sets_; }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+  std::size_t num_sets_ = 0;
+};
+
+}  // namespace dfmres

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "src/cluster/clustering.hpp"
+#include "src/library/osu018.hpp"
+
+namespace dfmres {
+namespace {
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  ClusterTest() : lib_(osu018_library()), nl_(lib_, "cl") {}
+
+  GateId add(const char* cell, std::initializer_list<NetId> ins) {
+    std::vector<NetId> fanins(ins);
+    return nl_.add_gate(lib_->require(cell), fanins);
+  }
+  NetId out(GateId g) { return nl_.gate(g).outputs[0]; }
+
+  Fault internal_fault(GateId owner) {
+    Fault f;
+    f.kind = FaultKind::CellAware;
+    f.scope = FaultScope::Internal;
+    f.owner = owner;
+    f.victim = nl_.gate(owner).outputs[0];
+    return f;
+  }
+  Fault stuck_at(NetId net, bool v) {
+    Fault f;
+    f.kind = FaultKind::StuckAt;
+    f.scope = FaultScope::External;
+    f.victim = net;
+    f.value = v;
+    return f;
+  }
+
+  std::shared_ptr<const Library> lib_;
+  Netlist nl_;
+};
+
+TEST_F(ClusterTest, CorrespondingGates) {
+  const NetId a = nl_.add_primary_input();
+  const GateId g1 = add("INVX1", {a});
+  const GateId g2 = add("INVX1", {out(g1)});
+  nl_.mark_primary_output(out(g2));
+
+  // Internal fault: exactly the owner (paper Section II: an internal
+  // fault only has one gate that corresponds to it).
+  EXPECT_EQ(corresponding_gates(internal_fault(g1), nl_),
+            std::vector<GateId>{g1});
+  // External fault on the mid net: driver and sink.
+  const auto gates = corresponding_gates(stuck_at(out(g1), false), nl_);
+  EXPECT_EQ(gates.size(), 2u);
+
+  // Bridge: gates of both nets.
+  Fault bridge;
+  bridge.kind = FaultKind::Bridge;
+  bridge.scope = FaultScope::External;
+  bridge.victim = out(g1);
+  bridge.aggressor = out(g2);
+  EXPECT_EQ(corresponding_gates(bridge, nl_).size(), 2u);
+}
+
+TEST_F(ClusterTest, SeparateChainsFormSeparateClusters) {
+  // Two disjoint inverter chains, undetectable faults on both.
+  const NetId a = nl_.add_primary_input();
+  const NetId b = nl_.add_primary_input();
+  const GateId a1 = add("INVX1", {a});
+  const GateId a2 = add("INVX1", {out(a1)});
+  const GateId b1 = add("INVX1", {b});
+  const GateId b2 = add("INVX1", {out(b1)});
+  nl_.mark_primary_output(out(a2));
+  nl_.mark_primary_output(out(b2));
+
+  FaultUniverse u;
+  u.faults = {internal_fault(a1), internal_fault(a2), internal_fault(b1),
+              internal_fault(b2), internal_fault(b2)};
+  const std::vector<FaultStatus> status(u.size(),
+                                        FaultStatus::Undetectable);
+  const ClusterAnalysis analysis = cluster_undetectable(nl_, u, status);
+  ASSERT_EQ(analysis.clusters.size(), 2u);
+  EXPECT_EQ(analysis.clusters[0].size(), 3u);  // chain b (largest first)
+  EXPECT_EQ(analysis.clusters[1].size(), 2u);
+  EXPECT_EQ(analysis.undetectable.size(), 5u);
+  EXPECT_EQ(analysis.gates_u.size(), 4u);
+  EXPECT_EQ(analysis.gmax.size(), 2u);  // b1, b2
+}
+
+TEST_F(ClusterTest, AdjacencyThroughDriverSinkEdges) {
+  // g1 -> g2 -> g3: faults on g1 and g3 only are NOT adjacent (g2 carries
+  // no undetectable fault), so they form two clusters; adding a g2 fault
+  // merges everything (transitive closure, paper Section II).
+  const NetId a = nl_.add_primary_input();
+  const GateId g1 = add("INVX1", {a});
+  const GateId g2 = add("INVX1", {out(g1)});
+  const GateId g3 = add("INVX1", {out(g2)});
+  nl_.mark_primary_output(out(g3));
+
+  FaultUniverse u;
+  u.faults = {internal_fault(g1), internal_fault(g3)};
+  std::vector<FaultStatus> status(2, FaultStatus::Undetectable);
+  EXPECT_EQ(cluster_undetectable(nl_, u, status).clusters.size(), 2u);
+
+  u.faults.push_back(internal_fault(g2));
+  status.assign(3, FaultStatus::Undetectable);
+  const auto merged = cluster_undetectable(nl_, u, status);
+  ASSERT_EQ(merged.clusters.size(), 1u);
+  EXPECT_EQ(merged.smax(), 3u);
+}
+
+TEST_F(ClusterTest, ExternalFaultBridgesClusters) {
+  // Distinct chains glued together by a bridge fault between them, the
+  // effect that makes external shorts correspond to multiple gates.
+  const NetId a = nl_.add_primary_input();
+  const NetId b = nl_.add_primary_input();
+  const GateId a1 = add("INVX1", {a});
+  const GateId b1 = add("INVX1", {b});
+  nl_.mark_primary_output(out(a1));
+  nl_.mark_primary_output(out(b1));
+
+  Fault bridge;
+  bridge.kind = FaultKind::Bridge;
+  bridge.scope = FaultScope::External;
+  bridge.victim = out(a1);
+  bridge.aggressor = out(b1);
+
+  FaultUniverse u;
+  u.faults = {internal_fault(a1), internal_fault(b1), bridge};
+  const std::vector<FaultStatus> status(3, FaultStatus::Undetectable);
+  const auto analysis = cluster_undetectable(nl_, u, status);
+  ASSERT_EQ(analysis.clusters.size(), 1u);
+  EXPECT_EQ(analysis.smax(), 3u);
+}
+
+TEST_F(ClusterTest, OnlyUndetectableFaultsParticipate) {
+  const NetId a = nl_.add_primary_input();
+  const GateId g1 = add("INVX1", {a});
+  const GateId g2 = add("INVX1", {out(g1)});
+  nl_.mark_primary_output(out(g2));
+
+  FaultUniverse u;
+  u.faults = {internal_fault(g1), internal_fault(g2)};
+  const std::vector<FaultStatus> status{FaultStatus::Undetectable,
+                                        FaultStatus::Detected};
+  const auto analysis = cluster_undetectable(nl_, u, status);
+  EXPECT_EQ(analysis.undetectable.size(), 1u);
+  EXPECT_EQ(analysis.smax(), 1u);
+  EXPECT_EQ(analysis.gates_u.size(), 1u);
+}
+
+TEST_F(ClusterTest, SmaxInternalCountsInternalOnly) {
+  const NetId a = nl_.add_primary_input();
+  const GateId g1 = add("INVX1", {a});
+  nl_.mark_primary_output(out(g1));
+
+  FaultUniverse u;
+  u.faults = {internal_fault(g1), stuck_at(out(g1), true)};
+  const std::vector<FaultStatus> status(2, FaultStatus::Undetectable);
+  const auto analysis = cluster_undetectable(nl_, u, status);
+  ASSERT_EQ(analysis.smax(), 2u);
+  EXPECT_EQ(analysis.smax_internal(u), 1u);
+}
+
+TEST_F(ClusterTest, EmptyUniverse) {
+  const NetId a = nl_.add_primary_input();
+  const GateId g1 = add("INVX1", {a});
+  nl_.mark_primary_output(out(g1));
+  FaultUniverse u;
+  const auto analysis =
+      cluster_undetectable(nl_, u, std::vector<FaultStatus>{});
+  EXPECT_TRUE(analysis.clusters.empty());
+  EXPECT_EQ(analysis.smax(), 0u);
+  EXPECT_TRUE(analysis.gmax.empty());
+}
+
+}  // namespace
+}  // namespace dfmres

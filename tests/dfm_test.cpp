@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/circuits/benchmarks.hpp"
+#include "src/dfm/checker.hpp"
+#include "src/dfm/guidelines.hpp"
+#include "src/layout/floorplan.hpp"
+#include "src/library/osu018.hpp"
+#include "src/place/placement.hpp"
+#include "src/route/router.hpp"
+#include "src/synth/mapper.hpp"
+
+namespace dfmres {
+namespace {
+
+TEST(Guidelines, PaperCounts) {
+  // 19 Via + 29 Metal + 11 Density guidelines (paper Section IV).
+  EXPECT_EQ(kNumViaGuidelines, 19);
+  EXPECT_EQ(kNumMetalGuidelines, 29);
+  EXPECT_EQ(kNumDensityGuidelines, 11);
+  EXPECT_EQ(all_guidelines().size(), 59u);
+  int via = 0, metal = 0, density = 0;
+  for (const Guideline& g : all_guidelines()) {
+    switch (g.category) {
+      case GuidelineCategory::Via: ++via; break;
+      case GuidelineCategory::Metal: ++metal; break;
+      case GuidelineCategory::Density: ++density; break;
+    }
+  }
+  EXPECT_EQ(via, kNumViaGuidelines);
+  EXPECT_EQ(metal, kNumMetalGuidelines);
+  EXPECT_EQ(density, kNumDensityGuidelines);
+}
+
+TEST(Guidelines, IdsRoundTrip) {
+  for (std::uint16_t id = 0; id < kNumGuidelines; ++id) {
+    const Guideline& g = all_guidelines()[id];
+    EXPECT_EQ(guideline_id(g.category, g.index_in_category), id);
+  }
+}
+
+TEST(Guidelines, SelectionIsDeterministic) {
+  for (int i = 0; i < 50; ++i) {
+    const bool a = cell_defect_selected("FAX1", i, 28,
+                                        DefectKind::TransistorStuckOpen,
+                                        false);
+    const bool b = cell_defect_selected("FAX1", i, 28,
+                                        DefectKind::TransistorStuckOpen,
+                                        false);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(Guidelines, MaskedSitesAreLikelierViolations) {
+  int plain = 0, masked = 0;
+  for (int i = 0; i < 200; ++i) {
+    plain += cell_defect_selected("X", i, 8, DefectKind::TransistorStuckOpen,
+                                  false);
+    masked += cell_defect_selected("X", i, 8,
+                                   DefectKind::TransistorStuckOpen, true);
+  }
+  EXPECT_GT(masked, plain);
+}
+
+class DfmExtraction : public ::testing::Test {
+ protected:
+  DfmExtraction()
+      : lib_(osu018_library()), udfm_(*lib_), nl_(make_block()) {
+    plan_ = make_floorplan(nl_);
+    placement_ = global_place(nl_, plan_, {});
+    routes_ = route(nl_, placement_, {});
+    universe_ = extract_dfm_faults(nl_, placement_, routes_, udfm_);
+  }
+
+  static Netlist make_block() {
+    const Netlist rtl = build_benchmark("sparc_lsu");
+    MapOptions mo;
+    const auto glib = generic_library();
+    const auto tlib = osu018_library();
+    mo.fixed_map.emplace(glib->require("DFF").value(),
+                         tlib->require("DFFPOSX1"));
+    mo.fixed_map.emplace(glib->require("FA").value(), tlib->require("FAX1"));
+    mo.fixed_map.emplace(glib->require("HA").value(), tlib->require("HAX1"));
+    return *technology_map(rtl, tlib, mo);
+  }
+
+  std::shared_ptr<const Library> lib_;
+  UdfmMap udfm_;
+  Netlist nl_;
+  Floorplan plan_;
+  Placement placement_;
+  RoutingResult routes_;
+  FaultUniverse universe_;
+};
+
+TEST_F(DfmExtraction, FaultsReferenceLiveObjects) {
+  for (const Fault& f : universe_.faults) {
+    EXPECT_TRUE(nl_.net_alive(f.victim));
+    EXPECT_LT(f.guideline, kNumGuidelines);
+    if (f.scope == FaultScope::Internal) {
+      ASSERT_TRUE(nl_.gate_alive(f.owner));
+      EXPECT_EQ(f.kind, FaultKind::CellAware);
+      EXPECT_LT(f.udfm_index,
+                udfm_.of(nl_.gate(f.owner).cell).num_faults());
+    }
+    if (f.kind == FaultKind::Bridge) {
+      ASSERT_TRUE(nl_.net_alive(f.aggressor));
+      EXPECT_NE(f.victim, f.aggressor);
+    }
+  }
+}
+
+TEST_F(DfmExtraction, ExternalFaultsAreDedupedPerNetAndGuideline) {
+  std::set<std::tuple<std::uint32_t, std::uint16_t, bool>> seen;
+  for (const Fault& f : universe_.faults) {
+    if (f.scope != FaultScope::External || f.kind == FaultKind::Bridge) {
+      continue;
+    }
+    EXPECT_TRUE(seen.emplace(f.victim.value(), f.guideline, f.value).second)
+        << "duplicate external fault on net " << f.victim.value();
+  }
+}
+
+TEST_F(DfmExtraction, InternalCountsMatchPerCellHelper) {
+  std::size_t expected = 0;
+  for (GateId g : nl_.live_gates()) {
+    if (nl_.cell_of(g).sequential) continue;
+    expected += internal_fault_count(*lib_, udfm_, nl_.gate(g).cell);
+  }
+  // extract adds extra multiplicity for charge-sharing-masked sites;
+  // every per-cell selected fault appears at least once.
+  EXPECT_GE(universe_.count_internal(), expected);
+}
+
+TEST_F(DfmExtraction, ShapeMatchesPaperSectionII) {
+  // F_Ex > F_In (more external than internal guideline faults)...
+  EXPECT_GT(universe_.count_external(), universe_.count_internal() / 2);
+  // ...and every guideline category contributes faults.
+  const auto per = universe_.per_guideline(kNumGuidelines);
+  std::size_t via = 0, metal = 0, density = 0;
+  for (std::uint16_t id = 0; id < kNumGuidelines; ++id) {
+    switch (all_guidelines()[id].category) {
+      case GuidelineCategory::Via: via += per[id]; break;
+      case GuidelineCategory::Metal: metal += per[id]; break;
+      case GuidelineCategory::Density: density += per[id]; break;
+    }
+  }
+  EXPECT_GT(via, 0u);
+  EXPECT_GT(metal, 0u);
+  EXPECT_GT(density, 0u);
+}
+
+TEST_F(DfmExtraction, InternalFaultsAreLayoutIndependent) {
+  // The internal universe must not depend on placement/routing
+  // (Section III-B: PDesign() is gated on internal counts alone).
+  const FaultUniverse internal_only = extract_internal_faults(nl_, udfm_);
+  EXPECT_EQ(internal_only.size(), universe_.count_internal());
+  PlaceOptions other;
+  other.seed = 99;
+  const Placement placement2 = global_place(nl_, plan_, other);
+  const RoutingResult routes2 = route(nl_, placement2, {});
+  const FaultUniverse universe2 =
+      extract_dfm_faults(nl_, placement2, routes2, udfm_);
+  EXPECT_EQ(universe2.count_internal(), universe_.count_internal());
+}
+
+}  // namespace
+}  // namespace dfmres

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "src/atpg/double_fault.hpp"
+#include "src/dfm/checker.hpp"
+#include "src/library/osu018.hpp"
+
+namespace dfmres {
+namespace {
+
+class DoubleFaultTest : public ::testing::Test {
+ protected:
+  DoubleFaultTest() : lib_(osu018_library()), nl_(lib_, "df") {}
+
+  GateId add(const char* cell, std::initializer_list<NetId> ins) {
+    std::vector<NetId> fanins(ins);
+    return nl_.add_gate(lib_->require(cell), fanins);
+  }
+  NetId out(GateId g) { return nl_.gate(g).outputs[0]; }
+
+  std::shared_ptr<const Library> lib_;
+  Netlist nl_;
+};
+
+TEST_F(DoubleFaultTest, EnumeratesAdjacentPairs) {
+  // out = a | (a & b): SA0 on the absorbed AND output is undetectable;
+  // faults on the same/adjacent gates are its double-fault partners.
+  const NetId a = nl_.add_primary_input();
+  const NetId b = nl_.add_primary_input();
+  const GateId and_g = add("AND2X2", {a, b});
+  const GateId or_g = add("OR2X2", {a, out(and_g)});
+  nl_.mark_primary_output(out(or_g));
+
+  FaultUniverse universe;
+  const auto push_sa = [&](NetId net, bool v) {
+    Fault f;
+    f.kind = FaultKind::StuckAt;
+    f.scope = FaultScope::External;
+    f.victim = net;
+    f.value = v;
+    universe.faults.push_back(f);
+  };
+  push_sa(out(and_g), false);  // undetectable (absorbed term)
+  push_sa(out(and_g), true);   // detectable
+  push_sa(out(or_g), false);   // detectable, adjacent gate
+  push_sa(a, true);            // detectable, adjacent (drives both gates)
+
+  const std::vector<FaultStatus> status = {
+      FaultStatus::Undetectable, FaultStatus::Detected,
+      FaultStatus::Detected, FaultStatus::Detected};
+  const auto targets =
+      enumerate_double_faults(nl_, universe, status, /*max_per_fault=*/8);
+  ASSERT_GE(targets.size(), 2u);
+  for (const auto& t : targets) {
+    EXPECT_EQ(t.undetectable, 0u);
+    EXPECT_NE(t.detectable, 0u);
+  }
+}
+
+TEST_F(DoubleFaultTest, PairWithSilentUndetectableBehavesLikeSingle) {
+  // The absorbed-term SA0 has no functional effect, so the double fault
+  // (SA0-on-AND, SA1-on-OR-output) is detected exactly when the single
+  // detectable fault is: any test setting out=0 (a=0, b=*).
+  const NetId a = nl_.add_primary_input();
+  const NetId b = nl_.add_primary_input();
+  const GateId and_g = add("AND2X2", {a, b});
+  const GateId or_g = add("OR2X2", {a, out(and_g)});
+  nl_.mark_primary_output(out(or_g));
+
+  FaultUniverse universe;
+  Fault u;
+  u.kind = FaultKind::StuckAt;
+  u.scope = FaultScope::External;
+  u.victim = out(and_g);
+  u.value = false;
+  Fault d = u;
+  d.victim = out(or_g);
+  d.value = true;
+  universe.faults = {u, d};
+
+  const std::vector<DoubleFaultTarget> targets = {{0, 1}};
+  UdfmMap udfm(*lib_);
+
+  // Test a=0,b=0: good out=0, double-faulty out=1 -> detected.
+  TestPattern detecting;
+  detecting.frame0 = {0, 0};
+  detecting.frame1 = {0, 0};
+  // Test a=1,b=1: good out=1, faulty out=1 -> not detected.
+  TestPattern missing;
+  missing.frame0 = {1, 1};
+  missing.frame1 = {1, 1};
+
+  const std::vector<TestPattern> only_missing{missing};
+  EXPECT_EQ(evaluate_double_fault_coverage(nl_, universe, udfm, targets,
+                                           only_missing)
+                .covered,
+            0u);
+  const std::vector<TestPattern> with_detecting{missing, detecting};
+  EXPECT_EQ(evaluate_double_fault_coverage(nl_, universe, udfm, targets,
+                                           with_detecting)
+                .covered,
+            1u);
+}
+
+TEST_F(DoubleFaultTest, AugmentationReachesGoalOnEasyTargets) {
+  const NetId a = nl_.add_primary_input();
+  const NetId b = nl_.add_primary_input();
+  const NetId c = nl_.add_primary_input();
+  const GateId and_g = add("AND2X2", {a, b});
+  const GateId or_g = add("OR2X2", {a, out(and_g)});
+  const GateId x = add("XOR2X1", {out(or_g), c});
+  nl_.mark_primary_output(out(x));
+
+  FaultUniverse universe;
+  Fault u;
+  u.kind = FaultKind::StuckAt;
+  u.scope = FaultScope::External;
+  u.victim = out(and_g);
+  u.value = false;  // absorbed: undetectable alone
+  Fault d = u;
+  d.victim = out(x);
+  d.value = true;
+  universe.faults = {u, d};
+  UdfmMap udfm(*lib_);
+  const std::vector<DoubleFaultTarget> targets = {{0, 1}};
+
+  std::vector<TestPattern> tests;  // start from nothing
+  const std::size_t added = augment_tests_for_double_faults(
+      nl_, universe, udfm, targets, /*goal=*/1.0, /*max_new=*/64,
+      /*seed=*/3, &tests);
+  EXPECT_GE(added, 1u);
+  EXPECT_EQ(evaluate_double_fault_coverage(nl_, universe, udfm, targets,
+                                           tests)
+                .covered,
+            1u);
+}
+
+}  // namespace
+}  // namespace dfmres

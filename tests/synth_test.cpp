@@ -1,0 +1,396 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/library/osu018.hpp"
+#include "src/netlist/netlist.hpp"
+#include "src/sim/parallel_sim.hpp"
+#include "src/synth/aig.hpp"
+#include "src/synth/cuts.hpp"
+#include "src/synth/mapper.hpp"
+#include "src/util/rng.hpp"
+
+namespace dfmres {
+namespace {
+
+TEST(AigTest, ConstantFolding) {
+  Aig aig;
+  const auto a = Aig::make(aig.add_input(), false);
+  EXPECT_EQ(aig.and2(a, Aig::kFalse), Aig::kFalse);
+  EXPECT_EQ(aig.and2(a, Aig::kTrue), a);
+  EXPECT_EQ(aig.and2(a, a), a);
+  EXPECT_EQ(aig.and2(a, Aig::neg(a)), Aig::kFalse);
+}
+
+TEST(AigTest, StructuralHashing) {
+  Aig aig;
+  const auto a = Aig::make(aig.add_input(), false);
+  const auto b = Aig::make(aig.add_input(), false);
+  const auto x = aig.and2(a, b);
+  const auto y = aig.and2(b, a);  // commuted
+  EXPECT_EQ(x, y);
+  const std::size_t before = aig.num_nodes();
+  (void)aig.and2(a, b);
+  EXPECT_EQ(aig.num_nodes(), before);
+}
+
+TEST(AigTest, XorAndMuxSimulate) {
+  Aig aig;
+  const auto a = Aig::make(aig.add_input(), false);
+  const auto b = Aig::make(aig.add_input(), false);
+  const auto s = Aig::make(aig.add_input(), false);
+  aig.add_po(aig.xor2(a, b));
+  aig.add_po(aig.mux(s, a, b));
+  Rng rng(3);
+  const std::uint64_t va = rng.next(), vb = rng.next(), vs = rng.next();
+  const std::uint64_t in[] = {va, vb, vs};
+  const auto values = aig.simulate(in);
+  const auto eval = [&](Aig::Lit l) {
+    const auto v = values[Aig::node_of(l)];
+    return Aig::compl_of(l) ? ~v : v;
+  };
+  EXPECT_EQ(eval(aig.pos()[0]), va ^ vb);
+  EXPECT_EQ(eval(aig.pos()[1]), (vs & va) | (~vs & vb));
+}
+
+TEST(AigTest, BuildFunctionMatchesTruthTable) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int nvars = 1 + static_cast<int>(rng.below(6));
+    const std::uint64_t mask =
+        nvars == 6 ? ~std::uint64_t{0}
+                   : ((std::uint64_t{1} << (1u << nvars)) - 1);
+    const std::uint64_t tt = rng.next() & mask;
+    Aig aig;
+    std::vector<Aig::Lit> ins;
+    for (int i = 0; i < nvars; ++i) {
+      ins.push_back(Aig::make(aig.add_input(), false));
+    }
+    aig.add_po(aig.build_function(tt, ins, nvars));
+    // Drive input i with its characteristic pattern over 64 lanes.
+    std::vector<std::uint64_t> words(static_cast<std::size_t>(nvars));
+    for (int i = 0; i < nvars; ++i) {
+      std::uint64_t w = 0;
+      for (int lane = 0; lane < 64; ++lane) {
+        if ((lane >> i) & 1) w |= std::uint64_t{1} << lane;
+      }
+      words[static_cast<std::size_t>(i)] = w;
+    }
+    const auto values = aig.simulate(words);
+    const Aig::Lit po = aig.pos()[0];
+    const std::uint64_t got = Aig::compl_of(po)
+                                  ? ~values[Aig::node_of(po)]
+                                  : values[Aig::node_of(po)];
+    for (int lane = 0; lane < 64; ++lane) {
+      const auto minterm = static_cast<std::uint32_t>(lane) &
+                           ((1u << nvars) - 1);
+      EXPECT_EQ((got >> lane) & 1, (tt >> minterm) & 1)
+          << "trial " << trial << " lane " << lane;
+    }
+  }
+}
+
+/// Random AIG builder for property tests.
+Aig random_aig(Rng& rng, int num_inputs, int num_ands, int num_pos) {
+  Aig aig;
+  std::vector<Aig::Lit> lits;
+  for (int i = 0; i < num_inputs; ++i) {
+    lits.push_back(Aig::make(aig.add_input(), false));
+  }
+  for (int i = 0; i < num_ands; ++i) {
+    Aig::Lit a = lits[rng.below(lits.size())];
+    Aig::Lit b = lits[rng.below(lits.size())];
+    if (rng.flip()) a = Aig::neg(a);
+    if (rng.flip()) b = Aig::neg(b);
+    lits.push_back(aig.and2(a, b));
+  }
+  for (int i = 0; i < num_pos; ++i) {
+    Aig::Lit l = lits[lits.size() - 1 - rng.below(std::min<std::size_t>(
+                                              lits.size(), 16))];
+    if (rng.flip()) l = Aig::neg(l);
+    aig.add_po(l);
+  }
+  return aig;
+}
+
+std::vector<std::uint64_t> sim_pos(const Aig& aig,
+                                   std::span<const std::uint64_t> in) {
+  const auto values = aig.simulate(in);
+  std::vector<std::uint64_t> out;
+  for (Aig::Lit po : aig.pos()) {
+    const auto v = values[Aig::node_of(po)];
+    out.push_back(Aig::compl_of(po) ? ~v : v);
+  }
+  return out;
+}
+
+class BalanceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BalanceProperty, PreservesFunctionAndNeverDeepens) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int num_inputs = 4 + static_cast<int>(rng.below(8));
+  const Aig aig = random_aig(rng, num_inputs, 120, 6);
+  const Aig bal = balance(aig);
+  EXPECT_EQ(bal.num_inputs(), aig.num_inputs());
+  ASSERT_EQ(bal.pos().size(), aig.pos().size());
+
+  const auto depth = [](const Aig& a) {
+    const auto lv = a.levels();
+    std::uint32_t d = 0;
+    for (Aig::Lit po : a.pos()) d = std::max(d, lv[Aig::node_of(po)]);
+    return d;
+  };
+  EXPECT_LE(depth(bal), depth(aig));
+
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(num_inputs));
+  for (int round = 0; round < 4; ++round) {
+    for (auto& w : words) w = rng.next();
+    EXPECT_EQ(sim_pos(aig, words), sim_pos(bal, words));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BalanceProperty, ::testing::Range(0, 12));
+
+TEST(Tt4Test, PadReplicates) {
+  EXPECT_EQ(tt4::pad(0x2, 1), 0xAAAA);       // x0
+  EXPECT_EQ(tt4::pad(0x8, 2), 0x8888);       // x0 & x1
+  EXPECT_EQ(tt4::pad(0x6, 2), 0x6666);       // xor
+}
+
+TEST(Tt4Test, PermuteSwapsVariables) {
+  // f = x0 & !x1 over 2 vars: tt = 0b0010 -> padded 0x2222.
+  const std::uint16_t f = tt4::pad(0x2, 2);
+  const std::uint16_t g = tt4::permute(f, 2, {1, 0, 2, 3});
+  // g = x1 & !x0: minterm 2 only -> 0b0100 padded.
+  EXPECT_EQ(g, tt4::pad(0x4, 2));
+}
+
+TEST(Tt4Test, FlipInputs) {
+  const std::uint16_t f = tt4::pad(0x8, 2);  // and
+  EXPECT_EQ(tt4::flip_inputs(f, 2, 0b01), tt4::pad(0x4, 2));  // !x0 & x1
+  EXPECT_EQ(tt4::flip_inputs(f, 2, 0b11), tt4::pad(0x1, 2));  // nor
+}
+
+TEST(Tt4Test, DependsOn) {
+  const std::uint16_t f = tt4::pad(0x8, 2);
+  EXPECT_TRUE(tt4::depends_on(f, 0));
+  EXPECT_TRUE(tt4::depends_on(f, 1));
+  EXPECT_FALSE(tt4::depends_on(f, 2));
+  EXPECT_FALSE(tt4::depends_on(tt4::pad(0x2, 1), 1));
+}
+
+TEST(CutSetTest, EnumeratesSmallCuts) {
+  Aig aig;
+  const auto a = Aig::make(aig.add_input(), false);
+  const auto b = Aig::make(aig.add_input(), false);
+  const auto c = Aig::make(aig.add_input(), false);
+  const auto ab = aig.and2(a, b);
+  const auto abc = aig.and2(ab, c);
+  aig.add_po(abc);
+  const CutSet cuts(aig);
+  const auto& top = cuts.cuts(Aig::node_of(abc));
+  // Expect at least: {ab, c} and {a, b, c} and trivial {abc}.
+  bool found3 = false;
+  for (const Cut& cut : top) {
+    if (cut.size == 3) {
+      found3 = true;
+      // Function should be the AND of all three leaves.
+      EXPECT_EQ(cut.tt, tt4::pad(0x80, 3));
+    }
+  }
+  EXPECT_TRUE(found3);
+}
+
+TEST(MatchTableTest, FindsNandAndExcludesBanned) {
+  const auto lib = osu018_library();
+  {
+    const MatchTable table(*lib, {});
+    ASSERT_TRUE(table.inverter().has_value());
+    EXPECT_EQ(lib->cell(*table.inverter()).name, "INVX1");
+    // AND function over 2 leaves must be matched (AND2X2 or NOR2 variants).
+    const auto* m = table.find(2, tt4::pad(0x8, 2));
+    ASSERT_NE(m, nullptr);
+    EXPECT_FALSE(m->empty());
+  }
+  {
+    std::vector<bool> banned(lib->num_cells(), false);
+    banned[lib->require("AND2X2").value()] = true;
+    const MatchTable table(*lib, banned);
+    const auto* m = table.find(2, tt4::pad(0x8, 2));
+    if (m) {
+      for (const MatchEntry& e : *m) {
+        EXPECT_NE(lib->cell(e.cell).name, "AND2X2");
+      }
+    }
+  }
+}
+
+// ---------- technology mapping ----------
+
+/// Random netlist over the generic library.
+Netlist random_generic(Rng& rng, int num_inputs, int num_gates, int num_pos) {
+  const auto lib = generic_library();
+  Netlist nl(lib, "rand");
+  std::vector<NetId> nets;
+  for (int i = 0; i < num_inputs; ++i) nets.push_back(nl.add_primary_input());
+  const char* kCells[] = {"NOT", "AND2", "OR2",  "XOR2", "NAND2",
+                          "NOR2", "MUX2", "AND3", "OR3",  "XNOR2"};
+  for (int i = 0; i < num_gates; ++i) {
+    const CellId cell = lib->require(kCells[rng.below(std::size(kCells))]);
+    const CellSpec& spec = lib->cell(cell);
+    std::vector<NetId> fanins;
+    for (int j = 0; j < spec.num_inputs; ++j) {
+      // Bias toward recent nets to get depth.
+      const std::size_t span = std::min<std::size_t>(nets.size(), 24);
+      fanins.push_back(nets[nets.size() - 1 - rng.below(span)]);
+    }
+    nets.push_back(nl.gate(nl.add_gate(cell, fanins)).outputs[0]);
+  }
+  for (int i = 0; i < num_pos; ++i) {
+    nl.mark_primary_output(nets[nets.size() - 1 - rng.below(16)]);
+  }
+  return nl;
+}
+
+std::vector<std::uint64_t> sim_outputs(const Netlist& nl,
+                                       std::span<const std::uint64_t> pi) {
+  const CombView view = CombView::build(nl);
+  ParallelSimulator sim(nl, view);
+  for (std::size_t i = 0; i < nl.primary_inputs().size(); ++i) {
+    sim.set_source(nl.primary_inputs()[i], pi[i]);
+  }
+  sim.run();
+  std::vector<std::uint64_t> out;
+  for (NetId po : nl.primary_outputs()) out.push_back(sim.value(po));
+  return out;
+}
+
+class MapperProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MapperProperty, MappedNetlistIsEquivalent) {
+  Rng rng(1000 + static_cast<std::uint64_t>(GetParam()));
+  const int num_inputs = 5 + static_cast<int>(rng.below(10));
+  const Netlist src = random_generic(rng, num_inputs, 150, 8);
+  const auto mapped = technology_map(src, osu018_library(), {});
+  ASSERT_TRUE(mapped.has_value());
+  EXPECT_TRUE(mapped->validate().empty());
+  EXPECT_EQ(mapped->primary_inputs().size(), src.primary_inputs().size());
+  ASSERT_EQ(mapped->primary_outputs().size(), src.primary_outputs().size());
+
+  std::vector<std::uint64_t> pi(static_cast<std::size_t>(num_inputs));
+  for (int round = 0; round < 4; ++round) {
+    for (auto& w : pi) w = rng.next();
+    EXPECT_EQ(sim_outputs(src, pi), sim_outputs(*mapped, pi))
+        << "seed " << GetParam() << " round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MapperProperty, ::testing::Range(0, 16));
+
+TEST(MapperTest, BannedCellsDoNotAppear) {
+  Rng rng(77);
+  const Netlist src = random_generic(rng, 8, 120, 6);
+  const auto lib = osu018_library();
+  std::vector<bool> banned(lib->num_cells(), false);
+  for (const char* name : {"AOI22X1", "OAI22X1", "MUX2X1", "XOR2X1",
+                           "XNOR2X1", "AOI21X1", "OAI21X1"}) {
+    banned[lib->require(name).value()] = true;
+  }
+  MapOptions options;
+  options.banned = banned;
+  const auto mapped = technology_map(src, lib, options);
+  ASSERT_TRUE(mapped.has_value());
+  for (GateId g : mapped->live_gates()) {
+    EXPECT_FALSE(banned[mapped->gate(g).cell.value()])
+        << mapped->cell_of(g).name;
+  }
+  // Still equivalent.
+  std::vector<std::uint64_t> pi(8);
+  for (auto& w : pi) w = rng.next();
+  EXPECT_EQ(sim_outputs(src, pi), sim_outputs(*mapped, pi));
+}
+
+TEST(MapperTest, InsufficientCellSubsetFails) {
+  Rng rng(78);
+  const Netlist src = random_generic(rng, 6, 60, 4);
+  const auto lib = osu018_library();
+  std::vector<bool> banned(lib->num_cells(), true);
+  // Leave only inverters: cannot implement AND-class logic.
+  banned[lib->require("INVX1").value()] = false;
+  MapOptions options;
+  options.banned = banned;
+  EXPECT_FALSE(technology_map(src, lib, options).has_value());
+}
+
+TEST(MapperTest, MinimalSufficientSubsetSucceeds) {
+  Rng rng(79);
+  const Netlist src = random_generic(rng, 6, 60, 4);
+  const auto lib = osu018_library();
+  std::vector<bool> banned(lib->num_cells(), true);
+  banned[lib->require("INVX1").value()] = false;
+  banned[lib->require("NAND2X1").value()] = false;
+  MapOptions options;
+  options.banned = banned;
+  const auto mapped = technology_map(src, lib, options);
+  ASSERT_TRUE(mapped.has_value());
+  std::vector<std::uint64_t> pi(6);
+  for (auto& w : pi) w = rng.next();
+  EXPECT_EQ(sim_outputs(src, pi), sim_outputs(*mapped, pi));
+}
+
+TEST(MapperTest, FixedMacroMappingPreservesDffAndFa) {
+  const auto glib = generic_library();
+  const auto tlib = osu018_library();
+  Netlist src(glib, "seq");
+  const NetId a = src.add_primary_input("a");
+  const NetId b = src.add_primary_input("b");
+  const NetId c = src.add_primary_input("c");
+  const NetId fa_ins[] = {a, b, c};
+  const GateId fa = src.add_gate(glib->require("FA"), fa_ins);
+  const NetId carry = src.gate(fa).outputs[0];
+  const NetId sum = src.gate(fa).outputs[1];
+  const NetId x_ins[] = {carry, sum};
+  const GateId x = src.add_gate(glib->require("XOR2"), x_ins);
+  const NetId dff_in[] = {src.gate(x).outputs[0]};
+  const GateId dff = src.add_gate(glib->require("DFF"), dff_in);
+  src.mark_primary_output(src.gate(dff).outputs[0]);
+
+  MapOptions options;
+  options.fixed_map.emplace(glib->require("DFF").value(),
+                            tlib->require("DFFPOSX1"));
+  options.fixed_map.emplace(glib->require("FA").value(),
+                            tlib->require("FAX1"));
+  const auto mapped = technology_map(src, tlib, options);
+  ASSERT_TRUE(mapped.has_value());
+  EXPECT_TRUE(mapped->validate().empty());
+  int fax = 0, dffs = 0;
+  for (GateId g : mapped->live_gates()) {
+    fax += mapped->cell_of(g).name == "FAX1";
+    dffs += mapped->cell_of(g).name == "DFFPOSX1";
+  }
+  EXPECT_EQ(fax, 1);
+  EXPECT_EQ(dffs, 1);
+}
+
+TEST(MapperTest, ConstantOutputsAreMaterialized) {
+  const auto glib = generic_library();
+  Netlist src(glib, "const");
+  const NetId a = src.add_primary_input("a");
+  const NetId na_in[] = {a};
+  const GateId inv = src.add_gate(glib->require("NOT"), na_in);
+  const NetId and_ins[] = {a, src.gate(inv).outputs[0]};
+  const GateId gand = src.add_gate(glib->require("AND2"), and_ins);
+  src.mark_primary_output(src.gate(gand).outputs[0]);  // constant 0
+
+  const auto mapped = technology_map(src, osu018_library(), {});
+  ASSERT_TRUE(mapped.has_value());
+  std::vector<std::uint64_t> pi(1);
+  Rng rng(4);
+  pi[0] = rng.next();
+  const auto out = sim_outputs(*mapped, pi);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0u);
+}
+
+}  // namespace
+}  // namespace dfmres

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/util/ids.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/union_find.hpp"
+
+namespace dfmres {
+namespace {
+
+TEST(Ids, DefaultIsInvalid) {
+  GateId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, GateId::invalid());
+}
+
+TEST(Ids, ValueRoundTrip) {
+  NetId id{42};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 42u);
+  EXPECT_NE(id, NetId{41});
+  EXPECT_LT(NetId{41}, id);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(UnionFind, MergeAndFind) {
+  UnionFind uf(10);
+  EXPECT_EQ(uf.num_sets(), 10u);
+  EXPECT_TRUE(uf.merge(0, 1));
+  EXPECT_TRUE(uf.merge(1, 2));
+  EXPECT_FALSE(uf.merge(0, 2));
+  EXPECT_TRUE(uf.same(0, 2));
+  EXPECT_FALSE(uf.same(0, 3));
+  EXPECT_EQ(uf.num_sets(), 8u);
+  EXPECT_EQ(uf.size_of(1), 3u);
+}
+
+TEST(UnionFind, TransitiveClosureMatchesBruteForce) {
+  Rng rng(99);
+  const std::size_t n = 64;
+  UnionFind uf(n);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (int i = 0; i < 40; ++i) {
+    edges.emplace_back(rng.below(n), rng.below(n));
+    uf.merge(edges.back().first, edges.back().second);
+  }
+  // Brute-force reachability.
+  std::vector<std::uint32_t> label(n);
+  for (std::uint32_t i = 0; i < n; ++i) label[i] = i;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto [a, b] : edges) {
+      const std::uint32_t m = std::min(label[a], label[b]);
+      if (label[a] != m || label[b] != m) {
+        label[a] = label[b] = m;
+        changed = true;
+      }
+    }
+    // Propagate labels through shared labels.
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (label[label[i]] != label[i]) {
+        label[i] = label[label[i]];
+        changed = true;
+      }
+    }
+  }
+  for (std::uint32_t a = 0; a < n; ++a) {
+    for (std::uint32_t b = 0; b < n; ++b) {
+      EXPECT_EQ(uf.same(a, b), label[a] == label[b]) << a << "," << b;
+    }
+  }
+}
+
+TEST(Stats, RunningStats) {
+  RunningStats s;
+  for (double x : {3.0, 1.0, 2.0}) s.add(x);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+}
+
+TEST(Stats, Histogram) {
+  std::vector<double> v{0.1, 0.2, 0.9, 1.5, -3.0};
+  auto h = histogram(v, 0.0, 1.0, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], 3u);  // 0.1, 0.2, -3.0 (clamped)
+  EXPECT_EQ(h[1], 2u);  // 0.9, 1.5 (clamped)
+}
+
+}  // namespace
+}  // namespace dfmres

@@ -1,0 +1,209 @@
+// dfmres command-line driver.
+//
+//   dfmres list
+//       Print the available benchmark blocks.
+//   dfmres flow <circuit|file.v> [--write out.v] [--util 0.70]
+//       Run the implementation flow (map, place, route, DFM check, ATPG)
+//       and print the fault/cluster summary. A .v argument is parsed as
+//       structural Verilog over the OSU018-style library.
+//   dfmres resyn <circuit|file.v> [--q 5] [--p1 1.0] [--write out.v]
+//       Run the flow and then the paper's two-phase resynthesis
+//       procedure; print the before/after comparison.
+//   dfmres verilog <circuit>
+//       Map a benchmark and dump it as structural Verilog to stdout.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "src/circuits/benchmarks.hpp"
+#include "src/core/resynthesis.hpp"
+#include "src/library/osu018.hpp"
+#include "src/netlist/stats.hpp"
+#include "src/netlist/verilog.hpp"
+#include "src/synth/mapper.hpp"
+
+namespace {
+
+using namespace dfmres;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dfmres <list|flow|resyn|verilog> [args]\n"
+               "  dfmres list\n"
+               "  dfmres flow <circuit|file.v> [--write out.v] [--util U]\n"
+               "  dfmres resyn <circuit|file.v> [--q N] [--p1 PCT] "
+               "[--write out.v]\n"
+               "  dfmres verilog <circuit>\n");
+  return 2;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/// Loads a design: benchmark name -> generic RTL netlist; *.v file ->
+/// already-mapped netlist over the standard library.
+std::optional<Netlist> load_design(const std::string& name, bool* is_mapped) {
+  *is_mapped = false;
+  if (ends_with(name, ".v")) {
+    std::ifstream in(name);
+    if (!in) {
+      std::fprintf(stderr, "cannot open '%s'\n", name.c_str());
+      return std::nullopt;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto nl = read_verilog(text.str(), osu018_library());
+    if (!nl) {
+      std::fprintf(stderr, "failed to parse '%s'\n", name.c_str());
+      return std::nullopt;
+    }
+    *is_mapped = true;
+    return nl;
+  }
+  for (const auto n : benchmark_names()) {
+    if (n == name) return build_benchmark(name);
+  }
+  std::fprintf(stderr, "unknown circuit '%s' (try 'dfmres list')\n",
+               name.c_str());
+  return std::nullopt;
+}
+
+void print_state(const char* label, const FlowState& s,
+                 const FlowState* baseline) {
+  const FlowState& ref = baseline ? *baseline : s;
+  std::printf(
+      "%-8s F=%-6zu U=%-5zu cov=%6.2f%%  T=%-4zu Smax=%-5zu (%.2f%% of F)  "
+      "delay=%5.1f%% power=%5.1f%%\n",
+      label, s.num_faults(), s.num_undetectable(), 100.0 * s.coverage(),
+      s.atpg.tests.size(), s.smax(), 100.0 * s.smax_fraction(),
+      100.0 * s.timing.critical_delay / ref.timing.critical_delay,
+      100.0 * s.timing.total_power() / ref.timing.total_power());
+}
+
+FlowState run_flow(DesignFlow& flow, const Netlist& design, bool is_mapped) {
+  if (!is_mapped) return flow.run_initial(design);
+  // Already mapped: place in a fresh floorplan and analyze.
+  const Floorplan plan =
+      make_floorplan(design, flow.options().utilization);
+  const Placement placement =
+      global_place(design, plan, flow.options().place);
+  auto state = flow.reanalyze_with_placement(design, placement,
+                                             /*generate_tests=*/true);
+  return std::move(*state);
+}
+
+int cmd_list() {
+  for (const auto n : benchmark_names()) {
+    std::printf("%.*s\n", static_cast<int>(n.size()), n.data());
+  }
+  return 0;
+}
+
+int cmd_flow(int argc, char** argv) {
+  if (argc < 1) return usage();
+  std::string write_path;
+  FlowOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--write") && i + 1 < argc) {
+      write_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--util") && i + 1 < argc) {
+      options.utilization = std::atof(argv[++i]);
+    } else {
+      return usage();
+    }
+  }
+  bool is_mapped = false;
+  const auto design = load_design(argv[0], &is_mapped);
+  if (!design) return 1;
+  DesignFlow flow(osu018_library(), options);
+  const FlowState state = run_flow(flow, *design, is_mapped);
+  std::printf("%s", describe(state.netlist).c_str());
+  print_state("flow", state, nullptr);
+  std::printf("clusters:");
+  for (std::size_t i = 0; i < state.clusters.clusters.size() && i < 10; ++i) {
+    std::printf(" %zu", state.clusters.clusters[i].size());
+  }
+  std::printf("\n");
+  if (!write_path.empty()) {
+    std::ofstream out(write_path);
+    write_verilog(state.netlist, out);
+    std::printf("wrote %s\n", write_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_resyn(int argc, char** argv) {
+  if (argc < 1) return usage();
+  std::string write_path;
+  ResynthesisOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--q") && i + 1 < argc) {
+      options.q_max = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--p1") && i + 1 < argc) {
+      options.p1 = std::atof(argv[++i]) / 100.0;
+    } else if (!std::strcmp(argv[i], "--write") && i + 1 < argc) {
+      write_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  bool is_mapped = false;
+  const auto design = load_design(argv[0], &is_mapped);
+  if (!design) return 1;
+  DesignFlow flow(osu018_library(), {});
+  const FlowState original = run_flow(flow, *design, is_mapped);
+  print_state("orig", original, nullptr);
+  const ResynthesisResult result = resynthesize(flow, original, options);
+  print_state("resyn", result.state, &original);
+  std::printf("largest accepted q: %d%%  runtime: %.1fs\n",
+              result.report.q_used, result.report.runtime_seconds);
+  if (!write_path.empty()) {
+    std::ofstream out(write_path);
+    write_verilog(result.state.netlist, out);
+    std::printf("wrote %s\n", write_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_verilog(int argc, char** argv) {
+  if (argc < 1) return usage();
+  bool is_mapped = false;
+  const auto design = load_design(argv[0], &is_mapped);
+  if (!design) return 1;
+  if (is_mapped) {
+    write_verilog(*design, std::cout);
+    return 0;
+  }
+  MapOptions mo;
+  const auto glib = generic_library();
+  const auto tlib = osu018_library();
+  mo.fixed_map.emplace(glib->require("DFF").value(), tlib->require("DFFPOSX1"));
+  mo.fixed_map.emplace(glib->require("FA").value(), tlib->require("FAX1"));
+  mo.fixed_map.emplace(glib->require("HA").value(), tlib->require("HAX1"));
+  const auto mapped = technology_map(*design, tlib, mo);
+  if (!mapped) {
+    std::fprintf(stderr, "mapping failed\n");
+    return 1;
+  }
+  write_verilog(*mapped, std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "list") return cmd_list();
+  if (cmd == "flow") return cmd_flow(argc - 2, argv + 2);
+  if (cmd == "resyn") return cmd_resyn(argc - 2, argv + 2);
+  if (cmd == "verilog") return cmd_verilog(argc - 2, argv + 2);
+  return usage();
+}
