@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_p1.dir/bench_ablation_p1.cpp.o"
+  "CMakeFiles/bench_ablation_p1.dir/bench_ablation_p1.cpp.o.d"
+  "bench_ablation_p1"
+  "bench_ablation_p1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_p1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_restricted_lib.dir/bench_ablation_restricted_lib.cpp.o"
+  "CMakeFiles/bench_ablation_restricted_lib.dir/bench_ablation_restricted_lib.cpp.o.d"
+  "bench_ablation_restricted_lib"
+  "bench_ablation_restricted_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_restricted_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

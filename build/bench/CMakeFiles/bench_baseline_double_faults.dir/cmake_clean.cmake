@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_double_faults.dir/bench_baseline_double_faults.cpp.o"
+  "CMakeFiles/bench_baseline_double_faults.dir/bench_baseline_double_faults.cpp.o.d"
+  "bench_baseline_double_faults"
+  "bench_baseline_double_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_double_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_library_report.dir/cell_library_report.cpp.o"
+  "CMakeFiles/cell_library_report.dir/cell_library_report.cpp.o.d"
+  "cell_library_report"
+  "cell_library_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_library_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

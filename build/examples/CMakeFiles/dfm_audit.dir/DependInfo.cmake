@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dfm_audit.cpp" "examples/CMakeFiles/dfm_audit.dir/dfm_audit.cpp.o" "gcc" "examples/CMakeFiles/dfm_audit.dir/dfm_audit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dfmres_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/dfmres_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/dfmres_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfm/CMakeFiles/dfmres_dfm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dfmres_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/atpg/CMakeFiles/dfmres_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/dfmres_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchlevel/CMakeFiles/dfmres_switchlevel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/dfmres_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/dfmres_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/dfmres_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/dfmres_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dfmres_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/dfmres_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/dfmres_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dfmres_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfm_audit.dir/dfm_audit.cpp.o"
+  "CMakeFiles/dfm_audit.dir/dfm_audit.cpp.o.d"
+  "dfm_audit"
+  "dfm_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfm_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

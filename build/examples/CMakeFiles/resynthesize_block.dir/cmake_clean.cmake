@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resynthesize_block.dir/resynthesize_block.cpp.o"
+  "CMakeFiles/resynthesize_block.dir/resynthesize_block.cpp.o.d"
+  "resynthesize_block"
+  "resynthesize_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resynthesize_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("netlist")
+subdirs("library")
+subdirs("switchlevel")
+subdirs("sim")
+subdirs("faults")
+subdirs("synth")
+subdirs("layout")
+subdirs("place")
+subdirs("route")
+subdirs("sta")
+subdirs("dfm")
+subdirs("atpg")
+subdirs("cluster")
+subdirs("circuits")
+subdirs("core")

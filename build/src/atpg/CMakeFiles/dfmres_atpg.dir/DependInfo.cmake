@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atpg/double_fault.cpp" "src/atpg/CMakeFiles/dfmres_atpg.dir/double_fault.cpp.o" "gcc" "src/atpg/CMakeFiles/dfmres_atpg.dir/double_fault.cpp.o.d"
+  "/root/repo/src/atpg/engine.cpp" "src/atpg/CMakeFiles/dfmres_atpg.dir/engine.cpp.o" "gcc" "src/atpg/CMakeFiles/dfmres_atpg.dir/engine.cpp.o.d"
+  "/root/repo/src/atpg/excitation.cpp" "src/atpg/CMakeFiles/dfmres_atpg.dir/excitation.cpp.o" "gcc" "src/atpg/CMakeFiles/dfmres_atpg.dir/excitation.cpp.o.d"
+  "/root/repo/src/atpg/fault_sim.cpp" "src/atpg/CMakeFiles/dfmres_atpg.dir/fault_sim.cpp.o" "gcc" "src/atpg/CMakeFiles/dfmres_atpg.dir/fault_sim.cpp.o.d"
+  "/root/repo/src/atpg/podem.cpp" "src/atpg/CMakeFiles/dfmres_atpg.dir/podem.cpp.o" "gcc" "src/atpg/CMakeFiles/dfmres_atpg.dir/podem.cpp.o.d"
+  "/root/repo/src/atpg/values.cpp" "src/atpg/CMakeFiles/dfmres_atpg.dir/values.cpp.o" "gcc" "src/atpg/CMakeFiles/dfmres_atpg.dir/values.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/faults/CMakeFiles/dfmres_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dfmres_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchlevel/CMakeFiles/dfmres_switchlevel.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/dfmres_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/dfmres_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dfmres_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

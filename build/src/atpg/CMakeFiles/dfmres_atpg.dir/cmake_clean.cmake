@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfmres_atpg.dir/double_fault.cpp.o"
+  "CMakeFiles/dfmres_atpg.dir/double_fault.cpp.o.d"
+  "CMakeFiles/dfmres_atpg.dir/engine.cpp.o"
+  "CMakeFiles/dfmres_atpg.dir/engine.cpp.o.d"
+  "CMakeFiles/dfmres_atpg.dir/excitation.cpp.o"
+  "CMakeFiles/dfmres_atpg.dir/excitation.cpp.o.d"
+  "CMakeFiles/dfmres_atpg.dir/fault_sim.cpp.o"
+  "CMakeFiles/dfmres_atpg.dir/fault_sim.cpp.o.d"
+  "CMakeFiles/dfmres_atpg.dir/podem.cpp.o"
+  "CMakeFiles/dfmres_atpg.dir/podem.cpp.o.d"
+  "CMakeFiles/dfmres_atpg.dir/values.cpp.o"
+  "CMakeFiles/dfmres_atpg.dir/values.cpp.o.d"
+  "libdfmres_atpg.a"
+  "libdfmres_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfmres_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdfmres_atpg.a"
+)

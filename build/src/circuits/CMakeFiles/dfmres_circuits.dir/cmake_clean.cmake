@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfmres_circuits.dir/benchmarks.cpp.o"
+  "CMakeFiles/dfmres_circuits.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/dfmres_circuits.dir/builder.cpp.o"
+  "CMakeFiles/dfmres_circuits.dir/builder.cpp.o.d"
+  "libdfmres_circuits.a"
+  "libdfmres_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfmres_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfmres_cluster.dir/clustering.cpp.o"
+  "CMakeFiles/dfmres_cluster.dir/clustering.cpp.o.d"
+  "libdfmres_cluster.a"
+  "libdfmres_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfmres_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfmres_core.dir/flow.cpp.o"
+  "CMakeFiles/dfmres_core.dir/flow.cpp.o.d"
+  "CMakeFiles/dfmres_core.dir/resynthesis.cpp.o"
+  "CMakeFiles/dfmres_core.dir/resynthesis.cpp.o.d"
+  "libdfmres_core.a"
+  "libdfmres_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfmres_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

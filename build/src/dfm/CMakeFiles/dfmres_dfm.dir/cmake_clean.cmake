@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfmres_dfm.dir/checker.cpp.o"
+  "CMakeFiles/dfmres_dfm.dir/checker.cpp.o.d"
+  "CMakeFiles/dfmres_dfm.dir/guidelines.cpp.o"
+  "CMakeFiles/dfmres_dfm.dir/guidelines.cpp.o.d"
+  "libdfmres_dfm.a"
+  "libdfmres_dfm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfmres_dfm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faults/faults.cpp" "src/faults/CMakeFiles/dfmres_faults.dir/faults.cpp.o" "gcc" "src/faults/CMakeFiles/dfmres_faults.dir/faults.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/library/CMakeFiles/dfmres_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchlevel/CMakeFiles/dfmres_switchlevel.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/dfmres_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dfmres_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfmres_faults.dir/faults.cpp.o"
+  "CMakeFiles/dfmres_faults.dir/faults.cpp.o.d"
+  "libdfmres_faults.a"
+  "libdfmres_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfmres_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

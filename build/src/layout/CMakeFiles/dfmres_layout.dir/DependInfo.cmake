@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/floorplan.cpp" "src/layout/CMakeFiles/dfmres_layout.dir/floorplan.cpp.o" "gcc" "src/layout/CMakeFiles/dfmres_layout.dir/floorplan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/dfmres_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/dfmres_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dfmres_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

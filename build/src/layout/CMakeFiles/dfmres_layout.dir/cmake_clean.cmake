@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfmres_layout.dir/floorplan.cpp.o"
+  "CMakeFiles/dfmres_layout.dir/floorplan.cpp.o.d"
+  "libdfmres_layout.a"
+  "libdfmres_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfmres_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfmres_library.dir/library.cpp.o"
+  "CMakeFiles/dfmres_library.dir/library.cpp.o.d"
+  "CMakeFiles/dfmres_library.dir/osu018.cpp.o"
+  "CMakeFiles/dfmres_library.dir/osu018.cpp.o.d"
+  "libdfmres_library.a"
+  "libdfmres_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfmres_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

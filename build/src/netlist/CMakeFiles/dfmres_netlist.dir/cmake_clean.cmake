@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfmres_netlist.dir/extract.cpp.o"
+  "CMakeFiles/dfmres_netlist.dir/extract.cpp.o.d"
+  "CMakeFiles/dfmres_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/dfmres_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/dfmres_netlist.dir/stats.cpp.o"
+  "CMakeFiles/dfmres_netlist.dir/stats.cpp.o.d"
+  "CMakeFiles/dfmres_netlist.dir/verilog.cpp.o"
+  "CMakeFiles/dfmres_netlist.dir/verilog.cpp.o.d"
+  "libdfmres_netlist.a"
+  "libdfmres_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfmres_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

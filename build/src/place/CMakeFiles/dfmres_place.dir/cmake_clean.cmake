@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfmres_place.dir/placement.cpp.o"
+  "CMakeFiles/dfmres_place.dir/placement.cpp.o.d"
+  "libdfmres_place.a"
+  "libdfmres_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfmres_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfmres_route.dir/router.cpp.o"
+  "CMakeFiles/dfmres_route.dir/router.cpp.o.d"
+  "libdfmres_route.a"
+  "libdfmres_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfmres_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

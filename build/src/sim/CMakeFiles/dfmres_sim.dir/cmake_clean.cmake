@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfmres_sim.dir/parallel_sim.cpp.o"
+  "CMakeFiles/dfmres_sim.dir/parallel_sim.cpp.o.d"
+  "libdfmres_sim.a"
+  "libdfmres_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfmres_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

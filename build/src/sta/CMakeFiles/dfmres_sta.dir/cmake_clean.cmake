@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfmres_sta.dir/sta.cpp.o"
+  "CMakeFiles/dfmres_sta.dir/sta.cpp.o.d"
+  "libdfmres_sta.a"
+  "libdfmres_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfmres_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfmres_switchlevel.dir/switch_sim.cpp.o"
+  "CMakeFiles/dfmres_switchlevel.dir/switch_sim.cpp.o.d"
+  "CMakeFiles/dfmres_switchlevel.dir/udfm.cpp.o"
+  "CMakeFiles/dfmres_switchlevel.dir/udfm.cpp.o.d"
+  "libdfmres_switchlevel.a"
+  "libdfmres_switchlevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfmres_switchlevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

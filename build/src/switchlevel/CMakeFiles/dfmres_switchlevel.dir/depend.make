@@ -1,0 +1,2 @@
+# Empty dependencies file for dfmres_switchlevel.
+# This may be replaced when dependencies are built.

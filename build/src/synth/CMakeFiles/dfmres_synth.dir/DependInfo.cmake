@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/aig.cpp" "src/synth/CMakeFiles/dfmres_synth.dir/aig.cpp.o" "gcc" "src/synth/CMakeFiles/dfmres_synth.dir/aig.cpp.o.d"
+  "/root/repo/src/synth/cuts.cpp" "src/synth/CMakeFiles/dfmres_synth.dir/cuts.cpp.o" "gcc" "src/synth/CMakeFiles/dfmres_synth.dir/cuts.cpp.o.d"
+  "/root/repo/src/synth/mapper.cpp" "src/synth/CMakeFiles/dfmres_synth.dir/mapper.cpp.o" "gcc" "src/synth/CMakeFiles/dfmres_synth.dir/mapper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/dfmres_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/dfmres_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dfmres_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfmres_synth.dir/aig.cpp.o"
+  "CMakeFiles/dfmres_synth.dir/aig.cpp.o.d"
+  "CMakeFiles/dfmres_synth.dir/cuts.cpp.o"
+  "CMakeFiles/dfmres_synth.dir/cuts.cpp.o.d"
+  "CMakeFiles/dfmres_synth.dir/mapper.cpp.o"
+  "CMakeFiles/dfmres_synth.dir/mapper.cpp.o.d"
+  "libdfmres_synth.a"
+  "libdfmres_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfmres_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfmres_util.dir/logging.cpp.o"
+  "CMakeFiles/dfmres_util.dir/logging.cpp.o.d"
+  "CMakeFiles/dfmres_util.dir/stats.cpp.o"
+  "CMakeFiles/dfmres_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dfmres_util.dir/union_find.cpp.o"
+  "CMakeFiles/dfmres_util.dir/union_find.cpp.o.d"
+  "libdfmres_util.a"
+  "libdfmres_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfmres_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

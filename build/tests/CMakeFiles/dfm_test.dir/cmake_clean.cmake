@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfm_test.dir/dfm_test.cpp.o"
+  "CMakeFiles/dfm_test.dir/dfm_test.cpp.o.d"
+  "dfm_test"
+  "dfm_test.pdb"
+  "dfm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

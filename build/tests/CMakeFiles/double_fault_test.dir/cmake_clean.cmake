@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/double_fault_test.dir/double_fault_test.cpp.o"
+  "CMakeFiles/double_fault_test.dir/double_fault_test.cpp.o.d"
+  "double_fault_test"
+  "double_fault_test.pdb"
+  "double_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/double_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

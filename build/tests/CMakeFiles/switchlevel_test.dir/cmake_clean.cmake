@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switchlevel_test.dir/switchlevel_test.cpp.o"
+  "CMakeFiles/switchlevel_test.dir/switchlevel_test.cpp.o.d"
+  "switchlevel_test"
+  "switchlevel_test.pdb"
+  "switchlevel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switchlevel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

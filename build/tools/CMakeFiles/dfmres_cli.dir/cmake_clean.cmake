@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfmres_cli.dir/dfmres_cli.cpp.o"
+  "CMakeFiles/dfmres_cli.dir/dfmres_cli.cpp.o.d"
+  "dfmres"
+  "dfmres.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfmres_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
