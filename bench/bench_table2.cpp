@@ -83,6 +83,7 @@ int main() {
                       ? result.report.runtime_seconds / flow_seconds
                       : 0.0;
     print_row("", resyn);
+    std::printf("  %s\n", result.state.atpg.counters.summary().c_str());
 
     ++count;
     const Row* rows[2] = {&orig, &resyn};

@@ -14,11 +14,17 @@ namespace dfmres::bench {
 
 /// Flow options tuned for benchmark runs: slightly smaller search budgets
 /// than the library defaults keep a full 12-circuit sweep tractable on
-/// one core without changing any observed trend.
+/// one core without changing any observed trend. Fault-simulation
+/// parallelism follows `DFMRES_BENCH_THREADS` (0/unset = hardware);
+/// results are bit-identical across thread counts, so this only moves
+/// wall clock.
 inline FlowOptions bench_flow_options() {
   FlowOptions options;
   options.atpg.random_batches = 4;
   options.atpg.backtrack_limit = 1000;
+  if (const char* env = std::getenv("DFMRES_BENCH_THREADS")) {
+    options.atpg.num_threads = std::atoi(env);
+  }
   return options;
 }
 

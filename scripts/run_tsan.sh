@@ -1,0 +1,24 @@
+#!/bin/sh
+# ThreadSanitizer gate for the fault-simulation thread pool: configures a
+# dedicated -DDFMRES_SANITIZE=thread build tree and runs the two suites
+# that drive the pool (atpg_test exercises the parallel sweeps in
+# run_atpg, sim_test the shared simulation substrate) plus the pool's own
+# unit tests. Any data race aborts with a TSan report and a non-zero
+# exit. Usage: scripts/run_tsan.sh [build-dir]
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DDFMRES_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+  --target atpg_test sim_test util_test
+
+# TSAN_OPTIONS: fail loudly, first report wins.
+TSAN_OPTIONS="halt_on_error=1 exitcode=66" \
+  "$BUILD_DIR/tests/util_test" --gtest_filter='ThreadPool.*'
+TSAN_OPTIONS="halt_on_error=1 exitcode=66" "$BUILD_DIR/tests/atpg_test"
+TSAN_OPTIONS="halt_on_error=1 exitcode=66" "$BUILD_DIR/tests/sim_test"
+
+echo "TSan: no data races detected."

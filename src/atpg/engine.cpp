@@ -2,12 +2,21 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
+#include <memory>
 
 #include "src/util/rng.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace dfmres {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
 
 /// Completes a V3 source assignment into a fully specified frame,
 /// randomizing the don't-cares.
@@ -80,16 +89,63 @@ AtpgResult run_atpg(const Netlist& nl, const FaultUniverse& universe,
   FaultSimulator simulator(nl, view);
   std::vector<TestPattern> tests;
 
+  // Fault-simulation sweeps fan out over the shared thread pool. Each
+  // extra lane owns a private FaultSimulator (detect_mask mutates the
+  // faulty/stamp/scheduled scratch) that adopts the master's good-value
+  // frames via load_from; the sweep writes each fault's mask into its
+  // own slot and every reduction below runs serially in fault order, so
+  // results are bit-identical for any thread count.
+  const int num_workers = ThreadPool::resolve_threads(options.num_threads);
+  result.counters.threads_used = num_workers;
+  ThreadPool& pool = ThreadPool::shared();
+  std::vector<std::unique_ptr<FaultSimulator>> worker_sims;
+  for (int w = 1; w < num_workers; ++w) {
+    worker_sims.push_back(std::make_unique<FaultSimulator>(nl, view));
+  }
+
+  // masks[k] = simulator.detect_mask(excitations[items[k]]) for the
+  // currently loaded batch, computed across the pool.
+  const auto sweep_masks = [&](std::span<const std::uint32_t> items,
+                               std::vector<std::uint64_t>& masks) {
+    masks.resize(items.size());
+    const auto run_range = [&](int lane, std::size_t begin, std::size_t end) {
+      FaultSimulator& sim = lane == 0 ? simulator : *worker_sims[lane - 1];
+      for (std::size_t k = begin; k < end; ++k) {
+        masks[k] = sim.detect_mask(excitations[items[k]]);
+      }
+    };
+    // Below this, the per-worker good-frame copies cost more than the
+    // sweep itself.
+    constexpr std::size_t kMinParallelItems = 32;
+    if (num_workers <= 1 || items.size() < kMinParallelItems) {
+      run_range(0, 0, items.size());
+      return;
+    }
+    for (auto& sim : worker_sims) sim->load_from(simulator);
+    const std::size_t grain = std::clamp<std::size_t>(
+        items.size() / (4 * static_cast<std::size_t>(num_workers)), 1, 32);
+    pool.parallel_for(items.size(), grain, num_workers, run_range);
+  };
+
+  std::vector<std::uint64_t> sweep_scratch;
   const auto drop_with_batch = [&](std::size_t first, std::size_t count) {
     simulator.load(tests, first, count);
+    sweep_masks(targets, sweep_scratch);
     std::vector<std::uint32_t> still;
     std::uint64_t useful_lanes = 0;
     still.reserve(targets.size());
-    for (const std::uint32_t i : targets) {
-      const std::uint64_t mask = simulator.detect_mask(excitations[i]);
+    for (std::size_t k = 0; k < targets.size(); ++k) {
+      const std::uint32_t i = targets[k];
+      const std::uint64_t mask = sweep_scratch[k];
       if (mask != 0) {
         result.status[i] = FaultStatus::Detected;
-        useful_lanes |= mask & (~mask + 1);  // credit the first lane
+        // Lane crediting: each newly detected fault credits exactly one
+        // lane — the lowest set bit of its detect mask (`mask & -mask`).
+        // A lane therefore survives the batch iff it is some fault's
+        // first detector, which mirrors the classic serial-simulation
+        // "keep patterns that first-detect" rule while staying
+        // independent of the order faults are swept in.
+        useful_lanes |= mask & (~mask + 1);
       } else {
         still.push_back(i);
       }
@@ -99,7 +155,7 @@ AtpgResult run_atpg(const Netlist& nl, const FaultUniverse& universe,
   };
 
   // ---- phase 1: random pattern pairs with fault dropping ----
-  std::vector<TestPattern> kept_random;
+  const auto phase1_start = Clock::now();
   for (int batch = 0; batch < options.random_batches && !targets.empty();
        ++batch) {
     const std::size_t first = tests.size();
@@ -116,8 +172,10 @@ AtpgResult run_atpg(const Netlist& nl, const FaultUniverse& universe,
     tests.resize(first);
     for (auto& t : kept) tests.push_back(std::move(t));
   }
+  result.counters.phase1_seconds = seconds_since(phase1_start);
 
   // ---- phase 2: deterministic PODEM ----
+  const auto phase2_start = Clock::now();
   Podem podem(nl, view, {options.backtrack_limit});
   // Process remaining targets; each generated test also drops others.
   std::vector<std::uint32_t> queue = std::move(targets);
@@ -168,9 +226,10 @@ AtpgResult run_atpg(const Netlist& nl, const FaultUniverse& universe,
           }
         }
         simulator.load(tests, tests.size() - 1, 1);
-        for (const std::uint32_t j : targets) {
-          if (simulator.detect_mask(excitations[j]) != 0) {
-            result.status[j] = FaultStatus::Detected;
+        sweep_masks(targets, sweep_scratch);
+        for (std::size_t k = 0; k < targets.size(); ++k) {
+          if (sweep_scratch[k] != 0) {
+            result.status[targets[k]] = FaultStatus::Detected;
           }
         }
       }
@@ -181,8 +240,10 @@ AtpgResult run_atpg(const Netlist& nl, const FaultUniverse& universe,
           any_aborted ? FaultStatus::Aborted : FaultStatus::Undetectable;
     }
   }
+  result.counters.phase2_seconds = seconds_since(phase2_start);
 
   // ---- phase 3: reverse-order test compaction ----
+  const auto phase3_start = Clock::now();
   if (options.generate_tests && !tests.empty()) {
     std::vector<std::uint32_t> uncovered;
     for (std::uint32_t i = 0; i < universe.size(); ++i) {
@@ -194,10 +255,8 @@ AtpgResult run_atpg(const Netlist& nl, const FaultUniverse& universe,
          first += 64) {
       const std::size_t count = std::min<std::size_t>(64, reversed.size() - first);
       simulator.load(reversed, first, count);
-      std::vector<std::uint64_t> masks(uncovered.size());
-      for (std::size_t u = 0; u < uncovered.size(); ++u) {
-        masks[u] = simulator.detect_mask(excitations[uncovered[u]]);
-      }
+      std::vector<std::uint64_t> masks;
+      sweep_masks(uncovered, masks);
       for (std::size_t lane = 0; lane < count; ++lane) {
         bool useful = false;
         std::vector<std::uint32_t> still;
@@ -218,6 +277,21 @@ AtpgResult run_atpg(const Netlist& nl, const FaultUniverse& universe,
       }
     }
     result.tests = std::move(compacted);
+  }
+  result.counters.phase3_seconds = seconds_since(phase3_start);
+
+  // Fold the per-worker instrumentation into the result. The counters
+  // live on each private simulator (never shared across threads), so
+  // the hot loops stay free of contended atomics and this serial merge
+  // is the only synchronization the instrumentation needs.
+  result.counters.podem_backtracks = podem.total_backtracks();
+  result.counters.patterns_simulated = simulator.patterns_simulated();
+  result.counters.detect_mask_calls = simulator.detect_mask_calls();
+  result.counters.propagation_events = simulator.propagation_events();
+  for (const auto& sim : worker_sims) {
+    result.counters.patterns_simulated += sim->patterns_simulated();
+    result.counters.detect_mask_calls += sim->detect_mask_calls();
+    result.counters.propagation_events += sim->propagation_events();
   }
 
   // ---- bookkeeping ----

@@ -8,6 +8,7 @@
 #include "src/atpg/podem.hpp"
 #include "src/faults/fault.hpp"
 #include "src/faults/udfm_map.hpp"
+#include "src/util/stats.hpp"
 
 namespace dfmres {
 
@@ -37,6 +38,12 @@ struct AtpgOptions {
   long backtrack_limit = 4000;
   bool generate_tests = true;    ///< collect + reverse-compact a test set
   std::uint64_t seed = 12345;
+  /// Worker lanes for the fault-simulation sweeps: 0 = one per hardware
+  /// thread, 1 = fully serial. Results are bit-identical for every
+  /// value (each worker owns a private FaultSimulator; masks land in
+  /// per-fault slots and are reduced serially), so 1 is only needed
+  /// when single-threaded execution itself is the point.
+  int num_threads = 0;
 };
 
 struct AtpgResult {
@@ -45,6 +52,7 @@ struct AtpgResult {
   std::size_t num_detected = 0;
   std::size_t num_undetectable = 0;
   std::size_t num_aborted = 0;
+  AtpgCounters counters;            ///< instrumentation (see util/stats)
 
   [[nodiscard]] double coverage(std::size_t num_faults) const {
     if (num_faults == 0) return 1.0;

@@ -1,6 +1,7 @@
 #include "src/atpg/fault_sim.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <queue>
 
 #include "src/sim/parallel_sim.hpp"
@@ -52,10 +53,18 @@ void FaultSimulator::load(std::span<const TestPattern> tests,
   };
   run(src0, good0_);
   run(src1, good1_);
+  patterns_simulated_ += 2 * static_cast<std::uint64_t>(lanes_);
+}
+
+void FaultSimulator::load_from(const FaultSimulator& other) {
+  lanes_ = other.lanes_;
+  good0_ = other.good0_;
+  good1_ = other.good1_;
 }
 
 std::uint64_t FaultSimulator::detect_mask(
     std::span<const Excitation> excitations) {
+  ++detect_mask_calls_;
   const std::uint64_t lane_mask =
       lanes_ == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << lanes_) - 1);
   std::uint64_t detected = 0;
@@ -75,6 +84,13 @@ std::uint64_t FaultSimulator::detect_mask(
     if (e == 0) continue;
 
     // Event-driven forward propagation of the flip (frame 1 only).
+    if (epoch_ == std::numeric_limits<std::uint32_t>::max()) {
+      // Epoch wraparound: a stale stamp equal to the restarted epoch
+      // would silently resurrect old faulty values, so clear the stamps
+      // before reusing epoch numbers (once per ~4.3e9 excitations).
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      epoch_ = 0;
+    }
     ++epoch_;
     const auto fv_of = [&](NetId n) {
       return stamp_[n.value()] == epoch_ ? faulty_[n.value()]
@@ -83,6 +99,7 @@ std::uint64_t FaultSimulator::detect_mask(
     const auto set_fv = [&](NetId n, std::uint64_t v) {
       faulty_[n.value()] = v;
       stamp_[n.value()] = epoch_;
+      ++propagation_events_;
     };
     set_fv(exc.victim, (victim_good & ~e) |
                            (exc.faulty_value ? e : std::uint64_t{0}));

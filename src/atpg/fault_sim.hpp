@@ -20,6 +20,13 @@ struct TestPattern {
 /// 64-lane single-fault simulator with event-driven cone propagation.
 /// Load a batch of up to 64 tests, then query detection masks fault by
 /// fault (the engine drops detected faults as it goes).
+///
+/// Threading model: `detect_mask` reads the good-value frames but
+/// mutates the `faulty_`/`stamp_`/`scheduled_` scratch, so a simulator
+/// instance must never be shared between threads. Parallel sweeps give
+/// each worker a private instance and copy the master's good frames in
+/// with `load_from` (one memcpy per batch — the good-machine simulation
+/// itself runs once, on the master).
 class FaultSimulator {
  public:
   FaultSimulator(const Netlist& nl, const CombView& view);
@@ -29,12 +36,30 @@ class FaultSimulator {
   void load(std::span<const TestPattern> tests, std::size_t first,
             std::size_t count);
 
+  /// Adopts another simulator's loaded batch (good-value frames + lane
+  /// count) without re-simulating. Both instances must be built over the
+  /// same netlist and view.
+  void load_from(const FaultSimulator& other);
+
   /// Lane mask of tests that detect a fault with the given excitations.
   [[nodiscard]] std::uint64_t detect_mask(
       std::span<const Excitation> excitations);
 
   [[nodiscard]] int lanes() const { return lanes_; }
   [[nodiscard]] const CombView& view() const { return view_; }
+
+  /// Test frames simulated by `load` on this instance (2 per pattern).
+  [[nodiscard]] std::uint64_t patterns_simulated() const {
+    return patterns_simulated_;
+  }
+  /// `detect_mask` queries answered by this instance.
+  [[nodiscard]] std::uint64_t detect_mask_calls() const {
+    return detect_mask_calls_;
+  }
+  /// Faulty-value net updates during event-driven propagation.
+  [[nodiscard]] std::uint64_t propagation_events() const {
+    return propagation_events_;
+  }
 
  private:
   const Netlist& nl_;
@@ -47,6 +72,9 @@ class FaultSimulator {
   std::uint32_t epoch_ = 0;
   std::vector<std::uint32_t> topo_pos_;        // gate slot -> position
   std::vector<bool> scheduled_;                // gate slot scratch
+  std::uint64_t patterns_simulated_ = 0;
+  std::uint64_t detect_mask_calls_ = 0;
+  std::uint64_t propagation_events_ = 0;
 };
 
 }  // namespace dfmres

@@ -418,6 +418,7 @@ Podem::Outcome Podem::search(std::span<const CondLiteral> lits,
     }
 
     // Backtrack: flip the deepest unflipped decision.
+    ++total_backtracks_;
     if (++backtracks > config_.backtrack_limit) return Outcome::Aborted;
     while (!stack.empty() && stack.back().flipped) {
       undo_last_assignment();

@@ -41,6 +41,12 @@ class Podem {
 
   [[nodiscard]] const CombView& view() const { return view_; }
 
+  /// Total backtracks across every detect/justify call on this instance
+  /// (instrumentation for AtpgCounters).
+  [[nodiscard]] std::uint64_t total_backtracks() const {
+    return total_backtracks_;
+  }
+
  private:
   struct Objective {
     NetId net;
@@ -98,6 +104,7 @@ class Podem {
   };
   std::vector<TrailEntry> trail_;
   std::vector<std::size_t> trail_marks_;
+  std::uint64_t total_backtracks_ = 0;
 };
 
 }  // namespace dfmres

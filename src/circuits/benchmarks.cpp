@@ -387,7 +387,9 @@ Netlist build_sparc_tlu() {
   const Bus traps = cb.dff_bus(cb.input_bus("t", 24));
   const Bus mask = cb.dff_bus(cb.input_bus("m", 24));
   const Bus tl_in = cb.input_bus("tl", 2);
-  const Bus type_cmp = cb.input_bus("tt", 4);
+  // 5 bits wide to match encode(grant, 5) below; a narrower bus would
+  // read past the end of type_cmp inside CircuitBuilder::equals.
+  const Bus type_cmp = cb.input_bus("tt", 5);
 
   Bus masked;
   for (int i = 0; i < 24; ++i) masked.push_back(cb.and2(traps[i], mask[i]));

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/util/fmt.hpp"
+
 namespace dfmres {
 
 void RunningStats::add(double x) {
@@ -41,6 +43,42 @@ std::vector<std::size_t> histogram(std::span<const double> values, double lo,
     ++out[static_cast<std::size_t>(bin)];
   }
   return out;
+}
+
+void AtpgCounters::merge(const AtpgCounters& other) {
+  patterns_simulated += other.patterns_simulated;
+  detect_mask_calls += other.detect_mask_calls;
+  propagation_events += other.propagation_events;
+  podem_backtracks += other.podem_backtracks;
+  phase1_seconds += other.phase1_seconds;
+  phase2_seconds += other.phase2_seconds;
+  phase3_seconds += other.phase3_seconds;
+  threads_used = std::max(threads_used, other.threads_used);
+}
+
+std::string AtpgCounters::summary() const {
+  return strfmt(
+      "atpg: %llu patterns, %llu detect_mask calls, %llu prop events, "
+      "%llu backtracks, phases %.3f/%.3f/%.3fs, %d thread%s",
+      static_cast<unsigned long long>(patterns_simulated),
+      static_cast<unsigned long long>(detect_mask_calls),
+      static_cast<unsigned long long>(propagation_events),
+      static_cast<unsigned long long>(podem_backtracks), phase1_seconds,
+      phase2_seconds, phase3_seconds, threads_used,
+      threads_used == 1 ? "" : "s");
+}
+
+std::string AtpgCounters::json() const {
+  return strfmt(
+      "{\"patterns_simulated\": %llu, \"detect_mask_calls\": %llu, "
+      "\"propagation_events\": %llu, \"podem_backtracks\": %llu, "
+      "\"phase1_seconds\": %.6f, \"phase2_seconds\": %.6f, "
+      "\"phase3_seconds\": %.6f, \"threads_used\": %d}",
+      static_cast<unsigned long long>(patterns_simulated),
+      static_cast<unsigned long long>(detect_mask_calls),
+      static_cast<unsigned long long>(propagation_events),
+      static_cast<unsigned long long>(podem_backtracks), phase1_seconds,
+      phase2_seconds, phase3_seconds, threads_used);
 }
 
 }  // namespace dfmres

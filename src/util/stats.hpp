@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace dfmres {
@@ -31,5 +33,30 @@ class RunningStats {
 /// to the first/last bin.
 [[nodiscard]] std::vector<std::size_t> histogram(
     std::span<const double> values, double lo, double hi, std::size_t bins);
+
+/// Instrumentation counters for one `run_atpg` invocation. Workers
+/// accumulate into private copies (or plain per-instance counters) and
+/// merge after each parallel section, so the hot loops never touch a
+/// contended cache line; the merged totals land in `AtpgResult::counters`
+/// and are printed by the CLI and the benches.
+struct AtpgCounters {
+  std::uint64_t patterns_simulated = 0;   ///< test frames loaded into lanes
+  std::uint64_t detect_mask_calls = 0;    ///< per-fault simulation queries
+  std::uint64_t propagation_events = 0;   ///< faulty-value net updates
+  std::uint64_t podem_backtracks = 0;     ///< deterministic-search backtracks
+  double phase1_seconds = 0.0;            ///< random patterns + dropping
+  double phase2_seconds = 0.0;            ///< PODEM + per-test drop sweeps
+  double phase3_seconds = 0.0;            ///< reverse-order compaction
+  int threads_used = 1;                   ///< resolved worker lane count
+
+  void merge(const AtpgCounters& other);
+  [[nodiscard]] double total_seconds() const {
+    return phase1_seconds + phase2_seconds + phase3_seconds;
+  }
+  /// One human-readable line for CLI / bench stdout.
+  [[nodiscard]] std::string summary() const;
+  /// JSON object (no trailing newline) for BENCH_*.json records.
+  [[nodiscard]] std::string json() const;
+};
 
 }  // namespace dfmres

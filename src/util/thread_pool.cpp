@@ -1,0 +1,105 @@
+#include "src/util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace dfmres {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int extra = std::max(0, num_threads - 1);
+  workers_.reserve(static_cast<std::size_t>(extra));
+  for (int w = 0; w < extra; ++w) {
+    workers_.emplace_back([this](std::stop_token stop) { worker_loop(stop); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  for (auto& worker : workers_) worker.request_stop();
+  cv_.notify_all();
+  // ~jthread joins; workers_ is destroyed before mutex_/cv_ (reverse
+  // member order), so the loop never touches a dead synchronizer.
+}
+
+void ThreadPool::worker_loop(std::stop_token stop) {
+  std::uint64_t seen = 0;
+  std::unique_lock lock(mutex_);
+  while (true) {
+    if (!cv_.wait(lock, stop, [&] { return generation_ != seen; })) {
+      return;  // stop requested while parked
+    }
+    seen = generation_;
+    std::shared_ptr<Job> job = job_;
+    if (!job) continue;
+    // Respect the job's lane budget; late or surplus workers stand down.
+    if (job->slots.fetch_sub(1) <= 0) continue;
+    const int lane = job->lane.fetch_add(1);
+    lock.unlock();
+    run_chunks(*job, lane);
+    lock.lock();
+  }
+}
+
+void ThreadPool::run_chunks(Job& job, int lane) {
+  job.in_flight.fetch_add(1);
+  for (;;) {
+    const std::size_t begin = job.next.fetch_add(job.grain);
+    if (begin >= job.n) break;
+    const std::size_t end = std::min(job.n, begin + job.grain);
+    job.fn(lane, begin, end);
+  }
+  if (job.in_flight.fetch_sub(1) == 1) {
+    // Last lane out: wake the caller. Taking the mutex orders the wake
+    // after the caller's predicate check, so the notify cannot be lost.
+    std::lock_guard lock(mutex_);
+    cv_done_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t grain, int max_workers,
+    const std::function<void(int, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(1, grain);
+  const int lanes = std::min(max_workers, size());
+  if (lanes <= 1 || n <= grain || workers_.empty()) {
+    fn(0, 0, n);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->fn = fn;
+  job->n = n;
+  job->grain = grain;
+  job->slots.store(lanes - 1);
+  {
+    std::lock_guard lock(mutex_);
+    job_ = job;
+    ++generation_;
+  }
+  cv_.notify_all();
+
+  run_chunks(*job, 0);
+
+  std::unique_lock lock(mutex_);
+  cv_done_.wait(lock, [&] {
+    return job->next.load() >= job->n && job->in_flight.load() == 0;
+  });
+  // A worker that wakes after this point still holds its own shared_ptr
+  // copy and finds no chunk left, so it never invokes fn again.
+  if (job_ == job) job_ = nullptr;
+}
+
+int ThreadPool::resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool& ThreadPool::shared() {
+  // Floor of 4: parked workers are practically free, and it lets tests
+  // (and TSan) exercise real cross-thread execution even on small
+  // machines where hardware_concurrency() would make every sweep serial.
+  static ThreadPool pool(std::max(resolve_threads(0), 4));
+  return pool;
+}
+
+}  // namespace dfmres

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dfmres {
+
+/// Persistent pool of `std::jthread` workers executing chunked
+/// parallel-for jobs from a shared task queue. Built for the ATPG
+/// engine's fault-simulation fan-outs but generic: `parallel_for`
+/// divides `[0, n)` into `grain`-sized chunks that workers claim from an
+/// atomic cursor (work-stealing-ish dynamic scheduling — a slow chunk
+/// never stalls the others), and the calling thread participates as
+/// worker 0, so a pool never idles its caller.
+///
+/// Determinism contract: the pool guarantees nothing about chunk
+/// assignment order. Callers that need bit-identical results across
+/// thread counts (the ATPG engine does) must write results into
+/// per-item slots and reduce serially afterwards.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the caller is the extra thread).
+  /// `num_threads <= 1` creates no workers; `parallel_for` then runs
+  /// inline.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes of execution including the caller.
+  [[nodiscard]] int size() const {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  /// Runs `fn(lane, begin, end)` over chunks of `[0, n)` with
+  /// `end - begin <= grain`. `lane` is a job-local index in
+  /// `[0, min(max_workers, size()))`, 0 being the calling thread, so
+  /// callers can pre-size one scratch slot per lane; at most
+  /// `max_workers` lanes (caller included) touch the job, and
+  /// `max_workers <= 1` degenerates to a serial loop on the caller.
+  /// Blocks until every chunk has completed. `fn` must not call
+  /// `parallel_for` on the same pool (no nesting).
+  void parallel_for(std::size_t n, std::size_t grain, int max_workers,
+                    const std::function<void(int, std::size_t, std::size_t)>& fn);
+
+  /// `requested <= 0` resolves to `hardware_concurrency` (min 1).
+  [[nodiscard]] static int resolve_threads(int requested);
+
+  /// Process-wide pool sized to the hardware, created on first use and
+  /// shared by every ATPG invocation (workers are parked between jobs,
+  /// so idle cost is negligible).
+  [[nodiscard]] static ThreadPool& shared();
+
+ private:
+  struct Job {
+    std::function<void(int, std::size_t, std::size_t)> fn;
+    std::size_t n = 0;
+    std::size_t grain = 1;
+    std::atomic<std::size_t> next{0};
+    std::atomic<int> in_flight{0};
+    std::atomic<int> slots{0};  ///< extra workers still allowed to join
+    std::atomic<int> lane{1};   ///< next job-local lane id (0 = caller)
+  };
+
+  void worker_loop(std::stop_token stop);
+  void run_chunks(Job& job, int lane);
+
+  std::mutex mutex_;
+  std::condition_variable_any cv_;        ///< workers wait for a new job
+  std::condition_variable cv_done_;       ///< caller waits for completion
+  std::shared_ptr<Job> job_;
+  std::uint64_t generation_ = 0;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace dfmres

@@ -1,14 +1,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 
 #include "src/atpg/engine.hpp"
 #include "src/atpg/excitation.hpp"
 #include "src/atpg/fault_sim.hpp"
 #include "src/atpg/podem.hpp"
+#include "src/circuits/benchmarks.hpp"
 #include "src/dfm/checker.hpp"
 #include "src/library/osu018.hpp"
 #include "src/sim/parallel_sim.hpp"
+#include "src/synth/mapper.hpp"
 #include "src/util/rng.hpp"
 
 namespace dfmres {
@@ -331,6 +334,189 @@ TEST(Engine, EndToEndClassification) {
   for (std::size_t i = 0; i < universe.size(); ++i) {
     if (result.status[i] == FaultStatus::Detected) {
       EXPECT_TRUE(covered[i]) << "fault " << i << " not covered by tests";
+    }
+  }
+}
+
+TEST(FaultSim, LaneMaskUnderSixtyFourLanes) {
+  // Fewer than 64 loaded tests must exercise the `(1 << lanes) - 1`
+  // shift path: detection bits may only appear in loaded lanes.
+  Fixture f;
+  const NetId a = f.nl.add_primary_input();
+  const NetId b = f.nl.add_primary_input();
+  const GateId g = f.add("AND2X2", {a, b});
+  f.nl.mark_primary_output(f.out(g));
+  const CombView view = CombView::build(f.nl);
+  FaultSimulator fsim(f.nl, view);
+
+  // Output SA0 is detected exactly where the good output is 1.
+  std::vector<TestPattern> tests;
+  for (const auto& [va, vb] : {std::pair{1, 1}, {0, 1}, {1, 1}}) {
+    TestPattern t;
+    t.frame0 = {0, 0};
+    t.frame1 = {static_cast<std::uint8_t>(va), static_cast<std::uint8_t>(vb)};
+    tests.push_back(std::move(t));
+  }
+  fsim.load(tests, 0, 3);
+  EXPECT_EQ(fsim.lanes(), 3);
+  Excitation exc;
+  exc.victim = f.out(g);
+  exc.faulty_value = false;
+  const Excitation excs[] = {exc};
+  EXPECT_EQ(fsim.detect_mask(excs), 0b101u);
+
+  // A single-lane load of the undetected pattern yields mask 0.
+  fsim.load(tests, 1, 1);
+  EXPECT_EQ(fsim.lanes(), 1);
+  EXPECT_EQ(fsim.detect_mask(excs), 0u);
+}
+
+TEST(FaultSim, LoadFromMatchesLoad) {
+  Rng rng(31);
+  Fixture f;
+  std::vector<NetId> nets;
+  for (int i = 0; i < 6; ++i) nets.push_back(f.nl.add_primary_input());
+  const char* kCells[] = {"NAND2X1", "NOR2X1", "XOR2X1", "AOI21X1"};
+  for (int i = 0; i < 30; ++i) {
+    const CellId cell = lib()->require(kCells[rng.below(4)]);
+    const CellSpec& spec = lib()->cell(cell);
+    std::vector<NetId> fanins;
+    for (int j = 0; j < spec.num_inputs; ++j) {
+      fanins.push_back(nets[nets.size() - 1 - rng.below(
+                                std::min<std::size_t>(nets.size(), 8))]);
+    }
+    nets.push_back(f.out(f.nl.add_gate(cell, fanins)));
+  }
+  f.nl.mark_primary_output(nets.back());
+  f.nl.mark_primary_output(nets[nets.size() - 3]);
+
+  const CombView view = CombView::build(f.nl);
+  FaultSimulator master(f.nl, view);
+  FaultSimulator worker(f.nl, view);
+  std::vector<TestPattern> tests;
+  for (int lane = 0; lane < 40; ++lane) {
+    TestPattern t;
+    for (std::size_t s = 0; s < view.sources.size(); ++s) {
+      t.frame0.push_back(rng.flip());
+      t.frame1.push_back(rng.flip());
+    }
+    tests.push_back(std::move(t));
+  }
+  master.load(tests, 0, tests.size());
+  worker.load_from(master);
+  EXPECT_EQ(worker.lanes(), master.lanes());
+  for (std::size_t i = 6; i < nets.size(); ++i) {
+    for (const bool sa : {false, true}) {
+      Excitation exc;
+      exc.victim = nets[i];
+      exc.faulty_value = sa;
+      const Excitation excs[] = {exc};
+      EXPECT_EQ(master.detect_mask(excs), worker.detect_mask(excs))
+          << "net " << nets[i].value() << " sa" << sa;
+    }
+  }
+}
+
+TEST(Engine, DuplicateFaultsMirrorRepresentative) {
+  // Distinct physical violations inducing the same logic fault (equal
+  // Fault::Key, e.g. different guideline ids) are classified once and
+  // the verdict mirrored onto every duplicate.
+  Fixture f;
+  const NetId a = f.nl.add_primary_input();
+  const NetId b = f.nl.add_primary_input();
+  const GateId and_g = f.add("AND2X2", {a, b});
+  const GateId or_g = f.add("OR2X2", {a, f.out(and_g)});
+  f.nl.mark_primary_output(f.out(or_g));
+  UdfmMap udfm(*lib());
+
+  FaultUniverse universe;
+  Fault detectable;  // primary-output SA0: trivially detectable
+  detectable.kind = FaultKind::StuckAt;
+  detectable.victim = f.out(or_g);
+  detectable.value = false;
+  detectable.guideline = 1;
+  Fault undetectable;  // absorbed-term SA0 (see PodemExhaustive above)
+  undetectable.kind = FaultKind::StuckAt;
+  undetectable.victim = f.out(and_g);
+  undetectable.value = false;
+  undetectable.guideline = 2;
+  // Interleave duplicates with different guideline ids.
+  universe.faults = {detectable, undetectable, detectable, undetectable,
+                     detectable};
+  universe.faults[2].guideline = 7;
+  universe.faults[3].guideline = 8;
+  universe.faults[4].guideline = 9;
+
+  const AtpgResult result = run_atpg(f.nl, universe, udfm, {});
+  ASSERT_EQ(result.status.size(), 5u);
+  for (const std::size_t i : {0u, 2u, 4u}) {
+    EXPECT_EQ(result.status[i], FaultStatus::Detected) << i;
+  }
+  for (const std::size_t i : {1u, 3u}) {
+    EXPECT_EQ(result.status[i], FaultStatus::Undetectable) << i;
+  }
+  // Duplicates count toward the totals like any other fault.
+  EXPECT_EQ(result.num_detected, 3u);
+  EXPECT_EQ(result.num_undetectable, 2u);
+}
+
+/// num_threads must never change results: the parallel sweeps write
+/// per-fault mask slots and reduce serially. Statuses, compacted tests
+/// and counts are required to be bit-identical on a seed benchmark.
+TEST(Engine, ParallelMatchesSerialOnSeedBenchmark) {
+  // Smallest benchmark block keeps the double classification fast.
+  std::string_view smallest;
+  std::size_t smallest_gates = std::numeric_limits<std::size_t>::max();
+  for (const auto name : benchmark_names()) {
+    const Netlist rtl = build_benchmark(name);
+    if (rtl.num_live_gates() < smallest_gates) {
+      smallest_gates = rtl.num_live_gates();
+      smallest = name;
+    }
+  }
+  const Netlist rtl = build_benchmark(smallest);
+  MapOptions mo;
+  const Library& slib = rtl.library();
+  const auto pin = [&](const char* src, const char* dst) {
+    if (const auto s = slib.find(src)) {
+      mo.fixed_map.emplace(s->value(), *lib()->find(dst));
+    }
+  };
+  pin("DFF", "DFFPOSX1");
+  pin("FA", "FAX1");
+  pin("HA", "HAX1");
+  const auto mapped = technology_map(rtl, lib(), mo);
+  ASSERT_TRUE(mapped.has_value());
+
+  UdfmMap udfm(*lib());
+  const FaultUniverse universe = extract_internal_faults(*mapped, udfm);
+  ASSERT_GT(universe.size(), 100u);
+
+  AtpgOptions serial;
+  serial.random_batches = 4;
+  serial.num_threads = 1;
+  const AtpgResult base = run_atpg(*mapped, universe, udfm, serial);
+  EXPECT_EQ(base.counters.threads_used, 1);
+  EXPECT_GT(base.counters.patterns_simulated, 0u);
+  EXPECT_GT(base.counters.detect_mask_calls, 0u);
+
+  for (const int threads : {2, 4}) {
+    AtpgOptions options = serial;
+    options.num_threads = threads;
+    const AtpgResult parallel = run_atpg(*mapped, universe, udfm, options);
+    EXPECT_EQ(parallel.counters.threads_used, threads);
+    ASSERT_EQ(parallel.status.size(), base.status.size());
+    for (std::size_t i = 0; i < base.status.size(); ++i) {
+      ASSERT_EQ(parallel.status[i], base.status[i])
+          << "fault " << i << " at " << threads << " threads";
+    }
+    EXPECT_EQ(parallel.num_detected, base.num_detected);
+    EXPECT_EQ(parallel.num_undetectable, base.num_undetectable);
+    EXPECT_EQ(parallel.num_aborted, base.num_aborted);
+    ASSERT_EQ(parallel.tests.size(), base.tests.size());
+    for (std::size_t t = 0; t < base.tests.size(); ++t) {
+      EXPECT_EQ(parallel.tests[t].frame0, base.tests[t].frame0) << t;
+      EXPECT_EQ(parallel.tests[t].frame1, base.tests[t].frame1) << t;
     }
   }
 }

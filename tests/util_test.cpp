@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <numeric>
 #include <set>
 
 #include "src/util/ids.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/stats.hpp"
+#include "src/util/thread_pool.hpp"
 #include "src/util/union_find.hpp"
 
 namespace dfmres {
@@ -117,6 +120,101 @@ TEST(Stats, Histogram) {
   ASSERT_EQ(h.size(), 2u);
   EXPECT_EQ(h[0], 3u);  // 0.1, 0.2, -3.0 (clamped)
   EXPECT_EQ(h[1], 2u);  // 0.9, 1.5 (clamped)
+}
+
+TEST(Stats, AtpgCountersMergeAndFormat) {
+  AtpgCounters a, b;
+  a.patterns_simulated = 10;
+  a.propagation_events = 5;
+  a.phase1_seconds = 0.5;
+  a.threads_used = 2;
+  b.patterns_simulated = 3;
+  b.podem_backtracks = 7;
+  b.phase1_seconds = 0.25;
+  b.threads_used = 4;
+  a.merge(b);
+  EXPECT_EQ(a.patterns_simulated, 13u);
+  EXPECT_EQ(a.podem_backtracks, 7u);
+  EXPECT_DOUBLE_EQ(a.phase1_seconds, 0.75);
+  EXPECT_EQ(a.threads_used, 4);
+  EXPECT_NE(a.summary().find("13 patterns"), std::string::npos);
+  EXPECT_NE(a.json().find("\"podem_backtracks\": 7"), std::string::npos);
+}
+
+TEST(ThreadPool, ResolveThreads) {
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1);
+  EXPECT_EQ(ThreadPool::resolve_threads(5), 5);
+  EXPECT_GE(ThreadPool::resolve_threads(-3), 1);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::atomic<int>> hits(1337);
+  pool.parallel_for(hits.size(), 7, 4, [&](int, std::size_t b, std::size_t e) {
+    EXPECT_LE(e - b, 7u);
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, LaneIdsStayWithinBudget) {
+  ThreadPool pool(8);
+  for (const int budget : {1, 2, 5}) {
+    std::atomic<int> max_lane{0};
+    pool.parallel_for(10000, 3, budget,
+                      [&](int lane, std::size_t, std::size_t) {
+                        int seen = max_lane.load();
+                        while (lane > seen &&
+                               !max_lane.compare_exchange_weak(seen, lane)) {
+                        }
+                      });
+    EXPECT_LT(max_lane.load(), budget) << "budget " << budget;
+  }
+}
+
+TEST(ThreadPool, SerialPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  std::vector<int> out(100, 0);
+  pool.parallel_for(out.size(), 8, 4, [&](int lane, std::size_t b,
+                                          std::size_t e) {
+    EXPECT_EQ(lane, 0);
+    for (std::size_t i = b; i < e; ++i) out[i] = static_cast<int>(i);
+  });
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(ThreadPool, ManyBackToBackJobs) {
+  // Stresses job handoff: parked workers must pick up each new
+  // generation and the caller must never return before all chunks ran.
+  ThreadPool pool(3);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::uint32_t> out(97 + round, 0);
+    pool.parallel_for(out.size(), 4, 3, [&](int, std::size_t b,
+                                            std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) out[i] = static_cast<std::uint32_t>(2 * i);
+    });
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i], 2 * i) << "round " << round;
+    }
+  }
+}
+
+TEST(ThreadPool, SharedPoolIsUsableAndStable) {
+  ThreadPool& a = ThreadPool::shared();
+  ThreadPool& b = ThreadPool::shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 4);  // floor lets 1-core machines exercise threads
+  std::atomic<std::uint64_t> sum{0};
+  a.parallel_for(1000, 16, a.size(), [&](int, std::size_t b2, std::size_t e) {
+    std::uint64_t local = 0;
+    for (std::size_t i = b2; i < e; ++i) local += i;
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), 999u * 1000u / 2u);
 }
 
 }  // namespace

@@ -35,10 +35,13 @@ int usage() {
   std::fprintf(stderr,
                "usage: dfmres <list|flow|resyn|verilog> [args]\n"
                "  dfmres list\n"
-               "  dfmres flow <circuit|file.v> [--write out.v] [--util U]\n"
+               "  dfmres flow <circuit|file.v> [--write out.v] [--util U] "
+               "[--threads N]\n"
                "  dfmres resyn <circuit|file.v> [--q N] [--p1 PCT] "
-               "[--write out.v]\n"
-               "  dfmres verilog <circuit>\n");
+               "[--write out.v] [--threads N]\n"
+               "  dfmres verilog <circuit>\n"
+               "  --threads N: fault-simulation worker lanes "
+               "(0 = hardware, 1 = serial; results are identical)\n");
   return 2;
 }
 
@@ -115,6 +118,8 @@ int cmd_flow(int argc, char** argv) {
       write_path = argv[++i];
     } else if (!std::strcmp(argv[i], "--util") && i + 1 < argc) {
       options.utilization = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+      options.atpg.num_threads = std::atoi(argv[++i]);
     } else {
       return usage();
     }
@@ -126,6 +131,7 @@ int cmd_flow(int argc, char** argv) {
   const FlowState state = run_flow(flow, *design, is_mapped);
   std::printf("%s", describe(state.netlist).c_str());
   print_state("flow", state, nullptr);
+  std::printf("%s\n", state.atpg.counters.summary().c_str());
   std::printf("clusters:");
   for (std::size_t i = 0; i < state.clusters.clusters.size() && i < 10; ++i) {
     std::printf(" %zu", state.clusters.clusters[i].size());
@@ -143,6 +149,7 @@ int cmd_resyn(int argc, char** argv) {
   if (argc < 1) return usage();
   std::string write_path;
   ResynthesisOptions options;
+  FlowOptions flow_options;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--q") && i + 1 < argc) {
       options.q_max = std::atoi(argv[++i]);
@@ -150,6 +157,8 @@ int cmd_resyn(int argc, char** argv) {
       options.p1 = std::atof(argv[++i]) / 100.0;
     } else if (!std::strcmp(argv[i], "--write") && i + 1 < argc) {
       write_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+      flow_options.atpg.num_threads = std::atoi(argv[++i]);
     } else {
       return usage();
     }
@@ -157,11 +166,12 @@ int cmd_resyn(int argc, char** argv) {
   bool is_mapped = false;
   const auto design = load_design(argv[0], &is_mapped);
   if (!design) return 1;
-  DesignFlow flow(osu018_library(), {});
+  DesignFlow flow(osu018_library(), flow_options);
   const FlowState original = run_flow(flow, *design, is_mapped);
   print_state("orig", original, nullptr);
   const ResynthesisResult result = resynthesize(flow, original, options);
   print_state("resyn", result.state, &original);
+  std::printf("%s\n", result.state.atpg.counters.summary().c_str());
   std::printf("largest accepted q: %d%%  runtime: %.1fs\n",
               result.report.q_used, result.report.runtime_seconds);
   if (!write_path.empty()) {
