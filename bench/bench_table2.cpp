@@ -8,9 +8,21 @@
 // roughly an order of magnitude, coverage reaches ~99%, %Smax_all lands
 // near/below p1 = 1%, T barely changes, delay/power stay within the q
 // envelope, Rtime does not grow with circuit size.
+//
+// Besides the table, every run writes a machine-readable BENCH_resyn.json
+// (per-block wall times, aggregate ATPG counters, final U / coverage /
+// %Smax and the accepted-candidate trace). With DFMRES_BENCH_COLD=1 each
+// block additionally runs in the cold-start reference configuration
+// (no seed replay / cone trust, no dedup, serial ladder); the bench then
+// verifies that final U, %Smax, coverage and the accepted-candidate
+// sequence are identical, reports the warm-vs-cold speedup, and exits
+// nonzero on any mismatch.
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.hpp"
 
@@ -39,10 +51,91 @@ void print_row(const char* circuit, const Row& r) {
       100.0 * r.delay_rel, 100.0 * r.power_rel, r.rtime);
 }
 
+/// One full flow + resynthesis run of a block in the given configuration.
+struct BlockRun {
+  StateStats orig;
+  StateStats resyn;
+  ResynthesisReport report;
+  AtpgCounters counters;  ///< flow-wide committed-analysis totals
+  double flow_seconds = 0.0;
+  double resyn_seconds = 0.0;
+};
+
+BlockRun run_block(const std::string& name, bool cold) {
+  using Clock = std::chrono::steady_clock;
+  FlowOptions flow_options = bench_flow_options();
+  ResynthesisOptions resyn_options = bench_resyn_options();
+  if (cold) apply_cold_mode(flow_options, resyn_options);
+
+  BlockRun out;
+  const auto t0 = Clock::now();
+  DesignFlow flow(osu018_library(), flow_options);
+  const FlowState original = flow.run_initial(build_benchmark(name));
+  out.flow_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  const auto t1 = Clock::now();
+  const ResynthesisResult result =
+      resynthesize(flow, original, resyn_options);
+  out.resyn_seconds = std::chrono::duration<double>(Clock::now() - t1).count();
+
+  out.orig = stats_of(original);
+  out.resyn = stats_of(result.state);
+  out.report = result.report;
+  out.counters = flow.atpg_totals();
+  return out;
+}
+
+/// Canonical form of the accepted-candidate sequence, the identity that
+/// warm-start optimizations must preserve.
+std::string accepted_trace(const ResynthesisReport& report) {
+  std::string out;
+  for (const IterationRecord& r : report.trace) {
+    if (!r.accepted) continue;
+    out += "q" + std::to_string(r.q) + "p" + std::to_string(r.phase) + ":" +
+           r.banned_through + (r.via_backtracking ? "*" : "") + "/U" +
+           std::to_string(r.undetectable) + "/S" + std::to_string(r.smax) +
+           ";";
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string block_json(const std::string& name, const char* mode,
+                       const BlockRun& r) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"circuit\": \"%s\", \"mode\": \"%s\", \"flow_seconds\": %.3f, "
+      "\"resyn_seconds\": %.3f, \"q_used\": %d, \"final_u\": %zu, "
+      "\"final_coverage\": %.6f, \"final_smax\": %zu, \"final_faults\": %zu, "
+      "\"tests\": %zu, \"accepted\": \"%s\", "
+      "\"candidates_built\": %zu, \"u_in_probes\": %zu, \"full_probes\": %zu, "
+      "\"sig_hits\": %zu, \"stash_commits\": %zu, \"build_seconds\": %.3f, "
+      "\"u_in_seconds\": %.3f, \"probe_seconds\": %.3f, "
+      "\"signoff_seconds\": %.3f, \"atpg\": ",
+      name.c_str(), mode, r.flow_seconds, r.resyn_seconds, r.report.q_used,
+      r.resyn.u, r.resyn.coverage, r.resyn.smax, r.resyn.f, r.resyn.tests,
+      json_escape(accepted_trace(r.report)).c_str(),
+      r.report.candidates_built, r.report.u_in_probes, r.report.full_probes,
+      r.report.sig_hits, r.report.stash_commits, r.report.build_seconds,
+      r.report.u_in_seconds, r.report.probe_seconds,
+      r.report.signoff_seconds);
+  return std::string(buf) + r.counters.json() + "}";
+}
+
 }  // namespace
 
 int main() {
   std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  const bool compare_cold = bench_cold_mode();
   std::printf("==== Table II: resynthesis results ====\n");
   std::printf("%-10s %5s %8s %6s %8s %5s %6s %9s %7s %9s %9s %9s %7s\n",
               "Circuit", "Inc", "F", "U", "Cov", "T", "Smax", "%Smax_all",
@@ -53,37 +146,69 @@ int main() {
        "sparc_ffu", "sparc_exu", "sparc_ifu", "sparc_tlu", "sparc_lsu",
        "sparc_fpu"});
 
-  Row avg_orig, avg_resyn;
   std::size_t count = 0;
   double sum[2][7] = {};  // [orig/resyn][F U cov T smax delay power] sums
+  std::vector<std::string> json_blocks;
+  bool mismatch = false;
+  double warm_total = 0.0, cold_total = 0.0;
 
   for (const auto& name : circuits) {
-    using Clock = std::chrono::steady_clock;
-    const auto t0 = Clock::now();
-    DesignFlow flow(osu018_library(), bench_flow_options());
-    const FlowState original = flow.run_initial(build_benchmark(name));
-    const double flow_seconds =
-        std::chrono::duration<double>(Clock::now() - t0).count();
+    const BlockRun warm = run_block(name, /*cold=*/false);
 
     Row orig;
     orig.inc = "orig";
-    orig.s = stats_of(original);
+    orig.s = warm.orig;
     print_row(name.c_str(), orig);
 
-    const ResynthesisResult result =
-        resynthesize(flow, original, bench_resyn_options());
     Row resyn;
-    resyn.inc = result.report.any_accepted
-                    ? std::to_string(result.report.q_used) + "%"
+    resyn.inc = warm.report.any_accepted
+                    ? std::to_string(warm.report.q_used) + "%"
                     : "0%";
-    resyn.s = stats_of(result.state);
+    resyn.s = warm.resyn;
     resyn.delay_rel = resyn.s.delay / orig.s.delay;
     resyn.power_rel = resyn.s.power / orig.s.power;
-    resyn.rtime = flow_seconds > 0
-                      ? result.report.runtime_seconds / flow_seconds
+    resyn.rtime = warm.flow_seconds > 0
+                      ? warm.report.runtime_seconds / warm.flow_seconds
                       : 0.0;
     print_row("", resyn);
-    std::printf("  %s\n", result.state.atpg.counters.summary().c_str());
+    std::printf("  %s\n", warm.counters.summary().c_str());
+    std::printf("  loop: %zu built (%.2fs), %zu u_in probes (%.2fs), "
+                "%zu full probes (%.2fs), %zu sig hits, %zu stash commits, "
+                "signoff %.2fs\n",
+                warm.report.candidates_built, warm.report.build_seconds,
+                warm.report.u_in_probes, warm.report.u_in_seconds,
+                warm.report.full_probes, warm.report.probe_seconds,
+                warm.report.sig_hits, warm.report.stash_commits,
+                warm.report.signoff_seconds);
+    json_blocks.push_back(block_json(name, "warm", warm));
+
+    if (compare_cold) {
+      const BlockRun cold = run_block(name, /*cold=*/true);
+      json_blocks.push_back(block_json(name, "cold", cold));
+      warm_total += warm.resyn_seconds;
+      cold_total += cold.resyn_seconds;
+      const bool same = warm.resyn.u == cold.resyn.u &&
+                        warm.resyn.smax == cold.resyn.smax &&
+                        warm.resyn.f == cold.resyn.f &&
+                        warm.resyn.coverage == cold.resyn.coverage &&
+                        accepted_trace(warm.report) ==
+                            accepted_trace(cold.report);
+      std::printf("  cold check: %s  warm %.2fs vs cold %.2fs  speedup %.2fx\n",
+                  same ? "identical" : "MISMATCH", warm.resyn_seconds,
+                  cold.resyn_seconds,
+                  warm.resyn_seconds > 0
+                      ? cold.resyn_seconds / warm.resyn_seconds
+                      : 0.0);
+      if (!same) {
+        std::printf(
+            "  MISMATCH detail: U %zu/%zu Smax %zu/%zu F %zu/%zu\n"
+            "    warm trace: %s\n    cold trace: %s\n",
+            warm.resyn.u, cold.resyn.u, warm.resyn.smax, cold.resyn.smax,
+            warm.resyn.f, cold.resyn.f, accepted_trace(warm.report).c_str(),
+            accepted_trace(cold.report).c_str());
+        mismatch = true;
+      }
+    }
 
     ++count;
     const Row* rows[2] = {&orig, &resyn};
@@ -110,5 +235,22 @@ int main() {
           "-", "-", "-", 100.0 * sum[k][5] / n, 100.0 * sum[k][6] / n);
     }
   }
-  return 0;
+  if (compare_cold && warm_total > 0) {
+    std::printf("---- cold-start comparison: warm %.2fs cold %.2fs "
+                "speedup %.2fx%s ----\n",
+                warm_total, cold_total, cold_total / warm_total,
+                mismatch ? "  (RESULT MISMATCH)" : "");
+  }
+
+  std::ofstream json("BENCH_resyn.json");
+  json << "{\"bench\": \"resyn\", \"cold_compare\": "
+       << (compare_cold ? "true" : "false") << ", \"blocks\": [\n";
+  for (std::size_t i = 0; i < json_blocks.size(); ++i) {
+    json << "  " << json_blocks[i] << (i + 1 < json_blocks.size() ? "," : "")
+         << "\n";
+  }
+  json << "]}\n";
+  std::printf("wrote BENCH_resyn.json (%zu block records)\n",
+              json_blocks.size());
+  return mismatch ? 1 : 0;
 }

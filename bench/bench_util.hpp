@@ -35,6 +35,22 @@ inline ResynthesisOptions bench_resyn_options() {
   return options;
 }
 
+/// DFMRES_BENCH_COLD=1 selects the cold-start reference configuration:
+/// no seed-test replay / cone trust, no candidate dedup, serial ladder.
+/// Results are identical to the default warm configuration; only wall
+/// clock moves (bench_table2 verifies this when it runs both).
+inline bool bench_cold_mode() {
+  const char* env = std::getenv("DFMRES_BENCH_COLD");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+inline void apply_cold_mode(FlowOptions& flow_options,
+                            ResynthesisOptions& resyn_options) {
+  flow_options.warm_start = false;
+  resyn_options.dedup_candidates = false;
+  resyn_options.parallel_ladder = false;
+}
+
 /// Environment override: DFMRES_BENCH_CIRCUITS="tv80,aes_core" restricts a
 /// bench to a subset (useful while iterating).
 inline std::vector<std::string> selected_circuits(

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Full local gate: tier-1 build + test suite, then both sanitizer
+# configurations (TSan for the thread pool, ASan+UBSan for the
+# warm-start/arena machinery). Usage: scripts/check.sh [build-dir]
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+scripts/run_tsan.sh
+scripts/run_asan.sh
+
+echo "check.sh: all gates passed."

@@ -1,0 +1,28 @@
+#!/bin/sh
+# AddressSanitizer + UndefinedBehaviorSanitizer gate for the warm-start
+# incremental ATPG machinery: -DDFMRES_SANITIZE=address expands to
+# address,undefined (see CMakeLists.txt). Runs the suites that exercise
+# the simulator-arena rebinding, the cache overlays and the speculative
+# ladder (warm_start_test), the core flow (core_test) and the engine
+# itself (atpg_test). Any report aborts with a non-zero exit.
+# Usage: scripts/run_asan.sh [build-dir]
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . -DDFMRES_SANITIZE=address \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+  --target warm_start_test core_test atpg_test
+
+# Fail loudly on the first report from either sanitizer.
+SAN_ENV="halt_on_error=1 exitcode=66"
+ASAN_OPTIONS="$SAN_ENV" UBSAN_OPTIONS="$SAN_ENV" \
+  "$BUILD_DIR/tests/warm_start_test"
+ASAN_OPTIONS="$SAN_ENV" UBSAN_OPTIONS="$SAN_ENV" \
+  "$BUILD_DIR/tests/core_test"
+ASAN_OPTIONS="$SAN_ENV" UBSAN_OPTIONS="$SAN_ENV" \
+  "$BUILD_DIR/tests/atpg_test"
+
+echo "ASan/UBSan: no reports."

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <limits>
 #include <memory>
 
 #include "src/util/rng.hpp"
@@ -40,15 +41,33 @@ std::vector<std::uint8_t> random_frame(std::size_t n, Rng& rng) {
 
 }  // namespace
 
-AtpgResult run_atpg(const Netlist& nl, const FaultUniverse& universe,
-                    const UdfmMap& udfm, const AtpgOptions& options,
-                    FaultStatusCache* cache) {
+AtpgResult run_atpg_overlay(const Netlist& nl, const FaultUniverse& universe,
+                            const UdfmMap& udfm, const AtpgOptions& options,
+                            const FaultStatusCache* base,
+                            FaultStatusCache* updates) {
   AtpgResult result;
   result.status.assign(universe.size(), FaultStatus::Unknown);
 
   const CombView view = CombView::build(nl);
   const std::size_t num_sources = view.sources.size();
   Rng rng(options.seed);
+
+  const auto cached_lookup = [&](const Fault& f) {
+    if (updates) {
+      const FaultStatus s = updates->lookup(f);
+      if (s != FaultStatus::Unknown) return s;
+    }
+    return base ? base->lookup(f) : FaultStatus::Unknown;
+  };
+  const bool have_seeds = options.seed_tests != nullptr &&
+                          !options.seed_tests->empty() &&
+                          options.seed_tests->front().frame0.size() ==
+                              num_sources;
+  const auto untouched = [&](std::uint32_t i) {
+    return options.cone_untouched != nullptr &&
+           i < options.cone_untouched->size() &&
+           (*options.cone_untouched)[i] != 0;
+  };
 
   // Pre-build excitations; resolve trivially undetectable and cached
   // faults immediately.
@@ -67,14 +86,11 @@ AtpgResult run_atpg(const Netlist& nl, const FaultUniverse& universe,
       mirror_of[i] = it->second;
       continue;
     }
-    if (cache) {
-      const FaultStatus cached = cache->lookup(f);
-      if (cached == FaultStatus::Undetectable ||
-          cached == FaultStatus::Aborted ||
-          (cached == FaultStatus::Detected && !options.generate_tests)) {
-        result.status[i] = cached;
-        continue;
-      }
+    const FaultStatus cached = cached_lookup(f);
+    if (cached == FaultStatus::Undetectable || cached == FaultStatus::Aborted ||
+        (cached == FaultStatus::Detected && !options.generate_tests)) {
+      result.status[i] = cached;
+      continue;
     }
     excitations[i] = build_excitations(f, nl, udfm);
     if (excitations[i].empty()) {
@@ -86,7 +102,6 @@ AtpgResult run_atpg(const Netlist& nl, const FaultUniverse& universe,
     targets.push_back(i);
   }
 
-  FaultSimulator simulator(nl, view);
   std::vector<TestPattern> tests;
 
   // Fault-simulation sweeps fan out over the shared thread pool. Each
@@ -98,9 +113,15 @@ AtpgResult run_atpg(const Netlist& nl, const FaultUniverse& universe,
   const int num_workers = ThreadPool::resolve_threads(options.num_threads);
   result.counters.threads_used = num_workers;
   ThreadPool& pool = ThreadPool::shared();
-  std::vector<std::unique_ptr<FaultSimulator>> worker_sims;
+  // All simulators come from the arena (slot 0 = master); a DesignFlow
+  // passes a persistent arena so the frame/scratch buffers survive
+  // between calls instead of being reallocated per candidate.
+  FaultSimArena local_arena;
+  FaultSimArena& arena = options.arena ? *options.arena : local_arena;
+  FaultSimulator& simulator = arena.acquire(0, nl, view);
+  std::vector<FaultSimulator*> worker_sims;
   for (int w = 1; w < num_workers; ++w) {
-    worker_sims.push_back(std::make_unique<FaultSimulator>(nl, view));
+    worker_sims.push_back(&arena.acquire(static_cast<std::size_t>(w), nl, view));
   }
 
   // masks[k] = simulator.detect_mask(excitations[items[k]]) for the
@@ -121,15 +142,22 @@ AtpgResult run_atpg(const Netlist& nl, const FaultUniverse& universe,
       run_range(0, 0, items.size());
       return;
     }
-    for (auto& sim : worker_sims) sim->load_from(simulator);
+    for (auto* sim : worker_sims) sim->load_from(simulator);
     const std::size_t grain = std::clamp<std::size_t>(
         items.size() / (4 * static_cast<std::size_t>(num_workers)), 1, 32);
     pool.parallel_for(items.size(), grain, num_workers, run_range);
   };
 
   std::vector<std::uint64_t> sweep_scratch;
-  const auto drop_with_batch = [&](std::size_t first, std::size_t count) {
-    simulator.load(tests, first, count);
+  // Loads lanes [first, first+count) of `from`, sweeps the remaining
+  // targets, and drops the detected ones. Returns the set of lanes that
+  // first-detected something (lane crediting: each newly detected fault
+  // credits exactly one lane — the lowest set bit of its detect mask —
+  // so a lane survives iff it is some fault's first detector, matching
+  // the classic serial-simulation rule independent of sweep order).
+  const auto drop_with_batch = [&](std::span<const TestPattern> from,
+                                   std::size_t first, std::size_t count) {
+    simulator.load(from, first, count);
     sweep_masks(targets, sweep_scratch);
     std::vector<std::uint32_t> still;
     std::uint64_t useful_lanes = 0;
@@ -139,12 +167,6 @@ AtpgResult run_atpg(const Netlist& nl, const FaultUniverse& universe,
       const std::uint64_t mask = sweep_scratch[k];
       if (mask != 0) {
         result.status[i] = FaultStatus::Detected;
-        // Lane crediting: each newly detected fault credits exactly one
-        // lane — the lowest set bit of its detect mask (`mask & -mask`).
-        // A lane therefore survives the batch iff it is some fault's
-        // first detector, which mirrors the classic serial-simulation
-        // "keep patterns that first-detect" rule while staying
-        // independent of the order faults are swept in.
         useful_lanes |= mask & (~mask + 1);
       } else {
         still.push_back(i);
@@ -153,6 +175,52 @@ AtpgResult run_atpg(const Netlist& nl, const FaultUniverse& universe,
     targets = std::move(still);
     return useful_lanes;
   };
+
+  // ---- phase 0: warm-start replay of the seed test set ----
+  // One drop sweep over the previous run's compacted patterns detects
+  // (and drops) every fault those tests still cover — for a
+  // function-preserving rewrite that is all previously-detected faults
+  // outside the rewritten cone — before any random batch or PODEM call.
+  const auto phase0_start = Clock::now();
+  if (have_seeds && !targets.empty()) {
+    const std::vector<TestPattern>& seeds = *options.seed_tests;
+    const std::size_t before = targets.size();
+    for (std::size_t first = 0; first < seeds.size() && !targets.empty();
+         first += 64) {
+      const std::size_t count = std::min<std::size_t>(64, seeds.size() - first);
+      const std::uint64_t useful = drop_with_batch(seeds, first, count);
+      if (options.generate_tests) {
+        // Useful seed patterns join the candidate pool so the phase-3
+        // compaction keeps covering the faults they detect.
+        for (std::size_t lane = 0; lane < count; ++lane) {
+          if ((useful >> lane) & 1) tests.push_back(seeds[first + lane]);
+        }
+      }
+    }
+    result.counters.replay_drops +=
+        static_cast<std::uint64_t>(before - targets.size());
+  }
+  // Cone-restricted retargeting: a fault the rewrite provably could not
+  // have changed and that the cache knows is detectable does not earn
+  // random patterns or a PODEM call just because a test set is being
+  // generated — replay already re-covered it above (the seed set is the
+  // previous compacted set), so the residual case is counted and
+  // trusted from the cache.
+  if (options.cone_untouched != nullptr && !targets.empty()) {
+    std::vector<std::uint32_t> still;
+    still.reserve(targets.size());
+    for (const std::uint32_t i : targets) {
+      if (untouched(i) &&
+          cached_lookup(universe.faults[i]) == FaultStatus::Detected) {
+        result.status[i] = FaultStatus::Detected;
+        ++result.counters.podem_targets_skipped;
+      } else {
+        still.push_back(i);
+      }
+    }
+    targets = std::move(still);
+  }
+  result.counters.phase0_seconds = seconds_since(phase0_start);
 
   // ---- phase 1: random pattern pairs with fault dropping ----
   const auto phase1_start = Clock::now();
@@ -163,7 +231,7 @@ AtpgResult run_atpg(const Netlist& nl, const FaultUniverse& universe,
       tests.push_back({random_frame(num_sources, rng),
                        random_frame(num_sources, rng)});
     }
-    const std::uint64_t useful = drop_with_batch(first, 64);
+    const std::uint64_t useful = drop_with_batch(tests, first, 64);
     // Keep only lanes that first-detected something; discard the rest.
     std::vector<TestPattern> kept;
     for (int lane = 0; lane < 64; ++lane) {
@@ -247,7 +315,10 @@ AtpgResult run_atpg(const Netlist& nl, const FaultUniverse& universe,
   if (options.generate_tests && !tests.empty()) {
     std::vector<std::uint32_t> uncovered;
     for (std::uint32_t i = 0; i < universe.size(); ++i) {
-      if (result.status[i] == FaultStatus::Detected) uncovered.push_back(i);
+      if (result.status[i] == FaultStatus::Detected &&
+          !excitations[i].empty()) {
+        uncovered.push_back(i);
+      }
     }
     std::vector<TestPattern> compacted;
     std::vector<TestPattern> reversed(tests.rbegin(), tests.rend());
@@ -288,7 +359,7 @@ AtpgResult run_atpg(const Netlist& nl, const FaultUniverse& universe,
   result.counters.patterns_simulated = simulator.patterns_simulated();
   result.counters.detect_mask_calls = simulator.detect_mask_calls();
   result.counters.propagation_events = simulator.propagation_events();
-  for (const auto& sim : worker_sims) {
+  for (const auto* sim : worker_sims) {
     result.counters.patterns_simulated += sim->patterns_simulated();
     result.counters.detect_mask_calls += sim->detect_mask_calls();
     result.counters.propagation_events += sim->propagation_events();
@@ -307,9 +378,15 @@ AtpgResult run_atpg(const Netlist& nl, const FaultUniverse& universe,
       case FaultStatus::Aborted: ++result.num_aborted; break;
       case FaultStatus::Unknown: break;
     }
-    if (cache) cache->store(universe.faults[i], result.status[i]);
+    if (updates) updates->store(universe.faults[i], result.status[i]);
   }
   return result;
+}
+
+AtpgResult run_atpg(const Netlist& nl, const FaultUniverse& universe,
+                    const UdfmMap& udfm, const AtpgOptions& options,
+                    FaultStatusCache* cache) {
+  return run_atpg_overlay(nl, universe, udfm, options, cache, cache);
 }
 
 }  // namespace dfmres

@@ -44,6 +44,25 @@ struct AtpgOptions {
   /// per-fault slots and are reduced serially), so 1 is only needed
   /// when single-threaded execution itself is the point.
   int num_threads = 0;
+
+  /// Warm start: compacted test set of a previous run over a
+  /// function-preserving rewrite of the same design. A new phase 0
+  /// replays these patterns through the drop sweep before any random
+  /// batch or PODEM call; useful patterns join the generated test set.
+  /// Ignored unless the frame width matches this netlist's CombView
+  /// source count (resynthesis never touches sequential gates, so the
+  /// source vector is stable across its rewrites — see DESIGN.md).
+  const std::vector<TestPattern>* seed_tests = nullptr;
+  /// Cone restriction: flags parallel to `universe.faults`, nonzero for
+  /// faults whose excitation and propagation cones are disjoint from
+  /// the rewritten region. After replay, a cone-untouched fault whose
+  /// cached status is Detected is trusted without spending random
+  /// patterns or PODEM on it (counted in `podem_targets_skipped`);
+  /// everything else is retargeted normally.
+  const std::vector<std::uint8_t>* cone_untouched = nullptr;
+  /// Preallocated simulator arena reused across calls (slot 0 = master,
+  /// 1..N = sweep workers). When null a call-local arena is used.
+  FaultSimArena* arena = nullptr;
 };
 
 struct AtpgResult {
@@ -61,15 +80,29 @@ struct AtpgResult {
   }
 };
 
-/// Full classification of a DFM fault universe: random-pattern fault
-/// simulation with dropping, then complete PODEM for the remainder
-/// (detect / prove-undetectable / abort), with optional test-set
-/// generation and reverse-order compaction. `cache`, when given, is
-/// consulted before any search and updated afterwards.
+/// Full classification of a DFM fault universe: optional warm-start
+/// replay of a seed test set, random-pattern fault simulation with
+/// dropping, then complete PODEM for the remainder (detect /
+/// prove-undetectable / abort), with optional test-set generation and
+/// reverse-order compaction. `cache`, when given, is consulted before
+/// any search and updated afterwards.
 [[nodiscard]] AtpgResult run_atpg(const Netlist& nl,
                                   const FaultUniverse& universe,
                                   const UdfmMap& udfm,
                                   const AtpgOptions& options = {},
                                   FaultStatusCache* cache = nullptr);
+
+/// Split-cache variant for speculative evaluations running concurrently
+/// over a shared memo: lookups consult `updates` first and fall back to
+/// the read-only `base`; stores go to `updates` only. Several callers
+/// may share one `base` (concurrent reads of an unmodified map are
+/// safe) while each owns a private `updates` overlay; the caller
+/// decides which overlays to fold back into the base.
+[[nodiscard]] AtpgResult run_atpg_overlay(const Netlist& nl,
+                                          const FaultUniverse& universe,
+                                          const UdfmMap& udfm,
+                                          const AtpgOptions& options,
+                                          const FaultStatusCache* base,
+                                          FaultStatusCache* updates);
 
 }  // namespace dfmres

@@ -1,30 +1,47 @@
 #include "src/atpg/fault_sim.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
-#include <queue>
 
 #include "src/sim/parallel_sim.hpp"
 
 namespace dfmres {
 
 FaultSimulator::FaultSimulator(const Netlist& nl, const CombView& view)
-    : nl_(nl), view_(view) {
-  good0_.resize(view.net_slots, 0);
-  good1_.resize(view.net_slots, 0);
-  faulty_.resize(view.net_slots, 0);
-  stamp_.resize(view.net_slots, 0);
-  topo_pos_.resize(nl.gate_capacity(), 0);
-  scheduled_.resize(nl.gate_capacity(), false);
+    : nl_(&nl), view_(&view) {
+  rebind(nl, view);
+}
+
+void FaultSimulator::rebind(const Netlist& nl, const CombView& view) {
+  nl_ = &nl;
+  view_ = &view;
+  // assign() reuses capacity, so rebinding an arena slot to a
+  // similar-sized netlist performs no allocation. Stamps must be zeroed
+  // together with the epoch reset or stale stamps from a previous
+  // binding could alias the restarted epoch numbers.
+  good0_.assign(view.net_slots, 0);
+  good1_.assign(view.net_slots, 0);
+  faulty_.assign(view.net_slots, 0);
+  stamp_.assign(view.net_slots, 0);
+  epoch_ = 0;
+  lanes_ = 0;
+  topo_pos_.assign(nl.gate_capacity(), 0);
+  scheduled_.assign(nl.gate_capacity(), 0);
   for (std::uint32_t i = 0; i < view.order.size(); ++i) {
     topo_pos_[view.order[i].value()] = i;
   }
+  observe_flag_.assign(view.net_slots, 0);
+  for (NetId obs : view.observe) observe_flag_[obs.value()] = 1;
+  patterns_simulated_ = 0;
+  detect_mask_calls_ = 0;
+  propagation_events_ = 0;
 }
 
 void FaultSimulator::load(std::span<const TestPattern> tests,
                           std::size_t first, std::size_t count) {
   lanes_ = static_cast<int>(std::min<std::size_t>(count, 64));
-  const std::size_t num_sources = view_.sources.size();
+  const std::size_t num_sources = view_->sources.size();
   std::vector<std::uint64_t> src0(num_sources, 0), src1(num_sources, 0);
   for (int lane = 0; lane < lanes_; ++lane) {
     const TestPattern& t = tests[first + lane];
@@ -36,12 +53,12 @@ void FaultSimulator::load(std::span<const TestPattern> tests,
   const auto run = [&](std::span<const std::uint64_t> src,
                        std::vector<std::uint64_t>& out) {
     for (std::size_t s = 0; s < num_sources; ++s) {
-      out[view_.sources[s].value()] = src[s];
+      out[view_->sources[s].value()] = src[s];
     }
     std::uint64_t ins[kMaxCellInputs];
-    for (GateId g : view_.order) {
-      const auto& gate = nl_.gate(g);
-      const CellSpec& cell = nl_.cell_of(g);
+    for (GateId g : view_->order) {
+      const auto& gate = nl_->gate(g);
+      const CellSpec& cell = nl_->cell_of(g);
       for (std::size_t i = 0; i < gate.fanin.size(); ++i) {
         ins[i] = out[gate.fanin[i].value()];
       }
@@ -99,35 +116,40 @@ std::uint64_t FaultSimulator::detect_mask(
     const auto set_fv = [&](NetId n, std::uint64_t v) {
       faulty_[n.value()] = v;
       stamp_[n.value()] = epoch_;
+      touched_nets_.push_back(n.value());
       ++propagation_events_;
     };
+    touched_nets_.clear();
     set_fv(exc.victim, (victim_good & ~e) |
                            (exc.faulty_value ? e : std::uint64_t{0}));
 
-    // Min-heap of gates by topological position.
-    std::priority_queue<std::pair<std::uint32_t, std::uint32_t>,
-                        std::vector<std::pair<std::uint32_t, std::uint32_t>>,
-                        std::greater<>>
-        queue;
-    std::vector<std::uint32_t> touched_gates;
+    // Min-heap of gates by topological position (reused buffers; the
+    // per-excitation allocations here used to dominate the malloc
+    // profile of heavy resynthesis probes).
+    event_heap_.clear();
+    touched_gates_.clear();
     const auto schedule_sinks = [&](NetId n) {
-      for (const PinRef& sink : nl_.net(n).sinks) {
+      for (const PinRef& sink : nl_->net(n).sinks) {
         const std::uint32_t gs = sink.gate.value();
-        if (nl_.cell_of(sink.gate).sequential) continue;
+        if (nl_->cell_of(sink.gate).sequential) continue;
         if (!scheduled_[gs]) {
-          scheduled_[gs] = true;
-          touched_gates.push_back(gs);
-          queue.emplace(topo_pos_[gs], gs);
+          scheduled_[gs] = 1;
+          touched_gates_.push_back(gs);
+          event_heap_.emplace_back(topo_pos_[gs], gs);
+          std::push_heap(event_heap_.begin(), event_heap_.end(),
+                         std::greater<>{});
         }
       }
     };
     schedule_sinks(exc.victim);
-    while (!queue.empty()) {
-      const auto [pos, gs] = queue.top();
-      queue.pop();
+    while (!event_heap_.empty()) {
+      const auto [pos, gs] = event_heap_.front();
+      std::pop_heap(event_heap_.begin(), event_heap_.end(),
+                    std::greater<>{});
+      event_heap_.pop_back();
       const GateId g{gs};
-      const auto& gate = nl_.gate(g);
-      const CellSpec& cell = nl_.cell_of(g);
+      const auto& gate = nl_->gate(g);
+      const CellSpec& cell = nl_->cell_of(g);
       std::uint64_t ins[kMaxCellInputs];
       for (std::size_t i = 0; i < gate.fanin.size(); ++i) {
         ins[i] = fv_of(gate.fanin[i]);
@@ -142,21 +164,34 @@ std::uint64_t FaultSimulator::detect_mask(
         }
       }
     }
-    for (std::uint32_t gs : touched_gates) scheduled_[gs] = false;
+    for (std::uint32_t gs : touched_gates_) scheduled_[gs] = 0;
 
-    // Detection at observation points.
-    for (NetId obs : view_.observe) {
-      if (stamp_[obs.value()] == epoch_) {
-        detected |= (faulty_[obs.value()] ^ good1_[obs.value()]) & e;
+    // Detection at observation points: only nets stamped this epoch can
+    // disagree with the good machine, so scan the touched set instead of
+    // every observation point.
+    for (std::uint32_t ns : touched_nets_) {
+      if (observe_flag_[ns]) {
+        detected |= (faulty_[ns] ^ good1_[ns]) & e;
       }
     }
     // The victim itself may be observed directly.
-    if (nl_.net(exc.victim).is_primary_output) {
+    if (nl_->net(exc.victim).is_primary_output) {
       detected |= (fv_of(exc.victim) ^ victim_good) & e;
     }
     if (detected == lane_mask) break;
   }
   return detected & lane_mask;
+}
+
+FaultSimulator& FaultSimArena::acquire(std::size_t index, const Netlist& nl,
+                                       const CombView& view) {
+  if (index >= slots_.size()) slots_.resize(index + 1);
+  if (!slots_[index]) {
+    slots_[index] = std::make_unique<FaultSimulator>(nl, view);
+  } else {
+    slots_[index]->rebind(nl, view);
+  }
+  return *slots_[index];
 }
 
 }  // namespace dfmres

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "src/atpg/excitation.hpp"
@@ -31,6 +33,12 @@ class FaultSimulator {
  public:
   FaultSimulator(const Netlist& nl, const CombView& view);
 
+  /// Re-targets this simulator at another netlist/view, reusing the
+  /// already-allocated frame and scratch buffers (they only grow).
+  /// Resets lanes, epochs, and the per-instance counters, so a rebound
+  /// simulator reports counters for the new binding only.
+  void rebind(const Netlist& nl, const CombView& view);
+
   /// Packs tests[first..first+count) into the 64 lanes and simulates the
   /// good machine for both frames.
   void load(std::span<const TestPattern> tests, std::size_t first,
@@ -46,7 +54,7 @@ class FaultSimulator {
       std::span<const Excitation> excitations);
 
   [[nodiscard]] int lanes() const { return lanes_; }
-  [[nodiscard]] const CombView& view() const { return view_; }
+  [[nodiscard]] const CombView& view() const { return *view_; }
 
   /// Test frames simulated by `load` on this instance (2 per pattern).
   [[nodiscard]] std::uint64_t patterns_simulated() const {
@@ -62,8 +70,8 @@ class FaultSimulator {
   }
 
  private:
-  const Netlist& nl_;
-  const CombView& view_;
+  const Netlist* nl_;
+  const CombView* view_;
   int lanes_ = 0;
   std::vector<std::uint64_t> good0_, good1_;   // per net slot
   // Copy-on-write faulty values with epoch stamps (avoids clearing).
@@ -71,10 +79,41 @@ class FaultSimulator {
   std::vector<std::uint32_t> stamp_;
   std::uint32_t epoch_ = 0;
   std::vector<std::uint32_t> topo_pos_;        // gate slot -> position
-  std::vector<bool> scheduled_;                // gate slot scratch
+  // Gate slot scratch; uint8_t instead of vector<bool> because the
+  // bit-proxy read-modify-write sits on the event-propagation hot path.
+  std::vector<std::uint8_t> scheduled_;
+  std::vector<std::uint8_t> observe_flag_;     // net slot -> observation point
+  // Per-excitation scratch reused across detect_mask calls: the event
+  // min-heap, the gates whose scheduled_ flag must be reset, and the
+  // nets whose faulty value was stamped this epoch (the only nets that
+  // can disagree with the good machine at an observation point).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> event_heap_;
+  std::vector<std::uint32_t> touched_gates_;
+  std::vector<std::uint32_t> touched_nets_;
   std::uint64_t patterns_simulated_ = 0;
   std::uint64_t detect_mask_calls_ = 0;
   std::uint64_t propagation_events_ = 0;
+};
+
+/// Pool of reusable FaultSimulator instances, one per engine lane
+/// (slot 0 = master, slots 1..N = parallel sweep workers). A DesignFlow
+/// keeps one arena alive across `run_atpg` calls so the inner loop of
+/// resynthesis stops paying a fresh round of frame/scratch allocations
+/// per candidate evaluation.
+///
+/// Not thread-safe: acquire all slots serially (before fanning out) and
+/// hand each worker its own `FaultSimulator&`.
+class FaultSimArena {
+ public:
+  /// Returns the simulator in slot `index` rebound to (nl, view),
+  /// creating it on first use. Counters reset on each acquire.
+  FaultSimulator& acquire(std::size_t index, const Netlist& nl,
+                          const CombView& view);
+
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<FaultSimulator>> slots_;
 };
 
 }  // namespace dfmres

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
-#include <queue>
+#include <utility>
 
 namespace dfmres {
 
@@ -49,7 +49,10 @@ Podem::Podem(const Netlist& nl, const CombView& view, Config config)
     topo_pos_[view.order[i].value()] = i;
   }
   in_cone_net_.assign(view.net_slots, 0);
+  cone_seen_gate_.assign(nl.gate_capacity(), 0);
   visited_net_.assign(view.net_slots, 0);
+  relevant_net_.assign(view.net_slots, 0);
+  relevant_gate_.assign(nl.gate_capacity(), 0);
   observe_flag_.assign(view.net_slots, false);
   for (NetId obs : view.observe) observe_flag_[obs.value()] = true;
 }
@@ -66,10 +69,15 @@ V3 Podem::eval_gate(GateId g, int out) const {
 }
 
 void Podem::simulate_good() {
+  // Baseline pass for the current search. Only gates in the relevant set
+  // are evaluated: every net the search reads is a source or the output
+  // of a relevant gate (build_relevant closes backward over drivers), so
+  // the skipped gates' stale values are unobservable.
   for (std::size_t i = 0; i < view_.sources.size(); ++i) {
     value_[view_.sources[i].value()].good = source_assign_[i];
   }
   for (GateId g : view_.order) {
+    if (relevant_gate_[g.value()] != relevant_epoch_) continue;
     const auto& gate = nl_.gate(g);
     const auto& luts = lut_[gate.cell.value()];
     int idx = 0;
@@ -88,20 +96,20 @@ void Podem::build_cone(NetId victim) {
   cone_gates_.clear();
   in_cone_net_[victim.value()] = cone_epoch_;
   // BFS over sinks; gates collected then sorted topologically.
-  std::vector<NetId> queue{victim};
-  std::vector<bool> gate_seen(nl_.gate_capacity(), false);
-  while (!queue.empty()) {
-    const NetId n = queue.back();
-    queue.pop_back();
+  scratch_queue_.clear();
+  scratch_queue_.push_back(victim);
+  while (!scratch_queue_.empty()) {
+    const NetId n = scratch_queue_.back();
+    scratch_queue_.pop_back();
     for (const PinRef& sink : nl_.net(n).sinks) {
       if (nl_.cell_of(sink.gate).sequential) continue;
-      if (gate_seen[sink.gate.value()]) continue;
-      gate_seen[sink.gate.value()] = true;
+      if (cone_seen_gate_[sink.gate.value()] == cone_epoch_) continue;
+      cone_seen_gate_[sink.gate.value()] = cone_epoch_;
       cone_gates_.push_back(sink.gate);
       for (NetId out : nl_.gate(sink.gate).outputs) {
         if (in_cone_net_[out.value()] != cone_epoch_) {
           in_cone_net_[out.value()] = cone_epoch_;
-          queue.push_back(out);
+          scratch_queue_.push_back(out);
         }
       }
     }
@@ -112,6 +120,39 @@ void Podem::build_cone(NetId victim) {
             });
 }
 
+void Podem::build_relevant(std::span<const CondLiteral> lits,
+                           const Excitation* exc) {
+  ++relevant_epoch_;
+  scratch_queue_.clear();
+  const auto push = [&](NetId n) {
+    if (n.valid() && relevant_net_[n.value()] != relevant_epoch_) {
+      relevant_net_[n.value()] = relevant_epoch_;
+      scratch_queue_.push_back(n);
+    }
+  };
+  for (const CondLiteral& lit : lits) push(lit.net);
+  if (exc != nullptr) {
+    push(exc->victim);
+    for (GateId g : cone_gates_) {
+      const auto& gate = nl_.gate(g);
+      for (NetId out : gate.outputs) push(out);
+      for (NetId in : gate.fanin) push(in);
+    }
+  }
+  // Backward closure over combinational drivers; sources terminate.
+  while (!scratch_queue_.empty()) {
+    const NetId n = scratch_queue_.back();
+    scratch_queue_.pop_back();
+    if (source_ordinal_[n.value()] >= 0) continue;
+    const auto& net = nl_.net(n);
+    if (!net.has_gate_driver()) continue;
+    const GateId g = net.driver_gate;
+    if (nl_.cell_of(g).sequential) continue;
+    relevant_gate_[g.value()] = relevant_epoch_;
+    for (NetId in : nl_.gate(g).fanin) push(in);
+  }
+}
+
 V3 Podem::faulty_of(NetId n) const {
   return in_cone_net_[n.value()] == cone_epoch_ ? value_[n.value()].faulty
                                                 : value_[n.value()].good;
@@ -119,7 +160,8 @@ V3 Podem::faulty_of(NetId n) const {
 
 void Podem::simulate_faulty(const Excitation& exc, V3 excited) {
   // Victim injection on the faulty side; everything outside the victim's
-  // fanout cone equals the good machine by construction.
+  // fanout cone equals the good machine by construction. Observation is
+  // checked in the same pass (one cone walk instead of two).
   V5& v = value_[exc.victim.value()];
   if (excited == V3::One) {
     v.faulty = v3_of(exc.faulty_value);
@@ -128,6 +170,7 @@ void Podem::simulate_faulty(const Excitation& exc, V3 excited) {
   } else {
     v.faulty = v.good;
   }
+  observed_ = observe_flag_[exc.victim.value()] && v.has_fault_effect();
   for (GateId g : cone_gates_) {
     const auto& gate = nl_.gate(g);
     const auto& luts = lut_[gate.cell.value()];
@@ -136,8 +179,10 @@ void Podem::simulate_faulty(const Excitation& exc, V3 excited) {
       idx += static_cast<int>(faulty_of(gate.fanin[i])) * kPow3[i];
     }
     for (std::size_t k = 0; k < gate.outputs.size(); ++k) {
-      value_[gate.outputs[k].value()].faulty =
-          static_cast<V3>(luts[k][static_cast<std::size_t>(idx)]);
+      const NetId out = gate.outputs[k];
+      V5& ov = value_[out.value()];
+      ov.faulty = static_cast<V3>(luts[k][static_cast<std::size_t>(idx)]);
+      observed_ |= observe_flag_[out.value()] && ov.has_fault_effect();
     }
   }
 }
@@ -154,22 +199,6 @@ V3 Podem::excitation_state(std::span<const CondLiteral> lits) const {
     }
   }
   return any_x ? V3::X : V3::One;
-}
-
-bool Podem::fault_observed(NetId victim) const {
-  if (observe_flag_[victim.value()] &&
-      value_[victim.value()].has_fault_effect()) {
-    return true;
-  }
-  for (GateId g : cone_gates_) {
-    for (NetId out : nl_.gate(g).outputs) {
-      if (observe_flag_[out.value()] &&
-          value_[out.value()].has_fault_effect()) {
-        return true;
-      }
-    }
-  }
-  return false;
 }
 
 bool Podem::x_path_exists(NetId victim) {
@@ -322,22 +351,24 @@ void Podem::assign_source(std::size_t source, V3 v) {
   if (value_[src_net.value()].good == v) return;
   trail_.push_back({src_net, value_[src_net.value()].good});
   value_[src_net.value()].good = v;
-  // Event-driven propagation in topological order.
-  std::priority_queue<std::pair<std::uint32_t, std::uint32_t>,
-                      std::vector<std::pair<std::uint32_t, std::uint32_t>>,
-                      std::greater<>>
-      queue;
+  // Event-driven propagation in topological order, pruned to the gates
+  // the current search can observe (see build_relevant). The heap buffer
+  // is a member so the per-assignment hot path never allocates.
+  auto& queue = event_heap_;
+  queue.clear();
   const auto schedule_sinks = [&](NetId n) {
     for (const PinRef& sink : nl_.net(n).sinks) {
-      if (nl_.cell_of(sink.gate).sequential) continue;
-      queue.emplace(topo_pos_[sink.gate.value()], sink.gate.value());
+      if (relevant_gate_[sink.gate.value()] != relevant_epoch_) continue;
+      queue.emplace_back(topo_pos_[sink.gate.value()], sink.gate.value());
+      std::push_heap(queue.begin(), queue.end(), std::greater<>{});
     }
   };
   schedule_sinks(src_net);
   std::uint32_t last = std::numeric_limits<std::uint32_t>::max();
   while (!queue.empty()) {
-    const auto [pos, gs] = queue.top();
-    queue.pop();
+    const auto [pos, gs] = queue.front();
+    std::pop_heap(queue.begin(), queue.end(), std::greater<>{});
+    queue.pop_back();
     if (gs == last) continue;  // dedupe repeated scheduling
     last = gs;
     const GateId g{gs};
@@ -372,7 +403,9 @@ Podem::Outcome Podem::search(std::span<const CondLiteral> lits,
                              const Excitation* exc, std::vector<V3>* test) {
   std::fill(source_assign_.begin(), source_assign_.end(), V3::X);
   if (exc) build_cone(exc->victim);
-  std::vector<Decision> stack;
+  build_relevant(lits, exc);
+  std::vector<Decision>& stack = stack_;
+  stack.clear();
   long backtracks = 0;
   trail_.clear();
   trail_marks_.clear();
@@ -390,7 +423,7 @@ Podem::Outcome Podem::search(std::span<const CondLiteral> lits,
         need_backtrack = true;  // victim cannot oppose the forced value
       } else {
         simulate_faulty(*exc, excited);
-        if (fault_observed(exc->victim)) {
+        if (observed_) {
           if (test) *test = source_assign_;
           return Outcome::Detected;
         }

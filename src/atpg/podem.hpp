@@ -1,6 +1,7 @@
 #pragma once
 
 #include <optional>
+#include <utility>
 #include <span>
 #include <vector>
 
@@ -64,17 +65,26 @@ class Podem {
   [[nodiscard]] V3 eval_gate(GateId g, int out) const;
   void simulate_good();
   /// Incremental decision handling: assigning a source propagates events
-  /// through its fanout and records an undo trail.
+  /// through its fanout and records an undo trail. Propagation is pruned
+  /// to the gates marked by build_relevant — everything else is dead to
+  /// the current search.
   void assign_source(std::size_t source, V3 v);
   void undo_last_assignment();
   /// Collects the victim's fanout cone (the only region where faulty
   /// values can differ from good ones).
   void build_cone(NetId victim);
+  /// Marks the nets/gates the current search can ever read: the victim
+  /// cone (outputs and side inputs), the condition literals, and their
+  /// backward closure over combinational drivers. Values outside this
+  /// set are never consulted by the search, so event propagation skips
+  /// them — a pure wall-clock pruning with identical outcomes.
+  void build_relevant(std::span<const CondLiteral> lits, const Excitation* exc);
   [[nodiscard]] V3 faulty_of(NetId n) const;
+  /// Re-simulates the faulty machine over the victim cone and records
+  /// whether a fault effect reached an observation point in observed_.
   void simulate_faulty(const Excitation& exc, V3 excited);
   /// All literals hold / definitely broken / undecided on good values.
   [[nodiscard]] V3 excitation_state(std::span<const CondLiteral> lits) const;
-  [[nodiscard]] bool fault_observed(NetId victim) const;
   [[nodiscard]] bool x_path_exists(NetId victim);
   [[nodiscard]] std::optional<Objective> pick_objective(
       std::span<const CondLiteral> lits, const Excitation* exc);
@@ -93,10 +103,19 @@ class Podem {
   // Victim-cone state (epoch-stamped to avoid clearing).
   std::vector<GateId> cone_gates_;
   std::vector<std::uint32_t> in_cone_net_;
+  std::vector<std::uint32_t> cone_seen_gate_;
   std::uint32_t cone_epoch_ = 0;
   std::vector<std::uint32_t> visited_net_;
   std::uint32_t visit_epoch_ = 0;
+  // Relevant set of the current search (see build_relevant).
+  std::vector<std::uint32_t> relevant_net_;
+  std::vector<std::uint32_t> relevant_gate_;
+  std::uint32_t relevant_epoch_ = 0;
+  bool observed_ = false;  // set by simulate_faulty
   std::vector<NetId> scratch_queue_;
+  std::vector<Decision> stack_;  // decision stack, reused across searches
+  // Min-heap buffer for assign_source's event propagation (reused).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> event_heap_;
   std::vector<bool> observe_flag_;  // net slot -> is observation point
   struct TrailEntry {
     NetId net;

@@ -2,6 +2,8 @@
 
 #include <memory>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "src/atpg/engine.hpp"
 #include "src/cluster/clustering.hpp"
@@ -20,6 +22,12 @@ struct FlowOptions {
   PlaceOptions place;
   RouteOptions route;
   StaOptions sta;
+  /// Warm-start incremental ATPG across reanalyses: replay the last
+  /// committed compacted test set before random patterns / PODEM, and
+  /// trust cached detections of faults structurally untouched by the
+  /// rewrites since that test set was generated (see DESIGN.md,
+  /// "Incremental-ATPG contract"). false = every analysis runs cold.
+  bool warm_start = true;
 };
 
 /// A fully analyzed design point: mapped netlist, layout, timing/power,
@@ -83,6 +91,59 @@ class DesignFlow {
   /// PDesign() and gates it (paper Section III-B).
   [[nodiscard]] std::size_t count_undetectable_internal(const Netlist& nl);
 
+  /// Speculative (side-effect-free) variant of `reanalyze` for candidate
+  /// probing: reads `base_cache` (shareable across concurrent probes —
+  /// nobody writes it) and records fresh classifications in the caller's
+  /// private `updates` overlay instead of this flow's cache. Seed-test
+  /// replay still applies when warm_start is on; `num_threads` overrides
+  /// the fault-sim fan-out (pass 1 from inside a thread-pool job — the
+  /// shared pool must not be entered twice). Never mutates the flow.
+  [[nodiscard]] std::optional<FlowState> reanalyze_probe(
+      Netlist netlist, const Placement& previous, bool generate_tests,
+      const FaultStatusCache* base_cache, FaultStatusCache* updates,
+      FaultSimArena* arena = nullptr, int num_threads = 0) const;
+
+  /// Probe flavor of `count_undetectable_internal` (same overlay rules).
+  [[nodiscard]] std::size_t count_undetectable_internal_probe(
+      const Netlist& nl, const FaultStatusCache* base_cache,
+      FaultStatusCache* updates, FaultSimArena* arena = nullptr,
+      int num_threads = 0) const;
+
+  /// Folds a probe's overlay into the flow cache (used when a probed
+  /// candidate is committed).
+  void commit_updates(const FaultStatusCache& updates);
+
+  /// Registers rewritten gates with the cone ledger. Needed when a
+  /// probed candidate is committed without another reanalyze() (which
+  /// would have discovered them from the placement diff).
+  void note_changed_gates(std::span<const GateId> gates) {
+    changed_since_seed_.insert(changed_since_seed_.end(), gates.begin(),
+                               gates.end());
+  }
+
+  /// Per-fault flags (parallel to `universe.faults`, 1 = untouched) for
+  /// faults whose excitation and propagation provably cannot involve any
+  /// of `changed_gates`: the victim (and bridge aggressor) cannot reach
+  /// the fanout cone of the changed gates, and the owner is unchanged.
+  [[nodiscard]] static std::vector<std::uint8_t> cone_untouched_flags(
+      const Netlist& nl, const FaultUniverse& universe,
+      std::span<const GateId> changed_gates);
+
+  /// Compacted test set of the last committed test-generating analysis;
+  /// replayed by later warm reanalyses (phase 0 of run_atpg).
+  [[nodiscard]] const std::vector<TestPattern>& seed_tests() const {
+    return seed_tests_;
+  }
+  void set_seed_tests(std::vector<TestPattern> tests) {
+    seed_tests_ = std::move(tests);
+  }
+
+  /// Aggregate ATPG counters over every committed analysis this flow ran
+  /// (probes excluded — they report through their own results).
+  [[nodiscard]] const AtpgCounters& atpg_totals() const {
+    return atpg_totals_;
+  }
+
   [[nodiscard]] const UdfmMap& udfm() const { return udfm_; }
   [[nodiscard]] const Library& target() const { return *target_; }
   [[nodiscard]] const std::shared_ptr<const Library>& target_ptr() const {
@@ -98,10 +159,31 @@ class DesignFlow {
   [[nodiscard]] std::vector<CellId> cells_by_internal_faults() const;
 
  private:
+  /// Shared tail of reanalyze / reanalyze_with_placement. `changed_gates`
+  /// (nullable) = gates introduced by the rewrite being analyzed, used to
+  /// maintain the cone bookkeeping; null = the edit is unknown, which
+  /// disables cone trust until the next test-generating run re-anchors
+  /// the seed epoch.
+  [[nodiscard]] std::optional<FlowState> analyze(
+      Netlist netlist, Placement placement, bool generate_tests,
+      const std::vector<GateId>* changed_gates);
+
   std::shared_ptr<const Library> target_;
   FlowOptions options_;
   UdfmMap udfm_;
   FaultStatusCache cache_;
+  /// Reusable fault-simulator buffers for committed analyses (probes
+  /// bring their own arena so they can run concurrently).
+  FaultSimArena arena_;
+  std::vector<TestPattern> seed_tests_;
+  /// Gates rewritten since `seed_tests_` was captured; the cone of these
+  /// gates is what a warm test-generating run must re-target.
+  std::vector<GateId> changed_since_seed_;
+  /// True when an edit of unknown extent was analyzed (direct
+  /// reanalyze_with_placement on a changed netlist): cone trust is then
+  /// withheld until the seed epoch is re-anchored.
+  bool changed_unknown_ = false;
+  AtpgCounters atpg_totals_;
 };
 
 }  // namespace dfmres

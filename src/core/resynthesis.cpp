@@ -1,13 +1,17 @@
 #include "src/core/resynthesis.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "src/netlist/extract.hpp"
 #include "src/util/fmt.hpp"
 #include "src/util/logging.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace dfmres {
 
@@ -40,6 +44,44 @@ struct Budgets {
   double delay = 0.0;
   double power = 0.0;
 };
+
+/// Adds the scope's wall time to an accumulator on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& acc) : acc_(acc), t0_(Clock::now()) {}
+  ~ScopedTimer() {
+    acc_ += std::chrono::duration<double>(Clock::now() - t0_).count();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double& acc_;
+  Clock::time_point t0_;
+};
+
+/// Order-independent-free structural digest of a netlist (gates in slot
+/// order with cell and connectivity, plus the PO list). Candidates built
+/// from the same base netlist splice fresh ids deterministically, so two
+/// ban prefixes that map a region onto the same replacement produce
+/// literally identical netlists — and identical digests.
+std::uint64_t structural_hash(const Netlist& nl, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(nl.gate_capacity());
+  for (std::uint32_t gi = 0; gi < nl.gate_capacity(); ++gi) {
+    const GateId g{gi};
+    if (!nl.gate_alive(g)) continue;
+    mix(gi);
+    mix(nl.gate(g).cell.value());
+    for (NetId f : nl.gate(g).fanin) mix(f.value());
+    for (NetId o : nl.gate(g).outputs) mix(o.value());
+  }
+  for (NetId po : nl.primary_outputs()) mix(po.value());
+  return h;
+}
 
 /// Everything needed to judge a candidate without keeping its FlowState.
 /// Candidates are deterministic in (current state, region, banned), so
@@ -86,7 +128,7 @@ class Procedure {
         auto next = try_region(current, q, /*phase=*/1, /*p2=*/0.0);
         if (!next) break;
         current = std::move(*next);
-        ++state_version_;
+        bump_version();
         accepted_at_q = true;
       }
 
@@ -103,7 +145,7 @@ class Procedure {
         auto next = try_region(current, q, /*phase=*/2, p2);
         if (!next) break;
         current = std::move(*next);
-        ++state_version_;
+        bump_version();
         accepted_at_q = true;
       }
 
@@ -113,9 +155,16 @@ class Procedure {
       }
     }
 
-    // Final sign-off analysis with test generation.
-    auto final_state = flow_.reanalyze_with_placement(
-        current.netlist, current.placement, /*generate_tests=*/true);
+    // Final sign-off analysis with test generation. Routed through
+    // reanalyze() (identity incremental placement) so a warm flow can
+    // replay its seed tests and cone-restrict the PODEM retargeting to
+    // the accumulated rewrites.
+    std::optional<FlowState> final_state;
+    {
+      const ScopedTimer t(report_.signoff_seconds);
+      final_state = flow_.reanalyze(current.netlist, current.placement,
+                                    /*generate_tests=*/true);
+    }
     report_.runtime_seconds =
         std::chrono::duration<double>(Clock::now() - t0).count();
     return {std::move(*final_state), std::move(report_)};
@@ -167,59 +216,137 @@ class Procedure {
     return key;
   }
 
+  /// Signature of a concrete candidate netlist, valid for the current
+  /// base state (the version prefix pins `cur`, which the u_in gate and
+  /// acceptance compare against).
+  [[nodiscard]] std::string sig_key(const Netlist& candidate) const {
+    return strfmt("s%llu|%zu|%016llx|%016llx",
+                  static_cast<unsigned long long>(state_version_),
+                  candidate.num_live_gates(),
+                  static_cast<unsigned long long>(
+                      structural_hash(candidate, 0x243F6A8885A308D3ULL)),
+                  static_cast<unsigned long long>(
+                      structural_hash(candidate, 0x13198A2E03707344ULL)));
+  }
+
   /// Evaluates a candidate's metrics, memoized across the q sweep.
-  /// Leaves no cache or netlist side effects behind. Respects the
-  /// per-iteration PDesign() budget: once exhausted, further candidates
-  /// report as gate-failed without being memoized (so a later iteration
-  /// with fresh budget can still evaluate them).
+  /// Leaves no flow-cache or netlist side effects behind (probes write
+  /// into private overlays). Respects the per-iteration PDesign()
+  /// budget: once exhausted, further candidates report as gate-failed
+  /// without being memoized (so a later iteration with fresh budget can
+  /// still evaluate them), and a dedup/prefetch hit charges the budget
+  /// exactly as the recompute it replaces would.
   const CandMetrics& measure(const FlowState& cur,
                              std::span<const GateId> region,
                              const std::vector<bool>& banned) {
     const std::string key = memo_key(region, banned);
     if (auto it = memo_.find(key); it != memo_.end()) return it->second;
     CandMetrics m;
-    const FaultStatusCache saved_cache = flow_.cache();
-    auto candidate = build_candidate(cur, region, banned);
+    std::optional<Netlist> candidate;
+    {
+      const ScopedTimer t(report_.build_seconds);
+      ++report_.candidates_built;
+      candidate = build_candidate(cur, region, banned);
+    }
     if (!candidate) {
       m.map_failed = true;
-    } else {
-      m.u_in_new = flow_.count_undetectable_internal(*candidate);
-      const std::size_t u_in_cur = count_undet_internal(cur);
-      if (m.u_in_new >= u_in_cur) {
-        // PDesign() gate (Section III-B): physical design only when the
-        // undetectable internal fault count decreased.
-        m.u_in_gate_failed = true;
-      } else if (reanalyses_left_ <= 0) {
-        flow_.cache() = saved_cache;
-        scratch_ = m;
-        scratch_.u_in_gate_failed = true;  // budget exhausted: skip, unmemoized
-        return scratch_;
-      } else {
-        --reanalyses_left_;
-        auto state =
-            flow_.reanalyze(std::move(*candidate), cur.placement, false);
-        if (!state) {
-          m.area_failed = true;
-        } else {
-          m.undetectable = state->num_undetectable();
-          m.smax = state->smax();
-          m.faults = state->num_faults();
-          m.delay = state->timing.critical_delay;
-          m.power = state->timing.total_power();
+      return memo_.emplace(std::move(key), m).first->second;
+    }
+
+    std::string sig;
+    if (options_.dedup_candidates) {
+      sig = sig_key(*candidate);
+      if (auto it = sig_memo_.find(sig); it != sig_memo_.end()) {
+        ++report_.sig_hits;
+        // An earlier ban prefix produced this exact replacement (banning
+        // an unused cell re-maps identically). Reuse its metrics, but
+        // keep the budget evolution identical to a recompute: results
+        // that came out of a reanalysis still consume one here.
+        m = it->second;
+        if (!m.u_in_gate_failed) {
+          if (reanalyses_left_ <= 0) {
+            scratch_ = m;
+            scratch_.u_in_gate_failed = true;  // budget exhausted, unmemoized
+            return scratch_;
+          }
+          --reanalyses_left_;
         }
+        return memo_.emplace(std::move(key), m).first->second;
       }
     }
-    flow_.cache() = saved_cache;
+
+    FaultStatusCache overlay;
+    if (const auto pit = partial_u_in_.find(sig);
+        options_.dedup_candidates && pit != partial_u_in_.end()) {
+      m.u_in_new = pit->second;  // prefetched, analysis still pending
+    } else {
+      const ScopedTimer t(report_.u_in_seconds);
+      ++report_.u_in_probes;
+      m.u_in_new = flow_.count_undetectable_internal_probe(
+          *candidate, &flow_.cache(), &overlay, &arenas_[0]);
+    }
+    const std::size_t u_in_cur = count_undet_internal(cur);
+    if (m.u_in_new >= u_in_cur) {
+      // PDesign() gate (Section III-B): physical design only when the
+      // undetectable internal fault count decreased.
+      m.u_in_gate_failed = true;
+    } else if (reanalyses_left_ <= 0) {
+      scratch_ = m;
+      scratch_.u_in_gate_failed = true;  // budget exhausted: skip, unmemoized
+      return scratch_;
+    } else {
+      --reanalyses_left_;
+      std::optional<FlowState> state;
+      {
+        const ScopedTimer t(report_.probe_seconds);
+        ++report_.full_probes;
+        state = flow_.reanalyze_probe(std::move(*candidate), cur.placement,
+                                      false, &flow_.cache(), &overlay,
+                                      &arenas_[0]);
+      }
+      if (!state) {
+        m.area_failed = true;
+      } else {
+        m.undetectable = state->num_undetectable();
+        m.smax = state->smax();
+        m.faults = state->num_faults();
+        m.delay = state->timing.critical_delay;
+        m.power = state->timing.total_power();
+      }
+      if (state && options_.dedup_candidates) {
+        stash_.emplace(sig, Stash{std::move(*state), std::move(overlay)});
+      }
+    }
+    if (options_.dedup_candidates) sig_memo_.emplace(sig, m);
     return memo_.emplace(std::move(key), m).first->second;
   }
 
-  /// Re-runs the full evaluation of an already-vetted candidate to
-  /// produce its FlowState (keeping the cache updates this time).
+  /// Produces the FlowState of an already-vetted candidate and commits
+  /// its classifications to the flow cache — from the speculative stash
+  /// when the evaluation kept one, re-running the full committed
+  /// pipeline otherwise.
   std::optional<FlowState> realize(const FlowState& cur,
                                    std::span<const GateId> region,
                                    const std::vector<bool>& banned) {
     auto candidate = build_candidate(cur, region, banned);
     if (!candidate) return std::nullopt;
+    if (options_.dedup_candidates) {
+      const std::string sig = sig_key(*candidate);
+      if (const auto it = stash_.find(sig); it != stash_.end()) {
+        flow_.commit_updates(it->second.overlay);
+        // Register the spliced-in gates (ids >= the base capacity) with
+        // the cone ledger, as a committed reanalyze would have.
+        std::vector<GateId> changed;
+        for (GateId g : it->second.state.netlist.live_gates()) {
+          if (g.value() >= cur.netlist.gate_capacity()) changed.push_back(g);
+        }
+        flow_.note_changed_gates(changed);
+        ++report_.stash_commits;
+        FlowState state = std::move(it->second.state);
+        stash_.erase(it);
+        return state;
+      }
+    }
     return flow_.reanalyze(std::move(*candidate), cur.placement, false);
   }
 
@@ -259,6 +386,7 @@ class Procedure {
     const std::vector<GateId> region = region_of(cur, phase);
     if (region.empty()) return std::nullopt;
     reanalyses_left_ = options_.reanalyses_per_iteration;
+    prefetch_ladder(cur, region);
 
     int rising = 0;
     std::size_t last_u = std::numeric_limits<std::size_t>::max();
@@ -391,6 +519,129 @@ class Procedure {
     return std::nullopt;
   }
 
+  /// Speculative evaluation of the whole cell ladder on the shared
+  /// thread pool before the serial acceptance walk. Each worker probes
+  /// with a private cache overlay and simulator arena (inner ATPG runs
+  /// single-threaded — the shared pool must not be entered twice), and
+  /// publishes into the dedup structures under a mutex; the walk then
+  /// consumes the results serially, so acceptance decisions and budget
+  /// accounting are identical to the serial run. No-op with one worker.
+  void prefetch_ladder(const FlowState& cur, std::span<const GateId> region) {
+    if (!options_.parallel_ladder || !options_.dedup_candidates) return;
+    const int workers =
+        ThreadPool::resolve_threads(flow_.options().atpg.num_threads);
+    if (workers <= 1) return;
+
+    struct Rung {
+      std::vector<bool> banned;
+    };
+    std::vector<Rung> rungs;
+    std::vector<bool> banned(flow_.target().num_cells(), false);
+    for (const CellId cell : cell_order_) {
+      banned[cell.value()] = true;
+      if (memo_.find(memo_key(region, banned)) == memo_.end()) {
+        rungs.push_back({banned});
+      }
+    }
+    if (rungs.size() < 2) return;
+
+    if (arenas_.size() < static_cast<std::size_t>(workers)) {
+      arenas_.resize(static_cast<std::size_t>(workers));
+    }
+    const std::size_t u_in_cur = count_undet_internal(cur);
+    std::mutex mutex;
+    std::unordered_set<std::string> claimed;
+    // At most the iteration's reanalysis budget is speculated; the walk
+    // remains the authority on which evaluations actually charge it.
+    std::atomic<int> spec_budget{reanalyses_left_};
+
+    ThreadPool::shared().parallel_for(
+        rungs.size(), 1, workers,
+        [&](int lane, std::size_t begin, std::size_t end) {
+          for (std::size_t r = begin; r < end; ++r) {
+            const auto tb = Clock::now();
+            auto candidate = build_candidate(cur, region, rungs[r].banned);
+            const double build_s =
+                std::chrono::duration<double>(Clock::now() - tb).count();
+            if (!candidate) continue;
+            const std::string sig = sig_key(*candidate);
+            {
+              std::lock_guard lock(mutex);
+              ++report_.candidates_built;
+              report_.build_seconds += build_s;
+              if (sig_memo_.contains(sig) || partial_u_in_.contains(sig) ||
+                  !claimed.insert(sig).second) {
+                continue;
+              }
+            }
+            FaultStatusCache overlay;
+            CandMetrics m;
+            const auto tu = Clock::now();
+            m.u_in_new = flow_.count_undetectable_internal_probe(
+                *candidate, &flow_.cache(), &overlay,
+                &arenas_[static_cast<std::size_t>(lane)], /*num_threads=*/1);
+            const double u_in_s =
+                std::chrono::duration<double>(Clock::now() - tu).count();
+            if (m.u_in_new >= u_in_cur) {
+              m.u_in_gate_failed = true;
+              std::lock_guard lock(mutex);
+              ++report_.u_in_probes;
+              report_.u_in_seconds += u_in_s;
+              sig_memo_.emplace(sig, m);
+              continue;
+            }
+            if (spec_budget.fetch_sub(1) <= 0) {
+              // Over the speculation budget: keep the u_in result so the
+              // walk can skip the probe, but leave the analysis (and its
+              // budget charge) to the walk.
+              std::lock_guard lock(mutex);
+              ++report_.u_in_probes;
+              report_.u_in_seconds += u_in_s;
+              partial_u_in_.emplace(sig, m.u_in_new);
+              continue;
+            }
+            const auto tp = Clock::now();
+            auto state = flow_.reanalyze_probe(
+                std::move(*candidate), cur.placement, false, &flow_.cache(),
+                &overlay, &arenas_[static_cast<std::size_t>(lane)],
+                /*num_threads=*/1);
+            const double probe_s =
+                std::chrono::duration<double>(Clock::now() - tp).count();
+            if (!state) {
+              m.area_failed = true;
+            } else {
+              m.undetectable = state->num_undetectable();
+              m.smax = state->smax();
+              m.faults = state->num_faults();
+              m.delay = state->timing.critical_delay;
+              m.power = state->timing.total_power();
+            }
+            std::lock_guard lock(mutex);
+            ++report_.u_in_probes;
+            report_.u_in_seconds += u_in_s;
+            ++report_.full_probes;
+            report_.probe_seconds += probe_s;
+            if (state) {
+              stash_.emplace(sig, Stash{std::move(*state), std::move(overlay)});
+            }
+            sig_memo_.emplace(sig, m);
+          }
+        });
+  }
+
+  /// A state was accepted: the base version changes, so every
+  /// version-pinned speculative artifact of the old base is dead.
+  void bump_version() {
+    ++state_version_;
+    stash_.clear();
+    partial_u_in_.clear();
+  }
+
+  struct Stash {
+    FlowState state;
+    FaultStatusCache overlay;
+  };
+
   DesignFlow& flow_;
   const ResynthesisOptions& options_;
   std::vector<CellId> cell_order_;
@@ -399,6 +650,15 @@ class Procedure {
   Budgets budgets_;
   ResynthesisReport report_;
   std::unordered_map<std::string, CandMetrics> memo_;
+  /// Candidate-signature memo (dedup_candidates): metrics keyed by the
+  /// concrete replacement netlist rather than the ban prefix.
+  std::unordered_map<std::string, CandMetrics> sig_memo_;
+  /// Prefetched u_in results whose full analysis is still pending.
+  std::unordered_map<std::string, std::size_t> partial_u_in_;
+  /// Speculative FlowStates + cache overlays awaiting realize().
+  std::unordered_map<std::string, Stash> stash_;
+  /// Per-ladder-lane simulator arenas (slot 0 = the serial walk).
+  std::vector<FaultSimArena> arenas_{1};
   std::uint64_t state_version_ = 0;
   int reanalyses_left_ = 0;
   CandMetrics scratch_;

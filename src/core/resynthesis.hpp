@@ -23,6 +23,17 @@ struct ResynthesisOptions {
   /// (ladder scan + backtracking); memo hits are free. Bounds the
   /// exploration cost of one accepted step.
   int reanalyses_per_iteration = 64;
+  /// Recognize ban prefixes that re-map the region onto an identical
+  /// replacement and reuse their metrics instead of re-analyzing. The
+  /// reanalysis budget is still charged exactly as a recompute would
+  /// charge it, so the accepted-candidate sequence is unchanged.
+  bool dedup_candidates = true;
+  /// Evaluate the remaining ladder rungs speculatively on the shared
+  /// thread pool before the serial acceptance walk. Decisions stay
+  /// serial in ladder order, so results match the serial run; requires
+  /// dedup_candidates and degenerates to the serial walk with a single
+  /// worker.
+  bool parallel_ladder = true;
 };
 
 /// One evaluated candidate (for the Fig. 2 style per-iteration trace).
@@ -41,6 +52,17 @@ struct ResynthesisReport {
   bool any_accepted = false;
   std::vector<IterationRecord> trace;
   double runtime_seconds = 0.0;
+  /// Candidate-evaluation economics of the inner loop (includes the
+  /// speculative ladder work when parallel_ladder is on).
+  std::size_t candidates_built = 0;  ///< region extractions + re-mappings
+  std::size_t u_in_probes = 0;       ///< internal-fault ATPG probes
+  std::size_t full_probes = 0;       ///< PDesign()-backed re-analyses
+  std::size_t sig_hits = 0;          ///< identical-candidate metric reuses
+  std::size_t stash_commits = 0;     ///< acceptances realized from the stash
+  double build_seconds = 0.0;
+  double u_in_seconds = 0.0;
+  double probe_seconds = 0.0;
+  double signoff_seconds = 0.0;      ///< final test-generating analysis
 };
 
 struct ResynthesisResult {

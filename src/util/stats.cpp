@@ -50,6 +50,9 @@ void AtpgCounters::merge(const AtpgCounters& other) {
   detect_mask_calls += other.detect_mask_calls;
   propagation_events += other.propagation_events;
   podem_backtracks += other.podem_backtracks;
+  replay_drops += other.replay_drops;
+  podem_targets_skipped += other.podem_targets_skipped;
+  phase0_seconds += other.phase0_seconds;
   phase1_seconds += other.phase1_seconds;
   phase2_seconds += other.phase2_seconds;
   phase3_seconds += other.phase3_seconds;
@@ -59,12 +62,15 @@ void AtpgCounters::merge(const AtpgCounters& other) {
 std::string AtpgCounters::summary() const {
   return strfmt(
       "atpg: %llu patterns, %llu detect_mask calls, %llu prop events, "
-      "%llu backtracks, phases %.3f/%.3f/%.3fs, %d thread%s",
+      "%llu backtracks, %llu replay drops, %llu podem skips, "
+      "phases %.3f/%.3f/%.3f/%.3fs, %d thread%s",
       static_cast<unsigned long long>(patterns_simulated),
       static_cast<unsigned long long>(detect_mask_calls),
       static_cast<unsigned long long>(propagation_events),
-      static_cast<unsigned long long>(podem_backtracks), phase1_seconds,
-      phase2_seconds, phase3_seconds, threads_used,
+      static_cast<unsigned long long>(podem_backtracks),
+      static_cast<unsigned long long>(replay_drops),
+      static_cast<unsigned long long>(podem_targets_skipped), phase0_seconds,
+      phase1_seconds, phase2_seconds, phase3_seconds, threads_used,
       threads_used == 1 ? "" : "s");
 }
 
@@ -72,13 +78,17 @@ std::string AtpgCounters::json() const {
   return strfmt(
       "{\"patterns_simulated\": %llu, \"detect_mask_calls\": %llu, "
       "\"propagation_events\": %llu, \"podem_backtracks\": %llu, "
-      "\"phase1_seconds\": %.6f, \"phase2_seconds\": %.6f, "
-      "\"phase3_seconds\": %.6f, \"threads_used\": %d}",
+      "\"replay_drops\": %llu, \"podem_targets_skipped\": %llu, "
+      "\"phase0_seconds\": %.6f, \"phase1_seconds\": %.6f, "
+      "\"phase2_seconds\": %.6f, \"phase3_seconds\": %.6f, "
+      "\"threads_used\": %d}",
       static_cast<unsigned long long>(patterns_simulated),
       static_cast<unsigned long long>(detect_mask_calls),
       static_cast<unsigned long long>(propagation_events),
-      static_cast<unsigned long long>(podem_backtracks), phase1_seconds,
-      phase2_seconds, phase3_seconds, threads_used);
+      static_cast<unsigned long long>(podem_backtracks),
+      static_cast<unsigned long long>(replay_drops),
+      static_cast<unsigned long long>(podem_targets_skipped), phase0_seconds,
+      phase1_seconds, phase2_seconds, phase3_seconds, threads_used);
 }
 
 }  // namespace dfmres

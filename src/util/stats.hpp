@@ -44,6 +44,9 @@ struct AtpgCounters {
   std::uint64_t detect_mask_calls = 0;    ///< per-fault simulation queries
   std::uint64_t propagation_events = 0;   ///< faulty-value net updates
   std::uint64_t podem_backtracks = 0;     ///< deterministic-search backtracks
+  std::uint64_t replay_drops = 0;         ///< faults dropped by seed replay
+  std::uint64_t podem_targets_skipped = 0;///< cone-untouched cached targets
+  double phase0_seconds = 0.0;            ///< seed test replay (warm start)
   double phase1_seconds = 0.0;            ///< random patterns + dropping
   double phase2_seconds = 0.0;            ///< PODEM + per-test drop sweeps
   double phase3_seconds = 0.0;            ///< reverse-order compaction
@@ -51,7 +54,7 @@ struct AtpgCounters {
 
   void merge(const AtpgCounters& other);
   [[nodiscard]] double total_seconds() const {
-    return phase1_seconds + phase2_seconds + phase3_seconds;
+    return phase0_seconds + phase1_seconds + phase2_seconds + phase3_seconds;
   }
   /// One human-readable line for CLI / bench stdout.
   [[nodiscard]] std::string summary() const;

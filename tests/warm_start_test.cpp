@@ -1,0 +1,237 @@
+// Warm-start incremental ATPG: the optimizations (seed-test replay,
+// cone-restricted retargeting, candidate dedup, parallel ladder, shared
+// simulator arenas) are pure accelerations — every observable result
+// must be identical to the cold serial reference. These tests pin that
+// contract on full pipelines over two different seed blocks.
+//
+// Bit-identical status comparison is only meaningful when no fault hits
+// the PODEM backtrack limit (an Aborted in one mode can be a Detected in
+// the other without changing U, %Smax or coverage), so every identity
+// test also asserts num_aborted == 0.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/circuits/builder.hpp"
+#include "src/core/flow.hpp"
+#include "src/core/resynthesis.hpp"
+#include "src/library/osu018.hpp"
+#include "src/netlist/extract.hpp"
+#include "src/synth/mapper.hpp"
+
+namespace dfmres {
+namespace {
+
+/// Registered adder + comparator + parity (same shape as core_test).
+Netlist block_a() {
+  CircuitBuilder cb("wsa");
+  const auto a = cb.dff_bus(cb.input_bus("a", 6));
+  const auto b = cb.dff_bus(cb.input_bus("b", 6));
+  const NetId cin = cb.input("cin");
+  auto [sum, carry] = cb.ripple_add(a, b, cin);
+  cb.output_bus(cb.dff_bus(sum));
+  cb.output(carry);
+  cb.output(cb.equals(a, b));
+  cb.output(cb.xor_n(sum));
+  return cb.take();
+}
+
+/// A second, structurally different block (narrower adder, different
+/// observation mix) so the identity checks run on more than one design.
+Netlist block_b() {
+  CircuitBuilder cb("wsb");
+  const auto a = cb.dff_bus(cb.input_bus("p", 5));
+  const auto b = cb.dff_bus(cb.input_bus("q", 5));
+  const NetId cin = cb.input("c0");
+  auto [sum, carry] = cb.ripple_add(a, b, cin);
+  cb.output_bus(cb.dff_bus(sum));
+  cb.output(carry);
+  cb.output(cb.xor_n(a));
+  cb.output(cb.equals(sum, b));
+  return cb.take();
+}
+
+FlowOptions flow_options(bool warm, int threads) {
+  FlowOptions options;
+  options.atpg.random_batches = 4;
+  options.atpg.backtrack_limit = 4000;  // high enough: no aborts on these
+  options.atpg.num_threads = threads;
+  options.warm_start = warm;
+  return options;
+}
+
+struct PipelineRun {
+  FlowState state;
+  ResynthesisReport report;
+  AtpgCounters totals;
+};
+
+PipelineRun run_pipeline(const Netlist& rtl, bool warm, bool parallel_ladder,
+                         int threads) {
+  DesignFlow flow(osu018_library(), flow_options(warm, threads));
+  const FlowState original = flow.run_initial(rtl);
+  ResynthesisOptions options;
+  options.q_max = 2;
+  options.max_iterations_per_phase = 6;
+  options.dedup_candidates = warm;
+  options.parallel_ladder = parallel_ladder;
+  ResynthesisResult result = resynthesize(flow, original, options);
+  return {std::move(result.state), std::move(result.report),
+          flow.atpg_totals()};
+}
+
+std::string accepted_trace(const ResynthesisReport& report) {
+  std::string out;
+  for (const IterationRecord& r : report.trace) {
+    if (!r.accepted) continue;
+    out += "q" + std::to_string(r.q) + "p" + std::to_string(r.phase) + ":" +
+           r.banned_through + (r.via_backtracking ? "*" : "") + "/U" +
+           std::to_string(r.undetectable) + "/S" + std::to_string(r.smax) +
+           ";";
+  }
+  return out;
+}
+
+void expect_identical(const PipelineRun& x, const PipelineRun& y) {
+  ASSERT_EQ(x.state.atpg.num_aborted, 0u);
+  ASSERT_EQ(y.state.atpg.num_aborted, 0u);
+  EXPECT_EQ(accepted_trace(x.report), accepted_trace(y.report));
+  EXPECT_EQ(x.state.num_undetectable(), y.state.num_undetectable());
+  EXPECT_EQ(x.state.smax(), y.state.smax());
+  EXPECT_EQ(x.state.num_faults(), y.state.num_faults());
+  EXPECT_DOUBLE_EQ(x.state.coverage(), y.state.coverage());
+  ASSERT_EQ(x.state.universe.size(), y.state.universe.size());
+  for (std::size_t i = 0; i < x.state.universe.size(); ++i) {
+    ASSERT_EQ(x.state.universe.faults[i].key(),
+              y.state.universe.faults[i].key());
+    EXPECT_EQ(x.state.atpg.status[i], y.state.atpg.status[i]) << "fault " << i;
+  }
+}
+
+/// Function-preserving local rewrite: re-map one gate's region with its
+/// own cell banned (the resynthesis move, applied by hand).
+Netlist remap_one_gate(const Netlist& base) {
+  Netlist edited = base;
+  GateId target = GateId::invalid();
+  for (GateId g : edited.live_gates()) {
+    const std::string& n = edited.cell_of(g).name;
+    if (n == "XNOR2X1" || n == "XOR2X1" || n == "OAI21X1") {
+      target = g;
+      break;
+    }
+  }
+  EXPECT_TRUE(target.valid());
+  const GateId region[] = {target};
+  const Subcircuit sub = extract_subcircuit(edited, region);
+  MapOptions mo;
+  mo.banned.assign(edited.library().num_cells(), false);
+  mo.banned[edited.gate(target).cell.value()] = true;
+  auto mapped = technology_map(sub.circuit, osu018_library(), mo);
+  EXPECT_TRUE(mapped.has_value());
+  replace_region(edited, sub, *mapped);
+  return edited;
+}
+
+TEST(WarmStart, ColdVsWarmPipelineIdentity) {
+  for (const Netlist& rtl : {block_a(), block_b()}) {
+    const PipelineRun warm =
+        run_pipeline(rtl, /*warm=*/true, /*parallel_ladder=*/false, 1);
+    const PipelineRun cold =
+        run_pipeline(rtl, /*warm=*/false, /*parallel_ladder=*/false, 1);
+    expect_identical(warm, cold);
+  }
+}
+
+TEST(WarmStart, SerialVsParallelLadderIdentity) {
+  // resolve_threads honors explicit requests above the hardware count,
+  // so four ladder workers are exercised even on a single-core host.
+  for (const Netlist& rtl : {block_a(), block_b()}) {
+    const PipelineRun serial =
+        run_pipeline(rtl, /*warm=*/true, /*parallel_ladder=*/false, 4);
+    const PipelineRun parallel =
+        run_pipeline(rtl, /*warm=*/true, /*parallel_ladder=*/true, 4);
+    expect_identical(serial, parallel);
+  }
+}
+
+TEST(WarmStart, CachedStatusesMatchColdRecomputeAfterRewrite) {
+  // The FaultStatusCache invariant, end to end: after a
+  // function-preserving rewrite, a warm re-analysis (replay + cone trust
+  // + cache) classifies every fault exactly as a cold flow that has
+  // never seen the design.
+  DesignFlow warm_flow(osu018_library(), flow_options(true, 1));
+  const FlowState original = warm_flow.run_initial(block_a());
+  const Netlist edited = remap_one_gate(original.netlist);
+
+  auto warm = warm_flow.reanalyze(edited, original.placement,
+                                  /*generate_tests=*/true);
+  ASSERT_TRUE(warm.has_value());
+  DesignFlow cold_flow(osu018_library(), flow_options(false, 1));
+  auto cold = cold_flow.reanalyze(edited, original.placement,
+                                  /*generate_tests=*/true);
+  ASSERT_TRUE(cold.has_value());
+
+  ASSERT_EQ(warm->atpg.num_aborted, 0u);
+  ASSERT_EQ(cold->atpg.num_aborted, 0u);
+  ASSERT_EQ(warm->universe.size(), cold->universe.size());
+  EXPECT_EQ(warm->num_undetectable(), cold->num_undetectable());
+  for (std::size_t i = 0; i < warm->universe.size(); ++i) {
+    ASSERT_EQ(warm->universe.faults[i].key(), cold->universe.faults[i].key());
+    EXPECT_EQ(warm->atpg.status[i], cold->atpg.status[i]) << "fault " << i;
+  }
+}
+
+TEST(WarmStart, ReplayAndConeCountersAdvance) {
+  const PipelineRun warm =
+      run_pipeline(block_a(), /*warm=*/true, /*parallel_ladder=*/false, 1);
+  // Seed replay resolved at least some faults without random patterns,
+  // and the sign-off re-analysis trusted cached detections outside the
+  // rewritten cones instead of re-running PODEM on them.
+  EXPECT_GT(warm.totals.replay_drops, 0u);
+  EXPECT_GT(warm.totals.podem_targets_skipped, 0u);
+  const PipelineRun cold =
+      run_pipeline(block_a(), /*warm=*/false, /*parallel_ladder=*/false, 1);
+  EXPECT_EQ(cold.totals.replay_drops, 0u);
+  EXPECT_EQ(cold.totals.podem_targets_skipped, 0u);
+}
+
+TEST(WarmStart, SeedWidthMismatchIsIgnored) {
+  DesignFlow flow(osu018_library(), flow_options(true, 1));
+  const FlowState s = flow.run_initial(block_a());
+  const std::size_t reference = flow.count_undetectable_internal(s.netlist);
+  // Replace the seed set with patterns of a bogus frame width: the
+  // engine must ignore them (guard in run_atpg) and still agree.
+  std::vector<TestPattern> bogus(3);
+  for (auto& t : bogus) {
+    t.frame0.assign(2, 0x5a);
+    t.frame1.assign(2, 0xa5);
+  }
+  flow.set_seed_tests(std::move(bogus));
+  EXPECT_EQ(flow.count_undetectable_internal(s.netlist), reference);
+}
+
+TEST(WarmStart, ArenaReuseAcrossDesignsIsTransparent) {
+  // One arena rebound across differently-sized netlists returns the same
+  // classifications as fresh per-call simulators.
+  DesignFlow flow(osu018_library(), flow_options(true, 1));
+  const FlowState s = flow.run_initial(block_a());
+  const Netlist edited = remap_one_gate(s.netlist);
+
+  FaultSimArena shared;
+  FaultStatusCache o1, o2, o3, o4;
+  const std::size_t u_edit_shared = flow.count_undetectable_internal_probe(
+      edited, &flow.cache(), &o1, &shared);
+  const std::size_t u_base_shared = flow.count_undetectable_internal_probe(
+      s.netlist, &flow.cache(), &o2, &shared);
+  const std::size_t u_edit_fresh = flow.count_undetectable_internal_probe(
+      edited, &flow.cache(), &o3, nullptr);
+  const std::size_t u_base_fresh = flow.count_undetectable_internal_probe(
+      s.netlist, &flow.cache(), &o4, nullptr);
+  EXPECT_EQ(u_edit_shared, u_edit_fresh);
+  EXPECT_EQ(u_base_shared, u_base_fresh);
+  EXPECT_EQ(shared.size(), 1u);  // single-threaded: master slot only
+}
+
+}  // namespace
+}  // namespace dfmres

@@ -38,10 +38,12 @@ int usage() {
                "  dfmres flow <circuit|file.v> [--write out.v] [--util U] "
                "[--threads N]\n"
                "  dfmres resyn <circuit|file.v> [--q N] [--p1 PCT] "
-               "[--write out.v] [--threads N]\n"
+               "[--write out.v] [--threads N] [--cold]\n"
                "  dfmres verilog <circuit>\n"
                "  --threads N: fault-simulation worker lanes "
-               "(0 = hardware, 1 = serial; results are identical)\n");
+               "(0 = hardware, 1 = serial; results are identical)\n"
+               "  --cold: disable warm-start ATPG, candidate dedup and the "
+               "parallel ladder (reference mode; same results, slower)\n");
   return 2;
 }
 
@@ -120,6 +122,8 @@ int cmd_flow(int argc, char** argv) {
       options.utilization = std::atof(argv[++i]);
     } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
       options.atpg.num_threads = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--cold")) {
+      options.warm_start = false;
     } else {
       return usage();
     }
@@ -159,6 +163,10 @@ int cmd_resyn(int argc, char** argv) {
       write_path = argv[++i];
     } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
       flow_options.atpg.num_threads = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--cold")) {
+      flow_options.warm_start = false;
+      options.dedup_candidates = false;
+      options.parallel_ladder = false;
     } else {
       return usage();
     }
