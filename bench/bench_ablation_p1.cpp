@@ -20,11 +20,11 @@ int main() {
                 "accepts", "seconds");
     for (const double p1 : {0.005, 0.01, 0.02}) {
       DesignFlow flow(osu018_library(), bench_flow_options());
-      const FlowState original = flow.run_initial(build_benchmark(name));
+      const FlowState original = flow.run_initial(build_benchmark(name).value()).value();
       ResynthesisOptions options = bench_resyn_options();
       options.p1 = p1;
       const auto t0 = std::chrono::steady_clock::now();
-      const ResynthesisResult result = resynthesize(flow, original, options);
+      const ResynthesisResult result = resynthesize(flow, original, options).value();
       const double seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
               .count();

@@ -23,8 +23,8 @@ int main() {
 
   for (const auto& name : circuits) {
     DesignFlow flow(osu018_library(), bench_flow_options());
-    const Netlist rtl = build_benchmark(name);
-    const FlowState original = flow.run_initial(rtl);
+    const Netlist rtl = build_benchmark(name).value();
+    const FlowState original = flow.run_initial(rtl).value();
     const StateStats so = stats_of(original);
     std::printf("%-10s %-22s %8zu %7.2f%% %8s %8s\n", name.c_str(),
                 "original", so.u, 100.0 * so.coverage, "100%", "100%");
@@ -95,7 +95,7 @@ int main() {
     // The proposed procedure on the same block.
     {
       const ResynthesisResult result =
-          resynthesize(flow, original, bench_resyn_options());
+          resynthesize(flow, original, bench_resyn_options()).value();
       const StateStats sr = stats_of(result.state);
       std::printf("%-10s %-22s %8zu %7.2f%% %7.2f%% %7.2f%%   (q=%d)\n", "",
                   "proposed procedure", sr.u, 100.0 * sr.coverage,

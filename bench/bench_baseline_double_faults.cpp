@@ -27,7 +27,7 @@ int main() {
 
   for (const auto& name : selected_circuits({"tv80", "sparc_tlu"})) {
     DesignFlow flow(osu018_library(), bench_flow_options());
-    const FlowState original = flow.run_initial(build_benchmark(name));
+    const FlowState original = flow.run_initial(build_benchmark(name).value()).value();
 
     // Double-fault targets around the undetectable clusters.
     const auto targets = enumerate_double_faults(
@@ -44,7 +44,7 @@ int main() {
 
     // The proposed alternative: resynthesize.
     const ResynthesisResult resyn =
-        resynthesize(flow, original, bench_resyn_options());
+        resynthesize(flow, original, bench_resyn_options()).value();
 
     std::printf("%-10s %6zu %8zu %8zu/%zu %10zu %9.1f%% | %9zu %7zu\n",
                 name.c_str(), original.atpg.tests.size(), targets.size(),

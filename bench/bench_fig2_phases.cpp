@@ -18,9 +18,9 @@ int main() {
   const auto circuits = selected_circuits({"tv80"});
   for (const auto& name : circuits) {
     DesignFlow flow(osu018_library(), bench_flow_options());
-    const FlowState original = flow.run_initial(build_benchmark(name));
+    const FlowState original = flow.run_initial(build_benchmark(name).value()).value();
     const ResynthesisResult result =
-        resynthesize(flow, original, bench_resyn_options());
+        resynthesize(flow, original, bench_resyn_options()).value();
 
     std::printf("==== Fig. 2 trace: %s ====\n", name.c_str());
     std::printf("start: Smax=%zu U=%zu\n", original.smax(),

@@ -25,7 +25,7 @@ using namespace dfmres;
 
 const Netlist& mapped_tv80() {
   static const Netlist nl = [] {
-    const Netlist rtl = build_benchmark("tv80");
+    const Netlist rtl = build_benchmark("tv80").value();
     MapOptions mo;
     const auto glib = generic_library();
     const auto tlib = osu018_library();
@@ -124,7 +124,7 @@ void BM_PodemDetect(benchmark::State& state) {
 BENCHMARK(BM_PodemDetect);
 
 void BM_TechnologyMap(benchmark::State& state) {
-  const Netlist rtl = build_benchmark("tv80");
+  const Netlist rtl = build_benchmark("tv80").value();
   MapOptions mo;
   const auto glib = generic_library();
   const auto tlib = osu018_library();

@@ -46,7 +46,7 @@ std::string largest_benchmark() {
   std::string best;
   std::size_t best_gates = 0;
   for (const auto name : benchmark_names()) {
-    const Netlist nl = build_benchmark(name);
+    const Netlist nl = build_benchmark(name).value();
     if (nl.num_live_gates() > best_gates) {
       best_gates = nl.num_live_gates();
       best = std::string(name);
@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
 
   std::printf("==== parallel ATPG scaling: %s ====\n", circuit.c_str());
   DesignFlow flow(osu018_library(), bench_flow_options());
-  const FlowState state = flow.run_initial(build_benchmark(circuit));
+  const FlowState state = flow.run_initial(build_benchmark(circuit).value()).value();
   std::printf("faults=%zu gates=%zu\n", state.num_faults(),
               state.netlist.num_live_gates());
 

@@ -26,7 +26,7 @@ int main() {
   for (const auto& name : circuits) {
     const auto t0 = std::chrono::steady_clock::now();
     DesignFlow flow(osu018_library(), bench_flow_options());
-    const FlowState state = flow.run_initial(build_benchmark(name));
+    const FlowState state = flow.run_initial(build_benchmark(name).value()).value();
     const StateStats s = stats_of(state);
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

@@ -70,12 +70,12 @@ BlockRun run_block(const std::string& name, bool cold) {
   BlockRun out;
   const auto t0 = Clock::now();
   DesignFlow flow(osu018_library(), flow_options);
-  const FlowState original = flow.run_initial(build_benchmark(name));
+  const FlowState original = flow.run_initial(build_benchmark(name).value()).value();
   out.flow_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
 
   const auto t1 = Clock::now();
   const ResynthesisResult result =
-      resynthesize(flow, original, resyn_options);
+      resynthesize(flow, original, resyn_options).value();
   out.resyn_seconds = std::chrono::duration<double>(Clock::now() - t1).count();
 
   out.orig = stats_of(original);

@@ -20,7 +20,7 @@ using namespace dfmres;
 int main(int argc, char** argv) {
   const std::string name = argc > 1 ? argv[1] : "sparc_exu";
   DesignFlow flow(osu018_library(), {});
-  const FlowState state = flow.run_initial(build_benchmark(name));
+  const FlowState state = flow.run_initial(build_benchmark(name).value()).value();
 
   std::printf("==== DFM audit: %s ====\n", name.c_str());
   std::printf("%zu gates, %zu nets, die %d rows x %d sites\n",

@@ -36,7 +36,7 @@ int main() {
 
   // ---- 2. implementation flow ----
   DesignFlow flow(osu018_library(), {});
-  FlowState state = flow.run_initial(rtl);
+  FlowState state = flow.run_initial(rtl).value();
   std::printf("mapped design:\n%s\n", describe(state.netlist).c_str());
   std::printf("faults: %zu total (%zu internal / %zu external)\n",
               state.num_faults(), state.universe.count_internal(),
@@ -58,7 +58,7 @@ int main() {
 
   // ---- 4. resynthesis (paper Section III) ----
   ResynthesisOptions options;
-  const ResynthesisResult result = resynthesize(flow, state, options);
+  const ResynthesisResult result = resynthesize(flow, state, options).value();
   std::printf("\nafter resynthesis (largest accepted q = %d%%):\n",
               result.report.q_used);
   std::printf("  U: %zu -> %zu   Smax: %zu -> %zu   coverage: %.2f%% -> "

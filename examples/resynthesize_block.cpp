@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   }
 
   DesignFlow flow(osu018_library(), {});
-  const FlowState original = flow.run_initial(build_benchmark(name));
+  const FlowState original = flow.run_initial(build_benchmark(name).value()).value();
   std::printf("%-12s %8s %6s %9s %5s %6s %10s %8s %8s\n", "", "F", "U",
               "Cov", "T", "Smax", "%Smax_all", "Delay", "Power");
   const auto print_state = [&](const char* label, const FlowState& s) {
@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
   };
   print_state(name.c_str(), original);
 
-  const ResynthesisResult result = resynthesize(flow, original, options);
+  const ResynthesisResult result = resynthesize(flow, original, options).value();
   print_state("resyn", result.state);
 
   std::printf("\nlargest accepted q: %d%%   procedure runtime: %.1fs\n",

@@ -1,17 +1,24 @@
 #!/bin/sh
-# Full local gate: tier-1 build + test suite, then both sanitizer
+# Full local gate: tier-1 build + test suite (with the fuzz harness
+# built and replayed over its seed corpus), then the sanitizer
 # configurations (TSan for the thread pool, ASan+UBSan for the
-# warm-start/arena machinery). Usage: scripts/check.sh [build-dir]
+# warm-start/arena machinery, plain UBSan for the parser/journal
+# paths). Usage: scripts/check.sh [build-dir]
 set -eu
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
-cmake -B "$BUILD_DIR" -S .
+cmake -B "$BUILD_DIR" -S . -DDFMRES_FUZZ=ON
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
+# Under gcc fuzz_verilog is the standalone replayer: every corpus seed
+# must run through the front-end without crashing.
+"$BUILD_DIR/tools/fuzz_verilog" tools/fuzz_corpus/*.v
+
 scripts/run_tsan.sh
 scripts/run_asan.sh
+scripts/run_ubsan.sh
 
 echo "check.sh: all gates passed."

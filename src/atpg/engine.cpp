@@ -119,16 +119,20 @@ AtpgResult run_atpg_overlay(const Netlist& nl, const FaultUniverse& universe,
   FaultSimArena local_arena;
   FaultSimArena& arena = options.arena ? *options.arena : local_arena;
   FaultSimulator& simulator = arena.acquire(0, nl, view);
+  simulator.set_cancel(options.cancel);
   std::vector<FaultSimulator*> worker_sims;
   for (int w = 1; w < num_workers; ++w) {
     worker_sims.push_back(&arena.acquire(static_cast<std::size_t>(w), nl, view));
+    worker_sims.back()->set_cancel(options.cancel);
   }
 
   // masks[k] = simulator.detect_mask(excitations[items[k]]) for the
   // currently loaded batch, computed across the pool.
   const auto sweep_masks = [&](std::span<const std::uint32_t> items,
                                std::vector<std::uint64_t>& masks) {
-    masks.resize(items.size());
+    // Zero-fill, not resize: a cancelled sweep leaves unvisited slots
+    // untouched, and a stale mask must read "not detected".
+    masks.assign(items.size(), 0);
     const auto run_range = [&](int lane, std::size_t begin, std::size_t end) {
       FaultSimulator& sim = lane == 0 ? simulator : *worker_sims[lane - 1];
       for (std::size_t k = begin; k < end; ++k) {
@@ -145,7 +149,8 @@ AtpgResult run_atpg_overlay(const Netlist& nl, const FaultUniverse& universe,
     for (auto* sim : worker_sims) sim->load_from(simulator);
     const std::size_t grain = std::clamp<std::size_t>(
         items.size() / (4 * static_cast<std::size_t>(num_workers)), 1, 32);
-    pool.parallel_for(items.size(), grain, num_workers, run_range);
+    pool.parallel_for(items.size(), grain, num_workers, run_range,
+                      options.cancel);
   };
 
   std::vector<std::uint64_t> sweep_scratch;
@@ -182,10 +187,12 @@ AtpgResult run_atpg_overlay(const Netlist& nl, const FaultUniverse& universe,
   // function-preserving rewrite that is all previously-detected faults
   // outside the rewritten cone — before any random batch or PODEM call.
   const auto phase0_start = Clock::now();
-  if (have_seeds && !targets.empty()) {
+  if (have_seeds && !targets.empty() && !cancel_expired(options.cancel)) {
     const std::vector<TestPattern>& seeds = *options.seed_tests;
     const std::size_t before = targets.size();
-    for (std::size_t first = 0; first < seeds.size() && !targets.empty();
+    for (std::size_t first = 0;
+         first < seeds.size() && !targets.empty() &&
+         !cancel_expired(options.cancel);
          first += 64) {
       const std::size_t count = std::min<std::size_t>(64, seeds.size() - first);
       const std::uint64_t useful = drop_with_batch(seeds, first, count);
@@ -224,7 +231,8 @@ AtpgResult run_atpg_overlay(const Netlist& nl, const FaultUniverse& universe,
 
   // ---- phase 1: random pattern pairs with fault dropping ----
   const auto phase1_start = Clock::now();
-  for (int batch = 0; batch < options.random_batches && !targets.empty();
+  for (int batch = 0; batch < options.random_batches && !targets.empty() &&
+                      !cancel_expired(options.cancel);
        ++batch) {
     const std::size_t first = tests.size();
     for (int lane = 0; lane < 64; ++lane) {
@@ -244,11 +252,12 @@ AtpgResult run_atpg_overlay(const Netlist& nl, const FaultUniverse& universe,
 
   // ---- phase 2: deterministic PODEM ----
   const auto phase2_start = Clock::now();
-  Podem podem(nl, view, {options.backtrack_limit});
+  Podem podem(nl, view, {options.backtrack_limit, options.cancel});
   // Process remaining targets; each generated test also drops others.
   std::vector<std::uint32_t> queue = std::move(targets);
   targets.clear();
   for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    if (cancel_expired(options.cancel)) break;
     const std::uint32_t i = queue[qi];
     if (result.status[i] != FaultStatus::Unknown) continue;
 
@@ -310,9 +319,11 @@ AtpgResult run_atpg_overlay(const Netlist& nl, const FaultUniverse& universe,
   }
   result.counters.phase2_seconds = seconds_since(phase2_start);
 
+  result.cancelled = cancel_expired(options.cancel);
+
   // ---- phase 3: reverse-order test compaction ----
   const auto phase3_start = Clock::now();
-  if (options.generate_tests && !tests.empty()) {
+  if (options.generate_tests && !tests.empty() && !result.cancelled) {
     std::vector<std::uint32_t> uncovered;
     for (std::uint32_t i = 0; i < universe.size(); ++i) {
       if (result.status[i] == FaultStatus::Detected &&
@@ -376,9 +387,14 @@ AtpgResult run_atpg_overlay(const Netlist& nl, const FaultUniverse& universe,
       case FaultStatus::Detected: ++result.num_detected; break;
       case FaultStatus::Undetectable: ++result.num_undetectable; break;
       case FaultStatus::Aborted: ++result.num_aborted; break;
-      case FaultStatus::Unknown: break;
+      case FaultStatus::Unknown: ++result.counters.cancelled_targets; break;
     }
-    if (updates) updates->store(universe.faults[i], result.status[i]);
+    // A cancelled run stores nothing: its Unknowns (and any Aborted
+    // produced by the cut-short searches) must not clobber cached
+    // verdicts from complete runs.
+    if (updates && !result.cancelled) {
+      updates->store(universe.faults[i], result.status[i]);
+    }
   }
   return result;
 }

@@ -8,6 +8,7 @@
 #include "src/atpg/podem.hpp"
 #include "src/faults/fault.hpp"
 #include "src/faults/udfm_map.hpp"
+#include "src/util/cancel.hpp"
 #include "src/util/stats.hpp"
 
 namespace dfmres {
@@ -63,6 +64,12 @@ struct AtpgOptions {
   /// Preallocated simulator arena reused across calls (slot 0 = master,
   /// 1..N = sweep workers). When null a call-local arena is used.
   FaultSimArena* arena = nullptr;
+  /// Cooperative cancellation: checked between batches, between PODEM
+  /// targets, and every few dozen backtracks inside a single search.
+  /// On expiry the run returns early with `AtpgResult::cancelled` set,
+  /// unclassified faults left Unknown, and NOTHING stored into the
+  /// cache (a partial run must not clobber cached verdicts).
+  const CancelToken* cancel = nullptr;
 };
 
 struct AtpgResult {
@@ -71,6 +78,10 @@ struct AtpgResult {
   std::size_t num_detected = 0;
   std::size_t num_undetectable = 0;
   std::size_t num_aborted = 0;
+  /// True when the run was cut short by `AtpgOptions::cancel`; the
+  /// classification is then partial (Unknown = never reached) and the
+  /// test set is unusable. Callers must discard, not commit.
+  bool cancelled = false;
   AtpgCounters counters;            ///< instrumentation (see util/stats)
 
   [[nodiscard]] double coverage(std::size_t num_faults) const {

@@ -36,6 +36,7 @@ void FaultSimulator::rebind(const Netlist& nl, const CombView& view) {
   patterns_simulated_ = 0;
   detect_mask_calls_ = 0;
   propagation_events_ = 0;
+  cancel_ = nullptr;
 }
 
 void FaultSimulator::load(std::span<const TestPattern> tests,
@@ -81,6 +82,7 @@ void FaultSimulator::load_from(const FaultSimulator& other) {
 
 std::uint64_t FaultSimulator::detect_mask(
     std::span<const Excitation> excitations) {
+  if (cancel_expired(cancel_)) return 0;
   ++detect_mask_calls_;
   const std::uint64_t lane_mask =
       lanes_ == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << lanes_) - 1);

@@ -8,6 +8,7 @@
 
 #include "src/atpg/excitation.hpp"
 #include "src/netlist/netlist.hpp"
+#include "src/util/cancel.hpp"
 
 namespace dfmres {
 
@@ -50,8 +51,15 @@ class FaultSimulator {
   void load_from(const FaultSimulator& other);
 
   /// Lane mask of tests that detect a fault with the given excitations.
+  /// With an expired cancel token the query short-circuits to 0 ("not
+  /// detected") — only valid when the caller discards cancelled runs.
   [[nodiscard]] std::uint64_t detect_mask(
       std::span<const Excitation> excitations);
+
+  /// Installs a cooperative cancel token polled at detect_mask entry
+  /// (nullptr = never cancelled). Sweep workers inherit it via the
+  /// options of the run that acquired them, not via load_from.
+  void set_cancel(const CancelToken* cancel) { cancel_ = cancel; }
 
   [[nodiscard]] int lanes() const { return lanes_; }
   [[nodiscard]] const CombView& view() const { return *view_; }
@@ -93,6 +101,7 @@ class FaultSimulator {
   std::uint64_t patterns_simulated_ = 0;
   std::uint64_t detect_mask_calls_ = 0;
   std::uint64_t propagation_events_ = 0;
+  const CancelToken* cancel_ = nullptr;
 };
 
 /// Pool of reusable FaultSimulator instances, one per engine lane

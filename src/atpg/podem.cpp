@@ -453,6 +453,9 @@ Podem::Outcome Podem::search(std::span<const CondLiteral> lits,
     // Backtrack: flip the deepest unflipped decision.
     ++total_backtracks_;
     if (++backtracks > config_.backtrack_limit) return Outcome::Aborted;
+    if ((backtracks & 63) == 0 && cancel_expired(config_.cancel)) {
+      return Outcome::Aborted;
+    }
     while (!stack.empty() && stack.back().flipped) {
       undo_last_assignment();
       source_assign_[stack.back().source] = V3::X;

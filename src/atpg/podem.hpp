@@ -8,6 +8,7 @@
 #include "src/atpg/excitation.hpp"
 #include "src/atpg/values.hpp"
 #include "src/netlist/netlist.hpp"
+#include "src/util/cancel.hpp"
 
 namespace dfmres {
 
@@ -24,6 +25,10 @@ class Podem {
  public:
   struct Config {
     long backtrack_limit = 50000;
+    /// Cooperative cancellation, polled every 64 backtracks inside the
+    /// search loop; an expired token yields Outcome::Aborted (never
+    /// Undetectable — a cut-short search proves nothing).
+    const CancelToken* cancel = nullptr;
   };
 
   enum class Outcome { Detected, Undetectable, Aborted };

@@ -523,7 +523,7 @@ constexpr std::array<std::string_view, 12> kNames = {
 
 std::span<const std::string_view> benchmark_names() { return kNames; }
 
-Netlist build_benchmark(std::string_view name) {
+Expected<Netlist> build_benchmark(std::string_view name) {
   if (name == "tv80") return build_tv80();
   if (name == "systemcaes") return build_systemcaes();
   if (name == "aes_core") return build_aes_core();
@@ -536,8 +536,14 @@ Netlist build_benchmark(std::string_view name) {
   if (name == "sparc_tlu") return build_sparc_tlu();
   if (name == "sparc_lsu") return build_sparc_lsu();
   if (name == "sparc_fpu") return build_sparc_fpu();
-  log_error("unknown benchmark '%s'", std::string(name).c_str());
-  std::abort();
+  std::string known;
+  for (std::string_view n : kNames) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  return make_status(StatusCode::kNotFound,
+                     "unknown benchmark '%s' (known: %s)",
+                     std::string(name).c_str(), known.c_str());
 }
 
 Netlist build_c17() {

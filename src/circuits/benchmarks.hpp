@@ -4,6 +4,7 @@
 #include <string_view>
 
 #include "src/netlist/netlist.hpp"
+#include "src/util/status.hpp"
 
 namespace dfmres {
 
@@ -16,9 +17,9 @@ namespace dfmres {
 /// proofs) stays tractable on one machine. See DESIGN.md, substitutions.
 [[nodiscard]] std::span<const std::string_view> benchmark_names();
 
-/// Builds the named benchmark over the generic library; aborts on an
-/// unknown name.
-[[nodiscard]] Netlist build_benchmark(std::string_view name);
+/// Builds the named benchmark over the generic library; an unknown name
+/// yields a not_found status listing the valid names.
+[[nodiscard]] Expected<Netlist> build_benchmark(std::string_view name);
 
 /// The ISCAS-85 c17 circuit (6 NAND2 gates), handy for tests and the
 /// quickstart example.

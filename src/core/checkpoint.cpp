@@ -1,0 +1,289 @@
+#include "src/core/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/fmt.hpp"
+
+namespace dfmres {
+
+namespace {
+
+constexpr int kJournalVersion = 1;
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+/// Splits "body #crc" and verifies the checksum. Returns false on any
+/// malformation (the caller decides whether that is a torn tail or data
+/// loss).
+bool split_checked_line(const std::string& line, std::string* body) {
+  const std::size_t mark = line.rfind(" #");
+  if (mark == std::string::npos || line.size() - mark != 10) return false;
+  std::uint32_t stored = 0;
+  for (std::size_t i = mark + 2; i < line.size(); ++i) {
+    const char c = line[i];
+    std::uint32_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint32_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+    stored = stored * 16 + digit;
+  }
+  *body = line.substr(0, mark);
+  return crc32(*body) == stored;
+}
+
+bool parse_accept(std::istringstream& in, CheckpointRecord* rec) {
+  int bt = 0;
+  std::size_t num_region = 0;
+  if (!(in >> rec->q >> rec->phase >> bt >> rec->cell_name >> rec->smax >>
+        rec->undetectable >> num_region)) {
+    return false;
+  }
+  rec->via_backtracking = bt != 0;
+  if (rec->cell_name == "-") rec->cell_name.clear();
+  rec->region.resize(num_region);
+  for (auto& g : rec->region) {
+    if (!(in >> g)) return false;
+  }
+  std::string bits;
+  if (!(in >> bits)) return false;
+  rec->banned.reserve(bits.size());
+  for (const char c : bits) {
+    if (c != '0' && c != '1') return false;
+    rec->banned.push_back(c == '1');
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    c = table[(c ^ static_cast<std::uint8_t>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string checkpoint_journal_path(const std::string& dir) {
+  return dir + "/resyn_journal.txt";
+}
+
+bool CheckpointJournal::search_complete() const {
+  for (const CheckpointRecord& r : records) {
+    if (r.kind == CheckpointRecord::Kind::Done) return true;
+  }
+  return false;
+}
+
+Expected<CheckpointJournal> read_checkpoint(const std::string& dir) {
+  const std::string path = checkpoint_journal_path(dir);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return make_status(StatusCode::kNotFound, "no checkpoint journal at %s",
+                       path.c_str());
+  }
+  CheckpointJournal journal;
+  std::string line;
+  std::uint64_t offset = 0;
+  bool have_header = false;
+  bool saw_bad = false;  // a rejected line; valid lines after it = data loss
+  std::uint64_t bad_offset = 0;
+  while (std::getline(in, line)) {
+    // getline consumes the '\n'; a final line without one is a torn
+    // append and fails the checksum check anyway (the crc suffix is
+    // written last).
+    const std::uint64_t line_bytes = line.size() + 1;
+    std::string body;
+    if (!split_checked_line(line, &body)) {
+      saw_bad = true;
+      bad_offset = offset;
+      offset += line_bytes;
+      continue;
+    }
+    if (saw_bad) {
+      return make_status(StatusCode::kDataLoss,
+                         "checkpoint journal %s: corrupt record at byte %llu "
+                         "followed by valid data (not a torn tail)",
+                         path.c_str(),
+                         static_cast<unsigned long long>(bad_offset));
+    }
+    std::istringstream fields(body);
+    std::string tag;
+    fields >> tag;
+    if (!have_header) {
+      int version = 0;
+      if (tag != "H" || !(fields >> version >> journal.fingerprint) ||
+          version != kJournalVersion) {
+        return make_status(StatusCode::kDataLoss,
+                           "checkpoint journal %s: bad header '%s'",
+                           path.c_str(), body.c_str());
+      }
+      have_header = true;
+    } else if (tag == "A") {
+      CheckpointRecord rec;
+      rec.kind = CheckpointRecord::Kind::Accept;
+      if (!parse_accept(fields, &rec)) {
+        return make_status(StatusCode::kDataLoss,
+                           "checkpoint journal %s: malformed accept record "
+                           "at byte %llu",
+                           path.c_str(),
+                           static_cast<unsigned long long>(offset));
+      }
+      journal.records.push_back(std::move(rec));
+    } else if (tag == "D") {
+      CheckpointRecord rec;
+      rec.kind = CheckpointRecord::Kind::Done;
+      journal.records.push_back(std::move(rec));
+    } else if (tag == "F") {
+      CheckpointRecord rec;
+      rec.kind = CheckpointRecord::Kind::Final;
+      if (!(fields >> rec.undetectable >> rec.smax >> rec.faults)) {
+        return make_status(StatusCode::kDataLoss,
+                           "checkpoint journal %s: malformed final record",
+                           path.c_str());
+      }
+      journal.records.push_back(std::move(rec));
+    } else {
+      return make_status(StatusCode::kDataLoss,
+                         "checkpoint journal %s: unknown record tag '%s'",
+                         path.c_str(), tag.c_str());
+    }
+    offset += line_bytes;
+    journal.valid_bytes = offset;
+  }
+  if (!have_header) {
+    return make_status(StatusCode::kDataLoss,
+                       "checkpoint journal %s: no valid header", path.c_str());
+  }
+  return journal;
+}
+
+CheckpointWriter::~CheckpointWriter() { close(); }
+
+void CheckpointWriter::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status CheckpointWriter::open_fresh(const std::string& dir,
+                                    std::uint64_t fingerprint) {
+  close();
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return make_status(StatusCode::kInvalidArgument,
+                       "cannot create checkpoint directory %s: %s",
+                       dir.c_str(), std::strerror(errno));
+  }
+  path_ = checkpoint_journal_path(dir);
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    return make_status(StatusCode::kInvalidArgument,
+                       "cannot create checkpoint journal %s: %s",
+                       path_.c_str(), std::strerror(errno));
+  }
+  return write_line(strfmt("H %d %llu", kJournalVersion,
+                           static_cast<unsigned long long>(fingerprint)));
+}
+
+Status CheckpointWriter::open_resume(const std::string& dir,
+                                     std::uint64_t valid_bytes) {
+  close();
+  path_ = checkpoint_journal_path(dir);
+  fd_ = ::open(path_.c_str(), O_WRONLY, 0644);
+  if (fd_ < 0) {
+    return make_status(StatusCode::kInvalidArgument,
+                       "cannot reopen checkpoint journal %s: %s",
+                       path_.c_str(), std::strerror(errno));
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(valid_bytes)) != 0 ||
+      ::lseek(fd_, 0, SEEK_END) < 0) {
+    const Status s = make_status(StatusCode::kInternal,
+                                 "cannot truncate checkpoint journal %s to "
+                                 "%llu bytes: %s",
+                                 path_.c_str(),
+                                 static_cast<unsigned long long>(valid_bytes),
+                                 std::strerror(errno));
+    close();
+    return s;
+  }
+  return Status::ok();
+}
+
+Status CheckpointWriter::append(const CheckpointRecord& record) {
+  std::string body;
+  switch (record.kind) {
+    case CheckpointRecord::Kind::Accept: {
+      body = strfmt("A %d %d %d %s %llu %llu %zu", record.q, record.phase,
+                    record.via_backtracking ? 1 : 0,
+                    record.cell_name.empty() ? "-" : record.cell_name.c_str(),
+                    static_cast<unsigned long long>(record.smax),
+                    static_cast<unsigned long long>(record.undetectable),
+                    record.region.size());
+      for (const std::uint32_t g : record.region) body += strfmt(" %u", g);
+      body += ' ';
+      for (const bool b : record.banned) body += b ? '1' : '0';
+      break;
+    }
+    case CheckpointRecord::Kind::Done:
+      body = "D";
+      break;
+    case CheckpointRecord::Kind::Final:
+      body = strfmt("F %llu %llu %llu",
+                    static_cast<unsigned long long>(record.undetectable),
+                    static_cast<unsigned long long>(record.smax),
+                    static_cast<unsigned long long>(record.faults));
+      break;
+  }
+  return write_line(body);
+}
+
+Status CheckpointWriter::write_line(const std::string& body) {
+  if (fd_ < 0) {
+    return make_status(StatusCode::kFailedPrecondition,
+                       "checkpoint writer is not open");
+  }
+  const std::string line = body + strfmt(" #%08x\n", crc32(body));
+  std::size_t done = 0;
+  while (done < line.size()) {
+    const ssize_t n = ::write(fd_, line.data() + done, line.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return make_status(StatusCode::kInternal,
+                         "checkpoint journal %s: write failed: %s",
+                         path_.c_str(), std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    return make_status(StatusCode::kInternal,
+                       "checkpoint journal %s: fsync failed: %s",
+                       path_.c_str(), std::strerror(errno));
+  }
+  return Status::ok();
+}
+
+}  // namespace dfmres

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.hpp"
+
+namespace dfmres {
+
+/// Crash-safe acceptance journal for the resynthesis procedure.
+///
+/// The journal is a text file of checksummed single-line records,
+/// fsync'd after every append, holding exactly the information needed to
+/// replay the accepted-candidate sequence deterministically against the
+/// same initial design:
+///
+///   H <version> <fingerprint>            header; fingerprint pins the
+///                                        (options, initial state, seed
+///                                        tests) the journal belongs to
+///   A <q> <ph> <bt> <cell> <smax> <undet> <k> <gate>*k <banned-bits>
+///                                        one accepted candidate: the
+///                                        region gate ids and the ban
+///                                        bitset reproduce the identical
+///                                        replacement netlist (ids and
+///                                        all) via the deterministic
+///                                        build path; smax/undet verify
+///                                        the replay landed on the same
+///                                        design point
+///   D                                    search completed (no record
+///                                        past this point is expected;
+///                                        a journal without it resumes
+///                                        the live search)
+///   F <undet> <smax> <faults>            final sign-off metrics
+///
+/// Every line carries a trailing " #xxxxxxxx" CRC-32 of its body. A
+/// torn tail (one trailing line that fails the checksum or lacks a
+/// newline — the only damage a crash mid-append can cause on a POSIX
+/// filesystem) is dropped silently; corruption *before* valid records
+/// is reported as kDataLoss.
+struct CheckpointRecord {
+  enum class Kind : std::uint8_t { Accept, Done, Final };
+  Kind kind = Kind::Accept;
+  // Accept fields.
+  int q = 0;
+  int phase = 1;
+  bool via_backtracking = false;
+  std::string cell_name;                ///< last cell banned (trace label)
+  std::vector<std::uint32_t> region;    ///< parent gate ids re-mapped
+  std::vector<bool> banned;             ///< per-CellId ban flags
+  // Accept: metrics after the step. Final: sign-off metrics.
+  std::uint64_t smax = 0;
+  std::uint64_t undetectable = 0;
+  std::uint64_t faults = 0;             ///< Final only
+};
+
+struct CheckpointJournal {
+  std::uint64_t fingerprint = 0;
+  std::vector<CheckpointRecord> records;
+  /// Byte length of the valid prefix (a resuming writer truncates the
+  /// file here before appending, so a dropped torn tail stays dropped).
+  std::uint64_t valid_bytes = 0;
+  /// True when a Done record is present: the search finished and replay
+  /// alone reproduces the full run.
+  [[nodiscard]] bool search_complete() const;
+};
+
+/// CRC-32 (IEEE, reflected) of a byte string.
+[[nodiscard]] std::uint32_t crc32(std::string_view data);
+
+/// Journal path inside a checkpoint directory.
+[[nodiscard]] std::string checkpoint_journal_path(const std::string& dir);
+
+/// Parses the journal under `dir`. kNotFound when no journal exists
+/// (callers usually start fresh), kDataLoss on interior corruption or a
+/// missing/garbled header.
+[[nodiscard]] Expected<CheckpointJournal> read_checkpoint(
+    const std::string& dir);
+
+/// Append-only journal writer with fsync-per-record durability. All
+/// methods are single-threaded; the resynthesis procedure appends only
+/// from its serial acceptance walk.
+class CheckpointWriter {
+ public:
+  CheckpointWriter() = default;
+  ~CheckpointWriter();
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  /// Creates `dir` (one level) if needed and starts a fresh journal,
+  /// clobbering any previous one, with a fingerprint header.
+  [[nodiscard]] Status open_fresh(const std::string& dir,
+                                  std::uint64_t fingerprint);
+
+  /// Re-opens an existing journal for appending after a replay:
+  /// truncates to `valid_bytes` (dropping a torn tail for good) and
+  /// leaves the cursor at the end.
+  [[nodiscard]] Status open_resume(const std::string& dir,
+                                   std::uint64_t valid_bytes);
+
+  /// Serializes, appends, flushes, and fsyncs one record. The record is
+  /// durable when this returns OK.
+  [[nodiscard]] Status append(const CheckpointRecord& record);
+
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  [[nodiscard]] Status write_line(const std::string& body);
+
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace dfmres

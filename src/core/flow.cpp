@@ -11,7 +11,7 @@ DesignFlow::DesignFlow(std::shared_ptr<const Library> target,
                        FlowOptions options)
     : target_(std::move(target)), options_(options), udfm_(*target_) {}
 
-FlowState DesignFlow::run_initial(const Netlist& rtl) {
+Expected<FlowState> DesignFlow::run_initial(const Netlist& rtl) {
   // Synthesize(): technology mapping with arithmetic/sequential macros
   // pinned, the way RTL synthesis instantiates adder and flop cells.
   MapOptions map_options;
@@ -28,15 +28,18 @@ FlowState DesignFlow::run_initial(const Netlist& rtl) {
   pin_macro("HA", "HAX1");
 
   auto mapped = technology_map(rtl, target_, map_options);
-  if (!mapped) {
-    log_error("run_initial: mapping failed for '%s'", rtl.name().c_str());
-    std::abort();
-  }
+  if (!mapped) return mapped.status();
 
   const Floorplan plan = make_floorplan(*mapped, options_.utilization);
   const Placement placement = global_place(*mapped, plan, options_.place);
   auto state = reanalyze_with_placement(std::move(*mapped), placement,
                                         /*generate_tests=*/true);
+  if (!state) {
+    // The initial floorplan is sized for the mapped netlist, so the
+    // area constraint cannot fire here; treat it as an invariant breach.
+    fatal_invariant("run_initial: initial placement of '%s' did not fit",
+                    rtl.name().c_str());
+  }
   return std::move(*state);
 }
 
@@ -108,12 +111,17 @@ std::optional<FlowState> DesignFlow::analyze(
                    std::move(clusters)};
 }
 
-std::optional<FlowState> DesignFlow::reanalyze_probe(
+Expected<FlowState> DesignFlow::reanalyze_probe(
     Netlist netlist, const Placement& previous, bool generate_tests,
     const FaultStatusCache* base_cache, FaultStatusCache* updates,
-    FaultSimArena* arena, int num_threads) const {
+    FaultSimArena* arena, int num_threads, const CancelToken* cancel) const {
+  if (cancel_expired(cancel)) return cancel->to_status();
   auto placement = incremental_place(netlist, previous);
-  if (!placement) return std::nullopt;
+  if (!placement) {
+    return make_status(StatusCode::kUnsatisfiable,
+                       "reanalyze_probe: die cannot absorb the edit to '%s'",
+                       netlist.name().c_str());
+  }
   RoutingResult routing = route(netlist, *placement, options_.route);
   TimingPower timing = analyze_timing_power(netlist, routing, options_.sta);
   FaultUniverse universe =
@@ -121,6 +129,7 @@ std::optional<FlowState> DesignFlow::reanalyze_probe(
   AtpgOptions atpg_options = options_.atpg;
   atpg_options.generate_tests = generate_tests;
   atpg_options.arena = arena;
+  atpg_options.cancel = cancel;
   if (num_threads != 0) atpg_options.num_threads = num_threads;
   if (options_.warm_start && !seed_tests_.empty()) {
     atpg_options.seed_tests = &seed_tests_;
@@ -128,6 +137,7 @@ std::optional<FlowState> DesignFlow::reanalyze_probe(
   AtpgResult atpg =
       run_atpg_overlay(netlist, universe, udfm_, atpg_options, base_cache,
                        updates);
+  if (atpg.cancelled) return cancel->to_status();
   ClusterAnalysis clusters =
       cluster_undetectable(netlist, universe, atpg.status);
   return FlowState{std::move(netlist), std::move(*placement),
@@ -150,19 +160,23 @@ std::size_t DesignFlow::count_undetectable_internal(const Netlist& nl) {
   return result.num_undetectable;
 }
 
-std::size_t DesignFlow::count_undetectable_internal_probe(
+Expected<std::size_t> DesignFlow::count_undetectable_internal_probe(
     const Netlist& nl, const FaultStatusCache* base_cache,
-    FaultStatusCache* updates, FaultSimArena* arena, int num_threads) const {
+    FaultStatusCache* updates, FaultSimArena* arena, int num_threads,
+    const CancelToken* cancel) const {
+  if (cancel_expired(cancel)) return cancel->to_status();
   const FaultUniverse internal = extract_internal_faults(nl, udfm_);
   AtpgOptions atpg_options = options_.atpg;
   atpg_options.generate_tests = false;
   atpg_options.arena = arena;
+  atpg_options.cancel = cancel;
   if (num_threads != 0) atpg_options.num_threads = num_threads;
   if (options_.warm_start && !seed_tests_.empty()) {
     atpg_options.seed_tests = &seed_tests_;
   }
   const AtpgResult result =
       run_atpg_overlay(nl, internal, udfm_, atpg_options, base_cache, updates);
+  if (result.cancelled) return cancel->to_status();
   return result.num_undetectable;
 }
 

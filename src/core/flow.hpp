@@ -71,8 +71,9 @@ class DesignFlow {
   /// Initial implementation flow from a technology-independent netlist:
   /// macro-maps DFF/FA/HA, maps the logic, floorplans at the target
   /// utilization, places, routes, extracts DFM faults and runs full ATPG
-  /// with test generation.
-  [[nodiscard]] FlowState run_initial(const Netlist& rtl);
+  /// with test generation. Fails with the mapper's status when the target
+  /// library cannot implement the design.
+  [[nodiscard]] Expected<FlowState> run_initial(const Netlist& rtl);
 
   /// Re-analysis of an edited mapped netlist inside the frozen floorplan
   /// of `previous`: incremental placement, rerouting, STA, DFM
@@ -98,16 +99,24 @@ class DesignFlow {
   /// replay still applies when warm_start is on; `num_threads` overrides
   /// the fault-sim fan-out (pass 1 from inside a thread-pool job — the
   /// shared pool must not be entered twice). Never mutates the flow.
-  [[nodiscard]] std::optional<FlowState> reanalyze_probe(
+  ///
+  /// Probes are the cancellable part of the flow (committed analyses
+  /// always run to completion): kUnsatisfiable = the die cannot absorb
+  /// the edit (a normal search outcome); kCancelled / kDeadlineExceeded
+  /// = `cancel` expired mid-probe, the overlay holds only complete
+  /// verdicts and the caller must not memoize the attempt.
+  [[nodiscard]] Expected<FlowState> reanalyze_probe(
       Netlist netlist, const Placement& previous, bool generate_tests,
       const FaultStatusCache* base_cache, FaultStatusCache* updates,
-      FaultSimArena* arena = nullptr, int num_threads = 0) const;
+      FaultSimArena* arena = nullptr, int num_threads = 0,
+      const CancelToken* cancel = nullptr) const;
 
-  /// Probe flavor of `count_undetectable_internal` (same overlay rules).
-  [[nodiscard]] std::size_t count_undetectable_internal_probe(
+  /// Probe flavor of `count_undetectable_internal` (same overlay and
+  /// cancellation rules).
+  [[nodiscard]] Expected<std::size_t> count_undetectable_internal_probe(
       const Netlist& nl, const FaultStatusCache* base_cache,
       FaultStatusCache* updates, FaultSimArena* arena = nullptr,
-      int num_threads = 0) const;
+      int num_threads = 0, const CancelToken* cancel = nullptr) const;
 
   /// Folds a probe's overlay into the flow cache (used when a probed
   /// candidate is committed).

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/core/checkpoint.hpp"
 #include "src/netlist/extract.hpp"
 #include "src/util/fmt.hpp"
 #include "src/util/logging.hpp"
@@ -90,6 +91,9 @@ struct CandMetrics {
   bool map_failed = false;
   bool area_failed = false;
   bool u_in_gate_failed = false;
+  /// Cancellation interrupted the evaluation: the metrics are partial
+  /// and were NOT memoized (a resumed iteration re-evaluates cleanly).
+  bool cancelled = false;
   std::size_t u_in_new = 0;
   std::size_t undetectable = 0;
   std::size_t smax = 0;
@@ -108,11 +112,62 @@ class Procedure {
         original_delay_(original.timing.critical_delay),
         original_power_(original.timing.total_power()) {}
 
-  ResynthesisResult run(const FlowState& original) {
+  Expected<ResynthesisResult> run(const FlowState& original) {
     const auto t0 = Clock::now();
-    FlowState current = original;
 
-    for (int q = 0; q <= options_.q_max; ++q) {
+    // Checkpoint journal: open (fresh or resuming) and collect the
+    // accepted-candidate sequence to replay.
+    std::vector<CheckpointRecord> replay;
+    std::size_t replay_pos = 0;
+    bool search_done_in_journal = false;
+    bool final_in_journal = false;
+    if (!options_.checkpoint_dir.empty()) {
+      const std::uint64_t fp = fingerprint(original);
+      bool fresh = true;
+      if (options_.resume) {
+        auto journal = read_checkpoint(options_.checkpoint_dir);
+        if (journal) {
+          if (journal->fingerprint != fp) {
+            return make_status(
+                StatusCode::kFailedPrecondition,
+                "checkpoint in %s was written by a different run "
+                "(journal fingerprint %016llx, this run %016llx); delete "
+                "it or drop --resume",
+                options_.checkpoint_dir.c_str(),
+                static_cast<unsigned long long>(journal->fingerprint),
+                static_cast<unsigned long long>(fp));
+          }
+          for (CheckpointRecord& rec : journal->records) {
+            switch (rec.kind) {
+              case CheckpointRecord::Kind::Accept:
+                replay.push_back(std::move(rec));
+                break;
+              case CheckpointRecord::Kind::Done:
+                search_done_in_journal = true;
+                break;
+              case CheckpointRecord::Kind::Final:
+                final_in_journal = true;
+                break;
+            }
+          }
+          const Status s = writer_.open_resume(options_.checkpoint_dir,
+                                               journal->valid_bytes);
+          if (!s.is_ok()) return s;
+          fresh = false;
+        } else if (journal.code() != StatusCode::kNotFound) {
+          return journal.status();
+        }
+      }
+      if (fresh) {
+        const Status s = writer_.open_fresh(options_.checkpoint_dir, fp);
+        if (!s.is_ok()) return s;
+      }
+    }
+
+    FlowState current = original;
+    bool stopped = false;  // cancellation observed; stop searching
+
+    for (int q = 0; q <= options_.q_max && !stopped; ++q) {
       budgets_.delay = original_delay_ * (1.0 + q / 100.0);
       budgets_.power = original_power_ * (1.0 + q / 100.0);
       bool accepted_at_q = false;
@@ -125,12 +180,33 @@ class Procedure {
                 : static_cast<double>(current.smax()) /
                       static_cast<double>(current.num_faults());
         if (smax_of_f <= options_.p1) break;
+        if (replay_pos < replay.size()) {
+          // A journaled acceptance at this loop position replays instead
+          // of searching; a record for a later position means the
+          // original run left this loop without accepting.
+          const CheckpointRecord& rec = replay[replay_pos];
+          if (rec.q != q || rec.phase != 1) break;
+          auto replayed = replay_accept(current, rec);
+          if (!replayed) return replayed.status();
+          ++replay_pos;
+          current = std::move(*replayed);
+          bump_version();
+          accepted_at_q = true;
+          continue;
+        }
+        if (search_done_in_journal) break;  // nothing left to search
+        if (cancel_expired(options_.cancel)) {
+          stopped = true;
+          break;
+        }
         auto next = try_region(current, q, /*phase=*/1, /*p2=*/0.0);
+        if (!journal_error_.is_ok()) return journal_error_;
         if (!next) break;
         current = std::move(*next);
         bump_version();
         accepted_at_q = true;
       }
+      if (stopped) break;
 
       // p2: the larger of p1 and the %Smax left by phase 1.
       const double p2 = std::max(
@@ -142,7 +218,24 @@ class Procedure {
 
       // ---- phase 2: shrink U over the whole circuit ----
       for (int iter = 0; iter < options_.max_iterations_per_phase; ++iter) {
+        if (replay_pos < replay.size()) {
+          const CheckpointRecord& rec = replay[replay_pos];
+          if (rec.q != q || rec.phase != 2) break;
+          auto replayed = replay_accept(current, rec);
+          if (!replayed) return replayed.status();
+          ++replay_pos;
+          current = std::move(*replayed);
+          bump_version();
+          accepted_at_q = true;
+          continue;
+        }
+        if (search_done_in_journal) break;
+        if (cancel_expired(options_.cancel)) {
+          stopped = true;
+          break;
+        }
         auto next = try_region(current, q, /*phase=*/2, p2);
+        if (!journal_error_.is_ok()) return journal_error_;
         if (!next) break;
         current = std::move(*next);
         bump_version();
@@ -155,19 +248,52 @@ class Procedure {
       }
     }
 
+    if (replay_pos < replay.size()) {
+      return make_status(
+          StatusCode::kDataLoss,
+          "checkpoint journal holds %zu accepted candidates but only %zu "
+          "replayed against this design (journal/design mismatch)",
+          replay.size(), replay_pos);
+    }
+    if (stopped) {
+      report_.deadline_expired = true;
+    } else if (writer_.is_open() && !search_done_in_journal) {
+      CheckpointRecord done;
+      done.kind = CheckpointRecord::Kind::Done;
+      const Status s = writer_.append(done);
+      if (!s.is_ok()) return s;
+    }
+
     // Final sign-off analysis with test generation. Routed through
     // reanalyze() (identity incremental placement) so a warm flow can
     // replay its seed tests and cone-restrict the PODEM retargeting to
-    // the accumulated rewrites.
+    // the accumulated rewrites. Sign-off is committed work: it runs to
+    // completion even when the deadline already expired.
     std::optional<FlowState> final_state;
     {
       const ScopedTimer t(report_.signoff_seconds);
       final_state = flow_.reanalyze(current.netlist, current.placement,
                                     /*generate_tests=*/true);
     }
+    if (!final_state) {
+      // Identity incremental placement of an already-placed design
+      // cannot run out of die.
+      fatal_invariant("resynthesize: final sign-off placement of '%s' "
+                      "did not fit",
+                      current.netlist.name().c_str());
+    }
+    if (writer_.is_open() && !stopped && !final_in_journal) {
+      CheckpointRecord fin;
+      fin.kind = CheckpointRecord::Kind::Final;
+      fin.undetectable = final_state->num_undetectable();
+      fin.smax = final_state->smax();
+      fin.faults = final_state->num_faults();
+      const Status s = writer_.append(fin);
+      if (!s.is_ok()) return s;
+    }
     report_.runtime_seconds =
         std::chrono::duration<double>(Clock::now() - t0).count();
-    return {std::move(*final_state), std::move(report_)};
+    return ResynthesisResult{std::move(*final_state), std::move(report_)};
   }
 
  private:
@@ -193,17 +319,100 @@ class Procedure {
   }
 
   /// Maps the region over the allowed cell subset and splices it in.
-  std::optional<Netlist> build_candidate(const FlowState& s,
-                                         std::span<const GateId> region,
-                                         const std::vector<bool>& banned) {
+  /// kUnsatisfiable = the allowed subset cannot implement the region (a
+  /// normal ladder outcome); other codes indicate a malformed region
+  /// (possible only when replaying a stale journal).
+  Expected<Netlist> build_candidate(const FlowState& s,
+                                    std::span<const GateId> region,
+                                    const std::vector<bool>& banned) {
     Netlist copy = s.netlist;
-    const Subcircuit sub = extract_subcircuit(copy, region);
+    auto sub = extract_subcircuit(copy, region);
+    if (!sub) return sub.status();
     MapOptions map_options;
     map_options.banned = banned;
-    auto mapped = technology_map(sub.circuit, flow_.target_ptr(), map_options);
-    if (!mapped) return std::nullopt;
-    replace_region(copy, sub, *mapped);
+    auto mapped = technology_map(sub->circuit, flow_.target_ptr(), map_options);
+    if (!mapped) return mapped.status();
+    auto spliced = replace_region(copy, *sub, *mapped);
+    if (!spliced) return spliced.status();
     return copy;
+  }
+
+  /// Pins a checkpoint journal to (procedure options, flow options,
+  /// initial design point, seed tests): everything that influences the
+  /// accepted-candidate sequence. parallel_ladder and dedup_candidates
+  /// are deliberately excluded — both are documented to leave the
+  /// sequence unchanged, so a journal survives a thread-count change.
+  std::uint64_t fingerprint(const FlowState& original) const {
+    std::uint64_t h = 0x243F6A8885A308D3ULL;
+    const auto mix = [&h](std::uint64_t v) {
+      h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    };
+    mix(static_cast<std::uint64_t>(options_.p1 * 1e9));
+    mix(static_cast<std::uint64_t>(options_.q_max));
+    mix(static_cast<std::uint64_t>(options_.max_iterations_per_phase));
+    mix(static_cast<std::uint64_t>(options_.trend_window));
+    mix(static_cast<std::uint64_t>(options_.reanalyses_per_iteration));
+    const FlowOptions& fo = flow_.options();
+    mix(fo.warm_start);
+    mix(static_cast<std::uint64_t>(fo.utilization * 1e9));
+    mix(fo.atpg.seed);
+    mix(static_cast<std::uint64_t>(fo.atpg.random_batches));
+    mix(static_cast<std::uint64_t>(fo.atpg.backtrack_limit));
+    mix(structural_hash(original.netlist, 0x13198A2E03707344ULL));
+    mix(original.num_faults());
+    mix(original.num_undetectable());
+    mix(original.smax());
+    for (const TestPattern& t : flow_.seed_tests()) {
+      for (const std::uint8_t b : t.frame0) mix(b);
+      for (const std::uint8_t b : t.frame1) mix(b);
+    }
+    return h;
+  }
+
+  /// Rebuilds one journaled acceptance through the deterministic
+  /// candidate path and commits it through the warm-start flow, exactly
+  /// as the original run's realization did. Any divergence (the journal
+  /// does not correspond to this design) is kDataLoss.
+  Expected<FlowState> replay_accept(const FlowState& cur,
+                                    const CheckpointRecord& rec) {
+    if (rec.banned.size() != flow_.target().num_cells()) {
+      return make_status(StatusCode::kDataLoss,
+                         "checkpoint replay: ban set covers %zu cells, "
+                         "target library has %u",
+                         rec.banned.size(), flow_.target().num_cells());
+    }
+    std::vector<GateId> region;
+    region.reserve(rec.region.size());
+    for (const std::uint32_t g : rec.region) region.push_back(GateId{g});
+    auto candidate = build_candidate(cur, region, rec.banned);
+    if (!candidate) {
+      return make_status(StatusCode::kDataLoss,
+                         "checkpoint replay: accepted candidate no longer "
+                         "builds: %s",
+                         candidate.status().message().c_str());
+    }
+    auto state = flow_.reanalyze(std::move(*candidate), cur.placement,
+                                 /*generate_tests=*/false);
+    if (!state) {
+      return make_status(StatusCode::kDataLoss,
+                         "checkpoint replay: die cannot absorb a journaled "
+                         "acceptance");
+    }
+    if (state->smax() != rec.smax ||
+        state->num_undetectable() != rec.undetectable) {
+      return make_status(
+          StatusCode::kDataLoss,
+          "checkpoint replay diverged: journal says smax=%llu U=%llu, "
+          "replayed candidate has smax=%zu U=%zu",
+          static_cast<unsigned long long>(rec.smax),
+          static_cast<unsigned long long>(rec.undetectable), state->smax(),
+          state->num_undetectable());
+    }
+    report_.trace.push_back({rec.q, rec.phase, state->smax(),
+                             state->num_undetectable(), /*accepted=*/true,
+                             rec.via_backtracking, rec.cell_name});
+    ++report_.replayed_accepts;
+    return std::move(*state);
   }
 
   std::string memo_key(std::span<const GateId> region,
@@ -242,15 +451,20 @@ class Procedure {
     const std::string key = memo_key(region, banned);
     if (auto it = memo_.find(key); it != memo_.end()) return it->second;
     CandMetrics m;
-    std::optional<Netlist> candidate;
-    {
+    Expected<Netlist> candidate = [&] {
       const ScopedTimer t(report_.build_seconds);
       ++report_.candidates_built;
-      candidate = build_candidate(cur, region, banned);
-    }
+      return build_candidate(cur, region, banned);
+    }();
     if (!candidate) {
       m.map_failed = true;
-      return memo_.emplace(std::move(key), m).first->second;
+      if (candidate.code() == StatusCode::kUnsatisfiable) {
+        return memo_.emplace(std::move(key), m).first->second;
+      }
+      // Not a search outcome (malformed region): report the failure but
+      // keep it out of the memo.
+      scratch_ = m;
+      return scratch_;
     }
 
     std::string sig;
@@ -282,8 +496,19 @@ class Procedure {
     } else {
       const ScopedTimer t(report_.u_in_seconds);
       ++report_.u_in_probes;
-      m.u_in_new = flow_.count_undetectable_internal_probe(
-          *candidate, &flow_.cache(), &overlay, &arenas_[0]);
+      auto u_in = flow_.count_undetectable_internal_probe(
+          *candidate, &flow_.cache(), &overlay, &arenas_[0], /*num_threads=*/0,
+          options_.cancel);
+      if (!u_in) {
+        // Cancelled mid-probe: partial verdicts are discarded, nothing
+        // is memoized, and the caller abandons the iteration.
+        ++report_.rungs_skipped;
+        scratch_ = m;
+        scratch_.cancelled = true;
+        scratch_.u_in_gate_failed = true;
+        return scratch_;
+      }
+      m.u_in_new = *u_in;
     }
     const std::size_t u_in_cur = count_undet_internal(cur);
     if (m.u_in_new >= u_in_cur) {
@@ -296,25 +521,32 @@ class Procedure {
       return scratch_;
     } else {
       --reanalyses_left_;
-      std::optional<FlowState> state;
-      {
+      Expected<FlowState> state = [&] {
         const ScopedTimer t(report_.probe_seconds);
         ++report_.full_probes;
-        state = flow_.reanalyze_probe(std::move(*candidate), cur.placement,
-                                      false, &flow_.cache(), &overlay,
-                                      &arenas_[0]);
-      }
+        return flow_.reanalyze_probe(std::move(*candidate), cur.placement,
+                                     false, &flow_.cache(), &overlay,
+                                     &arenas_[0], /*num_threads=*/0,
+                                     options_.cancel);
+      }();
       if (!state) {
-        m.area_failed = true;
+        if (state.code() != StatusCode::kUnsatisfiable) {
+          ++report_.rungs_skipped;
+          scratch_ = m;
+          scratch_.cancelled = true;
+          scratch_.u_in_gate_failed = true;
+          return scratch_;
+        }
+        m.area_failed = true;  // die full: a normal search outcome
       } else {
         m.undetectable = state->num_undetectable();
         m.smax = state->smax();
         m.faults = state->num_faults();
         m.delay = state->timing.critical_delay;
         m.power = state->timing.total_power();
-      }
-      if (state && options_.dedup_candidates) {
-        stash_.emplace(sig, Stash{std::move(*state), std::move(overlay)});
+        if (options_.dedup_candidates) {
+          stash_.emplace(sig, Stash{std::move(*state), std::move(overlay)});
+        }
       }
     }
     if (options_.dedup_candidates) sig_memo_.emplace(sig, m);
@@ -330,6 +562,11 @@ class Procedure {
                                    const std::vector<bool>& banned) {
     auto candidate = build_candidate(cur, region, banned);
     if (!candidate) return std::nullopt;
+    // Stage the acceptance for the checkpoint journal: record() appends
+    // exactly this (region, ban set) pair, which rebuilds the identical
+    // candidate on replay.
+    pending_region_.assign(region.begin(), region.end());
+    pending_banned_ = banned;
     if (options_.dedup_candidates) {
       const std::string sig = sig_key(*candidate);
       if (const auto it = stash_.find(sig); it != stash_.end()) {
@@ -376,6 +613,24 @@ class Procedure {
     report_.trace.push_back({q, phase, after.smax(),
                              after.num_undetectable(), accepted,
                              via_backtracking, banned_through});
+    if (accepted && writer_.is_open()) {
+      // Journal the acceptance before the search continues: after the
+      // fsync'd append returns, a crash at any later point replays this
+      // step. A failed append is surfaced at the next loop boundary.
+      CheckpointRecord rec;
+      rec.kind = CheckpointRecord::Kind::Accept;
+      rec.q = q;
+      rec.phase = phase;
+      rec.via_backtracking = via_backtracking;
+      rec.cell_name = banned_through;
+      rec.region.reserve(pending_region_.size());
+      for (const GateId g : pending_region_) rec.region.push_back(g.value());
+      rec.banned = pending_banned_;
+      rec.smax = after.smax();
+      rec.undetectable = after.num_undetectable();
+      const Status s = writer_.append(rec);
+      if (!s.is_ok() && journal_error_.is_ok()) journal_error_ = s;
+    }
   }
 
   /// One resynthesis iteration: scan cells in decreasing internal-fault
@@ -404,6 +659,7 @@ class Procedure {
       const std::string& cell_name = flow_.target().cell(cell).name;
 
       const CandMetrics& m = measure(cur, region, banned);
+      if (m.cancelled) return std::nullopt;  // abandon the iteration
       if (m.map_failed) break;  // subset insufficient; larger bans too
       if (m.u_in_gate_failed) continue;
 
@@ -472,13 +728,15 @@ class Procedure {
     const std::size_t group =
         std::max<std::size_t>(1, static_cast<std::size_t>(std::sqrt(n)));
 
-    // Verdict: 1 accept, -1 constraints violated, -2 acceptance failed.
+    // Verdict: 1 accept, -1 constraints violated, -2 acceptance failed,
+    // -3 cancelled (abandon backtracking entirely).
     const auto judge = [&](std::size_t frozen)
         -> std::pair<int, std::vector<GateId>> {
       std::vector<GateId> sub_region = keep;
       sub_region.insert(sub_region.end(), g_i.begin() + frozen, g_i.end());
       if (sub_region.empty()) return {-2, {}};
       const CandMetrics& m = measure(cur, sub_region, banned);
+      if (m.cancelled) return {-3, {}};
       if (m.map_failed || m.u_in_gate_failed) return {-2, {}};
       const bool ok_accept = accepts(cur, m, phase, p2);
       const bool ok_constraints = constraints_ok(m);
@@ -491,6 +749,7 @@ class Procedure {
     while (frozen < n) {
       frozen = std::min(n, frozen + group);
       auto [verdict, sub_region] = judge(frozen);
+      if (verdict == -3) return std::nullopt;
       if (verdict == 1) {
         auto state = realize(cur, sub_region, banned);
         if (state) {
@@ -504,6 +763,7 @@ class Procedure {
         const std::size_t group_start = frozen - std::min(frozen, group);
         for (std::size_t f = frozen; f-- > group_start;) {
           auto [verdict2, sub_region2] = judge(f);
+          if (verdict2 == -3) return std::nullopt;
           if (verdict2 == 1) {
             auto state = realize(cur, sub_region2, banned);
             if (state) {
@@ -559,6 +819,7 @@ class Procedure {
         rungs.size(), 1, workers,
         [&](int lane, std::size_t begin, std::size_t end) {
           for (std::size_t r = begin; r < end; ++r) {
+            if (cancel_expired(options_.cancel)) return;
             const auto tb = Clock::now();
             auto candidate = build_candidate(cur, region, rungs[r].banned);
             const double build_s =
@@ -577,11 +838,14 @@ class Procedure {
             FaultStatusCache overlay;
             CandMetrics m;
             const auto tu = Clock::now();
-            m.u_in_new = flow_.count_undetectable_internal_probe(
+            const auto u_in = flow_.count_undetectable_internal_probe(
                 *candidate, &flow_.cache(), &overlay,
-                &arenas_[static_cast<std::size_t>(lane)], /*num_threads=*/1);
+                &arenas_[static_cast<std::size_t>(lane)], /*num_threads=*/1,
+                options_.cancel);
             const double u_in_s =
                 std::chrono::duration<double>(Clock::now() - tu).count();
+            if (!u_in) continue;  // cancelled mid-probe: publish nothing
+            m.u_in_new = *u_in;
             if (m.u_in_new >= u_in_cur) {
               m.u_in_gate_failed = true;
               std::lock_guard lock(mutex);
@@ -604,9 +868,19 @@ class Procedure {
             auto state = flow_.reanalyze_probe(
                 std::move(*candidate), cur.placement, false, &flow_.cache(),
                 &overlay, &arenas_[static_cast<std::size_t>(lane)],
-                /*num_threads=*/1);
+                /*num_threads=*/1, options_.cancel);
             const double probe_s =
                 std::chrono::duration<double>(Clock::now() - tp).count();
+            if (!state && state.code() != StatusCode::kUnsatisfiable) {
+              // Cancelled mid-analysis: the u_in count is still complete,
+              // so keep it as a partial; the walk (if it resumes) will
+              // redo or skip the full analysis itself.
+              std::lock_guard lock(mutex);
+              ++report_.u_in_probes;
+              report_.u_in_seconds += u_in_s;
+              partial_u_in_.emplace(sig, m.u_in_new);
+              continue;
+            }
             if (!state) {
               m.area_failed = true;
             } else {
@@ -626,7 +900,7 @@ class Procedure {
             }
             sig_memo_.emplace(sig, m);
           }
-        });
+        }, options_.cancel);
   }
 
   /// A state was accepted: the base version changes, so every
@@ -662,12 +936,21 @@ class Procedure {
   std::uint64_t state_version_ = 0;
   int reanalyses_left_ = 0;
   CandMetrics scratch_;
+  /// Acceptance journal (no-op unless options_.checkpoint_dir is set).
+  CheckpointWriter writer_;
+  /// First journal-append failure; surfaced at the next loop boundary.
+  Status journal_error_;
+  /// (region, ban set) of the candidate realize() last built, staged for
+  /// the journal record of its acceptance.
+  std::vector<GateId> pending_region_;
+  std::vector<bool> pending_banned_;
 };
 
 }  // namespace
 
-ResynthesisResult resynthesize(DesignFlow& flow, const FlowState& original,
-                               const ResynthesisOptions& options) {
+Expected<ResynthesisResult> resynthesize(DesignFlow& flow,
+                                         const FlowState& original,
+                                         const ResynthesisOptions& options) {
   Procedure procedure(flow, original, options);
   return procedure.run(original);
 }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/core/flow.hpp"
+#include "src/util/cancel.hpp"
 
 namespace dfmres {
 
@@ -34,6 +35,24 @@ struct ResynthesisOptions {
   /// dedup_candidates and degenerates to the serial walk with a single
   /// worker.
   bool parallel_ladder = true;
+  /// Cooperative stop signal (deadline or explicit cancellation).
+  /// Speculative probes poll it; committed work (acceptance realization,
+  /// the final sign-off) always runs to completion, so on expiry the
+  /// procedure returns the best design accepted so far — never a
+  /// half-applied edit. Null = run to natural completion.
+  const CancelToken* cancel = nullptr;
+  /// Directory for the crash-safe acceptance journal (empty = no
+  /// checkpointing). Each accepted candidate is appended and fsync'd
+  /// before the search continues.
+  std::string checkpoint_dir;
+  /// Replay a journal found in `checkpoint_dir` before searching: the
+  /// accepted-candidate sequence is rebuilt through the deterministic
+  /// candidate path and committed via the warm-start flow, reconverging
+  /// to the identical design point, then the live search resumes where
+  /// the journal ends. A missing journal falls back to a fresh run; a
+  /// journal written by a different run (options / initial design /
+  /// seed-test mismatch) fails with kFailedPrecondition.
+  bool resume = false;
 };
 
 /// One evaluated candidate (for the Fig. 2 style per-iteration trace).
@@ -52,6 +71,15 @@ struct ResynthesisReport {
   bool any_accepted = false;
   std::vector<IterationRecord> trace;
   double runtime_seconds = 0.0;
+  /// The cancel token expired before the search finished: the result is
+  /// the best accepted design, not the converged one.
+  bool deadline_expired = false;
+  /// Ladder rungs abandoned because cancellation interrupted their
+  /// evaluation (their probes are discarded, never memoized).
+  std::size_t rungs_skipped = 0;
+  /// Acceptances reconstructed from a checkpoint journal instead of
+  /// searched for.
+  std::size_t replayed_accepts = 0;
   /// Candidate-evaluation economics of the inner loop (includes the
   /// speculative ladder work when parallel_ladder is on).
   std::size_t candidates_built = 0;  ///< region extractions + re-mappings
@@ -81,8 +109,15 @@ struct ResynthesisResult {
 ///    backtracking procedure (Section III-C);
 ///  - q (the delay/power envelope) is swept 0..q_max, each step applied
 ///    on top of the previous solution.
-[[nodiscard]] ResynthesisResult resynthesize(DesignFlow& flow,
-                                             const FlowState& original,
-                                             const ResynthesisOptions& options);
+///
+/// Cancellation is not an error: on deadline/cancel expiry the best
+/// accepted design is signed off and returned with
+/// `report.deadline_expired` set. Errors are reserved for checkpoint
+/// problems: journal IO failures, a fingerprint mismatch on resume
+/// (kFailedPrecondition), or a journal that no longer replays against
+/// this design (kDataLoss).
+[[nodiscard]] Expected<ResynthesisResult> resynthesize(
+    DesignFlow& flow, const FlowState& original,
+    const ResynthesisOptions& options);
 
 }  // namespace dfmres

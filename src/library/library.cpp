@@ -1,9 +1,8 @@
 #include "src/library/library.hpp"
 
 #include <cassert>
-#include <cstdlib>
 
-#include "src/util/logging.hpp"
+#include "src/util/status.hpp"
 
 namespace dfmres {
 
@@ -13,8 +12,10 @@ CellId Library::add(CellSpec spec) {
   const CellId id{static_cast<std::uint32_t>(cells_.size())};
   auto [it, inserted] = by_name_.emplace(spec.name, id);
   if (!inserted) {
-    log_error("duplicate cell name '%s' in library '%s'", spec.name.c_str(), name_.c_str());
-    std::abort();
+    // Libraries are assembled from compiled-in specs; a duplicate name is
+    // a defect in that table, not a runtime condition.
+    fatal_invariant("duplicate cell name '%s' in library '%s'",
+                    spec.name.c_str(), name_.c_str());
   }
   cells_.push_back(std::move(spec));
   return id;
@@ -26,11 +27,18 @@ std::optional<CellId> Library::find(std::string_view name) const {
   return it->second;
 }
 
+Expected<CellId> Library::lookup(std::string_view name) const {
+  if (const auto id = find(name)) return *id;
+  return make_status(StatusCode::kNotFound,
+                     "cell '%s' not found in library '%s' (%zu cells)",
+                     std::string(name).c_str(), name_.c_str(), cells_.size());
+}
+
 CellId Library::require(std::string_view name) const {
   auto id = find(name);
   if (!id) {
-    log_error("cell '%s' not found in library '%s'", std::string(name).c_str(), name_.c_str());
-    std::abort();
+    fatal_invariant("cell '%s' not found in library '%s'",
+                    std::string(name).c_str(), name_.c_str());
   }
   return *id;
 }

@@ -8,6 +8,7 @@
 
 #include "src/library/cell.hpp"
 #include "src/util/ids.hpp"
+#include "src/util/status.hpp"
 
 namespace dfmres {
 
@@ -25,7 +26,11 @@ class Library {
     return cells_[id.value()];
   }
   [[nodiscard]] std::optional<CellId> find(std::string_view name) const;
-  /// Like find() but aborts if absent; for library-internal wiring.
+  /// find() with a structured error carrying the library context; the
+  /// lookup of choice for anything fed by user input (parsers, CLI).
+  [[nodiscard]] Expected<CellId> lookup(std::string_view name) const;
+  /// Like find() but treats absence as an internal invariant breach
+  /// (fatal_invariant); only for compiled-in names.
   [[nodiscard]] CellId require(std::string_view name) const;
 
   [[nodiscard]] std::size_t num_cells() const { return cells_.size(); }

@@ -2,27 +2,28 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cstdlib>
 #include <unordered_map>
 #include <unordered_set>
 
-#include "src/util/logging.hpp"
+#include "src/util/status.hpp"
 
 namespace dfmres {
 
-Subcircuit extract_subcircuit(const Netlist& parent,
-                              std::span<const GateId> region) {
+Expected<Subcircuit> extract_subcircuit(const Netlist& parent,
+                                        std::span<const GateId> region) {
   std::unordered_set<std::uint32_t> in_region;
   in_region.reserve(region.size());
   for (GateId g : region) {
     if (!parent.gate_alive(g)) {
-      log_error("extract_subcircuit: dead gate %u", g.value());
-      std::abort();
+      return make_status(StatusCode::kInvalidArgument,
+                         "extract_subcircuit: dead gate %u in region of '%s'",
+                         g.value(), parent.name().c_str());
     }
     if (parent.cell_of(g).sequential) {
-      log_error("extract_subcircuit: sequential gate %u in region",
-                g.value());
-      std::abort();
+      return make_status(
+          StatusCode::kInvalidArgument,
+          "extract_subcircuit: sequential gate %u (cell '%s') in region",
+          g.value(), parent.cell_of(g).name.c_str());
     }
     in_region.insert(g.value());
   }
@@ -84,15 +85,16 @@ Subcircuit extract_subcircuit(const Netlist& parent,
   return sub;
 }
 
-std::vector<GateId> replace_region(Netlist& parent, const Subcircuit& sub,
-                                   const Netlist& replacement) {
+Expected<std::vector<GateId>> replace_region(Netlist& parent,
+                                             const Subcircuit& sub,
+                                             const Netlist& replacement) {
   if (replacement.primary_inputs().size() != sub.boundary_inputs.size() ||
       replacement.primary_outputs().size() != sub.boundary_outputs.size()) {
-    log_error("replace_region: boundary mismatch (pi %zu vs %zu, po %zu vs %zu)",
-              replacement.primary_inputs().size(), sub.boundary_inputs.size(),
-              replacement.primary_outputs().size(),
-              sub.boundary_outputs.size());
-    std::abort();
+    return make_status(
+        StatusCode::kInvalidArgument,
+        "replace_region: boundary mismatch (pi %zu vs %zu, po %zu vs %zu)",
+        replacement.primary_inputs().size(), sub.boundary_inputs.size(),
+        replacement.primary_outputs().size(), sub.boundary_outputs.size());
   }
 
   for (GateId g : sub.region) parent.remove_gate(g);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/netlist/netlist.hpp"
+#include "src/util/status.hpp"
 
 namespace dfmres {
 
@@ -18,21 +19,22 @@ struct Subcircuit {
 };
 
 /// Extracts the subcircuit induced by `region` (combinational gates only;
-/// sequential gates in the span are rejected with abort). Boundary inputs
-/// are nets consumed by the region but driven outside it (or primary
-/// inputs); boundary outputs are region-driven nets with sinks outside the
-/// region or primary-output markings.
-[[nodiscard]] Subcircuit extract_subcircuit(const Netlist& parent,
-                                            std::span<const GateId> region);
+/// dead or sequential gates in the span yield an invalid_argument status).
+/// Boundary inputs are nets consumed by the region but driven outside it
+/// (or primary inputs); boundary outputs are region-driven nets with sinks
+/// outside the region or primary-output markings.
+[[nodiscard]] Expected<Subcircuit> extract_subcircuit(
+    const Netlist& parent, std::span<const GateId> region);
 
 /// Splices `replacement` into `parent` in place of `sub.region`.
 /// `replacement` must have exactly sub.boundary_inputs.size() primary
 /// inputs and sub.boundary_outputs.size() primary outputs, positionally
-/// matched, and must use the same library as the parent. Wire-through and
+/// matched (invalid_argument otherwise, with the parent left untouched),
+/// and must use the same library as the parent. Wire-through and
 /// shared-driver outputs are merged onto their source nets. Returns the
 /// gates added to the parent.
-std::vector<GateId> replace_region(Netlist& parent, const Subcircuit& sub,
-                                   const Netlist& replacement);
+[[nodiscard]] Expected<std::vector<GateId>> replace_region(
+    Netlist& parent, const Subcircuit& sub, const Netlist& replacement);
 
 /// Kills every net that has neither driver nor sinks nor PI/PO marking.
 void sweep_dangling_nets(Netlist& nl);

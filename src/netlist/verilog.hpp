@@ -2,10 +2,10 @@
 
 #include <iosfwd>
 #include <memory>
-#include <optional>
 #include <string>
 
 #include "src/netlist/netlist.hpp"
+#include "src/util/status.hpp"
 
 namespace dfmres {
 
@@ -18,9 +18,11 @@ void write_verilog(const Netlist& nl, std::ostream& os);
 [[nodiscard]] std::string to_verilog(const Netlist& nl);
 
 /// Parses the structural subset emitted by write_verilog() against the
-/// given cell library. Returns nullopt (with a log message) on syntax
-/// errors, unknown cells, or dangling references.
-[[nodiscard]] std::optional<Netlist> read_verilog(
+/// given cell library. Returns an invalid_argument status with a
+/// line-numbered message on syntax errors, unknown cells or pins, open
+/// inputs, duplicate or dangling assigns, and netlists that fail
+/// validation (undriven nets, combinational cycles).
+[[nodiscard]] Expected<Netlist> read_verilog(
     std::string_view text, std::shared_ptr<const Library> lib);
 
 }  // namespace dfmres

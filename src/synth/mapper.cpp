@@ -199,38 +199,46 @@ void size_drives(Netlist& dst, const std::vector<bool>& banned) {
 
 }  // namespace
 
-std::optional<Netlist> technology_map(const Netlist& src,
-                                      std::shared_ptr<const Library> target,
-                                      const MapOptions& options) {
+Expected<Netlist> technology_map(const Netlist& src,
+                                 std::shared_ptr<const Library> target,
+                                 const MapOptions& options) {
   const Library& slib = src.library();
   const Library& tlib = *target;
   const MatchTable table(tlib, options.banned);
+  // Infeasibility under the allowed cell subset is a normal search
+  // outcome for the resynthesis ladder, not an error in the input; it is
+  // distinguished with kUnsatisfiable so callers can branch on code().
+  const auto unsat = [&](const char* what) {
+    return make_status(StatusCode::kUnsatisfiable,
+                       "technology_map: allowed cell subset of library '%s' "
+                       "cannot implement '%s' (%s)",
+                       tlib.name().c_str(), src.name().c_str(), what);
+  };
 
   // ---- classify gates: fixed (pass-through) vs mapped logic ----
-  const auto fixed_cell_of = [&](GateId g) -> std::optional<CellId> {
+  // Pass-through cell per gate slot; invalid = mapped logic.
+  std::vector<CellId> fixed_cell(src.gate_capacity(), CellId::invalid());
+  const auto live = src.live_gates();
+  for (GateId g : live) {
     const CellId sc = src.gate(g).cell;
     if (auto it = options.fixed_map.find(sc.value());
         it != options.fixed_map.end()) {
-      return it->second;
-    }
-    if (slib.cell(sc).sequential) {
+      fixed_cell[g.value()] = it->second;
+    } else if (slib.cell(sc).sequential) {
       const auto same = tlib.find(slib.cell(sc).name);
       if (!same) {
-        log_error("technology_map: sequential cell '%s' has no target "
-                  "mapping",
-                  slib.cell(sc).name.c_str());
-        std::abort();
+        return make_status(StatusCode::kFailedPrecondition,
+                           "technology_map: sequential cell '%s' has no "
+                           "mapping in target library '%s'",
+                           slib.cell(sc).name.c_str(), tlib.name().c_str());
       }
-      return *same;
+      fixed_cell[g.value()] = *same;
     }
-    return std::nullopt;
-  };
-
-  const auto live = src.live_gates();
+  }
   std::vector<GateId> fixed_gates;
   std::vector<bool> is_fixed_slot(src.gate_capacity(), false);
   for (GateId g : live) {
-    if (fixed_cell_of(g)) {
+    if (fixed_cell[g.value()].valid()) {
       fixed_gates.push_back(g);
       is_fixed_slot[g.value()] = true;
     }
@@ -267,9 +275,10 @@ std::optional<Netlist> technology_map(const Netlist& src,
       }
     }
     if (order.size() != num_logic) {
-      log_error("technology_map: cycle among mapped logic in '%s'",
-                src.name().c_str());
-      std::abort();
+      return make_status(StatusCode::kInvalidArgument,
+                         "technology_map: cycle among mapped logic in '%s' "
+                         "(%zu of %zu gates ordered)",
+                         src.name().c_str(), order.size(), num_logic);
     }
   }
 
@@ -408,10 +417,12 @@ std::optional<Netlist> technology_map(const Netlist& src,
       visited[node][static_cast<std::size_t>(phase)] = true;
       const PhaseBest& pb = best[node][static_cast<std::size_t>(phase)];
       if (aig.is_input(node)) {
-        if (phase == 1 && inv_delay >= kInf) return std::nullopt;
+        if (phase == 1 && inv_delay >= kInf) {
+          return unsat("no inverter available for a negated input");
+        }
         continue;
       }
-      if (!pb.valid()) return std::nullopt;
+      if (!pb.valid()) return unsat("an AIG node has no cover");
       if (pb.via_inv) {
         stack.emplace_back(node, phase ^ 1);
       } else {
@@ -500,7 +511,7 @@ std::optional<Netlist> technology_map(const Netlist& src,
   const std::size_t num_src_pos = src.primary_outputs().size();
   for (std::size_t i = 0; i < num_src_pos; ++i) {
     const NetId net = net_for_lit(aig.pos()[i]);
-    if (!net.valid()) return std::nullopt;  // unmaterializable constant
+    if (!net.valid()) return unsat("unmaterializable constant output");
     dst.mark_primary_output(net);
   }
   // Fixed gates.
@@ -510,7 +521,7 @@ std::optional<Netlist> technology_map(const Netlist& src,
     std::vector<NetId> fanins;
     for (std::size_t pin = 0; pin < gate.fanin.size(); ++pin, ++fo) {
       const NetId net = net_for_lit(aig.pos()[num_src_pos + fo]);
-      if (!net.valid()) return std::nullopt;
+      if (!net.valid()) return unsat("unmaterializable constant fanin");
       fanins.push_back(net);
     }
     std::vector<NetId> outputs;
@@ -523,7 +534,7 @@ std::optional<Netlist> technology_map(const Netlist& src,
           static_cast<std::size_t>(it - source_nets.begin());
       outputs.push_back(realized[input_ordinals[ordinal]][0]);
     }
-    dst.add_gate_driving(*fixed_cell_of(g), fanins, outputs);
+    dst.add_gate_driving(fixed_cell[g.value()], fanins, outputs);
   }
 
   size_drives(dst, options.banned);

@@ -8,6 +8,7 @@
 #include "src/netlist/netlist.hpp"
 #include "src/synth/aig.hpp"
 #include "src/synth/cuts.hpp"
+#include "src/util/status.hpp"
 
 namespace dfmres {
 
@@ -59,11 +60,12 @@ struct MapOptions {
 /// covered with library cells via priority-cut matching; sequential
 /// gates and `fixed_map` cells pass through unchanged.
 ///
-/// Returns nullopt when the allowed cell subset cannot implement the
-/// logic (this is how the resynthesis procedure discovers that cells
-/// i+1..m-1 are insufficient, eligibility condition (3) of Section
-/// III-B).
-[[nodiscard]] std::optional<Netlist> technology_map(
+/// Returns an kUnsatisfiable status when the allowed cell subset cannot
+/// implement the logic (this is how the resynthesis procedure discovers
+/// that cells i+1..m-1 are insufficient, eligibility condition (3) of
+/// Section III-B); other codes signal real input defects (a sequential
+/// cell with no target mapping, a cycle among the mapped logic).
+[[nodiscard]] Expected<Netlist> technology_map(
     const Netlist& src, std::shared_ptr<const Library> target,
     const MapOptions& options);
 

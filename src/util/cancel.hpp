@@ -1,0 +1,78 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+#include "src/util/status.hpp"
+
+namespace dfmres {
+
+/// A wall-clock budget expressed as a steady-clock point. Separate from
+/// CancelToken so budgets can be computed, compared, and narrowed
+/// ("whichever comes first") without touching cancellation state.
+struct Deadline {
+  std::chrono::steady_clock::time_point at{};
+  bool armed = false;
+
+  [[nodiscard]] static Deadline never() { return {}; }
+  [[nodiscard]] static Deadline after(std::chrono::nanoseconds budget) {
+    return {std::chrono::steady_clock::now() + budget, true};
+  }
+  [[nodiscard]] bool passed() const {
+    return armed && std::chrono::steady_clock::now() >= at;
+  }
+};
+
+/// Cooperative cancellation: long-running work polls `expired()` at
+/// coarse boundaries (per ATPG target, per ladder rung, every N PODEM
+/// backtracks, per thread-pool chunk) and unwinds cleanly when it turns
+/// true. A token trips either explicitly via `cancel()` (any thread) or
+/// implicitly when its deadline passes; once tripped it stays tripped
+/// (the deadline result is latched so steady-state polls are one relaxed
+/// atomic load).
+class CancelToken {
+ public:
+  CancelToken() = default;
+  explicit CancelToken(Deadline deadline) : deadline_(deadline) {}
+
+  [[nodiscard]] static CancelToken with_deadline(
+      std::chrono::nanoseconds budget) {
+    return CancelToken(Deadline::after(budget));
+  }
+
+  /// Explicit cancellation; safe from any thread.
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once cancelled or past the deadline. Const because polling is
+  /// semantically a read; the latch is an optimization.
+  [[nodiscard]] bool expired() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (deadline_.passed()) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool has_deadline() const { return deadline_.armed; }
+
+  /// The status an operation should propagate when it unwinds on this
+  /// token: deadline_exceeded for a timed budget, cancelled otherwise.
+  [[nodiscard]] Status to_status() const {
+    return deadline_.armed
+               ? make_status(StatusCode::kDeadlineExceeded,
+                             "deadline exceeded")
+               : make_status(StatusCode::kCancelled, "cancelled");
+  }
+
+ private:
+  mutable std::atomic<bool> cancelled_{false};
+  Deadline deadline_{};
+};
+
+/// Null-safe poll for optional-token plumbing.
+[[nodiscard]] inline bool cancel_expired(const CancelToken* token) {
+  return token != nullptr && token->expired();
+}
+
+}  // namespace dfmres

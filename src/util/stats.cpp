@@ -52,6 +52,7 @@ void AtpgCounters::merge(const AtpgCounters& other) {
   podem_backtracks += other.podem_backtracks;
   replay_drops += other.replay_drops;
   podem_targets_skipped += other.podem_targets_skipped;
+  cancelled_targets += other.cancelled_targets;
   phase0_seconds += other.phase0_seconds;
   phase1_seconds += other.phase1_seconds;
   phase2_seconds += other.phase2_seconds;
@@ -63,13 +64,14 @@ std::string AtpgCounters::summary() const {
   return strfmt(
       "atpg: %llu patterns, %llu detect_mask calls, %llu prop events, "
       "%llu backtracks, %llu replay drops, %llu podem skips, "
-      "phases %.3f/%.3f/%.3f/%.3fs, %d thread%s",
+      "%llu cancelled, phases %.3f/%.3f/%.3f/%.3fs, %d thread%s",
       static_cast<unsigned long long>(patterns_simulated),
       static_cast<unsigned long long>(detect_mask_calls),
       static_cast<unsigned long long>(propagation_events),
       static_cast<unsigned long long>(podem_backtracks),
       static_cast<unsigned long long>(replay_drops),
-      static_cast<unsigned long long>(podem_targets_skipped), phase0_seconds,
+      static_cast<unsigned long long>(podem_targets_skipped),
+      static_cast<unsigned long long>(cancelled_targets), phase0_seconds,
       phase1_seconds, phase2_seconds, phase3_seconds, threads_used,
       threads_used == 1 ? "" : "s");
 }
@@ -79,6 +81,7 @@ std::string AtpgCounters::json() const {
       "{\"patterns_simulated\": %llu, \"detect_mask_calls\": %llu, "
       "\"propagation_events\": %llu, \"podem_backtracks\": %llu, "
       "\"replay_drops\": %llu, \"podem_targets_skipped\": %llu, "
+      "\"cancelled_targets\": %llu, "
       "\"phase0_seconds\": %.6f, \"phase1_seconds\": %.6f, "
       "\"phase2_seconds\": %.6f, \"phase3_seconds\": %.6f, "
       "\"threads_used\": %d}",
@@ -87,7 +90,8 @@ std::string AtpgCounters::json() const {
       static_cast<unsigned long long>(propagation_events),
       static_cast<unsigned long long>(podem_backtracks),
       static_cast<unsigned long long>(replay_drops),
-      static_cast<unsigned long long>(podem_targets_skipped), phase0_seconds,
+      static_cast<unsigned long long>(podem_targets_skipped),
+      static_cast<unsigned long long>(cancelled_targets), phase0_seconds,
       phase1_seconds, phase2_seconds, phase3_seconds, threads_used);
 }
 

@@ -46,6 +46,7 @@ struct AtpgCounters {
   std::uint64_t podem_backtracks = 0;     ///< deterministic-search backtracks
   std::uint64_t replay_drops = 0;         ///< faults dropped by seed replay
   std::uint64_t podem_targets_skipped = 0;///< cone-untouched cached targets
+  std::uint64_t cancelled_targets = 0;    ///< left Unknown by cancellation
   double phase0_seconds = 0.0;            ///< seed test replay (warm start)
   double phase1_seconds = 0.0;            ///< random patterns + dropping
   double phase2_seconds = 0.0;            ///< PODEM + per-test drop sweeps

@@ -1,0 +1,68 @@
+#include "src/util/status.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/logging.hpp"
+
+namespace dfmres {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kFailedPrecondition: return "failed_precondition";
+    case StatusCode::kUnsatisfiable: return "unsatisfiable";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kDataLoss: return "data_loss";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  std::string out = status_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+namespace {
+
+std::string vformat(const char* fmt, va_list args) {
+  va_list copy;
+  va_copy(copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  if (n <= 0) return {};
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  return out;
+}
+
+}  // namespace
+
+Status make_status(StatusCode code, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::string message = vformat(fmt, args);
+  va_end(args);
+  return {code, std::move(message)};
+}
+
+void fatal_invariant(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  const std::string message = vformat(fmt, args);
+  va_end(args);
+  log_error("fatal invariant breach: %s", message.c_str());
+  std::abort();
+}
+
+}  // namespace dfmres

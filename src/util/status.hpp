@@ -1,0 +1,112 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dfmres {
+
+/// Canonical error space for every fallible operation in the stack.
+/// Codes are coarse on purpose: callers branch on the code (is this a
+/// constraint miss I can search past, a cancellation, or corruption?)
+/// and humans read the message.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,    ///< malformed input: parse errors, bad flag values
+  kNotFound,           ///< named entity absent: cell, benchmark, file
+  kFailedPrecondition, ///< state mismatch: checkpoint vs options/design
+  kUnsatisfiable,      ///< no solution under constraints: banned-subset
+                       ///< mapping, die too full for an edit
+  kDeadlineExceeded,   ///< cooperative deadline expiry
+  kCancelled,          ///< explicit cancellation request
+  kDataLoss,           ///< corrupt or truncated persistent record
+  kInternal,           ///< invariant breach surfaced instead of aborted
+};
+
+[[nodiscard]] const char* status_code_name(StatusCode code);
+
+/// Error (or success) descriptor: a code plus a human-readable message
+/// with context. Default-constructed Status is OK.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status ok() { return {}; }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+  /// "data_loss: journal record 12: bad checksum"
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// printf-style Status builder.
+[[nodiscard]] [[gnu::format(printf, 2, 3)]] Status make_status(
+    StatusCode code, const char* fmt, ...);
+
+/// The one deliberate process-abort in the codebase: logs the message
+/// and calls std::abort(). Reserved for internal invariants that are
+/// unreachable through any validated input — everything reachable from
+/// user input must return a Status instead.
+[[noreturn]] [[gnu::format(printf, 1, 2)]] void fatal_invariant(
+    const char* fmt, ...);
+
+/// A value or a Status, with std::optional-compatible accessors so call
+/// sites written against optional-returning APIs keep reading naturally
+/// (`if (!r) ...; use(*r)`). `value()` on an error is a programmer
+/// error and trips fatal_invariant with the carried status.
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Expected(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (status_.is_ok()) {
+      fatal_invariant("Expected constructed from an OK status");
+    }
+  }
+
+  [[nodiscard]] bool has_value() const { return value_.has_value(); }
+  explicit operator bool() const { return has_value(); }
+
+  [[nodiscard]] T& operator*() & { return *value_; }
+  [[nodiscard]] const T& operator*() const& { return *value_; }
+  [[nodiscard]] T&& operator*() && { return *std::move(value_); }
+  [[nodiscard]] T* operator->() { return &*value_; }
+  [[nodiscard]] const T* operator->() const { return &*value_; }
+
+  [[nodiscard]] T& value() & {
+    require_value();
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    require_value();
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    require_value();
+    return *std::move(value_);
+  }
+
+  /// OK when has_value().
+  [[nodiscard]] const Status& status() const { return status_; }
+  [[nodiscard]] StatusCode code() const { return status_.code(); }
+
+ private:
+  void require_value() const {
+    if (!value_.has_value()) {
+      fatal_invariant("Expected::value() on error: %s",
+                      status_.to_string().c_str());
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace dfmres

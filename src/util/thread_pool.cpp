@@ -41,6 +41,12 @@ void ThreadPool::worker_loop(std::stop_token stop) {
 void ThreadPool::run_chunks(Job& job, int lane) {
   job.in_flight.fetch_add(1);
   for (;;) {
+    if (cancel_expired(job.cancel)) {
+      // Park the cursor at the end so the other lanes (and the caller's
+      // completion predicate) see an exhausted job.
+      job.next.store(job.n);
+      break;
+    }
     const std::size_t begin = job.next.fetch_add(job.grain);
     if (begin >= job.n) break;
     const std::size_t end = std::min(job.n, begin + job.grain);
@@ -56,12 +62,16 @@ void ThreadPool::run_chunks(Job& job, int lane) {
 
 void ThreadPool::parallel_for(
     std::size_t n, std::size_t grain, int max_workers,
-    const std::function<void(int, std::size_t, std::size_t)>& fn) {
-  if (n == 0) return;
+    const std::function<void(int, std::size_t, std::size_t)>& fn,
+    const CancelToken* cancel) {
+  if (n == 0 || cancel_expired(cancel)) return;
   grain = std::max<std::size_t>(1, grain);
   const int lanes = std::min(max_workers, size());
   if (lanes <= 1 || n <= grain || workers_.empty()) {
-    fn(0, 0, n);
+    for (std::size_t begin = 0; begin < n; begin += grain) {
+      if (cancel_expired(cancel)) return;
+      fn(0, begin, std::min(n, begin + grain));
+    }
     return;
   }
 
@@ -69,6 +79,7 @@ void ThreadPool::parallel_for(
   job->fn = fn;
   job->n = n;
   job->grain = grain;
+  job->cancel = cancel;
   job->slots.store(lanes - 1);
   {
     std::lock_guard lock(mutex_);

@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/util/cancel.hpp"
+
 namespace dfmres {
 
 /// Persistent pool of `std::jthread` workers executing chunked
@@ -44,9 +46,13 @@ class ThreadPool {
   /// `max_workers` lanes (caller included) touch the job, and
   /// `max_workers <= 1` degenerates to a serial loop on the caller.
   /// Blocks until every chunk has completed. `fn` must not call
-  /// `parallel_for` on the same pool (no nesting).
+  /// `parallel_for` on the same pool (no nesting). An expired `cancel`
+  /// token stops further chunks from being claimed (chunks already
+  /// running finish; the items they would have covered are silently
+  /// skipped — only callers that discard cancelled results may pass it).
   void parallel_for(std::size_t n, std::size_t grain, int max_workers,
-                    const std::function<void(int, std::size_t, std::size_t)>& fn);
+                    const std::function<void(int, std::size_t, std::size_t)>& fn,
+                    const CancelToken* cancel = nullptr);
 
   /// `requested <= 0` resolves to `hardware_concurrency` (min 1).
   [[nodiscard]] static int resolve_threads(int requested);
@@ -61,6 +67,7 @@ class ThreadPool {
     std::function<void(int, std::size_t, std::size_t)> fn;
     std::size_t n = 0;
     std::size_t grain = 1;
+    const CancelToken* cancel = nullptr;
     std::atomic<std::size_t> next{0};
     std::atomic<int> in_flight{0};
     std::atomic<int> slots{0};  ///< extra workers still allowed to join

@@ -468,13 +468,13 @@ TEST(Engine, ParallelMatchesSerialOnSeedBenchmark) {
   std::string_view smallest;
   std::size_t smallest_gates = std::numeric_limits<std::size_t>::max();
   for (const auto name : benchmark_names()) {
-    const Netlist rtl = build_benchmark(name);
+    const Netlist rtl = build_benchmark(name).value();
     if (rtl.num_live_gates() < smallest_gates) {
       smallest_gates = rtl.num_live_gates();
       smallest = name;
     }
   }
-  const Netlist rtl = build_benchmark(smallest);
+  const Netlist rtl = build_benchmark(smallest).value();
   MapOptions mo;
   const Library& slib = rtl.library();
   const auto pin = [&](const char* src, const char* dst) {

@@ -13,7 +13,7 @@ namespace {
 class BenchmarkCircuit : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(BenchmarkCircuit, BuildsValidAndNonTrivial) {
-  const Netlist nl = build_benchmark(GetParam());
+  const Netlist nl = build_benchmark(GetParam()).value();
   EXPECT_TRUE(nl.validate().empty());
   EXPECT_GT(nl.num_live_gates(), 150u) << "blocks must be non-trivial";
   EXPECT_GT(nl.primary_inputs().size(), 8u);
@@ -23,8 +23,8 @@ TEST_P(BenchmarkCircuit, BuildsValidAndNonTrivial) {
 }
 
 TEST_P(BenchmarkCircuit, Deterministic) {
-  const Netlist a = build_benchmark(GetParam());
-  const Netlist b = build_benchmark(GetParam());
+  const Netlist a = build_benchmark(GetParam()).value();
+  const Netlist b = build_benchmark(GetParam()).value();
   EXPECT_EQ(a.num_live_gates(), b.num_live_gates());
   EXPECT_EQ(a.num_live_nets(), b.num_live_nets());
   // Same structure: spot-check gate cells in order.
@@ -36,7 +36,7 @@ TEST_P(BenchmarkCircuit, Deterministic) {
 }
 
 TEST_P(BenchmarkCircuit, MapsOntoStandardCells) {
-  const Netlist rtl = build_benchmark(GetParam());
+  const Netlist rtl = build_benchmark(GetParam()).value();
   MapOptions mo;
   const auto glib = generic_library();
   const auto tlib = osu018_library();
@@ -63,7 +63,7 @@ INSTANTIATE_TEST_SUITE_P(
 class MappingEquivalence : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(MappingEquivalence, RandomVectorsMatch) {
-  const Netlist rtl = build_benchmark(GetParam());
+  const Netlist rtl = build_benchmark(GetParam()).value();
   MapOptions mo;
   const auto glib = generic_library();
   const auto tlib = osu018_library();

@@ -37,7 +37,7 @@ FlowOptions fast_options() {
 
 TEST(DesignFlow, InitialFlowInvariants) {
   DesignFlow flow(osu018_library(), fast_options());
-  const FlowState s = flow.run_initial(small_block());
+  const FlowState s = flow.run_initial(small_block()).value();
   EXPECT_TRUE(s.netlist.validate().empty());
   EXPECT_EQ(s.atpg.status.size(), s.universe.size());
   EXPECT_GT(s.num_faults(), 100u);
@@ -75,7 +75,7 @@ TEST(DesignFlow, ReanalyzePreservesUntouchedFaultStatuses) {
   // rewrite, every fault outside the region keeps its status. Verify by
   // comparing a cached re-analysis against a cache-free one.
   DesignFlow flow(osu018_library(), fast_options());
-  const FlowState original = flow.run_initial(small_block());
+  const FlowState original = flow.run_initial(small_block()).value();
 
   // Rewrite: re-map one gate's region with its own cell banned -- a real
   // function-preserving local resynthesis step.
@@ -91,13 +91,13 @@ TEST(DesignFlow, ReanalyzePreservesUntouchedFaultStatuses) {
   ASSERT_TRUE(target.valid());
   {
     const GateId region[] = {target};
-    const Subcircuit sub = extract_subcircuit(edited, region);
+    const Subcircuit sub = extract_subcircuit(edited, region).value();
     MapOptions mo;
     mo.banned.assign(edited.library().num_cells(), false);
     mo.banned[edited.gate(target).cell.value()] = true;
     auto mapped = technology_map(sub.circuit, osu018_library(), mo);
     ASSERT_TRUE(mapped.has_value());
-    replace_region(edited, sub, *mapped);
+    EXPECT_TRUE(replace_region(edited, sub, *mapped).has_value());
   }
 
   auto cached = flow.reanalyze(edited, original.placement, false);
@@ -118,7 +118,7 @@ TEST(DesignFlow, ReanalyzePreservesUntouchedFaultStatuses) {
 
 TEST(DesignFlow, CountUndetectableInternalMatchesFullRun) {
   DesignFlow flow(osu018_library(), fast_options());
-  const FlowState s = flow.run_initial(small_block());
+  const FlowState s = flow.run_initial(small_block()).value();
   std::size_t u_in = 0;
   for (std::size_t i = 0; i < s.universe.size(); ++i) {
     u_in += s.universe.faults[i].scope == FaultScope::Internal &&
@@ -129,12 +129,12 @@ TEST(DesignFlow, CountUndetectableInternalMatchesFullRun) {
 
 TEST(Resynthesis, ImprovesCoverageWithinConstraints) {
   DesignFlow flow(osu018_library(), fast_options());
-  const FlowState original = flow.run_initial(small_block());
+  const FlowState original = flow.run_initial(small_block()).value();
 
   ResynthesisOptions options;
   options.q_max = 3;
   options.max_iterations_per_phase = 8;
-  const ResynthesisResult result = resynthesize(flow, original, options);
+  const ResynthesisResult result = resynthesize(flow, original, options).value();
 
   // U must not grow (monotone acceptance, paper Section I).
   EXPECT_LE(result.state.num_undetectable(), original.num_undetectable());
@@ -163,11 +163,11 @@ TEST(Resynthesis, ImprovesCoverageWithinConstraints) {
 
 TEST(Resynthesis, FunctionIsPreserved) {
   DesignFlow flow(osu018_library(), fast_options());
-  const FlowState original = flow.run_initial(small_block());
+  const FlowState original = flow.run_initial(small_block()).value();
   ResynthesisOptions options;
   options.q_max = 2;
   options.max_iterations_per_phase = 6;
-  const ResynthesisResult result = resynthesize(flow, original, options);
+  const ResynthesisResult result = resynthesize(flow, original, options).value();
 
   // Same combinational function on random vectors.
   const CombView va = CombView::build(original.netlist);

@@ -74,7 +74,7 @@ class DfmExtraction : public ::testing::Test {
   }
 
   static Netlist make_block() {
-    const Netlist rtl = build_benchmark("sparc_lsu");
+    const Netlist rtl = build_benchmark("sparc_lsu").value();
     MapOptions mo;
     const auto glib = generic_library();
     const auto tlib = osu018_library();

@@ -151,7 +151,7 @@ TEST_F(NetlistTest, ExtractSubcircuitBoundaries) {
   nl_.mark_primary_output(nl_.gate(inv2).outputs[0]);
 
   const GateId region[] = {nand};
-  const Subcircuit sub = extract_subcircuit(nl_, region);
+  const Subcircuit sub = extract_subcircuit(nl_, region).value();
   EXPECT_EQ(sub.boundary_inputs.size(), 2u);
   EXPECT_EQ(sub.boundary_outputs.size(), 1u);
   EXPECT_EQ(sub.circuit.num_live_gates(), 1u);
@@ -168,7 +168,7 @@ TEST_F(NetlistTest, ReplaceRegionPreservesStructure) {
 
   // Replace {nand, inv} (== AND) with AND2X2.
   const GateId region[] = {nand, inv};
-  const Subcircuit sub = extract_subcircuit(nl_, region);
+  const Subcircuit sub = extract_subcircuit(nl_, region).value();
   ASSERT_EQ(sub.boundary_inputs.size(), 2u);
   ASSERT_EQ(sub.boundary_outputs.size(), 1u);
 
@@ -179,7 +179,7 @@ TEST_F(NetlistTest, ReplaceRegionPreservesStructure) {
   const GateId rand_gate = repl.add_gate(lib_->require("AND2X2"), ins);
   repl.mark_primary_output(repl.gate(rand_gate).outputs[0]);
 
-  const auto added = replace_region(nl_, sub, repl);
+  const auto added = replace_region(nl_, sub, repl).value();
   EXPECT_EQ(added.size(), 1u);
   EXPECT_EQ(nl_.num_live_gates(), 1u);
   EXPECT_TRUE(nl_.validate().empty());
@@ -199,13 +199,13 @@ TEST_F(NetlistTest, ReplaceRegionWireThroughMergesNets) {
   nl_.mark_primary_output(nl_.gate(sink).outputs[0]);
 
   const GateId region[] = {inv1, inv2};
-  const Subcircuit sub = extract_subcircuit(nl_, region);
+  const Subcircuit sub = extract_subcircuit(nl_, region).value();
 
   Netlist repl(lib_, "repl");
   const NetId ra = repl.add_primary_input();
   repl.mark_primary_output(ra);  // wire-through
 
-  const auto added = replace_region(nl_, sub, repl);
+  const auto added = replace_region(nl_, sub, repl).value();
   EXPECT_TRUE(added.empty());
   EXPECT_TRUE(nl_.validate().empty());
   // The surviving sink now reads the primary input directly.

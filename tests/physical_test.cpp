@@ -14,7 +14,7 @@ namespace dfmres {
 namespace {
 
 Netlist mapped_block(const char* name) {
-  const Netlist rtl = build_benchmark(name);
+  const Netlist rtl = build_benchmark(name).value();
   MapOptions mo;
   const auto glib = generic_library();
   const auto tlib = osu018_library();

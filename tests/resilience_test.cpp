@@ -1,0 +1,356 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/atpg/engine.hpp"
+#include "src/circuits/builder.hpp"
+#include "src/core/checkpoint.hpp"
+#include "src/core/flow.hpp"
+#include "src/core/resynthesis.hpp"
+#include "src/library/osu018.hpp"
+#include "src/netlist/verilog.hpp"
+#include "src/util/cancel.hpp"
+
+namespace dfmres {
+namespace {
+
+/// Same registered datapath as core_test: rich enough to produce
+/// undetectable internal faults and several resynthesis acceptances,
+/// small enough for complete ATPG in a unit test.
+Netlist small_block() {
+  CircuitBuilder cb("small");
+  const auto a = cb.dff_bus(cb.input_bus("a", 6));
+  const auto b = cb.dff_bus(cb.input_bus("b", 6));
+  const NetId cin = cb.input("cin");
+  auto [sum, carry] = cb.ripple_add(a, b, cin);
+  cb.output_bus(cb.dff_bus(sum));
+  cb.output(carry);
+  cb.output(cb.equals(a, b));
+  cb.output(cb.xor_n(sum));
+  return cb.take();
+}
+
+FlowOptions fast_options() {
+  FlowOptions options;
+  options.atpg.random_batches = 4;
+  options.atpg.backtrack_limit = 2000;
+  return options;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+void spew(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+// ---------------------------------------------------------------------
+// Cancellation primitives.
+// ---------------------------------------------------------------------
+
+TEST(CancelToken, ExplicitCancelLatches) {
+  CancelToken token;
+  EXPECT_FALSE(token.expired());
+  EXPECT_FALSE(token.has_deadline());
+  token.cancel();
+  EXPECT_TRUE(token.expired());
+  EXPECT_EQ(token.to_status().code(), StatusCode::kCancelled);
+  EXPECT_FALSE(cancel_expired(nullptr));
+  EXPECT_TRUE(cancel_expired(&token));
+}
+
+TEST(CancelToken, ExpiredDeadlineReportsDeadlineExceeded) {
+  const CancelToken token =
+      CancelToken::with_deadline(std::chrono::nanoseconds(0));
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_TRUE(token.expired());
+  EXPECT_EQ(token.to_status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancelToken, PreCancelledAtpgUnwindsWithoutClassifying) {
+  DesignFlow flow(osu018_library(), fast_options());
+  const FlowState s = flow.run_initial(small_block()).value();
+
+  CancelToken token;
+  token.cancel();
+  AtpgOptions options = fast_options().atpg;
+  options.cancel = &token;
+  const AtpgResult r = run_atpg(s.netlist, s.universe, flow.udfm(), options);
+  // The run must flag itself unusable; a partial classification is fine,
+  // but it cannot claim completeness.
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_EQ(r.status.size(), s.universe.size());
+  EXPECT_LT(r.num_detected + r.num_undetectable + r.num_aborted,
+            s.universe.size());
+}
+
+TEST(CancelToken, PreCancelledResynthesisReturnsOriginalDesign) {
+  DesignFlow flow(osu018_library(), fast_options());
+  const FlowState original = flow.run_initial(small_block()).value();
+
+  CancelToken token;
+  token.cancel();
+  ResynthesisOptions options;
+  options.cancel = &token;
+  const ResynthesisResult result =
+      resynthesize(flow, original, options).value();
+  EXPECT_TRUE(result.report.deadline_expired);
+  EXPECT_FALSE(result.report.any_accepted);
+  EXPECT_EQ(result.report.replayed_accepts, 0u);
+  // Nothing was accepted, so the "best accepted design" is the original.
+  EXPECT_EQ(to_verilog(result.state.netlist), to_verilog(original.netlist));
+  EXPECT_EQ(result.state.smax(), original.smax());
+  EXPECT_EQ(result.state.num_undetectable(), original.num_undetectable());
+  EXPECT_EQ(result.state.num_faults(), original.num_faults());
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint journal: format, durability, damage tolerance.
+// ---------------------------------------------------------------------
+
+TEST(Checkpoint, Crc32MatchesKnownVectors) {
+  EXPECT_EQ(crc32(""), 0u);
+  // The standard CRC-32/IEEE check value.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+}
+
+TEST(Checkpoint, MissingJournalIsNotFound) {
+  const auto journal =
+      read_checkpoint(testing::TempDir() + "dfmres_no_such_dir");
+  ASSERT_FALSE(journal);
+  EXPECT_EQ(journal.code(), StatusCode::kNotFound);
+}
+
+TEST(Checkpoint, JournalRoundTrip) {
+  const std::string dir = testing::TempDir() + "dfmres_ckpt_roundtrip";
+  CheckpointWriter writer;
+  ASSERT_TRUE(writer.open_fresh(dir, 0xDEADBEEFCAFEull).is_ok());
+
+  CheckpointRecord a;
+  a.kind = CheckpointRecord::Kind::Accept;
+  a.q = 3;
+  a.phase = 2;
+  a.via_backtracking = true;
+  a.cell_name = "NAND2X1";
+  a.region = {4, 7, 19};
+  a.banned = {true, false, true, false};
+  a.smax = 42;
+  a.undetectable = 7;
+  ASSERT_TRUE(writer.append(a).is_ok());
+
+  CheckpointRecord b;  // empty cell name must survive the round trip
+  b.kind = CheckpointRecord::Kind::Accept;
+  b.q = 5;
+  b.phase = 1;
+  b.region = {2};
+  b.banned = {false, false};
+  b.smax = 40;
+  b.undetectable = 6;
+  ASSERT_TRUE(writer.append(b).is_ok());
+
+  CheckpointRecord done;
+  done.kind = CheckpointRecord::Kind::Done;
+  ASSERT_TRUE(writer.append(done).is_ok());
+
+  CheckpointRecord fin;
+  fin.kind = CheckpointRecord::Kind::Final;
+  fin.undetectable = 6;
+  fin.smax = 40;
+  fin.faults = 1234;
+  ASSERT_TRUE(writer.append(fin).is_ok());
+  writer.close();
+
+  const auto journal = read_checkpoint(dir);
+  ASSERT_TRUE(journal);
+  EXPECT_EQ(journal->fingerprint, 0xDEADBEEFCAFEull);
+  EXPECT_TRUE(journal->search_complete());
+  ASSERT_EQ(journal->records.size(), 4u);
+
+  const CheckpointRecord& ra = journal->records[0];
+  EXPECT_EQ(ra.kind, CheckpointRecord::Kind::Accept);
+  EXPECT_EQ(ra.q, 3);
+  EXPECT_EQ(ra.phase, 2);
+  EXPECT_TRUE(ra.via_backtracking);
+  EXPECT_EQ(ra.cell_name, "NAND2X1");
+  EXPECT_EQ(ra.region, (std::vector<std::uint32_t>{4, 7, 19}));
+  EXPECT_EQ(ra.banned, (std::vector<bool>{true, false, true, false}));
+  EXPECT_EQ(ra.smax, 42u);
+  EXPECT_EQ(ra.undetectable, 7u);
+
+  EXPECT_EQ(journal->records[1].cell_name, "");
+  EXPECT_EQ(journal->records[2].kind, CheckpointRecord::Kind::Done);
+  const CheckpointRecord& rf = journal->records[3];
+  EXPECT_EQ(rf.kind, CheckpointRecord::Kind::Final);
+  EXPECT_EQ(rf.undetectable, 6u);
+  EXPECT_EQ(rf.smax, 40u);
+  EXPECT_EQ(rf.faults, 1234u);
+}
+
+TEST(Checkpoint, TornTailIsDroppedAndResumeTruncatesIt) {
+  const std::string dir = testing::TempDir() + "dfmres_ckpt_torn";
+  CheckpointWriter writer;
+  ASSERT_TRUE(writer.open_fresh(dir, 99).is_ok());
+  CheckpointRecord a;
+  a.region = {1, 2};
+  a.banned = {true};
+  a.smax = 10;
+  a.undetectable = 3;
+  ASSERT_TRUE(writer.append(a).is_ok());
+  writer.close();
+
+  const std::string path = checkpoint_journal_path(dir);
+  const std::string intact = slurp(path);
+  // A crash mid-append leaves a partial line with no valid checksum.
+  spew(path, intact + "A 0 1 0 NAND");
+
+  const auto journal = read_checkpoint(dir);
+  ASSERT_TRUE(journal);
+  ASSERT_EQ(journal->records.size(), 1u);
+  EXPECT_EQ(journal->valid_bytes, intact.size());
+  EXPECT_FALSE(journal->search_complete());
+
+  // Resuming truncates the torn tail for good and appends past it.
+  CheckpointWriter resumed;
+  ASSERT_TRUE(resumed.open_resume(dir, journal->valid_bytes).is_ok());
+  CheckpointRecord b = a;
+  b.q = 1;
+  ASSERT_TRUE(resumed.append(b).is_ok());
+  resumed.close();
+
+  const auto again = read_checkpoint(dir);
+  ASSERT_TRUE(again);
+  ASSERT_EQ(again->records.size(), 2u);
+  EXPECT_EQ(again->records[1].q, 1);
+}
+
+TEST(Checkpoint, InteriorCorruptionIsDataLoss) {
+  const std::string dir = testing::TempDir() + "dfmres_ckpt_corrupt";
+  CheckpointWriter writer;
+  ASSERT_TRUE(writer.open_fresh(dir, 7).is_ok());
+  CheckpointRecord a;
+  a.q = 3;
+  a.region = {1};
+  a.banned = {true};
+  ASSERT_TRUE(writer.append(a).is_ok());
+  CheckpointRecord b = a;
+  b.q = 5;
+  ASSERT_TRUE(writer.append(b).is_ok());
+  writer.close();
+
+  const std::string path = checkpoint_journal_path(dir);
+  std::string text = slurp(path);
+  // Flip the first record's q so its checksum no longer matches; the
+  // valid record after it turns silent damage into reportable data loss.
+  const auto pos = text.find("A 3");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 2] = '9';
+  spew(path, text);
+
+  const auto journal = read_checkpoint(dir);
+  ASSERT_FALSE(journal);
+  EXPECT_EQ(journal.code(), StatusCode::kDataLoss);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end resume determinism.
+// ---------------------------------------------------------------------
+
+TEST(Resilience, ResumeOfCompletedJournalReplaysWithoutSearching) {
+  const std::string dir = testing::TempDir() + "dfmres_resume_complete";
+  std::remove(checkpoint_journal_path(dir).c_str());
+
+  ResynthesisOptions options;
+  options.checkpoint_dir = dir;
+
+  DesignFlow flow1(osu018_library(), fast_options());
+  const FlowState orig1 = flow1.run_initial(small_block()).value();
+  const ResynthesisResult ref = resynthesize(flow1, orig1, options).value();
+  ASSERT_TRUE(ref.report.any_accepted);
+
+  ResynthesisOptions resume = options;
+  resume.resume = true;
+  DesignFlow flow2(osu018_library(), fast_options());
+  const FlowState orig2 = flow2.run_initial(small_block()).value();
+  const ResynthesisResult replayed =
+      resynthesize(flow2, orig2, resume).value();
+
+  // Every acceptance came from the journal; no candidate was searched.
+  EXPECT_EQ(replayed.report.replayed_accepts, ref.report.trace.size());
+  EXPECT_EQ(replayed.report.u_in_probes, 0u);
+  EXPECT_EQ(replayed.report.full_probes, 0u);
+  EXPECT_FALSE(replayed.report.deadline_expired);
+
+  // ...and it reconverged to the bit-identical design point.
+  EXPECT_EQ(to_verilog(replayed.state.netlist), to_verilog(ref.state.netlist));
+  EXPECT_EQ(replayed.state.smax(), ref.state.smax());
+  EXPECT_EQ(replayed.state.num_undetectable(), ref.state.num_undetectable());
+  EXPECT_EQ(replayed.state.num_faults(), ref.state.num_faults());
+  EXPECT_EQ(replayed.report.q_used, ref.report.q_used);
+  EXPECT_EQ(replayed.report.trace.size(), ref.report.trace.size());
+
+  // A journal is pinned to its (options, design, seed) fingerprint.
+  ResynthesisOptions other = resume;
+  other.q_max = 2;
+  DesignFlow flow3(osu018_library(), fast_options());
+  const FlowState orig3 = flow3.run_initial(small_block()).value();
+  const auto mismatch = resynthesize(flow3, orig3, other);
+  ASSERT_FALSE(mismatch);
+  EXPECT_EQ(mismatch.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Resilience, InterruptedThenResumedMatchesUninterrupted) {
+  // Reference: the uninterrupted run.
+  DesignFlow flow1(osu018_library(), fast_options());
+  const FlowState orig1 = flow1.run_initial(small_block()).value();
+  const ResynthesisResult ref =
+      resynthesize(flow1, orig1, ResynthesisOptions{}).value();
+
+  // Interrupted run: a deadline cuts the search mid-ladder; whatever
+  // was accepted up to that point is journaled. (If the machine is fast
+  // enough to finish inside the budget the journal is simply complete —
+  // the resumed run must match the reference either way.)
+  const std::string dir = testing::TempDir() + "dfmres_resume_interrupted";
+  std::remove(checkpoint_journal_path(dir).c_str());
+  DesignFlow flow2(osu018_library(), fast_options());
+  const FlowState orig2 = flow2.run_initial(small_block()).value();
+  const CancelToken token =
+      CancelToken::with_deadline(std::chrono::milliseconds(250));
+  ResynthesisOptions interrupted_options;
+  interrupted_options.cancel = &token;
+  interrupted_options.checkpoint_dir = dir;
+  const ResynthesisResult interrupted =
+      resynthesize(flow2, orig2, interrupted_options).value();
+
+  // Resume without a deadline and run to completion.
+  DesignFlow flow3(osu018_library(), fast_options());
+  const FlowState orig3 = flow3.run_initial(small_block()).value();
+  ResynthesisOptions resume_options;
+  resume_options.checkpoint_dir = dir;
+  resume_options.resume = true;
+  const ResynthesisResult resumed =
+      resynthesize(flow3, orig3, resume_options).value();
+
+  EXPECT_EQ(resumed.report.replayed_accepts,
+            interrupted.report.trace.size());
+  EXPECT_FALSE(resumed.report.deadline_expired);
+
+  // The resumed run is bit-identical to never having been interrupted.
+  EXPECT_EQ(to_verilog(resumed.state.netlist), to_verilog(ref.state.netlist));
+  EXPECT_EQ(resumed.state.smax(), ref.state.smax());
+  EXPECT_EQ(resumed.state.num_undetectable(), ref.state.num_undetectable());
+  EXPECT_EQ(resumed.state.num_faults(), ref.state.num_faults());
+  EXPECT_EQ(resumed.report.q_used, ref.report.q_used);
+  EXPECT_EQ(resumed.report.trace.size(), ref.report.trace.size());
+}
+
+}  // namespace
+}  // namespace dfmres

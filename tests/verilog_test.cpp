@@ -11,7 +11,7 @@ namespace dfmres {
 namespace {
 
 Netlist mapped_tlu() {
-  const Netlist rtl = build_benchmark("sparc_tlu");
+  const Netlist rtl = build_benchmark("sparc_tlu").value();
   MapOptions mo;
   const auto glib = generic_library();
   const auto tlib = osu018_library();
@@ -70,7 +70,11 @@ TEST(Verilog, RejectsUnknownCell) {
       "  BOGUS g0 (.A(a), .Y(n1));\n"
       "  assign po0 = n1;\nendmodule\n",
       osu018_library());
-  EXPECT_FALSE(r.has_value());
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.code(), StatusCode::kInvalidArgument);
+  // The error names the cell and the line it appeared on.
+  EXPECT_NE(r.status().message().find("BOGUS"), std::string::npos);
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
 }
 
 TEST(Verilog, RejectsOpenInput) {
@@ -79,7 +83,83 @@ TEST(Verilog, RejectsOpenInput) {
       "  NAND2X1 g0 (.A(a), .Y(n1));\n"
       "  assign po0 = n1;\nendmodule\n",
       osu018_library());
-  EXPECT_FALSE(r.has_value());
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("g0"), std::string::npos);
+}
+
+TEST(Verilog, RejectsTruncatedModule) {
+  // Input that stops mid-instance: the parser must fail with a located
+  // error, not crash or hang.
+  const auto r = read_verilog(
+      "module m (a, po0); input a; output po0; wire n1;\n"
+      "  INVX1 g0 (.A(a),",
+      osu018_library());
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Verilog, RejectsMissingEndmodule) {
+  const auto r = read_verilog(
+      "module m (a, po0); input a; output po0; wire n1;\n"
+      "  INVX1 g0 (.A(a), .Y(n1));\n"
+      "  assign po0 = n1;\n",
+      osu018_library());
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("endmodule"), std::string::npos);
+}
+
+TEST(Verilog, RejectsDanglingPin) {
+  // Pin name that does not exist on the cell.
+  const auto r = read_verilog(
+      "module m (a, po0); input a; output po0; wire n1;\n"
+      "  INVX1 g0 (.A(a), .Q(n1));\n"
+      "  assign po0 = n1;\nendmodule\n",
+      osu018_library());
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("Q"), std::string::npos);
+}
+
+TEST(Verilog, RejectsDuplicateAssign) {
+  const auto r = read_verilog(
+      "module m (a, po0); input a; output po0; wire n1; wire n2;\n"
+      "  INVX1 g0 (.A(a), .Y(n1));\n"
+      "  INVX1 g1 (.A(n1), .Y(n2));\n"
+      "  assign po0 = n1;\n"
+      "  assign po0 = n2;\n"
+      "endmodule\n",
+      osu018_library());
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.code(), StatusCode::kInvalidArgument);
+  // Both conflicting lines are cited.
+  EXPECT_NE(r.status().message().find("line 5"), std::string::npos);
+  EXPECT_NE(r.status().message().find("line 4"), std::string::npos);
+}
+
+TEST(Verilog, RejectsUndeclaredAssignSource) {
+  const auto r = read_verilog(
+      "module m (a, po0); input a; output po0; wire n1;\n"
+      "  INVX1 g0 (.A(a), .Y(n1));\n"
+      "  assign po0 = ghost;\nendmodule\n",
+      osu018_library());
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("ghost"), std::string::npos);
+}
+
+TEST(Verilog, RejectsCombinationalCycle) {
+  // Structurally well-formed but cyclic: validation turns it into a
+  // parse error instead of letting topological_order trip downstream.
+  const auto r = read_verilog(
+      "module m (a, po0); input a; output po0; wire n1; wire n2;\n"
+      "  NAND2X1 g0 (.A(a), .B(n2), .Y(n1));\n"
+      "  NAND2X1 g1 (.A(a), .B(n1), .Y(n2));\n"
+      "  assign po0 = n1;\nendmodule\n",
+      osu018_library());
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.code(), StatusCode::kInvalidArgument);
 }
 
 TEST(Verilog, ParsesHandWrittenModule) {

@@ -70,13 +70,13 @@ struct PipelineRun {
 PipelineRun run_pipeline(const Netlist& rtl, bool warm, bool parallel_ladder,
                          int threads) {
   DesignFlow flow(osu018_library(), flow_options(warm, threads));
-  const FlowState original = flow.run_initial(rtl);
+  const FlowState original = flow.run_initial(rtl).value();
   ResynthesisOptions options;
   options.q_max = 2;
   options.max_iterations_per_phase = 6;
   options.dedup_candidates = warm;
   options.parallel_ladder = parallel_ladder;
-  ResynthesisResult result = resynthesize(flow, original, options);
+  ResynthesisResult result = resynthesize(flow, original, options).value();
   return {std::move(result.state), std::move(result.report),
           flow.atpg_totals()};
 }
@@ -123,13 +123,13 @@ Netlist remap_one_gate(const Netlist& base) {
   }
   EXPECT_TRUE(target.valid());
   const GateId region[] = {target};
-  const Subcircuit sub = extract_subcircuit(edited, region);
+  const Subcircuit sub = extract_subcircuit(edited, region).value();
   MapOptions mo;
   mo.banned.assign(edited.library().num_cells(), false);
   mo.banned[edited.gate(target).cell.value()] = true;
   auto mapped = technology_map(sub.circuit, osu018_library(), mo);
   EXPECT_TRUE(mapped.has_value());
-  replace_region(edited, sub, *mapped);
+  EXPECT_TRUE(replace_region(edited, sub, *mapped).has_value());
   return edited;
 }
 
@@ -161,7 +161,7 @@ TEST(WarmStart, CachedStatusesMatchColdRecomputeAfterRewrite) {
   // + cache) classifies every fault exactly as a cold flow that has
   // never seen the design.
   DesignFlow warm_flow(osu018_library(), flow_options(true, 1));
-  const FlowState original = warm_flow.run_initial(block_a());
+  const FlowState original = warm_flow.run_initial(block_a()).value();
   const Netlist edited = remap_one_gate(original.netlist);
 
   auto warm = warm_flow.reanalyze(edited, original.placement,
@@ -198,7 +198,7 @@ TEST(WarmStart, ReplayAndConeCountersAdvance) {
 
 TEST(WarmStart, SeedWidthMismatchIsIgnored) {
   DesignFlow flow(osu018_library(), flow_options(true, 1));
-  const FlowState s = flow.run_initial(block_a());
+  const FlowState s = flow.run_initial(block_a()).value();
   const std::size_t reference = flow.count_undetectable_internal(s.netlist);
   // Replace the seed set with patterns of a bogus frame width: the
   // engine must ignore them (guard in run_atpg) and still agree.
@@ -215,18 +215,18 @@ TEST(WarmStart, ArenaReuseAcrossDesignsIsTransparent) {
   // One arena rebound across differently-sized netlists returns the same
   // classifications as fresh per-call simulators.
   DesignFlow flow(osu018_library(), flow_options(true, 1));
-  const FlowState s = flow.run_initial(block_a());
+  const FlowState s = flow.run_initial(block_a()).value();
   const Netlist edited = remap_one_gate(s.netlist);
 
   FaultSimArena shared;
   FaultStatusCache o1, o2, o3, o4;
-  const std::size_t u_edit_shared = flow.count_undetectable_internal_probe(
+  const std::size_t u_edit_shared = *flow.count_undetectable_internal_probe(
       edited, &flow.cache(), &o1, &shared);
-  const std::size_t u_base_shared = flow.count_undetectable_internal_probe(
+  const std::size_t u_base_shared = *flow.count_undetectable_internal_probe(
       s.netlist, &flow.cache(), &o2, &shared);
-  const std::size_t u_edit_fresh = flow.count_undetectable_internal_probe(
+  const std::size_t u_edit_fresh = *flow.count_undetectable_internal_probe(
       edited, &flow.cache(), &o3, nullptr);
-  const std::size_t u_base_fresh = flow.count_undetectable_internal_probe(
+  const std::size_t u_base_fresh = *flow.count_undetectable_internal_probe(
       s.netlist, &flow.cache(), &o4, nullptr);
   EXPECT_EQ(u_edit_shared, u_edit_fresh);
   EXPECT_EQ(u_base_shared, u_base_fresh);

@@ -7,12 +7,19 @@
 //       and print the fault/cluster summary. A .v argument is parsed as
 //       structural Verilog over the OSU018-style library.
 //   dfmres resyn <circuit|file.v> [--q 5] [--p1 1.0] [--write out.v]
+//                [--deadline 30s] [--checkpoint DIR] [--resume]
 //       Run the flow and then the paper's two-phase resynthesis
 //       procedure; print the before/after comparison.
 //   dfmres verilog <circuit>
 //       Map a benchmark and dump it as structural Verilog to stdout.
+//
+// Exit codes: 0 success, 1 runtime failure (reported with its status),
+// 2 usage / flag-validation error.
 
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -39,12 +46,82 @@ int usage() {
                "[--threads N]\n"
                "  dfmres resyn <circuit|file.v> [--q N] [--p1 PCT] "
                "[--write out.v] [--threads N] [--cold]\n"
+               "               [--deadline D] [--checkpoint DIR] [--resume]\n"
                "  dfmres verilog <circuit>\n"
                "  --threads N: fault-simulation worker lanes "
                "(0 = hardware, 1 = serial; results are identical)\n"
                "  --cold: disable warm-start ATPG, candidate dedup and the "
-               "parallel ladder (reference mode; same results, slower)\n");
+               "parallel ladder (reference mode; same results, slower)\n"
+               "  --deadline D: stop searching after D (e.g. 500ms, 30s, "
+               "2m) and keep the best accepted design\n"
+               "  --checkpoint DIR: journal every accepted candidate to "
+               "DIR, fsync'd, for crash recovery\n"
+               "  --resume: replay the journal in --checkpoint DIR before "
+               "searching\n");
   return 2;
+}
+
+/// Validated integer flag value: the whole string must parse and land in
+/// [min, max]. On failure names the flag, prints to stderr, returns
+/// false.
+bool parse_long(const char* flag, const char* text, long min, long max,
+                long* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || v < min || v > max) {
+    std::fprintf(stderr, "invalid value '%s' for %s (expected integer in "
+                 "[%ld, %ld])\n", text, flag, min, max);
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+/// Validated floating-point flag value in [min, max].
+bool parse_double(const char* flag, const char* text, double min, double max,
+                  double* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE || !(v >= min) ||
+      !(v <= max)) {
+    std::fprintf(stderr, "invalid value '%s' for %s (expected number in "
+                 "[%g, %g])\n", text, flag, min, max);
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+/// Duration flag value: "<n>ms", "<n>s", "<n>m", or a bare "<n>" meaning
+/// seconds.
+bool parse_duration(const char* flag, const char* text,
+                    std::chrono::nanoseconds* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  double scale_s = 1.0;
+  if (end != text) {
+    if (!std::strcmp(end, "ms")) {
+      scale_s = 1e-3;
+      end += 2;
+    } else if (!std::strcmp(end, "s")) {
+      end += 1;
+    } else if (!std::strcmp(end, "m")) {
+      scale_s = 60.0;
+      end += 1;
+    }
+  }
+  if (end == text || *end != '\0' || errno == ERANGE || !(v > 0) ||
+      v * scale_s > 1e9) {
+    std::fprintf(stderr, "invalid value '%s' for %s (expected a positive "
+                 "duration such as 500ms, 30s or 2m)\n", text, flag);
+    return false;
+  }
+  *out = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(v * scale_s));
+  return true;
 }
 
 bool ends_with(const std::string& s, const char* suffix) {
@@ -66,18 +143,20 @@ std::optional<Netlist> load_design(const std::string& name, bool* is_mapped) {
     text << in.rdbuf();
     auto nl = read_verilog(text.str(), osu018_library());
     if (!nl) {
-      std::fprintf(stderr, "failed to parse '%s'\n", name.c_str());
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   nl.status().to_string().c_str());
       return std::nullopt;
     }
     *is_mapped = true;
-    return nl;
+    return std::move(*nl);
   }
-  for (const auto n : benchmark_names()) {
-    if (n == name) return build_benchmark(name);
+  auto nl = build_benchmark(name);
+  if (!nl) {
+    std::fprintf(stderr, "%s (try 'dfmres list')\n",
+                 nl.status().to_string().c_str());
+    return std::nullopt;
   }
-  std::fprintf(stderr, "unknown circuit '%s' (try 'dfmres list')\n",
-               name.c_str());
-  return std::nullopt;
+  return std::move(*nl);
 }
 
 void print_state(const char* label, const FlowState& s,
@@ -92,8 +171,16 @@ void print_state(const char* label, const FlowState& s,
       100.0 * s.timing.total_power() / ref.timing.total_power());
 }
 
-FlowState run_flow(DesignFlow& flow, const Netlist& design, bool is_mapped) {
-  if (!is_mapped) return flow.run_initial(design);
+std::optional<FlowState> run_flow(DesignFlow& flow, const Netlist& design,
+                                  bool is_mapped) {
+  if (!is_mapped) {
+    auto state = flow.run_initial(design);
+    if (!state) {
+      std::fprintf(stderr, "%s\n", state.status().to_string().c_str());
+      return std::nullopt;
+    }
+    return std::move(*state);
+  }
   // Already mapped: place in a fresh floorplan and analyze.
   const Floorplan plan =
       make_floorplan(design, flow.options().utilization);
@@ -101,6 +188,11 @@ FlowState run_flow(DesignFlow& flow, const Netlist& design, bool is_mapped) {
       global_place(design, plan, flow.options().place);
   auto state = flow.reanalyze_with_placement(design, placement,
                                              /*generate_tests=*/true);
+  if (!state) {
+    std::fprintf(stderr, "initial placement of '%s' did not fit the die\n",
+                 design.name().c_str());
+    return std::nullopt;
+  }
   return std::move(*state);
 }
 
@@ -119,9 +211,14 @@ int cmd_flow(int argc, char** argv) {
     if (!std::strcmp(argv[i], "--write") && i + 1 < argc) {
       write_path = argv[++i];
     } else if (!std::strcmp(argv[i], "--util") && i + 1 < argc) {
-      options.utilization = std::atof(argv[++i]);
+      if (!parse_double("--util", argv[++i], 0.05, 1.0,
+                        &options.utilization)) {
+        return 2;
+      }
     } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
-      options.atpg.num_threads = std::atoi(argv[++i]);
+      long threads = 0;
+      if (!parse_long("--threads", argv[++i], 0, 1024, &threads)) return 2;
+      options.atpg.num_threads = static_cast<int>(threads);
     } else if (!std::strcmp(argv[i], "--cold")) {
       options.warm_start = false;
     } else {
@@ -132,18 +229,20 @@ int cmd_flow(int argc, char** argv) {
   const auto design = load_design(argv[0], &is_mapped);
   if (!design) return 1;
   DesignFlow flow(osu018_library(), options);
-  const FlowState state = run_flow(flow, *design, is_mapped);
-  std::printf("%s", describe(state.netlist).c_str());
-  print_state("flow", state, nullptr);
-  std::printf("%s\n", state.atpg.counters.summary().c_str());
+  const auto state = run_flow(flow, *design, is_mapped);
+  if (!state) return 1;
+  std::printf("%s", describe(state->netlist).c_str());
+  print_state("flow", *state, nullptr);
+  std::printf("%s\n", state->atpg.counters.summary().c_str());
   std::printf("clusters:");
-  for (std::size_t i = 0; i < state.clusters.clusters.size() && i < 10; ++i) {
-    std::printf(" %zu", state.clusters.clusters[i].size());
+  for (std::size_t i = 0; i < state->clusters.clusters.size() && i < 10;
+       ++i) {
+    std::printf(" %zu", state->clusters.clusters[i].size());
   }
   std::printf("\n");
   if (!write_path.empty()) {
     std::ofstream out(write_path);
-    write_verilog(state.netlist, out);
+    write_verilog(state->netlist, out);
     std::printf("wrote %s\n", write_path.c_str());
   }
   return 0;
@@ -154,37 +253,73 @@ int cmd_resyn(int argc, char** argv) {
   std::string write_path;
   ResynthesisOptions options;
   FlowOptions flow_options;
+  std::chrono::nanoseconds deadline{0};
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--q") && i + 1 < argc) {
-      options.q_max = std::atoi(argv[++i]);
+      long q = 0;
+      if (!parse_long("--q", argv[++i], 0, 100, &q)) return 2;
+      options.q_max = static_cast<int>(q);
     } else if (!std::strcmp(argv[i], "--p1") && i + 1 < argc) {
-      options.p1 = std::atof(argv[++i]) / 100.0;
+      double pct = 0.0;
+      if (!parse_double("--p1", argv[++i], 0.0, 100.0, &pct)) return 2;
+      options.p1 = pct / 100.0;
     } else if (!std::strcmp(argv[i], "--write") && i + 1 < argc) {
       write_path = argv[++i];
     } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
-      flow_options.atpg.num_threads = std::atoi(argv[++i]);
+      long threads = 0;
+      if (!parse_long("--threads", argv[++i], 0, 1024, &threads)) return 2;
+      flow_options.atpg.num_threads = static_cast<int>(threads);
     } else if (!std::strcmp(argv[i], "--cold")) {
       flow_options.warm_start = false;
       options.dedup_candidates = false;
       options.parallel_ladder = false;
+    } else if (!std::strcmp(argv[i], "--deadline") && i + 1 < argc) {
+      if (!parse_duration("--deadline", argv[++i], &deadline)) return 2;
+    } else if (!std::strcmp(argv[i], "--checkpoint") && i + 1 < argc) {
+      options.checkpoint_dir = argv[++i];
+    } else if (!std::strcmp(argv[i], "--resume")) {
+      options.resume = true;
     } else {
       return usage();
     }
+  }
+  if (options.resume && options.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint DIR\n");
+    return 2;
   }
   bool is_mapped = false;
   const auto design = load_design(argv[0], &is_mapped);
   if (!design) return 1;
   DesignFlow flow(osu018_library(), flow_options);
-  const FlowState original = run_flow(flow, *design, is_mapped);
-  print_state("orig", original, nullptr);
-  const ResynthesisResult result = resynthesize(flow, original, options);
-  print_state("resyn", result.state, &original);
-  std::printf("%s\n", result.state.atpg.counters.summary().c_str());
+  const auto original = run_flow(flow, *design, is_mapped);
+  if (!original) return 1;
+  print_state("orig", *original, nullptr);
+  // Not assignable (atomic latch), so arm the deadline at construction.
+  const CancelToken cancel = deadline.count() > 0
+                                 ? CancelToken::with_deadline(deadline)
+                                 : CancelToken();
+  if (deadline.count() > 0) options.cancel = &cancel;
+  auto result = resynthesize(flow, *original, options);
+  if (!result) {
+    std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
+    return 1;
+  }
+  print_state("resyn", result->state, original ? &*original : nullptr);
+  std::printf("%s\n", result->state.atpg.counters.summary().c_str());
   std::printf("largest accepted q: %d%%  runtime: %.1fs\n",
-              result.report.q_used, result.report.runtime_seconds);
+              result->report.q_used, result->report.runtime_seconds);
+  if (result->report.deadline_expired) {
+    std::printf("deadline expired: returned the best accepted design "
+                "(%zu ladder rungs skipped)\n",
+                result->report.rungs_skipped);
+  }
+  if (result->report.replayed_accepts > 0) {
+    std::printf("resumed from checkpoint: %zu acceptance(s) replayed\n",
+                result->report.replayed_accepts);
+  }
   if (!write_path.empty()) {
     std::ofstream out(write_path);
-    write_verilog(result.state.netlist, out);
+    write_verilog(result->state.netlist, out);
     std::printf("wrote %s\n", write_path.c_str());
   }
   return 0;
@@ -207,7 +342,7 @@ int cmd_verilog(int argc, char** argv) {
   mo.fixed_map.emplace(glib->require("HA").value(), tlib->require("HAX1"));
   const auto mapped = technology_map(*design, tlib, mo);
   if (!mapped) {
-    std::fprintf(stderr, "mapping failed\n");
+    std::fprintf(stderr, "%s\n", mapped.status().to_string().c_str());
     return 1;
   }
   write_verilog(*mapped, std::cout);

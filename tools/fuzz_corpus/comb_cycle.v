@@ -1,0 +1,5 @@
+module m (a, po0); input a; output po0; wire n1; wire n2;
+  NAND2X1 g0 (.A(a), .B(n2), .Y(n1));
+  NAND2X1 g1 (.A(a), .B(n1), .Y(n2));
+  assign po0 = n1;
+endmodule

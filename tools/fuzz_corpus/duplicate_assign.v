@@ -1,0 +1,6 @@
+module m (a, po0); input a; output po0; wire n1; wire n2;
+  INVX1 g0 (.A(a), .Y(n1));
+  INVX1 g1 (.A(n1), .Y(n2));
+  assign po0 = n1;
+  assign po0 = n2;
+endmodule

@@ -1,0 +1,2 @@
+module m (a, po0); input a; output po0; wire n1;
+  INVX1 g0 (.A(a),

@@ -1,0 +1,4 @@
+module m (a, po0); input a; output po0; wire n1;
+  BOGUS g0 (.A(a), .Y(n1));
+  assign po0 = n1;
+endmodule

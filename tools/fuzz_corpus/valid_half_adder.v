@@ -1,0 +1,9 @@
+// seed: smallest well-formed module the parser accepts
+module half (a, b, po0, po1);
+  input a; input b;
+  output po0; output po1;
+  wire c; wire s;
+  HAX1 u0 (.A(a), .B(b), .YC(c), .YS(s));
+  assign po0 = c;
+  assign po1 = s;
+endmodule
