@@ -13,6 +13,7 @@ using namespace dfmres::bench;
 
 int main() {
   std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  BenchObservability obs("ablation_p1");
   const auto circuits = selected_circuits({"tv80"});
   for (const auto& name : circuits) {
     std::printf("==== p1 sweep: %s ====\n", name.c_str());
@@ -25,6 +26,9 @@ int main() {
       options.p1 = p1;
       const auto t0 = std::chrono::steady_clock::now();
       const ResynthesisResult result = resynthesize(flow, original, options).value();
+      obs.absorb(flow.atpg_totals());
+      obs.absorb(result.report);
+      obs.set_final(result.state);
       const double seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
               .count();

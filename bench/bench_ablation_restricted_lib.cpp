@@ -16,6 +16,7 @@ using namespace dfmres::bench;
 
 int main() {
   std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  BenchObservability obs("ablation_restricted_lib");
   const auto circuits = selected_circuits({"sparc_ifu", "sparc_fpu"});
   std::printf("==== Ablation: whole-library restriction vs procedure ====\n");
   std::printf("%-10s %-22s %8s %8s %8s %8s\n", "Circuit", "variant", "U",
@@ -25,6 +26,7 @@ int main() {
     DesignFlow flow(osu018_library(), bench_flow_options());
     const Netlist rtl = build_benchmark(name).value();
     const FlowState original = flow.run_initial(rtl).value();
+    obs.absorb(original.atpg.counters);
     const StateStats so = stats_of(original);
     std::printf("%-10s %-22s %8zu %7.2f%% %8s %8s\n", name.c_str(),
                 "original", so.u, 100.0 * so.coverage, "100%", "100%");

@@ -19,6 +19,7 @@ using namespace dfmres::bench;
 
 int main() {
   std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  BenchObservability obs("baseline_double_faults");
   std::printf("==== Baseline: double-fault test augmentation vs "
               "resynthesis ====\n");
   std::printf("%-10s %6s %8s %10s %10s %10s | %9s %7s\n", "Circuit", "T",
@@ -45,6 +46,9 @@ int main() {
     // The proposed alternative: resynthesize.
     const ResynthesisResult resyn =
         resynthesize(flow, original, bench_resyn_options()).value();
+    obs.absorb(flow.atpg_totals());
+    obs.absorb(resyn.report);
+    obs.set_final(resyn.state);
 
     std::printf("%-10s %6zu %8zu %8zu/%zu %10zu %9.1f%% | %9zu %7zu\n",
                 name.c_str(), original.atpg.tests.size(), targets.size(),

@@ -15,12 +15,16 @@ using namespace dfmres::bench;
 
 int main() {
   std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  BenchObservability obs("fig2_phases");
   const auto circuits = selected_circuits({"tv80"});
   for (const auto& name : circuits) {
     DesignFlow flow(osu018_library(), bench_flow_options());
     const FlowState original = flow.run_initial(build_benchmark(name).value()).value();
     const ResynthesisResult result =
         resynthesize(flow, original, bench_resyn_options()).value();
+    obs.absorb(flow.atpg_totals());
+    obs.absorb(result.report);
+    obs.set_final(result.state);
 
     std::printf("==== Fig. 2 trace: %s ====\n", name.c_str());
     std::printf("start: Smax=%zu U=%zu\n", original.smax(),

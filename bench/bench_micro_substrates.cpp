@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.hpp"
+
 #include "src/atpg/engine.hpp"
 #include "src/circuits/benchmarks.hpp"
 #include "src/core/flow.hpp"
@@ -162,4 +164,13 @@ BENCHMARK(BM_DfmExtraction);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the run emits the same machine-readable
+// report file as every other bench binary.
+int main(int argc, char** argv) {
+  dfmres::bench::BenchObservability obs("micro_substrates");
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -59,6 +59,7 @@ std::string largest_benchmark() {
 
 int main(int argc, char** argv) {
   std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  BenchObservability obs("parallel_atpg");
   const std::string circuit = argc > 1 ? argv[1] : largest_benchmark();
   const int repeats = [] {
     const char* env = std::getenv("DFMRES_BENCH_REPEATS");
@@ -106,6 +107,7 @@ int main(int argc, char** argv) {
         identical = false;
       }
     }
+    obs.absorb(run.counters);
     runs.push_back(run);
     std::printf("threads=%-2d best-of-%d %.3fs  %s\n", threads, repeats,
                 run.seconds, run.counters.summary().c_str());

@@ -17,6 +17,7 @@ using namespace dfmres::bench;
 
 int main() {
   std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  BenchObservability obs("table1");
   std::printf("==== Table I: clustered undetectable DFM faults ====\n");
   std::printf("%-10s %8s %8s %7s %7s %6s %6s %7s %9s\n", "Circuit", "F_In",
               "F_Ex", "U_In", "U_Ex", "G_U", "Gmax", "Smax", "%Smax_U");
@@ -27,6 +28,8 @@ int main() {
     const auto t0 = std::chrono::steady_clock::now();
     DesignFlow flow(osu018_library(), bench_flow_options());
     const FlowState state = flow.run_initial(build_benchmark(name).value()).value();
+    obs.absorb(state.atpg.counters);
+    obs.set_final(state);
     const StateStats s = stats_of(state);
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

@@ -135,6 +135,7 @@ std::string block_json(const std::string& name, const char* mode,
 
 int main() {
   std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  BenchObservability obs("table2");
   const bool compare_cold = bench_cold_mode();
   std::printf("==== Table II: resynthesis results ====\n");
   std::printf("%-10s %5s %8s %6s %8s %5s %6s %9s %7s %9s %9s %9s %7s\n",
@@ -154,6 +155,8 @@ int main() {
 
   for (const auto& name : circuits) {
     const BlockRun warm = run_block(name, /*cold=*/false);
+    obs.absorb(warm.counters);
+    obs.absorb(warm.report);
 
     Row orig;
     orig.inc = "orig";

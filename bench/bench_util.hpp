@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -8,7 +9,10 @@
 #include "src/circuits/benchmarks.hpp"
 #include "src/core/flow.hpp"
 #include "src/core/resynthesis.hpp"
+#include "src/core/run_report.hpp"
 #include "src/library/osu018.hpp"
+#include "src/util/metrics.hpp"
+#include "src/util/trace.hpp"
 
 namespace dfmres::bench {
 
@@ -71,6 +75,74 @@ inline std::vector<std::string> selected_circuits(
   }
   return out;
 }
+
+/// Uniform observability for the bench binaries: construct one at the
+/// top of main with the bench name; the destructor writes
+/// `BENCH_<name>_report.json` with the same run-report schema the CLI
+/// emits, plus `BENCH_<name>_metrics.json` when anything was absorbed.
+/// `DFMRES_BENCH_TRACE=1` additionally enables the span tracer and
+/// writes `BENCH_<name>_trace.json` — off by default so timing benches
+/// measure the disabled-tracer fast path.
+class BenchObservability {
+ public:
+  explicit BenchObservability(std::string name)
+      : name_(std::move(name)),
+        report_("bench_" + name_, /*circuit=*/"various"),
+        t0_(std::chrono::steady_clock::now()) {
+    const char* env = std::getenv("DFMRES_BENCH_TRACE");
+    trace_ = env != nullptr && env[0] != '\0' && env[0] != '0';
+    if (trace_) Tracer::instance().enable();
+  }
+
+  BenchObservability(const BenchObservability&) = delete;
+  BenchObservability& operator=(const BenchObservability&) = delete;
+
+  /// Folds one run's ATPG instrumentation into the bench-local registry.
+  void absorb(const AtpgCounters& counters) {
+    registry_.absorb(counters);
+    absorbed_ = true;
+  }
+  /// Folds a resynthesis report (counters + convergence series).
+  void absorb(const ResynthesisReport& report) {
+    publish_metrics(report, registry_);
+    report_.set_resynthesis(report);
+    absorbed_ = true;
+  }
+  void set_final(const FlowState& state) { report_.set_final(state); }
+  [[nodiscard]] MetricsRegistry& registry() { return registry_; }
+
+  ~BenchObservability() {
+    report_.set_runtime_seconds(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+            .count());
+    const std::string report_path = "BENCH_" + name_ + "_report.json";
+    if (const Status s = report_.write_json(report_path); s.is_ok()) {
+      std::printf("wrote %s\n", report_path.c_str());
+    }
+    if (absorbed_) {
+      const std::string metrics_path = "BENCH_" + name_ + "_metrics.json";
+      if (const Status s = registry_.write_json(metrics_path); s.is_ok()) {
+        std::printf("wrote %s\n", metrics_path.c_str());
+      }
+    }
+    if (trace_) {
+      const std::string trace_path = "BENCH_" + name_ + "_trace.json";
+      if (const Status s = Tracer::instance().write_chrome_json(trace_path);
+          s.is_ok()) {
+        std::printf("wrote %s\n", trace_path.c_str());
+      }
+      Tracer::instance().disable();
+    }
+  }
+
+ private:
+  std::string name_;
+  RunReport report_;
+  MetricsRegistry registry_;
+  std::chrono::steady_clock::time_point t0_;
+  bool trace_ = false;
+  bool absorbed_ = false;
+};
 
 struct StateStats {
   std::size_t f = 0, f_in = 0, f_ex = 0;

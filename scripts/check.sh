@@ -17,6 +17,31 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure
 # must run through the front-end without crashing.
 "$BUILD_DIR/tools/fuzz_verilog" tools/fuzz_corpus/*.v
 
+# Observability gate: a CLI run with all three output flags must produce
+# three well-formed JSON documents (trace loadable in chrome://tracing,
+# metrics, run report) and the report must pass the summarizer's schema
+# check.
+OBS_DIR="$BUILD_DIR/obs_gate"
+mkdir -p "$OBS_DIR"
+"$BUILD_DIR/tools/dfmres" resyn sparc_tlu --q 1 --deadline 120s \
+  --trace-out "$OBS_DIR/trace.json" \
+  --metrics-out "$OBS_DIR/metrics.json" \
+  --report-out "$OBS_DIR/report.json"
+python3 - "$OBS_DIR" <<'EOF'
+import json, sys, os
+d = sys.argv[1]
+trace = json.load(open(os.path.join(d, "trace.json")))
+assert trace["traceEvents"], "empty trace"
+assert any(e.get("ph") == "X" for e in trace["traceEvents"]), "no spans"
+metrics = json.load(open(os.path.join(d, "metrics.json")))
+assert metrics["counters"].get("atpg.patterns_simulated", 0) > 0
+report = json.load(open(os.path.join(d, "report.json")))
+assert report["schema"] == "dfmres-run-report-v1"
+assert report["resynthesis"]["convergence"], "empty convergence series"
+print("observability gate: trace/metrics/report OK")
+EOF
+python3 scripts/summarize_report.py "$OBS_DIR/report.json"
+
 scripts/run_tsan.sh
 scripts/run_asan.sh
 scripts/run_ubsan.sh

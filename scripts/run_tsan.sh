@@ -13,12 +13,15 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DDFMRES_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target atpg_test sim_test util_test
+  --target atpg_test sim_test util_test observability_test
 
 # TSAN_OPTIONS: fail loudly, first report wins.
 TSAN_OPTIONS="halt_on_error=1 exitcode=66" \
-  "$BUILD_DIR/tests/util_test" --gtest_filter='ThreadPool.*'
+  "$BUILD_DIR/tests/util_test" --gtest_filter='ThreadPool.*:Logging.*'
 TSAN_OPTIONS="halt_on_error=1 exitcode=66" "$BUILD_DIR/tests/atpg_test"
 TSAN_OPTIONS="halt_on_error=1 exitcode=66" "$BUILD_DIR/tests/sim_test"
+# Tracer buffers + cross-worker span propagation and the metrics locks.
+TSAN_OPTIONS="halt_on_error=1 exitcode=66" \
+  "$BUILD_DIR/tests/observability_test"
 
 echo "TSan: no data races detected."

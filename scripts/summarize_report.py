@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Summarize a dfmres run report (--report-out / BENCH_*_report.json).
+
+Prints the run header, initial vs final Table-II-style stats, ATPG and
+resynthesis counters, and a compact convergence table. With several
+reports, prints one block per file. Exits non-zero on a file that is
+not a valid dfmres-run-report-v1 document, so CI can use it as a
+schema gate.
+
+Usage: scripts/summarize_report.py report.json [more.json ...]
+"""
+
+import json
+import sys
+
+
+def fmt_state(s):
+    return (
+        f"U={s['undetectable']:<6} Smax={s['smax']:<6} "
+        f"%Smax={s['smax_pct']:6.2f}  cov={100.0 * s['coverage']:6.2f}%  "
+        f"delay={s['delay']:.3f}  power={s['power']:.1f}  T={s['tests']}"
+    )
+
+
+def summarize(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        report = json.load(fh)
+    schema = report.get("schema")
+    if schema != "dfmres-run-report-v1":
+        raise ValueError(f"{path}: unexpected schema {schema!r}")
+
+    print(f"== {path}")
+    header = f"{report['command']} on {report['circuit']}"
+    if report.get("threads"):
+        header += f", {report['threads']} threads"
+    if report.get("fingerprint"):
+        header += f", fingerprint {report['fingerprint']}"
+    print(f"   {header}")
+    wall = report.get("runtime_seconds", 0.0)
+    cpu = report.get("cpu_seconds", 0.0)
+    partial = "  [PARTIAL RUN]" if report.get("partial") else ""
+    print(f"   wall {wall:.2f}s, cpu {cpu:.2f}s{partial}")
+
+    if "initial" in report:
+        print(f"   initial: {fmt_state(report['initial'])}")
+    if "final" in report:
+        print(f"   final:   {fmt_state(report['final'])}")
+
+    atpg = report.get("atpg")
+    if atpg:
+        print(
+            f"   atpg: {atpg['patterns_simulated']} patterns, "
+            f"{atpg['detect_mask_calls']} detect_mask calls, "
+            f"{atpg['podem_backtracks']} backtracks, "
+            f"phases {atpg['phase0_seconds']:.2f}/"
+            f"{atpg['phase1_seconds']:.2f}/{atpg['phase2_seconds']:.2f}/"
+            f"{atpg['phase3_seconds']:.2f}s"
+        )
+
+    resyn = report.get("resynthesis")
+    if resyn:
+        c = resyn["counters"]
+        p = resyn["phase_seconds"]
+        print(
+            f"   resyn: q_used={resyn['q_used']}%"
+            f" accepted={'yes' if resyn['any_accepted'] else 'no'}"
+            f" deadline_expired={'yes' if resyn['deadline_expired'] else 'no'}"
+            f"  {c['candidates_built']} built, {c['u_in_probes']} u_in probes,"
+            f" {c['full_probes']} full probes"
+        )
+        print(
+            f"   resyn phases: build {p['build']:.2f}s, u_in {p['u_in']:.2f}s,"
+            f" probe {p['probe']:.2f}s, signoff {p['signoff']:.2f}s"
+        )
+        trace = resyn.get("convergence", [])
+        accepted = [r for r in trace if r["accepted"]]
+        print(
+            f"   convergence: {len(trace)} candidates recorded, "
+            f"{len(accepted)} accepted"
+        )
+        if accepted:
+            print(
+                f"   {'sec':>8} {'q':>3} {'ph':>2} {'U':>6} {'Smax':>6}"
+                f" {'%Smax':>7} {'via':>12} {'banned':>10}"
+            )
+            for r in accepted:
+                via = "backtracking" if r["via_backtracking"] else "direct"
+                print(
+                    f"   {r['seconds']:8.2f} {r['q']:2d}% {r['phase']:2d}"
+                    f" {r['undetectable']:6d} {r['smax']:6d}"
+                    f" {r['smax_pct']:6.2f}% {via:>12} {r['ban_through']:>10}"
+                )
+
+
+def main(argv):
+    if len(argv) < 2 or argv[1] in ("-h", "--help"):
+        print(__doc__.strip())
+        return 2
+    for path in argv[1:]:
+        summarize(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

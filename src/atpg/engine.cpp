@@ -5,9 +5,11 @@
 #include <chrono>
 #include <limits>
 #include <memory>
+#include <optional>
 
 #include "src/util/rng.hpp"
 #include "src/util/thread_pool.hpp"
+#include "src/util/trace.hpp"
 
 namespace dfmres {
 
@@ -45,6 +47,12 @@ AtpgResult run_atpg_overlay(const Netlist& nl, const FaultUniverse& universe,
                             const UdfmMap& udfm, const AtpgOptions& options,
                             const FaultStatusCache* base,
                             FaultStatusCache* updates) {
+  TraceSpan run_span("atpg.run", "atpg");
+  if (run_span.active()) {
+    run_span.arg("faults", static_cast<std::uint64_t>(universe.size()));
+    run_span.arg("warm_start", options.seed_tests != nullptr ? 1 : 0);
+  }
+
   AtpgResult result;
   result.status.assign(universe.size(), FaultStatus::Unknown);
 
@@ -130,6 +138,10 @@ AtpgResult run_atpg_overlay(const Netlist& nl, const FaultUniverse& universe,
   // currently loaded batch, computed across the pool.
   const auto sweep_masks = [&](std::span<const std::uint32_t> items,
                                std::vector<std::uint64_t>& masks) {
+    TraceSpan span("atpg.sweep", "atpg");
+    if (span.active()) {
+      span.arg("items", static_cast<std::uint64_t>(items.size()));
+    }
     // Zero-fill, not resize: a cancelled sweep leaves unvisited slots
     // untouched, and a stale mask must read "not detected".
     masks.assign(items.size(), 0);
@@ -187,6 +199,10 @@ AtpgResult run_atpg_overlay(const Netlist& nl, const FaultUniverse& universe,
   // function-preserving rewrite that is all previously-detected faults
   // outside the rewritten cone — before any random batch or PODEM call.
   const auto phase0_start = Clock::now();
+  // Phase spans use optional emplace/reset so the span boundaries track
+  // the existing phaseN_start/phaseN_seconds markers exactly.
+  std::optional<TraceSpan> phase_span;
+  phase_span.emplace("atpg.phase0.replay", "atpg");
   if (have_seeds && !targets.empty() && !cancel_expired(options.cancel)) {
     const std::vector<TestPattern>& seeds = *options.seed_tests;
     const std::size_t before = targets.size();
@@ -227,10 +243,12 @@ AtpgResult run_atpg_overlay(const Netlist& nl, const FaultUniverse& universe,
     }
     targets = std::move(still);
   }
+  phase_span.reset();
   result.counters.phase0_seconds = seconds_since(phase0_start);
 
   // ---- phase 1: random pattern pairs with fault dropping ----
   const auto phase1_start = Clock::now();
+  phase_span.emplace("atpg.phase1.random", "atpg");
   for (int batch = 0; batch < options.random_batches && !targets.empty() &&
                       !cancel_expired(options.cancel);
        ++batch) {
@@ -248,10 +266,12 @@ AtpgResult run_atpg_overlay(const Netlist& nl, const FaultUniverse& universe,
     tests.resize(first);
     for (auto& t : kept) tests.push_back(std::move(t));
   }
+  phase_span.reset();
   result.counters.phase1_seconds = seconds_since(phase1_start);
 
   // ---- phase 2: deterministic PODEM ----
   const auto phase2_start = Clock::now();
+  phase_span.emplace("atpg.phase2.podem", "atpg");
   Podem podem(nl, view, {options.backtrack_limit, options.cancel});
   // Process remaining targets; each generated test also drops others.
   std::vector<std::uint32_t> queue = std::move(targets);
@@ -317,12 +337,14 @@ AtpgResult run_atpg_overlay(const Netlist& nl, const FaultUniverse& universe,
           any_aborted ? FaultStatus::Aborted : FaultStatus::Undetectable;
     }
   }
+  phase_span.reset();
   result.counters.phase2_seconds = seconds_since(phase2_start);
 
   result.cancelled = cancel_expired(options.cancel);
 
   // ---- phase 3: reverse-order test compaction ----
   const auto phase3_start = Clock::now();
+  phase_span.emplace("atpg.phase3.compact", "atpg");
   if (options.generate_tests && !tests.empty() && !result.cancelled) {
     std::vector<std::uint32_t> uncovered;
     for (std::uint32_t i = 0; i < universe.size(); ++i) {
@@ -360,6 +382,7 @@ AtpgResult run_atpg_overlay(const Netlist& nl, const FaultUniverse& universe,
     }
     result.tests = std::move(compacted);
   }
+  phase_span.reset();
   result.counters.phase3_seconds = seconds_since(phase3_start);
 
   // Fold the per-worker instrumentation into the result. The counters

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "src/sim/parallel_sim.hpp"
+#include "src/util/trace.hpp"
 
 namespace dfmres {
 
@@ -41,6 +42,10 @@ void FaultSimulator::rebind(const Netlist& nl, const CombView& view) {
 
 void FaultSimulator::load(std::span<const TestPattern> tests,
                           std::size_t first, std::size_t count) {
+  // One span per batch load (detect_mask itself is far too hot to trace
+  // per call; the enclosing atpg.sweep span covers the query side).
+  TraceSpan span("fsim.load", "fsim");
+  if (span.active()) span.arg("lanes", static_cast<int>(count));
   lanes_ = static_cast<int>(std::min<std::size_t>(count, 64));
   const std::size_t num_sources = view_->sources.size();
   std::vector<std::uint64_t> src0(num_sources, 0), src1(num_sources, 0);

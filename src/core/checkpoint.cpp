@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "src/util/fmt.hpp"
+#include "src/util/trace.hpp"
 
 namespace dfmres {
 
@@ -99,6 +100,7 @@ bool CheckpointJournal::search_complete() const {
 }
 
 Expected<CheckpointJournal> read_checkpoint(const std::string& dir) {
+  TraceSpan span("ckpt.read", "ckpt");
   const std::string path = checkpoint_journal_path(dir);
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -234,6 +236,9 @@ Status CheckpointWriter::open_resume(const std::string& dir,
 }
 
 Status CheckpointWriter::append(const CheckpointRecord& record) {
+  // The fsync inside makes this the slowest constant-cost step of an
+  // acceptance — worth a span of its own.
+  TraceSpan span("ckpt.append", "ckpt");
   std::string body;
   switch (record.kind) {
     case CheckpointRecord::Kind::Accept: {

@@ -4,6 +4,7 @@
 
 #include "src/library/osu018.hpp"
 #include "src/util/logging.hpp"
+#include "src/util/trace.hpp"
 
 namespace dfmres {
 
@@ -46,7 +47,11 @@ Expected<FlowState> DesignFlow::run_initial(const Netlist& rtl) {
 std::optional<FlowState> DesignFlow::reanalyze(Netlist netlist,
                                                const Placement& previous,
                                                bool generate_tests) {
-  auto placement = incremental_place(netlist, previous);
+  std::optional<Placement> placement;
+  {
+    TraceSpan span("flow.incremental_place", "flow");
+    placement = incremental_place(netlist, previous);
+  }
   if (!placement) return std::nullopt;  // die full: area constraint
   // Gates without a position in the previous placement are exactly the
   // ones the edit introduced (ids are never reused), so the rewritten
@@ -79,10 +84,23 @@ std::optional<FlowState> DesignFlow::analyze(
     changed_unknown_ = true;
   }
 
+  TraceSpan analyze_span("flow.analyze", "flow");
+  if (analyze_span.active()) {
+    analyze_span.arg("gates",
+                     static_cast<std::uint64_t>(netlist.num_live_gates()));
+    analyze_span.arg("generate_tests", generate_tests ? 1 : 0);
+  }
+  // Stage spans reuse one optional slot; emplace closes the previous
+  // stage before opening the next, so the spans tile the function.
+  std::optional<TraceSpan> stage;
+  stage.emplace("flow.route", "flow");
   RoutingResult routing = route(netlist, placement, options_.route);
+  stage.emplace("flow.sta", "flow");
   TimingPower timing = analyze_timing_power(netlist, routing, options_.sta);
+  stage.emplace("flow.extract_faults", "flow");
   FaultUniverse universe =
       extract_dfm_faults(netlist, placement, routing, udfm_);
+  stage.emplace("flow.atpg", "flow");
   AtpgOptions atpg_options = options_.atpg;
   atpg_options.generate_tests = generate_tests;
   atpg_options.arena = &arena_;
@@ -103,8 +121,10 @@ std::optional<FlowState> DesignFlow::analyze(
     changed_since_seed_.clear();
     changed_unknown_ = false;
   }
+  stage.emplace("flow.cluster", "flow");
   ClusterAnalysis clusters =
       cluster_undetectable(netlist, universe, atpg.status);
+  stage.reset();
   return FlowState{std::move(netlist), std::move(placement),
                    std::move(routing), std::move(timing),
                    std::move(universe), std::move(atpg),
@@ -116,6 +136,7 @@ Expected<FlowState> DesignFlow::reanalyze_probe(
     const FaultStatusCache* base_cache, FaultStatusCache* updates,
     FaultSimArena* arena, int num_threads, const CancelToken* cancel) const {
   if (cancel_expired(cancel)) return cancel->to_status();
+  TraceSpan probe_span("flow.probe", "flow");
   auto placement = incremental_place(netlist, previous);
   if (!placement) {
     return make_status(StatusCode::kUnsatisfiable,
@@ -165,6 +186,7 @@ Expected<std::size_t> DesignFlow::count_undetectable_internal_probe(
     FaultStatusCache* updates, FaultSimArena* arena, int num_threads,
     const CancelToken* cancel) const {
   if (cancel_expired(cancel)) return cancel->to_status();
+  TraceSpan probe_span("flow.u_in_probe", "flow");
   const FaultUniverse internal = extract_internal_faults(nl, udfm_);
   AtpgOptions atpg_options = options_.atpg;
   atpg_options.generate_tests = false;

@@ -13,6 +13,7 @@
 #include "src/util/fmt.hpp"
 #include "src/util/logging.hpp"
 #include "src/util/thread_pool.hpp"
+#include "src/util/trace.hpp"
 
 namespace dfmres {
 
@@ -110,10 +111,17 @@ class Procedure {
         options_(options),
         cell_order_(flow.cells_by_internal_faults()),
         original_delay_(original.timing.critical_delay),
-        original_power_(original.timing.total_power()) {}
+        original_power_(original.timing.total_power()),
+        start_time_(Clock::now()) {}
 
   Expected<ResynthesisResult> run(const FlowState& original) {
-    const auto t0 = Clock::now();
+    const auto t0 = start_time_;
+    TraceSpan run_span("resyn.run", "resyn");
+    if (run_span.active()) {
+      run_span.arg("q_max", options_.q_max);
+      run_span.arg("u0", static_cast<std::uint64_t>(
+                             original.num_undetectable()));
+    }
 
     // Checkpoint journal: open (fresh or resuming) and collect the
     // accepted-candidate sequence to replay.
@@ -272,6 +280,7 @@ class Procedure {
     std::optional<FlowState> final_state;
     {
       const ScopedTimer t(report_.signoff_seconds);
+      TraceSpan span("resyn.signoff", "resyn");
       final_state = flow_.reanalyze(current.netlist, current.placement,
                                     /*generate_tests=*/true);
     }
@@ -337,36 +346,13 @@ class Procedure {
     return copy;
   }
 
-  /// Pins a checkpoint journal to (procedure options, flow options,
-  /// initial design point, seed tests): everything that influences the
-  /// accepted-candidate sequence. parallel_ladder and dedup_candidates
-  /// are deliberately excluded — both are documented to leave the
-  /// sequence unchanged, so a journal survives a thread-count change.
+  /// See resynthesis_fingerprint() — the journal is pinned to everything
+  /// that influences the accepted-candidate sequence. parallel_ladder
+  /// and dedup_candidates are deliberately excluded: both are documented
+  /// to leave the sequence unchanged, so a journal survives a
+  /// thread-count change.
   std::uint64_t fingerprint(const FlowState& original) const {
-    std::uint64_t h = 0x243F6A8885A308D3ULL;
-    const auto mix = [&h](std::uint64_t v) {
-      h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-    };
-    mix(static_cast<std::uint64_t>(options_.p1 * 1e9));
-    mix(static_cast<std::uint64_t>(options_.q_max));
-    mix(static_cast<std::uint64_t>(options_.max_iterations_per_phase));
-    mix(static_cast<std::uint64_t>(options_.trend_window));
-    mix(static_cast<std::uint64_t>(options_.reanalyses_per_iteration));
-    const FlowOptions& fo = flow_.options();
-    mix(fo.warm_start);
-    mix(static_cast<std::uint64_t>(fo.utilization * 1e9));
-    mix(fo.atpg.seed);
-    mix(static_cast<std::uint64_t>(fo.atpg.random_batches));
-    mix(static_cast<std::uint64_t>(fo.atpg.backtrack_limit));
-    mix(structural_hash(original.netlist, 0x13198A2E03707344ULL));
-    mix(original.num_faults());
-    mix(original.num_undetectable());
-    mix(original.smax());
-    for (const TestPattern& t : flow_.seed_tests()) {
-      for (const std::uint8_t b : t.frame0) mix(b);
-      for (const std::uint8_t b : t.frame1) mix(b);
-    }
-    return h;
+    return resynthesis_fingerprint(flow_, original, options_);
   }
 
   /// Rebuilds one journaled acceptance through the deterministic
@@ -410,7 +396,10 @@ class Procedure {
     }
     report_.trace.push_back({rec.q, rec.phase, state->smax(),
                              state->num_undetectable(), /*accepted=*/true,
-                             rec.via_backtracking, rec.cell_name});
+                             rec.via_backtracking, rec.cell_name,
+                             state->num_faults(),
+                             state->timing.critical_delay,
+                             state->timing.total_power(), elapsed()});
     ++report_.replayed_accepts;
     return std::move(*state);
   }
@@ -608,11 +597,28 @@ class Procedure {
            m.power <= budgets_.power + kEps;
   }
 
+  [[nodiscard]] double elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - start_time_).count();
+  }
+
+  /// A fully measured candidate that the acceptance rules (or the
+  /// constraint budgets) turned down — the rejected half of the
+  /// convergence series. Never journaled.
+  void record_rejected(int q, int phase, const CandMetrics& m,
+                       const std::string& banned_through) {
+    report_.trace.push_back({q, phase, m.smax, m.undetectable,
+                             /*accepted=*/false, /*via_backtracking=*/false,
+                             banned_through, m.faults, m.delay, m.power,
+                             elapsed()});
+  }
+
   void record(int q, int phase, const FlowState& after, bool accepted,
               bool via_backtracking, const std::string& banned_through) {
     report_.trace.push_back({q, phase, after.smax(),
                              after.num_undetectable(), accepted,
-                             via_backtracking, banned_through});
+                             via_backtracking, banned_through,
+                             after.num_faults(), after.timing.critical_delay,
+                             after.timing.total_power(), elapsed()});
     if (accepted && writer_.is_open()) {
       // Journal the acceptance before the search continues: after the
       // fsync'd append returns, a crash at any later point replays this
@@ -640,6 +646,12 @@ class Procedure {
                                       double p2) {
     const std::vector<GateId> region = region_of(cur, phase);
     if (region.empty()) return std::nullopt;
+    TraceSpan iter_span("resyn.iteration", "resyn");
+    if (iter_span.active()) {
+      iter_span.arg("q", q);
+      iter_span.arg("phase", phase);
+      iter_span.arg("region", static_cast<std::uint64_t>(region.size()));
+    }
     reanalyses_left_ = options_.reanalyses_per_iteration;
     prefetch_ladder(cur, region);
 
@@ -658,6 +670,11 @@ class Procedure {
       // u_in gate discards the useless ones cheaply.
       const std::string& cell_name = flow_.target().cell(cell).name;
 
+      TraceSpan rung_span("resyn.rung", "resyn");
+      if (rung_span.active()) {
+        rung_span.arg("ban_through", cell_name.c_str());
+        rung_span.arg("region", static_cast<std::uint64_t>(region.size()));
+      }
       const CandMetrics& m = measure(cur, region, banned);
       if (m.cancelled) return std::nullopt;  // abandon the iteration
       if (m.map_failed) break;  // subset insufficient; larger bans too
@@ -686,11 +703,17 @@ class Procedure {
           record(q, phase, *state, true, false, cell_name);
           return state;
         }
-      } else if (m.area_failed || ok_accept) {
-        // Acceptance-worthy but over budget (or placement failed): run
-        // the sqrt(n)-group backtracking procedure.
-        auto bt = backtrack(cur, region, banned, phase, p2, q, cell_name);
-        if (bt) return bt;
+      } else {
+        // The candidate was fully measured and turned down: one rejected
+        // point of the convergence series (area failures carry no
+        // metrics and are skipped).
+        if (!m.area_failed) record_rejected(q, phase, m, cell_name);
+        if (m.area_failed || ok_accept) {
+          // Acceptance-worthy but over budget (or placement failed): run
+          // the sqrt(n)-group backtracking procedure.
+          auto bt = backtrack(cur, region, banned, phase, p2, q, cell_name);
+          if (bt) return bt;
+        }
       }
       if (rising >= options_.trend_window) break;
     }
@@ -716,6 +739,11 @@ class Procedure {
     }
     const std::size_t n = g_i.size();
     if (n == 0) return std::nullopt;
+    TraceSpan span("resyn.backtrack", "resyn");
+    if (span.active()) {
+      span.arg("candidates", static_cast<std::uint64_t>(n));
+      span.arg("ban_through", cell_name.c_str());
+    }
     // Freeze the costliest replacements first ("modifying fewer gates
     // implies lower relative effect on design constraints", Section
     // III-C): large cells whose decompositions dominate the overhead go
@@ -820,6 +848,7 @@ class Procedure {
         [&](int lane, std::size_t begin, std::size_t end) {
           for (std::size_t r = begin; r < end; ++r) {
             if (cancel_expired(options_.cancel)) return;
+            TraceSpan spec_span("resyn.rung.spec", "resyn");
             const auto tb = Clock::now();
             auto candidate = build_candidate(cur, region, rungs[r].banned);
             const double build_s =
@@ -921,6 +950,7 @@ class Procedure {
   std::vector<CellId> cell_order_;
   double original_delay_;
   double original_power_;
+  Clock::time_point start_time_;
   Budgets budgets_;
   ResynthesisReport report_;
   std::unordered_map<std::string, CandMetrics> memo_;
@@ -953,6 +983,35 @@ Expected<ResynthesisResult> resynthesize(DesignFlow& flow,
                                          const ResynthesisOptions& options) {
   Procedure procedure(flow, original, options);
   return procedure.run(original);
+}
+
+std::uint64_t resynthesis_fingerprint(const DesignFlow& flow,
+                                      const FlowState& original,
+                                      const ResynthesisOptions& options) {
+  std::uint64_t h = 0x243F6A8885A308D3ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<std::uint64_t>(options.p1 * 1e9));
+  mix(static_cast<std::uint64_t>(options.q_max));
+  mix(static_cast<std::uint64_t>(options.max_iterations_per_phase));
+  mix(static_cast<std::uint64_t>(options.trend_window));
+  mix(static_cast<std::uint64_t>(options.reanalyses_per_iteration));
+  const FlowOptions& fo = flow.options();
+  mix(fo.warm_start);
+  mix(static_cast<std::uint64_t>(fo.utilization * 1e9));
+  mix(fo.atpg.seed);
+  mix(static_cast<std::uint64_t>(fo.atpg.random_batches));
+  mix(static_cast<std::uint64_t>(fo.atpg.backtrack_limit));
+  mix(structural_hash(original.netlist, 0x13198A2E03707344ULL));
+  mix(original.num_faults());
+  mix(original.num_undetectable());
+  mix(original.smax());
+  for (const TestPattern& t : flow.seed_tests()) {
+    for (const std::uint8_t b : t.frame0) mix(b);
+    for (const std::uint8_t b : t.frame1) mix(b);
+  }
+  return h;
 }
 
 }  // namespace dfmres

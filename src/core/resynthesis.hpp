@@ -56,6 +56,10 @@ struct ResynthesisOptions {
 };
 
 /// One evaluated candidate (for the Fig. 2 style per-iteration trace).
+/// Accepted records describe the committed state after the step;
+/// rejected records describe the probed candidate that was turned down
+/// (candidates without full metrics — map/u_in-gate/area failures and
+/// cancellations — are not recorded).
 struct IterationRecord {
   int q = 0;
   int phase = 1;
@@ -64,6 +68,10 @@ struct IterationRecord {
   bool accepted = false;
   bool via_backtracking = false;
   std::string banned_through;    ///< last cell banned for this attempt
+  std::size_t faults = 0;        ///< fault universe size at this point
+  double delay = 0.0;            ///< critical-path delay
+  double power = 0.0;            ///< total power
+  double seconds = 0.0;          ///< wall time since resynthesize() began
 };
 
 struct ResynthesisReport {
@@ -118,6 +126,14 @@ struct ResynthesisResult {
 /// this design (kDataLoss).
 [[nodiscard]] Expected<ResynthesisResult> resynthesize(
     DesignFlow& flow, const FlowState& original,
+    const ResynthesisOptions& options);
+
+/// The fingerprint pinning a checkpoint journal (and a run report) to
+/// (procedure options, flow options, initial design point, seed tests) —
+/// everything that influences the accepted-candidate sequence. The same
+/// value resynthesize() writes into the journal header.
+[[nodiscard]] std::uint64_t resynthesis_fingerprint(
+    const DesignFlow& flow, const FlowState& original,
     const ResynthesisOptions& options);
 
 }  // namespace dfmres

@@ -10,6 +10,7 @@
 #include <set>
 
 #include "src/util/logging.hpp"
+#include "src/util/trace.hpp"
 
 namespace dfmres {
 
@@ -202,6 +203,10 @@ void size_drives(Netlist& dst, const std::vector<bool>& banned) {
 Expected<Netlist> technology_map(const Netlist& src,
                                  std::shared_ptr<const Library> target,
                                  const MapOptions& options) {
+  TraceSpan span("synth.map", "synth");
+  if (span.active()) {
+    span.arg("gates", static_cast<std::uint64_t>(src.num_live_gates()));
+  }
   const Library& slib = src.library();
   const Library& tlib = *target;
   const MatchTable table(tlib, options.banned);

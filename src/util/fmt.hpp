@@ -6,21 +6,28 @@
 
 namespace dfmres {
 
+/// va_list flavour of strfmt, for forwarding from other variadic
+/// functions (the logger). Leaves `args` consumed, like vsnprintf.
+inline std::string vstrfmt(const char* fmt, std::va_list args) {
+  std::va_list args2;
+  va_copy(args2, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args2);
+  va_end(args2);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  return out;
+}
+
 /// printf-style std::string formatting (GCC 12's libstdc++ has no
 /// <format> yet; this is the project-wide substitute).
 [[gnu::format(printf, 1, 2)]] inline std::string strfmt(const char* fmt, ...) {
   std::va_list args;
   va_start(args, fmt);
-  std::va_list args2;
-  va_copy(args2, args);
-  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  std::string out = vstrfmt(fmt, args);
   va_end(args);
-  std::string out;
-  if (n > 0) {
-    out.resize(static_cast<std::size_t>(n));
-    std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
-  }
-  va_end(args2);
   return out;
 }
 

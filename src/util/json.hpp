@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/fmt.hpp"
+
+namespace dfmres {
+
+/// Escapes a string for inclusion between JSON double quotes.
+[[nodiscard]] inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strfmt("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Minimal streaming JSON writer used by the observability outputs
+/// (trace, metrics, run reports). Emits compact standards-compliant
+/// JSON: keys in insertion order, non-finite doubles as null (strict
+/// parsers reject NaN/Infinity literals). The caller is responsible for
+/// balanced begin/end calls; there is deliberately no DOM.
+class JsonWriter {
+ public:
+  void begin_object() {
+    separate();
+    out_ += '{';
+    first_.push_back(true);
+  }
+  void end_object() {
+    out_ += '}';
+    first_.pop_back();
+  }
+  void begin_array() {
+    separate();
+    out_ += '[';
+    first_.push_back(true);
+  }
+  void end_array() {
+    out_ += ']';
+    first_.pop_back();
+  }
+
+  void key(std::string_view k) {
+    separate();
+    out_ += '"';
+    out_ += json_escape(k);
+    out_ += "\":";
+    after_key_ = true;
+  }
+
+  void value(std::string_view v) {
+    separate();
+    out_ += '"';
+    out_ += json_escape(v);
+    out_ += '"';
+  }
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v) {
+    separate();
+    out_ += v ? "true" : "false";
+  }
+  void value(double v) {
+    separate();
+    out_ += std::isfinite(v) ? strfmt("%.12g", v) : "null";
+  }
+  void value(std::uint64_t v) {
+    separate();
+    out_ += strfmt("%llu", static_cast<unsigned long long>(v));
+  }
+  void value(std::int64_t v) {
+    separate();
+    out_ += strfmt("%lld", static_cast<long long>(v));
+  }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+
+  /// Pre-rendered JSON (an already-serialized sub-document).
+  void raw(std::string_view json) {
+    separate();
+    out_ += json;
+  }
+
+  template <typename T>
+  void field(std::string_view k, T&& v) {
+    key(k);
+    value(std::forward<T>(v));
+  }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  /// Emits the separating comma for the second and later elements of the
+  /// enclosing container; a value directly after its key never needs one.
+  void separate() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    if (first_.empty()) return;
+    if (first_.back()) {
+      first_.back() = false;
+    } else {
+      out_ += ',';
+    }
+  }
+
+  std::string out_;
+  std::vector<bool> first_;
+  bool after_key_ = false;
+};
+
+}  // namespace dfmres

@@ -1,13 +1,18 @@
 #include "src/util/logging.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
+#include <string>
+
+#include "src/util/fmt.hpp"
 
 namespace dfmres {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::atomic<LogSink> g_sink{nullptr};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,16 +24,44 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+/// Seconds since the first log call, from the monotonic clock so the
+/// timestamps line up with trace spans rather than wall-clock jumps.
+double monotonic_seconds() {
+  static const std::chrono::steady_clock::time_point anchor =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       anchor)
+      .count();
+}
+
+/// Small dense thread label; std::this_thread::get_id() prints as an
+/// opaque pointer-sized number that is useless for eyeballing logs.
+std::uint32_t thread_label() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t label =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return label;
+}
+
 void vlog(LogLevel level, const char* fmt, std::va_list args) {
   if (level < g_level.load()) return;
-  std::fprintf(stderr, "[%s] ", level_name(level));
-  std::vfprintf(stderr, fmt, args);
-  std::fputc('\n', stderr);
+  // Format the whole line first, then hand it to the sink in one call:
+  // separate stdio writes interleave when workers log concurrently.
+  std::string line = strfmt("[%10.6f] [t%u] [%s] ", monotonic_seconds(),
+                            thread_label(), level_name(level));
+  line += vstrfmt(fmt, args);
+  line += '\n';
+  if (LogSink sink = g_sink.load()) {
+    sink(line);
+  } else {
+    std::fwrite(line.data(), 1, line.size(), stderr);
+  }
 }
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
+void set_log_sink(LogSink sink) { g_sink.store(sink); }
 
 void log(LogLevel level, const char* fmt, ...) {
   std::va_list args;

@@ -10,6 +10,14 @@ enum class LogLevel { Debug, Info, Warn, Error };
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 
+/// Receives one fully formatted log line (including the trailing '\n').
+/// Lines are always delivered whole, never interleaved across threads.
+using LogSink = void (*)(std::string_view line);
+
+/// Redirects log output (tests, embedding). nullptr restores the default
+/// sink, a single fwrite to stderr per line.
+void set_log_sink(LogSink sink);
+
 /// printf-style logging helpers.
 [[gnu::format(printf, 2, 3)]] void log(LogLevel level, const char* fmt, ...);
 [[gnu::format(printf, 1, 2)]] void log_debug(const char* fmt, ...);

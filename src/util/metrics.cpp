@@ -1,0 +1,191 @@
+#include "src/util/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/json.hpp"
+
+namespace dfmres {
+
+void MetricsRegistry::add(std::string_view counter, std::uint64_t delta) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(counter);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(counter), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::set_gauge(std::string_view gauge, double value) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(gauge);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(gauge), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void MetricsRegistry::observe(std::string_view histogram, double value) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(histogram);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(histogram), RunningStats{}).first;
+  }
+  it->second.add(value);
+}
+
+void MetricsRegistry::sample(std::string_view series, double x, double y) {
+  std::lock_guard lock(mutex_);
+  auto it = series_.find(series);
+  if (it == series_.end()) {
+    it = series_.emplace(std::string(series), std::vector<MetricSample>{})
+             .first;
+  }
+  it->second.push_back(MetricSample{x, y});
+}
+
+void MetricsRegistry::absorb(const AtpgCounters& counters,
+                             std::string_view prefix) {
+  const std::string p(prefix);
+  add(p + "patterns_simulated", counters.patterns_simulated);
+  add(p + "detect_mask_calls", counters.detect_mask_calls);
+  add(p + "propagation_events", counters.propagation_events);
+  add(p + "podem_backtracks", counters.podem_backtracks);
+  add(p + "replay_drops", counters.replay_drops);
+  add(p + "podem_targets_skipped", counters.podem_targets_skipped);
+  add(p + "cancelled_targets", counters.cancelled_targets);
+  observe(p + "phase0_seconds", counters.phase0_seconds);
+  observe(p + "phase1_seconds", counters.phase1_seconds);
+  observe(p + "phase2_seconds", counters.phase2_seconds);
+  observe(p + "phase3_seconds", counters.phase3_seconds);
+  set_gauge(p + "threads_used", counters.threads_used);
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& shard) {
+  // Copy the shard under its own lock first; taking both locks at once
+  // invites lock-order inversion if two registries ever merge into each
+  // other.
+  std::map<std::string, std::uint64_t, std::less<>> counters;
+  std::map<std::string, double, std::less<>> gauges;
+  std::map<std::string, RunningStats, std::less<>> histograms;
+  std::map<std::string, std::vector<MetricSample>, std::less<>> series;
+  {
+    std::lock_guard lock(shard.mutex_);
+    counters = shard.counters_;
+    gauges = shard.gauges_;
+    histograms = shard.histograms_;
+    series = shard.series_;
+  }
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, v] : counters) counters_[name] += v;
+  for (const auto& [name, v] : gauges) gauges_[name] = v;
+  for (const auto& [name, v] : histograms) histograms_[name].merge(v);
+  for (const auto& [name, v] : series) {
+    auto& dst = series_[name];
+    dst.insert(dst.end(), v.begin(), v.end());
+    std::stable_sort(dst.begin(), dst.end(),
+                     [](const MetricSample& a, const MetricSample& b) {
+                       return a.x < b.x;
+                     });
+  }
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+RunningStats MetricsRegistry::histogram_stats(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? RunningStats{} : it->second;
+}
+
+std::vector<MetricSample> MetricsRegistry::series(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  auto it = series_.find(name);
+  return it == series_.end() ? std::vector<MetricSample>{} : it->second;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard lock(mutex_);
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, v] : counters_) w.field(name, v);
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, v] : gauges_) w.field(name, v);
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, v] : histograms_) {
+    w.key(name);
+    w.begin_object();
+    w.field("count", static_cast<std::uint64_t>(v.count()));
+    w.field("sum", v.sum());
+    w.field("min", v.min());
+    w.field("max", v.max());
+    w.field("mean", v.mean());
+    w.end_object();
+  }
+  w.end_object();
+  w.key("series");
+  w.begin_object();
+  for (const auto& [name, points] : series_) {
+    w.key(name);
+    w.begin_array();
+    for (const MetricSample& p : points) {
+      w.begin_array();
+      w.value(p.x);
+      w.value(p.y);
+      w.end_array();
+    }
+    w.end_array();
+  }
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+Status MetricsRegistry::write_json(const std::string& path) const {
+  const std::string json = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return make_status(StatusCode::kInvalidArgument,
+                       "cannot open metrics output '%s'", path.c_str());
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != json.size() || !close_ok) {
+    return make_status(StatusCode::kDataLoss,
+                       "short write to metrics output '%s'", path.c_str());
+  }
+  return Status::ok();
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  series_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace dfmres

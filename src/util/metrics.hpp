@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/stats.hpp"
+#include "src/util/status.hpp"
+
+namespace dfmres {
+
+/// One point of a named time series (x = step index or seconds, y =
+/// the sampled value).
+struct MetricSample {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Process-wide registry of named counters, gauges, histograms and time
+/// series behind one uniform interface.
+///
+/// Hot loops keep accumulating into their plain per-worker structs
+/// (AtpgCounters and friends — never a shared cache line); those structs
+/// are *absorbed* into a registry at flush points. Direct add/observe
+/// calls are for cold paths (per-candidate, per-phase, per-run events).
+///
+/// Shard model: workers that want private registries use plain
+/// MetricsRegistry instances and the owner merges them serially in lane
+/// order after the parallel section; merging is deterministic (counters
+/// are commutative sums, histogram/series merges follow the fixed merge
+/// order), so an N-shard merge equals the single-shard run bit for bit.
+/// Every method is internally locked, so the global() instance can also
+/// be used directly from multiple threads when determinism of iteration
+/// order is not required.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Adds `delta` to a named monotonic counter (created at 0).
+  void add(std::string_view counter, std::uint64_t delta = 1);
+  /// Sets a named gauge to its latest value.
+  void set_gauge(std::string_view gauge, double value);
+  /// Feeds one sample into a named histogram (count/sum/min/max/mean).
+  void observe(std::string_view histogram, double value);
+  /// Appends one (x, y) point to a named time series.
+  void sample(std::string_view series, double x, double y);
+
+  /// Publishes one run's ATPG instrumentation: integer counters under
+  /// `<prefix>`, per-phase seconds as `<prefix>phaseN_seconds`
+  /// histograms (sum = total across absorbed runs), threads_used as a
+  /// gauge.
+  void absorb(const AtpgCounters& counters, std::string_view prefix = "atpg.");
+
+  /// Folds a shard into this registry: counters add, gauges take the
+  /// shard's value, histograms merge, series append (then re-sort by x,
+  /// stably, so interleaved shards land in a canonical order).
+  void merge(const MetricsRegistry& shard);
+
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  [[nodiscard]] double gauge(std::string_view name) const;
+  [[nodiscard]] RunningStats histogram_stats(std::string_view name) const;
+  [[nodiscard]] std::vector<MetricSample> series(std::string_view name) const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+  /// {count,sum,min,max,mean}}, "series": {name: [[x,y],...]}} with keys
+  /// sorted (std::map iteration), so equal registries serialize equal.
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] Status write_json(const std::string& path) const;
+
+  void clear();
+
+  /// Process-wide registry flushed by the CLI / bench output flags.
+  [[nodiscard]] static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, RunningStats, std::less<>> histograms_;
+  std::map<std::string, std::vector<MetricSample>, std::less<>> series_;
+};
+
+}  // namespace dfmres

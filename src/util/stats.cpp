@@ -18,6 +18,18 @@ void RunningStats::add(double x) {
   ++count_;
 }
 
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
 double RunningStats::mean() const {
   return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }

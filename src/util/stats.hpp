@@ -13,6 +13,10 @@ class RunningStats {
  public:
   void add(double x);
 
+  /// Folds another accumulator in, as if its samples had been added
+  /// here (order-independent up to floating-point sum rounding).
+  void merge(const RunningStats& other);
+
   [[nodiscard]] std::size_t count() const { return count_; }
   [[nodiscard]] double sum() const { return sum_; }
   [[nodiscard]] double mean() const;

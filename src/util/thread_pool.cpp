@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/util/trace.hpp"
+
 namespace dfmres {
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -40,6 +42,11 @@ void ThreadPool::worker_loop(std::stop_token stop) {
 
 void ThreadPool::run_chunks(Job& job, int lane) {
   job.in_flight.fetch_add(1);
+  // Inherit the submitting span so worker-side spans parent under it in
+  // the trace; one span covers this lane's whole share of the job.
+  TraceParentScope trace_parent(job.trace_parent);
+  TraceSpan span("pool.chunks", "pool");
+  if (span.active()) span.arg("lane", lane);
   for (;;) {
     if (cancel_expired(job.cancel)) {
       // Park the cursor at the end so the other lanes (and the caller's
@@ -80,6 +87,7 @@ void ThreadPool::parallel_for(
   job->n = n;
   job->grain = grain;
   job->cancel = cancel;
+  job->trace_parent = Tracer::current_span();
   job->slots.store(lanes - 1);
   {
     std::lock_guard lock(mutex_);

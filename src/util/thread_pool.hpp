@@ -68,6 +68,7 @@ class ThreadPool {
     std::size_t n = 0;
     std::size_t grain = 1;
     const CancelToken* cancel = nullptr;
+    std::uint64_t trace_parent = 0;  ///< submitting span, inherited by lanes
     std::atomic<std::size_t> next{0};
     std::atomic<int> in_flight{0};
     std::atomic<int> slots{0};  ///< extra workers still allowed to join

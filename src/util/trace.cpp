@@ -1,0 +1,217 @@
+#include "src/util/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/fmt.hpp"
+#include "src/util/json.hpp"
+
+namespace dfmres {
+
+namespace {
+
+/// Innermost open span of the calling thread (0 = none). A plain value,
+/// not a stack: each TraceSpan / TraceParentScope saves and restores the
+/// previous value, so nesting falls out of scoping.
+thread_local std::uint64_t t_current_span = 0;
+
+std::atomic<std::uint32_t> g_next_tid{0};
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::enable() {
+  if (!anchored_.exchange(true)) {
+    anchor_ = std::chrono::steady_clock::now();
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::reset() {
+  std::lock_guard registry_lock(registry_mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+std::uint64_t Tracer::now_ns() const {
+  if (!anchored_.load(std::memory_order_relaxed)) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - anchor_)
+          .count());
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  // The shared_ptr keeps a worker's buffer alive past thread exit (the
+  // registry holds a second reference until process end), so a flush
+  // after a pool shrinks still sees every event.
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+    auto fresh = std::make_shared<ThreadBuffer>();
+    fresh->tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard lock(registry_mutex_);
+    buffers_.push_back(fresh);
+    return fresh;
+  }();
+  return *buffer;
+}
+
+void Tracer::record(TraceEvent event) {
+  if (!enabled()) return;
+  ThreadBuffer& buffer = local_buffer();
+  event.tid = buffer.tid;
+  std::lock_guard lock(buffer.mutex);
+  buffer.events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard registry_lock(registry_mutex_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard lock(buffer->mutex);
+      out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                                     : a.id < b.id;
+                   });
+  return out;
+}
+
+std::string Tracer::chrome_json() const {
+  const std::vector<TraceEvent> events = snapshot();
+  JsonWriter w;
+  w.begin_object();
+  w.field("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+  std::vector<std::uint32_t> tids;
+  for (const TraceEvent& e : events) {
+    if (std::find(tids.begin(), tids.end(), e.tid) == tids.end()) {
+      tids.push_back(e.tid);
+    }
+  }
+  std::sort(tids.begin(), tids.end());
+  for (const std::uint32_t tid : tids) {
+    // Thread-name metadata records make Perfetto label the tracks.
+    w.begin_object();
+    w.field("ph", "M");
+    w.field("name", "thread_name");
+    w.field("pid", 0);
+    w.field("tid", static_cast<std::uint64_t>(tid));
+    w.key("args");
+    w.begin_object();
+    w.field("name", tid == 0 ? std::string("main") : strfmt("worker-%u", tid));
+    w.end_object();
+    w.end_object();
+  }
+  for (const TraceEvent& e : events) {
+    w.begin_object();
+    w.field("ph", "X");
+    w.field("name", e.name);
+    w.field("cat", e.cat);
+    w.field("pid", 0);
+    w.field("tid", static_cast<std::uint64_t>(e.tid));
+    // Chrome trace timestamps are microseconds.
+    w.field("ts", static_cast<double>(e.start_ns) / 1e3);
+    w.field("dur", static_cast<double>(e.dur_ns) / 1e3);
+    w.key("args");
+    w.begin_object();
+    w.field("span", strfmt("%llu", static_cast<unsigned long long>(e.id)));
+    if (e.parent != 0) {
+      w.field("parent",
+              strfmt("%llu", static_cast<unsigned long long>(e.parent)));
+    }
+    for (const auto& [key, value] : e.args) w.field(key, value);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+Status Tracer::write_chrome_json(const std::string& path) const {
+  const std::string json = chrome_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return make_status(StatusCode::kInvalidArgument,
+                       "cannot open trace output '%s'", path.c_str());
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != json.size() || !close_ok) {
+    return make_status(StatusCode::kDataLoss, "short write to trace output '%s'",
+                       path.c_str());
+  }
+  return Status::ok();
+}
+
+std::uint64_t Tracer::current_span() { return t_current_span; }
+
+std::uint64_t Tracer::exchange_current(std::uint64_t span) {
+  const std::uint64_t prev = t_current_span;
+  t_current_span = span;
+  return prev;
+}
+
+TraceSpan::TraceSpan(const char* name, const char* cat)
+    : name_(name), cat_(cat) {
+  Tracer& tracer = Tracer::instance();
+  if (!tracer.enabled()) return;
+  active_ = true;
+  id_ = tracer.next_span_id();
+  parent_ = Tracer::current_span();
+  prev_current_ = Tracer::exchange_current(id_);
+  start_ns_ = tracer.now_ns();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  Tracer& tracer = Tracer::instance();
+  TraceEvent event;
+  event.name = name_;
+  event.cat = cat_;
+  event.start_ns = start_ns_;
+  const std::uint64_t end_ns = tracer.now_ns();
+  event.dur_ns = end_ns > start_ns_ ? end_ns - start_ns_ : 0;
+  event.id = id_;
+  event.parent = parent_;
+  event.args = std::move(args_);
+  tracer.record(std::move(event));
+  Tracer::exchange_current(prev_current_);
+}
+
+void TraceSpan::arg(const char* key, std::string value) {
+  if (!active_) return;
+  args_.emplace_back(key, std::move(value));
+}
+void TraceSpan::arg(const char* key, const char* value) {
+  if (!active_) return;
+  args_.emplace_back(key, value);
+}
+void TraceSpan::arg(const char* key, std::uint64_t value) {
+  if (!active_) return;
+  args_.emplace_back(key,
+                     strfmt("%llu", static_cast<unsigned long long>(value)));
+}
+void TraceSpan::arg(const char* key, int value) {
+  if (!active_) return;
+  args_.emplace_back(key, strfmt("%d", value));
+}
+void TraceSpan::arg(const char* key, double value) {
+  if (!active_) return;
+  args_.emplace_back(key, strfmt("%.6g", value));
+}
+
+}  // namespace dfmres

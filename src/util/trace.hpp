@@ -1,0 +1,154 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/status.hpp"
+
+namespace dfmres {
+
+/// One completed span, recorded when its TraceSpan is destroyed.
+/// `name`/`cat` are string literals (spans are opened at fixed program
+/// points); only the optional args allocate.
+struct TraceEvent {
+  const char* name = "";
+  const char* cat = "";
+  std::uint64_t start_ns = 0;  ///< since the session was enabled
+  std::uint64_t dur_ns = 0;
+  std::uint64_t id = 0;        ///< span id, unique per session, never 0
+  std::uint64_t parent = 0;    ///< enclosing span id; 0 = root
+  std::uint32_t tid = 0;       ///< tracer-local thread index
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Process-wide low-overhead span tracer with a Chrome `trace_event`
+/// JSON exporter (loadable in chrome://tracing and Perfetto).
+///
+/// Recording is off by default: a disabled tracer costs one relaxed
+/// atomic load per TraceSpan construction and nothing else, so the
+/// instrumentation stays compiled into release builds. When enabled,
+/// each thread appends completed spans to a private buffer guarded by
+/// its own (uncontended) mutex; `snapshot`/`write_chrome_json` merge the
+/// buffers. Thread buffers are owned by shared_ptr so spans recorded on
+/// pool workers survive until flush regardless of thread lifetime.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Starts (or resumes) a tracing session. The first enable anchors the
+  /// session clock; a disable/enable pair keeps the anchor so timestamps
+  /// stay monotonic within one process.
+  void enable();
+  void disable();
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops every buffered event (buffers stay registered).
+  void reset();
+
+  /// Nanoseconds since the session anchor.
+  [[nodiscard]] std::uint64_t now_ns() const;
+
+  /// Appends a completed event to the calling thread's buffer. No-op
+  /// while disabled.
+  void record(TraceEvent event);
+
+  /// Merged copy of every thread's events, ordered by start time.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}) of the current
+  /// buffers, with one thread_name metadata record per thread.
+  [[nodiscard]] std::string chrome_json() const;
+  [[nodiscard]] Status write_chrome_json(const std::string& path) const;
+
+  /// The calling thread's innermost open span id (0 = none). Captured by
+  /// ThreadPool::parallel_for so worker-side spans parent correctly.
+  [[nodiscard]] static std::uint64_t current_span();
+
+  /// Fresh session-unique span id.
+  [[nodiscard]] std::uint64_t next_span_id() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class TraceSpan;
+  friend class TraceParentScope;
+
+  struct ThreadBuffer {
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> events;
+    std::uint32_t tid = 0;
+  };
+
+  Tracer() = default;
+  ThreadBuffer& local_buffer();
+  /// Installs `span` as the calling thread's innermost span, returning
+  /// the previous value for the caller to restore.
+  static std::uint64_t exchange_current(std::uint64_t span);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<bool> anchored_{false};
+  std::chrono::steady_clock::time_point anchor_{};
+  mutable std::mutex registry_mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII scoped span: records one TraceEvent covering its lifetime and
+/// maintains the thread-local parent chain. Construction with the tracer
+/// disabled is free (no id allocation, no clock read) and such a span
+/// stays inert even if tracing is enabled before it closes.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* cat = "dfmres");
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// True when this span is actually recording (tracer was enabled at
+  /// construction). Guard arg computation with it when the value is not
+  /// already at hand.
+  [[nodiscard]] bool active() const { return active_; }
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+  void arg(const char* key, std::string value);
+  void arg(const char* key, const char* value);
+  void arg(const char* key, std::uint64_t value);
+  void arg(const char* key, int value);
+  void arg(const char* key, double value);
+
+ private:
+  bool active_ = false;
+  const char* name_;
+  const char* cat_;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  std::uint64_t prev_current_ = 0;
+  std::uint64_t start_ns_ = 0;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+/// Installs an inherited parent span for the calling thread's lifetime
+/// of the scope — how a ThreadPool worker nests its spans under the span
+/// that submitted the job. Passing 0 (no parent / tracing disabled) is a
+/// cheap no-op that still restores correctly.
+class TraceParentScope {
+ public:
+  explicit TraceParentScope(std::uint64_t parent)
+      : prev_(Tracer::exchange_current(parent)) {}
+  ~TraceParentScope() { Tracer::exchange_current(prev_); }
+  TraceParentScope(const TraceParentScope&) = delete;
+  TraceParentScope& operator=(const TraceParentScope&) = delete;
+
+ private:
+  std::uint64_t prev_;
+};
+
+}  // namespace dfmres

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "src/util/ids.hpp"
+#include "src/util/logging.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/stats.hpp"
 #include "src/util/thread_pool.hpp"
@@ -107,6 +111,38 @@ TEST(Stats, RunningStats) {
   EXPECT_DOUBLE_EQ(s.max(), 3.0);
 }
 
+// Regression: the first sample must seed min/max even when every value is
+// negative (a zero-initialized min_ of 0.0 would win otherwise).
+TEST(Stats, RunningStatsNegativeOnlySamples) {
+  RunningStats s;
+  for (double x : {-5.0, -1.0, -3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.min(), -5.0);
+  EXPECT_DOUBLE_EQ(s.max(), -1.0);
+  EXPECT_DOUBLE_EQ(s.mean(), -3.0);
+}
+
+TEST(Stats, RunningStatsMerge) {
+  RunningStats a, b, empty;
+  for (double x : {-2.0, -8.0}) a.add(x);
+  for (double x : {4.0, 6.0}) b.add(x);
+
+  RunningStats seeded;
+  seeded.merge(a);  // merge into empty adopts the source verbatim
+  EXPECT_EQ(seeded.count(), 2u);
+  EXPECT_DOUBLE_EQ(seeded.min(), -8.0);
+  EXPECT_DOUBLE_EQ(seeded.max(), -2.0);
+
+  a.merge(empty);  // merging an empty accumulator is a no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.max(), -2.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.min(), -8.0);
+  EXPECT_DOUBLE_EQ(a.max(), 6.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+}
+
 TEST(Stats, Percentile) {
   std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
   EXPECT_DOUBLE_EQ(percentile(v, 50), 5.0);
@@ -120,6 +156,19 @@ TEST(Stats, Histogram) {
   ASSERT_EQ(h.size(), 2u);
   EXPECT_EQ(h[0], 3u);  // 0.1, 0.2, -3.0 (clamped)
   EXPECT_EQ(h[1], 2u);  // 0.9, 1.5 (clamped)
+}
+
+// Regression: degenerate bin requests must not divide by zero or index
+// out of range.
+TEST(Stats, HistogramDegenerateEdges) {
+  std::vector<double> v{0.5, 1.5};
+  EXPECT_TRUE(histogram(v, 0.0, 1.0, 0).empty());
+  const auto inverted = histogram(v, 1.0, 0.0, 3);
+  ASSERT_EQ(inverted.size(), 3u);
+  EXPECT_EQ(inverted[0] + inverted[1] + inverted[2], 0u);
+  const auto collapsed = histogram(v, 2.0, 2.0, 2);
+  ASSERT_EQ(collapsed.size(), 2u);
+  EXPECT_EQ(collapsed[0] + collapsed[1], 0u);
 }
 
 TEST(Stats, AtpgCountersMergeAndFormat) {
@@ -215,6 +264,55 @@ TEST(ThreadPool, SharedPoolIsUsableAndStable) {
     sum.fetch_add(local);
   });
   EXPECT_EQ(sum.load(), 999u * 1000u / 2u);
+}
+
+std::mutex g_log_lines_mutex;
+std::vector<std::string> g_log_lines;
+
+void capture_log_line(std::string_view line) {
+  std::lock_guard<std::mutex> lock(g_log_lines_mutex);
+  g_log_lines.emplace_back(line);
+}
+
+// Lines must arrive at the sink whole — one callback per log() call with
+// the `[seconds] [tid] [level]` prefix and trailing newline — even when
+// many threads log at once.
+TEST(Logging, SinkReceivesWholeLinesAcrossThreads) {
+  {
+    std::lock_guard<std::mutex> lock(g_log_lines_mutex);
+    g_log_lines.clear();
+  }
+  const LogLevel saved_level = log_level();
+  set_log_level(LogLevel::Info);
+  set_log_sink(&capture_log_line);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log_info("msg thread=%d seq=%d", t, i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  set_log_sink(nullptr);
+  set_log_level(saved_level);
+
+  std::lock_guard<std::mutex> lock(g_log_lines_mutex);
+  ASSERT_EQ(g_log_lines.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  std::set<std::string> unique;
+  for (const std::string& line : g_log_lines) {
+    EXPECT_EQ(line.front(), '[') << line;
+    EXPECT_EQ(line.back(), '\n') << line;
+    EXPECT_NE(line.find("[INFO] msg thread="), std::string::npos) << line;
+    // Exactly one message per line — a torn write would duplicate "msg".
+    EXPECT_EQ(line.find("msg"), line.rfind("msg")) << line;
+    unique.insert(line.substr(line.find("msg")));
+  }
+  EXPECT_EQ(unique.size(), g_log_lines.size());
 }
 
 }  // namespace

@@ -29,14 +29,69 @@
 
 #include "src/circuits/benchmarks.hpp"
 #include "src/core/resynthesis.hpp"
+#include "src/core/run_report.hpp"
 #include "src/library/osu018.hpp"
 #include "src/netlist/stats.hpp"
 #include "src/netlist/verilog.hpp"
 #include "src/synth/mapper.hpp"
+#include "src/util/metrics.hpp"
+#include "src/util/trace.hpp"
 
 namespace {
 
 using namespace dfmres;
+
+/// The three observability outputs shared by `flow` and `resyn`:
+/// --trace-out (Chrome trace_event JSON), --metrics-out (merged
+/// counters/gauges/histograms/series) and --report-out (the run report).
+struct Observability {
+  std::string trace_out;
+  std::string metrics_out;
+  std::string report_out;
+
+  /// Consumes argv[*i] (and its value) when it is one of the three
+  /// flags.
+  bool match(int argc, char** argv, int* i) {
+    const auto take = [&](const char* flag, std::string* out) {
+      if (!std::strcmp(argv[*i], flag) && *i + 1 < argc) {
+        *out = argv[++*i];
+        return true;
+      }
+      return false;
+    };
+    return take("--trace-out", &trace_out) ||
+           take("--metrics-out", &metrics_out) ||
+           take("--report-out", &report_out);
+  }
+
+  /// Tracing must be on before the run; the other outputs are flushed
+  /// after it.
+  void arm() const {
+    if (!trace_out.empty()) Tracer::instance().enable();
+  }
+
+  /// Writes the requested outputs. Returns false if any write failed.
+  [[nodiscard]] bool flush(const RunReport& report) const {
+    bool ok = true;
+    const auto emit = [&](const std::string& path, const Status& s) {
+      if (path.empty()) return;
+      if (s.is_ok()) {
+        std::printf("wrote %s\n", path.c_str());
+      } else {
+        std::fprintf(stderr, "%s\n", s.to_string().c_str());
+        ok = false;
+      }
+    };
+    if (!trace_out.empty()) {
+      emit(trace_out, Tracer::instance().write_chrome_json(trace_out));
+    }
+    if (!metrics_out.empty()) {
+      emit(metrics_out, MetricsRegistry::global().write_json(metrics_out));
+    }
+    if (!report_out.empty()) emit(report_out, report.write_json(report_out));
+    return ok;
+  }
+};
 
 int usage() {
   std::fprintf(stderr,
@@ -44,9 +99,13 @@ int usage() {
                "  dfmres list\n"
                "  dfmres flow <circuit|file.v> [--write out.v] [--util U] "
                "[--threads N]\n"
+               "               [--trace-out F] [--metrics-out F] "
+               "[--report-out F]\n"
                "  dfmres resyn <circuit|file.v> [--q N] [--p1 PCT] "
                "[--write out.v] [--threads N] [--cold]\n"
                "               [--deadline D] [--checkpoint DIR] [--resume]\n"
+               "               [--trace-out F] [--metrics-out F] "
+               "[--report-out F]\n"
                "  dfmres verilog <circuit>\n"
                "  --threads N: fault-simulation worker lanes "
                "(0 = hardware, 1 = serial; results are identical)\n"
@@ -57,7 +116,15 @@ int usage() {
                "  --checkpoint DIR: journal every accepted candidate to "
                "DIR, fsync'd, for crash recovery\n"
                "  --resume: replay the journal in --checkpoint DIR before "
-               "searching\n");
+               "searching\n"
+               "  --trace-out F: write a Chrome trace_event JSON span "
+               "trace (chrome://tracing, Perfetto)\n"
+               "  --metrics-out F: write the merged metrics registry "
+               "(counters/gauges/histograms/series) as JSON\n"
+               "  --report-out F: write the machine-readable run report "
+               "(options fingerprint, Table I/II stats,\n"
+               "                  per-candidate convergence series); "
+               "written even when --deadline expires\n");
   return 2;
 }
 
@@ -207,6 +274,7 @@ int cmd_flow(int argc, char** argv) {
   if (argc < 1) return usage();
   std::string write_path;
   FlowOptions options;
+  Observability obs;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--write") && i + 1 < argc) {
       write_path = argv[++i];
@@ -221,10 +289,14 @@ int cmd_flow(int argc, char** argv) {
       options.atpg.num_threads = static_cast<int>(threads);
     } else if (!std::strcmp(argv[i], "--cold")) {
       options.warm_start = false;
+    } else if (obs.match(argc, argv, &i)) {
+      continue;
     } else {
       return usage();
     }
   }
+  obs.arm();
+  const auto t0 = std::chrono::steady_clock::now();
   bool is_mapped = false;
   const auto design = load_design(argv[0], &is_mapped);
   if (!design) return 1;
@@ -245,6 +317,15 @@ int cmd_flow(int argc, char** argv) {
     write_verilog(state->netlist, out);
     std::printf("wrote %s\n", write_path.c_str());
   }
+  MetricsRegistry::global().absorb(flow.atpg_totals());
+  RunReport report("flow", argv[0]);
+  report.set_threads(state->atpg.counters.threads_used);
+  report.set_final(*state);
+  report.set_atpg_totals(flow.atpg_totals());
+  report.set_runtime_seconds(std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count());
+  if (!obs.flush(report)) return 1;
   return 0;
 }
 
@@ -253,6 +334,7 @@ int cmd_resyn(int argc, char** argv) {
   std::string write_path;
   ResynthesisOptions options;
   FlowOptions flow_options;
+  Observability obs;
   std::chrono::nanoseconds deadline{0};
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--q") && i + 1 < argc) {
@@ -279,6 +361,8 @@ int cmd_resyn(int argc, char** argv) {
       options.checkpoint_dir = argv[++i];
     } else if (!std::strcmp(argv[i], "--resume")) {
       options.resume = true;
+    } else if (obs.match(argc, argv, &i)) {
+      continue;
     } else {
       return usage();
     }
@@ -287,6 +371,8 @@ int cmd_resyn(int argc, char** argv) {
     std::fprintf(stderr, "--resume requires --checkpoint DIR\n");
     return 2;
   }
+  obs.arm();
+  const auto t0 = std::chrono::steady_clock::now();
   bool is_mapped = false;
   const auto design = load_design(argv[0], &is_mapped);
   if (!design) return 1;
@@ -294,6 +380,10 @@ int cmd_resyn(int argc, char** argv) {
   const auto original = run_flow(flow, *design, is_mapped);
   if (!original) return 1;
   print_state("orig", *original, nullptr);
+  // The fingerprint depends on the seed tests, which the sign-off
+  // regenerates — compute it now, on the state resynthesize() will see.
+  const std::uint64_t fingerprint =
+      resynthesis_fingerprint(flow, *original, options);
   // Not assignable (atomic latch), so arm the deadline at construction.
   const CancelToken cancel = deadline.count() > 0
                                  ? CancelToken::with_deadline(deadline)
@@ -322,6 +412,19 @@ int cmd_resyn(int argc, char** argv) {
     write_verilog(result->state.netlist, out);
     std::printf("wrote %s\n", write_path.c_str());
   }
+  MetricsRegistry::global().absorb(flow.atpg_totals());
+  publish_metrics(result->report, MetricsRegistry::global());
+  RunReport report("resyn", argv[0]);
+  report.set_threads(result->state.atpg.counters.threads_used);
+  report.set_fingerprint(fingerprint);
+  report.set_initial(*original);
+  report.set_final(result->state);
+  report.set_resynthesis(result->report);
+  report.set_atpg_totals(flow.atpg_totals());
+  report.set_runtime_seconds(std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count());
+  if (!obs.flush(report)) return 1;
   return 0;
 }
 
