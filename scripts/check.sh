@@ -42,6 +42,41 @@ print("observability gate: trace/metrics/report OK")
 EOF
 python3 scripts/summarize_report.py "$OBS_DIR/report.json"
 
+# Campaign gate: a 2-job mini-campaign from a manifest must finish with
+# every job completed and emit a schema-valid campaign report whose
+# per-job run reports and merged metrics survive the summarizer.
+CAMP_DIR="$BUILD_DIR/campaign_gate"
+mkdir -p "$CAMP_DIR"
+cat > "$CAMP_DIR/manifest.json" <<'EOF'
+{
+  "schema": "dfmres-campaign-manifest-v1",
+  "jobs": [
+    {"name": "tlu-q0", "design": "sparc_tlu", "mode": "resyn", "q_max": 0},
+    {"name": "wb-q2", "design": "wb_conmax", "mode": "resyn", "q_max": 2}
+  ]
+}
+EOF
+"$BUILD_DIR/tools/dfmres" campaign --manifest "$CAMP_DIR/manifest.json" \
+  --jobs 2 --checkpoint-root "$CAMP_DIR/ckpt" \
+  --report-out "$CAMP_DIR/report.json"
+python3 - "$CAMP_DIR" <<'EOF'
+import json, sys, os
+d = sys.argv[1]
+report = json.load(open(os.path.join(d, "report.json")))
+assert report["schema"] == "dfmres-campaign-report-v1"
+assert report["jobs_total"] == 2 and report["completed"] == 2
+assert report["failed"] == 0 and report["skipped"] == 0
+assert report["jobs_in_flight"] == 2
+for job in report["jobs"]:
+    assert job["ok"], job
+    assert job["report"]["command"] == "resyn", job
+    assert job["report"]["final"]["coverage"] > 0.9, job
+assert {j["name"] for j in report["jobs"]} == {"tlu-q0", "wb-q2"}
+assert report["metrics"]["counters"]["atpg.patterns_simulated"] > 0
+print("campaign gate: report OK")
+EOF
+python3 scripts/summarize_report.py "$CAMP_DIR/report.json"
+
 scripts/run_tsan.sh
 scripts/run_asan.sh
 scripts/run_ubsan.sh

@@ -1,10 +1,11 @@
 #!/bin/sh
 # ThreadSanitizer gate for the fault-simulation thread pool: configures a
-# dedicated -DDFMRES_SANITIZE=thread build tree and runs the two suites
+# dedicated -DDFMRES_SANITIZE=thread build tree and runs the suites
 # that drive the pool (atpg_test exercises the parallel sweeps in
-# run_atpg, sim_test the shared simulation substrate) plus the pool's own
-# unit tests. Any data race aborts with a TSan report and a non-zero
-# exit. Usage: scripts/run_tsan.sh [build-dir]
+# run_atpg, sim_test the shared simulation substrate, campaign_test the
+# multi-job scheduler) plus the pool's own unit tests. Any data race
+# aborts with a TSan report and a non-zero exit.
+# Usage: scripts/run_tsan.sh [build-dir]
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -13,7 +14,7 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DDFMRES_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target atpg_test sim_test util_test observability_test
+  --target atpg_test sim_test util_test observability_test campaign_test
 
 # TSAN_OPTIONS: fail loudly, first report wins.
 TSAN_OPTIONS="halt_on_error=1 exitcode=66" \
@@ -23,5 +24,11 @@ TSAN_OPTIONS="halt_on_error=1 exitcode=66" "$BUILD_DIR/tests/sim_test"
 # Tracer buffers + cross-worker span propagation and the metrics locks.
 TSAN_OPTIONS="halt_on_error=1 exitcode=66" \
   "$BUILD_DIR/tests/observability_test"
+# Campaign scheduler: job runners racing the shared pool, cancellation
+# fan-out, and metrics-shard merging. The standalone bit-identity
+# comparison is skipped here (it reruns full flows; identity is covered
+# by the regular build), the concurrent-jobs paths are not.
+TSAN_OPTIONS="halt_on_error=1 exitcode=66" "$BUILD_DIR/tests/campaign_test" \
+  --gtest_filter='-CampaignHeavy.JobsAreBitIdenticalToStandaloneRuns'
 
 echo "TSan: no data races detected."

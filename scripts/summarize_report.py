@@ -1,11 +1,15 @@
 #!/usr/bin/env python3
-"""Summarize a dfmres run report (--report-out / BENCH_*_report.json).
+"""Summarize a dfmres run or campaign report.
 
-Prints the run header, initial vs final Table-II-style stats, ATPG and
-resynthesis counters, and a compact convergence table. With several
+For a dfmres-run-report-v1 document (--report-out /
+BENCH_*_report.json) prints the run header, initial vs final
+Table-II-style stats, ATPG and resynthesis counters, and a compact
+convergence table. For a dfmres-campaign-report-v1 document
+(dfmres campaign --report-out) prints the campaign totals, a one-line
+ledger per job, and the embedded per-job run reports. With several
 reports, prints one block per file. Exits non-zero on a file that is
-not a valid dfmres-run-report-v1 document, so CI can use it as a
-schema gate.
+not a valid document of either schema, so CI can use it as a schema
+gate.
 
 Usage: scripts/summarize_report.py report.json [more.json ...]
 """
@@ -26,29 +30,80 @@ def summarize(path):
     with open(path, "r", encoding="utf-8") as fh:
         report = json.load(fh)
     schema = report.get("schema")
+    if schema == "dfmres-campaign-report-v1":
+        summarize_campaign(path, report)
+        return
     if schema != "dfmres-run-report-v1":
         raise ValueError(f"{path}: unexpected schema {schema!r}")
 
     print(f"== {path}")
+    summarize_run(report)
+
+
+def summarize_campaign(path, report):
+    print(f"== {path}")
+    total = report["jobs_total"]
+    print(
+        f"   campaign: {total} job(s), {report['completed']} completed,"
+        f" {report['expired']} expired, {report['failed']} failed,"
+        f" {report['skipped']} skipped"
+    )
+    print(
+        f"   schedule: {report['jobs_in_flight']} job(s) in flight x"
+        f" {report['inner_threads']} lane(s)"
+        f" of {report['total_threads']} total,"
+        f" wall {report['runtime_seconds']:.2f}s"
+    )
+    jobs = report["jobs"]
+    if len(jobs) != total:
+        raise ValueError(f"{path}: jobs_total {total} != {len(jobs)} entries")
+    for job in jobs:
+        flags = []
+        if job["skipped"]:
+            flags.append("skipped")
+        elif not job["ok"]:
+            flags.append(f"FAILED ({job['status']})")
+        if job["deadline_expired"]:
+            flags.append("deadline expired")
+        suffix = f"  [{', '.join(flags)}]" if flags else ""
+        print(
+            f"   job {job['name']}: {job['mode']} on {job['design']},"
+            f" {job['inner_threads']} lane(s),"
+            f" {job['runtime_seconds']:.2f}s{suffix}"
+        )
+    counters = report.get("metrics", {}).get("counters", {})
+    patterns = counters.get("atpg.patterns_simulated")
+    if patterns is not None:
+        print(f"   merged metrics: {patterns} ATPG patterns simulated")
+    for job in jobs:
+        if "report" in job:
+            print(f"   -- job {job['name']}")
+            summarize_run(job["report"], indent="   ")
+
+
+def summarize_run(report, indent=""):
+    def print_line(text):
+        print(indent + text)
+
     header = f"{report['command']} on {report['circuit']}"
     if report.get("threads"):
         header += f", {report['threads']} threads"
     if report.get("fingerprint"):
         header += f", fingerprint {report['fingerprint']}"
-    print(f"   {header}")
+    print_line(f"   {header}")
     wall = report.get("runtime_seconds", 0.0)
     cpu = report.get("cpu_seconds", 0.0)
     partial = "  [PARTIAL RUN]" if report.get("partial") else ""
-    print(f"   wall {wall:.2f}s, cpu {cpu:.2f}s{partial}")
+    print_line(f"   wall {wall:.2f}s, cpu {cpu:.2f}s{partial}")
 
     if "initial" in report:
-        print(f"   initial: {fmt_state(report['initial'])}")
+        print_line(f"   initial: {fmt_state(report['initial'])}")
     if "final" in report:
-        print(f"   final:   {fmt_state(report['final'])}")
+        print_line(f"   final:   {fmt_state(report['final'])}")
 
     atpg = report.get("atpg")
     if atpg:
-        print(
+        print_line(
             f"   atpg: {atpg['patterns_simulated']} patterns, "
             f"{atpg['detect_mask_calls']} detect_mask calls, "
             f"{atpg['podem_backtracks']} backtracks, "
@@ -61,31 +116,31 @@ def summarize(path):
     if resyn:
         c = resyn["counters"]
         p = resyn["phase_seconds"]
-        print(
+        print_line(
             f"   resyn: q_used={resyn['q_used']}%"
             f" accepted={'yes' if resyn['any_accepted'] else 'no'}"
             f" deadline_expired={'yes' if resyn['deadline_expired'] else 'no'}"
             f"  {c['candidates_built']} built, {c['u_in_probes']} u_in probes,"
             f" {c['full_probes']} full probes"
         )
-        print(
+        print_line(
             f"   resyn phases: build {p['build']:.2f}s, u_in {p['u_in']:.2f}s,"
             f" probe {p['probe']:.2f}s, signoff {p['signoff']:.2f}s"
         )
         trace = resyn.get("convergence", [])
         accepted = [r for r in trace if r["accepted"]]
-        print(
+        print_line(
             f"   convergence: {len(trace)} candidates recorded, "
             f"{len(accepted)} accepted"
         )
         if accepted:
-            print(
+            print_line(
                 f"   {'sec':>8} {'q':>3} {'ph':>2} {'U':>6} {'Smax':>6}"
                 f" {'%Smax':>7} {'via':>12} {'banned':>10}"
             )
             for r in accepted:
                 via = "backtracking" if r["via_backtracking"] else "direct"
-                print(
+                print_line(
                     f"   {r['seconds']:8.2f} {r['q']:2d}% {r['phase']:2d}"
                     f" {r['undetectable']:6d} {r['smax']:6d}"
                     f" {r['smax_pct']:6.2f}% {via:>12} {r['ban_through']:>10}"

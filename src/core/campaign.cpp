@@ -1,0 +1,621 @@
+#include "src/core/campaign.hpp"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "src/circuits/benchmarks.hpp"
+#include "src/layout/floorplan.hpp"
+#include "src/netlist/verilog.hpp"
+#include "src/place/placement.hpp"
+#include "src/library/osu018.hpp"
+#include "src/util/json.hpp"
+#include "src/util/logging.hpp"
+#include "src/util/thread_pool.hpp"
+#include "src/util/trace.hpp"
+
+namespace dfmres {
+
+Expected<std::chrono::nanoseconds> parse_duration_spec(std::string_view text) {
+  double scale_s = 1.0;
+  if (text.size() >= 2 && text.substr(text.size() - 2) == "ms") {
+    scale_s = 1e-3;
+    text.remove_suffix(2);
+  } else if (!text.empty() && text.back() == 's') {
+    text.remove_suffix(1);
+  } else if (!text.empty() && text.back() == 'm') {
+    scale_s = 60.0;
+    text.remove_suffix(1);
+  }
+  const std::string body(text);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(body.c_str(), &end);
+  if (body.empty() || end != body.c_str() + body.size() || errno == ERANGE ||
+      !(v > 0) || v * scale_s > 1e9) {
+    return make_status(StatusCode::kInvalidArgument,
+                       "invalid duration '%s' (expected a positive duration "
+                       "such as 500ms, 30s or 2m)",
+                       std::string(text).c_str());
+  }
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(v * scale_s));
+}
+
+namespace {
+
+constexpr const char* kModeFlow = "flow";
+constexpr const char* kModeResyn = "resyn";
+
+/// Strict manifest-side accessors: every value is type- and
+/// range-checked so a manifest typo fails the parse, not the campaign.
+Status manifest_error(std::size_t job, const char* key, const char* what) {
+  return make_status(StatusCode::kInvalidArgument,
+                     "manifest job %zu: key '%s': %s", job, key, what);
+}
+
+Status parse_number(const JsonValue& v, std::size_t job, const char* key,
+                    double lo, double hi, double* out) {
+  if (!v.is_number()) return manifest_error(job, key, "expected a number");
+  const double d = v.as_number();
+  if (!(d >= lo) || !(d <= hi)) {
+    return manifest_error(job, key, "out of range");
+  }
+  *out = d;
+  return Status::ok();
+}
+
+template <typename T>
+Status parse_integer(const JsonValue& v, std::size_t job, const char* key,
+                     double lo, double hi, T* out) {
+  double d = 0.0;
+  if (Status s = parse_number(v, job, key, lo, hi, &d); !s.is_ok()) return s;
+  if (d != std::floor(d)) return manifest_error(job, key, "expected an integer");
+  *out = static_cast<T>(d);
+  return Status::ok();
+}
+
+Status parse_bool(const JsonValue& v, std::size_t job, const char* key,
+                  bool* out) {
+  if (!v.is_bool()) return manifest_error(job, key, "expected a boolean");
+  *out = v.as_bool();
+  return Status::ok();
+}
+
+Status parse_string(const JsonValue& v, std::size_t job, const char* key,
+                    std::string* out) {
+  if (!v.is_string()) return manifest_error(job, key, "expected a string");
+  *out = v.as_string();
+  return Status::ok();
+}
+
+Status parse_job(const JsonValue& v, std::size_t index, CampaignJobSpec* out) {
+  if (!v.is_object()) {
+    return make_status(StatusCode::kInvalidArgument,
+                       "manifest job %zu: expected an object", index);
+  }
+  bool have_name = false;
+  bool have_design = false;
+  for (const auto& [key, value] : v.members()) {
+    Status s;
+    if (key == "name") {
+      s = parse_string(value, index, "name", &out->name);
+      have_name = true;
+    } else if (key == "design") {
+      s = parse_string(value, index, "design", &out->design);
+      have_design = true;
+    } else if (key == "mode") {
+      std::string mode;
+      s = parse_string(value, index, "mode", &mode);
+      if (s.is_ok()) {
+        if (mode == kModeFlow) {
+          out->mode = CampaignJobSpec::Mode::Flow;
+        } else if (mode == kModeResyn) {
+          out->mode = CampaignJobSpec::Mode::Resyn;
+        } else {
+          s = manifest_error(index, "mode", "expected \"flow\" or \"resyn\"");
+        }
+      }
+    } else if (key == "utilization") {
+      s = parse_number(value, index, "utilization", 0.05, 1.0,
+                       &out->flow.utilization);
+    } else if (key == "threads") {
+      s = parse_integer(value, index, "threads", 0, 1024,
+                        &out->flow.atpg.num_threads);
+    } else if (key == "warm_start") {
+      s = parse_bool(value, index, "warm_start", &out->flow.warm_start);
+    } else if (key == "seed") {
+      s = parse_integer(value, index, "seed", 0, 9e15, &out->flow.atpg.seed);
+    } else if (key == "random_batches") {
+      s = parse_integer(value, index, "random_batches", 1, 65536,
+                        &out->flow.atpg.random_batches);
+    } else if (key == "backtrack_limit") {
+      s = parse_integer(value, index, "backtrack_limit", 1, 1e9,
+                        &out->flow.atpg.backtrack_limit);
+    } else if (key == "q_max") {
+      s = parse_integer(value, index, "q_max", 0, 100, &out->resyn.q_max);
+    } else if (key == "p1_pct") {
+      double pct = 0.0;
+      s = parse_number(value, index, "p1_pct", 0.0, 100.0, &pct);
+      if (s.is_ok()) out->resyn.p1 = pct / 100.0;
+    } else if (key == "max_iterations_per_phase") {
+      s = parse_integer(value, index, "max_iterations_per_phase", 1, 100000,
+                        &out->resyn.max_iterations_per_phase);
+    } else if (key == "trend_window") {
+      s = parse_integer(value, index, "trend_window", 1, 1000,
+                        &out->resyn.trend_window);
+    } else if (key == "reanalyses_per_iteration") {
+      s = parse_integer(value, index, "reanalyses_per_iteration", 1, 1000000,
+                        &out->resyn.reanalyses_per_iteration);
+    } else if (key == "dedup_candidates") {
+      s = parse_bool(value, index, "dedup_candidates",
+                     &out->resyn.dedup_candidates);
+    } else if (key == "parallel_ladder") {
+      s = parse_bool(value, index, "parallel_ladder",
+                     &out->resyn.parallel_ladder);
+    } else if (key == "deadline") {
+      std::string spec;
+      s = parse_string(value, index, "deadline", &spec);
+      if (s.is_ok()) {
+        auto d = parse_duration_spec(spec);
+        if (!d) {
+          s = manifest_error(index, "deadline", d.status().message().c_str());
+        } else {
+          out->deadline = *d;
+        }
+      }
+    } else {
+      s = make_status(StatusCode::kInvalidArgument,
+                      "manifest job %zu: unknown key '%s'", index, key.c_str());
+    }
+    if (!s.is_ok()) return s;
+  }
+  if (!have_name) return manifest_error(index, "name", "missing");
+  if (!have_design) return manifest_error(index, "design", "missing");
+  return Status::ok();
+}
+
+}  // namespace
+
+Expected<CampaignManifest> CampaignManifest::from_json(std::string_view text) {
+  auto doc = JsonValue::parse(text);
+  if (!doc) return doc.status();
+  if (!doc->is_object()) {
+    return make_status(StatusCode::kInvalidArgument,
+                       "manifest: expected a top-level object");
+  }
+  CampaignManifest manifest;
+  bool have_schema = false;
+  for (const auto& [key, value] : doc->members()) {
+    if (key == "schema") {
+      if (!value.is_string() || value.as_string() != kSchema) {
+        return make_status(StatusCode::kInvalidArgument,
+                           "manifest: schema must be \"%s\"", kSchema);
+      }
+      have_schema = true;
+    } else if (key == "jobs") {
+      if (!value.is_array()) {
+        return make_status(StatusCode::kInvalidArgument,
+                           "manifest: 'jobs' must be an array");
+      }
+      for (std::size_t i = 0; i < value.items().size(); ++i) {
+        CampaignJobSpec job;
+        if (Status s = parse_job(value.items()[i], i, &job); !s.is_ok()) {
+          return s;
+        }
+        manifest.jobs.push_back(std::move(job));
+      }
+    } else {
+      return make_status(StatusCode::kInvalidArgument,
+                         "manifest: unknown key '%s'", key.c_str());
+    }
+  }
+  if (!have_schema) {
+    return make_status(StatusCode::kInvalidArgument,
+                       "manifest: missing \"schema\": \"%s\"", kSchema);
+  }
+  if (Status s = manifest.validate(); !s.is_ok()) return s;
+  return manifest;
+}
+
+Expected<CampaignManifest> CampaignManifest::read(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return make_status(StatusCode::kNotFound, "cannot open manifest '%s'",
+                       path.c_str());
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return from_json(text.str());
+}
+
+std::string CampaignManifest::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema", kSchema);
+  w.key("jobs");
+  w.begin_array();
+  for (const auto& job : jobs) {
+    w.begin_object();
+    w.field("name", job.name);
+    w.field("design", job.design);
+    w.field("mode",
+            job.mode == CampaignJobSpec::Mode::Flow ? kModeFlow : kModeResyn);
+    w.field("utilization", job.flow.utilization);
+    w.field("threads", job.flow.atpg.num_threads);
+    w.field("warm_start", job.flow.warm_start);
+    w.field("seed", static_cast<std::uint64_t>(job.flow.atpg.seed));
+    w.field("random_batches", job.flow.atpg.random_batches);
+    w.field("backtrack_limit",
+            static_cast<std::int64_t>(job.flow.atpg.backtrack_limit));
+    w.field("q_max", job.resyn.q_max);
+    w.field("p1_pct", job.resyn.p1 * 100.0);
+    w.field("max_iterations_per_phase", job.resyn.max_iterations_per_phase);
+    w.field("trend_window", job.resyn.trend_window);
+    w.field("reanalyses_per_iteration", job.resyn.reanalyses_per_iteration);
+    w.field("dedup_candidates", job.resyn.dedup_candidates);
+    w.field("parallel_ladder", job.resyn.parallel_ladder);
+    if (job.deadline.count() > 0) {
+      w.field("deadline",
+              strfmt("%.17gs", std::chrono::duration<double>(job.deadline)
+                                   .count()));
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+Status CampaignManifest::write_json(const std::string& path) const {
+  const std::string json = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return make_status(StatusCode::kInvalidArgument,
+                       "cannot open manifest output '%s'", path.c_str());
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != json.size() || !close_ok) {
+    return make_status(StatusCode::kDataLoss,
+                       "short write to manifest output '%s'", path.c_str());
+  }
+  return Status::ok();
+}
+
+Status CampaignManifest::validate() const {
+  if (jobs.empty()) {
+    return make_status(StatusCode::kInvalidArgument, "manifest has no jobs");
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const CampaignJobSpec& job = jobs[i];
+    if (job.name.empty()) {
+      return make_status(StatusCode::kInvalidArgument,
+                         "manifest job %zu: empty name", i);
+    }
+    if (job.name == "." || job.name == ".." ||
+        job.name.find('/') != std::string::npos) {
+      return make_status(StatusCode::kInvalidArgument,
+                         "manifest job %zu: name '%s' is not a single path "
+                         "component",
+                         i, job.name.c_str());
+    }
+    if (job.design.empty()) {
+      return make_status(StatusCode::kInvalidArgument,
+                         "manifest job %zu ('%s'): empty design", i,
+                         job.name.c_str());
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (jobs[j].name == job.name) {
+        return make_status(StatusCode::kInvalidArgument,
+                           "manifest jobs %zu and %zu share the name '%s'", j,
+                           i, job.name.c_str());
+      }
+    }
+  }
+  return Status::ok();
+}
+
+CampaignManifest table2_manifest() {
+  CampaignManifest manifest;
+  for (const auto name : benchmark_names()) {
+    CampaignJobSpec job;
+    job.name = std::string(name);
+    job.design = std::string(name);
+    job.mode = CampaignJobSpec::Mode::Resyn;
+    job.resyn.q_max = 5;  // the paper's Table II envelope
+    manifest.jobs.push_back(std::move(job));
+  }
+  return manifest;
+}
+
+namespace {
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/// Benchmark name -> generic RTL netlist (is_mapped=false); *.v file ->
+/// already-mapped netlist over the standard library (is_mapped=true).
+Expected<Netlist> load_campaign_design(const std::string& name,
+                                       bool* is_mapped) {
+  *is_mapped = false;
+  if (ends_with(name, ".v")) {
+    std::ifstream in(name);
+    if (!in) {
+      return make_status(StatusCode::kNotFound, "cannot open design '%s'",
+                         name.c_str());
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto nl = read_verilog(text.str(), osu018_library());
+    if (!nl) return nl.status();
+    *is_mapped = true;
+    return std::move(*nl);
+  }
+  return build_benchmark(name);
+}
+
+/// Runs one job start to finish on the calling (runner) thread. Never
+/// throws past here: every failure lands in the result's status so the
+/// rest of the campaign is unaffected.
+CampaignJobResult run_job(const CampaignJobSpec& spec,
+                          const CampaignOptions& options, int inner_threads) {
+  CampaignJobResult result;
+  result.name = spec.name;
+  result.design = spec.design;
+  result.mode = spec.mode;
+  result.inner_threads = inner_threads;
+  result.metrics = std::make_unique<MetricsRegistry>();
+  if (cancel_expired(options.cancel)) {
+    result.skipped = true;
+    result.status = options.cancel->to_status();
+    return result;
+  }
+
+  TraceSpan span("campaign.job", "campaign");
+  span.arg("name", spec.name.c_str());
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto finish = [&] {
+    result.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  };
+
+  // The per-job stop signal: the job deadline is armed now (when the job
+  // starts, matching a standalone run), chained to the campaign token so
+  // a campaign-wide cancel drains this job too.
+  const CancelToken token(spec.deadline.count() > 0
+                              ? Deadline::after(spec.deadline)
+                              : Deadline::never(),
+                          options.cancel);
+
+  bool is_mapped = false;
+  auto design = load_campaign_design(spec.design, &is_mapped);
+  if (!design) {
+    result.status = design.status();
+    finish();
+    return result;
+  }
+
+  FlowOptions flow_options = spec.flow;
+  // Two-level budget: the job's fault-sim/ladder fan-out never exceeds
+  // its share of the machine; an explicit manifest cap only lowers it.
+  flow_options.atpg.num_threads =
+      flow_options.atpg.num_threads == 0
+          ? inner_threads
+          : std::min(flow_options.atpg.num_threads, inner_threads);
+  DesignFlow flow(osu018_library(), flow_options);
+
+  Expected<FlowState> original = [&]() -> Expected<FlowState> {
+    if (!is_mapped) return flow.run_initial(*design);
+    const Floorplan plan = make_floorplan(*design, flow_options.utilization);
+    Placement placement = global_place(*design, plan, flow_options.place);
+    return flow.analyze(AnalysisRequest::placed(
+        std::move(*design), std::move(placement), /*generate_tests=*/true));
+  }();
+  if (!original) {
+    result.status = original.status();
+    finish();
+    return result;
+  }
+
+  if (spec.mode == CampaignJobSpec::Mode::Flow) {
+    result.final_state = std::move(*original);
+    result.atpg_totals = flow.atpg_totals();
+    result.metrics->absorb(result.atpg_totals);
+    RunReport report("flow", spec.design);
+    report.set_threads(result.final_state->atpg.counters.threads_used);
+    report.set_final(*result.final_state);
+    report.set_atpg_totals(result.atpg_totals);
+    finish();
+    report.set_runtime_seconds(result.seconds);
+    result.report = std::move(report);
+    return result;
+  }
+
+  ResynthesisOptions resyn_options = spec.resyn;
+  resyn_options.cancel = &token;
+  if (!options.checkpoint_root.empty()) {
+    resyn_options.checkpoint_dir = options.checkpoint_root + "/" + spec.name;
+    resyn_options.resume = options.resume;
+  } else {
+    resyn_options.checkpoint_dir.clear();
+    resyn_options.resume = false;
+  }
+  const std::uint64_t fingerprint =
+      resynthesis_fingerprint(flow, *original, resyn_options);
+  auto resyn = resynthesize(flow, *original, resyn_options);
+  if (!resyn) {
+    result.status = resyn.status();
+    finish();
+    return result;
+  }
+  result.initial = std::move(*original);
+  result.final_state = std::move(resyn->state);
+  result.resyn = std::move(resyn->report);
+  result.deadline_expired = result.resyn->deadline_expired;
+  result.atpg_totals = flow.atpg_totals();
+  result.metrics->absorb(result.atpg_totals);
+  publish_metrics(*result.resyn, *result.metrics);
+  RunReport report("resyn", spec.design);
+  report.set_threads(result.final_state->atpg.counters.threads_used);
+  report.set_fingerprint(fingerprint);
+  report.set_initial(*result.initial);
+  report.set_final(*result.final_state);
+  report.set_resynthesis(*result.resyn);
+  report.set_atpg_totals(result.atpg_totals);
+  finish();
+  report.set_runtime_seconds(result.seconds);
+  result.report = std::move(report);
+  return result;
+}
+
+}  // namespace
+
+void CampaignResult::merge_metrics_into(MetricsRegistry& out) const {
+  for (const auto& job : jobs) {
+    if (job.metrics != nullptr) out.merge(*job.metrics);
+  }
+}
+
+std::string CampaignResult::report_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema", kReportSchema);
+  w.field("jobs_total", static_cast<std::uint64_t>(jobs.size()));
+  w.field("completed", static_cast<std::uint64_t>(completed));
+  w.field("expired", static_cast<std::uint64_t>(expired));
+  w.field("failed", static_cast<std::uint64_t>(failed));
+  w.field("skipped", static_cast<std::uint64_t>(skipped));
+  w.field("jobs_in_flight", jobs_in_flight);
+  w.field("inner_threads", inner_threads);
+  w.field("total_threads", total_threads);
+  w.field("runtime_seconds", seconds);
+  w.key("jobs");
+  w.begin_array();
+  for (const auto& job : jobs) {
+    w.begin_object();
+    w.field("name", job.name);
+    w.field("design", job.design);
+    w.field("mode", job.mode == CampaignJobSpec::Mode::Flow ? kModeFlow
+                                                            : kModeResyn);
+    w.field("ok", job.ok());
+    w.field("status", job.status.is_ok() ? std::string("ok")
+                                         : job.status.to_string());
+    w.field("skipped", job.skipped);
+    w.field("deadline_expired", job.deadline_expired);
+    w.field("inner_threads", job.inner_threads);
+    w.field("runtime_seconds", job.seconds);
+    if (job.report.has_value()) {
+      w.key("report");
+      w.raw(job.report->to_json());
+    }
+    w.end_object();
+  }
+  w.end_array();
+  MetricsRegistry merged;
+  merge_metrics_into(merged);
+  w.key("metrics");
+  w.raw(merged.to_json());
+  w.end_object();
+  return w.take();
+}
+
+Status CampaignResult::write_report(const std::string& path) const {
+  const std::string json = report_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return make_status(StatusCode::kInvalidArgument,
+                       "cannot open report output '%s'", path.c_str());
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != json.size() || !close_ok) {
+    return make_status(StatusCode::kDataLoss,
+                       "short write to report output '%s'", path.c_str());
+  }
+  return Status::ok();
+}
+
+Expected<CampaignResult> run_campaign(const CampaignManifest& manifest,
+                                      const CampaignOptions& options) {
+  if (Status s = manifest.validate(); !s.is_ok()) return s;
+  if (!options.checkpoint_root.empty()) {
+    if (::mkdir(options.checkpoint_root.c_str(), 0755) != 0 &&
+        errno != EEXIST) {
+      return make_status(StatusCode::kInvalidArgument,
+                         "cannot create checkpoint root '%s': %s",
+                         options.checkpoint_root.c_str(),
+                         std::strerror(errno));
+    }
+  }
+
+  CampaignResult out;
+  out.total_threads = ThreadPool::resolve_threads(options.total_threads);
+  out.jobs_in_flight = std::clamp(options.max_parallel_jobs, 1,
+                                  static_cast<int>(manifest.jobs.size()));
+  out.inner_threads =
+      ThreadPool::lanes_per_job(out.total_threads, out.jobs_in_flight);
+  out.jobs.resize(manifest.jobs.size());
+
+  log(LogLevel::Info,
+      "campaign: %zu job(s), %d in flight, %d fault-sim lane(s) each",
+      manifest.jobs.size(), out.jobs_in_flight, out.inner_threads);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::atomic<std::size_t> next{0};
+  const auto runner = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= manifest.jobs.size()) return;
+      out.jobs[i] = run_job(manifest.jobs[i], options, out.inner_threads);
+      const CampaignJobResult& job = out.jobs[i];
+      log(job.ok() ? LogLevel::Info : LogLevel::Warn,
+          "campaign: job '%s' %s in %.1fs%s", job.name.c_str(),
+          job.skipped ? "skipped"
+                      : (job.status.is_ok() ? "done" : "failed"),
+          job.seconds,
+          job.deadline_expired ? " (deadline expired)" : "");
+    }
+  };
+  if (out.jobs_in_flight <= 1) {
+    runner();
+  } else {
+    // Dedicated runner threads; each job's inner fan-out goes through
+    // the shared ThreadPool under the two-level budget, so the machine
+    // is never oversubscribed by jobs × lanes.
+    std::vector<std::jthread> runners;
+    runners.reserve(static_cast<std::size_t>(out.jobs_in_flight));
+    for (int k = 0; k < out.jobs_in_flight; ++k) runners.emplace_back(runner);
+  }
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  for (const auto& job : out.jobs) {
+    if (job.skipped) {
+      ++out.skipped;
+    } else if (!job.status.is_ok()) {
+      ++out.failed;
+    } else if (job.deadline_expired) {
+      ++out.expired;
+    } else {
+      ++out.completed;
+    }
+  }
+  return out;
+}
+
+}  // namespace dfmres

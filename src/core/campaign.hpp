@@ -1,0 +1,160 @@
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/resynthesis.hpp"
+#include "src/core/run_report.hpp"
+#include "src/util/metrics.hpp"
+
+namespace dfmres {
+
+/// Parses a duration spec: "<n>ms", "<n>s", "<n>m", or a bare "<n>"
+/// meaning seconds; must be positive and at most 1e9 seconds. Shared by
+/// the campaign-manifest parser and the CLI flag parsers.
+[[nodiscard]] Expected<std::chrono::nanoseconds> parse_duration_spec(
+    std::string_view text);
+
+/// One job of a campaign: a design crossed with the flow and (for resyn
+/// jobs) resynthesis options. The spec's `resyn.cancel`,
+/// `resyn.checkpoint_dir` and `resyn.resume` fields are managed by the
+/// scheduler (per-job token, `<checkpoint_root>/<name>`); values set
+/// here are ignored. `flow.atpg.num_threads` is a cap on the job's
+/// inner fan-out: the scheduler lowers it to the two-level budget
+/// (0 = use the full per-job share).
+struct CampaignJobSpec {
+  enum class Mode { Flow, Resyn };
+
+  /// Unique within the manifest; names the job in the report and its
+  /// checkpoint directory (must be a single path component).
+  std::string name;
+  /// Benchmark name (see `dfmres list`) or a path to a structural
+  /// Verilog file over the standard library.
+  std::string design;
+  Mode mode = Mode::Resyn;
+  FlowOptions flow;
+  ResynthesisOptions resyn;
+  /// Per-job wall-clock budget, armed when the job starts (0 = none).
+  std::chrono::nanoseconds deadline{0};
+};
+
+/// An ordered set of campaign jobs with a strict JSON representation
+/// (schema `dfmres-campaign-manifest-v1`). The JSON form covers the
+/// commonly swept knobs; programmatic callers (benches, tests) can fill
+/// any CampaignJobSpec field directly.
+struct CampaignManifest {
+  static constexpr const char* kSchema = "dfmres-campaign-manifest-v1";
+
+  std::vector<CampaignJobSpec> jobs;
+
+  /// Strict parse: unknown keys, duplicate job names, bad enum values
+  /// and malformed durations are kInvalidArgument (with a line:column
+  /// locator for syntax errors).
+  [[nodiscard]] static Expected<CampaignManifest> from_json(
+      std::string_view text);
+  [[nodiscard]] static Expected<CampaignManifest> read(
+      const std::string& path);
+
+  /// Canonical JSON (round-trips through from_json).
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] Status write_json(const std::string& path) const;
+
+  /// The duplicate-name / empty-name / path-component checks from_json
+  /// applies, callable on programmatically built manifests.
+  [[nodiscard]] Status validate() const;
+};
+
+/// The paper's Table II sweep: every built-in benchmark as one resyn job
+/// at the paper's q_max = 5 envelope.
+[[nodiscard]] CampaignManifest table2_manifest();
+
+struct CampaignOptions {
+  /// Jobs in flight at once (clamped to [1, |jobs|]).
+  int max_parallel_jobs = 1;
+  /// Hardware budget split across the jobs in flight:
+  /// `inner = max(1, total_threads / jobs_in_flight)` fault-sim lanes
+  /// per job, so `jobs × inner ≤ max(total, jobs)`. 0 = hardware
+  /// concurrency.
+  int total_threads = 0;
+  /// Campaign-wide stop signal; per-job tokens chain to it, so
+  /// cancelling it drains every running job cooperatively and skips the
+  /// jobs not yet started.
+  const CancelToken* cancel = nullptr;
+  /// Per-job checkpoint journals at `<checkpoint_root>/<job name>`
+  /// (empty = no checkpointing). The root is created if missing.
+  std::string checkpoint_root;
+  /// Resume each job from its journal when one exists.
+  bool resume = false;
+};
+
+/// Outcome of one campaign job. `status` is ok for a job that ran to
+/// completion (including a resyn whose deadline expired — that returns
+/// the best accepted design per the resynthesis contract, with
+/// `deadline_expired` set); a failed job carries the error here and
+/// leaves the optionals empty.
+struct CampaignJobResult {
+  std::string name;
+  std::string design;
+  CampaignJobSpec::Mode mode = CampaignJobSpec::Mode::Resyn;
+  Status status;
+  /// The campaign was cancelled/expired before this job started.
+  bool skipped = false;
+  bool deadline_expired = false;
+  int inner_threads = 0;
+  double seconds = 0.0;
+  std::optional<FlowState> initial;
+  std::optional<FlowState> final_state;
+  std::optional<ResynthesisReport> resyn;
+  AtpgCounters atpg_totals;
+  /// Per-job run report, identical in shape (command "flow"/"resyn") to
+  /// the one the standalone CLI run would emit.
+  std::optional<RunReport> report;
+  /// Per-job metrics shard (never the global registry), merged
+  /// deterministically in manifest order into the campaign report.
+  std::unique_ptr<MetricsRegistry> metrics;
+
+  [[nodiscard]] bool ok() const { return status.is_ok() && !skipped; }
+};
+
+struct CampaignResult {
+  static constexpr const char* kReportSchema = "dfmres-campaign-report-v1";
+
+  /// One entry per manifest job, in manifest order regardless of the
+  /// order jobs finished in.
+  std::vector<CampaignJobResult> jobs;
+  std::size_t completed = 0;  ///< ok and not deadline-expired
+  std::size_t expired = 0;    ///< ok but the job deadline cut the search
+  std::size_t failed = 0;
+  std::size_t skipped = 0;
+  int jobs_in_flight = 0;   ///< resolved max_parallel_jobs
+  int inner_threads = 0;    ///< resolved per-job fan-out budget
+  int total_threads = 0;    ///< resolved hardware budget
+  double seconds = 0.0;
+
+  /// Folds every job's metrics shard into `out` in manifest order (the
+  /// deterministic-merge contract: the result is independent of job
+  /// scheduling).
+  void merge_metrics_into(MetricsRegistry& out) const;
+
+  /// The `dfmres-campaign-report-v1` JSON: campaign totals, one entry
+  /// per job embedding its run report, and the merged metrics.
+  [[nodiscard]] std::string report_json() const;
+  [[nodiscard]] Status write_report(const std::string& path) const;
+};
+
+/// Executes the manifest's jobs, `max_parallel_jobs` at a time, on
+/// dedicated runner threads (inner ATPG/ladder fan-outs share the
+/// process-wide ThreadPool under the two-level budget; the pool is never
+/// entered twice from one lane). Each job is isolated: a failed or
+/// deadline-expired job is reported in its slot and the others run to
+/// completion. Job results are bit-identical to the same job run alone,
+/// whatever the parallelism. Fails only on campaign-level problems: an
+/// empty or invalid manifest, or an unusable checkpoint root.
+[[nodiscard]] Expected<CampaignResult> run_campaign(
+    const CampaignManifest& manifest, const CampaignOptions& options);
+
+}  // namespace dfmres

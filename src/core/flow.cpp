@@ -32,9 +32,10 @@ Expected<FlowState> DesignFlow::run_initial(const Netlist& rtl) {
   if (!mapped) return mapped.status();
 
   const Floorplan plan = make_floorplan(*mapped, options_.utilization);
-  const Placement placement = global_place(*mapped, plan, options_.place);
-  auto state = reanalyze_with_placement(std::move(*mapped), placement,
-                                        /*generate_tests=*/true);
+  Placement placement = global_place(*mapped, plan, options_.place);
+  auto state = analyze(AnalysisRequest::placed(std::move(*mapped),
+                                               std::move(placement),
+                                               /*generate_tests=*/true));
   if (!state) {
     // The initial floorplan is sized for the mapped netlist, so the
     // area constraint cannot fire here; treat it as an invariant breach.
@@ -44,35 +45,45 @@ Expected<FlowState> DesignFlow::run_initial(const Netlist& rtl) {
   return std::move(*state);
 }
 
-std::optional<FlowState> DesignFlow::reanalyze(Netlist netlist,
-                                               const Placement& previous,
-                                               bool generate_tests) {
-  std::optional<Placement> placement;
-  {
-    TraceSpan span("flow.incremental_place", "flow");
-    placement = incremental_place(netlist, previous);
+Expected<FlowState> DesignFlow::analyze(AnalysisRequest request) {
+  if ((request.previous != nullptr) == request.placement.has_value()) {
+    return make_status(StatusCode::kInvalidArgument,
+                       "analyze: exactly one of previous/placement must be "
+                       "set on the AnalysisRequest");
   }
-  if (!placement) return std::nullopt;  // die full: area constraint
-  // Gates without a position in the previous placement are exactly the
-  // ones the edit introduced (ids are never reused), so the rewritten
-  // region is recoverable without the caller spelling it out.
-  std::vector<GateId> changed;
-  for (GateId g : netlist.live_gates()) {
-    if (g.value() >= previous.pos.size() || !previous.pos[g.value()].valid()) {
-      changed.push_back(g);
+  if (request.previous != nullptr) {
+    std::optional<Placement> placement;
+    {
+      TraceSpan span("flow.incremental_place", "flow");
+      placement = incremental_place(request.netlist, *request.previous);
     }
+    if (!placement) {
+      return make_status(StatusCode::kUnsatisfiable,
+                         "analyze: die cannot absorb the edit to '%s'",
+                         request.netlist.name().c_str());
+    }
+    // Gates without a position in the previous placement are exactly the
+    // ones the edit introduced (ids are never reused), so the rewritten
+    // region is recoverable without the caller spelling it out.
+    std::vector<GateId> changed;
+    const Placement& previous = *request.previous;
+    for (GateId g : request.netlist.live_gates()) {
+      if (g.value() >= previous.pos.size() ||
+          !previous.pos[g.value()].valid()) {
+        changed.push_back(g);
+      }
+    }
+    return analyze_committed(std::move(request.netlist),
+                             std::move(*placement), request.generate_tests,
+                             &changed);
   }
-  return analyze(std::move(netlist), std::move(*placement), generate_tests,
-                 &changed);
+  return analyze_committed(std::move(request.netlist),
+                           std::move(*request.placement),
+                           request.generate_tests,
+                           /*changed_gates=*/nullptr);
 }
 
-std::optional<FlowState> DesignFlow::reanalyze_with_placement(
-    Netlist netlist, Placement placement, bool generate_tests) {
-  return analyze(std::move(netlist), std::move(placement), generate_tests,
-                 /*changed_gates=*/nullptr);
-}
-
-std::optional<FlowState> DesignFlow::analyze(
+FlowState DesignFlow::analyze_committed(
     Netlist netlist, Placement placement, bool generate_tests,
     const std::vector<GateId>* changed_gates) {
   // Cone bookkeeping: accumulate the rewrites since the last seed epoch;
@@ -131,16 +142,17 @@ std::optional<FlowState> DesignFlow::analyze(
                    std::move(clusters)};
 }
 
-Expected<FlowState> DesignFlow::reanalyze_probe(
+Expected<FlowState> DesignFlow::probe_reanalyze_impl(
     Netlist netlist, const Placement& previous, bool generate_tests,
     const FaultStatusCache* base_cache, FaultStatusCache* updates,
-    FaultSimArena* arena, int num_threads, const CancelToken* cancel) const {
+    FaultSimArena* arena, int num_threads, const CancelToken* cancel,
+    AtpgCounters* counters) const {
   if (cancel_expired(cancel)) return cancel->to_status();
   TraceSpan probe_span("flow.probe", "flow");
   auto placement = incremental_place(netlist, previous);
   if (!placement) {
     return make_status(StatusCode::kUnsatisfiable,
-                       "reanalyze_probe: die cannot absorb the edit to '%s'",
+                       "probe: die cannot absorb the edit to '%s'",
                        netlist.name().c_str());
   }
   RoutingResult routing = route(netlist, *placement, options_.route);
@@ -159,6 +171,7 @@ Expected<FlowState> DesignFlow::reanalyze_probe(
       run_atpg_overlay(netlist, universe, udfm_, atpg_options, base_cache,
                        updates);
   if (atpg.cancelled) return cancel->to_status();
+  if (counters != nullptr) counters->merge(atpg.counters);
   ClusterAnalysis clusters =
       cluster_undetectable(netlist, universe, atpg.status);
   return FlowState{std::move(netlist), std::move(*placement),
@@ -167,24 +180,10 @@ Expected<FlowState> DesignFlow::reanalyze_probe(
                    std::move(clusters)};
 }
 
-std::size_t DesignFlow::count_undetectable_internal(const Netlist& nl) {
-  const FaultUniverse internal = extract_internal_faults(nl, udfm_);
-  AtpgOptions atpg_options = options_.atpg;
-  atpg_options.generate_tests = false;
-  atpg_options.arena = &arena_;
-  if (options_.warm_start && !seed_tests_.empty()) {
-    atpg_options.seed_tests = &seed_tests_;
-  }
-  const AtpgResult result =
-      run_atpg(nl, internal, udfm_, atpg_options, &cache_);
-  atpg_totals_.merge(result.counters);
-  return result.num_undetectable;
-}
-
-Expected<std::size_t> DesignFlow::count_undetectable_internal_probe(
+Expected<std::size_t> DesignFlow::probe_count_impl(
     const Netlist& nl, const FaultStatusCache* base_cache,
     FaultStatusCache* updates, FaultSimArena* arena, int num_threads,
-    const CancelToken* cancel) const {
+    const CancelToken* cancel, AtpgCounters* counters) const {
   if (cancel_expired(cancel)) return cancel->to_status();
   TraceSpan probe_span("flow.u_in_probe", "flow");
   const FaultUniverse internal = extract_internal_faults(nl, udfm_);
@@ -199,7 +198,66 @@ Expected<std::size_t> DesignFlow::count_undetectable_internal_probe(
   const AtpgResult result =
       run_atpg_overlay(nl, internal, udfm_, atpg_options, base_cache, updates);
   if (result.cancelled) return cancel->to_status();
+  if (counters != nullptr) counters->merge(result.counters);
   return result.num_undetectable;
+}
+
+Expected<FlowState> ProbeSession::reanalyze(Netlist netlist,
+                                            const Placement& previous,
+                                            bool generate_tests) {
+  return flow_->probe_reanalyze_impl(std::move(netlist), previous,
+                                     generate_tests, base_, &updates_, arena_,
+                                     num_threads_, cancel_, &counters_);
+}
+
+Expected<std::size_t> ProbeSession::count_undetectable_internal(
+    const Netlist& nl) {
+  return flow_->probe_count_impl(nl, base_, &updates_, arena_, num_threads_,
+                                 cancel_, &counters_);
+}
+
+// ---- deprecated shims (see flow.hpp; removed after one PR) ----
+
+std::optional<FlowState> DesignFlow::reanalyze(Netlist netlist,
+                                               const Placement& previous,
+                                               bool generate_tests) {
+  auto state = analyze(AnalysisRequest::incremental(std::move(netlist),
+                                                    previous, generate_tests));
+  if (!state) return std::nullopt;  // die full: area constraint
+  return std::move(*state);
+}
+
+std::optional<FlowState> DesignFlow::reanalyze_with_placement(
+    Netlist netlist, Placement placement, bool generate_tests) {
+  auto state = analyze(AnalysisRequest::placed(
+      std::move(netlist), std::move(placement), generate_tests));
+  if (!state) return std::nullopt;
+  return std::move(*state);
+}
+
+std::size_t DesignFlow::count_undetectable_internal(const Netlist& nl) {
+  ProbeSession session = probe(&arena_);
+  auto count = session.count_undetectable_internal(nl);
+  // No cancel token: the probe cannot fail.
+  commit_probe(std::move(session));
+  return *count;
+}
+
+Expected<FlowState> DesignFlow::reanalyze_probe(
+    Netlist netlist, const Placement& previous, bool generate_tests,
+    const FaultStatusCache* base_cache, FaultStatusCache* updates,
+    FaultSimArena* arena, int num_threads, const CancelToken* cancel) const {
+  return probe_reanalyze_impl(std::move(netlist), previous, generate_tests,
+                              base_cache, updates, arena, num_threads, cancel,
+                              /*counters=*/nullptr);
+}
+
+Expected<std::size_t> DesignFlow::count_undetectable_internal_probe(
+    const Netlist& nl, const FaultStatusCache* base_cache,
+    FaultStatusCache* updates, FaultSimArena* arena, int num_threads,
+    const CancelToken* cancel) const {
+  return probe_count_impl(nl, base_cache, updates, arena, num_threads, cancel,
+                          /*counters=*/nullptr);
 }
 
 void DesignFlow::commit_updates(const FaultStatusCache& updates) {

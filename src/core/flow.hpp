@@ -59,11 +59,115 @@ struct FlowState {
   }
 };
 
+/// One committed analysis of an edited mapped netlist. Exactly one of
+/// `previous` / `placement` must be set: `previous` runs incremental
+/// placement inside that placement's frozen floorplan (the edit is
+/// recovered from the placement diff, keeping cone trust alive);
+/// `placement` supplies an explicit, already-legal placement (the edit's
+/// extent is then unknown, which withholds cone trust until the next
+/// test-generating analysis re-anchors the seed epoch). `previous` is a
+/// borrowed pointer and must outlive the analyze() call.
+struct AnalysisRequest {
+  Netlist netlist;
+  const Placement* previous = nullptr;
+  std::optional<Placement> placement;
+  bool generate_tests = false;
+
+  explicit AnalysisRequest(Netlist nl) : netlist(std::move(nl)) {}
+
+  [[nodiscard]] static AnalysisRequest incremental(Netlist netlist,
+                                                   const Placement& previous,
+                                                   bool generate_tests = false) {
+    AnalysisRequest r(std::move(netlist));
+    r.previous = &previous;
+    r.generate_tests = generate_tests;
+    return r;
+  }
+  [[nodiscard]] static AnalysisRequest placed(Netlist netlist,
+                                              Placement placement,
+                                              bool generate_tests = false) {
+    AnalysisRequest r(std::move(netlist));
+    r.placement = std::move(placement);
+    r.generate_tests = generate_tests;
+    return r;
+  }
+};
+
+class DesignFlow;
+
+/// A bundle of speculative (side-effect-free) analyses against one
+/// DesignFlow: reads `base_cache` (shareable across concurrent sessions
+/// — nobody writes it) and records fresh fault classifications in the
+/// session's private overlay, so probes of the same candidate reuse each
+/// other's verdicts while the flow itself stays untouched. `arena`
+/// (nullable = call-local buffers) provides reusable simulator scratch;
+/// `num_threads` overrides the fault-sim fan-out (pass 1 from inside a
+/// thread-pool job); `cancel` makes the session's ATPG cancellable.
+///
+/// Probes are the cancellable part of the flow (committed analyses
+/// always run to completion): kUnsatisfiable = the die cannot absorb the
+/// edit (a normal search outcome); kCancelled / kDeadlineExceeded =
+/// `cancel` expired mid-probe, the overlay holds only complete verdicts
+/// and the caller must not memoize the attempt.
+///
+/// The session borrows the flow (and base cache, arena, token): all must
+/// outlive it. Committing a probed candidate =
+/// `flow.commit_probe(std::move(session))`.
+class ProbeSession {
+ public:
+  ProbeSession(const DesignFlow& flow, const FaultStatusCache* base_cache,
+               FaultSimArena* arena = nullptr, int num_threads = 0,
+               const CancelToken* cancel = nullptr)
+      : flow_(&flow),
+        base_(base_cache),
+        arena_(arena),
+        num_threads_(num_threads),
+        cancel_(cancel) {}
+
+  /// Speculative re-analysis of an edited netlist inside the frozen
+  /// floorplan of `previous` (incremental placement, rerouting, STA, DFM
+  /// extraction, overlay ATPG).
+  [[nodiscard]] Expected<FlowState> reanalyze(Netlist netlist,
+                                              const Placement& previous,
+                                              bool generate_tests = false);
+
+  /// Number of undetectable *internal* faults of a netlist. Internal
+  /// faults do not depend on placement or routing, so this runs before
+  /// PDesign() and gates it (paper Section III-B).
+  [[nodiscard]] Expected<std::size_t> count_undetectable_internal(
+      const Netlist& nl);
+
+  /// The session's private classification overlay. Exposed mutably so a
+  /// caller can stash it (or pre-seed it) when managing overlays across
+  /// sessions; most callers only ever hand the session to commit_probe.
+  [[nodiscard]] FaultStatusCache& updates() { return updates_; }
+  [[nodiscard]] const FaultStatusCache& updates() const { return updates_; }
+  [[nodiscard]] FaultStatusCache take_updates() { return std::move(updates_); }
+
+  /// Aggregate ATPG counters over every probe this session ran;
+  /// commit_probe folds them into the flow's committed totals.
+  [[nodiscard]] const AtpgCounters& counters() const { return counters_; }
+
+ private:
+  const DesignFlow* flow_;
+  const FaultStatusCache* base_;
+  FaultSimArena* arena_;
+  int num_threads_;
+  const CancelToken* cancel_;
+  FaultStatusCache updates_;
+  AtpgCounters counters_;
+};
+
 /// Orchestrates Synthesize() / PDesign() / sign-off DFM extraction /
 /// ATPG the way the paper's flow does, with a fault-status cache that
 /// exploits the function-preserving nature of the resynthesis rewrites
 /// (statuses of faults outside a rewritten region are invariant; see
 /// DESIGN.md).
+///
+/// Two entry points: `analyze(AnalysisRequest)` for committed work (the
+/// flow's cache, seed tests and cone ledger advance) and `probe()` for a
+/// ProbeSession of speculative evaluations (the flow is read-only until
+/// `commit_probe`).
 class DesignFlow {
  public:
   DesignFlow(std::shared_ptr<const Library> target, FlowOptions options);
@@ -75,56 +179,70 @@ class DesignFlow {
   /// library cannot implement the design.
   [[nodiscard]] Expected<FlowState> run_initial(const Netlist& rtl);
 
+  /// Committed analysis of an edited mapped netlist (see
+  /// AnalysisRequest for the two placement modes). kUnsatisfiable = the
+  /// die cannot absorb the edit (area constraint — a normal search
+  /// outcome); kInvalidArgument = malformed request. Committed analyses
+  /// always run to completion (no cancellation).
+  [[nodiscard]] Expected<FlowState> analyze(AnalysisRequest request);
+
+  /// Opens a probe session against this flow's committed cache.
+  [[nodiscard]] ProbeSession probe(FaultSimArena* arena = nullptr,
+                                   int num_threads = 0,
+                                   const CancelToken* cancel = nullptr) const {
+    return ProbeSession(*this, &cache_, arena, num_threads, cancel);
+  }
+
+  /// Folds a finished session into the flow: its overlay becomes part of
+  /// the committed cache and its ATPG counters join the committed
+  /// totals (used when a probed candidate is accepted).
+  void commit_probe(ProbeSession&& session) {
+    commit_updates(session.updates());
+    atpg_totals_.merge(session.counters());
+  }
+
+  // ---- deprecated pre-campaign API (one PR of shims) ----
+
   /// Re-analysis of an edited mapped netlist inside the frozen floorplan
-  /// of `previous`: incremental placement, rerouting, STA, DFM
-  /// extraction, cached ATPG. Returns nullopt when the die cannot absorb
-  /// the edit (area constraint).
+  /// of `previous`. Returns nullopt when the die cannot absorb the edit.
+  [[deprecated("use analyze(AnalysisRequest::incremental(...))")]]
   [[nodiscard]] std::optional<FlowState> reanalyze(Netlist netlist,
                                                    const Placement& previous,
                                                    bool generate_tests);
 
   /// Same pipeline with an explicit (already legal) placement.
+  [[deprecated("use analyze(AnalysisRequest::placed(...))")]]
   [[nodiscard]] std::optional<FlowState> reanalyze_with_placement(
       Netlist netlist, Placement placement, bool generate_tests);
 
-  /// Number of undetectable *internal* faults of a netlist. Internal
-  /// faults do not depend on placement or routing, so this runs before
-  /// PDesign() and gates it (paper Section III-B).
+  /// Committed undetectable-internal-fault count.
+  [[deprecated("use probe().count_undetectable_internal + commit_probe")]]
   [[nodiscard]] std::size_t count_undetectable_internal(const Netlist& nl);
 
-  /// Speculative (side-effect-free) variant of `reanalyze` for candidate
-  /// probing: reads `base_cache` (shareable across concurrent probes —
-  /// nobody writes it) and records fresh classifications in the caller's
-  /// private `updates` overlay instead of this flow's cache. Seed-test
-  /// replay still applies when warm_start is on; `num_threads` overrides
-  /// the fault-sim fan-out (pass 1 from inside a thread-pool job — the
-  /// shared pool must not be entered twice). Never mutates the flow.
-  ///
-  /// Probes are the cancellable part of the flow (committed analyses
-  /// always run to completion): kUnsatisfiable = the die cannot absorb
-  /// the edit (a normal search outcome); kCancelled / kDeadlineExceeded
-  /// = `cancel` expired mid-probe, the overlay holds only complete
-  /// verdicts and the caller must not memoize the attempt.
+  /// Speculative reanalysis with a caller-owned overlay.
+  [[deprecated("use ProbeSession::reanalyze")]]
   [[nodiscard]] Expected<FlowState> reanalyze_probe(
       Netlist netlist, const Placement& previous, bool generate_tests,
       const FaultStatusCache* base_cache, FaultStatusCache* updates,
       FaultSimArena* arena = nullptr, int num_threads = 0,
       const CancelToken* cancel = nullptr) const;
 
-  /// Probe flavor of `count_undetectable_internal` (same overlay and
-  /// cancellation rules).
+  /// Speculative internal-fault count with a caller-owned overlay.
+  [[deprecated("use ProbeSession::count_undetectable_internal")]]
   [[nodiscard]] Expected<std::size_t> count_undetectable_internal_probe(
       const Netlist& nl, const FaultStatusCache* base_cache,
       FaultStatusCache* updates, FaultSimArena* arena = nullptr,
       int num_threads = 0, const CancelToken* cancel = nullptr) const;
 
-  /// Folds a probe's overlay into the flow cache (used when a probed
-  /// candidate is committed).
+  // ---- shared plumbing (used by both entry points) ----
+
+  /// Folds a probe overlay into the flow cache (commit_probe's cache
+  /// half; also used directly by callers that stash overlays).
   void commit_updates(const FaultStatusCache& updates);
 
   /// Registers rewritten gates with the cone ledger. Needed when a
-  /// probed candidate is committed without another reanalyze() (which
-  /// would have discovered them from the placement diff).
+  /// probed candidate is committed without another committed analyze()
+  /// (which would have discovered them from the placement diff).
   void note_changed_gates(std::span<const GateId> gates) {
     changed_since_seed_.insert(changed_since_seed_.end(), gates.begin(),
                                gates.end());
@@ -148,7 +266,8 @@ class DesignFlow {
   }
 
   /// Aggregate ATPG counters over every committed analysis this flow ran
-  /// (probes excluded — they report through their own results).
+  /// (probes excluded until their session is committed — they report
+  /// through their own results).
   [[nodiscard]] const AtpgCounters& atpg_totals() const {
     return atpg_totals_;
   }
@@ -168,14 +287,29 @@ class DesignFlow {
   [[nodiscard]] std::vector<CellId> cells_by_internal_faults() const;
 
  private:
-  /// Shared tail of reanalyze / reanalyze_with_placement. `changed_gates`
-  /// (nullable) = gates introduced by the rewrite being analyzed, used to
-  /// maintain the cone bookkeeping; null = the edit is unknown, which
-  /// disables cone trust until the next test-generating run re-anchors
-  /// the seed epoch.
-  [[nodiscard]] std::optional<FlowState> analyze(
+  friend class ProbeSession;
+
+  /// Shared tail of the committed paths. `changed_gates` (nullable) =
+  /// gates introduced by the rewrite being analyzed, used to maintain
+  /// the cone bookkeeping; null = the edit is unknown, which disables
+  /// cone trust until the next test-generating run re-anchors the seed
+  /// epoch.
+  [[nodiscard]] FlowState analyze_committed(
       Netlist netlist, Placement placement, bool generate_tests,
       const std::vector<GateId>* changed_gates);
+
+  /// Probe implementations shared by ProbeSession and the deprecated
+  /// caller-owned-overlay shims. `counters` (nullable) receives the
+  /// run's ATPG counters on success.
+  [[nodiscard]] Expected<FlowState> probe_reanalyze_impl(
+      Netlist netlist, const Placement& previous, bool generate_tests,
+      const FaultStatusCache* base_cache, FaultStatusCache* updates,
+      FaultSimArena* arena, int num_threads, const CancelToken* cancel,
+      AtpgCounters* counters) const;
+  [[nodiscard]] Expected<std::size_t> probe_count_impl(
+      const Netlist& nl, const FaultStatusCache* base_cache,
+      FaultStatusCache* updates, FaultSimArena* arena, int num_threads,
+      const CancelToken* cancel, AtpgCounters* counters) const;
 
   std::shared_ptr<const Library> target_;
   FlowOptions options_;
@@ -188,9 +322,9 @@ class DesignFlow {
   /// Gates rewritten since `seed_tests_` was captured; the cone of these
   /// gates is what a warm test-generating run must re-target.
   std::vector<GateId> changed_since_seed_;
-  /// True when an edit of unknown extent was analyzed (direct
-  /// reanalyze_with_placement on a changed netlist): cone trust is then
-  /// withheld until the seed epoch is re-anchored.
+  /// True when an edit of unknown extent was analyzed (an explicit
+  /// placement on a changed netlist): cone trust is then withheld until
+  /// the seed epoch is re-anchored.
   bool changed_unknown_ = false;
   AtpgCounters atpg_totals_;
 };

@@ -272,18 +272,17 @@ class Procedure {
       if (!s.is_ok()) return s;
     }
 
-    // Final sign-off analysis with test generation. Routed through
-    // reanalyze() (identity incremental placement) so a warm flow can
-    // replay its seed tests and cone-restrict the PODEM retargeting to
-    // the accumulated rewrites. Sign-off is committed work: it runs to
-    // completion even when the deadline already expired.
-    std::optional<FlowState> final_state;
-    {
+    // Final sign-off analysis with test generation. Routed through the
+    // incremental path (identity incremental placement) so a warm flow
+    // can replay its seed tests and cone-restrict the PODEM retargeting
+    // to the accumulated rewrites. Sign-off is committed work: it runs
+    // to completion even when the deadline already expired.
+    Expected<FlowState> final_state = [&]() -> Expected<FlowState> {
       const ScopedTimer t(report_.signoff_seconds);
       TraceSpan span("resyn.signoff", "resyn");
-      final_state = flow_.reanalyze(current.netlist, current.placement,
-                                    /*generate_tests=*/true);
-    }
+      return flow_.analyze(AnalysisRequest::incremental(
+          current.netlist, current.placement, /*generate_tests=*/true));
+    }();
     if (!final_state) {
       // Identity incremental placement of an already-placed design
       // cannot run out of die.
@@ -377,8 +376,8 @@ class Procedure {
                          "builds: %s",
                          candidate.status().message().c_str());
     }
-    auto state = flow_.reanalyze(std::move(*candidate), cur.placement,
-                                 /*generate_tests=*/false);
+    auto state = flow_.analyze(AnalysisRequest::incremental(
+        std::move(*candidate), cur.placement, /*generate_tests=*/false));
     if (!state) {
       return make_status(StatusCode::kDataLoss,
                          "checkpoint replay: die cannot absorb a journaled "
@@ -478,16 +477,18 @@ class Procedure {
       }
     }
 
-    FaultStatusCache overlay;
+    // One probe session per candidate: the full analysis reuses the u_in
+    // probe's overlay verdicts, and the flow itself stays untouched
+    // until realize() commits the stashed overlay.
+    ProbeSession session =
+        flow_.probe(&arenas_[0], /*num_threads=*/0, options_.cancel);
     if (const auto pit = partial_u_in_.find(sig);
         options_.dedup_candidates && pit != partial_u_in_.end()) {
       m.u_in_new = pit->second;  // prefetched, analysis still pending
     } else {
       const ScopedTimer t(report_.u_in_seconds);
       ++report_.u_in_probes;
-      auto u_in = flow_.count_undetectable_internal_probe(
-          *candidate, &flow_.cache(), &overlay, &arenas_[0], /*num_threads=*/0,
-          options_.cancel);
+      auto u_in = session.count_undetectable_internal(*candidate);
       if (!u_in) {
         // Cancelled mid-probe: partial verdicts are discarded, nothing
         // is memoized, and the caller abandons the iteration.
@@ -513,10 +514,7 @@ class Procedure {
       Expected<FlowState> state = [&] {
         const ScopedTimer t(report_.probe_seconds);
         ++report_.full_probes;
-        return flow_.reanalyze_probe(std::move(*candidate), cur.placement,
-                                     false, &flow_.cache(), &overlay,
-                                     &arenas_[0], /*num_threads=*/0,
-                                     options_.cancel);
+        return session.reanalyze(std::move(*candidate), cur.placement, false);
       }();
       if (!state) {
         if (state.code() != StatusCode::kUnsatisfiable) {
@@ -534,7 +532,8 @@ class Procedure {
         m.delay = state->timing.critical_delay;
         m.power = state->timing.total_power();
         if (options_.dedup_candidates) {
-          stash_.emplace(sig, Stash{std::move(*state), std::move(overlay)});
+          stash_.emplace(sig, Stash{std::move(*state),
+                                    session.take_updates()});
         }
       }
     }
@@ -573,7 +572,10 @@ class Procedure {
         return state;
       }
     }
-    return flow_.reanalyze(std::move(*candidate), cur.placement, false);
+    auto state = flow_.analyze(AnalysisRequest::incremental(
+        std::move(*candidate), cur.placement, /*generate_tests=*/false));
+    if (!state) return std::nullopt;  // die full: area constraint
+    return std::move(*state);
   }
 
   bool accepts(const FlowState& cur, const CandMetrics& m, int phase,
@@ -864,13 +866,14 @@ class Procedure {
                 continue;
               }
             }
-            FaultStatusCache overlay;
+            // Lane-private session: inner ATPG runs single-threaded (a
+            // pool lane must not fan out again) on the lane's arena.
+            ProbeSession session =
+                flow_.probe(&arenas_[static_cast<std::size_t>(lane)],
+                            /*num_threads=*/1, options_.cancel);
             CandMetrics m;
             const auto tu = Clock::now();
-            const auto u_in = flow_.count_undetectable_internal_probe(
-                *candidate, &flow_.cache(), &overlay,
-                &arenas_[static_cast<std::size_t>(lane)], /*num_threads=*/1,
-                options_.cancel);
+            const auto u_in = session.count_undetectable_internal(*candidate);
             const double u_in_s =
                 std::chrono::duration<double>(Clock::now() - tu).count();
             if (!u_in) continue;  // cancelled mid-probe: publish nothing
@@ -894,10 +897,8 @@ class Procedure {
               continue;
             }
             const auto tp = Clock::now();
-            auto state = flow_.reanalyze_probe(
-                std::move(*candidate), cur.placement, false, &flow_.cache(),
-                &overlay, &arenas_[static_cast<std::size_t>(lane)],
-                /*num_threads=*/1, options_.cancel);
+            auto state =
+                session.reanalyze(std::move(*candidate), cur.placement, false);
             const double probe_s =
                 std::chrono::duration<double>(Clock::now() - tp).count();
             if (!state && state.code() != StatusCode::kUnsatisfiable) {
@@ -925,7 +926,8 @@ class Procedure {
             ++report_.full_probes;
             report_.probe_seconds += probe_s;
             if (state) {
-              stash_.emplace(sig, Stash{std::move(*state), std::move(overlay)});
+              stash_.emplace(sig, Stash{std::move(*state),
+                                        session.take_updates()});
             }
             sig_memo_.emplace(sig, m);
           }

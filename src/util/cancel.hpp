@@ -26,14 +26,16 @@ struct Deadline {
 /// Cooperative cancellation: long-running work polls `expired()` at
 /// coarse boundaries (per ATPG target, per ladder rung, every N PODEM
 /// backtracks, per thread-pool chunk) and unwinds cleanly when it turns
-/// true. A token trips either explicitly via `cancel()` (any thread) or
-/// implicitly when its deadline passes; once tripped it stays tripped
-/// (the deadline result is latched so steady-state polls are one relaxed
-/// atomic load).
+/// true. A token trips either explicitly via `cancel()` (any thread),
+/// implicitly when its deadline passes, or when its parent token trips
+/// (a campaign-wide token fanning into per-job tokens); once tripped it
+/// stays tripped (the result is latched so steady-state polls are one
+/// relaxed atomic load). A parent must outlive every child linked to it.
 class CancelToken {
  public:
   CancelToken() = default;
-  explicit CancelToken(Deadline deadline) : deadline_(deadline) {}
+  explicit CancelToken(Deadline deadline, const CancelToken* parent = nullptr)
+      : deadline_(deadline), parent_(parent) {}
 
   [[nodiscard]] static CancelToken with_deadline(
       std::chrono::nanoseconds budget) {
@@ -43,23 +45,27 @@ class CancelToken {
   /// Explicit cancellation; safe from any thread.
   void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
 
-  /// True once cancelled or past the deadline. Const because polling is
-  /// semantically a read; the latch is an optimization.
+  /// True once cancelled, past the deadline, or the parent tripped.
+  /// Const because polling is semantically a read; the latch is an
+  /// optimization.
   [[nodiscard]] bool expired() const {
     if (cancelled_.load(std::memory_order_relaxed)) return true;
-    if (deadline_.passed()) {
+    if (deadline_.passed() || (parent_ != nullptr && parent_->expired())) {
       cancelled_.store(true, std::memory_order_relaxed);
       return true;
     }
     return false;
   }
 
-  [[nodiscard]] bool has_deadline() const { return deadline_.armed; }
+  [[nodiscard]] bool has_deadline() const {
+    return deadline_.armed || (parent_ != nullptr && parent_->has_deadline());
+  }
 
   /// The status an operation should propagate when it unwinds on this
-  /// token: deadline_exceeded for a timed budget, cancelled otherwise.
+  /// token: deadline_exceeded for a timed budget (own or inherited),
+  /// cancelled otherwise.
   [[nodiscard]] Status to_status() const {
-    return deadline_.armed
+    return has_deadline()
                ? make_status(StatusCode::kDeadlineExceeded,
                              "deadline exceeded")
                : make_status(StatusCode::kCancelled, "cancelled");
@@ -68,6 +74,7 @@ class CancelToken {
  private:
   mutable std::atomic<bool> cancelled_{false};
   Deadline deadline_{};
+  const CancelToken* parent_ = nullptr;
 };
 
 /// Null-safe poll for optional-token plumbing.

@@ -1,0 +1,290 @@
+#include "src/util/json.hpp"
+
+#include <cstdlib>
+
+namespace dfmres {
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::Bool) fatal_invariant("JsonValue::as_bool on non-bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (kind_ != Kind::Number) {
+    fatal_invariant("JsonValue::as_number on non-number");
+  }
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::String) {
+    fatal_invariant("JsonValue::as_string on non-string");
+  }
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (kind_ != Kind::Array) fatal_invariant("JsonValue::items on non-array");
+  return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  if (kind_ != Kind::Object) {
+    fatal_invariant("JsonValue::members on non-object");
+  }
+  return members_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+/// Recursive-descent parser over a string_view; positions are tracked so
+/// errors carry a line:column locator into the offending manifest.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Expected<JsonValue> run() {
+    JsonValue root;
+    Status s = value(root, /*depth=*/0);
+    if (!s.is_ok()) return s;
+    skip_ws();
+    if (pos_ != text_.size()) return error("trailing characters");
+    return root;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status error(const char* what) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    return make_status(StatusCode::kInvalidArgument, "json %zu:%zu: %s", line,
+                       col, what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool eat_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return error("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return object(out, depth);
+      case '[':
+        return array(out, depth);
+      case '"':
+        out.kind_ = JsonValue::Kind::String;
+        return string(out.string_);
+      case 't':
+        if (!eat_word("true")) return error("invalid literal");
+        out.kind_ = JsonValue::Kind::Bool;
+        out.bool_ = true;
+        return Status::ok();
+      case 'f':
+        if (!eat_word("false")) return error("invalid literal");
+        out.kind_ = JsonValue::Kind::Bool;
+        out.bool_ = false;
+        return Status::ok();
+      case 'n':
+        if (!eat_word("null")) return error("invalid literal");
+        out.kind_ = JsonValue::Kind::Null;
+        return Status::ok();
+      default:
+        return number(out);
+    }
+  }
+
+  Status object(JsonValue& out, int depth) {
+    (void)eat('{');
+    out.kind_ = JsonValue::Kind::Object;
+    skip_ws();
+    if (eat('}')) return Status::ok();
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return error("expected object key");
+      }
+      std::string key;
+      if (Status s = string(key); !s.is_ok()) return s;
+      for (const auto& [k, v] : out.members_) {
+        if (k == key) return error("duplicate object key");
+      }
+      skip_ws();
+      if (!eat(':')) return error("expected ':' after key");
+      JsonValue member;
+      if (Status s = value(member, depth + 1); !s.is_ok()) return s;
+      out.members_.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) return Status::ok();
+      return error("expected ',' or '}' in object");
+    }
+  }
+
+  Status array(JsonValue& out, int depth) {
+    (void)eat('[');
+    out.kind_ = JsonValue::Kind::Array;
+    skip_ws();
+    if (eat(']')) return Status::ok();
+    for (;;) {
+      JsonValue item;
+      if (Status s = value(item, depth + 1); !s.is_ok()) return s;
+      out.items_.push_back(std::move(item));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat(']')) return Status::ok();
+      return error("expected ',' or ']' in array");
+    }
+  }
+
+  Status string(std::string& out) {
+    (void)eat('"');
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::ok();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size()) return error("truncated \\u escape");
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return error("bad hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // produced by JsonWriter; a lone surrogate encodes as-is).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return error("unknown escape sequence");
+      }
+    }
+    return error("unterminated string");
+  }
+
+  Status number(JsonValue& out) {
+    const std::size_t start = pos_;
+    (void)eat('-');
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return error("invalid value");
+    }
+    // RFC 8259: a leading zero stands alone ("01" is not a number).
+    if (eat('0')) {
+      if (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        return error("leading zero in number");
+      }
+    } else {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (eat('.')) {
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return error("digit expected after decimal point");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return error("digit expected in exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    out.kind_ = JsonValue::Kind::Number;
+    // The grammar above admits exactly strtod's subject sequence.
+    out.number_ = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                              nullptr);
+    return Status::ok();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Expected<JsonValue> JsonValue::parse(std::string_view text) {
+  return JsonParser(text).run();
+}
+
+}  // namespace dfmres

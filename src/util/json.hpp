@@ -2,11 +2,14 @@
 
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/util/fmt.hpp"
+#include "src/util/status.hpp"
 
 namespace dfmres {
 
@@ -125,6 +128,53 @@ class JsonWriter {
   std::string out_;
   std::vector<bool> first_;
   bool after_key_ = false;
+};
+
+/// Parsed JSON document node, the reading counterpart of JsonWriter.
+/// Built for the trusted-but-fallible inputs of the stack (campaign
+/// manifests, report round-trips in tests): strict RFC 8259 subset, no
+/// comments or trailing commas, objects keep insertion order and reject
+/// duplicate keys. Numbers are doubles (the writer never emits anything
+/// an IEEE double cannot hold).
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+
+  /// Parses one complete document; trailing non-whitespace is an error.
+  /// Failures are kInvalidArgument with a line:column locator.
+  [[nodiscard]] static Expected<JsonValue> parse(std::string_view text);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::Bool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::Number; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::String; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::Array; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::Object; }
+
+  /// Typed accessors; calling the wrong one is a programmer error
+  /// (fatal_invariant), so branch on kind() / is_*() first.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& items() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members()
+      const;
+
+  /// Object member lookup; null when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+
+  friend class JsonParser;
 };
 
 }  // namespace dfmres

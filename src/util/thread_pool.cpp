@@ -6,6 +6,21 @@
 
 namespace dfmres {
 
+namespace {
+/// Set while the thread is inside run_chunks (or the inline serial
+/// fallback) so nested parallel_for calls degenerate instead of
+/// re-entering the pool.
+thread_local bool t_in_pool_lane = false;
+
+struct LaneScope {
+  bool prev;
+  LaneScope() : prev(t_in_pool_lane) { t_in_pool_lane = true; }
+  ~LaneScope() { t_in_pool_lane = prev; }
+};
+}  // namespace
+
+bool ThreadPool::in_pool_lane() { return t_in_pool_lane; }
+
 ThreadPool::ThreadPool(int num_threads) {
   const int extra = std::max(0, num_threads - 1);
   workers_.reserve(static_cast<std::size_t>(extra));
@@ -42,20 +57,26 @@ void ThreadPool::worker_loop(std::stop_token stop) {
 
 void ThreadPool::run_chunks(Job& job, int lane) {
   job.in_flight.fetch_add(1);
+  LaneScope in_lane;
   // Inherit the submitting span so worker-side spans parent under it in
   // the trace; one span covers this lane's whole share of the job.
   TraceParentScope trace_parent(job.trace_parent);
   TraceSpan span("pool.chunks", "pool");
   if (span.active()) span.arg("lane", lane);
   for (;;) {
+    // Claim a chunk before polling cancel: once the cursor is exhausted
+    // the caller may return and destroy the (caller-stack) token, so a
+    // late-waking lane must establish that work remains — which implies
+    // the caller is still blocked in parallel_for — before touching
+    // job.cancel.
+    const std::size_t begin = job.next.fetch_add(job.grain);
+    if (begin >= job.n) break;
     if (cancel_expired(job.cancel)) {
       // Park the cursor at the end so the other lanes (and the caller's
       // completion predicate) see an exhausted job.
       job.next.store(job.n);
       break;
     }
-    const std::size_t begin = job.next.fetch_add(job.grain);
-    if (begin >= job.n) break;
     const std::size_t end = std::min(job.n, begin + job.grain);
     job.fn(lane, begin, end);
   }
@@ -74,7 +95,10 @@ void ThreadPool::parallel_for(
   if (n == 0 || cancel_expired(cancel)) return;
   grain = std::max<std::size_t>(1, grain);
   const int lanes = std::min(max_workers, size());
-  if (lanes <= 1 || n <= grain || workers_.empty()) {
+  if (t_in_pool_lane || lanes <= 1 || n <= grain || workers_.empty()) {
+    // Inline serial fallback — also taken for nested calls from a pool
+    // lane, so a lane never re-enters the pool it is running on.
+    LaneScope in_lane;
     for (std::size_t begin = 0; begin < n; begin += grain) {
       if (cancel_expired(cancel)) return;
       fn(0, begin, std::min(n, begin + grain));
@@ -111,6 +135,11 @@ int ThreadPool::resolve_threads(int requested) {
   if (requested > 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int ThreadPool::lanes_per_job(int total, int jobs) {
+  if (jobs <= 0) return std::max(1, total);
+  return std::max(1, total / jobs);
 }
 
 ThreadPool& ThreadPool::shared() {

@@ -45,8 +45,11 @@ class ThreadPool {
   /// callers can pre-size one scratch slot per lane; at most
   /// `max_workers` lanes (caller included) touch the job, and
   /// `max_workers <= 1` degenerates to a serial loop on the caller.
-  /// Blocks until every chunk has completed. `fn` must not call
-  /// `parallel_for` on the same pool (no nesting). An expired `cancel`
+  /// Blocks until every chunk has completed. Calling `parallel_for` from
+  /// inside `fn` (i.e. from a pool lane) never re-enters the pool: the
+  /// nested call degenerates to an inline serial loop on the current
+  /// lane, so a job-level fan-out (campaign) composing with inner ATPG
+  /// fan-outs cannot deadlock or oversubscribe. An expired `cancel`
   /// token stops further chunks from being claimed (chunks already
   /// running finish; the items they would have covered are silently
   /// skipped — only callers that discard cancelled results may pass it).
@@ -54,8 +57,18 @@ class ThreadPool {
                     const std::function<void(int, std::size_t, std::size_t)>& fn,
                     const CancelToken* cancel = nullptr);
 
+  /// True while the current thread is executing a chunk for this
+  /// process's pools (any of them); nested `parallel_for` calls observe
+  /// it and run inline.
+  [[nodiscard]] static bool in_pool_lane();
+
   /// `requested <= 0` resolves to `hardware_concurrency` (min 1).
   [[nodiscard]] static int resolve_threads(int requested);
+
+  /// Two-level budget split: the inner fan-out width each of `jobs`
+  /// concurrent jobs may use so `jobs * inner <= max(total, jobs)`.
+  /// Never returns less than 1.
+  [[nodiscard]] static int lanes_per_job(int total, int jobs);
 
   /// Process-wide pool sized to the hardware, created on first use and
   /// shared by every ATPG invocation (workers are parked between jobs,

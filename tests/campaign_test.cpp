@@ -1,0 +1,418 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/circuits/benchmarks.hpp"
+#include "src/circuits/builder.hpp"
+#include "src/core/campaign.hpp"
+#include "src/library/osu018.hpp"
+#include "src/netlist/verilog.hpp"
+#include "src/util/json.hpp"
+
+namespace dfmres {
+namespace {
+
+using Mode = CampaignJobSpec::Mode;
+
+/// Trimmed search budgets so a multi-job campaign stays unit-test sized.
+void trim(CampaignJobSpec& job) {
+  job.flow.atpg.random_batches = 4;
+  job.flow.atpg.backtrack_limit = 1000;
+  job.resyn.max_iterations_per_phase = 8;
+  job.resyn.reanalyses_per_iteration = 8;
+}
+
+CampaignJobSpec resyn_job(const std::string& name, const std::string& design,
+                          int q_max) {
+  CampaignJobSpec job;
+  job.name = name;
+  job.design = design;
+  job.mode = Mode::Resyn;
+  job.resyn.q_max = q_max;
+  trim(job);
+  return job;
+}
+
+std::string accepted_trace(const ResynthesisReport& report) {
+  std::string out;
+  for (const IterationRecord& r : report.trace) {
+    if (!r.accepted) continue;
+    out += "q" + std::to_string(r.q) + ":" + r.banned_through + "/U" +
+           std::to_string(r.undetectable) + "/S" + std::to_string(r.smax) +
+           ";";
+  }
+  return out;
+}
+
+TEST(ParseDurationSpec, AcceptsSuffixes) {
+  using std::chrono::nanoseconds;
+  EXPECT_EQ(parse_duration_spec("500ms").value(), nanoseconds(500'000'000));
+  EXPECT_EQ(parse_duration_spec("2s").value(), nanoseconds(2'000'000'000));
+  EXPECT_EQ(parse_duration_spec("2").value(), nanoseconds(2'000'000'000));
+  EXPECT_EQ(parse_duration_spec("1m").value(), nanoseconds(60'000'000'000));
+  EXPECT_EQ(parse_duration_spec("1.5ms").value(), nanoseconds(1'500'000));
+}
+
+TEST(ParseDurationSpec, RejectsGarbage) {
+  EXPECT_FALSE(parse_duration_spec(""));
+  EXPECT_FALSE(parse_duration_spec("abc"));
+  EXPECT_FALSE(parse_duration_spec("-3s"));
+  EXPECT_FALSE(parse_duration_spec("0"));
+  EXPECT_FALSE(parse_duration_spec("12x"));
+  EXPECT_FALSE(parse_duration_spec("1e10s"));  // > 1e9 seconds
+  EXPECT_EQ(parse_duration_spec("oops").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CampaignManifest, RoundTripsThroughJson) {
+  CampaignManifest manifest;
+  manifest.jobs.push_back(resyn_job("a", "sparc_tlu", 0));
+  manifest.jobs.push_back(resyn_job("b", "wb_conmax", 2));
+  manifest.jobs[0].mode = Mode::Flow;
+  manifest.jobs[0].flow.utilization = 0.65;
+  manifest.jobs[0].flow.warm_start = false;
+  manifest.jobs[1].deadline = std::chrono::milliseconds(1500);
+  manifest.jobs[1].resyn.p1 = 0.02;
+  manifest.jobs[1].resyn.parallel_ladder = false;
+
+  const auto parsed = CampaignManifest::from_json(manifest.to_json());
+  ASSERT_TRUE(parsed) << parsed.status().to_string();
+  ASSERT_EQ(parsed->jobs.size(), 2u);
+  EXPECT_EQ(parsed->jobs[0].name, "a");
+  EXPECT_EQ(parsed->jobs[0].mode, Mode::Flow);
+  EXPECT_DOUBLE_EQ(parsed->jobs[0].flow.utilization, 0.65);
+  EXPECT_FALSE(parsed->jobs[0].flow.warm_start);
+  EXPECT_EQ(parsed->jobs[1].design, "wb_conmax");
+  EXPECT_EQ(parsed->jobs[1].resyn.q_max, 2);
+  EXPECT_DOUBLE_EQ(parsed->jobs[1].resyn.p1, 0.02);
+  EXPECT_FALSE(parsed->jobs[1].resyn.parallel_ladder);
+  EXPECT_EQ(parsed->jobs[1].deadline, std::chrono::nanoseconds(1'500'000'000));
+  EXPECT_EQ(parsed->jobs[1].flow.atpg.random_batches, 4);
+  EXPECT_EQ(parsed->jobs[1].resyn.max_iterations_per_phase, 8);
+  // Canonical form: a second round trip is textually identical.
+  EXPECT_EQ(parsed->to_json(), manifest.to_json());
+}
+
+TEST(CampaignManifest, RejectsMalformedDocuments) {
+  const auto code = [](const char* text) {
+    const auto m = CampaignManifest::from_json(text);
+    return m ? StatusCode::kOk : m.status().code();
+  };
+  const std::string head =
+      "{\"schema\": \"dfmres-campaign-manifest-v1\", \"jobs\": [";
+  // Syntax error (carries a line:column locator).
+  const auto syntax = CampaignManifest::from_json("{\"schema\": }");
+  ASSERT_FALSE(syntax);
+  EXPECT_NE(syntax.status().message().find("json 1:"), std::string::npos);
+  // Wrong / missing schema.
+  EXPECT_EQ(code("{\"jobs\": []}"), StatusCode::kInvalidArgument);
+  EXPECT_EQ(code("{\"schema\": \"nope\", \"jobs\": []}"),
+            StatusCode::kInvalidArgument);
+  // Unknown keys, at both levels.
+  EXPECT_EQ(code("{\"schema\": \"dfmres-campaign-manifest-v1\", "
+                 "\"jobs\": [], \"extra\": 1}"),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      code((head + "{\"name\": \"a\", \"design\": \"sparc_tlu\", "
+                   "\"typo\": 1}]}")
+               .c_str()),
+      StatusCode::kInvalidArgument);
+  // Missing required keys.
+  EXPECT_EQ(code((head + "{\"design\": \"sparc_tlu\"}]}").c_str()),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(code((head + "{\"name\": \"a\"}]}").c_str()),
+            StatusCode::kInvalidArgument);
+  // Bad enum / bad range / wrong type / bad duration.
+  EXPECT_EQ(code((head + "{\"name\": \"a\", \"design\": \"d\", "
+                         "\"mode\": \"other\"}]}")
+                     .c_str()),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(code((head + "{\"name\": \"a\", \"design\": \"d\", "
+                         "\"q_max\": 101}]}")
+                     .c_str()),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(code((head + "{\"name\": \"a\", \"design\": \"d\", "
+                         "\"q_max\": 2.5}]}")
+                     .c_str()),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(code((head + "{\"name\": \"a\", \"design\": \"d\", "
+                         "\"warm_start\": 1}]}")
+                     .c_str()),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(code((head + "{\"name\": \"a\", \"design\": \"d\", "
+                         "\"deadline\": \"soon\"}]}")
+                     .c_str()),
+            StatusCode::kInvalidArgument);
+  // Duplicate job names; names with path separators; empty manifests.
+  EXPECT_EQ(code((head + "{\"name\": \"a\", \"design\": \"d\"}, "
+                         "{\"name\": \"a\", \"design\": \"e\"}]}")
+                     .c_str()),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(code((head + "{\"name\": \"a/b\", \"design\": \"d\"}]}").c_str()),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(code("{\"schema\": \"dfmres-campaign-manifest-v1\", "
+                 "\"jobs\": []}"),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CampaignManifest, Table2CoversEveryBenchmark) {
+  const CampaignManifest manifest = table2_manifest();
+  ASSERT_EQ(manifest.jobs.size(), benchmark_names().size());
+  EXPECT_TRUE(manifest.validate().is_ok());
+  for (std::size_t i = 0; i < manifest.jobs.size(); ++i) {
+    EXPECT_EQ(manifest.jobs[i].design, std::string(benchmark_names()[i]));
+    EXPECT_EQ(manifest.jobs[i].mode, Mode::Resyn);
+    EXPECT_EQ(manifest.jobs[i].resyn.q_max, 5);
+  }
+  const auto parsed = CampaignManifest::from_json(manifest.to_json());
+  ASSERT_TRUE(parsed) << parsed.status().to_string();
+  EXPECT_EQ(parsed->jobs.size(), manifest.jobs.size());
+}
+
+TEST(CampaignManifest, ReadReportsMissingFile) {
+  const auto m = CampaignManifest::read(testing::TempDir() +
+                                        "dfmres_no_such_manifest.json");
+  ASSERT_FALSE(m);
+  EXPECT_EQ(m.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Campaign, RejectsEmptyManifest) {
+  const auto result = run_campaign(CampaignManifest{}, CampaignOptions{});
+  ASSERT_FALSE(result);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Campaign, SkipsEverythingWhenPreCancelled) {
+  CampaignManifest manifest;
+  manifest.jobs.push_back(resyn_job("a", "sparc_tlu", 0));
+  manifest.jobs.push_back(resyn_job("b", "wb_conmax", 0));
+  CancelToken token;
+  token.cancel();
+  CampaignOptions options;
+  options.cancel = &token;
+  options.max_parallel_jobs = 2;
+  const auto result = run_campaign(manifest, options);
+  ASSERT_TRUE(result) << result.status().to_string();
+  EXPECT_EQ(result->skipped, 2u);
+  EXPECT_EQ(result->completed, 0u);
+  for (const auto& job : result->jobs) {
+    EXPECT_TRUE(job.skipped);
+    EXPECT_FALSE(job.ok());
+    EXPECT_EQ(job.status.code(), StatusCode::kCancelled);
+    EXPECT_FALSE(job.final_state.has_value());
+  }
+}
+
+/// One failing job (unknown design) must not disturb its neighbors, and
+/// a job whose deadline expires returns its best design, flagged.
+TEST(CampaignHeavy, IsolatesFailingAndExpiringJobs) {
+  CampaignManifest manifest;
+  manifest.jobs.push_back(resyn_job("good", "sparc_tlu", 0));
+  manifest.jobs.push_back(resyn_job("missing", "no_such_design", 0));
+  manifest.jobs.push_back(resyn_job("rushed", "sparc_tlu", 5));
+  manifest.jobs[2].deadline = std::chrono::milliseconds(1);
+  CampaignOptions options;
+  options.max_parallel_jobs = 3;
+  const auto result = run_campaign(manifest, options);
+  ASSERT_TRUE(result) << result.status().to_string();
+  EXPECT_EQ(result->failed, 1u);
+  EXPECT_EQ(result->skipped, 0u);
+  EXPECT_EQ(result->completed + result->expired, 2u);
+
+  const CampaignJobResult& good = result->jobs[0];
+  EXPECT_TRUE(good.ok());
+  ASSERT_TRUE(good.final_state.has_value());
+  ASSERT_TRUE(good.report.has_value());
+  EXPECT_GT(good.final_state->coverage(), 0.9);
+
+  const CampaignJobResult& missing = result->jobs[1];
+  EXPECT_FALSE(missing.ok());
+  EXPECT_FALSE(missing.skipped);
+  EXPECT_EQ(missing.status.code(), StatusCode::kNotFound);
+  EXPECT_FALSE(missing.final_state.has_value());
+  EXPECT_FALSE(missing.report.has_value());
+
+  const CampaignJobResult& rushed = result->jobs[2];
+  EXPECT_TRUE(rushed.status.is_ok());
+  ASSERT_TRUE(rushed.final_state.has_value());
+  EXPECT_TRUE(rushed.deadline_expired);
+}
+
+/// The acceptance criterion of the scheduler: every job's results are
+/// bit-identical to the same job run alone, at any --jobs level.
+TEST(CampaignHeavy, JobsAreBitIdenticalToStandaloneRuns) {
+  CampaignManifest manifest;
+  manifest.jobs.push_back(resyn_job("tlu-q0", "sparc_tlu", 0));
+  manifest.jobs.push_back(resyn_job("tlu-q2", "sparc_tlu", 2));
+  manifest.jobs.push_back(resyn_job("wb-q2", "wb_conmax", 2));
+
+  // Standalone reference runs (same options, no scheduler).
+  struct Reference {
+    std::size_t u, smax, faults, tests;
+    double coverage;
+    std::string trace;
+    std::uint64_t fingerprint;
+  };
+  std::vector<Reference> refs;
+  for (const CampaignJobSpec& spec : manifest.jobs) {
+    DesignFlow flow(osu018_library(), spec.flow);
+    const FlowState original =
+        flow.run_initial(build_benchmark(spec.design).value()).value();
+    const std::uint64_t fingerprint =
+        resynthesis_fingerprint(flow, original, spec.resyn);
+    const ResynthesisResult result =
+        resynthesize(flow, original, spec.resyn).value();
+    refs.push_back({result.state.num_undetectable(), result.state.smax(),
+                    result.state.num_faults(), result.state.atpg.tests.size(),
+                    result.state.coverage(), accepted_trace(result.report),
+                    fingerprint});
+  }
+
+  for (const int jobs : {1, 4}) {
+    CampaignOptions options;
+    options.max_parallel_jobs = jobs;
+    const auto result = run_campaign(manifest, options);
+    ASSERT_TRUE(result) << result.status().to_string();
+    ASSERT_EQ(result->jobs.size(), refs.size());
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      const CampaignJobResult& job = result->jobs[i];
+      ASSERT_TRUE(job.ok()) << job.name << ": " << job.status.to_string();
+      const FlowState& s = *job.final_state;
+      EXPECT_EQ(s.num_undetectable(), refs[i].u) << job.name;
+      EXPECT_EQ(s.smax(), refs[i].smax) << job.name;
+      EXPECT_EQ(s.num_faults(), refs[i].faults) << job.name;
+      EXPECT_EQ(s.atpg.tests.size(), refs[i].tests) << job.name;
+      EXPECT_EQ(s.coverage(), refs[i].coverage) << job.name;
+      EXPECT_EQ(accepted_trace(*job.resyn), refs[i].trace) << job.name;
+    }
+  }
+}
+
+/// The campaign report parses as strict JSON and carries the schema,
+/// per-job run reports and the merged metrics.
+TEST(CampaignHeavy, ReportValidates) {
+  CampaignManifest manifest;
+  manifest.jobs.push_back(resyn_job("tlu", "sparc_tlu", 0));
+  manifest.jobs[0].mode = Mode::Flow;
+  CampaignOptions options;
+  const auto result = run_campaign(manifest, options);
+  ASSERT_TRUE(result) << result.status().to_string();
+
+  const auto doc = JsonValue::parse(result->report_json());
+  ASSERT_TRUE(doc) << doc.status().to_string();
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->find("schema")->as_string(), "dfmres-campaign-report-v1");
+  EXPECT_EQ(doc->find("jobs_total")->as_number(), 1.0);
+  EXPECT_EQ(doc->find("completed")->as_number(), 1.0);
+  const JsonValue& jobs = *doc->find("jobs");
+  ASSERT_TRUE(jobs.is_array());
+  ASSERT_EQ(jobs.items().size(), 1u);
+  const JsonValue& job = jobs.items()[0];
+  EXPECT_EQ(job.find("name")->as_string(), "tlu");
+  EXPECT_TRUE(job.find("ok")->as_bool());
+  const JsonValue* report = job.find("report");
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(report->find("command")->as_string(), "flow");
+  ASSERT_NE(report->find("final"), nullptr);
+  EXPECT_GT(report->find("final")->find("coverage")->as_number(), 0.9);
+  const JsonValue* metrics = doc->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_TRUE(metrics->is_object());
+
+  // The merged metrics match a manifest-order merge of the shards.
+  MetricsRegistry merged;
+  result->merge_metrics_into(merged);
+  EXPECT_GT(merged.counter("atpg.patterns_simulated"), 0u);
+}
+
+/// A mapped .v design file runs through the campaign's flow mode.
+TEST(CampaignHeavy, LoadsVerilogDesignFiles) {
+  CampaignManifest first;
+  first.jobs.push_back(resyn_job("tlu", "sparc_tlu", 0));
+  first.jobs[0].mode = Mode::Flow;
+  const auto flow_result = run_campaign(first, CampaignOptions{});
+  ASSERT_TRUE(flow_result) << flow_result.status().to_string();
+  ASSERT_TRUE(flow_result->jobs[0].ok());
+
+  const std::string path = testing::TempDir() + "dfmres_campaign_design.v";
+  {
+    std::ofstream out(path);
+    write_verilog(flow_result->jobs[0].final_state->netlist, out);
+  }
+  CampaignManifest second;
+  second.jobs.push_back(resyn_job("mapped", path, 0));
+  second.jobs[0].mode = Mode::Flow;
+  const auto result = run_campaign(second, CampaignOptions{});
+  ASSERT_TRUE(result) << result.status().to_string();
+  const CampaignJobResult& job = result->jobs[0];
+  ASSERT_TRUE(job.ok()) << job.status.to_string();
+  EXPECT_EQ(job.final_state->num_faults(),
+            flow_result->jobs[0].final_state->num_faults());
+}
+
+/// The deprecated pre-campaign entry points still compile and agree
+/// with the consolidated API they forward to.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(AnalysisApi, DeprecatedShimsMatchConsolidatedApi) {
+  CircuitBuilder cb("shim");
+  const auto a = cb.dff_bus(cb.input_bus("a", 4));
+  const auto b = cb.dff_bus(cb.input_bus("b", 4));
+  auto [sum, carry] = cb.ripple_add(a, b, cb.input("cin"));
+  cb.output_bus(cb.dff_bus(sum));
+  cb.output(carry);
+  const Netlist design = cb.take();
+
+  FlowOptions options;
+  options.atpg.random_batches = 4;
+
+  DesignFlow via_shim(osu018_library(), options);
+  const FlowState base_shim = via_shim.run_initial(design).value();
+  DesignFlow via_api(osu018_library(), options);
+  const FlowState base_api = via_api.run_initial(design).value();
+
+  // Committed re-analysis: old optional-returning shim vs analyze().
+  const auto old_state = via_shim.reanalyze(base_shim.netlist,
+                                            base_shim.placement,
+                                            /*generate_tests=*/false);
+  ASSERT_TRUE(old_state.has_value());
+  const auto new_state = via_api.analyze(AnalysisRequest::incremental(
+      base_api.netlist, base_api.placement, /*generate_tests=*/false));
+  ASSERT_TRUE(new_state) << new_state.status().to_string();
+  EXPECT_EQ(old_state->num_undetectable(), new_state->num_undetectable());
+  EXPECT_EQ(old_state->smax(), new_state->smax());
+  EXPECT_EQ(old_state->coverage(), new_state->coverage());
+
+  // Committed u_in count vs a probe session committed by hand.
+  const std::size_t old_count =
+      via_shim.count_undetectable_internal(base_shim.netlist);
+  ProbeSession session = via_api.probe();
+  const auto new_count =
+      session.count_undetectable_internal(base_api.netlist);
+  ASSERT_TRUE(new_count) << new_count.status().to_string();
+  via_api.commit_probe(std::move(session));
+  EXPECT_EQ(old_count, *new_count);
+  EXPECT_EQ(via_shim.atpg_totals().patterns_simulated,
+            via_api.atpg_totals().patterns_simulated);
+
+  // Probe shims vs ProbeSession, against the same flow.
+  FaultStatusCache shim_updates;
+  const auto old_probe = via_shim.reanalyze_probe(
+      base_shim.netlist, base_shim.placement, /*generate_tests=*/false,
+      &via_shim.cache(), &shim_updates);
+  ASSERT_TRUE(old_probe) << old_probe.status().to_string();
+  ProbeSession probe = via_shim.probe();
+  const auto new_probe = probe.reanalyze(base_shim.netlist,
+                                         base_shim.placement,
+                                         /*generate_tests=*/false);
+  ASSERT_TRUE(new_probe) << new_probe.status().to_string();
+  EXPECT_EQ(old_probe->num_undetectable(), new_probe->num_undetectable());
+  EXPECT_EQ(old_probe->smax(), new_probe->smax());
+}
+#pragma GCC diagnostic pop
+
+}  // namespace
+}  // namespace dfmres

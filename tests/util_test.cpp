@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <numeric>
@@ -7,7 +8,9 @@
 #include <thread>
 #include <vector>
 
+#include "src/util/cancel.hpp"
 #include "src/util/ids.hpp"
+#include "src/util/json.hpp"
 #include "src/util/logging.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/stats.hpp"
@@ -264,6 +267,147 @@ TEST(ThreadPool, SharedPoolIsUsableAndStable) {
     sum.fetch_add(local);
   });
   EXPECT_EQ(sum.load(), 999u * 1000u / 2u);
+}
+
+TEST(ThreadPool, LanesPerJobSplitsTheBudget) {
+  EXPECT_EQ(ThreadPool::lanes_per_job(8, 2), 4);
+  EXPECT_EQ(ThreadPool::lanes_per_job(8, 3), 2);
+  EXPECT_EQ(ThreadPool::lanes_per_job(4, 4), 1);
+  // Oversubscribed job counts floor at one lane each.
+  EXPECT_EQ(ThreadPool::lanes_per_job(2, 8), 1);
+  EXPECT_EQ(ThreadPool::lanes_per_job(0, 3), 1);
+  EXPECT_EQ(ThreadPool::lanes_per_job(8, 0), 8);
+  // jobs * inner <= max(total, jobs) for representative splits.
+  for (const int total : {1, 2, 4, 8, 13}) {
+    for (const int jobs : {1, 2, 3, 7, 16}) {
+      const int inner = ThreadPool::lanes_per_job(total, jobs);
+      EXPECT_GE(inner, 1);
+      EXPECT_LE(jobs * inner, std::max(total, jobs))
+          << total << "/" << jobs;
+    }
+  }
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  // A parallel_for issued from inside a pool lane must degenerate to an
+  // inline serial loop (never re-enter the pool), so concurrent jobs
+  // cannot deadlock or oversubscribe through nesting.
+  ThreadPool pool(3);
+  EXPECT_FALSE(ThreadPool::in_pool_lane());
+  std::atomic<int> inner_nonzero_lanes{0};
+  std::atomic<int> outer_chunks{0};
+  pool.parallel_for(12, 1, 3, [&](int, std::size_t b, std::size_t e) {
+    outer_chunks.fetch_add(1);
+    EXPECT_TRUE(ThreadPool::in_pool_lane());
+    for (std::size_t i = b; i < e; ++i) {
+      pool.parallel_for(64, 4, 3, [&](int lane, std::size_t, std::size_t) {
+        if (lane != 0) inner_nonzero_lanes.fetch_add(1);
+      });
+    }
+  });
+  EXPECT_FALSE(ThreadPool::in_pool_lane());
+  EXPECT_EQ(outer_chunks.load(), 12);
+  EXPECT_EQ(inner_nonzero_lanes.load(), 0);
+}
+
+TEST(Cancel, ParentCancellationReachesChildren) {
+  CancelToken parent;
+  const CancelToken child(Deadline::never(), &parent);
+  EXPECT_FALSE(child.expired());
+  parent.cancel();
+  EXPECT_TRUE(child.expired());
+  EXPECT_EQ(child.to_status().code(), StatusCode::kCancelled);
+}
+
+TEST(Cancel, ChildDeadlineDoesNotPropagateUpward) {
+  CancelToken parent;
+  const CancelToken child(Deadline::after(std::chrono::nanoseconds(1)),
+                          &parent);
+  EXPECT_TRUE(child.has_deadline());
+  EXPECT_TRUE(child.expired());
+  EXPECT_EQ(child.to_status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(parent.expired());
+}
+
+TEST(Cancel, ParentDeadlineCountsAsDeadlineForChildren) {
+  const CancelToken parent =
+      CancelToken::with_deadline(std::chrono::nanoseconds(1));
+  const CancelToken child(Deadline::never(), &parent);
+  EXPECT_TRUE(child.has_deadline());
+  EXPECT_TRUE(child.expired());
+  EXPECT_EQ(child.to_status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(Json, ParsesScalarsAndContainers) {
+  const auto doc = JsonValue::parse(
+      " {\"s\": \"a\\n\\\"b\\\"\\u0041\", \"n\": -2.5e2, \"t\": true, "
+      "\"f\": false, \"z\": null, \"arr\": [1, 2, 3], \"obj\": {}} ");
+  ASSERT_TRUE(doc) << doc.status().to_string();
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->find("s")->as_string(), "a\n\"b\"A");
+  EXPECT_DOUBLE_EQ(doc->find("n")->as_number(), -250.0);
+  EXPECT_TRUE(doc->find("t")->as_bool());
+  EXPECT_FALSE(doc->find("f")->as_bool());
+  EXPECT_TRUE(doc->find("z")->is_null());
+  ASSERT_EQ(doc->find("arr")->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(doc->find("arr")->items()[2].as_number(), 3.0);
+  EXPECT_TRUE(doc->find("obj")->members().empty());
+  EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(Json, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("name", "a \"quoted\"\tname");
+  w.field("count", std::uint64_t{42});
+  w.key("nested");
+  w.begin_array();
+  w.value(1.5);
+  w.value(false);
+  w.end_array();
+  w.end_object();
+  const auto doc = JsonValue::parse(w.str());
+  ASSERT_TRUE(doc) << doc.status().to_string();
+  EXPECT_EQ(doc->find("name")->as_string(), "a \"quoted\"\tname");
+  EXPECT_DOUBLE_EQ(doc->find("count")->as_number(), 42.0);
+  EXPECT_FALSE(doc->find("nested")->items()[1].as_bool());
+}
+
+TEST(Json, RejectsMalformedInput) {
+  const auto code = [](const char* text) {
+    const auto doc = JsonValue::parse(text);
+    return doc ? StatusCode::kOk : doc.status().code();
+  };
+  EXPECT_EQ(code(""), StatusCode::kInvalidArgument);
+  EXPECT_EQ(code("{"), StatusCode::kInvalidArgument);
+  EXPECT_EQ(code("{} extra"), StatusCode::kInvalidArgument);
+  EXPECT_EQ(code("{\"a\": 1,}"), StatusCode::kInvalidArgument);
+  EXPECT_EQ(code("[1 2]"), StatusCode::kInvalidArgument);
+  EXPECT_EQ(code("truth"), StatusCode::kInvalidArgument);
+  EXPECT_EQ(code("01"), StatusCode::kInvalidArgument);  // leading zero
+  EXPECT_EQ(code("1."), StatusCode::kInvalidArgument);
+  EXPECT_EQ(code("\"unterminated"), StatusCode::kInvalidArgument);
+  EXPECT_EQ(code("\"bad \\x escape\""), StatusCode::kInvalidArgument);
+  EXPECT_EQ(code("NaN"), StatusCode::kInvalidArgument);
+  // Duplicate keys are rejected (strict manifests want one value per
+  // key, not last-wins).
+  EXPECT_EQ(code("{\"a\": 1, \"a\": 2}"), StatusCode::kInvalidArgument);
+  // Errors carry a line:column locator.
+  const auto err = JsonValue::parse("{\n  \"a\": @\n}");
+  ASSERT_FALSE(err);
+  EXPECT_NE(err.status().message().find("json 2:8"), std::string::npos)
+      << err.status().message();
+}
+
+TEST(Json, EnforcesDepthLimit) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  EXPECT_FALSE(JsonValue::parse(deep));
+  std::string ok;
+  for (int i = 0; i < 30; ++i) ok += "[";
+  for (int i = 0; i < 30; ++i) ok += "]";
+  EXPECT_TRUE(JsonValue::parse(ok));
 }
 
 std::mutex g_log_lines_mutex;

@@ -10,6 +10,9 @@
 //                [--deadline 30s] [--checkpoint DIR] [--resume]
 //       Run the flow and then the paper's two-phase resynthesis
 //       procedure; print the before/after comparison.
+//   dfmres campaign <--manifest F|--table2> [--jobs N] [--threads N]
+//       Run a batched multi-design sweep from a campaign manifest, N
+//       jobs in flight, and write one aggregated campaign report.
 //   dfmres verilog <circuit>
 //       Map a benchmark and dump it as structural Verilog to stdout.
 //
@@ -28,6 +31,7 @@
 #include <string>
 
 #include "src/circuits/benchmarks.hpp"
+#include "src/core/campaign.hpp"
 #include "src/core/resynthesis.hpp"
 #include "src/core/run_report.hpp"
 #include "src/library/osu018.hpp"
@@ -41,15 +45,29 @@ namespace {
 
 using namespace dfmres;
 
-/// The three observability outputs shared by `flow` and `resyn`:
-/// --trace-out (Chrome trace_event JSON), --metrics-out (merged
-/// counters/gauges/histograms/series) and --report-out (the run report).
-struct Observability {
+/// The flag block shared by the run-producing commands. Every command
+/// takes the three observability outputs: --trace-out (Chrome
+/// trace_event JSON), --metrics-out (merged counters/gauges/histograms/
+/// series) and --report-out (the run or campaign report). Commands
+/// constructed `with_robustness` additionally take the robustness trio:
+/// --deadline, --checkpoint (or the name passed as `checkpoint_flag`,
+/// e.g. --checkpoint-root for `campaign`) and --resume.
+struct CommonRunFlags {
+  explicit CommonRunFlags(bool with_robustness,
+                          const char* checkpoint_flag = "--checkpoint")
+      : with_robustness_(with_robustness), checkpoint_flag_(checkpoint_flag) {}
+
   std::string trace_out;
   std::string metrics_out;
   std::string report_out;
+  std::chrono::nanoseconds deadline{0};
+  std::string checkpoint;
+  bool resume = false;
+  /// Set when a matched flag had an invalid value (already reported to
+  /// stderr); the command should exit 2.
+  bool failed = false;
 
-  /// Consumes argv[*i] (and its value) when it is one of the three
+  /// Consumes argv[*i] (and its value) when it is one of the shared
   /// flags.
   bool match(int argc, char** argv, int* i) {
     const auto take = [&](const char* flag, std::string* out) {
@@ -59,9 +77,29 @@ struct Observability {
       }
       return false;
     };
-    return take("--trace-out", &trace_out) ||
-           take("--metrics-out", &metrics_out) ||
-           take("--report-out", &report_out);
+    if (take("--trace-out", &trace_out) ||
+        take("--metrics-out", &metrics_out) ||
+        take("--report-out", &report_out)) {
+      return true;
+    }
+    if (!with_robustness_) return false;
+    if (!std::strcmp(argv[*i], "--deadline") && *i + 1 < argc) {
+      const auto d = parse_duration_spec(argv[++*i]);
+      if (!d) {
+        std::fprintf(stderr, "--deadline: %s\n",
+                     d.status().to_string().c_str());
+        failed = true;
+      } else {
+        deadline = *d;
+      }
+      return true;
+    }
+    if (take(checkpoint_flag_, &checkpoint)) return true;
+    if (!std::strcmp(argv[*i], "--resume")) {
+      resume = true;
+      return true;
+    }
+    return false;
   }
 
   /// Tracing must be on before the run; the other outputs are flushed
@@ -70,8 +108,26 @@ struct Observability {
     if (!trace_out.empty()) Tracer::instance().enable();
   }
 
+  /// The run's stop token (inert when no --deadline was given). Not
+  /// assignable (atomic latch), so it is armed at construction.
+  [[nodiscard]] CancelToken make_cancel() const {
+    return deadline.count() > 0 ? CancelToken::with_deadline(deadline)
+                                : CancelToken();
+  }
+
   /// Writes the requested outputs. Returns false if any write failed.
   [[nodiscard]] bool flush(const RunReport& report) const {
+    return flush_impl(
+        [&](const std::string& path) { return report.write_json(path); });
+  }
+  [[nodiscard]] bool flush(const CampaignResult& result) const {
+    return flush_impl(
+        [&](const std::string& path) { return result.write_report(path); });
+  }
+
+ private:
+  template <typename WriteReport>
+  [[nodiscard]] bool flush_impl(const WriteReport& write_report) const {
     bool ok = true;
     const auto emit = [&](const std::string& path, const Status& s) {
       if (path.empty()) return;
@@ -88,14 +144,17 @@ struct Observability {
     if (!metrics_out.empty()) {
       emit(metrics_out, MetricsRegistry::global().write_json(metrics_out));
     }
-    if (!report_out.empty()) emit(report_out, report.write_json(report_out));
+    if (!report_out.empty()) emit(report_out, write_report(report_out));
     return ok;
   }
+
+  bool with_robustness_;
+  const char* checkpoint_flag_;
 };
 
 int usage() {
   std::fprintf(stderr,
-               "usage: dfmres <list|flow|resyn|verilog> [args]\n"
+               "usage: dfmres <list|flow|resyn|campaign|verilog> [args]\n"
                "  dfmres list\n"
                "  dfmres flow <circuit|file.v> [--write out.v] [--util U] "
                "[--threads N]\n"
@@ -106,7 +165,21 @@ int usage() {
                "               [--deadline D] [--checkpoint DIR] [--resume]\n"
                "               [--trace-out F] [--metrics-out F] "
                "[--report-out F]\n"
+               "  dfmres campaign <--manifest F|--table2> [--jobs N] "
+               "[--threads N] [--deadline D]\n"
+               "               [--checkpoint-root DIR] [--resume] "
+               "[--emit-table2 F]\n"
+               "               [--trace-out F] [--metrics-out F] "
+               "[--report-out F]\n"
                "  dfmres verilog <circuit>\n"
+               "  --manifest F: campaign manifest JSON "
+               "(dfmres-campaign-manifest-v1)\n"
+               "  --table2: run the built-in Table II sweep (every "
+               "benchmark, q_max 5)\n"
+               "  --emit-table2 F: write the Table II sweep manifest to F "
+               "and exit\n"
+               "  --jobs N: campaign jobs in flight at once; each gets "
+               "total-threads/N fault-sim lanes\n"
                "  --threads N: fault-simulation worker lanes "
                "(0 = hardware, 1 = serial; results are identical)\n"
                "  --cold: disable warm-start ATPG, candidate dedup and the "
@@ -158,36 +231,6 @@ bool parse_double(const char* flag, const char* text, double min, double max,
     return false;
   }
   *out = v;
-  return true;
-}
-
-/// Duration flag value: "<n>ms", "<n>s", "<n>m", or a bare "<n>" meaning
-/// seconds.
-bool parse_duration(const char* flag, const char* text,
-                    std::chrono::nanoseconds* out) {
-  errno = 0;
-  char* end = nullptr;
-  const double v = std::strtod(text, &end);
-  double scale_s = 1.0;
-  if (end != text) {
-    if (!std::strcmp(end, "ms")) {
-      scale_s = 1e-3;
-      end += 2;
-    } else if (!std::strcmp(end, "s")) {
-      end += 1;
-    } else if (!std::strcmp(end, "m")) {
-      scale_s = 60.0;
-      end += 1;
-    }
-  }
-  if (end == text || *end != '\0' || errno == ERANGE || !(v > 0) ||
-      v * scale_s > 1e9) {
-    std::fprintf(stderr, "invalid value '%s' for %s (expected a positive "
-                 "duration such as 500ms, 30s or 2m)\n", text, flag);
-    return false;
-  }
-  *out = std::chrono::duration_cast<std::chrono::nanoseconds>(
-      std::chrono::duration<double>(v * scale_s));
   return true;
 }
 
@@ -251,13 +294,12 @@ std::optional<FlowState> run_flow(DesignFlow& flow, const Netlist& design,
   // Already mapped: place in a fresh floorplan and analyze.
   const Floorplan plan =
       make_floorplan(design, flow.options().utilization);
-  const Placement placement =
+  Placement placement =
       global_place(design, plan, flow.options().place);
-  auto state = flow.reanalyze_with_placement(design, placement,
-                                             /*generate_tests=*/true);
+  auto state = flow.analyze(AnalysisRequest::placed(
+      design, std::move(placement), /*generate_tests=*/true));
   if (!state) {
-    std::fprintf(stderr, "initial placement of '%s' did not fit the die\n",
-                 design.name().c_str());
+    std::fprintf(stderr, "%s\n", state.status().to_string().c_str());
     return std::nullopt;
   }
   return std::move(*state);
@@ -274,7 +316,7 @@ int cmd_flow(int argc, char** argv) {
   if (argc < 1) return usage();
   std::string write_path;
   FlowOptions options;
-  Observability obs;
+  CommonRunFlags obs(/*with_robustness=*/false);
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--write") && i + 1 < argc) {
       write_path = argv[++i];
@@ -334,8 +376,7 @@ int cmd_resyn(int argc, char** argv) {
   std::string write_path;
   ResynthesisOptions options;
   FlowOptions flow_options;
-  Observability obs;
-  std::chrono::nanoseconds deadline{0};
+  CommonRunFlags obs(/*with_robustness=*/true);
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--q") && i + 1 < argc) {
       long q = 0;
@@ -355,18 +396,15 @@ int cmd_resyn(int argc, char** argv) {
       flow_options.warm_start = false;
       options.dedup_candidates = false;
       options.parallel_ladder = false;
-    } else if (!std::strcmp(argv[i], "--deadline") && i + 1 < argc) {
-      if (!parse_duration("--deadline", argv[++i], &deadline)) return 2;
-    } else if (!std::strcmp(argv[i], "--checkpoint") && i + 1 < argc) {
-      options.checkpoint_dir = argv[++i];
-    } else if (!std::strcmp(argv[i], "--resume")) {
-      options.resume = true;
     } else if (obs.match(argc, argv, &i)) {
       continue;
     } else {
       return usage();
     }
   }
+  if (obs.failed) return 2;
+  options.checkpoint_dir = obs.checkpoint;
+  options.resume = obs.resume;
   if (options.resume && options.checkpoint_dir.empty()) {
     std::fprintf(stderr, "--resume requires --checkpoint DIR\n");
     return 2;
@@ -384,11 +422,8 @@ int cmd_resyn(int argc, char** argv) {
   // regenerates — compute it now, on the state resynthesize() will see.
   const std::uint64_t fingerprint =
       resynthesis_fingerprint(flow, *original, options);
-  // Not assignable (atomic latch), so arm the deadline at construction.
-  const CancelToken cancel = deadline.count() > 0
-                                 ? CancelToken::with_deadline(deadline)
-                                 : CancelToken();
-  if (deadline.count() > 0) options.cancel = &cancel;
+  const CancelToken cancel = obs.make_cancel();
+  if (obs.deadline.count() > 0) options.cancel = &cancel;
   auto result = resynthesize(flow, *original, options);
   if (!result) {
     std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
@@ -428,6 +463,95 @@ int cmd_resyn(int argc, char** argv) {
   return 0;
 }
 
+int cmd_campaign(int argc, char** argv) {
+  std::string manifest_path;
+  std::string emit_path;
+  bool table2 = false;
+  CampaignOptions options;
+  CommonRunFlags obs(/*with_robustness=*/true, "--checkpoint-root");
+  for (int i = 0; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--manifest") && i + 1 < argc) {
+      manifest_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--table2")) {
+      table2 = true;
+    } else if (!std::strcmp(argv[i], "--emit-table2") && i + 1 < argc) {
+      emit_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
+      long jobs = 0;
+      if (!parse_long("--jobs", argv[++i], 1, 1024, &jobs)) return 2;
+      options.max_parallel_jobs = static_cast<int>(jobs);
+    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+      long threads = 0;
+      if (!parse_long("--threads", argv[++i], 0, 1024, &threads)) return 2;
+      options.total_threads = static_cast<int>(threads);
+    } else if (obs.match(argc, argv, &i)) {
+      continue;
+    } else {
+      return usage();
+    }
+  }
+  if (obs.failed) return 2;
+  if (!emit_path.empty()) {
+    const Status s = table2_manifest().write_json(emit_path);
+    if (!s.is_ok()) {
+      std::fprintf(stderr, "%s\n", s.to_string().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", emit_path.c_str());
+    return 0;
+  }
+  if (table2 == !manifest_path.empty()) {
+    std::fprintf(stderr,
+                 "campaign needs exactly one of --manifest F or --table2\n");
+    return 2;
+  }
+  if (obs.resume && obs.checkpoint.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint-root DIR\n");
+    return 2;
+  }
+  options.checkpoint_root = obs.checkpoint;
+  options.resume = obs.resume;
+  obs.arm();
+  const auto manifest = table2 ? Expected<CampaignManifest>(table2_manifest())
+                               : CampaignManifest::read(manifest_path);
+  if (!manifest) {
+    std::fprintf(stderr, "%s\n", manifest.status().to_string().c_str());
+    return 1;
+  }
+  const CancelToken cancel = obs.make_cancel();
+  if (obs.deadline.count() > 0) options.cancel = &cancel;
+  const auto result = run_campaign(*manifest, options);
+  if (!result) {
+    std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
+    return 1;
+  }
+  for (const auto& job : result->jobs) {
+    if (job.skipped) {
+      std::printf("%-16s skipped (%s)\n", job.name.c_str(),
+                  job.status.to_string().c_str());
+    } else if (!job.status.is_ok()) {
+      std::printf("%-16s FAILED: %s\n", job.name.c_str(),
+                  job.status.to_string().c_str());
+    } else {
+      const FlowState& s = *job.final_state;
+      std::printf("%-16s U=%-5zu cov=%6.2f%%  Smax=%-5zu (%.2f%% of F)  "
+                  "%.1fs%s\n",
+                  job.name.c_str(), s.num_undetectable(),
+                  100.0 * s.coverage(), s.smax(), 100.0 * s.smax_fraction(),
+                  job.seconds,
+                  job.deadline_expired ? "  (deadline expired)" : "");
+    }
+  }
+  std::printf("campaign: %zu completed, %zu expired, %zu failed, %zu "
+              "skipped in %.1fs (%d job(s) x %d lane(s))\n",
+              result->completed, result->expired, result->failed,
+              result->skipped, result->seconds, result->jobs_in_flight,
+              result->inner_threads);
+  result->merge_metrics_into(MetricsRegistry::global());
+  if (!obs.flush(*result)) return 1;
+  return result->failed == 0 && result->skipped == 0 ? 0 : 1;
+}
+
 int cmd_verilog(int argc, char** argv) {
   if (argc < 1) return usage();
   bool is_mapped = false;
@@ -460,6 +584,7 @@ int main(int argc, char** argv) {
   if (cmd == "list") return cmd_list();
   if (cmd == "flow") return cmd_flow(argc - 2, argv + 2);
   if (cmd == "resyn") return cmd_resyn(argc - 2, argv + 2);
+  if (cmd == "campaign") return cmd_campaign(argc - 2, argv + 2);
   if (cmd == "verilog") return cmd_verilog(argc - 2, argv + 2);
   return usage();
 }
