@@ -1,0 +1,308 @@
+// Probe-load economics of the copy-on-write overlays (FlowOptions::
+// probe_overlays), in two parts:
+//
+// 1. Local-edit probe sweep (the gated number): a spread of single-gate
+//    function-preserving remaps across the circuit — the cone-sized
+//    rewrites the resynthesis inner loop probes most — each probed with
+//    overlays on and off. Both modes must agree fault-for-fault on
+//    u_in, and the ratio of frame bytes materialized per probe is the
+//    O(netlist) -> O(cone) reduction the overlay work exists to deliver
+//    (scripts/check.sh gates on >= 10x).
+//
+// 2. Search bit-identity + aggregate economics: the same short
+//    resynthesis search runs end to end in both modes and must be
+//    bit-identical (statuses, accepted trace, final counts). Its
+//    aggregate bytes/probe is reported for context; it mixes in
+//    deep-ban ladder candidates whose replacements rewrite a large
+//    fraction of this (small) benchmark, so its ratio measures the
+//    workload's edit sizes, not the overlay mechanism.
+//
+// Overrides: first argv = circuit name (default tv80);
+// DFMRES_BENCH_REPEATS=N takes best-of-N wall clock per search mode;
+// DFMRES_BENCH_PROBES=N caps the local-edit sweep (default 48).
+//
+// Artifacts: BENCH_probe_overlay_report.json (run-report schema, the
+// overlay run) and BENCH_probe_overlay_compare.json
+// (dfmres-bench-probe-overlay-v1, both modes side by side) — both
+// readable by scripts/summarize_report.py.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/netlist/extract.hpp"
+#include "src/synth/mapper.hpp"
+#include "src/util/json.hpp"
+
+using namespace dfmres;
+using namespace dfmres::bench;
+
+namespace {
+
+struct ModeRun {
+  double seconds = 0.0;
+  ResynthesisReport report;
+  StateStats stats;
+  std::vector<FaultStatus> statuses;
+  std::string trace;
+};
+
+std::string accepted_trace(const ResynthesisReport& report) {
+  std::string out;
+  for (const IterationRecord& r : report.trace) {
+    if (!r.accepted) continue;
+    out += "q" + std::to_string(r.q) + "p" + std::to_string(r.phase) + ":" +
+           r.banned_through + "/U" + std::to_string(r.undetectable) + ";";
+  }
+  return out;
+}
+
+std::uint64_t probes_of(const ResynthesisReport& r) {
+  return static_cast<std::uint64_t>(r.u_in_probes + r.full_probes);
+}
+
+double bytes_per_probe(const ResynthesisReport& r) {
+  const std::uint64_t probes = probes_of(r);
+  return probes == 0 ? 0.0
+                     : static_cast<double>(r.probe_frame_bytes) /
+                           static_cast<double>(probes);
+}
+
+void write_mode(JsonWriter& w, const char* key, const ModeRun& run) {
+  w.key(key);
+  w.begin_object();
+  w.field("wall_seconds", run.seconds);
+  w.field("probes", probes_of(run.report));
+  w.field("probe_frame_bytes", run.report.probe_frame_bytes);
+  w.field("probe_full_loads", run.report.probe_full_loads);
+  w.field("probe_overlay_loads", run.report.probe_overlay_loads);
+  w.field("probe_load_seconds", run.report.probe_load_seconds);
+  w.field("bytes_per_probe", bytes_per_probe(run.report));
+  w.field("final_undetectable", static_cast<std::uint64_t>(run.stats.u));
+  w.field("final_smax", static_cast<std::uint64_t>(run.stats.smax));
+  w.end_object();
+}
+
+/// Per-mode accumulator for the local-edit probe sweep.
+struct ProbeSweep {
+  std::uint64_t probes = 0;
+  std::uint64_t frame_bytes = 0;
+  std::uint64_t full_loads = 0;
+  std::uint64_t overlay_loads = 0;
+  double seconds = 0.0;
+
+  [[nodiscard]] double bytes_per_probe() const {
+    return probes == 0 ? 0.0
+                       : static_cast<double>(frame_bytes) /
+                             static_cast<double>(probes);
+  }
+};
+
+void write_sweep(JsonWriter& w, const char* key, const ProbeSweep& s) {
+  w.key(key);
+  w.begin_object();
+  w.field("probes", s.probes);
+  w.field("frame_bytes", s.frame_bytes);
+  w.field("full_loads", s.full_loads);
+  w.field("overlay_loads", s.overlay_loads);
+  w.field("seconds", s.seconds);
+  w.field("bytes_per_probe", s.bytes_per_probe());
+  w.end_object();
+}
+
+/// Re-maps the single-gate region {g} with g's own cell banned, splicing
+/// the replacement into a copy of `base`. Empty when the mapper cannot
+/// express the gate without its cell (skip that gate).
+std::optional<Netlist> remap_single_gate(const Netlist& base, GateId g) {
+  Netlist out = base;
+  const GateId region[] = {g};
+  auto sub = extract_subcircuit(out, region);
+  if (!sub) return std::nullopt;
+  MapOptions mo;
+  mo.banned.assign(base.library().num_cells(), false);
+  mo.banned[base.gate(g).cell.value()] = true;
+  auto mapped = technology_map(sub->circuit, osu018_library(), mo);
+  if (!mapped) return std::nullopt;
+  if (!replace_region(out, *sub, *mapped).has_value()) return std::nullopt;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  BenchObservability obs("probe_overlay");
+  const std::string circuit = argc > 1 ? argv[1] : "tv80";
+  const int repeats = [] {
+    const char* env = std::getenv("DFMRES_BENCH_REPEATS");
+    return env ? std::max(1, std::atoi(env)) : 1;
+  }();
+  const std::size_t max_probes = [] {
+    const char* env = std::getenv("DFMRES_BENCH_PROBES");
+    return env ? static_cast<std::size_t>(std::max(1, std::atoi(env))) : 48u;
+  }();
+
+  std::printf("==== probe overlay economics: %s ====\n", circuit.c_str());
+  const Netlist rtl = build_benchmark(circuit).value();
+  using Clock = std::chrono::steady_clock;
+
+  // ---- part 1: local-edit probe sweep (the gated measurement) ----
+  // One committed flow per mode over the same design; both probe the
+  // identical edited netlists, so the u_in verdicts must agree exactly.
+  FlowOptions on_options = bench_flow_options();
+  on_options.probe_overlays = true;
+  FlowOptions off_options = bench_flow_options();
+  off_options.probe_overlays = false;
+  DesignFlow flow_on(osu018_library(), on_options);
+  const FlowState s_on = flow_on.run_initial(rtl).value();
+  DesignFlow flow_off(osu018_library(), off_options);
+  const FlowState s_off = flow_off.run_initial(rtl).value();
+
+  // Deterministic spread: walk the live combinational gates with a
+  // stride that lands about `max_probes` single-gate remaps.
+  std::vector<GateId> comb;
+  for (GateId g : s_on.netlist.live_gates()) {
+    if (!s_on.netlist.cell_of(g).sequential) comb.push_back(g);
+  }
+  const std::size_t stride = std::max<std::size_t>(1, comb.size() / max_probes);
+  ProbeSweep sweep_on, sweep_off;
+  bool sweep_identical = true;
+  for (std::size_t i = 0; i < comb.size() && sweep_on.probes < max_probes;
+       i += stride) {
+    const std::optional<Netlist> edited =
+        remap_single_gate(s_on.netlist, comb[i]);
+    if (!edited) continue;
+    const auto t0 = Clock::now();
+    ProbeSession p_on = flow_on.probe();
+    const auto u_on = p_on.count_undetectable_internal(*edited);
+    const auto t1 = Clock::now();
+    ProbeSession p_off = flow_off.probe();
+    const auto u_off = p_off.count_undetectable_internal(*edited);
+    const auto t2 = Clock::now();
+    if (!u_on || !u_off || *u_on != *u_off) {
+      sweep_identical = false;
+      break;
+    }
+    const AtpgCounters& c_on = p_on.counters();
+    const AtpgCounters& c_off = p_off.counters();
+    ++sweep_on.probes;
+    sweep_on.frame_bytes += c_on.frame_bytes_materialized;
+    sweep_on.full_loads += c_on.full_loads;
+    sweep_on.overlay_loads += c_on.overlay_loads;
+    sweep_on.seconds += std::chrono::duration<double>(t1 - t0).count();
+    ++sweep_off.probes;
+    sweep_off.frame_bytes += c_off.frame_bytes_materialized;
+    sweep_off.full_loads += c_off.full_loads;
+    sweep_off.overlay_loads += c_off.overlay_loads;
+    sweep_off.seconds += std::chrono::duration<double>(t2 - t1).count();
+  }
+  const double local_ratio =
+      sweep_on.bytes_per_probe() == 0.0
+          ? 0.0
+          : sweep_off.bytes_per_probe() / sweep_on.bytes_per_probe();
+  std::printf("local edits: %llu probes\n",
+              static_cast<unsigned long long>(sweep_on.probes));
+  std::printf("  full:    %8.0f bytes/probe (%llu full loads, %.2fs)\n",
+              sweep_off.bytes_per_probe(),
+              static_cast<unsigned long long>(sweep_off.full_loads),
+              sweep_off.seconds);
+  std::printf("  overlay: %8.0f bytes/probe (%llu overlay loads, %.2fs)\n",
+              sweep_on.bytes_per_probe(),
+              static_cast<unsigned long long>(sweep_on.overlay_loads),
+              sweep_on.seconds);
+  std::printf("bytes-per-probe ratio (full/overlay): %.1fx\n", local_ratio);
+
+  // ---- part 2: end-to-end search bit-identity + aggregate context ----
+  const auto run_mode = [&](bool overlays) {
+    ModeRun best;
+    best.seconds = std::numeric_limits<double>::max();
+    for (int rep = 0; rep < repeats; ++rep) {
+      FlowOptions flow_options = bench_flow_options();
+      flow_options.probe_overlays = overlays;
+      // Short search matching OverlayHeavy.Tv80ResynthesisBitIdentical:
+      // enough accepted steps to exercise commit/rebase in both modes.
+      ResynthesisOptions resyn_options = bench_resyn_options();
+      resyn_options.q_max = 1;
+      resyn_options.max_iterations_per_phase = 4;
+      resyn_options.reanalyses_per_iteration = 16;
+      DesignFlow flow(osu018_library(), flow_options);
+      const FlowState original = flow.run_initial(rtl).value();
+      const auto t0 = Clock::now();
+      ResynthesisResult result =
+          resynthesize(flow, original, resyn_options).value();
+      const double seconds =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      if (seconds < best.seconds) {
+        best.seconds = seconds;
+        best.stats = stats_of(result.state);
+        best.statuses = result.state.atpg.status;
+        best.trace = accepted_trace(result.report);
+        best.report = std::move(result.report);
+        if (overlays) obs.set_final(result.state);
+      }
+    }
+    return best;
+  };
+
+  const ModeRun full = run_mode(false);
+  const ModeRun overlay = run_mode(true);
+  obs.absorb(overlay.report);
+
+  // The overlays are a pure acceleration: any observable difference is a
+  // bug, and the ratios above would be meaningless.
+  const bool identical = sweep_identical && full.statuses == overlay.statuses &&
+                         full.trace == overlay.trace &&
+                         full.stats.u == overlay.stats.u &&
+                         full.stats.smax == overlay.stats.smax;
+
+  const double search_ratio =
+      bytes_per_probe(overlay.report) == 0.0
+          ? 0.0
+          : bytes_per_probe(full.report) / bytes_per_probe(overlay.report);
+  std::printf("search full:    %6.2fs  %llu probes, %llu frame bytes "
+              "(%.0f bytes/probe, %llu full loads)\n",
+              full.seconds,
+              static_cast<unsigned long long>(probes_of(full.report)),
+              static_cast<unsigned long long>(full.report.probe_frame_bytes),
+              bytes_per_probe(full.report),
+              static_cast<unsigned long long>(full.report.probe_full_loads));
+  std::printf(
+      "search overlay: %6.2fs  %llu probes, %llu frame bytes "
+      "(%.0f bytes/probe, %llu overlay loads)\n",
+      overlay.seconds,
+      static_cast<unsigned long long>(probes_of(overlay.report)),
+      static_cast<unsigned long long>(overlay.report.probe_frame_bytes),
+      bytes_per_probe(overlay.report),
+      static_cast<unsigned long long>(overlay.report.probe_overlay_loads));
+  std::printf("search bytes-per-probe ratio (full/overlay): %.1fx\n",
+              search_ratio);
+  std::printf("bit-identical: %s\n", identical ? "yes" : "NO");
+
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema", "dfmres-bench-probe-overlay-v1");
+  w.field("circuit", circuit);
+  w.field("identical", identical);
+  w.field("bytes_per_probe_ratio", local_ratio);
+  w.field("search_bytes_per_probe_ratio", search_ratio);
+  w.key("local");
+  w.begin_object();
+  w.field("probes", sweep_on.probes);
+  write_sweep(w, "full", sweep_off);
+  write_sweep(w, "overlay", sweep_on);
+  w.end_object();
+  write_mode(w, "full", full);
+  write_mode(w, "overlay", overlay);
+  w.end_object();
+  std::ofstream out("BENCH_probe_overlay_compare.json");
+  out << w.take() << "\n";
+  std::printf("wrote BENCH_probe_overlay_compare.json\n");
+
+  return identical ? 0 : 1;
+}

@@ -77,6 +77,26 @@ print("campaign gate: report OK")
 EOF
 python3 scripts/summarize_report.py "$CAMP_DIR/report.json"
 
+# Probe-overlay gate: the copy-on-write overlays must stay bit-identical
+# to full per-probe loads and keep the local-edit probe cost at O(cone):
+# >= 10x fewer frame bytes per probe than the O(netlist) full loads on
+# tv80. The bench exits non-zero on any observable divergence.
+OVL_DIR="$BUILD_DIR/overlay_gate"
+mkdir -p "$OVL_DIR"
+OVL_BIN="$BUILD_DIR/bench/bench_probe_overlay"
+case "$OVL_BIN" in /*) ;; *) OVL_BIN="$(pwd)/$OVL_BIN" ;; esac
+(cd "$OVL_DIR" && "$OVL_BIN" tv80)
+python3 - "$OVL_DIR/BENCH_probe_overlay_compare.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["schema"] == "dfmres-bench-probe-overlay-v1"
+assert report["identical"], "overlay and full runs disagree"
+ratio = report["bytes_per_probe_ratio"]
+assert ratio >= 10.0, f"local-edit bytes/probe ratio {ratio:.1f}x < 10x"
+print(f"probe overlay gate: bit-identical, {ratio:.1f}x fewer bytes/probe")
+EOF
+python3 scripts/summarize_report.py "$OVL_DIR/BENCH_probe_overlay_compare.json"
+
 scripts/run_tsan.sh
 scripts/run_asan.sh
 scripts/run_ubsan.sh

@@ -3,8 +3,11 @@
 # incremental ATPG machinery: -DDFMRES_SANITIZE=address expands to
 # address,undefined (see CMakeLists.txt). Runs the suites that exercise
 # the simulator-arena rebinding, the cache overlays and the speculative
-# ladder (warm_start_test), the core flow (core_test) and the engine
-# itself (atpg_test). Any report aborts with a non-zero exit.
+# ladder (warm_start_test), the core flow (core_test), the engine
+# itself (atpg_test), and the copy-on-write probe overlays
+# (overlay_test — baseline frame aliasing and the per-batch dirty-slot
+# replay are exactly the pointer gymnastics ASan is for). Any report
+# aborts with a non-zero exit.
 # Usage: scripts/run_asan.sh [build-dir]
 set -eu
 
@@ -14,7 +17,7 @@ BUILD_DIR="${1:-build-asan}"
 cmake -B "$BUILD_DIR" -S . -DDFMRES_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target warm_start_test core_test atpg_test
+  --target warm_start_test core_test atpg_test overlay_test
 
 # Fail loudly on the first report from either sanitizer.
 SAN_ENV="halt_on_error=1 exitcode=66"
@@ -24,5 +27,10 @@ ASAN_OPTIONS="$SAN_ENV" UBSAN_OPTIONS="$SAN_ENV" \
   "$BUILD_DIR/tests/core_test"
 ASAN_OPTIONS="$SAN_ENV" UBSAN_OPTIONS="$SAN_ENV" \
   "$BUILD_DIR/tests/atpg_test"
+# The tv80 end-to-end case reruns two full resynthesis searches — far
+# too slow under instrumentation; the small-block cases cover the same
+# overlay load/discard/rebase code paths.
+ASAN_OPTIONS="$SAN_ENV" UBSAN_OPTIONS="$SAN_ENV" \
+  "$BUILD_DIR/tests/overlay_test" --gtest_filter='-OverlayHeavy.*'
 
 echo "ASan/UBSan: no reports."

@@ -14,7 +14,8 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DDFMRES_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target atpg_test sim_test util_test observability_test campaign_test
+  --target atpg_test sim_test util_test observability_test campaign_test \
+  overlay_test
 
 # TSAN_OPTIONS: fail loudly, first report wins.
 TSAN_OPTIONS="halt_on_error=1 exitcode=66" \
@@ -30,5 +31,11 @@ TSAN_OPTIONS="halt_on_error=1 exitcode=66" \
 # by the regular build), the concurrent-jobs paths are not.
 TSAN_OPTIONS="halt_on_error=1 exitcode=66" "$BUILD_DIR/tests/campaign_test" \
   --gtest_filter='-CampaignHeavy.JobsAreBitIdenticalToStandaloneRuns'
+# Probe overlays: overlay loads feed the parallel sweep workers through
+# load_from frame aliasing, so races here would corrupt detect masks.
+# The tv80 end-to-end case is far too slow under instrumentation; the
+# small-block cases drive the same load/discard/rebase paths.
+TSAN_OPTIONS="halt_on_error=1 exitcode=66" "$BUILD_DIR/tests/overlay_test" \
+  --gtest_filter='-OverlayHeavy.*'
 
 echo "TSan: no data races detected."

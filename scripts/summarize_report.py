@@ -33,11 +33,48 @@ def summarize(path):
     if schema == "dfmres-campaign-report-v1":
         summarize_campaign(path, report)
         return
+    if schema == "dfmres-bench-probe-overlay-v1":
+        summarize_probe_overlay(path, report)
+        return
     if schema != "dfmres-run-report-v1":
         raise ValueError(f"{path}: unexpected schema {schema!r}")
 
     print(f"== {path}")
     summarize_run(report)
+
+
+def summarize_probe_overlay(path, report):
+    """BENCH_probe_overlay_compare.json: CoW probe-overlay economics."""
+    print(f"== {path}")
+    print(
+        f"   probe overlays on {report['circuit']}:"
+        f" bit-identical={'yes' if report['identical'] else 'NO'}"
+    )
+    local = report["local"]
+    for mode in ("full", "overlay"):
+        m = local[mode]
+        print(
+            f"   local {mode:<7} {m['bytes_per_probe']:12.0f} bytes/probe"
+            f"  ({m['full_loads']} full / {m['overlay_loads']} overlay"
+            f" loads over {local['probes']} probes)"
+        )
+    print(
+        f"   local-edit bytes/probe ratio (full/overlay):"
+        f" {report['bytes_per_probe_ratio']:.1f}x"
+    )
+    for mode in ("full", "overlay"):
+        m = report[mode]
+        print(
+            f"   search {mode:<7} {m['bytes_per_probe']:12.0f} bytes/probe"
+            f"  ({m['probes']} probes, {m['wall_seconds']:.2f}s,"
+            f" U={m['final_undetectable']} Smax={m['final_smax']})"
+        )
+    print(
+        f"   search bytes/probe ratio (full/overlay):"
+        f" {report['search_bytes_per_probe_ratio']:.1f}x"
+    )
+    if not report["identical"]:
+        raise ValueError(f"{path}: overlay and full runs disagree")
 
 
 def summarize_campaign(path, report):

@@ -35,10 +35,11 @@ std::vector<std::uint8_t> concretize(std::span<const V3> assign, Rng& rng) {
   return out;
 }
 
+/// Phase-1 random frames come from the generator shared with the
+/// baseline builder (random_sim_frame), so a SimBaseline built at the
+/// same rng seed holds exactly the patterns drawn here.
 std::vector<std::uint8_t> random_frame(std::size_t n, Rng& rng) {
-  std::vector<std::uint8_t> out(n);
-  for (auto& v : out) v = rng.flip() ? 1 : 0;
-  return out;
+  return random_sim_frame(n, rng);
 }
 
 }  // namespace
@@ -57,6 +58,10 @@ AtpgResult run_atpg_overlay(const Netlist& nl, const FaultUniverse& universe,
   result.status.assign(universe.size(), FaultStatus::Unknown);
 
   const CombView view = CombView::build(nl);
+  // The SoA snapshot every simulator of this run shares: built once,
+  // handed to the arena slots, and diffed against the caller's baseline
+  // view for the copy-on-write replay plan.
+  auto dense = DenseView::build_shared(nl, view);
   const std::size_t num_sources = view.sources.size();
   Rng rng(options.seed);
 
@@ -126,13 +131,28 @@ AtpgResult run_atpg_overlay(const Netlist& nl, const FaultUniverse& universe,
   // between calls instead of being reallocated per candidate.
   FaultSimArena local_arena;
   FaultSimArena& arena = options.arena ? *options.arena : local_arena;
-  FaultSimulator& simulator = arena.acquire(0, nl, view);
+  FaultSimulator& simulator = arena.acquire(0, dense);
   simulator.set_cancel(options.cancel);
   std::vector<FaultSimulator*> worker_sims;
   for (int w = 1; w < num_workers; ++w) {
-    worker_sims.push_back(&arena.acquire(static_cast<std::size_t>(w), nl, view));
+    worker_sims.push_back(&arena.acquire(static_cast<std::size_t>(w), dense));
     worker_sims.back()->set_cancel(options.cancel);
   }
+
+  // Copy-on-write seed replay: when the caller supplies baseline frames
+  // for this seed set, diff this design against the baseline design and
+  // replay each batch by materializing only the dirty slots. The plan is
+  // structural, so an invalid plan (changed sources, a sequential edit)
+  // just falls back to full loads — never a wrong answer.
+  CowPlan cow_plan;
+  bool use_overlay = false;
+  if (have_seeds && options.baseline != nullptr && options.baseline->valid() &&
+      options.baseline->num_patterns == options.seed_tests->size() &&
+      options.baseline->frame_width == num_sources) {
+    cow_plan = build_cow_plan(*dense, *options.baseline->view);
+    use_overlay = cow_plan.valid;
+  }
+  if (run_span.active()) run_span.arg("overlay", use_overlay ? 1 : 0);
 
   // masks[k] = simulator.detect_mask(excitations[items[k]]) for the
   // currently loaded batch, computed across the pool.
@@ -172,10 +192,8 @@ AtpgResult run_atpg_overlay(const Netlist& nl, const FaultUniverse& universe,
   // credits exactly one lane — the lowest set bit of its detect mask —
   // so a lane survives iff it is some fault's first detector, matching
   // the classic serial-simulation rule independent of sweep order).
-  const auto drop_with_batch = [&](std::span<const TestPattern> from,
-                                   std::size_t first, std::size_t count) {
-    simulator.load(from, first, count);
-    sweep_masks(targets, sweep_scratch);
+  // Consumes the masks in sweep_scratch (parallel to `targets`).
+  const auto drop_from_masks = [&]() {
     std::vector<std::uint32_t> still;
     std::uint64_t useful_lanes = 0;
     still.reserve(targets.size());
@@ -192,6 +210,54 @@ AtpgResult run_atpg_overlay(const Netlist& nl, const FaultUniverse& universe,
     targets = std::move(still);
     return useful_lanes;
   };
+  const auto drop_with_batch = [&](std::span<const TestPattern> from,
+                                   std::size_t first, std::size_t count) {
+    simulator.load(from, first, count);
+    sweep_masks(targets, sweep_scratch);
+    return drop_from_masks();
+  };
+  // Overlay-path twin of drop_with_batch for the phase-0 replay. In
+  // verify mode the batch is re-swept under a full load and the run
+  // continues with the full-load masks, so a mismatch is counted but
+  // never changes the outcome.
+  const auto drop_with_baseline_batch = [&](std::span<const TestPattern> seeds,
+                                            std::size_t first,
+                                            std::size_t count) {
+    simulator.load_baseline(*options.baseline, cow_plan, first / 64, count);
+    sweep_masks(targets, sweep_scratch);
+    if (options.verify_overlays) {
+      const std::vector<std::uint64_t> overlay_masks = sweep_scratch;
+      simulator.load(seeds, first, count);
+      sweep_masks(targets, sweep_scratch);
+      ++result.counters.overlay_verified_batches;
+      if (overlay_masks != sweep_scratch) {
+        ++result.counters.overlay_verify_mismatches;
+      }
+    }
+    return drop_from_masks();
+  };
+  // Phase-1 twin: the committed baseline also carries pre-simulated
+  // frames for the engine's own deterministic random batches (same rng
+  // seed, same generator), so a probe replays those through the overlay
+  // too. The freshly drawn patterns are still compared against the
+  // stored ones before use — any divergence (seed drift, width change)
+  // falls back to the full load, never a wrong answer.
+  const auto drop_with_random_baseline_batch =
+      [&](std::span<const TestPattern> from, std::size_t first,
+          std::size_t batch) {
+        simulator.load_baseline_random(*options.baseline, cow_plan, batch, 64);
+        sweep_masks(targets, sweep_scratch);
+        if (options.verify_overlays) {
+          const std::vector<std::uint64_t> overlay_masks = sweep_scratch;
+          simulator.load(from, first, 64);
+          sweep_masks(targets, sweep_scratch);
+          ++result.counters.overlay_verified_batches;
+          if (overlay_masks != sweep_scratch) {
+            ++result.counters.overlay_verify_mismatches;
+          }
+        }
+        return drop_from_masks();
+      };
 
   // ---- phase 0: warm-start replay of the seed test set ----
   // One drop sweep over the previous run's compacted patterns detects
@@ -211,7 +277,9 @@ AtpgResult run_atpg_overlay(const Netlist& nl, const FaultUniverse& universe,
          !cancel_expired(options.cancel);
          first += 64) {
       const std::size_t count = std::min<std::size_t>(64, seeds.size() - first);
-      const std::uint64_t useful = drop_with_batch(seeds, first, count);
+      const std::uint64_t useful =
+          use_overlay ? drop_with_baseline_batch(seeds, first, count)
+                      : drop_with_batch(seeds, first, count);
       if (options.generate_tests) {
         // Useful seed patterns join the candidate pool so the phase-3
         // compaction keeps covering the faults they detect.
@@ -257,7 +325,18 @@ AtpgResult run_atpg_overlay(const Netlist& nl, const FaultUniverse& universe,
       tests.push_back({random_frame(num_sources, rng),
                        random_frame(num_sources, rng)});
     }
-    const std::uint64_t useful = drop_with_batch(tests, first, 64);
+    const bool batch_cached =
+        use_overlay &&
+        static_cast<std::size_t>(batch) <
+            options.baseline->random_batches.size() &&
+        std::equal(tests.begin() + static_cast<std::ptrdiff_t>(first),
+                   tests.end(),
+                   options.baseline->random_patterns.begin() +
+                       static_cast<std::ptrdiff_t>(batch) * 64);
+    const std::uint64_t useful =
+        batch_cached ? drop_with_random_baseline_batch(
+                           tests, first, static_cast<std::size_t>(batch))
+                     : drop_with_batch(tests, first, 64);
     // Keep only lanes that first-detected something; discard the rest.
     std::vector<TestPattern> kept;
     for (int lane = 0; lane < 64; ++lane) {
@@ -393,10 +472,22 @@ AtpgResult run_atpg_overlay(const Netlist& nl, const FaultUniverse& universe,
   result.counters.patterns_simulated = simulator.patterns_simulated();
   result.counters.detect_mask_calls = simulator.detect_mask_calls();
   result.counters.propagation_events = simulator.propagation_events();
+  result.counters.frame_bytes_materialized =
+      simulator.frame_bytes_materialized();
+  result.counters.full_loads = simulator.full_loads();
+  result.counters.overlay_loads = simulator.overlay_loads();
+  result.counters.overlay_dirty_nets = simulator.overlay_dirty_nets();
+  result.counters.load_seconds = simulator.load_seconds();
   for (const auto* sim : worker_sims) {
     result.counters.patterns_simulated += sim->patterns_simulated();
     result.counters.detect_mask_calls += sim->detect_mask_calls();
     result.counters.propagation_events += sim->propagation_events();
+    result.counters.frame_bytes_materialized +=
+        sim->frame_bytes_materialized();
+    result.counters.full_loads += sim->full_loads();
+    result.counters.overlay_loads += sim->overlay_loads();
+    result.counters.overlay_dirty_nets += sim->overlay_dirty_nets();
+    result.counters.load_seconds += sim->load_seconds();
   }
 
   // ---- bookkeeping ----

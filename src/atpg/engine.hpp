@@ -61,6 +61,22 @@ struct AtpgOptions {
   /// patterns or PODEM on it (counted in `podem_targets_skipped`);
   /// everything else is retargeted normally.
   const std::vector<std::uint8_t>* cone_untouched = nullptr;
+  /// Committed-baseline good frames for the phase-0 seed replay. When
+  /// set (and the seed set matches the baseline's pattern count and
+  /// frame width), each replay batch binds the baseline's frames
+  /// read-only and materializes only the slots this netlist's structural
+  /// diff against the baseline dirties (FaultSimulator::load_baseline) —
+  /// O(cone) copied bytes per probe instead of O(netlist). Must have
+  /// been built (or rebased) from exactly `seed_tests` over a design the
+  /// current netlist derives from by combinational-only edits; the
+  /// engine falls back to full loads whenever the copy-on-write plan is
+  /// invalid. Borrowed for the duration of the call.
+  const SimBaseline* baseline = nullptr;
+  /// Debug/test mode: after each overlay-loaded replay batch, reload the
+  /// batch fully and compare the sweep masks, counting comparisons and
+  /// mismatches in the result counters (the run proceeds with the
+  /// full-load masks). Roughly doubles phase-0 cost; off in production.
+  bool verify_overlays = false;
   /// Preallocated simulator arena reused across calls (slot 0 = master,
   /// 1..N = sweep workers). When null a call-local arena is used.
   FaultSimArena* arena = nullptr;

@@ -1,6 +1,8 @@
 #include "src/atpg/fault_sim.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <chrono>
 #include <functional>
 #include <limits>
 
@@ -8,36 +10,378 @@
 #include "src/util/trace.hpp"
 
 namespace dfmres {
+namespace {
 
-FaultSimulator::FaultSimulator(const Netlist& nl, const CombView& view)
-    : nl_(&nl), view_(&view) {
-  rebind(nl, view);
+/// Packs tests[first..first+lanes) into per-source 64-bit lane words.
+void pack_sources(const DenseView& v, std::span<const TestPattern> tests,
+                  std::size_t first, int lanes,
+                  std::vector<std::uint64_t>& src0,
+                  std::vector<std::uint64_t>& src1) {
+  const std::size_t num_sources = v.sources.size();
+  src0.assign(num_sources, 0);
+  src1.assign(num_sources, 0);
+  for (int lane = 0; lane < lanes; ++lane) {
+    const TestPattern& t = tests[first + static_cast<std::size_t>(lane)];
+    for (std::size_t s = 0; s < num_sources; ++s) {
+      if (t.frame0[s]) src0[s] |= std::uint64_t{1} << lane;
+      if (t.frame1[s]) src1[s] |= std::uint64_t{1} << lane;
+    }
+  }
 }
 
-void FaultSimulator::rebind(const Netlist& nl, const CombView& view) {
-  nl_ = &nl;
-  view_ = &view;
+/// Full good-machine evaluation of one frame over the SoA view: writes
+/// the source words, then every combinational gate output in topological
+/// order. `out` must hold net_slots words; slots never written (dead or
+/// undriven nets) keep their prior contents, so callers zero-fill once.
+void eval_frame(const DenseView& v, std::span<const std::uint64_t> src,
+                std::uint64_t* out) {
+  for (std::size_t s = 0; s < v.sources.size(); ++s) {
+    out[v.sources[s]] = src[s];
+  }
+  std::uint64_t ins[kMaxCellInputs];
+  for (std::uint32_t gs : v.order) {
+    const CellSpec& cell = *v.cell[gs];
+    const std::uint32_t fb = v.fanin_offset[gs];
+    const std::size_t nin = v.fanin_offset[gs + 1] - fb;
+    for (std::size_t i = 0; i < nin; ++i) {
+      ins[i] = out[v.fanin_net[fb + i]];
+    }
+    const std::uint32_t ob = v.output_offset[gs];
+    for (int k = 0; k < cell.num_outputs; ++k) {
+      out[v.output_net[ob + static_cast<std::uint32_t>(k)]] =
+          ParallelSimulator::eval_cell(cell, k, {ins, nin});
+    }
+  }
+}
+
+/// Recomputes exactly the plan's dirty slots in place over full frame
+/// arrays (the rebase fold): zero the dirty slots, then evaluate the
+/// dirty gates in topological order. Clean inputs already hold correct
+/// values; dirty inputs were either written by an earlier dirty gate or
+/// are undriven and stay zero — the same contract a full eval_frame
+/// leaves behind.
+void refresh_dirty_slots(const DenseView& v, const CowPlan& plan,
+                         std::uint64_t* f0, std::uint64_t* f1) {
+  for (std::uint32_t n : plan.dirty_nets) {
+    f0[n] = 0;
+    f1[n] = 0;
+  }
+  std::uint64_t in0[kMaxCellInputs], in1[kMaxCellInputs];
+  for (std::uint32_t gs : plan.dirty_gates) {
+    const CellSpec& cell = *v.cell[gs];
+    const std::uint32_t fb = v.fanin_offset[gs];
+    const std::size_t nin = v.fanin_offset[gs + 1] - fb;
+    for (std::size_t i = 0; i < nin; ++i) {
+      const std::uint32_t n = v.fanin_net[fb + i];
+      in0[i] = f0[n];
+      in1[i] = f1[n];
+    }
+    const std::uint32_t ob = v.output_offset[gs];
+    for (int k = 0; k < cell.num_outputs; ++k) {
+      const std::uint32_t out =
+          v.output_net[ob + static_cast<std::uint32_t>(k)];
+      f0[out] = ParallelSimulator::eval_cell(cell, k, {in0, nin});
+      f1[out] = ParallelSimulator::eval_cell(cell, k, {in1, nin});
+    }
+  }
+}
+
+/// Simulates patterns[first..first+lanes) over `dv` into one batch of
+/// good frames.
+GoodFrames simulate_batch(const DenseView& dv,
+                          std::span<const TestPattern> patterns,
+                          std::size_t first, int lanes,
+                          std::vector<std::uint64_t>& src0,
+                          std::vector<std::uint64_t>& src1) {
+  GoodFrames gf;
+  gf.lanes = lanes;
+  gf.good0.assign(dv.net_slots, 0);
+  gf.good1.assign(dv.net_slots, 0);
+  pack_sources(dv, patterns, first, lanes, src0, src1);
+  eval_frame(dv, src0, gf.good0.data());
+  eval_frame(dv, src1, gf.good1.data());
+  return gf;
+}
+
+SimBaseline build_baseline_over(std::shared_ptr<const DenseView> dv,
+                                std::span<const TestPattern> seeds,
+                                std::uint64_t random_seed,
+                                int random_batches) {
+  SimBaseline out;
+  out.num_patterns = seeds.size();
+  out.frame_width = dv->sources.size();
+  out.seeds_hash = seed_tests_hash(seeds);
+  std::vector<std::uint64_t> src0, src1;
+  for (std::size_t first = 0; first < seeds.size(); first += 64) {
+    const int lanes =
+        static_cast<int>(std::min<std::size_t>(seeds.size() - first, 64));
+    out.batches.push_back(
+        simulate_batch(*dv, seeds, first, lanes, src0, src1));
+  }
+  // Phase-1 random batches: draw exactly as the engine does (64 pattern
+  // pairs per batch, frame0 then frame1) from a fresh rng at the given
+  // seed, and simulate them like the seed batches.
+  out.random_seed = random_seed;
+  Rng rng(random_seed);
+  for (int b = 0; b < random_batches; ++b) {
+    for (int lane = 0; lane < 64; ++lane) {
+      out.random_patterns.push_back(
+          {random_sim_frame(out.frame_width, rng),
+           random_sim_frame(out.frame_width, rng)});
+    }
+    out.random_batches.push_back(simulate_batch(
+        *dv, out.random_patterns, static_cast<std::size_t>(b) * 64, 64,
+        src0, src1));
+  }
+  out.view = std::move(dv);
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> random_sim_frame(std::size_t n, Rng& rng) {
+  std::vector<std::uint8_t> out(n);
+  for (auto& v : out) v = rng.flip() ? 1 : 0;
+  return out;
+}
+
+std::uint64_t seed_tests_hash(std::span<const TestPattern> seeds) {
+  // FNV-1a over pattern count, frame widths, and frame bytes in order.
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ull;
+  };
+  const auto mix_frame = [&](const std::vector<std::uint8_t>& f) {
+    mix(f.size());
+    for (std::uint8_t b : f) mix(b);
+  };
+  mix(seeds.size());
+  for (const TestPattern& t : seeds) {
+    mix_frame(t.frame0);
+    mix_frame(t.frame1);
+  }
+  return h;
+}
+
+SimBaseline build_sim_baseline(const Netlist& nl,
+                               std::span<const TestPattern> seeds,
+                               std::uint64_t random_seed,
+                               int random_batches) {
+  if (seeds.empty()) return {};
+  const CombView view = CombView::build(nl);
+  return build_baseline_over(DenseView::build_shared(nl, view), seeds,
+                             random_seed, random_batches);
+}
+
+void rebase_sim_baseline(SimBaseline& base, const Netlist& nl,
+                         std::span<const TestPattern> seeds,
+                         std::uint64_t random_seed, int random_batches) {
+  if (seeds.empty()) {
+    base.clear();
+    return;
+  }
+  TraceSpan span("fsim.rebase", "fsim");
+  const CombView view = CombView::build(nl);
+  auto dv = DenseView::build_shared(nl, view);
+  // The random patterns are a function of (seed, frame width), so an
+  // unchanged width keeps them valid through a fold; a changed random
+  // configuration forces the full rebuild below.
+  if (base.valid() && base.seeds_hash == seed_tests_hash(seeds) &&
+      base.num_patterns == seeds.size() &&
+      base.frame_width == dv->sources.size() &&
+      base.random_seed == random_seed &&
+      base.random_batches.size() == static_cast<std::size_t>(random_batches)) {
+    const CowPlan plan = build_cow_plan(*dv, *base.view);
+    if (plan.valid) {
+      if (span.active()) {
+        span.arg("fold_dirty_nets", static_cast<int>(plan.dirty_nets.size()));
+      }
+      const auto fold = [&](GoodFrames& gf) {
+        // resize() zero-fills slots the old design did not have; the
+        // plan marks all of them dirty anyway.
+        gf.good0.resize(dv->net_slots, 0);
+        gf.good1.resize(dv->net_slots, 0);
+        refresh_dirty_slots(*dv, plan, gf.good0.data(), gf.good1.data());
+      };
+      for (GoodFrames& gf : base.batches) fold(gf);
+      for (GoodFrames& gf : base.random_batches) fold(gf);
+      base.view = std::move(dv);
+      return;
+    }
+  }
+  base = build_baseline_over(std::move(dv), seeds, random_seed,
+                             random_batches);
+}
+
+CowPlan build_cow_plan(const DenseView& cand, const DenseView& base) {
+  CowPlan plan;
+  // The overlay contract needs identical source vectors (baseline frames
+  // are reused without re-packing the scan loads).
+  if (cand.sources != base.sources) return plan;
+
+  const auto row_differs = [](const std::vector<std::uint32_t>& off_a,
+                              const std::vector<std::uint32_t>& net_a,
+                              const std::vector<std::uint32_t>& off_b,
+                              const std::vector<std::uint32_t>& net_b,
+                              std::uint32_t g) {
+    const std::uint32_t ba = off_a[g], bb = off_b[g];
+    const std::uint32_t la = off_a[g + 1] - ba, lb = off_b[g + 1] - bb;
+    if (la != lb) return true;
+    for (std::uint32_t i = 0; i < la; ++i) {
+      if (net_a[ba + i] != net_b[bb + i]) return true;
+    }
+    return false;
+  };
+
+  // Seed set: gates that structurally differ between the two views.
+  std::vector<std::uint8_t> gate_dirty(cand.gate_slots, 0);
+  for (std::uint32_t g = 0; g < cand.gate_slots; ++g) {
+    bool differs;
+    if (g >= base.gate_slots) {
+      differs = cand.cell[g] != nullptr;
+    } else {
+      differs = cand.cell[g] != base.cell[g] ||
+                row_differs(cand.fanin_offset, cand.fanin_net,
+                            base.fanin_offset, base.fanin_net, g) ||
+                row_differs(cand.output_offset, cand.output_net,
+                            base.output_offset, base.output_net, g);
+    }
+    if (!differs) continue;
+    // An edited sequential gate changes a frame source; the overlay
+    // replays sources verbatim, so bail out to full loads.
+    if (cand.is_sequential[g] ||
+        (g < base.gate_slots && base.cell[g] != nullptr &&
+         base.is_sequential[g])) {
+      return plan;
+    }
+    if (cand.cell[g] != nullptr) gate_dirty[g] = 1;
+  }
+  // The seeds themselves, before closure expansion, in candidate topo
+  // order — the start set of the value-cutoff overlay replay.
+  std::vector<std::uint8_t> seed_gate = gate_dirty;
+
+  // Seed dirty nets: slots the baseline frames do not cover, nets whose
+  // driver changed (covers gate removal), and outputs of dirty gates.
+  plan.dirty.assign(cand.net_slots, 0);
+  std::vector<std::uint32_t> worklist;
+  const auto mark_net = [&](std::uint32_t n) {
+    if (!plan.dirty[n]) {
+      plan.dirty[n] = 1;
+      worklist.push_back(n);
+    }
+  };
+  for (std::uint32_t n = 0; n < cand.net_slots; ++n) {
+    if (n >= base.net_slots || cand.driver[n] != base.driver[n]) {
+      mark_net(n);
+      // The overlay can read every other slot straight from the baseline
+      // frames and let seed-gate evaluation decide what changed; these
+      // it must preset (no baseline value, or newly undriven — the
+      // full-load contract leaves unwritten slots at zero). Dead slots
+      // are exempt: fault universes, observe sets, and fanout rows all
+      // come from live nets only, so nothing ever reads their frames.
+      if ((n >= base.net_slots || cand.driver[n] == DenseView::kNoDriver) &&
+          cand.net_alive[n]) {
+        plan.seed_nets.push_back(n);
+      }
+    }
+  }
+  for (std::uint32_t g = 0; g < cand.gate_slots; ++g) {
+    if (!gate_dirty[g]) continue;
+    for (std::uint32_t i = cand.output_offset[g];
+         i < cand.output_offset[g + 1]; ++i) {
+      mark_net(cand.output_net[i]);
+    }
+  }
+
+  // Forward combinational closure: any gate reading a dirty net must be
+  // re-evaluated, which dirties its outputs in turn. This is purely
+  // structural — no functional-equivalence assumption — so clean slots
+  // provably carry identical values in both designs.
+  while (!worklist.empty()) {
+    const std::uint32_t n = worklist.back();
+    worklist.pop_back();
+    for (std::uint32_t i = cand.fanout_offset[n]; i < cand.fanout_offset[n + 1];
+         ++i) {
+      const std::uint32_t gs = cand.fanout_gate[i];
+      if (gate_dirty[gs]) continue;
+      gate_dirty[gs] = 1;
+      for (std::uint32_t o = cand.output_offset[gs];
+           o < cand.output_offset[gs + 1]; ++o) {
+        mark_net(cand.output_net[o]);
+      }
+    }
+  }
+
+  // Sources must stay clean (they are read from the baseline frames).
+  for (std::uint32_t s : cand.sources) {
+    if (plan.dirty[s]) return plan;
+  }
+
+  for (std::uint32_t n = 0; n < cand.net_slots; ++n) {
+    if (plan.dirty[n]) plan.dirty_nets.push_back(n);
+  }
+  for (std::uint32_t gs : cand.order) {
+    if (gate_dirty[gs]) plan.dirty_gates.push_back(gs);
+    if (seed_gate[gs]) plan.seed_gates.push_back(gs);
+  }
+  plan.valid = true;
+  return plan;
+}
+
+FaultSimulator::FaultSimulator(std::shared_ptr<const DenseView> view) {
+  rebind(std::move(view));
+}
+
+FaultSimulator::FaultSimulator(const Netlist& nl, const CombView& view)
+    : FaultSimulator(DenseView::build_shared(nl, view)) {}
+
+void FaultSimulator::rebind(std::shared_ptr<const DenseView> view) {
+  view_ = std::move(view);
+  const std::size_t net_slots = view_->net_slots;
   // assign() reuses capacity, so rebinding an arena slot to a
   // similar-sized netlist performs no allocation. Stamps must be zeroed
   // together with the epoch reset or stale stamps from a previous
   // binding could alias the restarted epoch numbers.
-  good0_.assign(view.net_slots, 0);
-  good1_.assign(view.net_slots, 0);
-  faulty_.assign(view.net_slots, 0);
-  stamp_.assign(view.net_slots, 0);
+  good0_.assign(net_slots, 0);
+  good1_.assign(net_slots, 0);
+  ov0_.assign(net_slots, 0);
+  ov1_.assign(net_slots, 0);
+  ov_dirty_.assign(net_slots, 0);
+  ov_dirty_list_.clear();
+  faulty_.assign(net_slots, 0);
+  stamp_.assign(net_slots, 0);
   epoch_ = 0;
   lanes_ = 0;
-  topo_pos_.assign(nl.gate_capacity(), 0);
-  scheduled_.assign(nl.gate_capacity(), 0);
-  for (std::uint32_t i = 0; i < view.order.size(); ++i) {
-    topo_pos_[view.order[i].value()] = i;
-  }
-  observe_flag_.assign(view.net_slots, 0);
-  for (NetId obs : view.observe) observe_flag_[obs.value()] = 1;
+  scheduled_.assign(view_->gate_slots, 0);
+  // Event scratch left over from an interrupted query against a previous
+  // binding would index into the wrong design — drop it with the rest of
+  // the per-binding state.
+  event_heap_.clear();
+  touched_gates_.clear();
+  touched_nets_.clear();
+  bind_own_frames();
   patterns_simulated_ = 0;
   detect_mask_calls_ = 0;
   propagation_events_ = 0;
+  frame_bytes_materialized_ = 0;
+  full_loads_ = 0;
+  overlay_loads_ = 0;
+  overlay_dirty_nets_ = 0;
+  load_seconds_ = 0.0;
   cancel_ = nullptr;
+}
+
+void FaultSimulator::rebind(const Netlist& nl, const CombView& view) {
+  rebind(DenseView::build_shared(nl, view));
+}
+
+void FaultSimulator::bind_own_frames() {
+  g0_ = good0_.data();
+  g1_ = good1_.data();
+  o0_ = nullptr;
+  o1_ = nullptr;
+  dirty_ = nullptr;
 }
 
 void FaultSimulator::load(std::span<const TestPattern> tests,
@@ -46,49 +390,159 @@ void FaultSimulator::load(std::span<const TestPattern> tests,
   // per call; the enclosing atpg.sweep span covers the query side).
   TraceSpan span("fsim.load", "fsim");
   if (span.active()) span.arg("lanes", static_cast<int>(count));
+  const auto t0 = std::chrono::steady_clock::now();
   lanes_ = static_cast<int>(std::min<std::size_t>(count, 64));
-  const std::size_t num_sources = view_->sources.size();
-  std::vector<std::uint64_t> src0(num_sources, 0), src1(num_sources, 0);
-  for (int lane = 0; lane < lanes_; ++lane) {
-    const TestPattern& t = tests[first + lane];
-    for (std::size_t s = 0; s < num_sources; ++s) {
-      if (t.frame0[s]) src0[s] |= std::uint64_t{1} << lane;
-      if (t.frame1[s]) src1[s] |= std::uint64_t{1} << lane;
-    }
-  }
-  const auto run = [&](std::span<const std::uint64_t> src,
-                       std::vector<std::uint64_t>& out) {
-    for (std::size_t s = 0; s < num_sources; ++s) {
-      out[view_->sources[s].value()] = src[s];
-    }
-    std::uint64_t ins[kMaxCellInputs];
-    for (GateId g : view_->order) {
-      const auto& gate = nl_->gate(g);
-      const CellSpec& cell = nl_->cell_of(g);
-      for (std::size_t i = 0; i < gate.fanin.size(); ++i) {
-        ins[i] = out[gate.fanin[i].value()];
-      }
-      for (int k = 0; k < cell.num_outputs; ++k) {
-        out[gate.outputs[static_cast<std::size_t>(k)].value()] =
-            ParallelSimulator::eval_cell(cell, k, {ins, gate.fanin.size()});
-      }
-    }
-  };
-  run(src0, good0_);
-  run(src1, good1_);
+  std::vector<std::uint64_t> src0, src1;
+  pack_sources(*view_, tests, first, lanes_, src0, src1);
+  eval_frame(*view_, src0, good0_.data());
+  eval_frame(*view_, src1, good1_.data());
+  bind_own_frames();
   patterns_simulated_ += 2 * static_cast<std::uint64_t>(lanes_);
+  ++full_loads_;
+  frame_bytes_materialized_ +=
+      2 * sizeof(std::uint64_t) * static_cast<std::uint64_t>(view_->net_slots);
+  load_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
 }
 
 void FaultSimulator::load_from(const FaultSimulator& other) {
+  // Zero-copy adoption: alias whatever frames `other` has bound (its own
+  // arrays after a full load, or baseline + overlay after a CoW load).
   lanes_ = other.lanes_;
-  good0_ = other.good0_;
-  good1_ = other.good1_;
+  g0_ = other.g0_;
+  g1_ = other.g1_;
+  o0_ = other.o0_;
+  o1_ = other.o1_;
+  dirty_ = other.dirty_;
+}
+
+void FaultSimulator::load_baseline(const SimBaseline& base, const CowPlan& plan,
+                                   std::size_t batch, std::size_t count) {
+  load_overlay_frames(base.batches[batch], plan, count);
+}
+
+void FaultSimulator::load_baseline_random(const SimBaseline& base,
+                                          const CowPlan& plan,
+                                          std::size_t batch,
+                                          std::size_t count) {
+  load_overlay_frames(base.random_batches[batch], plan, count);
+}
+
+void FaultSimulator::load_overlay_frames(const GoodFrames& gf,
+                                         const CowPlan& plan,
+                                         std::size_t count) {
+  TraceSpan span("fsim.load", "fsim");
+  if (span.active()) span.arg("lanes", static_cast<int>(count));
+  const auto t0 = std::chrono::steady_clock::now();
+  const DenseView& v = *view_;
+  lanes_ = static_cast<int>(std::min<std::size_t>(count, 64));
+  assert(gf.lanes == lanes_);
+  assert(plan.valid && plan.dirty.size() == v.net_slots);
+  g0_ = gf.good0.data();
+  g1_ = gf.good1.data();
+  o0_ = ov0_.data();
+  o1_ = ov1_.data();
+  // Undo the previous batch's marks instead of clearing O(netlist).
+  for (std::uint32_t n : ov_dirty_list_) ov_dirty_[n] = 0;
+  ov_dirty_list_.clear();
+  dirty_ = ov_dirty_.data();
+
+  // Event-driven replay with value cutoff: re-evaluate the edited gates,
+  // record an output slot only when its recomputed words differ from the
+  // baseline frames, and wake a reader only for recorded slots. For a
+  // function-preserving rewrite the wave dies at the region boundary, so
+  // the materialized slots track the edit, not its structural fanout
+  // cone. Soundness: a non-seed gate has identical pin rows in both
+  // designs, so if its input slots carry the baseline values its stored
+  // outputs are already correct.
+  const auto mark = [&](std::uint32_t n, std::uint64_t w0, std::uint64_t w1) {
+    if (!ov_dirty_[n]) {
+      ov_dirty_[n] = 1;
+      ov_dirty_list_.push_back(n);
+    }
+    ov0_[n] = w0;
+    ov1_[n] = w1;
+  };
+  event_heap_.clear();
+  touched_gates_.clear();
+  const auto schedule = [&](std::uint32_t gs) {
+    if (!scheduled_[gs]) {
+      scheduled_[gs] = 1;
+      touched_gates_.push_back(gs);
+      event_heap_.emplace_back(v.topo_pos[gs], gs);
+      std::push_heap(event_heap_.begin(), event_heap_.end(),
+                     std::greater<>{});
+    }
+  };
+  // Slots the baseline frames cannot answer for start at 0 — the value a
+  // full load leaves in slots nothing writes — and wake their readers;
+  // a live driver (always a seed gate) overwrites them below.
+  for (std::uint32_t n : plan.seed_nets) {
+    mark(n, 0, 0);
+    for (std::uint32_t i = v.fanout_offset[n]; i < v.fanout_offset[n + 1];
+         ++i) {
+      schedule(v.fanout_gate[i]);
+    }
+  }
+  for (std::uint32_t gs : plan.seed_gates) schedule(gs);
+  std::uint64_t in0[kMaxCellInputs], in1[kMaxCellInputs];
+  while (!event_heap_.empty()) {
+    const auto [pos, gs] = event_heap_.front();
+    std::pop_heap(event_heap_.begin(), event_heap_.end(), std::greater<>{});
+    event_heap_.pop_back();
+    const CellSpec& cell = *v.cell[gs];
+    const std::uint32_t fb = v.fanin_offset[gs];
+    const std::size_t nin = v.fanin_offset[gs + 1] - fb;
+    for (std::size_t i = 0; i < nin; ++i) {
+      const std::uint32_t n = v.fanin_net[fb + i];
+      in0[i] = g0(n);
+      in1[i] = g1(n);
+    }
+    const std::uint32_t ob = v.output_offset[gs];
+    for (int k = 0; k < cell.num_outputs; ++k) {
+      const std::uint32_t out =
+          v.output_net[ob + static_cast<std::uint32_t>(k)];
+      const std::uint64_t w0 = ParallelSimulator::eval_cell(cell, k, {in0, nin});
+      const std::uint64_t w1 = ParallelSimulator::eval_cell(cell, k, {in1, nin});
+      if (ov_dirty_[out]) {
+        // Preset slot (no baseline value): store unconditionally; its
+        // readers were woken when it was preset.
+        ov0_[out] = w0;
+        ov1_[out] = w1;
+      } else if (w0 != g0_[out] || w1 != g1_[out]) {
+        mark(out, w0, w1);
+        for (std::uint32_t i = v.fanout_offset[out];
+             i < v.fanout_offset[out + 1]; ++i) {
+          schedule(v.fanout_gate[i]);
+        }
+      }
+      // else: bit-identical to the baseline — the wave stops here.
+    }
+  }
+  // Scheduled flags persist across the pop (each gate runs once); reset
+  // them for the detect_mask queries that share the scratch.
+  for (std::uint32_t gs : touched_gates_) scheduled_[gs] = 0;
+  touched_gates_.clear();
+
+  // Same pattern accounting as a full load: the batch's test frames are
+  // (re)played against this design either way.
+  patterns_simulated_ += 2 * static_cast<std::uint64_t>(lanes_);
+  ++overlay_loads_;
+  overlay_dirty_nets_ += ov_dirty_list_.size();
+  frame_bytes_materialized_ +=
+      2 * sizeof(std::uint64_t) *
+      static_cast<std::uint64_t>(ov_dirty_list_.size());
+  load_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
 }
 
 std::uint64_t FaultSimulator::detect_mask(
     std::span<const Excitation> excitations) {
   if (cancel_expired(cancel_)) return 0;
   ++detect_mask_calls_;
+  const DenseView& v = *view_;
   const std::uint64_t lane_mask =
       lanes_ == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << lanes_) - 1);
   std::uint64_t detected = 0;
@@ -98,12 +552,14 @@ std::uint64_t FaultSimulator::detect_mask(
     // value opposes the forced value.
     std::uint64_t e = lane_mask;
     for (const CondLiteral& lit : exc.lits) {
-      const std::uint64_t v = (lit.frame == 0 ? good0_ : good1_)[lit.net.value()];
-      e &= lit.value ? v : ~v;
+      const std::uint64_t val =
+          lit.frame == 0 ? g0(lit.net.value()) : g1(lit.net.value());
+      e &= lit.value ? val : ~val;
       if (e == 0) break;
     }
     if (e == 0) continue;
-    const std::uint64_t victim_good = good1_[exc.victim.value()];
+    const std::uint32_t victim = exc.victim.value();
+    const std::uint64_t victim_good = g1(victim);
     e &= exc.faulty_value ? ~victim_good : victim_good;
     if (e == 0) continue;
 
@@ -116,55 +572,56 @@ std::uint64_t FaultSimulator::detect_mask(
       epoch_ = 0;
     }
     ++epoch_;
-    const auto fv_of = [&](NetId n) {
-      return stamp_[n.value()] == epoch_ ? faulty_[n.value()]
-                                         : good1_[n.value()];
+    const auto fv_of = [&](std::uint32_t n) {
+      return stamp_[n] == epoch_ ? faulty_[n] : g1(n);
     };
-    const auto set_fv = [&](NetId n, std::uint64_t v) {
-      faulty_[n.value()] = v;
-      stamp_[n.value()] = epoch_;
-      touched_nets_.push_back(n.value());
+    const auto set_fv = [&](std::uint32_t n, std::uint64_t val) {
+      faulty_[n] = val;
+      stamp_[n] = epoch_;
+      touched_nets_.push_back(n);
       ++propagation_events_;
     };
     touched_nets_.clear();
-    set_fv(exc.victim, (victim_good & ~e) |
-                           (exc.faulty_value ? e : std::uint64_t{0}));
+    set_fv(victim,
+           (victim_good & ~e) | (exc.faulty_value ? e : std::uint64_t{0}));
 
     // Min-heap of gates by topological position (reused buffers; the
     // per-excitation allocations here used to dominate the malloc
-    // profile of heavy resynthesis probes).
+    // profile of heavy resynthesis probes). Sinks come from the view's
+    // combinational fanout CSR, which already excludes sequential gates.
     event_heap_.clear();
     touched_gates_.clear();
-    const auto schedule_sinks = [&](NetId n) {
-      for (const PinRef& sink : nl_->net(n).sinks) {
-        const std::uint32_t gs = sink.gate.value();
-        if (nl_->cell_of(sink.gate).sequential) continue;
+    const auto schedule_sinks = [&](std::uint32_t n) {
+      for (std::uint32_t i = v.fanout_offset[n]; i < v.fanout_offset[n + 1];
+           ++i) {
+        const std::uint32_t gs = v.fanout_gate[i];
         if (!scheduled_[gs]) {
           scheduled_[gs] = 1;
           touched_gates_.push_back(gs);
-          event_heap_.emplace_back(topo_pos_[gs], gs);
+          event_heap_.emplace_back(v.topo_pos[gs], gs);
           std::push_heap(event_heap_.begin(), event_heap_.end(),
                          std::greater<>{});
         }
       }
     };
-    schedule_sinks(exc.victim);
+    schedule_sinks(victim);
     while (!event_heap_.empty()) {
       const auto [pos, gs] = event_heap_.front();
-      std::pop_heap(event_heap_.begin(), event_heap_.end(),
-                    std::greater<>{});
+      std::pop_heap(event_heap_.begin(), event_heap_.end(), std::greater<>{});
       event_heap_.pop_back();
-      const GateId g{gs};
-      const auto& gate = nl_->gate(g);
-      const CellSpec& cell = nl_->cell_of(g);
+      const CellSpec& cell = *v.cell[gs];
+      const std::uint32_t fb = v.fanin_offset[gs];
+      const std::size_t nin = v.fanin_offset[gs + 1] - fb;
       std::uint64_t ins[kMaxCellInputs];
-      for (std::size_t i = 0; i < gate.fanin.size(); ++i) {
-        ins[i] = fv_of(gate.fanin[i]);
+      for (std::size_t i = 0; i < nin; ++i) {
+        ins[i] = fv_of(v.fanin_net[fb + i]);
       }
+      const std::uint32_t ob = v.output_offset[gs];
       for (int k = 0; k < cell.num_outputs; ++k) {
-        const NetId out = gate.outputs[static_cast<std::size_t>(k)];
+        const std::uint32_t out =
+            v.output_net[ob + static_cast<std::uint32_t>(k)];
         const std::uint64_t nv =
-            ParallelSimulator::eval_cell(cell, k, {ins, gate.fanin.size()});
+            ParallelSimulator::eval_cell(cell, k, {ins, nin});
         if (nv != fv_of(out)) {
           set_fv(out, nv);
           schedule_sinks(out);
@@ -177,26 +634,38 @@ std::uint64_t FaultSimulator::detect_mask(
     // disagree with the good machine, so scan the touched set instead of
     // every observation point.
     for (std::uint32_t ns : touched_nets_) {
-      if (observe_flag_[ns]) {
-        detected |= (faulty_[ns] ^ good1_[ns]) & e;
+      if (v.observe_flag[ns]) {
+        detected |= (faulty_[ns] ^ g1(ns)) & e;
       }
     }
     // The victim itself may be observed directly.
-    if (nl_->net(exc.victim).is_primary_output) {
-      detected |= (fv_of(exc.victim) ^ victim_good) & e;
+    if (v.is_primary_output[victim]) {
+      detected |= (fv_of(victim) ^ victim_good) & e;
     }
     if (detected == lane_mask) break;
   }
   return detected & lane_mask;
 }
 
-FaultSimulator& FaultSimArena::acquire(std::size_t index, const Netlist& nl,
-                                       const CombView& view) {
+FaultSimulator& FaultSimArena::acquire(std::size_t index,
+                                       std::shared_ptr<const DenseView> view) {
+#ifndef NDEBUG
+  // Slots must be acquired serially by the run's calling thread (the
+  // vector resize below and the rebind are unsynchronized). Different
+  // runs may live on different threads — slot 0 re-pins the owner.
+  if (index == 0) {
+    owner_ = std::this_thread::get_id();
+  } else {
+    assert(owner_ == std::this_thread::get_id() &&
+           "FaultSimArena slots acquired from a different thread than the "
+           "run master");
+  }
+#endif
   if (index >= slots_.size()) slots_.resize(index + 1);
   if (!slots_[index]) {
-    slots_[index] = std::make_unique<FaultSimulator>(nl, view);
+    slots_[index] = std::make_unique<FaultSimulator>(std::move(view));
   } else {
-    slots_[index]->rebind(nl, view);
+    slots_[index]->rebind(std::move(view));
   }
   return *slots_[index];
 }

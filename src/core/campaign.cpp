@@ -26,32 +26,6 @@
 
 namespace dfmres {
 
-Expected<std::chrono::nanoseconds> parse_duration_spec(std::string_view text) {
-  double scale_s = 1.0;
-  if (text.size() >= 2 && text.substr(text.size() - 2) == "ms") {
-    scale_s = 1e-3;
-    text.remove_suffix(2);
-  } else if (!text.empty() && text.back() == 's') {
-    text.remove_suffix(1);
-  } else if (!text.empty() && text.back() == 'm') {
-    scale_s = 60.0;
-    text.remove_suffix(1);
-  }
-  const std::string body(text);
-  errno = 0;
-  char* end = nullptr;
-  const double v = std::strtod(body.c_str(), &end);
-  if (body.empty() || end != body.c_str() + body.size() || errno == ERANGE ||
-      !(v > 0) || v * scale_s > 1e9) {
-    return make_status(StatusCode::kInvalidArgument,
-                       "invalid duration '%s' (expected a positive duration "
-                       "such as 500ms, 30s or 2m)",
-                       std::string(text).c_str());
-  }
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-      std::chrono::duration<double>(v * scale_s));
-}
-
 namespace {
 
 constexpr const char* kModeFlow = "flow";

@@ -9,15 +9,10 @@
 
 #include "src/core/resynthesis.hpp"
 #include "src/core/run_report.hpp"
+#include "src/util/duration.hpp"
 #include "src/util/metrics.hpp"
 
 namespace dfmres {
-
-/// Parses a duration spec: "<n>ms", "<n>s", "<n>m", or a bare "<n>"
-/// meaning seconds; must be positive and at most 1e9 seconds. Shared by
-/// the campaign-manifest parser and the CLI flag parsers.
-[[nodiscard]] Expected<std::chrono::nanoseconds> parse_duration_spec(
-    std::string_view text);
 
 /// One job of a campaign: a design crossed with the flow and (for resyn
 /// jobs) resynthesis options. The spec's `resyn.cancel`,

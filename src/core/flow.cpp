@@ -132,6 +132,9 @@ FlowState DesignFlow::analyze_committed(
     changed_since_seed_.clear();
     changed_unknown_ = false;
   }
+  // This netlist is now the committed design probes will diff against;
+  // re-anchor the shared seed frames onto it.
+  rebase_overlays(netlist);
   stage.emplace("flow.cluster", "flow");
   ClusterAnalysis clusters =
       cluster_undetectable(netlist, universe, atpg.status);
@@ -166,6 +169,9 @@ Expected<FlowState> DesignFlow::probe_reanalyze_impl(
   if (num_threads != 0) atpg_options.num_threads = num_threads;
   if (options_.warm_start && !seed_tests_.empty()) {
     atpg_options.seed_tests = &seed_tests_;
+    if (options_.probe_overlays && probe_baseline_.valid()) {
+      atpg_options.baseline = &probe_baseline_;
+    }
   }
   AtpgResult atpg =
       run_atpg_overlay(netlist, universe, udfm_, atpg_options, base_cache,
@@ -194,6 +200,9 @@ Expected<std::size_t> DesignFlow::probe_count_impl(
   if (num_threads != 0) atpg_options.num_threads = num_threads;
   if (options_.warm_start && !seed_tests_.empty()) {
     atpg_options.seed_tests = &seed_tests_;
+    if (options_.probe_overlays && probe_baseline_.valid()) {
+      atpg_options.baseline = &probe_baseline_;
+    }
   }
   const AtpgResult result =
       run_atpg_overlay(nl, internal, udfm_, atpg_options, base_cache, updates);
@@ -216,48 +225,14 @@ Expected<std::size_t> ProbeSession::count_undetectable_internal(
                                  cancel_, &counters_);
 }
 
-// ---- deprecated shims (see flow.hpp; removed after one PR) ----
-
-std::optional<FlowState> DesignFlow::reanalyze(Netlist netlist,
-                                               const Placement& previous,
-                                               bool generate_tests) {
-  auto state = analyze(AnalysisRequest::incremental(std::move(netlist),
-                                                    previous, generate_tests));
-  if (!state) return std::nullopt;  // die full: area constraint
-  return std::move(*state);
-}
-
-std::optional<FlowState> DesignFlow::reanalyze_with_placement(
-    Netlist netlist, Placement placement, bool generate_tests) {
-  auto state = analyze(AnalysisRequest::placed(
-      std::move(netlist), std::move(placement), generate_tests));
-  if (!state) return std::nullopt;
-  return std::move(*state);
-}
-
-std::size_t DesignFlow::count_undetectable_internal(const Netlist& nl) {
-  ProbeSession session = probe(&arena_);
-  auto count = session.count_undetectable_internal(nl);
-  // No cancel token: the probe cannot fail.
-  commit_probe(std::move(session));
-  return *count;
-}
-
-Expected<FlowState> DesignFlow::reanalyze_probe(
-    Netlist netlist, const Placement& previous, bool generate_tests,
-    const FaultStatusCache* base_cache, FaultStatusCache* updates,
-    FaultSimArena* arena, int num_threads, const CancelToken* cancel) const {
-  return probe_reanalyze_impl(std::move(netlist), previous, generate_tests,
-                              base_cache, updates, arena, num_threads, cancel,
-                              /*counters=*/nullptr);
-}
-
-Expected<std::size_t> DesignFlow::count_undetectable_internal_probe(
-    const Netlist& nl, const FaultStatusCache* base_cache,
-    FaultStatusCache* updates, FaultSimArena* arena, int num_threads,
-    const CancelToken* cancel) const {
-  return probe_count_impl(nl, base_cache, updates, arena, num_threads, cancel,
-                          /*counters=*/nullptr);
+void DesignFlow::rebase_overlays(const Netlist& nl) {
+  if (!options_.warm_start || !options_.probe_overlays ||
+      seed_tests_.empty()) {
+    probe_baseline_.clear();
+    return;
+  }
+  rebase_sim_baseline(probe_baseline_, nl, seed_tests_, options_.atpg.seed,
+                      options_.atpg.random_batches);
 }
 
 void DesignFlow::commit_updates(const FaultStatusCache& updates) {

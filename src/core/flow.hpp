@@ -28,6 +28,15 @@ struct FlowOptions {
   /// rewrites since that test set was generated (see DESIGN.md,
   /// "Incremental-ATPG contract"). false = every analysis runs cold.
   bool warm_start = true;
+  /// Copy-on-write probe overlays: keep the committed design's seed-test
+  /// good frames (a SimBaseline) alive across probes, so each probe's
+  /// phase-0 replay materializes only the O(cone) net slots its edit
+  /// dirties instead of re-simulating O(netlist) frames per batch. The
+  /// baseline is rebased on every commit (folded in place when the
+  /// structural diff allows, rebuilt otherwise). Requires warm_start;
+  /// results are bit-identical either way — false only disables the
+  /// sharing (each probe pays full loads), for A/B measurement.
+  bool probe_overlays = true;
 };
 
 /// A fully analyzed design point: mapped netlist, layout, timing/power,
@@ -201,40 +210,16 @@ class DesignFlow {
     atpg_totals_.merge(session.counters());
   }
 
-  // ---- deprecated pre-campaign API (one PR of shims) ----
-
-  /// Re-analysis of an edited mapped netlist inside the frozen floorplan
-  /// of `previous`. Returns nullopt when the die cannot absorb the edit.
-  [[deprecated("use analyze(AnalysisRequest::incremental(...))")]]
-  [[nodiscard]] std::optional<FlowState> reanalyze(Netlist netlist,
-                                                   const Placement& previous,
-                                                   bool generate_tests);
-
-  /// Same pipeline with an explicit (already legal) placement.
-  [[deprecated("use analyze(AnalysisRequest::placed(...))")]]
-  [[nodiscard]] std::optional<FlowState> reanalyze_with_placement(
-      Netlist netlist, Placement placement, bool generate_tests);
-
-  /// Committed undetectable-internal-fault count.
-  [[deprecated("use probe().count_undetectable_internal + commit_probe")]]
-  [[nodiscard]] std::size_t count_undetectable_internal(const Netlist& nl);
-
-  /// Speculative reanalysis with a caller-owned overlay.
-  [[deprecated("use ProbeSession::reanalyze")]]
-  [[nodiscard]] Expected<FlowState> reanalyze_probe(
-      Netlist netlist, const Placement& previous, bool generate_tests,
-      const FaultStatusCache* base_cache, FaultStatusCache* updates,
-      FaultSimArena* arena = nullptr, int num_threads = 0,
-      const CancelToken* cancel = nullptr) const;
-
-  /// Speculative internal-fault count with a caller-owned overlay.
-  [[deprecated("use ProbeSession::count_undetectable_internal")]]
-  [[nodiscard]] Expected<std::size_t> count_undetectable_internal_probe(
-      const Netlist& nl, const FaultStatusCache* base_cache,
-      FaultStatusCache* updates, FaultSimArena* arena = nullptr,
-      int num_threads = 0, const CancelToken* cancel = nullptr) const;
-
   // ---- shared plumbing (used by both entry points) ----
+
+  /// Re-anchors the probe-overlay baseline (the committed design's seed
+  /// good frames) onto `nl`, which must be the flow's newly committed
+  /// netlist. analyze() does this automatically; callers that commit a
+  /// probed FlowState directly (stash-and-commit in resynthesis) must
+  /// call it themselves after note_changed_gates. Folds the structural
+  /// diff in place when possible, rebuilds otherwise; clears the
+  /// baseline when overlays are disabled or there is no seed set.
+  void rebase_overlays(const Netlist& nl);
 
   /// Folds a probe overlay into the flow cache (commit_probe's cache
   /// half; also used directly by callers that stash overlays).
@@ -298,9 +283,8 @@ class DesignFlow {
       Netlist netlist, Placement placement, bool generate_tests,
       const std::vector<GateId>* changed_gates);
 
-  /// Probe implementations shared by ProbeSession and the deprecated
-  /// caller-owned-overlay shims. `counters` (nullable) receives the
-  /// run's ATPG counters on success.
+  /// Probe implementations behind ProbeSession. `counters` (nullable)
+  /// receives the run's ATPG counters on success.
   [[nodiscard]] Expected<FlowState> probe_reanalyze_impl(
       Netlist netlist, const Placement& previous, bool generate_tests,
       const FaultStatusCache* base_cache, FaultStatusCache* updates,
@@ -319,6 +303,10 @@ class DesignFlow {
   /// bring their own arena so they can run concurrently).
   FaultSimArena arena_;
   std::vector<TestPattern> seed_tests_;
+  /// Seed-test good frames over the committed design, shared read-only
+  /// by every probe's copy-on-write replay (see FlowOptions::
+  /// probe_overlays). Rebased by rebase_overlays on each commit.
+  SimBaseline probe_baseline_;
   /// Gates rewritten since `seed_tests_` was captured; the cone of these
   /// gates is what a warm test-generating run must re-target.
   std::vector<GateId> changed_since_seed_;

@@ -426,6 +426,18 @@ class Procedure {
                       structural_hash(candidate, 0x13198A2E03707344ULL)));
   }
 
+  /// Folds a finished probe session's load economics into the report
+  /// (the only place probe-side fault-sim counters surface: sessions
+  /// here are never handed to commit_probe). Callers on pool lanes must
+  /// hold the ladder mutex — report_ is shared.
+  void absorb_probe_counters(const ProbeSession& session) {
+    const AtpgCounters& c = session.counters();
+    report_.probe_frame_bytes += c.frame_bytes_materialized;
+    report_.probe_full_loads += c.full_loads;
+    report_.probe_overlay_loads += c.overlay_loads;
+    report_.probe_load_seconds += c.load_seconds;
+  }
+
   /// Evaluates a candidate's metrics, memoized across the q sweep.
   /// Leaves no flow-cache or netlist side effects behind (probes write
   /// into private overlays). Respects the per-iteration PDesign()
@@ -493,6 +505,7 @@ class Procedure {
         // Cancelled mid-probe: partial verdicts are discarded, nothing
         // is memoized, and the caller abandons the iteration.
         ++report_.rungs_skipped;
+        absorb_probe_counters(session);
         scratch_ = m;
         scratch_.cancelled = true;
         scratch_.u_in_gate_failed = true;
@@ -506,6 +519,7 @@ class Procedure {
       // undetectable internal fault count decreased.
       m.u_in_gate_failed = true;
     } else if (reanalyses_left_ <= 0) {
+      absorb_probe_counters(session);
       scratch_ = m;
       scratch_.u_in_gate_failed = true;  // budget exhausted: skip, unmemoized
       return scratch_;
@@ -519,6 +533,7 @@ class Procedure {
       if (!state) {
         if (state.code() != StatusCode::kUnsatisfiable) {
           ++report_.rungs_skipped;
+          absorb_probe_counters(session);
           scratch_ = m;
           scratch_.cancelled = true;
           scratch_.u_in_gate_failed = true;
@@ -537,6 +552,7 @@ class Procedure {
         }
       }
     }
+    absorb_probe_counters(session);
     if (options_.dedup_candidates) sig_memo_.emplace(sig, m);
     return memo_.emplace(std::move(key), m).first->second;
   }
@@ -569,6 +585,10 @@ class Procedure {
         ++report_.stash_commits;
         FlowState state = std::move(it->second.state);
         stash_.erase(it);
+        // The stashed candidate is now the committed design; fold the
+        // probe-overlay baseline onto it (a committed analyze would
+        // have done this itself).
+        flow_.rebase_overlays(state.netlist);
         return state;
       }
     }
@@ -876,13 +896,20 @@ class Procedure {
             const auto u_in = session.count_undetectable_internal(*candidate);
             const double u_in_s =
                 std::chrono::duration<double>(Clock::now() - tu).count();
-            if (!u_in) continue;  // cancelled mid-probe: publish nothing
+            if (!u_in) {
+              // Cancelled mid-probe: publish nothing (the session's
+              // counters for complete prior runs still count).
+              std::lock_guard lock(mutex);
+              absorb_probe_counters(session);
+              continue;
+            }
             m.u_in_new = *u_in;
             if (m.u_in_new >= u_in_cur) {
               m.u_in_gate_failed = true;
               std::lock_guard lock(mutex);
               ++report_.u_in_probes;
               report_.u_in_seconds += u_in_s;
+              absorb_probe_counters(session);
               sig_memo_.emplace(sig, m);
               continue;
             }
@@ -893,6 +920,7 @@ class Procedure {
               std::lock_guard lock(mutex);
               ++report_.u_in_probes;
               report_.u_in_seconds += u_in_s;
+              absorb_probe_counters(session);
               partial_u_in_.emplace(sig, m.u_in_new);
               continue;
             }
@@ -908,6 +936,7 @@ class Procedure {
               std::lock_guard lock(mutex);
               ++report_.u_in_probes;
               report_.u_in_seconds += u_in_s;
+              absorb_probe_counters(session);
               partial_u_in_.emplace(sig, m.u_in_new);
               continue;
             }
@@ -925,6 +954,7 @@ class Procedure {
             report_.u_in_seconds += u_in_s;
             ++report_.full_probes;
             report_.probe_seconds += probe_s;
+            absorb_probe_counters(session);
             if (state) {
               stash_.emplace(sig, Stash{std::move(*state),
                                         session.take_updates()});

@@ -99,6 +99,15 @@ struct ResynthesisReport {
   double u_in_seconds = 0.0;
   double probe_seconds = 0.0;
   double signoff_seconds = 0.0;      ///< final test-generating analysis
+  /// Probe-side fault-sim load economics, aggregated over every probe
+  /// session the search ran (committed analyses report through the
+  /// flow's own totals). `probe_frame_bytes` is the good-frame bytes
+  /// materialized by probe batch loads — the number the copy-on-write
+  /// overlays exist to shrink from O(netlist) to O(cone) per probe.
+  std::uint64_t probe_frame_bytes = 0;
+  std::uint64_t probe_full_loads = 0;
+  std::uint64_t probe_overlay_loads = 0;
+  double probe_load_seconds = 0.0;
 };
 
 struct ResynthesisResult {

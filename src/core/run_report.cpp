@@ -121,6 +121,10 @@ std::string RunReport::to_json() const {
     w.field("full_probes", static_cast<std::uint64_t>(r.full_probes));
     w.field("sig_hits", static_cast<std::uint64_t>(r.sig_hits));
     w.field("stash_commits", static_cast<std::uint64_t>(r.stash_commits));
+    w.field("probe_frame_bytes", r.probe_frame_bytes);
+    w.field("probe_full_loads", r.probe_full_loads);
+    w.field("probe_overlay_loads", r.probe_overlay_loads);
+    w.field("probe_load_seconds", r.probe_load_seconds);
     w.end_object();
     w.key("phase_seconds");
     w.begin_object();
@@ -182,6 +186,10 @@ void publish_metrics(const ResynthesisReport& report,
   registry.add("resyn.stash_commits", report.stash_commits);
   registry.add("resyn.rungs_skipped", report.rungs_skipped);
   registry.add("resyn.replayed_accepts", report.replayed_accepts);
+  registry.add("resyn.probe_frame_bytes", report.probe_frame_bytes);
+  registry.add("resyn.probe_full_loads", report.probe_full_loads);
+  registry.add("resyn.probe_overlay_loads", report.probe_overlay_loads);
+  registry.observe("resyn.probe_load_seconds", report.probe_load_seconds);
   registry.observe("resyn.build_seconds", report.build_seconds);
   registry.observe("resyn.u_in_seconds", report.u_in_seconds);
   registry.observe("resyn.probe_seconds", report.probe_seconds);

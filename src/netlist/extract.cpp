@@ -1,6 +1,5 @@
 #include "src/netlist/extract.hpp"
 
-#include <algorithm>
 #include <cassert>
 #include <unordered_map>
 #include <unordered_set>
@@ -97,8 +96,112 @@ Expected<std::vector<GateId>> replace_region(Netlist& parent,
         replacement.primary_outputs().size(), sub.boundary_outputs.size());
   }
 
-  for (GateId g : sub.region) parent.remove_gate(g);
-  sweep_dangling_nets(parent);
+  // Net identity is load-bearing downstream of this splice: probe
+  // overlays, the warm fault-status cache, and cone ledgers all assume
+  // a NetId means the same *signal* forever (see DESIGN.md). Re-mapping
+  // a region rewrites its internals, but most intermediate signals
+  // usually survive the rewrite — only expressed through different
+  // gates. We therefore match replacement nets to removed nets by
+  // *functional signature*: every boundary-input net gets a fixed
+  // 2x64-bit random word, the removed region is simulated over those
+  // words while it is peeled away, and each replacement gate's outputs
+  // are simulated the same way as they are spliced in. A signature hit
+  // (collision odds ~2^-128 per pair) means the new net computes the
+  // old net's function of the same boundary signals, so it adopts the
+  // old NetId and the spliced netlist differs from the original only
+  // where the rewrite actually changed logic. Everything that keys on
+  // identity then pays O(change), not O(region).
+  struct Sig {
+    std::uint64_t a = 0, b = 0;
+    bool operator==(const Sig&) const = default;
+  };
+  const auto splitmix = [](std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  };
+  std::unordered_map<std::uint32_t, Sig> net_sig;  // parent net -> signature
+  const auto sig_of = [&](NetId n) {
+    const auto [it, inserted] = net_sig.try_emplace(n.value());
+    // First sight of a net nothing in the region drives: a free variable.
+    if (inserted) {
+      it->second = {splitmix(n.value() * 2 + 1), splitmix(n.value() * 2 + 2)};
+    }
+    return it->second;
+  };
+  // Bitwise truth-table evaluation, one lane per signature bit.
+  const auto eval_sig = [](const CellSpec& spec, int output,
+                           std::span<const Sig> in) {
+    Sig out;
+    for (int lane = 0; lane < 64; ++lane) {
+      std::uint32_t pa = 0, pb = 0;
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        pa |= static_cast<std::uint32_t>((in[i].a >> lane) & 1u) << i;
+        pb |= static_cast<std::uint32_t>((in[i].b >> lane) & 1u) << i;
+      }
+      out.a |= static_cast<std::uint64_t>(spec.eval(output, pa)) << lane;
+      out.b |= static_cast<std::uint64_t>(spec.eval(output, pb)) << lane;
+    }
+    return out;
+  };
+  const auto sig_key = [&](const Sig& s) { return s.a ^ splitmix(s.b); };
+  // Unclaimed removed nets by signature; adoption erases its pick.
+  std::unordered_multimap<std::uint64_t, NetId> adoptable;
+
+  // Remove drivers before their region-internal sinks so shared nets
+  // still have sinks at removal time and stay alive for re-adoption
+  // (remove_gate kills an output net with no sinks left). The region is
+  // combinational, so Kahn's algorithm consumes it completely — and its
+  // pop order is topological, which is exactly what the signature
+  // simulation of the disappearing region needs.
+  {
+    const std::size_t count = sub.region.size();
+    std::unordered_map<std::uint32_t, std::size_t> region_pos;
+    for (std::size_t i = 0; i < count; ++i) {
+      region_pos.emplace(sub.region[i].value(), i);
+    }
+    std::vector<std::vector<std::size_t>> out_edges(count);
+    std::vector<std::size_t> indegree(count, 0);
+    for (std::size_t i = 0; i < count; ++i) {
+      for (NetId out : parent.gate(sub.region[i]).outputs) {
+        for (const PinRef& sink : parent.net(out).sinks) {
+          const auto it = region_pos.find(sink.gate.value());
+          if (it == region_pos.end()) continue;
+          out_edges[i].push_back(it->second);
+          ++indegree[it->second];
+        }
+      }
+    }
+    std::vector<std::size_t> ready;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (indegree[i] == 0) ready.push_back(i);
+    }
+    std::vector<Sig> in_sigs;
+    std::size_t removed_count = 0;
+    while (!ready.empty()) {
+      const std::size_t i = ready.back();
+      ready.pop_back();
+      const auto& gate = parent.gate(sub.region[i]);
+      const CellSpec& spec = parent.library().cell(gate.cell);
+      in_sigs.clear();
+      for (NetId in : gate.fanin) in_sigs.push_back(sig_of(in));
+      for (std::size_t k = 0; k < gate.outputs.size(); ++k) {
+        const Sig s = eval_sig(spec, static_cast<int>(k), in_sigs);
+        net_sig[gate.outputs[k].value()] = s;
+        adoptable.emplace(sig_key(s), gate.outputs[k]);
+      }
+      parent.remove_gate(sub.region[i]);
+      ++removed_count;
+      for (const std::size_t j : out_edges[i]) {
+        if (--indegree[j] == 0) ready.push_back(j);
+      }
+    }
+    assert(removed_count == sub.region.size());
+    (void)removed_count;
+  }
+  // Dangling original nets are swept at the end — replacement gates
+  // computing the same signals may re-adopt them first.
 
   // Map replacement nets onto parent nets.
   std::vector<NetId> net_map(replacement.net_capacity(), NetId::invalid());
@@ -116,19 +219,65 @@ Expected<std::vector<GateId>> replace_region(Netlist& parent,
     net_map[rnet.value()] = sub.boundary_outputs[i];
     po_direct[i] = true;
   }
-  // All other replacement nets become fresh parent nets.
-  for (NetId rnet : replacement.live_nets()) {
-    if (!net_map[rnet.value()].valid()) {
-      net_map[rnet.value()] = parent.add_net();
+  // Instantiate in topological order so every fanin is mapped (and
+  // carries a signature) before its sinks: adoption cascades from the
+  // boundary inputs upward, and re-locks downstream of a local change
+  // as soon as the rewritten logic re-converges onto an old signal.
+  // Only nets computing genuinely new functions become fresh parent
+  // nets.
+  std::unordered_set<std::uint32_t> boundary_out;
+  boundary_out.reserve(sub.boundary_outputs.size());
+  for (NetId n : sub.boundary_outputs) boundary_out.insert(n.value());
+  // Adopt an unclaimed removed net with this signature, if any survives
+  // the structural guards: a boundary-output net is reserved for the PO
+  // wiring (po_direct pre-assignment or the merge loop below), and the
+  // net must still be alive and driverless to accept a new driver.
+  const auto adopt = [&](const Sig& s) {
+    auto [it, end] = adoptable.equal_range(sig_key(s));
+    for (; it != end; ++it) {
+      const NetId n = it->second;
+      if (net_sig.at(n.value()) != s || boundary_out.contains(n.value()) ||
+          !parent.net_alive(n) || parent.net(n).has_gate_driver()) {
+        continue;
+      }
+      adoptable.erase(it);
+      return n;
     }
+    return NetId::invalid();
+  };
+  std::vector<GateId> inst_order = replacement.topological_order();
+  for (GateId rg : replacement.live_gates()) {  // comb-only topo order
+    if (replacement.cell_of(rg).sequential) inst_order.push_back(rg);
   }
-
   std::vector<GateId> added;
-  for (GateId rg : replacement.live_gates()) {
+  std::vector<Sig> in_sigs;
+  for (GateId rg : inst_order) {
     const auto& gate = replacement.gate(rg);
+    const CellSpec& spec = replacement.library().cell(gate.cell);
     std::vector<NetId> fanins, outputs;
-    for (NetId in : gate.fanin) fanins.push_back(net_map[in.value()]);
-    for (NetId out : gate.outputs) outputs.push_back(net_map[out.value()]);
+    in_sigs.clear();
+    for (NetId in : gate.fanin) {
+      if (!net_map[in.value()].valid()) net_map[in.value()] = parent.add_net();
+      fanins.push_back(net_map[in.value()]);
+      in_sigs.push_back(sig_of(net_map[in.value()]));
+    }
+    for (std::size_t k = 0; k < gate.outputs.size(); ++k) {
+      NetId& mapped = net_map[gate.outputs[k].value()];
+      if (spec.sequential) {
+        // Sequential outputs are fresh sources, never adoption targets;
+        // sig_of() will mint them free-variable signatures on demand.
+        if (!mapped.valid()) mapped = parent.add_net();
+        outputs.push_back(mapped);
+        continue;
+      }
+      const Sig s = eval_sig(spec, static_cast<int>(k), in_sigs);
+      if (!mapped.valid()) {
+        const NetId old = adopt(s);
+        mapped = old.valid() ? old : parent.add_net();
+      }
+      net_sig[mapped.value()] = s;
+      outputs.push_back(mapped);
+    }
     added.push_back(parent.add_gate_driving(gate.cell, fanins, outputs));
   }
 

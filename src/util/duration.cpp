@@ -1,0 +1,50 @@
+#include "src/util/duration.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace dfmres {
+
+Expected<std::chrono::nanoseconds> parse_duration_spec(std::string_view text) {
+  const std::string original(text);
+  const auto reject = [&original](const char* why) {
+    return make_status(StatusCode::kInvalidArgument,
+                       "invalid duration '%s': %s (expected a positive "
+                       "duration such as 500ms, 30s or 2m)",
+                       original.c_str(), why);
+  };
+  double scale_s = 1.0;
+  if (text.size() >= 2 && text.substr(text.size() - 2) == "ms") {
+    scale_s = 1e-3;
+    text.remove_suffix(2);
+  } else if (!text.empty() && text.back() == 's') {
+    text.remove_suffix(1);
+  } else if (!text.empty() && text.back() == 'm') {
+    scale_s = 60.0;
+    text.remove_suffix(1);
+  }
+  const std::string body(text);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(body.c_str(), &end);
+  if (body.empty() || end != body.c_str() + body.size()) {
+    return reject("not a number");
+  }
+  // strtod reports overflow via ERANGE with ±HUGE_VAL; an explicit "inf"
+  // or "nan" parses cleanly, so check the value too. Note v <= 0 also
+  // catches ERANGE underflow (denormal-or-zero), which rounds to a zero
+  // deadline — meaning "no deadline" to every consumer, never intended.
+  if (std::isnan(v)) return reject("not a number");
+  if (errno == ERANGE || std::isinf(v)) return reject("out of range");
+  if (v <= 0) return reject("must be positive");
+  const double seconds = v * scale_s;
+  // 1e9 seconds ≈ 31 years; anything larger is a typo, and the cast to
+  // nanoseconds below would overflow Int64 around 292 years anyway.
+  if (seconds > 1e9) return reject("out of range");
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(seconds));
+}
+
+}  // namespace dfmres

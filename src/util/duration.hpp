@@ -1,0 +1,19 @@
+#pragma once
+
+#include <chrono>
+#include <string_view>
+
+#include "src/util/status.hpp"
+
+namespace dfmres {
+
+/// Parses a duration spec: "<n>ms", "<n>s", "<n>m", or a bare "<n>"
+/// meaning seconds. The value must be finite, strictly positive, and at
+/// most 1e9 seconds; negative, zero, NaN, infinite and overflowing specs
+/// are kInvalidArgument (naming the offending spec verbatim) rather than
+/// silently wrapping into a bogus deadline. Shared by the
+/// campaign-manifest parser and the CLI flag parsers.
+[[nodiscard]] Expected<std::chrono::nanoseconds> parse_duration_spec(
+    std::string_view text);
+
+}  // namespace dfmres

@@ -56,6 +56,13 @@ void MetricsRegistry::absorb(const AtpgCounters& counters,
   add(p + "replay_drops", counters.replay_drops);
   add(p + "podem_targets_skipped", counters.podem_targets_skipped);
   add(p + "cancelled_targets", counters.cancelled_targets);
+  add(p + "frame_bytes_materialized", counters.frame_bytes_materialized);
+  add(p + "full_loads", counters.full_loads);
+  add(p + "overlay_loads", counters.overlay_loads);
+  add(p + "overlay_dirty_nets", counters.overlay_dirty_nets);
+  add(p + "overlay_verified_batches", counters.overlay_verified_batches);
+  add(p + "overlay_verify_mismatches", counters.overlay_verify_mismatches);
+  observe(p + "load_seconds", counters.load_seconds);
   observe(p + "phase0_seconds", counters.phase0_seconds);
   observe(p + "phase1_seconds", counters.phase1_seconds);
   observe(p + "phase2_seconds", counters.phase2_seconds);

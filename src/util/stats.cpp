@@ -65,6 +65,13 @@ void AtpgCounters::merge(const AtpgCounters& other) {
   replay_drops += other.replay_drops;
   podem_targets_skipped += other.podem_targets_skipped;
   cancelled_targets += other.cancelled_targets;
+  frame_bytes_materialized += other.frame_bytes_materialized;
+  full_loads += other.full_loads;
+  overlay_loads += other.overlay_loads;
+  overlay_dirty_nets += other.overlay_dirty_nets;
+  overlay_verified_batches += other.overlay_verified_batches;
+  overlay_verify_mismatches += other.overlay_verify_mismatches;
+  load_seconds += other.load_seconds;
   phase0_seconds += other.phase0_seconds;
   phase1_seconds += other.phase1_seconds;
   phase2_seconds += other.phase2_seconds;
@@ -76,16 +83,20 @@ std::string AtpgCounters::summary() const {
   return strfmt(
       "atpg: %llu patterns, %llu detect_mask calls, %llu prop events, "
       "%llu backtracks, %llu replay drops, %llu podem skips, "
-      "%llu cancelled, phases %.3f/%.3f/%.3f/%.3fs, %d thread%s",
+      "%llu cancelled, loads %llu full + %llu overlay (%llu frame bytes), "
+      "phases %.3f/%.3f/%.3f/%.3fs, %d thread%s",
       static_cast<unsigned long long>(patterns_simulated),
       static_cast<unsigned long long>(detect_mask_calls),
       static_cast<unsigned long long>(propagation_events),
       static_cast<unsigned long long>(podem_backtracks),
       static_cast<unsigned long long>(replay_drops),
       static_cast<unsigned long long>(podem_targets_skipped),
-      static_cast<unsigned long long>(cancelled_targets), phase0_seconds,
-      phase1_seconds, phase2_seconds, phase3_seconds, threads_used,
-      threads_used == 1 ? "" : "s");
+      static_cast<unsigned long long>(cancelled_targets),
+      static_cast<unsigned long long>(full_loads),
+      static_cast<unsigned long long>(overlay_loads),
+      static_cast<unsigned long long>(frame_bytes_materialized),
+      phase0_seconds, phase1_seconds, phase2_seconds, phase3_seconds,
+      threads_used, threads_used == 1 ? "" : "s");
 }
 
 std::string AtpgCounters::json() const {
@@ -94,6 +105,10 @@ std::string AtpgCounters::json() const {
       "\"propagation_events\": %llu, \"podem_backtracks\": %llu, "
       "\"replay_drops\": %llu, \"podem_targets_skipped\": %llu, "
       "\"cancelled_targets\": %llu, "
+      "\"frame_bytes_materialized\": %llu, \"full_loads\": %llu, "
+      "\"overlay_loads\": %llu, \"overlay_dirty_nets\": %llu, "
+      "\"overlay_verified_batches\": %llu, "
+      "\"overlay_verify_mismatches\": %llu, \"load_seconds\": %.6f, "
       "\"phase0_seconds\": %.6f, \"phase1_seconds\": %.6f, "
       "\"phase2_seconds\": %.6f, \"phase3_seconds\": %.6f, "
       "\"threads_used\": %d}",
@@ -103,8 +118,15 @@ std::string AtpgCounters::json() const {
       static_cast<unsigned long long>(podem_backtracks),
       static_cast<unsigned long long>(replay_drops),
       static_cast<unsigned long long>(podem_targets_skipped),
-      static_cast<unsigned long long>(cancelled_targets), phase0_seconds,
-      phase1_seconds, phase2_seconds, phase3_seconds, threads_used);
+      static_cast<unsigned long long>(cancelled_targets),
+      static_cast<unsigned long long>(frame_bytes_materialized),
+      static_cast<unsigned long long>(full_loads),
+      static_cast<unsigned long long>(overlay_loads),
+      static_cast<unsigned long long>(overlay_dirty_nets),
+      static_cast<unsigned long long>(overlay_verified_batches),
+      static_cast<unsigned long long>(overlay_verify_mismatches),
+      load_seconds, phase0_seconds, phase1_seconds, phase2_seconds,
+      phase3_seconds, threads_used);
 }
 
 }  // namespace dfmres

@@ -51,6 +51,13 @@ struct AtpgCounters {
   std::uint64_t replay_drops = 0;         ///< faults dropped by seed replay
   std::uint64_t podem_targets_skipped = 0;///< cone-untouched cached targets
   std::uint64_t cancelled_targets = 0;    ///< left Unknown by cancellation
+  std::uint64_t frame_bytes_materialized = 0;  ///< good-frame bytes written
+  std::uint64_t full_loads = 0;           ///< O(netlist) batch loads
+  std::uint64_t overlay_loads = 0;        ///< O(cone) copy-on-write loads
+  std::uint64_t overlay_dirty_nets = 0;   ///< dirty slots over overlay loads
+  std::uint64_t overlay_verified_batches = 0;  ///< verify-mode comparisons
+  std::uint64_t overlay_verify_mismatches = 0; ///< overlay ≠ full reload
+  double load_seconds = 0.0;              ///< wall time inside batch loads
   double phase0_seconds = 0.0;            ///< seed test replay (warm start)
   double phase1_seconds = 0.0;            ///< random patterns + dropping
   double phase2_seconds = 0.0;            ///< PODEM + per-test drop sweeps

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 
 #include "src/atpg/engine.hpp"
 #include "src/atpg/excitation.hpp"
@@ -413,6 +414,199 @@ TEST(FaultSim, LoadFromMatchesLoad) {
       const Excitation excs[] = {exc};
       EXPECT_EQ(master.detect_mask(excs), worker.detect_mask(excs))
           << "net " << nets[i].value() << " sa" << sa;
+    }
+  }
+}
+
+TEST(FaultSimArena, RebindAcrossDesignsMatchesFreshSimulators) {
+  // Regression for stale per-batch scratch: one arena slot rebound
+  // across differently-sized designs (large -> small -> large) must
+  // answer every detect_mask query exactly like a simulator freshly
+  // constructed for that design.
+  Rng rng(91);
+  const char* kCells[] = {"NAND2X1", "NOR2X1", "XOR2X1", "AOI21X1"};
+  struct Design {
+    Fixture f;
+    std::vector<NetId> nets;
+    std::vector<TestPattern> tests;
+  };
+  const auto make = [&](int inputs, int gates) {
+    auto d = std::make_unique<Design>();
+    for (int i = 0; i < inputs; ++i) {
+      d->nets.push_back(d->f.nl.add_primary_input());
+    }
+    for (int i = 0; i < gates; ++i) {
+      const CellId cell = lib()->require(kCells[rng.below(4)]);
+      const CellSpec& spec = lib()->cell(cell);
+      std::vector<NetId> fanins;
+      for (int j = 0; j < spec.num_inputs; ++j) {
+        fanins.push_back(d->nets[d->nets.size() - 1 - rng.below(
+                                    std::min<std::size_t>(d->nets.size(), 8))]);
+      }
+      d->nets.push_back(d->f.out(d->f.nl.add_gate(cell, fanins)));
+    }
+    d->f.nl.mark_primary_output(d->nets.back());
+    d->f.nl.mark_primary_output(d->nets[d->nets.size() - 2]);
+    const CombView view = CombView::build(d->f.nl);
+    for (int lane = 0; lane < 48; ++lane) {
+      TestPattern t;
+      for (std::size_t s = 0; s < view.sources.size(); ++s) {
+        t.frame0.push_back(rng.flip());
+        t.frame1.push_back(rng.flip());
+      }
+      d->tests.push_back(std::move(t));
+    }
+    return d;
+  };
+  const auto masks_of = [](Design& d, FaultSimulator& sim) {
+    std::vector<std::uint64_t> out;
+    sim.load(d.tests, 0, d.tests.size());
+    for (const NetId net : d.nets) {
+      for (const bool sa : {false, true}) {
+        Excitation exc;
+        exc.victim = net;
+        exc.faulty_value = sa;
+        const Excitation excs[] = {exc};
+        out.push_back(sim.detect_mask(excs));
+      }
+    }
+    return out;
+  };
+  const auto fresh_masks = [&](Design& d) {
+    FaultSimulator sim(d.f.nl, CombView::build(d.f.nl));
+    return masks_of(d, sim);
+  };
+
+  const auto big = make(8, 60);
+  const auto small = make(4, 10);
+  const auto big_view =
+      DenseView::build_shared(big->f.nl, CombView::build(big->f.nl));
+  const auto small_view =
+      DenseView::build_shared(small->f.nl, CombView::build(small->f.nl));
+
+  FaultSimArena arena;
+  EXPECT_EQ(masks_of(*big, arena.acquire(0, big_view)), fresh_masks(*big));
+  // Shrinking rebind: every buffer is now oversized for the new design;
+  // any stale lane count, frame value or event scratch shows up here.
+  EXPECT_EQ(masks_of(*small, arena.acquire(0, small_view)),
+            fresh_masks(*small));
+  EXPECT_EQ(masks_of(*big, arena.acquire(0, big_view)), fresh_masks(*big));
+  EXPECT_EQ(arena.size(), 1u);
+}
+
+TEST(FaultSim, BaselineOverlayMatchesFullLoad) {
+  // A copy-on-write load against a committed baseline must agree bit for
+  // bit with a full O(netlist) load of the same patterns, while
+  // materializing strictly fewer frame bytes.
+  Rng rng(47);
+  Fixture f;
+  std::vector<NetId> nets;
+  for (int i = 0; i < 6; ++i) nets.push_back(f.nl.add_primary_input());
+  const char* kCells[] = {"NAND2X1", "NOR2X1", "XOR2X1", "AOI21X1"};
+  for (int i = 0; i < 30; ++i) {
+    const CellId cell = lib()->require(kCells[rng.below(4)]);
+    const CellSpec& spec = lib()->cell(cell);
+    std::vector<NetId> fanins;
+    for (int j = 0; j < spec.num_inputs; ++j) {
+      fanins.push_back(nets[nets.size() - 1 - rng.below(
+                                std::min<std::size_t>(nets.size(), 8))]);
+    }
+    nets.push_back(f.out(f.nl.add_gate(cell, fanins)));
+  }
+  f.nl.mark_primary_output(nets.back());
+  f.nl.mark_primary_output(nets[nets.size() - 3]);
+
+  const CombView base_view = CombView::build(f.nl);
+  std::vector<TestPattern> seeds;
+  for (int lane = 0; lane < 100; ++lane) {
+    TestPattern t;
+    for (std::size_t s = 0; s < base_view.sources.size(); ++s) {
+      t.frame0.push_back(rng.flip());
+      t.frame1.push_back(rng.flip());
+    }
+    seeds.push_back(std::move(t));
+  }
+  const SimBaseline base = build_sim_baseline(f.nl, seeds);
+  ASSERT_TRUE(base.valid());
+  ASSERT_EQ(base.batches.size(), 2u);
+
+  // Candidate: the committed design plus a small appended cone — its new
+  // nets are the only dirty slots.
+  Netlist cand = f.nl;
+  std::vector<NetId> cand_nets = nets;
+  for (int i = 0; i < 3; ++i) {
+    const CellId cell = lib()->require(kCells[rng.below(4)]);
+    const CellSpec& spec = lib()->cell(cell);
+    std::vector<NetId> fanins;
+    for (int j = 0; j < spec.num_inputs; ++j) {
+      fanins.push_back(cand_nets[cand_nets.size() - 1 - rng.below(6)]);
+    }
+    const GateId g = cand.add_gate(cell, fanins);
+    cand_nets.push_back(cand.gate(g).outputs[0]);
+  }
+  cand.mark_primary_output(cand_nets.back());
+
+  const auto cand_view =
+      DenseView::build_shared(cand, CombView::build(cand));
+  const CowPlan plan = build_cow_plan(*cand_view, *base.view);
+  ASSERT_TRUE(plan.valid);
+  EXPECT_GT(plan.dirty_nets.size(), 0u);
+  EXPECT_LT(plan.dirty_nets.size(), cand_view->net_slots);
+
+  FaultSimulator overlay_sim(cand_view);
+  FaultSimulator full_sim(cand_view);
+  for (std::size_t b = 0; b < base.batches.size(); ++b) {
+    const std::size_t count =
+        static_cast<std::size_t>(base.batches[b].lanes);
+    overlay_sim.load_baseline(base, plan, b, count);
+    full_sim.load(seeds, b * 64, count);
+    ASSERT_EQ(overlay_sim.lanes(), full_sim.lanes());
+    for (const NetId net : cand_nets) {
+      for (const bool sa : {false, true}) {
+        Excitation exc;
+        exc.victim = net;
+        exc.faulty_value = sa;
+        const Excitation excs[] = {exc};
+        ASSERT_EQ(overlay_sim.detect_mask(excs), full_sim.detect_mask(excs))
+            << "batch " << b << " net " << net.value() << " sa" << sa;
+      }
+    }
+  }
+  EXPECT_EQ(overlay_sim.overlay_loads(), base.batches.size());
+  EXPECT_EQ(overlay_sim.full_loads(), 0u);
+  EXPECT_LT(overlay_sim.frame_bytes_materialized(),
+            full_sim.frame_bytes_materialized());
+  // Both accountings agree on patterns: 2 frames per loaded pattern.
+  EXPECT_EQ(overlay_sim.patterns_simulated(), full_sim.patterns_simulated());
+
+  // The pre-simulated phase-1 batches obey the same contract: the stored
+  // patterns reproduce the engine's deterministic draw, and an overlay
+  // replay agrees bit for bit with a full load of those patterns.
+  const SimBaseline rbase =
+      build_sim_baseline(f.nl, seeds, /*random_seed=*/99, /*random_batches=*/2);
+  ASSERT_EQ(rbase.random_batches.size(), 2u);
+  ASSERT_EQ(rbase.random_patterns.size(), 128u);
+  Rng replay(99);
+  for (const TestPattern& t : rbase.random_patterns) {
+    ASSERT_EQ(t.frame0, random_sim_frame(rbase.frame_width, replay));
+    ASSERT_EQ(t.frame1, random_sim_frame(rbase.frame_width, replay));
+  }
+  const CowPlan rplan = build_cow_plan(*cand_view, *rbase.view);
+  ASSERT_TRUE(rplan.valid);
+  FaultSimulator roverlay_sim(cand_view);
+  FaultSimulator rfull_sim(cand_view);
+  for (std::size_t b = 0; b < rbase.random_batches.size(); ++b) {
+    roverlay_sim.load_baseline_random(rbase, rplan, b, 64);
+    rfull_sim.load(rbase.random_patterns, b * 64, 64);
+    for (const NetId net : cand_nets) {
+      for (const bool sa : {false, true}) {
+        Excitation exc;
+        exc.victim = net;
+        exc.faulty_value = sa;
+        const Excitation excs[] = {exc};
+        ASSERT_EQ(roverlay_sim.detect_mask(excs), rfull_sim.detect_mask(excs))
+            << "random batch " << b << " net " << net.value() << " sa" << sa;
+      }
     }
   }
 }

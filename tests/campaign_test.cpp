@@ -353,11 +353,11 @@ TEST(CampaignHeavy, LoadsVerilogDesignFiles) {
             flow_result->jobs[0].final_state->num_faults());
 }
 
-/// The deprecated pre-campaign entry points still compile and agree
-/// with the consolidated API they forward to.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(AnalysisApi, DeprecatedShimsMatchConsolidatedApi) {
+/// The consolidated API contract the deleted pre-campaign shims used to
+/// forward to: a speculative ProbeSession of an unchanged design agrees
+/// with a committed analyze() of the same design, and committing the
+/// session folds its counters into the flow totals.
+TEST(AnalysisApi, ProbeSessionMatchesCommittedAnalysis) {
   CircuitBuilder cb("shim");
   const auto a = cb.dff_bus(cb.input_bus("a", 4));
   const auto b = cb.dff_bus(cb.input_bus("b", 4));
@@ -369,50 +369,43 @@ TEST(AnalysisApi, DeprecatedShimsMatchConsolidatedApi) {
   FlowOptions options;
   options.atpg.random_batches = 4;
 
-  DesignFlow via_shim(osu018_library(), options);
-  const FlowState base_shim = via_shim.run_initial(design).value();
+  DesignFlow via_probe(osu018_library(), options);
+  const FlowState base_probe = via_probe.run_initial(design).value();
   DesignFlow via_api(osu018_library(), options);
   const FlowState base_api = via_api.run_initial(design).value();
 
-  // Committed re-analysis: old optional-returning shim vs analyze().
-  const auto old_state = via_shim.reanalyze(base_shim.netlist,
-                                            base_shim.placement,
-                                            /*generate_tests=*/false);
-  ASSERT_TRUE(old_state.has_value());
-  const auto new_state = via_api.analyze(AnalysisRequest::incremental(
+  // Committed re-analysis vs a speculative probe of the same netlist.
+  const auto committed = via_api.analyze(AnalysisRequest::incremental(
       base_api.netlist, base_api.placement, /*generate_tests=*/false));
-  ASSERT_TRUE(new_state) << new_state.status().to_string();
-  EXPECT_EQ(old_state->num_undetectable(), new_state->num_undetectable());
-  EXPECT_EQ(old_state->smax(), new_state->smax());
-  EXPECT_EQ(old_state->coverage(), new_state->coverage());
+  ASSERT_TRUE(committed) << committed.status().to_string();
+  ProbeSession probe = via_probe.probe();
+  const auto probed = probe.reanalyze(base_probe.netlist,
+                                      base_probe.placement,
+                                      /*generate_tests=*/false);
+  ASSERT_TRUE(probed) << probed.status().to_string();
+  EXPECT_EQ(committed->num_undetectable(), probed->num_undetectable());
+  EXPECT_EQ(committed->smax(), probed->smax());
+  EXPECT_EQ(committed->coverage(), probed->coverage());
 
-  // Committed u_in count vs a probe session committed by hand.
-  const std::size_t old_count =
-      via_shim.count_undetectable_internal(base_shim.netlist);
-  ProbeSession session = via_api.probe();
-  const auto new_count =
-      session.count_undetectable_internal(base_api.netlist);
-  ASSERT_TRUE(new_count) << new_count.status().to_string();
-  via_api.commit_probe(std::move(session));
-  EXPECT_EQ(old_count, *new_count);
-  EXPECT_EQ(via_shim.atpg_totals().patterns_simulated,
-            via_api.atpg_totals().patterns_simulated);
-
-  // Probe shims vs ProbeSession, against the same flow.
-  FaultStatusCache shim_updates;
-  const auto old_probe = via_shim.reanalyze_probe(
-      base_shim.netlist, base_shim.placement, /*generate_tests=*/false,
-      &via_shim.cache(), &shim_updates);
-  ASSERT_TRUE(old_probe) << old_probe.status().to_string();
-  ProbeSession probe = via_shim.probe();
-  const auto new_probe = probe.reanalyze(base_shim.netlist,
-                                         base_shim.placement,
-                                         /*generate_tests=*/false);
-  ASSERT_TRUE(new_probe) << new_probe.status().to_string();
-  EXPECT_EQ(old_probe->num_undetectable(), new_probe->num_undetectable());
-  EXPECT_EQ(old_probe->smax(), new_probe->smax());
+  // A hand-committed u_in probe agrees across independent flows and
+  // folds its counters into the flow totals on commit.
+  ProbeSession s_api = via_api.probe();
+  const auto count_api = s_api.count_undetectable_internal(base_api.netlist);
+  ASSERT_TRUE(count_api) << count_api.status().to_string();
+  via_api.commit_probe(std::move(s_api));
+  ProbeSession s_probe = via_probe.probe();
+  const auto count_probe =
+      s_probe.count_undetectable_internal(base_probe.netlist);
+  ASSERT_TRUE(count_probe) << count_probe.status().to_string();
+  EXPECT_EQ(*count_api, *count_probe);
+  // (A probe of the unchanged committed design is fully cache-hit, so
+  // its pattern count is legitimately zero — the fold must still hold.)
+  const std::uint64_t probe_patterns = s_probe.counters().patterns_simulated;
+  const std::uint64_t before = via_probe.atpg_totals().patterns_simulated;
+  via_probe.commit_probe(std::move(s_probe));
+  EXPECT_EQ(via_probe.atpg_totals().patterns_simulated,
+            before + probe_patterns);
 }
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace dfmres

@@ -100,11 +100,13 @@ TEST(DesignFlow, ReanalyzePreservesUntouchedFaultStatuses) {
     EXPECT_TRUE(replace_region(edited, sub, *mapped).has_value());
   }
 
-  auto cached = flow.reanalyze(edited, original.placement, false);
+  auto cached = flow.analyze(
+      AnalysisRequest::incremental(edited, original.placement));
   ASSERT_TRUE(cached.has_value());
 
   DesignFlow fresh_flow(osu018_library(), fast_options());
-  auto fresh = fresh_flow.reanalyze(edited, original.placement, false);
+  auto fresh = fresh_flow.analyze(
+      AnalysisRequest::incremental(edited, original.placement));
   ASSERT_TRUE(fresh.has_value());
 
   ASSERT_EQ(cached->universe.size(), fresh->universe.size());
@@ -124,7 +126,11 @@ TEST(DesignFlow, CountUndetectableInternalMatchesFullRun) {
     u_in += s.universe.faults[i].scope == FaultScope::Internal &&
             s.atpg.status[i] == FaultStatus::Undetectable;
   }
-  EXPECT_EQ(flow.count_undetectable_internal(s.netlist), u_in);
+  ProbeSession session = flow.probe();
+  const auto probed = session.count_undetectable_internal(s.netlist);
+  ASSERT_TRUE(probed.has_value());
+  flow.commit_probe(std::move(session));
+  EXPECT_EQ(*probed, u_in);
 }
 
 TEST(Resynthesis, ImprovesCoverageWithinConstraints) {

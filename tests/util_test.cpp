@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/util/cancel.hpp"
+#include "src/util/duration.hpp"
 #include "src/util/ids.hpp"
 #include "src/util/json.hpp"
 #include "src/util/logging.hpp"
@@ -191,6 +192,49 @@ TEST(Stats, AtpgCountersMergeAndFormat) {
   EXPECT_EQ(a.threads_used, 4);
   EXPECT_NE(a.summary().find("13 patterns"), std::string::npos);
   EXPECT_NE(a.json().find("\"podem_backtracks\": 7"), std::string::npos);
+}
+
+TEST(Duration, ParsesSuffixedSpecs) {
+  using std::chrono::nanoseconds;
+  EXPECT_EQ(parse_duration_spec("500ms").value(), nanoseconds(500'000'000));
+  EXPECT_EQ(parse_duration_spec("30s").value(), nanoseconds(30'000'000'000));
+  EXPECT_EQ(parse_duration_spec("2m").value(), nanoseconds(120'000'000'000));
+  EXPECT_EQ(parse_duration_spec("0.25s").value(), nanoseconds(250'000'000));
+  EXPECT_EQ(parse_duration_spec("7").value(), nanoseconds(7'000'000'000));
+}
+
+TEST(Duration, RejectsNonPositiveAndOverflow) {
+  const auto code = [](const char* text) {
+    const auto d = parse_duration_spec(text);
+    return d ? StatusCode::kOk : d.status().code();
+  };
+  // Negative, zero and underflow-to-zero all mean "no deadline" to the
+  // consumers — never what a spec author intended.
+  EXPECT_EQ(code("-3s"), StatusCode::kInvalidArgument);
+  EXPECT_EQ(code("0"), StatusCode::kInvalidArgument);
+  EXPECT_EQ(code("0ms"), StatusCode::kInvalidArgument);
+  EXPECT_EQ(code("1e-400s"), StatusCode::kInvalidArgument);
+  // Overflow: strtod ERANGE, explicit inf/nan, and values that would
+  // overflow the nanosecond cast.
+  EXPECT_EQ(code("1e400s"), StatusCode::kInvalidArgument);
+  EXPECT_EQ(code("1e300s"), StatusCode::kInvalidArgument);
+  EXPECT_EQ(code("inf"), StatusCode::kInvalidArgument);
+  EXPECT_EQ(code("nan"), StatusCode::kInvalidArgument);
+  EXPECT_EQ(code("1e10s"), StatusCode::kInvalidArgument);  // > 1e9 seconds
+  // Garbage and trailing junk.
+  EXPECT_EQ(code(""), StatusCode::kInvalidArgument);
+  EXPECT_EQ(code("abc"), StatusCode::kInvalidArgument);
+  EXPECT_EQ(code("12x"), StatusCode::kInvalidArgument);
+  EXPECT_EQ(code("1.2.3s"), StatusCode::kInvalidArgument);
+  // The message locates the offending spec and says why.
+  const auto bad = parse_duration_spec("-3s");
+  ASSERT_FALSE(bad);
+  EXPECT_NE(bad.status().message().find("'-3s'"), std::string::npos);
+  EXPECT_NE(bad.status().message().find("must be positive"),
+            std::string::npos);
+  const auto huge = parse_duration_spec("1e300s");
+  ASSERT_FALSE(huge);
+  EXPECT_NE(huge.status().message().find("out of range"), std::string::npos);
 }
 
 TEST(ThreadPool, ResolveThreads) {

@@ -164,12 +164,12 @@ TEST(WarmStart, CachedStatusesMatchColdRecomputeAfterRewrite) {
   const FlowState original = warm_flow.run_initial(block_a()).value();
   const Netlist edited = remap_one_gate(original.netlist);
 
-  auto warm = warm_flow.reanalyze(edited, original.placement,
-                                  /*generate_tests=*/true);
+  auto warm = warm_flow.analyze(AnalysisRequest::incremental(
+      edited, original.placement, /*generate_tests=*/true));
   ASSERT_TRUE(warm.has_value());
   DesignFlow cold_flow(osu018_library(), flow_options(false, 1));
-  auto cold = cold_flow.reanalyze(edited, original.placement,
-                                  /*generate_tests=*/true);
+  auto cold = cold_flow.analyze(AnalysisRequest::incremental(
+      edited, original.placement, /*generate_tests=*/true));
   ASSERT_TRUE(cold.has_value());
 
   ASSERT_EQ(warm->atpg.num_aborted, 0u);
@@ -199,7 +199,13 @@ TEST(WarmStart, ReplayAndConeCountersAdvance) {
 TEST(WarmStart, SeedWidthMismatchIsIgnored) {
   DesignFlow flow(osu018_library(), flow_options(true, 1));
   const FlowState s = flow.run_initial(block_a()).value();
-  const std::size_t reference = flow.count_undetectable_internal(s.netlist);
+  const auto count_u_in = [&flow](const Netlist& nl) {
+    ProbeSession session = flow.probe();
+    const std::size_t count = session.count_undetectable_internal(nl).value();
+    flow.commit_probe(std::move(session));
+    return count;
+  };
+  const std::size_t reference = count_u_in(s.netlist);
   // Replace the seed set with patterns of a bogus frame width: the
   // engine must ignore them (guard in run_atpg) and still agree.
   std::vector<TestPattern> bogus(3);
@@ -208,7 +214,7 @@ TEST(WarmStart, SeedWidthMismatchIsIgnored) {
     t.frame1.assign(2, 0xa5);
   }
   flow.set_seed_tests(std::move(bogus));
-  EXPECT_EQ(flow.count_undetectable_internal(s.netlist), reference);
+  EXPECT_EQ(count_u_in(s.netlist), reference);
 }
 
 TEST(WarmStart, ArenaReuseAcrossDesignsIsTransparent) {
@@ -219,15 +225,17 @@ TEST(WarmStart, ArenaReuseAcrossDesignsIsTransparent) {
   const Netlist edited = remap_one_gate(s.netlist);
 
   FaultSimArena shared;
-  FaultStatusCache o1, o2, o3, o4;
-  const std::size_t u_edit_shared = *flow.count_undetectable_internal_probe(
-      edited, &flow.cache(), &o1, &shared);
-  const std::size_t u_base_shared = *flow.count_undetectable_internal_probe(
-      s.netlist, &flow.cache(), &o2, &shared);
-  const std::size_t u_edit_fresh = *flow.count_undetectable_internal_probe(
-      edited, &flow.cache(), &o3, nullptr);
-  const std::size_t u_base_fresh = *flow.count_undetectable_internal_probe(
-      s.netlist, &flow.cache(), &o4, nullptr);
+  ProbeSession shared_session = flow.probe(&shared);
+  const std::size_t u_edit_shared =
+      *shared_session.count_undetectable_internal(edited);
+  const std::size_t u_base_shared =
+      *shared_session.count_undetectable_internal(s.netlist);
+  ProbeSession fresh_edit = flow.probe();
+  const std::size_t u_edit_fresh =
+      *fresh_edit.count_undetectable_internal(edited);
+  ProbeSession fresh_base = flow.probe();
+  const std::size_t u_base_fresh =
+      *fresh_base.count_undetectable_internal(s.netlist);
   EXPECT_EQ(u_edit_shared, u_edit_fresh);
   EXPECT_EQ(u_base_shared, u_base_fresh);
   EXPECT_EQ(shared.size(), 1u);  // single-threaded: master slot only
