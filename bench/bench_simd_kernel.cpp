@@ -1,0 +1,249 @@
+// Throughput of the SimWord fault-simulation kernels against a
+// STREAM-style memory-bandwidth roofline. Builds one large synthetic
+// mapped block, then for every requestable kernel mode (scalar,
+// portable 4/8-word, AVX2, AVX-512, auto) measures
+//   - full-load throughput: good-machine materialization of a fixed
+//     pattern set, reported as GB/s of frame bytes written, and
+//   - detect throughput: fault-classification lanes per second over a
+//     fixed excitation list,
+// verifying along the way that every mode's detection masks are
+// bit-identical per 64-lane group to the scalar kernel's (the bench
+// exits non-zero on any divergence). Writes
+// `BENCH_simd_kernel.json` (schema dfmres-bench-simd-kernel-v1).
+//
+// Overrides: DFMRES_BENCH_REPEATS=N takes best-of-N (default 2);
+// DFMRES_BENCH_PATTERNS / DFMRES_BENCH_GATES resize the workload.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/atpg/excitation.hpp"
+#include "src/atpg/fault_sim.hpp"
+#include "src/sim/sim_word.hpp"
+#include "src/sim/simd_dispatch.hpp"
+#include "src/util/rng.hpp"
+
+using namespace dfmres;
+using namespace dfmres::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+/// STREAM-style triad (c = a + 3b over uint64 arrays far larger than
+/// LLC): the measured memory bandwidth the frame-materialization loads
+/// are rooflined against. Counts 24 bytes per element (two reads plus
+/// one write), the STREAM convention.
+double measure_triad_gbs() {
+  const std::size_t n = 1u << 22;  // 3 x 32 MiB
+  std::vector<std::uint64_t> a(n, 1), b(n, 2), c(n, 0);
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < n; ++i) c[i] = a[i] + 3 * b[i];
+    const double s = seconds_since(t0);
+    best = std::max(best, 24.0 * static_cast<double>(n) / s / 1e9);
+    a[rep] = c[rep];  // defeat dead-code elimination across reps
+  }
+  return best;
+}
+
+struct ModeRun {
+  SimdMode mode = SimdMode::kScalar;
+  std::string kernel;
+  int words = 1;
+  double load_seconds = 0.0;
+  double load_gbs = 0.0;
+  double detect_seconds = 0.0;
+  double detect_lanes_per_sec = 0.0;
+  bool identical = true;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  BenchObservability obs("simd_kernel");
+  const int repeats = [] {
+    const char* env = std::getenv("DFMRES_BENCH_REPEATS");
+    return env ? std::max(1, std::atoi(env)) : 2;
+  }();
+  const std::size_t num_gates = env_size("DFMRES_BENCH_GATES", 20000);
+  const std::size_t num_patterns = env_size("DFMRES_BENCH_PATTERNS", 8192);
+
+  // One synthetic mapped block shared by every mode: 128 PIs, a mixed
+  // random cell soup, the newest 32 nets as POs.
+  const auto library = osu018_library();
+  Netlist nl(library, "simd_bench");
+  Rng rng(0x51D0);
+  std::vector<NetId> nets;
+  for (int i = 0; i < 128; ++i) nets.push_back(nl.add_primary_input());
+  const char* kCells[] = {"NAND2X1", "NOR2X1", "XOR2X1",
+                          "AOI22X1", "INVX1",  "AND2X2"};
+  for (std::size_t i = 0; i < num_gates; ++i) {
+    const CellId cell = library->require(kCells[rng.below(6)]);
+    const CellSpec& spec = library->cell(cell);
+    std::vector<NetId> fanins;
+    for (int j = 0; j < spec.num_inputs; ++j) {
+      fanins.push_back(nets[nets.size() - 1 -
+                            rng.below(std::min<std::size_t>(nets.size(), 16))]);
+    }
+    nets.push_back(nl.gate(nl.add_gate(cell, fanins)).outputs[0]);
+  }
+  for (int i = 0; i < 32; ++i) nl.mark_primary_output(nets[nets.size() - 1 - i]);
+  const CombView view = CombView::build(nl);
+
+  std::vector<TestPattern> tests(num_patterns);
+  for (TestPattern& t : tests) {
+    t.frame0 = random_sim_frame(view.sources.size(), rng);
+    t.frame1 = random_sim_frame(view.sources.size(), rng);
+  }
+  std::vector<Excitation> excs;
+  for (int i = 0; i < 64; ++i) {
+    Excitation exc;
+    exc.victim = nets[128 + rng.below(nets.size() - 128)];
+    exc.faulty_value = false;
+    excs.push_back(exc);
+    exc.faulty_value = true;
+    excs.push_back(exc);
+  }
+
+  const double triad_gbs = measure_triad_gbs();
+  std::printf("==== SimWord kernel bench: %zu gates, %zu patterns, %zu excitations ====\n",
+              num_gates, num_patterns, excs.size());
+  std::printf("STREAM triad roofline: %.2f GB/s\n", triad_gbs);
+
+  const SimdMode kModes[] = {SimdMode::kScalar,    SimdMode::kPortable4,
+                             SimdMode::kPortable8, SimdMode::kAvx2,
+                             SimdMode::kAvx512,    SimdMode::kAuto};
+  const std::size_t total_groups = (num_patterns + 63) / 64;
+  // Reference detection bits (global 64-lane groups) from the scalar
+  // kernel, for the bit-identity cross-check.
+  std::vector<std::uint64_t> reference;
+  std::vector<ModeRun> runs;
+  bool all_identical = true;
+
+  for (const SimdMode mode : kModes) {
+    const SimdMode saved = global_simd_mode();
+    set_global_simd_mode(mode);
+    FaultSimulator sim(nl, view);
+    set_global_simd_mode(saved);
+
+    ModeRun run;
+    run.mode = mode;
+    run.kernel = sim.kernel_name();
+    run.words = sim.words();
+    run.load_seconds = std::numeric_limits<double>::max();
+    run.detect_seconds = std::numeric_limits<double>::max();
+    const std::size_t cap = static_cast<std::size_t>(sim.lane_capacity());
+
+    std::vector<std::uint64_t> bits(excs.size() * total_groups, 0);
+    for (int rep = 0; rep < repeats; ++rep) {
+      const std::uint64_t bytes0 = sim.frame_bytes_materialized();
+      double load_s = 0.0, detect_s = 0.0;
+      for (std::size_t first = 0; first < num_patterns; first += cap) {
+        const std::size_t count = std::min(cap, num_patterns - first);
+        const auto t0 = Clock::now();
+        sim.load(tests, first, count);
+        load_s += seconds_since(t0);
+        const auto t1 = Clock::now();
+        const std::size_t base = first / 64;
+        for (std::size_t e = 0; e < excs.size(); ++e) {
+          std::uint64_t m[kMaxSimWords] = {};
+          sim.detect_masks({&excs[e], 1}, m);
+          for (int g = 0; g < sim.groups(); ++g) {
+            bits[e * total_groups + base + static_cast<std::size_t>(g)] = m[g];
+          }
+        }
+        detect_s += seconds_since(t1);
+      }
+      if (load_s < run.load_seconds) {
+        run.load_seconds = load_s;
+        run.load_gbs = static_cast<double>(sim.frame_bytes_materialized() -
+                                           bytes0) /
+                       load_s / 1e9;
+      }
+      if (detect_s < run.detect_seconds) {
+        run.detect_seconds = detect_s;
+        run.detect_lanes_per_sec = static_cast<double>(excs.size()) *
+                                   static_cast<double>(num_patterns) /
+                                   detect_s;
+      }
+    }
+
+    if (reference.empty()) {
+      reference = bits;
+    } else if (bits != reference) {
+      run.identical = false;
+      all_identical = false;
+    }
+    std::printf(
+        "%-9s -> %-9s W=%d  load %.3fs (%.2f GB/s, %.0f%% of triad)  "
+        "detect %.3fs (%.1fM lanes/s)  %s\n",
+        simd_mode_name(mode), run.kernel.c_str(), run.words, run.load_seconds,
+        run.load_gbs, 100.0 * run.load_gbs / triad_gbs, run.detect_seconds,
+        run.detect_lanes_per_sec / 1e6,
+        run.identical ? "identical" : "DIVERGES");
+    runs.push_back(std::move(run));
+  }
+
+  const double scalar_load = runs.front().load_seconds;
+  const double scalar_detect = runs.front().detect_seconds;
+  const auto& widest = runs[5];  // auto
+  std::printf("auto (%s) speedup vs scalar: load %.2fx, detect %.2fx\n",
+              widest.kernel.c_str(), scalar_load / widest.load_seconds,
+              scalar_detect / widest.detect_seconds);
+  std::printf("masks bit-identical across modes: %s\n",
+              all_identical ? "yes" : "NO (BUG)");
+
+  std::ofstream json("BENCH_simd_kernel.json");
+  json << "{\n  \"schema\": \"dfmres-bench-simd-kernel-v1\",\n";
+  json << "  \"gates\": " << num_gates << ",\n";
+  json << "  \"patterns\": " << num_patterns << ",\n";
+  json << "  \"excitations\": " << excs.size() << ",\n";
+  json << "  \"triad_gbs\": " << triad_gbs << ",\n";
+  json << "  \"identical_masks\": " << (all_identical ? "true" : "false")
+       << ",\n";
+  json << "  \"auto_load_speedup\": " << scalar_load / widest.load_seconds
+       << ",\n";
+  json << "  \"auto_detect_speedup\": " << scalar_detect / widest.detect_seconds
+       << ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const ModeRun& r = runs[i];
+    json << "    {\"mode\": \"" << simd_mode_name(r.mode) << "\", \"kernel\": \""
+         << r.kernel << "\", \"words\": " << r.words
+         << ", \"load_seconds\": " << r.load_seconds
+         << ", \"load_gbs\": " << r.load_gbs
+         << ", \"detect_seconds\": " << r.detect_seconds
+         << ", \"detect_lanes_per_sec\": " << r.detect_lanes_per_sec
+         << ", \"load_speedup_vs_scalar\": " << scalar_load / r.load_seconds
+         << ", \"detect_speedup_vs_scalar\": "
+         << scalar_detect / r.detect_seconds
+         << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
+         << (i + 1 < runs.size() ? ",\n" : "\n");
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote BENCH_simd_kernel.json\n");
+  return all_identical ? 0 : 1;
+}

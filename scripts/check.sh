@@ -97,6 +97,33 @@ print(f"probe overlay gate: bit-identical, {ratio:.1f}x fewer bytes/probe")
 EOF
 python3 scripts/summarize_report.py "$OVL_DIR/BENCH_probe_overlay_compare.json"
 
+# SIMD kernel gate: the W-sweep bit-identity suite must pass with the
+# process-wide default pinned to the scalar kernel and to auto (the
+# widest kernel this machine runs), and the kernel bench must report
+# bit-identical masks across every mode. The bench also records the
+# honest per-mode speedups against the STREAM roofline.
+DFMRES_SIMD=scalar "$BUILD_DIR/tests/simd_kernel_test" \
+  --gtest_filter='-SimdKernelHeavy.*'
+DFMRES_SIMD=auto "$BUILD_DIR/tests/simd_kernel_test" \
+  --gtest_filter='-SimdKernelHeavy.*'
+SIMD_DIR="$BUILD_DIR/simd_gate"
+mkdir -p "$SIMD_DIR"
+SIMD_BIN="$BUILD_DIR/bench/bench_simd_kernel"
+case "$SIMD_BIN" in /*) ;; *) SIMD_BIN="$(pwd)/$SIMD_BIN" ;; esac
+(cd "$SIMD_DIR" && "$SIMD_BIN")
+python3 - "$SIMD_DIR/BENCH_simd_kernel.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["schema"] == "dfmres-bench-simd-kernel-v1"
+assert report["identical_masks"], "kernel masks diverge from scalar"
+words = {r["mode"]: r["words"] for r in report["runs"]}
+assert words["scalar"] == 1 and words["portable4"] == 4
+assert words["portable8"] == 8 and words["auto"] >= 4
+print(f"simd kernel gate: bit-identical, auto load speedup "
+      f"{report['auto_load_speedup']:.2f}x")
+EOF
+python3 scripts/summarize_report.py "$SIMD_DIR/BENCH_simd_kernel.json"
+
 scripts/run_tsan.sh
 scripts/run_asan.sh
 scripts/run_ubsan.sh

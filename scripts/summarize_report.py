@@ -36,6 +36,9 @@ def summarize(path):
     if schema == "dfmres-bench-probe-overlay-v1":
         summarize_probe_overlay(path, report)
         return
+    if schema == "dfmres-bench-simd-kernel-v1":
+        summarize_simd_kernel(path, report)
+        return
     if schema != "dfmres-run-report-v1":
         raise ValueError(f"{path}: unexpected schema {schema!r}")
 
@@ -75,6 +78,34 @@ def summarize_probe_overlay(path, report):
     )
     if not report["identical"]:
         raise ValueError(f"{path}: overlay and full runs disagree")
+
+
+def summarize_simd_kernel(path, report):
+    """BENCH_simd_kernel.json: SimWord kernel throughput vs roofline."""
+    print(f"== {path}")
+    print(
+        f"   SimWord kernels on {report['gates']} gates x"
+        f" {report['patterns']} patterns x {report['excitations']} excitations:"
+        f" bit-identical={'yes' if report['identical_masks'] else 'NO'}"
+    )
+    triad = report["triad_gbs"]
+    print(f"   STREAM triad roofline: {triad:.2f} GB/s")
+    for run in report["runs"]:
+        pct = 100.0 * run["load_gbs"] / triad if triad > 0 else 0.0
+        print(
+            f"   {run['mode']:<9} -> {run['kernel']:<9} W={run['words']}"
+            f"  load {run['load_gbs']:5.2f} GB/s ({pct:3.0f}% of triad,"
+            f" {run['load_speedup_vs_scalar']:.2f}x)"
+            f"  detect {run['detect_lanes_per_sec'] / 1e6:7.1f}M lanes/s"
+            f" ({run['detect_speedup_vs_scalar']:.2f}x)"
+        )
+    print(
+        f"   auto kernel speedup vs scalar:"
+        f" load {report['auto_load_speedup']:.2f}x,"
+        f" detect {report['auto_detect_speedup']:.2f}x"
+    )
+    if not report["identical_masks"]:
+        raise ValueError(f"{path}: kernel masks diverge from scalar")
 
 
 def summarize_campaign(path, report):
@@ -123,6 +154,8 @@ def summarize_run(report, indent=""):
         print(indent + text)
 
     header = f"{report['command']} on {report['circuit']}"
+    if report.get("sim_kernel"):
+        header += f", {report['sim_kernel']} kernel (W={report.get('sim_words', 1)})"
     if report.get("threads"):
         header += f", {report['threads']} threads"
     if report.get("fingerprint"):

@@ -13,10 +13,18 @@
 #include "src/atpg/excitation.hpp"
 #include "src/netlist/dense_view.hpp"
 #include "src/netlist/netlist.hpp"
+#include "src/sim/sim_word.hpp"
+#include "src/sim/simd_dispatch.hpp"
 #include "src/util/cancel.hpp"
 #include "src/util/rng.hpp"
 
 namespace dfmres {
+
+namespace fsim {
+struct KernelOps;
+template <class Word>
+struct Kernel;
+}  // namespace fsim
 
 /// One test: a fully specified assignment per source (PIs and flop
 /// outputs) for the initialization frame and the detection frame. In the
@@ -34,24 +42,31 @@ struct TestPattern {
 [[nodiscard]] std::vector<std::uint8_t> random_sim_frame(std::size_t n,
                                                          Rng& rng);
 
-/// One 64-lane batch of good-machine net values, both frames, laid out
-/// per net slot of the view they were simulated over.
+/// One batch of good-machine net values, both frames, laid out per net
+/// slot of the view they were simulated over in the W-word SimWord
+/// layout: word g of slot n at index n*words + g, lane L of the batch in
+/// bit L%64 of word L/64. A batch carries up to 64*words lanes.
 struct GoodFrames {
   int lanes = 0;
-  std::vector<std::uint64_t> good0, good1;  ///< view->net_slots each
+  int words = 1;  ///< SimWord width the frames were materialized with
+  std::vector<std::uint64_t> good0, good1;  ///< net_slots * words each
 };
 
 /// Committed-baseline good frames for copy-on-write probe replay: the
-/// seed test set simulated once, per 64-lane batch, over the committed
+/// seed test set simulated once, per lane batch, over the committed
 /// design. Speculative probes of candidates derived from that design
 /// share these frames read-only and materialize only the slots their
 /// edit dirties (see CowPlan / FaultSimulator::load_baseline).
 struct SimBaseline {
   std::shared_ptr<const DenseView> view;  ///< the committed design's view
-  std::vector<GoodFrames> batches;        ///< seeds packed 64 per batch
+  std::vector<GoodFrames> batches;  ///< seeds packed 64*words per batch
   std::size_t num_patterns = 0;
   std::size_t frame_width = 0;   ///< sources per pattern at build
   std::uint64_t seeds_hash = 0;  ///< digest of the seed patterns
+  /// SimWord width of every stored batch. A simulator may only overlay
+  /// onto frames whose layout matches its own kernel; the engine falls
+  /// back to full loads on mismatch (a mode change between builds).
+  int words = 1;
 
   /// The engine's phase-1 random batches, pre-simulated as well: the
   /// patterns are a pure function of (rng seed, frame width) — phase 0
@@ -59,9 +74,12 @@ struct SimBaseline {
   /// the sources intact (a precondition of CowPlan validity anyway)
   /// regenerates exactly these patterns and can overlay these frames.
   /// The engine double-checks by comparing the regenerated patterns to
-  /// `random_patterns` before trusting a batch.
+  /// `random_patterns` before trusting a batch. `random_batch_count` is
+  /// the configured number of 64-pattern engine batches; the stored
+  /// GoodFrames pack them `words` groups per wide batch.
   std::uint64_t random_seed = 0;
-  std::vector<TestPattern> random_patterns;  ///< 64 per random batch
+  int random_batch_count = 0;
+  std::vector<TestPattern> random_patterns;  ///< 64 per engine batch
   std::vector<GoodFrames> random_batches;
 
   [[nodiscard]] bool valid() const {
@@ -73,7 +91,9 @@ struct SimBaseline {
     num_patterns = 0;
     frame_width = 0;
     seeds_hash = 0;
+    words = 1;
     random_seed = 0;
+    random_batch_count = 0;
     random_patterns.clear();
     random_batches.clear();
   }
@@ -83,10 +103,11 @@ struct SimBaseline {
 /// exact patterns its frames were simulated from.
 [[nodiscard]] std::uint64_t seed_tests_hash(std::span<const TestPattern> seeds);
 
-/// Simulates `seeds` over `nl` once (64 lanes per batch, both frames)
-/// into a shareable baseline. `random_batches` > 0 additionally
-/// generates and simulates the engine's deterministic phase-1 batches
-/// for `random_seed` (the AtpgOptions seed the probes will run with).
+/// Simulates `seeds` over `nl` once (64*W lanes per batch under the
+/// active kernel, both frames) into a shareable baseline.
+/// `random_batches` > 0 additionally generates and simulates the
+/// engine's deterministic phase-1 batches for `random_seed` (the
+/// AtpgOptions seed the probes will run with).
 [[nodiscard]] SimBaseline build_sim_baseline(
     const Netlist& nl, std::span<const TestPattern> seeds,
     std::uint64_t random_seed = 0, int random_batches = 0);
@@ -95,8 +116,8 @@ struct SimBaseline {
 /// seed set: folds the structural diff into the stored frames when the
 /// copy-on-write plan allows (O(cone) per batch), otherwise re-simulates
 /// from scratch. When `seeds` differs from the set the baseline was
-/// built from (hash mismatch), or the random-batch configuration
-/// changed, the rebuild is always full.
+/// built from (hash mismatch), or the random-batch configuration or the
+/// active SimWord width changed, the rebuild is always full.
 void rebase_sim_baseline(SimBaseline& base, const Netlist& nl,
                          std::span<const TestPattern> seeds,
                          std::uint64_t random_seed = 0,
@@ -140,9 +161,14 @@ struct CowPlan {
 [[nodiscard]] CowPlan build_cow_plan(const DenseView& cand,
                                      const DenseView& base);
 
-/// 64-lane single-fault simulator with event-driven cone propagation.
-/// Load a batch of up to 64 tests, then query detection masks fault by
-/// fault (the engine drops detected faults as it goes).
+/// Multi-word single-fault simulator with event-driven cone propagation:
+/// up to 64*W pattern lanes per batch, where W is the SimWord width of
+/// the kernel bound at rebind time (resolved from the global SimdMode —
+/// scalar uint64, auto-vectorized portable 4/8-word, or AVX2/AVX-512
+/// intrinsics; see sim/simd_dispatch). Load a batch of tests, then query
+/// detection masks fault by fault (the engine drops detected faults as
+/// it goes). Results are bit-identical per 64-lane group for every
+/// kernel.
 ///
 /// Good-value frames are bound, not owned: a full `load` simulates into
 /// this instance's own frame arrays; `load_from` aliases another
@@ -165,20 +191,23 @@ class FaultSimulator {
 
   /// Re-targets this simulator at another design, reusing the
   /// already-allocated frame and scratch buffers (they only grow).
-  /// Resets lanes, epochs, stale event/touched scratch, and the
-  /// per-instance counters, so a rebound simulator reports counters for
-  /// the new binding only.
+  /// Re-resolves the kernel from the global SimdMode and resets lanes,
+  /// epochs, stale event/touched scratch, and the per-instance
+  /// counters, so a rebound simulator reports counters for the new
+  /// binding only.
   void rebind(std::shared_ptr<const DenseView> view);
   void rebind(const Netlist& nl, const CombView& view);
 
-  /// Packs tests[first..first+count) into the 64 lanes and simulates the
-  /// good machine for both frames (a full O(netlist) materialization).
+  /// Packs tests[first..first+count) into the lanes (up to
+  /// lane_capacity()) and simulates the good machine for both frames in
+  /// one fused topological pass (a full O(netlist) materialization).
   void load(std::span<const TestPattern> tests, std::size_t first,
             std::size_t count);
 
   /// Adopts another simulator's bound batch (frames + lane count)
-  /// without copying. Both instances must be bound to the same design;
-  /// the adopted frames alias `other`'s and follow its lifetime rules.
+  /// without copying. Both instances must be bound to the same design
+  /// under the same kernel; the adopted frames alias `other`'s and
+  /// follow its lifetime rules.
   void load_from(const FaultSimulator& other);
 
   /// Copy-on-write batch load: binds baseline batch `batch` read-only
@@ -186,8 +215,9 @@ class FaultSimulator {
   /// private overlay, cutting off wherever recomputed values equal the
   /// baseline frames — O(values actually changed) materialized frame
   /// bytes instead of O(netlist). `plan` must have been built from this
-  /// simulator's view against `base.view` and is borrowed until the
-  /// next load/rebind; `count` must equal the batch's lane count.
+  /// simulator's view against `base.view`, the baseline's SimWord width
+  /// must equal this simulator's, and `plan` is borrowed until the next
+  /// load/rebind; `count` must equal the batch's lane count.
   void load_baseline(const SimBaseline& base, const CowPlan& plan,
                      std::size_t batch, std::size_t count);
 
@@ -197,11 +227,23 @@ class FaultSimulator {
   void load_baseline_random(const SimBaseline& base, const CowPlan& plan,
                             std::size_t batch, std::size_t count);
 
-  /// Lane mask of tests that detect a fault with the given excitations.
-  /// With an expired cancel token the query short-circuits to 0 ("not
-  /// detected") — only valid when the caller discards cancelled runs.
+  /// Per-group lane masks of tests that detect a fault with the given
+  /// excitations: out[g] covers lanes [64g, 64g+64) of the batch and is
+  /// bit-identical to a scalar-kernel query over those 64 tests alone.
+  /// `out` must hold at least groups() words. With an expired cancel
+  /// token the query short-circuits to all-zero ("not detected") — only
+  /// valid when the caller discards cancelled runs.
+  void detect_masks(std::span<const Excitation> excitations,
+                    std::uint64_t* out);
+
+  /// Group-0 convenience for 64-lane callers (all existing unit tests,
+  /// PODEM's single-test drop sweeps).
   [[nodiscard]] std::uint64_t detect_mask(
-      std::span<const Excitation> excitations);
+      std::span<const Excitation> excitations) {
+    std::uint64_t groups[kMaxSimWords] = {};
+    detect_masks(excitations, groups);
+    return groups[0];
+  }
 
   /// Installs a cooperative cancel token polled at detect_mask entry
   /// (nullptr = never cancelled). Sweep workers inherit it via the
@@ -209,6 +251,14 @@ class FaultSimulator {
   void set_cancel(const CancelToken* cancel) { cancel_ = cancel; }
 
   [[nodiscard]] int lanes() const { return lanes_; }
+  /// Active 64-lane groups in the current batch: ceil(lanes / 64).
+  [[nodiscard]] int groups() const { return groups_; }
+  /// SimWord width W of the bound kernel (words per net slot).
+  [[nodiscard]] int words() const;
+  /// Lanes one batch can carry under the bound kernel: 64 * words().
+  [[nodiscard]] int lane_capacity() const;
+  /// Resolved-mode spelling of the bound kernel ("scalar", "avx2", ...).
+  [[nodiscard]] const char* kernel_name() const;
   [[nodiscard]] const DenseView& view() const { return *view_; }
   [[nodiscard]] const std::shared_ptr<const DenseView>& view_ptr() const {
     return view_;
@@ -223,13 +273,15 @@ class FaultSimulator {
   [[nodiscard]] std::uint64_t detect_mask_calls() const {
     return detect_mask_calls_;
   }
-  /// Faulty-value net updates during event-driven propagation.
+  /// Faulty-value net updates during event-driven propagation (one per
+  /// W-word SimWord update, covering all active lane groups at once).
   [[nodiscard]] std::uint64_t propagation_events() const {
     return propagation_events_;
   }
-  /// Good-frame bytes written by loads on this instance: 16 per net slot
-  /// for a full load, 16 per dirty slot for an overlay load, zero for
-  /// load_from. The bytes-per-probe number the overlay work is about.
+  /// Good-frame bytes written by loads on this instance: 16*W per net
+  /// slot for a full load, 16*W per dirty slot for an overlay load,
+  /// zero for load_from. The bytes-per-probe number the overlay work is
+  /// about.
   [[nodiscard]] std::uint64_t frame_bytes_materialized() const {
     return frame_bytes_materialized_;
   }
@@ -243,29 +295,34 @@ class FaultSimulator {
   [[nodiscard]] double load_seconds() const { return load_seconds_; }
 
  private:
-  /// Bound good value of net slot `n` for each frame. In overlay mode
-  /// dirty slots read the private overlay; everything else reads the
-  /// (possibly aliased) base frames. Slots past the baseline's capacity
-  /// are always dirty, so the base arrays are never indexed out of
-  /// bounds.
-  [[nodiscard]] std::uint64_t g0(std::uint32_t n) const {
-    return dirty_ != nullptr && dirty_[n] ? o0_[n] : g0_[n];
-  }
-  [[nodiscard]] std::uint64_t g1(std::uint32_t n) const {
-    return dirty_ != nullptr && dirty_[n] ? o1_[n] : g1_[n];
-  }
+  template <class Word>
+  friend struct fsim::Kernel;
+
   void bind_own_frames();
+  /// Sets lanes_/groups_ and materializes the per-group tail masks into
+  /// lane_mask_ (full words for complete groups, a low-bit mask for the
+  /// tail group, zero beyond groups_).
+  void set_lanes(std::size_t count);
   /// Shared body of the two baseline loads: bind `gf` read-only and
   /// materialize the plan's dirty slots into the private overlay.
   void load_overlay_frames(const GoodFrames& gf, const CowPlan& plan,
                            std::size_t count);
 
   std::shared_ptr<const DenseView> view_;
-  /// Privately built view for the (nl, view) convenience constructor.
+  /// Bound kernel ops (width + ISA), resolved at rebind.
+  const fsim::KernelOps* ops_ = nullptr;
   int lanes_ = 0;
-  // Owned frame storage (full loads) and overlay storage (CoW loads).
+  int groups_ = 0;
+  /// Per-group active-lane masks in SimWord layout (kMaxSimWords words;
+  /// words past the kernel width stay zero). Loaded as one Word by the
+  /// kernels for tail masking and the all-lanes-detected early exit.
+  std::uint64_t lane_mask_[kMaxSimWords] = {};
+  // Owned frame storage (full loads) and overlay storage (CoW loads),
+  // net_slots * words each, slot-major.
   std::vector<std::uint64_t> good0_, good1_;
   std::vector<std::uint64_t> ov0_, ov1_;
+  // Source-packing scratch reused across loads (num_sources * words).
+  std::vector<std::uint64_t> src0_, src1_;
   // Active bindings: base frames, overlay frames, dirty flags
   // (dirty_ == nullptr means full mode — no overlay indirection).
   const std::uint64_t* g0_ = nullptr;
@@ -279,18 +336,22 @@ class FaultSimulator {
   // clear. dirty_ points at ov_dirty_ in overlay mode.
   std::vector<std::uint8_t> ov_dirty_;
   std::vector<std::uint32_t> ov_dirty_list_;
-  // Copy-on-write faulty values with epoch stamps (avoids clearing).
+  // Copy-on-write faulty values (net_slots * words) with per-slot epoch
+  // stamps (avoids clearing).
   std::vector<std::uint64_t> faulty_;
   std::vector<std::uint32_t> stamp_;
   std::uint32_t epoch_ = 0;
   // Gate slot scratch; uint8_t instead of vector<bool> because the
   // bit-proxy read-modify-write sits on the event-propagation hot path.
   std::vector<std::uint8_t> scheduled_;
-  // Per-excitation scratch reused across detect_mask calls: the event
-  // min-heap, the gates whose scheduled_ flag must be reset, and the
-  // nets whose faulty value was stamped this epoch (the only nets that
-  // can disagree with the good machine at an observation point).
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> event_heap_;
+  // Per-excitation event scratch reused across detect_mask calls,
+  // structure-of-arrays: the pending-event min-heap keeps topo positions
+  // and gate slots in parallel arrays (the heap sifts touch only the
+  // position lane; the gate ids ride along), and the nets whose faulty
+  // value was stamped this epoch live in touched_nets_ (the only nets
+  // that can disagree with the good machine at an observation point).
+  std::vector<std::uint32_t> event_pos_;
+  std::vector<std::uint32_t> event_gate_;
   std::vector<std::uint32_t> touched_gates_;
   std::vector<std::uint32_t> touched_nets_;
   std::uint64_t patterns_simulated_ = 0;

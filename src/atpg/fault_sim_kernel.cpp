@@ -1,0 +1,54 @@
+// Kernel registry: maps a resolved SimdMode to its ops table and tells
+// the dispatcher which ISA kernels this binary actually carries (the
+// flag-guarded TUs return null when their flag was unavailable).
+
+#include "src/atpg/fault_sim_kernel.hpp"
+
+namespace dfmres {
+
+namespace fsim {
+
+namespace {
+
+// Publishes kernel availability to resolve_simd_mode before main():
+// whether an --simd=auto run may pick avx2/avx512 depends on both cpuid
+// and whether the flagged TUs compiled.
+const struct KernelRegistration {
+  KernelRegistration() {
+    g_avx2_kernel_compiled.store(avx2_kernel_ops() != nullptr,
+                                 std::memory_order_relaxed);
+    g_avx512_kernel_compiled.store(avx512_kernel_ops() != nullptr,
+                                   std::memory_order_relaxed);
+  }
+} g_kernel_registration;
+
+}  // namespace
+
+const KernelOps* kernel_ops_for(SimdMode resolved) {
+  switch (resolved) {
+    case SimdMode::kScalar:
+      return scalar_kernel_ops();
+    case SimdMode::kPortable4:
+      return portable4_kernel_ops();
+    case SimdMode::kPortable8:
+      return portable8_kernel_ops();
+    case SimdMode::kAvx2:
+      if (const KernelOps* ops = avx2_kernel_ops()) return ops;
+      return portable4_kernel_ops();
+    case SimdMode::kAvx512:
+      if (const KernelOps* ops = avx512_kernel_ops()) return ops;
+      return portable8_kernel_ops();
+    case SimdMode::kAuto:
+      break;
+  }
+  // kAuto (or an out-of-range value) resolves through the dispatcher.
+  return kernel_ops_for(resolve_simd_mode(SimdMode::kAuto));
+}
+
+const KernelOps* active_kernel_ops() {
+  return kernel_ops_for(resolve_simd_mode(global_simd_mode()));
+}
+
+}  // namespace fsim
+
+}  // namespace dfmres

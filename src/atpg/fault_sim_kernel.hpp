@@ -1,0 +1,87 @@
+#pragma once
+
+// Internal registry of the width/ISA-specialized fault-simulation
+// kernels. Each kernel is one instantiation of fsim::Kernel<Word> (see
+// fault_sim_kernel_impl.hpp) compiled in a translation unit whose flags
+// match the Word's ISA:
+//
+//   fault_sim_kernel_portable.cpp  -> scalar (W=1), portable4, portable8
+//   fault_sim_kernel_avx2.cpp      -> avx2   (W=4, -mavx2)
+//   fault_sim_kernel_avx512.cpp    -> avx512 (W=8, -mavx512f)
+//
+// FaultSimulator binds one ops table at rebind() time from the resolved
+// global SimdMode and calls through the function pointers; the math
+// never crosses a virtual boundary and each pointer target is a fully
+// specialized, inline-expanded kernel.
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/sim/simd_dispatch.hpp"
+
+namespace dfmres {
+
+class FaultSimulator;
+struct CowPlan;
+struct DenseView;
+struct Excitation;
+struct GoodFrames;
+struct TestPattern;
+
+namespace fsim {
+
+struct KernelOps {
+  const char* name = "scalar";  ///< resolved-mode spelling ("avx2", ...)
+  int words = 1;                ///< W: 64-lane groups per SimWord
+
+  /// Full good-machine load: packs tests[first..first+count) into the
+  /// W-word lane layout and evaluates both frames in one fused topo
+  /// pass over the simulator's own frame arrays.
+  void (*load)(FaultSimulator& sim, std::span<const TestPattern> tests,
+               std::size_t first, std::size_t count) = nullptr;
+  /// Copy-on-write overlay load (value-cutoff event replay) against a
+  /// bound baseline batch; frames must share this kernel's W layout.
+  void (*load_overlay)(FaultSimulator& sim, const GoodFrames& gf,
+                       const CowPlan& plan, std::size_t count) = nullptr;
+  /// Detect-mask query: fills out[0 .. groups) with per-64-lane-group
+  /// masks (bit-identical to W independent scalar queries).
+  void (*detect)(FaultSimulator& sim, std::span<const Excitation> excitations,
+                 std::uint64_t* out) = nullptr;
+  /// Standalone batch simulation into W-layout GoodFrames (baseline
+  /// builder; no simulator instance involved).
+  void (*simulate_batch)(const DenseView& dv,
+                         std::span<const TestPattern> patterns,
+                         std::size_t first, int lanes, GoodFrames* out,
+                         std::vector<std::uint64_t>& src0,
+                         std::vector<std::uint64_t>& src1) = nullptr;
+  /// Rebase fold: recompute exactly the plan's dirty slots in place over
+  /// full W-layout frame arrays.
+  void (*refresh_dirty)(const DenseView& dv, const CowPlan& plan,
+                        std::uint64_t* f0, std::uint64_t* f1) = nullptr;
+};
+
+/// Ops for a RESOLVED mode (never kAuto). Unavailable ISA kernels return
+/// their portable fallback, mirroring resolve_simd_mode.
+[[nodiscard]] const KernelOps* kernel_ops_for(SimdMode resolved);
+
+/// Ops for the current global mode, resolved: what rebind() binds.
+[[nodiscard]] const KernelOps* active_kernel_ops();
+
+// Per-TU providers (null when the ISA could not be compiled in).
+[[nodiscard]] const KernelOps* scalar_kernel_ops();
+[[nodiscard]] const KernelOps* portable4_kernel_ops();
+[[nodiscard]] const KernelOps* portable8_kernel_ops();
+[[nodiscard]] const KernelOps* avx2_kernel_ops();
+[[nodiscard]] const KernelOps* avx512_kernel_ops();
+
+}  // namespace fsim
+
+// Set by the dispatcher so resolve_simd_mode can refuse ISA kernels the
+// compiler could not build (defined in sim/simd_dispatch.cpp, published
+// from fault_sim_kernel.cpp's registration).
+extern std::atomic<bool> g_avx2_kernel_compiled;
+extern std::atomic<bool> g_avx512_kernel_compiled;
+
+}  // namespace dfmres

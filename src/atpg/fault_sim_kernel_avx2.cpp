@@ -1,0 +1,27 @@
+// AVX2 kernel instantiation. This translation unit is the only one in
+// the atpg library compiled with -mavx2 (see src/atpg/CMakeLists.txt);
+// nothing here runs unless the runtime dispatcher confirmed cpuid
+// support, so the vector instructions can never leak onto older CPUs.
+// When the toolchain lacks the flag the TU still compiles — __AVX2__ is
+// unset, the provider returns null, and dispatch falls back to the
+// portable kernel of the same width.
+
+#include "src/atpg/fault_sim_kernel.hpp"
+
+#if defined(__AVX2__)
+#include "src/atpg/fault_sim_kernel_impl.hpp"
+#include "src/sim/sim_word.hpp"
+#endif
+
+namespace dfmres::fsim {
+
+const KernelOps* avx2_kernel_ops() {
+#if defined(__AVX2__)
+  static const KernelOps ops = make_kernel_ops<Avx2Word>("avx2");
+  return &ops;
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace dfmres::fsim

@@ -1,0 +1,22 @@
+// AVX-512 kernel instantiation; mirrors fault_sim_kernel_avx2.cpp but
+// for the -mavx512f translation unit (one zmm register per net slot).
+
+#include "src/atpg/fault_sim_kernel.hpp"
+
+#if defined(__AVX512F__)
+#include "src/atpg/fault_sim_kernel_impl.hpp"
+#include "src/sim/sim_word.hpp"
+#endif
+
+namespace dfmres::fsim {
+
+const KernelOps* avx512_kernel_ops() {
+#if defined(__AVX512F__)
+  static const KernelOps ops = make_kernel_ops<Avx512Word>("avx512");
+  return &ops;
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace dfmres::fsim

@@ -1,0 +1,27 @@
+// Portable kernel instantiations: compiled with the base flags only, so
+// they run on any CPU. PortableWord<1> IS the historical scalar kernel
+// (same code shape, same codegen); the wider ones are plain fixed-count
+// loops the compiler may auto-vectorize as far as the base ISA allows.
+
+#include "src/atpg/fault_sim_kernel.hpp"
+#include "src/atpg/fault_sim_kernel_impl.hpp"
+#include "src/sim/sim_word.hpp"
+
+namespace dfmres::fsim {
+
+const KernelOps* scalar_kernel_ops() {
+  static const KernelOps ops = make_kernel_ops<PortableWord<1>>("scalar");
+  return &ops;
+}
+
+const KernelOps* portable4_kernel_ops() {
+  static const KernelOps ops = make_kernel_ops<PortableWord<4>>("portable4");
+  return &ops;
+}
+
+const KernelOps* portable8_kernel_ops() {
+  static const KernelOps ops = make_kernel_ops<PortableWord<8>>("portable8");
+  return &ops;
+}
+
+}  // namespace dfmres::fsim

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/sim/eval_kernel.hpp"
+
 namespace dfmres {
 
 ParallelSimulator::ParallelSimulator(const Netlist& nl, const CombView& view)
@@ -18,18 +20,10 @@ void ParallelSimulator::randomize_sources(Rng& rng) {
 std::uint64_t ParallelSimulator::eval_cell(
     const CellSpec& cell, int output, std::span<const std::uint64_t> inputs) {
   assert(inputs.size() == cell.num_inputs);
-  const std::uint64_t tt = cell.truth(output);
-  const auto num_minterms = std::uint32_t{1} << cell.num_inputs;
-  std::uint64_t out = 0;
-  for (std::uint32_t m = 0; m < num_minterms; ++m) {
-    if (((tt >> m) & 1u) == 0) continue;
-    std::uint64_t term = ~std::uint64_t{0};
-    for (std::uint32_t i = 0; i < cell.num_inputs; ++i) {
-      term &= ((m >> i) & 1u) ? inputs[i] : ~inputs[i];
-    }
-    out |= term;
-  }
-  return out;
+  // Thin wrapper over the shared width-generic kernel (eval_kernel.hpp):
+  // uint64_t is the W = 1 lane word.
+  return eval_cell_word<std::uint64_t>(cell, output, inputs.data(),
+                                       inputs.size());
 }
 
 void ParallelSimulator::run() {

@@ -1,0 +1,188 @@
+#pragma once
+
+// SimWord: the lane word of the bit-parallel simulators, widened from a
+// single std::uint64_t to W consecutive 64-lane groups (W ∈ {1, 4, 8}).
+//
+// Three families implement the same concept:
+//   - PortableWord<W>: a plain array of W uint64 words. Every operation
+//     is a fixed-count loop the compiler can unroll/auto-vectorize with
+//     whatever ISA the base flags allow, so this is both the scalar
+//     kernel (W = 1 reproduces the historical simulator bit for bit) and
+//     the fallback on hardware without AVX.
+//   - Avx2Word (W = 4, one __m256i): only defined in translation units
+//     compiled with -mavx2 (src/atpg/fault_sim_kernel_avx2.cpp).
+//   - Avx512Word (W = 8, one __m512i): only defined in translation units
+//     compiled with -mavx512f (src/atpg/fault_sim_kernel_avx512.cpp).
+//
+// The ISA-specific types are deliberately invisible outside their own
+// TUs (guarded by the compiler's __AVX2__/__AVX512F__ macros), so a
+// kernel instantiated over them can never leak vector instructions into
+// code that runs before the cpuid dispatch check (src/sim/simd_dispatch).
+//
+// Memory layout contract shared by every consumer: frames store the W
+// words of one net slot contiguously ("slot-major", word g of slot n at
+// index n*W + g), so a slot's full lane vector is one unaligned vector
+// load. Loads/stores below are unaligned on purpose — frames live in
+// std::vector<uint64_t> and modern cores do not penalize loadu on
+// aligned addresses.
+
+#include <cstdint>
+
+#if defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace dfmres {
+
+/// Widest supported lane word, in 64-bit words: AVX-512 = 8 x 64 lanes.
+inline constexpr int kMaxSimWords = 8;
+
+template <int W>
+struct PortableWord {
+  static constexpr int kWords = W;
+  std::uint64_t w[W];
+
+  [[nodiscard]] static PortableWord load(const std::uint64_t* p) {
+    PortableWord r;
+    for (int i = 0; i < W; ++i) r.w[i] = p[i];
+    return r;
+  }
+  void store(std::uint64_t* p) const {
+    for (int i = 0; i < W; ++i) p[i] = w[i];
+  }
+  [[nodiscard]] static PortableWord zero() {
+    PortableWord r;
+    for (int i = 0; i < W; ++i) r.w[i] = 0;
+    return r;
+  }
+  [[nodiscard]] static PortableWord ones() {
+    PortableWord r;
+    for (int i = 0; i < W; ++i) r.w[i] = ~std::uint64_t{0};
+    return r;
+  }
+
+  [[nodiscard]] friend PortableWord operator&(PortableWord a, PortableWord b) {
+    PortableWord r;
+    for (int i = 0; i < W; ++i) r.w[i] = a.w[i] & b.w[i];
+    return r;
+  }
+  [[nodiscard]] friend PortableWord operator|(PortableWord a, PortableWord b) {
+    PortableWord r;
+    for (int i = 0; i < W; ++i) r.w[i] = a.w[i] | b.w[i];
+    return r;
+  }
+  [[nodiscard]] friend PortableWord operator^(PortableWord a, PortableWord b) {
+    PortableWord r;
+    for (int i = 0; i < W; ++i) r.w[i] = a.w[i] ^ b.w[i];
+    return r;
+  }
+  [[nodiscard]] friend PortableWord operator~(PortableWord a) {
+    PortableWord r;
+    for (int i = 0; i < W; ++i) r.w[i] = ~a.w[i];
+    return r;
+  }
+  /// a & ~b in one op (maps to vpandn under AVX).
+  [[nodiscard]] PortableWord andnot(PortableWord b) const {
+    PortableWord r;
+    for (int i = 0; i < W; ++i) r.w[i] = w[i] & ~b.w[i];
+    return r;
+  }
+
+  [[nodiscard]] bool none() const {
+    std::uint64_t acc = 0;
+    for (int i = 0; i < W; ++i) acc |= w[i];
+    return acc == 0;
+  }
+  [[nodiscard]] friend bool operator==(PortableWord a, PortableWord b) {
+    std::uint64_t acc = 0;
+    for (int i = 0; i < W; ++i) acc |= a.w[i] ^ b.w[i];
+    return acc == 0;
+  }
+};
+
+#if defined(__AVX2__)
+/// 256-bit lane word: 4 x 64 lanes in one ymm register. Only visible in
+/// -mavx2 translation units; reached through the runtime dispatch table.
+struct Avx2Word {
+  static constexpr int kWords = 4;
+  __m256i v;
+
+  [[nodiscard]] static Avx2Word load(const std::uint64_t* p) {
+    return {_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))};
+  }
+  void store(std::uint64_t* p) const {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  [[nodiscard]] static Avx2Word zero() { return {_mm256_setzero_si256()}; }
+  [[nodiscard]] static Avx2Word ones() {
+    return {_mm256_set1_epi64x(-1)};
+  }
+
+  [[nodiscard]] friend Avx2Word operator&(Avx2Word a, Avx2Word b) {
+    return {_mm256_and_si256(a.v, b.v)};
+  }
+  [[nodiscard]] friend Avx2Word operator|(Avx2Word a, Avx2Word b) {
+    return {_mm256_or_si256(a.v, b.v)};
+  }
+  [[nodiscard]] friend Avx2Word operator^(Avx2Word a, Avx2Word b) {
+    return {_mm256_xor_si256(a.v, b.v)};
+  }
+  [[nodiscard]] friend Avx2Word operator~(Avx2Word a) {
+    return {_mm256_xor_si256(a.v, _mm256_set1_epi64x(-1))};
+  }
+  [[nodiscard]] Avx2Word andnot(Avx2Word b) const {
+    // vpandn computes ~first & second, so swap the operands.
+    return {_mm256_andnot_si256(b.v, v)};
+  }
+
+  [[nodiscard]] bool none() const { return _mm256_testz_si256(v, v) != 0; }
+  [[nodiscard]] friend bool operator==(Avx2Word a, Avx2Word b) {
+    const __m256i x = _mm256_xor_si256(a.v, b.v);
+    return _mm256_testz_si256(x, x) != 0;
+  }
+};
+#endif  // __AVX2__
+
+#if defined(__AVX512F__)
+/// 512-bit lane word: 8 x 64 lanes in one zmm register. Only visible in
+/// -mavx512f translation units; reached through the runtime dispatch
+/// table.
+struct Avx512Word {
+  static constexpr int kWords = 8;
+  __m512i v;
+
+  [[nodiscard]] static Avx512Word load(const std::uint64_t* p) {
+    return {_mm512_loadu_si512(p)};
+  }
+  void store(std::uint64_t* p) const { _mm512_storeu_si512(p, v); }
+  [[nodiscard]] static Avx512Word zero() { return {_mm512_setzero_si512()}; }
+  [[nodiscard]] static Avx512Word ones() {
+    return {_mm512_set1_epi64(-1)};
+  }
+
+  [[nodiscard]] friend Avx512Word operator&(Avx512Word a, Avx512Word b) {
+    return {_mm512_and_si512(a.v, b.v)};
+  }
+  [[nodiscard]] friend Avx512Word operator|(Avx512Word a, Avx512Word b) {
+    return {_mm512_or_si512(a.v, b.v)};
+  }
+  [[nodiscard]] friend Avx512Word operator^(Avx512Word a, Avx512Word b) {
+    return {_mm512_xor_si512(a.v, b.v)};
+  }
+  [[nodiscard]] friend Avx512Word operator~(Avx512Word a) {
+    return {_mm512_xor_si512(a.v, _mm512_set1_epi64(-1))};
+  }
+  [[nodiscard]] Avx512Word andnot(Avx512Word b) const {
+    return {_mm512_andnot_si512(b.v, v)};
+  }
+
+  [[nodiscard]] bool none() const {
+    return _mm512_test_epi64_mask(v, v) == 0;
+  }
+  [[nodiscard]] friend bool operator==(Avx512Word a, Avx512Word b) {
+    return _mm512_cmpneq_epi64_mask(a.v, b.v) == 0;
+  }
+};
+#endif  // __AVX512F__
+
+}  // namespace dfmres

@@ -1,0 +1,118 @@
+#include "src/sim/simd_dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace dfmres {
+
+namespace {
+
+// The avx kernels exist iff their translation units could be compiled
+// with the ISA flags; the kernel registry (atpg/fault_sim_kernel) tells
+// the dispatcher through these weak-style hooks. Defined in
+// fault_sim_kernel_{avx2,avx512}.cpp as constant functions so the sim
+// library does not link against the atpg kernels directly.
+}  // namespace
+
+// Set by the kernel TUs' registration objects (see
+// src/atpg/fault_sim_kernel.cpp); false until the atpg library is
+// linked in, which only matters for binaries that never simulate.
+std::atomic<bool> g_avx2_kernel_compiled{false};
+std::atomic<bool> g_avx512_kernel_compiled{false};
+
+std::optional<SimdMode> parse_simd_mode(std::string_view text) {
+  if (text == "auto") return SimdMode::kAuto;
+  if (text == "scalar") return SimdMode::kScalar;
+  if (text == "portable4") return SimdMode::kPortable4;
+  if (text == "portable8") return SimdMode::kPortable8;
+  if (text == "avx2") return SimdMode::kAvx2;
+  if (text == "avx512") return SimdMode::kAvx512;
+  return std::nullopt;
+}
+
+const char* simd_mode_name(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::kAuto: return "auto";
+    case SimdMode::kScalar: return "scalar";
+    case SimdMode::kPortable4: return "portable4";
+    case SimdMode::kPortable8: return "portable8";
+    case SimdMode::kAvx2: return "avx2";
+    case SimdMode::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+bool cpu_supports_avx2() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool cpu_supports_avx512() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx512f") != 0;
+#else
+  return false;
+#endif
+}
+
+SimdMode resolve_simd_mode(SimdMode requested) {
+  const bool avx2_ok =
+      cpu_supports_avx2() && g_avx2_kernel_compiled.load(std::memory_order_relaxed);
+  const bool avx512_ok = cpu_supports_avx512() &&
+                         g_avx512_kernel_compiled.load(std::memory_order_relaxed);
+  switch (requested) {
+    case SimdMode::kAuto:
+      if (avx512_ok) return SimdMode::kAvx512;
+      if (avx2_ok) return SimdMode::kAvx2;
+      return SimdMode::kPortable4;
+    case SimdMode::kAvx2:
+      return avx2_ok ? SimdMode::kAvx2 : SimdMode::kPortable4;
+    case SimdMode::kAvx512:
+      return avx512_ok ? SimdMode::kAvx512 : SimdMode::kPortable8;
+    default:
+      return requested;
+  }
+}
+
+namespace {
+
+SimdMode initial_mode() {
+  if (const char* env = std::getenv("DFMRES_SIMD")) {
+    if (const auto mode = parse_simd_mode(env)) return *mode;
+  }
+  return SimdMode::kAuto;
+}
+
+std::atomic<SimdMode>& global_mode() {
+  static std::atomic<SimdMode> mode{initial_mode()};
+  return mode;
+}
+
+}  // namespace
+
+void set_global_simd_mode(SimdMode mode) {
+  global_mode().store(mode, std::memory_order_relaxed);
+}
+
+SimdMode global_simd_mode() {
+  return global_mode().load(std::memory_order_relaxed);
+}
+
+int simd_mode_words(SimdMode resolved) {
+  switch (resolved) {
+    case SimdMode::kScalar: return 1;
+    case SimdMode::kPortable4:
+    case SimdMode::kAvx2: return 4;
+    case SimdMode::kPortable8:
+    case SimdMode::kAvx512: return 8;
+    case SimdMode::kAuto: return simd_mode_words(resolve_simd_mode(resolved));
+  }
+  return 1;
+}
+
+}  // namespace dfmres

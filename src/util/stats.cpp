@@ -77,6 +77,7 @@ void AtpgCounters::merge(const AtpgCounters& other) {
   phase2_seconds += other.phase2_seconds;
   phase3_seconds += other.phase3_seconds;
   threads_used = std::max(threads_used, other.threads_used);
+  sim_words = std::max(sim_words, other.sim_words);
 }
 
 std::string AtpgCounters::summary() const {
@@ -84,7 +85,7 @@ std::string AtpgCounters::summary() const {
       "atpg: %llu patterns, %llu detect_mask calls, %llu prop events, "
       "%llu backtracks, %llu replay drops, %llu podem skips, "
       "%llu cancelled, loads %llu full + %llu overlay (%llu frame bytes), "
-      "phases %.3f/%.3f/%.3f/%.3fs, %d thread%s",
+      "phases %.3f/%.3f/%.3f/%.3fs, %d thread%s, W=%d lanes",
       static_cast<unsigned long long>(patterns_simulated),
       static_cast<unsigned long long>(detect_mask_calls),
       static_cast<unsigned long long>(propagation_events),
@@ -96,7 +97,7 @@ std::string AtpgCounters::summary() const {
       static_cast<unsigned long long>(overlay_loads),
       static_cast<unsigned long long>(frame_bytes_materialized),
       phase0_seconds, phase1_seconds, phase2_seconds, phase3_seconds,
-      threads_used, threads_used == 1 ? "" : "s");
+      threads_used, threads_used == 1 ? "" : "s", sim_words);
 }
 
 std::string AtpgCounters::json() const {
@@ -111,7 +112,7 @@ std::string AtpgCounters::json() const {
       "\"overlay_verify_mismatches\": %llu, \"load_seconds\": %.6f, "
       "\"phase0_seconds\": %.6f, \"phase1_seconds\": %.6f, "
       "\"phase2_seconds\": %.6f, \"phase3_seconds\": %.6f, "
-      "\"threads_used\": %d}",
+      "\"threads_used\": %d, \"sim_words\": %d}",
       static_cast<unsigned long long>(patterns_simulated),
       static_cast<unsigned long long>(detect_mask_calls),
       static_cast<unsigned long long>(propagation_events),
@@ -126,7 +127,7 @@ std::string AtpgCounters::json() const {
       static_cast<unsigned long long>(overlay_verified_batches),
       static_cast<unsigned long long>(overlay_verify_mismatches),
       load_seconds, phase0_seconds, phase1_seconds, phase2_seconds,
-      phase3_seconds, threads_used);
+      phase3_seconds, threads_used, sim_words);
 }
 
 }  // namespace dfmres

@@ -528,7 +528,9 @@ TEST(FaultSim, BaselineOverlayMatchesFullLoad) {
   }
   const SimBaseline base = build_sim_baseline(f.nl, seeds);
   ASSERT_TRUE(base.valid());
-  ASSERT_EQ(base.batches.size(), 2u);
+  // Batches pack 64 * W lanes under the active SimWord kernel.
+  const std::size_t cap = 64 * static_cast<std::size_t>(base.words);
+  ASSERT_EQ(base.batches.size(), (seeds.size() + cap - 1) / cap);
 
   // Candidate: the committed design plus a small appended cone — its new
   // nets are the only dirty slots.
@@ -559,16 +561,23 @@ TEST(FaultSim, BaselineOverlayMatchesFullLoad) {
     const std::size_t count =
         static_cast<std::size_t>(base.batches[b].lanes);
     overlay_sim.load_baseline(base, plan, b, count);
-    full_sim.load(seeds, b * 64, count);
+    full_sim.load(seeds, b * cap, count);
     ASSERT_EQ(overlay_sim.lanes(), full_sim.lanes());
+    ASSERT_EQ(overlay_sim.groups(), full_sim.groups());
     for (const NetId net : cand_nets) {
       for (const bool sa : {false, true}) {
         Excitation exc;
         exc.victim = net;
         exc.faulty_value = sa;
         const Excitation excs[] = {exc};
-        ASSERT_EQ(overlay_sim.detect_mask(excs), full_sim.detect_mask(excs))
-            << "batch " << b << " net " << net.value() << " sa" << sa;
+        std::uint64_t om[kMaxSimWords] = {};
+        std::uint64_t fm[kMaxSimWords] = {};
+        overlay_sim.detect_masks(excs, om);
+        full_sim.detect_masks(excs, fm);
+        for (int g = 0; g < overlay_sim.groups(); ++g) {
+          ASSERT_EQ(om[g], fm[g]) << "batch " << b << " group " << g
+                                  << " net " << net.value() << " sa" << sa;
+        }
       }
     }
   }
@@ -584,7 +593,8 @@ TEST(FaultSim, BaselineOverlayMatchesFullLoad) {
   // replay agrees bit for bit with a full load of those patterns.
   const SimBaseline rbase =
       build_sim_baseline(f.nl, seeds, /*random_seed=*/99, /*random_batches=*/2);
-  ASSERT_EQ(rbase.random_batches.size(), 2u);
+  ASSERT_EQ(rbase.random_batch_count, 2);
+  ASSERT_EQ(rbase.random_batches.size(), (128 + cap - 1) / cap);
   ASSERT_EQ(rbase.random_patterns.size(), 128u);
   Rng replay(99);
   for (const TestPattern& t : rbase.random_patterns) {
@@ -596,16 +606,24 @@ TEST(FaultSim, BaselineOverlayMatchesFullLoad) {
   FaultSimulator roverlay_sim(cand_view);
   FaultSimulator rfull_sim(cand_view);
   for (std::size_t b = 0; b < rbase.random_batches.size(); ++b) {
-    roverlay_sim.load_baseline_random(rbase, rplan, b, 64);
-    rfull_sim.load(rbase.random_patterns, b * 64, 64);
+    const std::size_t count =
+        static_cast<std::size_t>(rbase.random_batches[b].lanes);
+    roverlay_sim.load_baseline_random(rbase, rplan, b, count);
+    rfull_sim.load(rbase.random_patterns, b * cap, count);
     for (const NetId net : cand_nets) {
       for (const bool sa : {false, true}) {
         Excitation exc;
         exc.victim = net;
         exc.faulty_value = sa;
         const Excitation excs[] = {exc};
-        ASSERT_EQ(roverlay_sim.detect_mask(excs), rfull_sim.detect_mask(excs))
-            << "random batch " << b << " net " << net.value() << " sa" << sa;
+        std::uint64_t om[kMaxSimWords] = {};
+        std::uint64_t fm[kMaxSimWords] = {};
+        roverlay_sim.detect_masks(excs, om);
+        rfull_sim.detect_masks(excs, fm);
+        for (int g = 0; g < roverlay_sim.groups(); ++g) {
+          ASSERT_EQ(om[g], fm[g]) << "random batch " << b << " group " << g
+                                  << " net " << net.value() << " sa" << sa;
+        }
       }
     }
   }

@@ -1,0 +1,439 @@
+// W-sweep bit-identity suite for the SimWord fault-sim kernels: every
+// mode (scalar, portable 4/8-word, AVX2, AVX-512, auto) must produce
+// detection masks bit-identical per 64-lane group to the scalar kernel,
+// for full batches and for every tail shape (1, 63, W*64-1 lanes).
+// Also pins the dispatch table (parse/resolve/width invariants), the
+// PortableWord operations, and end-to-end run_atpg identity across
+// modes — cold, warm-start + overlay-baseline, and one tv80-sized run.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "src/atpg/engine.hpp"
+#include "src/atpg/excitation.hpp"
+#include "src/atpg/fault_sim.hpp"
+#include "src/circuits/benchmarks.hpp"
+#include "src/core/flow.hpp"
+#include "src/dfm/checker.hpp"
+#include "src/library/osu018.hpp"
+#include "src/sim/sim_word.hpp"
+#include "src/sim/simd_dispatch.hpp"
+#include "src/util/rng.hpp"
+
+namespace dfmres {
+namespace {
+
+std::shared_ptr<const Library> lib() {
+  static auto l = osu018_library();
+  return l;
+}
+
+/// Every requestable mode; resolution maps unsupported ISA modes onto
+/// the portable kernel of the same width, so the whole list is runnable
+/// on any machine.
+GateId add_gate(Netlist& nl, const char* cell,
+                std::initializer_list<NetId> ins) {
+  const std::vector<NetId> fanins(ins);
+  return nl.add_gate(lib()->require(cell), fanins);
+}
+
+constexpr SimdMode kAllModes[] = {
+    SimdMode::kScalar, SimdMode::kPortable4, SimdMode::kPortable8,
+    SimdMode::kAvx2,   SimdMode::kAvx512,    SimdMode::kAuto,
+};
+
+/// Temporarily pins the process-wide kernel request; restores on scope
+/// exit so test order cannot leak a mode into unrelated tests.
+class ScopedSimdMode {
+ public:
+  explicit ScopedSimdMode(SimdMode mode) : saved_(global_simd_mode()) {
+    set_global_simd_mode(mode);
+  }
+  ~ScopedSimdMode() { set_global_simd_mode(saved_); }
+  ScopedSimdMode(const ScopedSimdMode&) = delete;
+  ScopedSimdMode& operator=(const ScopedSimdMode&) = delete;
+
+ private:
+  SimdMode saved_;
+};
+
+// ---------------------------------------------------------------------------
+// Word operations
+
+template <int W>
+void check_portable_word_ops(std::uint64_t seed) {
+  Rng rng(seed);
+  using Word = PortableWord<W>;
+  std::uint64_t a[W], b[W], got[W];
+  for (int i = 0; i < W; ++i) {
+    a[i] = rng.next();
+    b[i] = rng.next();
+  }
+  const Word wa = Word::load(a);
+  const Word wb = Word::load(b);
+
+  wa.store(got);
+  for (int i = 0; i < W; ++i) EXPECT_EQ(got[i], a[i]) << "load/store " << i;
+  (wa & wb).store(got);
+  for (int i = 0; i < W; ++i) EXPECT_EQ(got[i], a[i] & b[i]) << "and " << i;
+  (wa | wb).store(got);
+  for (int i = 0; i < W; ++i) EXPECT_EQ(got[i], a[i] | b[i]) << "or " << i;
+  (wa ^ wb).store(got);
+  for (int i = 0; i < W; ++i) EXPECT_EQ(got[i], a[i] ^ b[i]) << "xor " << i;
+  (~wa).store(got);
+  for (int i = 0; i < W; ++i) EXPECT_EQ(got[i], ~a[i]) << "not " << i;
+  wa.andnot(wb).store(got);
+  for (int i = 0; i < W; ++i) EXPECT_EQ(got[i], a[i] & ~b[i]) << "andnot " << i;
+
+  EXPECT_TRUE(Word::zero().none());
+  EXPECT_FALSE(Word::ones().none());
+  EXPECT_TRUE(wa == wa);
+  EXPECT_FALSE(wa == wb);  // astronomically unlikely to collide
+  EXPECT_TRUE((wa ^ wa).none());
+
+  // A single bit anywhere must defeat none()/equality.
+  std::uint64_t one_bit[W] = {};
+  one_bit[W - 1] = 1ULL << 63;
+  EXPECT_FALSE(Word::load(one_bit).none());
+  EXPECT_FALSE(Word::load(one_bit) == Word::zero());
+}
+
+TEST(SimWord, PortableOpsMatchScalarReference) {
+  check_portable_word_ops<1>(101);
+  check_portable_word_ops<4>(202);
+  check_portable_word_ops<8>(303);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch invariants
+
+TEST(SimdDispatch, ParseRoundTripsEverySpelling) {
+  for (const SimdMode mode : kAllModes) {
+    const auto parsed = parse_simd_mode(simd_mode_name(mode));
+    ASSERT_TRUE(parsed.has_value()) << simd_mode_name(mode);
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_FALSE(parse_simd_mode("").has_value());
+  EXPECT_FALSE(parse_simd_mode("sse2").has_value());
+  EXPECT_FALSE(parse_simd_mode("avx").has_value());
+}
+
+TEST(SimdDispatch, ResolveNeverReturnsAutoAndKeepsWidths) {
+  for (const SimdMode mode : kAllModes) {
+    const SimdMode resolved = resolve_simd_mode(mode);
+    EXPECT_NE(resolved, SimdMode::kAuto) << simd_mode_name(mode);
+    // Resolving is idempotent.
+    EXPECT_EQ(resolve_simd_mode(resolved), resolved);
+  }
+  // Portable kernels are always available verbatim.
+  EXPECT_EQ(resolve_simd_mode(SimdMode::kScalar), SimdMode::kScalar);
+  EXPECT_EQ(resolve_simd_mode(SimdMode::kPortable4), SimdMode::kPortable4);
+  EXPECT_EQ(resolve_simd_mode(SimdMode::kPortable8), SimdMode::kPortable8);
+  // ISA requests keep their lane width even when degraded to portable.
+  EXPECT_EQ(simd_mode_words(resolve_simd_mode(SimdMode::kAvx2)), 4);
+  EXPECT_EQ(simd_mode_words(resolve_simd_mode(SimdMode::kAvx512)), 8);
+  // Auto picks a wide kernel (at least 4 words) on every build.
+  EXPECT_GE(simd_mode_words(resolve_simd_mode(SimdMode::kAuto)), 4);
+  // ISA kernels only resolve to themselves when the CPU has the feature.
+  if (!cpu_supports_avx2()) {
+    EXPECT_EQ(resolve_simd_mode(SimdMode::kAvx2), SimdMode::kPortable4);
+  }
+  if (!cpu_supports_avx512()) {
+    EXPECT_EQ(resolve_simd_mode(SimdMode::kAvx512), SimdMode::kPortable8);
+  }
+}
+
+TEST(SimdDispatch, SimulatorReportsResolvedKernel) {
+  Netlist nl(lib(), "disp");
+  const NetId a = nl.add_primary_input();
+  const GateId g = add_gate(nl, "INVX1", {a});
+  nl.mark_primary_output(nl.gate(g).outputs[0]);
+  const CombView view = CombView::build(nl);
+  for (const SimdMode mode : kAllModes) {
+    const SimdMode resolved = resolve_simd_mode(mode);
+    ScopedSimdMode scope(mode);
+    FaultSimulator sim(nl, view);
+    EXPECT_STREQ(sim.kernel_name(), simd_mode_name(resolved));
+    EXPECT_EQ(sim.words(), simd_mode_words(resolved));
+    EXPECT_EQ(sim.lane_capacity(), 64 * simd_mode_words(resolved));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// W-sweep bit identity on synthetic blocks
+
+struct Block {
+  Netlist nl{lib(), "simd"};
+  std::vector<Excitation> excs;
+  std::vector<TestPattern> tests;
+};
+
+/// Random mapped block in the style of the atpg_test fixtures: 8 PIs, 40
+/// gates over a mixed cell set, 4 POs, stuck-at excitations on every
+/// internal net, and `num_tests` fully random two-frame patterns.
+Block build_block(std::uint64_t seed, std::size_t num_tests) {
+  Block blk;
+  Rng rng(977 * seed + 11);
+  std::vector<NetId> nets;
+  for (int i = 0; i < 8; ++i) nets.push_back(blk.nl.add_primary_input());
+  const char* kCells[] = {"NAND2X1", "NOR2X1", "XOR2X1",
+                          "AOI22X1", "INVX1",  "AND2X2"};
+  for (int i = 0; i < 40; ++i) {
+    const CellId cell = lib()->require(kCells[rng.below(6)]);
+    const CellSpec& spec = lib()->cell(cell);
+    std::vector<NetId> fanins;
+    for (int j = 0; j < spec.num_inputs; ++j) {
+      fanins.push_back(nets[nets.size() - 1 -
+                            rng.below(std::min<std::size_t>(nets.size(), 12))]);
+    }
+    nets.push_back(blk.nl.gate(blk.nl.add_gate(cell, fanins)).outputs[0]);
+  }
+  for (int i = 0; i < 4; ++i) {
+    blk.nl.mark_primary_output(nets[nets.size() - 1 - i]);
+  }
+
+  for (std::size_t i = 8; i < nets.size(); ++i) {
+    for (const bool fv : {false, true}) {
+      Excitation exc;
+      exc.victim = nets[i];
+      exc.faulty_value = fv;
+      blk.excs.push_back(exc);
+    }
+  }
+
+  const CombView view = CombView::build(blk.nl);
+  for (std::size_t t = 0; t < num_tests; ++t) {
+    TestPattern p;
+    p.frame0 = random_sim_frame(view.sources.size(), rng);
+    p.frame1 = random_sim_frame(view.sources.size(), rng);
+    blk.tests.push_back(std::move(p));
+  }
+  return blk;
+}
+
+/// Classifies every excitation over every test lane under `mode`,
+/// batching at the mode's own lane capacity, and returns the detection
+/// bits re-based onto global 64-lane groups: entry e*total_groups + g
+/// holds lanes [64g, 64g+64) of excitation e. Identical for every mode
+/// by the bit-identity contract.
+std::vector<std::uint64_t> detect_bits(SimdMode mode, const Netlist& nl,
+                                       const CombView& view,
+                                       std::span<const TestPattern> tests,
+                                       std::span<const Excitation> excs) {
+  ScopedSimdMode scope(mode);
+  FaultSimulator sim(nl, view);
+  const std::size_t cap = static_cast<std::size_t>(sim.lane_capacity());
+  const std::size_t total_groups = (tests.size() + 63) / 64;
+  std::vector<std::uint64_t> out(excs.size() * total_groups, 0);
+  for (std::size_t first = 0; first < tests.size(); first += cap) {
+    const std::size_t count = std::min(cap, tests.size() - first);
+    sim.load(tests, first, count);
+    EXPECT_EQ(sim.lanes(), static_cast<int>(count));
+    EXPECT_EQ(sim.groups(), static_cast<int>((count + 63) / 64));
+    const std::size_t base = first / 64;
+    for (std::size_t e = 0; e < excs.size(); ++e) {
+      std::uint64_t m[kMaxSimWords] = {};
+      sim.detect_masks(excs.subspan(e, 1), m);
+      for (int g = 0; g < sim.groups(); ++g) {
+        out[e * total_groups + base + static_cast<std::size_t>(g)] = m[g];
+      }
+    }
+  }
+  return out;
+}
+
+TEST(SimdKernel, WSweepBitIdentityTwelveBlocks) {
+  // One pattern count per block, covering full batches and the tail
+  // shapes the issue calls out: 1, 63, and W*64-1 for W in {1, 4, 8}
+  // (63 / 255 / 511), plus assorted mid-batch tails.
+  const std::size_t kCounts[12] = {1,   63,  64,  65,  100, 127,
+                                   255, 256, 320, 511, 512, 3};
+  for (std::uint64_t blkno = 0; blkno < 12; ++blkno) {
+    const Block blk = build_block(blkno, kCounts[blkno]);
+    const CombView view = CombView::build(blk.nl);
+    const auto ref =
+        detect_bits(SimdMode::kScalar, blk.nl, view, blk.tests, blk.excs);
+    // The random blocks must actually exercise detection, not just agree
+    // on all-zero masks.
+    EXPECT_TRUE(std::any_of(ref.begin(), ref.end(),
+                            [](std::uint64_t m) { return m != 0; }))
+        << "block " << blkno;
+    for (const SimdMode mode : kAllModes) {
+      if (mode == SimdMode::kScalar) continue;
+      EXPECT_EQ(detect_bits(mode, blk.nl, view, blk.tests, blk.excs), ref)
+          << simd_mode_name(mode) << " diverges on block " << blkno << " ("
+          << kCounts[blkno] << " lanes)";
+    }
+  }
+}
+
+TEST(SimdKernel, TailLanesExactMaskEveryMode) {
+  // Ground-truth check (not just cross-mode agreement): AND output SA0
+  // is detected exactly on lanes where both inputs are 1 — the even
+  // lanes of this pattern set — and never beyond the loaded tail.
+  Netlist nl(lib(), "tail");
+  const NetId a = nl.add_primary_input();
+  const NetId b = nl.add_primary_input();
+  const GateId g = add_gate(nl, "AND2X2", {a, b});
+  nl.mark_primary_output(nl.gate(g).outputs[0]);
+  const CombView view = CombView::build(nl);
+
+  Excitation exc;
+  exc.victim = nl.gate(g).outputs[0];
+  exc.faulty_value = false;
+  const Excitation excs[] = {exc};
+
+  for (const SimdMode mode : kAllModes) {
+    ScopedSimdMode scope(mode);
+    FaultSimulator sim(nl, view);
+    const std::size_t cap = static_cast<std::size_t>(sim.lane_capacity());
+    const std::set<std::size_t> counts = {1, 63, cap - 1, cap};
+    for (const std::size_t count : counts) {
+      std::vector<TestPattern> tests(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::uint8_t v = i % 2 == 0;
+        tests[i].frame0 = {v, v};
+        tests[i].frame1 = {v, v};
+      }
+      sim.load(tests, 0, count);
+      ASSERT_EQ(sim.lanes(), static_cast<int>(count));
+      std::uint64_t m[kMaxSimWords] = {};
+      sim.detect_masks(excs, m);
+      for (int grp = 0; grp < sim.groups(); ++grp) {
+        const std::size_t lanes_in_group =
+            std::min<std::size_t>(64, count - 64 * grp);
+        std::uint64_t expected = 0x5555555555555555ULL;
+        if (lanes_in_group < 64) {
+          expected &= (1ULL << lanes_in_group) - 1;
+        }
+        EXPECT_EQ(m[grp], expected)
+            << simd_mode_name(mode) << " count " << count << " group " << grp;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level identity
+
+/// The 4-bit ripple-carry adder block of Engine.EndToEndClassification:
+/// big enough to include undetectable faults and multi-batch test sets.
+Netlist build_adder() {
+  Netlist nl(lib(), "fa");
+  std::vector<NetId> a, b;
+  for (int i = 0; i < 4; ++i) {
+    a.push_back(nl.add_primary_input());
+    b.push_back(nl.add_primary_input());
+  }
+  NetId carry = nl.add_primary_input();
+  for (int i = 0; i < 4; ++i) {
+    const GateId fa = add_gate(nl, "FAX1", {a[i], b[i], carry});
+    carry = nl.gate(fa).outputs[0];
+    nl.mark_primary_output(nl.gate(fa).outputs[1]);
+  }
+  nl.mark_primary_output(carry);
+  return nl;
+}
+
+void expect_equal_results(const AtpgResult& got, const AtpgResult& ref,
+                          const char* label) {
+  EXPECT_EQ(got.status, ref.status) << label;
+  EXPECT_EQ(got.tests, ref.tests) << label;
+  EXPECT_EQ(got.num_detected, ref.num_detected) << label;
+  EXPECT_EQ(got.num_undetectable, ref.num_undetectable) << label;
+  EXPECT_EQ(got.num_aborted, ref.num_aborted) << label;
+}
+
+TEST(SimdKernel, EngineColdRunBitIdenticalAcrossModes) {
+  const Netlist nl = build_adder();
+  UdfmMap udfm(*lib());
+  const FaultUniverse universe = extract_internal_faults(nl, udfm);
+  ASSERT_GT(universe.size(), 50u);
+  AtpgOptions options;
+  options.random_batches = 4;
+
+  const auto run_mode = [&](SimdMode mode) {
+    ScopedSimdMode scope(mode);
+    return run_atpg(nl, universe, udfm, options);
+  };
+  const AtpgResult ref = run_mode(SimdMode::kScalar);
+  EXPECT_GT(ref.num_detected, 0u);
+  EXPECT_FALSE(ref.tests.empty());
+  for (const SimdMode mode : kAllModes) {
+    if (mode == SimdMode::kScalar) continue;
+    expect_equal_results(run_mode(mode), ref, simd_mode_name(mode));
+  }
+}
+
+TEST(SimdKernel, EngineWarmOverlayRunBitIdenticalAcrossModes) {
+  // Warm-start replay over a baseline built under the same mode: covers
+  // the wide overlay loads (seed batches and pre-simulated random
+  // batches) plus the verify-overlays cross-check, which recomputes
+  // every replay batch with a full load and compares masks in-engine.
+  const Netlist nl = build_adder();
+  UdfmMap udfm(*lib());
+  const FaultUniverse universe = extract_internal_faults(nl, udfm);
+  AtpgOptions options;
+  options.random_batches = 4;
+
+  const std::vector<TestPattern> seeds = [&] {
+    ScopedSimdMode scope(SimdMode::kScalar);
+    return run_atpg(nl, universe, udfm, options).tests;
+  }();
+  ASSERT_FALSE(seeds.empty());
+
+  const auto warm_run = [&](SimdMode mode) {
+    ScopedSimdMode scope(mode);
+    const SimBaseline base =
+        build_sim_baseline(nl, seeds, options.seed, options.random_batches);
+    EXPECT_EQ(base.words, simd_mode_words(resolve_simd_mode(mode)));
+    AtpgOptions warm = options;
+    warm.seed_tests = &seeds;
+    warm.baseline = &base;
+    warm.verify_overlays = true;
+    const AtpgResult result = run_atpg(nl, universe, udfm, warm);
+    EXPECT_GT(result.counters.overlay_verified_batches, 0u)
+        << simd_mode_name(mode);
+    EXPECT_EQ(result.counters.overlay_verify_mismatches, 0u)
+        << simd_mode_name(mode);
+    return result;
+  };
+  const AtpgResult ref = warm_run(SimdMode::kScalar);
+  for (const SimdMode mode : kAllModes) {
+    if (mode == SimdMode::kScalar) continue;
+    expect_equal_results(warm_run(mode), ref, simd_mode_name(mode));
+  }
+}
+
+TEST(SimdKernelHeavy, Tv80ClassificationBitIdenticalScalarVsAuto) {
+  // One realistic-sized end-to-end fingerprint: classify the full DFM
+  // fault universe of the mapped tv80 benchmark under the scalar kernel
+  // and under auto (the widest kernel this machine has), and require
+  // identical statuses and an identical compacted test set. Budgets are
+  // trimmed so the whole test stays bounded on one core.
+  FlowOptions fopts;
+  fopts.atpg.random_batches = 4;
+  fopts.atpg.backtrack_limit = 1000;
+  DesignFlow flow(lib(), fopts);
+  const FlowState state =
+      flow.run_initial(build_benchmark("tv80").value()).value();
+  ASSERT_GT(state.num_faults(), 1000u);
+
+  const auto run_mode = [&](SimdMode mode) {
+    ScopedSimdMode scope(mode);
+    return run_atpg(state.netlist, state.universe, flow.udfm(), fopts.atpg);
+  };
+  const AtpgResult ref = run_mode(SimdMode::kScalar);
+  const AtpgResult wide = run_mode(SimdMode::kAuto);
+  expect_equal_results(wide, ref, "auto vs scalar on tv80");
+}
+
+}  // namespace
+}  // namespace dfmres
