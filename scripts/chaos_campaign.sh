@@ -1,0 +1,55 @@
+#!/bin/sh
+# Fault-injection supervisor for multi-process campaigns: runs the
+# 12-block Table-II sweep with N lease-claimed workers while SIGKILL-ing
+# a random worker at a fixed cadence, then asserts the merged report
+# canonicalizes byte-identically to an unperturbed serial run of the
+# same manifest. The coordinator respawns the victims; killed jobs are
+# reclaimed through stale leases and resume from the shared checkpoints.
+#
+# Usage: scripts/chaos_campaign.sh [build-dir] [workers] [kills] [interval-s]
+#   workers   worker processes (default 3)
+#   kills     total SIGKILLs to inject (default 6; keep below the
+#             --max-attempts budget so no job can be poisoned)
+#   interval  seconds between kills (default 15)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+WORKERS="${2:-3}"
+KILLS="${3:-6}"
+INTERVAL="${4:-15}"
+DFMRES="$BUILD_DIR/tools/dfmres"
+ROOT="$BUILD_DIR/chaos_campaign"
+
+rm -rf "$ROOT"
+mkdir -p "$ROOT"
+"$DFMRES" campaign --emit-table2 "$ROOT/manifest.json"
+
+echo "chaos_campaign: serial baseline..."
+"$DFMRES" campaign --manifest "$ROOT/manifest.json" \
+  --report-out "$ROOT/serial.json"
+
+echo "chaos_campaign: $WORKERS workers, $KILLS random SIGKILLs..."
+"$DFMRES" campaign --manifest "$ROOT/manifest.json" \
+  --workers "$WORKERS" --campaign-root "$ROOT/root" \
+  --max-attempts $((KILLS + WORKERS + 3)) &
+COORD=$!
+
+kills_left="$KILLS"
+while [ "$kills_left" -gt 0 ] && kill -0 "$COORD" 2>/dev/null; do
+  sleep "$INTERVAL"
+  # A random live worker of this campaign (never the coordinator).
+  VICTIM=$(pgrep -f "work --campaign-root $ROOT/root" | sort -R | head -1)
+  if [ -n "${VICTIM:-}" ]; then
+    echo "chaos_campaign: SIGKILL worker $VICTIM"
+    kill -KILL "$VICTIM" 2>/dev/null || true
+    kills_left=$((kills_left - 1))
+  fi
+done
+
+wait "$COORD"
+
+"$DFMRES" canon "$ROOT/serial.json" > "$ROOT/serial.canon"
+"$DFMRES" canon "$ROOT/root/report.json" > "$ROOT/chaos.canon"
+cmp "$ROOT/serial.canon" "$ROOT/chaos.canon"
+echo "chaos_campaign: merged report canonically identical to serial run."

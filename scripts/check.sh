@@ -13,9 +13,10 @@ cmake -B "$BUILD_DIR" -S . -DDFMRES_FUZZ=ON
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
-# Under gcc fuzz_verilog is the standalone replayer: every corpus seed
-# must run through the front-end without crashing.
+# Under gcc the fuzz targets are standalone replayers: every corpus
+# seed must run through its front-end without crashing.
 "$BUILD_DIR/tools/fuzz_verilog" tools/fuzz_corpus/*.v
+"$BUILD_DIR/tools/fuzz_manifest" tools/fuzz_corpus_manifest/*.json
 
 # Observability gate: a CLI run with all three output flags must produce
 # three well-formed JSON documents (trace loadable in chrome://tracing,
@@ -76,6 +77,26 @@ assert report["metrics"]["counters"]["atpg.patterns_simulated"] > 0
 print("campaign gate: report OK")
 EOF
 python3 scripts/summarize_report.py "$CAMP_DIR/report.json"
+
+# Chaos gate: the same manifest as a 2-worker lease-claimed campaign
+# with deterministic SIGKILL injection (each worker dies at its 2nd
+# checkpoint append and again when it first stages a shard; the
+# coordinator respawns it and the job resumes from the shared
+# checkpoint). The merged report must canonicalize byte-identically to
+# the in-process run above.
+CHAOS_DIR="$BUILD_DIR/chaos_gate"
+rm -rf "$CHAOS_DIR"
+mkdir -p "$CHAOS_DIR"
+DFMRES_CRASH_AFTER="ckpt.append:2,shard.stage:1" \
+  "$BUILD_DIR/tools/dfmres" campaign --manifest "$CAMP_DIR/manifest.json" \
+  --workers 2 --campaign-root "$CHAOS_DIR/root"
+"$BUILD_DIR/tools/dfmres" canon "$CAMP_DIR/report.json" \
+  > "$CHAOS_DIR/serial.canon"
+"$BUILD_DIR/tools/dfmres" canon "$CHAOS_DIR/root/report.json" \
+  > "$CHAOS_DIR/chaos.canon"
+cmp "$CHAOS_DIR/serial.canon" "$CHAOS_DIR/chaos.canon"
+python3 scripts/summarize_report.py "$CHAOS_DIR"/root/shards/*.json
+echo "chaos gate: crash-resumed merge canonically identical"
 
 # Probe-overlay gate: the copy-on-write overlays must stay bit-identical
 # to full per-probe loads and keep the local-edit probe cost at O(cone):

@@ -17,7 +17,8 @@ BUILD_DIR="${1:-build-asan}"
 cmake -B "$BUILD_DIR" -S . -DDFMRES_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target warm_start_test core_test atpg_test overlay_test simd_kernel_test
+  --target warm_start_test core_test atpg_test overlay_test simd_kernel_test \
+  lease_test
 
 # Fail loudly on the first report from either sanitizer.
 SAN_ENV="halt_on_error=1 exitcode=66"
@@ -37,5 +38,11 @@ ASAN_OPTIONS="$SAN_ENV" UBSAN_OPTIONS="$SAN_ENV" \
 # load / overlay / detect paths, including the batch-tail lane masks.
 ASAN_OPTIONS="$SAN_ENV" UBSAN_OPTIONS="$SAN_ENV" \
   "$BUILD_DIR/tests/simd_kernel_test" --gtest_filter='-SimdKernelHeavy.*'
+# Lease protocol + campaign workers: single-line JSON records, epoch
+# path arithmetic and the shard render/parse round-trip are exactly the
+# string/buffer handling ASan watches. The fork-heavy resume case runs
+# in the regular build (forking an ASan child doubles the shadow).
+ASAN_OPTIONS="$SAN_ENV" UBSAN_OPTIONS="$SAN_ENV" \
+  "$BUILD_DIR/tests/lease_test" --gtest_filter='-CampaignWorkerHeavy.*'
 
 echo "ASan/UBSan: no reports."

@@ -15,7 +15,7 @@ cmake -B "$BUILD_DIR" -S . -DDFMRES_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target atpg_test sim_test util_test observability_test campaign_test \
-  overlay_test simd_kernel_test
+  overlay_test simd_kernel_test lease_test
 
 # TSAN_OPTIONS: fail loudly, first report wins.
 TSAN_OPTIONS="halt_on_error=1 exitcode=66" \
@@ -41,5 +41,10 @@ TSAN_OPTIONS="halt_on_error=1 exitcode=66" "$BUILD_DIR/tests/overlay_test" \
 # sweep workers over wide shared good frames under every kernel mode.
 TSAN_OPTIONS="halt_on_error=1 exitcode=66" \
   "$BUILD_DIR/tests/simd_kernel_test" --gtest_filter='-SimdKernelHeavy.*'
+# Lease protocol: racing claim threads and the HeartbeatKeeper refresh
+# thread against the claim-scoped cancel token. The fork-based resume
+# case is excluded (fork + TSan runtime do not mix).
+TSAN_OPTIONS="halt_on_error=1 exitcode=66" "$BUILD_DIR/tests/lease_test" \
+  --gtest_filter='-CampaignWorkerHeavy.*'
 
 echo "TSan: no data races detected."

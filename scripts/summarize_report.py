@@ -33,6 +33,9 @@ def summarize(path):
     if schema == "dfmres-campaign-report-v1":
         summarize_campaign(path, report)
         return
+    if schema == "dfmres-campaign-shard-v1":
+        summarize_shard(path, report)
+        return
     if schema == "dfmres-bench-probe-overlay-v1":
         summarize_probe_overlay(path, report)
         return
@@ -108,6 +111,42 @@ def summarize_simd_kernel(path, report):
         raise ValueError(f"{path}: kernel masks diverge from scalar")
 
 
+def job_flags(job):
+    """Status flags shared by campaign rows and worker shards."""
+    flags = []
+    if job.get("poisoned"):
+        flags.append(f"POISONED after {job.get('attempts', '?')} attempt(s)")
+    elif job.get("skipped"):
+        flags.append("skipped")
+    elif not job["ok"]:
+        flags.append(f"FAILED ({job['status']})")
+    if job["deadline_expired"]:
+        flags.append("deadline expired")
+    return flags
+
+
+def summarize_shard(path, shard):
+    """dfmres-campaign-shard-v1: one worker-published job result."""
+    print(f"== {path}")
+    flags = job_flags(shard)
+    provenance = (
+        f" by {shard['worker']}" if shard.get("worker") else ""
+    )
+    suffix = f"  [{', '.join(flags)}]" if flags else ""
+    print(
+        f"   shard {shard['name']}: {shard['mode']} on {shard['design']},"
+        f" attempt {shard.get('attempts', 1)}{provenance},"
+        f" {shard['inner_threads']} lane(s),"
+        f" {shard['runtime_seconds']:.2f}s{suffix}"
+    )
+    counters = shard.get("metrics", {}).get("counters", {})
+    patterns = counters.get("atpg.patterns_simulated")
+    if patterns is not None:
+        print(f"   shard metrics: {patterns} ATPG patterns simulated")
+    if "report" in shard:
+        summarize_run(shard["report"], indent="   ")
+
+
 def summarize_campaign(path, report):
     print(f"== {path}")
     total = report["jobs_total"]
@@ -126,18 +165,18 @@ def summarize_campaign(path, report):
     if len(jobs) != total:
         raise ValueError(f"{path}: jobs_total {total} != {len(jobs)} entries")
     for job in jobs:
-        flags = []
-        if job["skipped"]:
-            flags.append("skipped")
-        elif not job["ok"]:
-            flags.append(f"FAILED ({job['status']})")
-        if job["deadline_expired"]:
-            flags.append("deadline expired")
+        flags = job_flags(job)
         suffix = f"  [{', '.join(flags)}]" if flags else ""
+        provenance = ""
+        if job.get("worker"):
+            provenance = (
+                f" (worker {job['worker']}, {job.get('attempts', 1)}"
+                f" attempt(s))"
+            )
         print(
             f"   job {job['name']}: {job['mode']} on {job['design']},"
             f" {job['inner_threads']} lane(s),"
-            f" {job['runtime_seconds']:.2f}s{suffix}"
+            f" {job['runtime_seconds']:.2f}s{provenance}{suffix}"
         )
     counters = report.get("metrics", {}).get("counters", {})
     patterns = counters.get("atpg.patterns_simulated")

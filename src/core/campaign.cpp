@@ -14,11 +14,16 @@
 #include <thread>
 #include <utility>
 
+#include <unistd.h>
+
 #include "src/circuits/benchmarks.hpp"
+#include "src/core/lease.hpp"
 #include "src/layout/floorplan.hpp"
 #include "src/netlist/verilog.hpp"
 #include "src/place/placement.hpp"
 #include "src/library/osu018.hpp"
+#include "src/util/crashpoint.hpp"
+#include "src/util/fsio.hpp"
 #include "src/util/json.hpp"
 #include "src/util/logging.hpp"
 #include "src/util/thread_pool.hpp"
@@ -284,6 +289,14 @@ Status CampaignManifest::validate() const {
                          "component",
                          i, job.name.c_str());
     }
+    if (job.name.rfind("__", 0) == 0) {
+      // "__merge__" and friends are reserved lease names of the
+      // multi-process scheduler.
+      return make_status(StatusCode::kInvalidArgument,
+                         "manifest job %zu: name '%s' uses the reserved "
+                         "'__' prefix",
+                         i, job.name.c_str());
+    }
     if (job.design.empty()) {
       return make_status(StatusCode::kInvalidArgument,
                          "manifest job %zu ('%s'): empty design", i,
@@ -464,47 +477,82 @@ void CampaignResult::merge_metrics_into(MetricsRegistry& out) const {
   }
 }
 
-std::string CampaignResult::report_json() const {
+std::string render_campaign_report(const CampaignReportTotals& totals,
+                                   const std::vector<CampaignReportRow>& rows,
+                                   const std::string& metrics_json) {
   JsonWriter w;
   w.begin_object();
-  w.field("schema", kReportSchema);
-  w.field("jobs_total", static_cast<std::uint64_t>(jobs.size()));
-  w.field("completed", static_cast<std::uint64_t>(completed));
-  w.field("expired", static_cast<std::uint64_t>(expired));
-  w.field("failed", static_cast<std::uint64_t>(failed));
-  w.field("skipped", static_cast<std::uint64_t>(skipped));
-  w.field("jobs_in_flight", jobs_in_flight);
-  w.field("inner_threads", inner_threads);
-  w.field("total_threads", total_threads);
-  w.field("runtime_seconds", seconds);
+  w.field("schema", CampaignResult::kReportSchema);
+  w.field("jobs_total", static_cast<std::uint64_t>(totals.jobs_total));
+  w.field("completed", static_cast<std::uint64_t>(totals.completed));
+  w.field("expired", static_cast<std::uint64_t>(totals.expired));
+  w.field("failed", static_cast<std::uint64_t>(totals.failed));
+  w.field("skipped", static_cast<std::uint64_t>(totals.skipped));
+  w.field("jobs_in_flight", totals.jobs_in_flight);
+  w.field("inner_threads", totals.inner_threads);
+  w.field("total_threads", totals.total_threads);
+  w.field("runtime_seconds", totals.runtime_seconds);
   w.key("jobs");
   w.begin_array();
-  for (const auto& job : jobs) {
+  for (const CampaignReportRow& row : rows) {
     w.begin_object();
-    w.field("name", job.name);
-    w.field("design", job.design);
-    w.field("mode", job.mode == CampaignJobSpec::Mode::Flow ? kModeFlow
-                                                            : kModeResyn);
-    w.field("ok", job.ok());
-    w.field("status", job.status.is_ok() ? std::string("ok")
-                                         : job.status.to_string());
-    w.field("skipped", job.skipped);
-    w.field("deadline_expired", job.deadline_expired);
-    w.field("inner_threads", job.inner_threads);
-    w.field("runtime_seconds", job.seconds);
-    if (job.report.has_value()) {
+    w.field("name", row.name);
+    w.field("design", row.design);
+    w.field("mode", row.mode);
+    w.field("ok", row.ok);
+    w.field("status", row.status);
+    w.field("skipped", row.skipped);
+    w.field("deadline_expired", row.deadline_expired);
+    w.field("poisoned", row.poisoned);
+    w.field("attempts", row.attempts);
+    w.field("worker", row.worker);
+    w.field("inner_threads", row.inner_threads);
+    w.field("runtime_seconds", row.runtime_seconds);
+    if (!row.report_json.empty()) {
       w.key("report");
-      w.raw(job.report->to_json());
+      w.raw(row.report_json);
     }
     w.end_object();
   }
   w.end_array();
-  MetricsRegistry merged;
-  merge_metrics_into(merged);
   w.key("metrics");
-  w.raw(merged.to_json());
+  w.raw(metrics_json);
   w.end_object();
   return w.take();
+}
+
+std::string CampaignResult::report_json() const {
+  CampaignReportTotals totals;
+  totals.jobs_total = jobs.size();
+  totals.completed = completed;
+  totals.expired = expired;
+  totals.failed = failed;
+  totals.skipped = skipped;
+  totals.jobs_in_flight = jobs_in_flight;
+  totals.inner_threads = inner_threads;
+  totals.total_threads = total_threads;
+  totals.runtime_seconds = seconds;
+  std::vector<CampaignReportRow> rows;
+  rows.reserve(jobs.size());
+  for (const auto& job : jobs) {
+    CampaignReportRow row;
+    row.name = job.name;
+    row.design = job.design;
+    row.mode =
+        job.mode == CampaignJobSpec::Mode::Flow ? kModeFlow : kModeResyn;
+    row.ok = job.ok();
+    row.status = job.status.is_ok() ? std::string("ok")
+                                    : job.status.to_string();
+    row.skipped = job.skipped;
+    row.deadline_expired = job.deadline_expired;
+    row.inner_threads = job.inner_threads;
+    row.runtime_seconds = job.seconds;
+    if (job.report.has_value()) row.report_json = job.report->to_json();
+    rows.push_back(std::move(row));
+  }
+  MetricsRegistry merged;
+  merge_metrics_into(merged);
+  return render_campaign_report(totals, rows, merged.to_json());
 }
 
 Status CampaignResult::write_report(const std::string& path) const {
@@ -527,13 +575,7 @@ Expected<CampaignResult> run_campaign(const CampaignManifest& manifest,
                                       const CampaignOptions& options) {
   if (Status s = manifest.validate(); !s.is_ok()) return s;
   if (!options.checkpoint_root.empty()) {
-    if (::mkdir(options.checkpoint_root.c_str(), 0755) != 0 &&
-        errno != EEXIST) {
-      return make_status(StatusCode::kInvalidArgument,
-                         "cannot create checkpoint root '%s': %s",
-                         options.checkpoint_root.c_str(),
-                         std::strerror(errno));
-    }
+    if (Status s = make_dir(options.checkpoint_root); !s.is_ok()) return s;
   }
 
   CampaignResult out;
@@ -590,6 +632,550 @@ Expected<CampaignResult> run_campaign(const CampaignManifest& manifest,
     }
   }
   return out;
+}
+
+// ---- Multi-process campaigns --------------------------------------------
+
+namespace {
+
+constexpr const char* kMergeLease = "__merge__";
+
+std::string manifest_path(const std::string& root) {
+  return root + "/manifest.json";
+}
+std::string shard_path(const std::string& root, const std::string& job) {
+  return root + "/shards/" + job + ".json";
+}
+std::string merged_report_path(const std::string& root) {
+  return root + "/report.json";
+}
+
+/// Re-serializes a parsed JsonValue through JsonWriter. Stable for
+/// documents this codebase wrote: the writer's %.12g doubles round-trip
+/// through parse + re-emit unchanged.
+void write_json_value(JsonWriter& w, const JsonValue& v) {
+  switch (v.kind()) {
+    case JsonValue::Kind::Null:
+      w.raw("null");
+      break;
+    case JsonValue::Kind::Bool:
+      w.value(v.as_bool());
+      break;
+    case JsonValue::Kind::Number:
+      w.value(v.as_number());
+      break;
+    case JsonValue::Kind::String:
+      w.value(v.as_string());
+      break;
+    case JsonValue::Kind::Array:
+      w.begin_array();
+      for (const JsonValue& item : v.items()) write_json_value(w, item);
+      w.end_array();
+      break;
+    case JsonValue::Kind::Object:
+      w.begin_object();
+      for (const auto& [key, member] : v.members()) {
+        w.key(key);
+        write_json_value(w, member);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+/// Serializes one finished job as a dfmres-campaign-shard-v1 document.
+std::string shard_json(const CampaignReportRow& row,
+                       const std::string& metrics_json) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema", kCampaignShardSchema);
+  w.field("name", row.name);
+  w.field("design", row.design);
+  w.field("mode", row.mode);
+  w.field("ok", row.ok);
+  w.field("status", row.status);
+  w.field("skipped", row.skipped);
+  w.field("deadline_expired", row.deadline_expired);
+  w.field("poisoned", row.poisoned);
+  w.field("attempts", row.attempts);
+  w.field("worker", row.worker);
+  w.field("inner_threads", row.inner_threads);
+  w.field("runtime_seconds", row.runtime_seconds);
+  if (!row.report_json.empty()) {
+    w.key("report");
+    w.raw(row.report_json);
+  }
+  w.key("metrics");
+  w.raw(metrics_json);
+  w.end_object();
+  return w.take();
+}
+
+Status shard_error(const std::string& path, const char* what) {
+  return make_status(StatusCode::kDataLoss, "shard '%s': %s", path.c_str(),
+                     what);
+}
+
+/// Parses a shard back into a report row + its metrics sub-document.
+Status parse_shard(const std::string& path, const std::string& text,
+                   const std::string& expect_name, CampaignReportRow* row,
+                   std::string* metrics_json) {
+  auto doc = JsonValue::parse(text);
+  if (!doc) {
+    return make_status(StatusCode::kDataLoss, "shard '%s': %s", path.c_str(),
+                       doc.status().message().c_str());
+  }
+  if (!doc->is_object()) return shard_error(path, "not an object");
+  const JsonValue* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kCampaignShardSchema) {
+    return shard_error(path, "bad schema");
+  }
+  const auto str = [&](const char* key, std::string* out) {
+    const JsonValue* v = doc->find(key);
+    if (v == nullptr || !v->is_string()) return false;
+    *out = v->as_string();
+    return true;
+  };
+  const auto boolean = [&](const char* key, bool* out) {
+    const JsonValue* v = doc->find(key);
+    if (v == nullptr || !v->is_bool()) return false;
+    *out = v->as_bool();
+    return true;
+  };
+  const auto number = [&](const char* key, double* out) {
+    const JsonValue* v = doc->find(key);
+    if (v == nullptr || !v->is_number()) return false;
+    *out = v->as_number();
+    return true;
+  };
+  double attempts = 0.0;
+  double inner = 0.0;
+  if (!str("name", &row->name) || !str("design", &row->design) ||
+      !str("mode", &row->mode) || !boolean("ok", &row->ok) ||
+      !str("status", &row->status) || !boolean("skipped", &row->skipped) ||
+      !boolean("deadline_expired", &row->deadline_expired) ||
+      !boolean("poisoned", &row->poisoned) || !number("attempts", &attempts) ||
+      !str("worker", &row->worker) || !number("inner_threads", &inner) ||
+      !number("runtime_seconds", &row->runtime_seconds)) {
+    return shard_error(path, "missing or mistyped field");
+  }
+  row->attempts = static_cast<int>(attempts);
+  row->inner_threads = static_cast<int>(inner);
+  if (row->name != expect_name) return shard_error(path, "wrong job name");
+  const JsonValue* report = doc->find("report");
+  if (report != nullptr) {
+    if (!report->is_object()) return shard_error(path, "bad report");
+    JsonWriter w;
+    write_json_value(w, *report);
+    row->report_json = w.take();
+  }
+  const JsonValue* metrics = doc->find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    return shard_error(path, "missing metrics");
+  }
+  JsonWriter w;
+  write_json_value(w, *metrics);
+  *metrics_json = w.take();
+  return Status::ok();
+}
+
+}  // namespace
+
+Status init_campaign_root(const CampaignManifest& manifest,
+                          const std::string& root) {
+  if (Status s = manifest.validate(); !s.is_ok()) return s;
+  if (Status s = make_dir(root); !s.is_ok()) return s;
+  for (const char* sub : {"/leases", "/ckpt", "/shards"}) {
+    if (Status s = make_dir(root + sub); !s.is_ok()) return s;
+  }
+  const std::string json = manifest.to_json();
+  Expected<std::string> existing = read_file(manifest_path(root));
+  if (existing) {
+    if (*existing == json) return Status::ok();
+    return make_status(StatusCode::kAlreadyExists,
+                       "campaign root '%s' holds a different manifest",
+                       root.c_str());
+  }
+  return write_file_atomic(manifest_path(root), json, "init");
+}
+
+Expected<CampaignManifest> read_campaign_root(const std::string& root) {
+  Expected<std::string> text = read_file(manifest_path(root));
+  if (!text) {
+    return make_status(StatusCode::kNotFound,
+                       "'%s' is not a campaign root (no manifest.json)",
+                       root.c_str());
+  }
+  return CampaignManifest::from_json(*text);
+}
+
+bool campaign_shards_complete(const std::string& root,
+                              const CampaignManifest& manifest) {
+  for (const CampaignJobSpec& job : manifest.jobs) {
+    if (!path_exists(shard_path(root, job.name))) return false;
+  }
+  return true;
+}
+
+Expected<std::string> merge_campaign_shards(const std::string& root) {
+  auto manifest = read_campaign_root(root);
+  if (!manifest) return manifest.status();
+
+  std::vector<CampaignReportRow> rows;
+  rows.reserve(manifest->jobs.size());
+  MetricsRegistry merged_metrics;
+  for (const CampaignJobSpec& job : manifest->jobs) {
+    const std::string path = shard_path(root, job.name);
+    Expected<std::string> text = read_file(path);
+    if (!text) {
+      return make_status(StatusCode::kFailedPrecondition,
+                         "campaign '%s' is not complete: no shard for job "
+                         "'%s'",
+                         root.c_str(), job.name.c_str());
+    }
+    CampaignReportRow row;
+    std::string metrics_json;
+    if (Status s = parse_shard(path, *text, job.name, &row, &metrics_json);
+        !s.is_ok()) {
+      return s;
+    }
+    auto metrics_doc = JsonValue::parse(metrics_json);
+    if (!metrics_doc) return shard_error(path, "unparsable metrics");
+    if (Status s = merged_metrics.merge_json(*metrics_doc); !s.is_ok()) {
+      return shard_error(path, s.message().c_str());
+    }
+    rows.push_back(std::move(row));
+  }
+
+  CampaignReportTotals totals;
+  totals.jobs_total = rows.size();
+  for (const CampaignReportRow& row : rows) {
+    totals.runtime_seconds += row.runtime_seconds;
+    if (row.skipped) {
+      ++totals.skipped;
+    } else if (!row.ok) {
+      ++totals.failed;
+    } else if (row.deadline_expired) {
+      ++totals.expired;
+    } else {
+      ++totals.completed;
+    }
+  }
+  // jobs_in_flight/thread counts stay 0: a sharded campaign has no
+  // single fixed fan-out, and the canonical projection strips them.
+  std::string report =
+      render_campaign_report(totals, rows, merged_metrics.to_json());
+  if (Status s = write_file_atomic(merged_report_path(root), report, "merge");
+      !s.is_ok()) {
+    return s;
+  }
+  crash_point("merge");
+  return report;
+}
+
+namespace {
+
+/// Canonical projection of one embedded run report (see
+/// canonical_campaign_report).
+Status write_canonical_run_report(JsonWriter& w, const JsonValue& report) {
+  if (!report.is_object()) {
+    return make_status(StatusCode::kInvalidArgument,
+                       "report entry is not an object");
+  }
+  w.begin_object();
+  for (const char* key :
+       {"schema", "command", "circuit", "sim_kernel", "sim_words",
+        "fingerprint", "initial", "final"}) {
+    const JsonValue* v = report.find(key);
+    if (v == nullptr) continue;  // fingerprint/initial are optional
+    w.key(key);
+    write_json_value(w, *v);
+  }
+  const JsonValue* resyn = report.find("resynthesis");
+  if (resyn != nullptr && resyn->is_object()) {
+    w.key("resynthesis");
+    w.begin_object();
+    for (const char* key : {"q_used", "any_accepted"}) {
+      const JsonValue* v = resyn->find(key);
+      if (v != nullptr) {
+        w.key(key);
+        write_json_value(w, *v);
+      }
+    }
+    const JsonValue* convergence = resyn->find("convergence");
+    if (convergence != nullptr && convergence->is_array()) {
+      // Only the accepted records survive: a resumed run replays the
+      // accepted sequence bit-identically but never re-probes the
+      // rejected candidates from before the interruption. "seconds" is
+      // wall clock and drops too.
+      w.key("convergence");
+      w.begin_array();
+      for (const JsonValue& rec : convergence->items()) {
+        const JsonValue* accepted = rec.find("accepted");
+        if (accepted == nullptr || !accepted->is_bool() ||
+            !accepted->as_bool()) {
+          continue;
+        }
+        w.begin_object();
+        for (const auto& [key, member] : rec.members()) {
+          if (key == "seconds") continue;
+          w.key(key);
+          write_json_value(w, member);
+        }
+        w.end_object();
+      }
+      w.end_array();
+    }
+    w.end_object();
+  }
+  w.end_object();
+  return Status::ok();
+}
+
+}  // namespace
+
+Expected<std::string> canonical_campaign_report(std::string_view report_json) {
+  auto doc = JsonValue::parse(report_json);
+  if (!doc) return doc.status();
+  const auto bad = [](const char* what) {
+    return make_status(StatusCode::kInvalidArgument, "campaign report: %s",
+                       what);
+  };
+  if (!doc->is_object()) return bad("not an object");
+  const JsonValue* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != CampaignResult::kReportSchema) {
+    return bad("bad schema");
+  }
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema", schema->as_string());
+  for (const char* key :
+       {"jobs_total", "completed", "expired", "failed", "skipped"}) {
+    const JsonValue* v = doc->find(key);
+    if (v == nullptr || !v->is_number()) return bad("missing total");
+    w.field(key, static_cast<std::uint64_t>(v->as_number()));
+  }
+  const JsonValue* jobs = doc->find("jobs");
+  if (jobs == nullptr || !jobs->is_array()) return bad("missing jobs");
+  w.key("jobs");
+  w.begin_array();
+  for (const JsonValue& job : jobs->items()) {
+    if (!job.is_object()) return bad("job entry is not an object");
+    w.begin_object();
+    for (const char* key : {"name", "design", "mode", "ok", "status",
+                            "skipped", "deadline_expired"}) {
+      const JsonValue* v = job.find(key);
+      if (v == nullptr) return bad("job entry misses a field");
+      w.key(key);
+      write_json_value(w, *v);
+    }
+    // "poisoned" postdates the first report schema revision; absent
+    // means false so old and new serial reports canonicalize equal.
+    const JsonValue* poisoned = job.find("poisoned");
+    w.field("poisoned",
+            poisoned != nullptr && poisoned->is_bool() && poisoned->as_bool());
+    const JsonValue* report = job.find("report");
+    if (report != nullptr) {
+      w.key("report");
+      if (Status s = write_canonical_run_report(w, *report); !s.is_ok()) {
+        return s;
+      }
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+namespace {
+
+/// Publishes one finished job as a shard (exclusive: the first writer
+/// wins; kAlreadyExists means another worker beat us with bit-identical
+/// content, which is success).
+Status publish_shard(const std::string& root, const CampaignReportRow& row,
+                     const std::string& metrics_json,
+                     const std::string& owner) {
+  const std::string json = shard_json(row, metrics_json);
+  crash_point("shard.stage");
+  Status s = write_file_exclusive(shard_path(root, row.name), json, owner);
+  if (s.code() == StatusCode::kAlreadyExists) return Status::ok();
+  if (s.is_ok()) crash_point("shard.publish");
+  return s;
+}
+
+}  // namespace
+
+Expected<CampaignWorkerStats> run_campaign_worker(
+    const CampaignWorkerOptions& options) {
+  const std::string& root = options.campaign_root;
+  auto manifest = read_campaign_root(root);
+  if (!manifest) return manifest.status();
+
+  LeaseConfig lease_config;
+  lease_config.owner = options.owner.empty()
+                           ? strfmt("w%d", static_cast<int>(::getpid()))
+                           : options.owner;
+  lease_config.heartbeat_period = options.heartbeat;
+  lease_config.ttl = options.lease_ttl;
+  lease_config.max_attempts = options.max_attempts;
+  lease_config.backoff_base = options.backoff_base;
+  const LeaseDir leases(root, lease_config);
+  if (Status s = leases.init(); !s.is_ok()) return s;
+  for (const char* sub : {"/ckpt", "/shards"}) {
+    if (Status s = make_dir(root + sub); !s.is_ok()) return s;
+  }
+
+  const int total_threads = ThreadPool::resolve_threads(options.total_threads);
+  const int inner_threads = ThreadPool::lanes_per_job(total_threads, 1);
+  log(LogLevel::Info, "worker %s: attached to %s (%zu jobs, %d lanes)",
+      lease_config.owner.c_str(), root.c_str(), manifest->jobs.size(),
+      inner_threads);
+
+  CampaignWorkerStats stats;
+  const auto poll_pause = std::min<std::chrono::nanoseconds>(
+      options.heartbeat, std::chrono::milliseconds(200));
+  for (;;) {
+    if (cancel_expired(options.cancel)) {
+      stats.cancelled = true;
+      break;
+    }
+    bool all_shards = true;
+    bool progressed = false;
+    for (const CampaignJobSpec& spec : manifest->jobs) {
+      if (cancel_expired(options.cancel)) break;
+      if (path_exists(shard_path(root, spec.name))) continue;
+      all_shards = false;
+      auto claim = leases.try_claim(spec.name);
+      if (!claim) return claim.status();
+      if (claim->outcome != LeaseClaim::Outcome::Claimed) continue;
+      crash_point("job.start");
+
+      if (claim->poison) {
+        // We won the poison epoch: the job burned its attempt budget.
+        // Publish the tombstone so the sweep terminates with a complete
+        // merged report instead of convoying on one pathological job.
+        CampaignReportRow row;
+        row.name = spec.name;
+        row.design = spec.design;
+        row.mode = spec.mode == CampaignJobSpec::Mode::Flow ? kModeFlow
+                                                            : kModeResyn;
+        row.ok = false;
+        row.status = strfmt(
+            "internal: poisoned after %d failed attempts; last error: %s",
+            lease_config.max_attempts,
+            claim->prior_error.empty() ? "(lease lost repeatedly)"
+                                       : claim->prior_error.c_str());
+        row.poisoned = true;
+        row.attempts = lease_config.max_attempts;
+        row.worker = lease_config.owner;
+        MetricsRegistry empty;
+        if (Status s = publish_shard(root, row, empty.to_json(),
+                                     lease_config.owner);
+            !s.is_ok()) {
+          return s;
+        }
+        log(LogLevel::Warn, "worker %s: job '%s' poisoned (%d attempts)",
+            lease_config.owner.c_str(), spec.name.c_str(),
+            lease_config.max_attempts);
+        ++stats.jobs_poisoned;
+        progressed = true;
+        continue;
+      }
+
+      // Run the job under a claim-scoped token: the heartbeat keeper
+      // trips it if the lease is lost (so we stop double-computing a
+      // taken-over job), and the worker-level token chains through it.
+      CancelToken claim_token(Deadline::never(), options.cancel);
+      CampaignOptions job_options;
+      job_options.cancel = &claim_token;
+      job_options.checkpoint_root = root + "/ckpt";
+      job_options.resume = true;
+      job_options.total_threads = total_threads;
+      CampaignJobResult result;
+      bool lease_lost = false;
+      {
+        HeartbeatKeeper keeper(leases, spec.name, *claim, &claim_token);
+        result = run_job(spec, job_options, inner_threads);
+        lease_lost = keeper.lost();
+      }
+      if (lease_lost) {
+        log(LogLevel::Warn, "worker %s: lost lease on '%s' (attempt %d)",
+            lease_config.owner.c_str(), spec.name.c_str(), claim->attempt);
+        continue;  // someone else owns the job now; discard our partial
+      }
+      if (cancel_expired(options.cancel)) {
+        // Interrupted mid-job: no shard — the checkpoint journal holds
+        // the progress and the next claimant resumes bit-identically.
+        break;
+      }
+      if (!result.status.is_ok()) {
+        if (Status s = leases.mark_failed(spec.name, *claim,
+                                          result.status.to_string());
+            !s.is_ok()) {
+          return s;
+        }
+        log(LogLevel::Warn, "worker %s: job '%s' attempt %d failed: %s",
+            lease_config.owner.c_str(), spec.name.c_str(), claim->attempt,
+            result.status.to_string().c_str());
+        progressed = true;
+        continue;
+      }
+      CampaignReportRow row;
+      row.name = result.name;
+      row.design = result.design;
+      row.mode = result.mode == CampaignJobSpec::Mode::Flow ? kModeFlow
+                                                            : kModeResyn;
+      row.ok = result.ok();
+      row.status = "ok";
+      row.deadline_expired = result.deadline_expired;
+      row.attempts = claim->attempt;
+      row.worker = lease_config.owner;
+      row.inner_threads = result.inner_threads;
+      row.runtime_seconds = result.seconds;
+      if (result.report.has_value()) row.report_json = result.report->to_json();
+      if (Status s = publish_shard(
+              root, row,
+              result.metrics != nullptr ? result.metrics->to_json()
+                                        : MetricsRegistry{}.to_json(),
+              lease_config.owner);
+          !s.is_ok()) {
+        return s;
+      }
+      log(LogLevel::Info, "worker %s: job '%s' done in %.1fs (attempt %d)",
+          lease_config.owner.c_str(), spec.name.c_str(), result.seconds,
+          claim->attempt);
+      ++stats.jobs_run;
+      progressed = true;
+    }
+    if (cancel_expired(options.cancel)) {
+      stats.cancelled = true;
+      break;
+    }
+    if (all_shards) break;
+    if (!progressed) std::this_thread::sleep_for(poll_pause);
+  }
+
+  if (!stats.cancelled && campaign_shards_complete(root, *manifest) &&
+      !path_exists(merged_report_path(root))) {
+    // Merge election: the last worker out (or a fresh `dfmres work` on a
+    // finished root) claims the merge lease; Busy means another live
+    // worker is already merging. A crashed merger goes stale and the
+    // next attachment re-claims.
+    auto claim = leases.try_claim(kMergeLease);
+    if (!claim) return claim.status();
+    if (claim->outcome == LeaseClaim::Outcome::Claimed) {
+      auto merged = merge_campaign_shards(root);
+      if (!merged) return merged.status();
+      stats.merged = true;
+      log(LogLevel::Info, "worker %s: merged %zu shard(s) into %s",
+          lease_config.owner.c_str(), manifest->jobs.size(),
+          merged_report_path(root).c_str());
+    }
+  }
+  return stats;
 }
 
 }  // namespace dfmres

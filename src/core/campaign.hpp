@@ -115,6 +115,45 @@ struct CampaignJobResult {
   [[nodiscard]] bool ok() const { return status.is_ok() && !skipped; }
 };
 
+/// One row of a campaign report — the schema-level shape shared by the
+/// in-process scheduler and the multi-process shard merge, so both paths
+/// render through the same code and produce identical bytes for
+/// identical content by construction.
+struct CampaignReportRow {
+  std::string name;
+  std::string design;
+  std::string mode;  ///< "flow" | "resyn"
+  bool ok = false;
+  std::string status = "ok";  ///< "ok" or the Status string
+  bool skipped = false;
+  bool deadline_expired = false;
+  bool poisoned = false;  ///< attempt budget exhausted; no result
+  int attempts = 1;       ///< lease attempts consumed (1 in-process)
+  std::string worker;     ///< owner id of the publishing worker ("" local)
+  int inner_threads = 0;
+  double runtime_seconds = 0.0;
+  std::string report_json;  ///< embedded run report; empty = absent
+};
+
+/// The campaign-level header counts of a report.
+struct CampaignReportTotals {
+  std::size_t jobs_total = 0;
+  std::size_t completed = 0;
+  std::size_t expired = 0;
+  std::size_t failed = 0;
+  std::size_t skipped = 0;
+  int jobs_in_flight = 0;  ///< 0 = multi-process (not a fixed fan-out)
+  int inner_threads = 0;
+  int total_threads = 0;
+  double runtime_seconds = 0.0;
+};
+
+/// Renders the `dfmres-campaign-report-v1` document.
+[[nodiscard]] std::string render_campaign_report(
+    const CampaignReportTotals& totals,
+    const std::vector<CampaignReportRow>& rows,
+    const std::string& metrics_json);
+
 struct CampaignResult {
   static constexpr const char* kReportSchema = "dfmres-campaign-report-v1";
 
@@ -151,5 +190,88 @@ struct CampaignResult {
 /// empty or invalid manifest, or an unusable checkpoint root.
 [[nodiscard]] Expected<CampaignResult> run_campaign(
     const CampaignManifest& manifest, const CampaignOptions& options);
+
+// ---- Multi-process campaigns (lease-claimed workers, shard merge) ----
+//
+// A campaign *root* directory is the shared coordination medium:
+//   <root>/manifest.json   the manifest, written once at init
+//   <root>/leases/<job>/   epoch-numbered lease files (see lease.hpp)
+//   <root>/ckpt/<job>/     the job's checkpoint journal (cross-attempt)
+//   <root>/shards/<job>.json  one dfmres-campaign-shard-v1 per done job
+//   <root>/report.json     the merged dfmres-campaign-report-v1
+// Any number of worker processes may attach concurrently; jobs are
+// claimed through the lease protocol, results are published as shards
+// (exclusive create — first wins), and the merge is deterministic in
+// manifest order, so the merged report does not depend on the worker
+// count or on which workers died along the way.
+
+inline constexpr const char* kCampaignShardSchema = "dfmres-campaign-shard-v1";
+
+struct CampaignWorkerOptions {
+  std::string campaign_root;
+  /// Unique worker identity; empty = "w<pid>".
+  std::string owner;
+  /// Hardware budget for this worker's (serial) jobs; 0 = hardware
+  /// concurrency.
+  int total_threads = 0;
+  /// Worker-level stop signal (SIGINT/SIGTERM): abandons the current
+  /// job without publishing a shard, so another worker redoes it.
+  const CancelToken* cancel = nullptr;
+  std::chrono::nanoseconds heartbeat{std::chrono::milliseconds(500)};
+  std::chrono::nanoseconds lease_ttl{0};  ///< 0 = 3x heartbeat
+  int max_attempts = 3;
+  std::chrono::nanoseconds backoff_base{std::chrono::milliseconds(250)};
+};
+
+struct CampaignWorkerStats {
+  int jobs_run = 0;       ///< shards this worker published
+  int jobs_poisoned = 0;  ///< poison shards this worker published
+  bool merged = false;    ///< this worker won the merge election
+  bool cancelled = false; ///< stopped by the cancel token, jobs left
+};
+
+/// Creates the campaign root layout and writes the manifest (atomic,
+/// durable). Fails kAlreadyExists if a manifest is already present with
+/// different content; identical re-init is a no-op, so a coordinator
+/// restart can reuse a root.
+[[nodiscard]] Status init_campaign_root(const CampaignManifest& manifest,
+                                        const std::string& root);
+
+/// Reads `<root>/manifest.json`.
+[[nodiscard]] Expected<CampaignManifest> read_campaign_root(
+    const std::string& root);
+
+/// Attaches to a campaign root and drains it: claims jobs through the
+/// lease protocol, runs them one at a time (resuming from the shared
+/// checkpoint dir), publishes shards, and participates in the merge
+/// election once every job has a shard. Returns when the campaign is
+/// complete (or the token trips). kInternal only for unusable roots and
+/// I/O failures — job-level errors become failed attempts and
+/// eventually poison shards, never worker exits.
+[[nodiscard]] Expected<CampaignWorkerStats> run_campaign_worker(
+    const CampaignWorkerOptions& options);
+
+/// True when every manifest job has a published shard.
+[[nodiscard]] bool campaign_shards_complete(const std::string& root,
+                                            const CampaignManifest& manifest);
+
+/// Deterministically merges all shards into the campaign report, writes
+/// it to `<root>/report.json` (atomic) and returns the JSON. The merge
+/// depends only on shard *content* in manifest order — any worker count
+/// and any kill schedule that produced the same shard set produces the
+/// same bytes. kFailedPrecondition when shards are missing.
+[[nodiscard]] Expected<std::string> merge_campaign_shards(
+    const std::string& root);
+
+/// Canonical projection of a `dfmres-campaign-report-v1` document: keeps
+/// the deterministic substance (per-job verdicts, fingerprints, initial/
+/// final Table-I/II summaries, the accepted convergence trace) and
+/// strips everything timing- or scheduling-dependent (wall/cpu seconds,
+/// thread counts, attempt/worker provenance, work counters that differ
+/// across checkpoint resumes, rejected-probe records that replay does
+/// not regenerate, metrics). Two runs of the same manifest — serial,
+/// sharded, or crash-resumed — canonicalize to identical bytes.
+[[nodiscard]] Expected<std::string> canonical_campaign_report(
+    std::string_view report_json);
 
 }  // namespace dfmres

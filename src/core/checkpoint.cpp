@@ -10,7 +10,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/util/crashpoint.hpp"
 #include "src/util/fmt.hpp"
+#include "src/util/fsio.hpp"
 #include "src/util/trace.hpp"
 
 namespace dfmres {
@@ -195,17 +197,21 @@ void CheckpointWriter::close() {
 Status CheckpointWriter::open_fresh(const std::string& dir,
                                     std::uint64_t fingerprint) {
   close();
-  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
-    return make_status(StatusCode::kInvalidArgument,
-                       "cannot create checkpoint directory %s: %s",
-                       dir.c_str(), std::strerror(errno));
-  }
+  if (Status s = make_dir(dir); !s.is_ok()) return s;
   path_ = checkpoint_journal_path(dir);
   fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd_ < 0) {
     return make_status(StatusCode::kInvalidArgument,
                        "cannot create checkpoint journal %s: %s",
                        path_.c_str(), std::strerror(errno));
+  }
+  // The journal's *bytes* are made durable by the per-record fsync in
+  // write_line, but its *name* is only durable once the directory entry
+  // is synced — without this, a power loss can orphan a fully-fsync'd
+  // journal and a resume would silently restart from scratch.
+  if (Status s = fsync_parent_dir(path_); !s.is_ok()) {
+    close();
+    return s;
   }
   return write_line(strfmt("H %d %llu", kJournalVersion,
                            static_cast<unsigned long long>(fingerprint)));
@@ -288,6 +294,7 @@ Status CheckpointWriter::write_line(const std::string& body) {
                        "checkpoint journal %s: fsync failed: %s",
                        path_.c_str(), std::strerror(errno));
   }
+  crash_point("ckpt.append");
   return Status::ok();
 }
 

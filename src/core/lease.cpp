@@ -1,0 +1,240 @@
+#include "src/core/lease.hpp"
+
+#include <time.h>
+
+#include <algorithm>
+
+#include "src/util/crashpoint.hpp"
+#include "src/util/fmt.hpp"
+#include "src/util/fsio.hpp"
+#include "src/util/json.hpp"
+
+namespace dfmres {
+
+namespace {
+
+constexpr const char* kLeaseSchema = "dfmres-lease-v1";
+
+}  // namespace
+
+std::chrono::nanoseconds LeaseConfig::backoff_after(int attempt) const {
+  const int shift = std::clamp(attempt - 1, 0, 3);  // 1x..8x
+  return backoff_base * (1 << shift);
+}
+
+std::uint64_t lease_now_ns() {
+  struct timespec ts {};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+std::string LeaseRecord::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema", kLeaseSchema);
+  w.field("owner", owner);
+  w.field("attempt", attempt);
+  w.field("state", running ? "run" : "err");
+  w.field("heartbeat_ns", heartbeat_ns);
+  w.field("backoff_until_ns", backoff_until_ns);
+  w.field("error", error);
+  w.end_object();
+  return w.take();
+}
+
+Expected<LeaseRecord> LeaseRecord::parse(std::string_view text) {
+  Expected<JsonValue> doc = JsonValue::parse(text);
+  if (!doc) return doc.status();
+  const auto bad = [](const char* what) {
+    return make_status(StatusCode::kDataLoss, "lease record: %s", what);
+  };
+  if (!doc->is_object()) return bad("not an object");
+  const JsonValue* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kLeaseSchema) {
+    return bad("bad schema");
+  }
+  LeaseRecord rec;
+  const JsonValue* owner = doc->find("owner");
+  const JsonValue* attempt = doc->find("attempt");
+  const JsonValue* state = doc->find("state");
+  const JsonValue* heartbeat = doc->find("heartbeat_ns");
+  const JsonValue* backoff = doc->find("backoff_until_ns");
+  const JsonValue* error = doc->find("error");
+  if (owner == nullptr || !owner->is_string() || attempt == nullptr ||
+      !attempt->is_number() || attempt->as_number() < 1 || state == nullptr ||
+      !state->is_string() || heartbeat == nullptr ||
+      !heartbeat->is_number() || backoff == nullptr ||
+      !backoff->is_number() || error == nullptr || !error->is_string()) {
+    return bad("missing or mistyped field");
+  }
+  rec.owner = owner->as_string();
+  rec.attempt = static_cast<int>(attempt->as_number());
+  if (state->as_string() == "run") {
+    rec.running = true;
+  } else if (state->as_string() == "err") {
+    rec.running = false;
+  } else {
+    return bad("unknown state");
+  }
+  rec.heartbeat_ns = static_cast<std::uint64_t>(heartbeat->as_number());
+  rec.backoff_until_ns = static_cast<std::uint64_t>(backoff->as_number());
+  rec.error = error->as_string();
+  return rec;
+}
+
+LeaseDir::LeaseDir(std::string campaign_root, LeaseConfig config)
+    : root_(std::move(campaign_root)), config_(std::move(config)) {}
+
+Status LeaseDir::init() const { return make_dir(root_ + "/leases"); }
+
+std::string LeaseDir::job_dir(const std::string& job) const {
+  return root_ + "/leases/" + job;
+}
+
+std::string LeaseDir::epoch_path(const std::string& job, int epoch) const {
+  return job_dir(job) + strfmt("/e%d", epoch);
+}
+
+int LeaseDir::highest_epoch(const std::string& job) const {
+  int epoch = 0;
+  while (path_exists(epoch_path(job, epoch + 1))) ++epoch;
+  return epoch;
+}
+
+Expected<LeaseClaim> LeaseDir::try_claim(const std::string& job) const {
+  if (Status s = make_dir(job_dir(job)); !s.is_ok()) return s;
+  const int current = highest_epoch(job);
+  const std::uint64_t now = lease_now_ns();
+  LeaseClaim claim;
+  if (current > 0) {
+    // The highest epoch file is the authority. Decide whether its holder
+    // is live, backing off, or dead.
+    Expected<std::string> text = read_file(epoch_path(job, current));
+    if (!text && text.code() != StatusCode::kNotFound) return text.status();
+    LeaseRecord rec;
+    bool torn = true;
+    if (text) {
+      Expected<LeaseRecord> parsed = LeaseRecord::parse(*text);
+      if (parsed) {
+        rec = *parsed;
+        torn = false;
+      }
+      // A torn or truncated lease is a crash mid-publish: the holder
+      // never ran, so the epoch is immediately claimable.
+    }
+    if (!torn) {
+      const std::uint64_t ttl = static_cast<std::uint64_t>(
+          config_.effective_ttl().count());
+      if (rec.running) {
+        if (now < rec.heartbeat_ns + ttl) {
+          claim.outcome = LeaseClaim::Outcome::Busy;
+          return claim;
+        }
+        // Heartbeat expired: dead holder, claimable.
+      } else {
+        if (now < rec.backoff_until_ns) {
+          claim.outcome = LeaseClaim::Outcome::Backoff;
+          claim.wait_ns = rec.backoff_until_ns - now;
+          return claim;
+        }
+      }
+      claim.prior_error = rec.error;
+    }
+  }
+  const int next = current + 1;
+  LeaseRecord mine;
+  mine.owner = config_.owner;
+  mine.attempt = next;
+  mine.running = true;
+  mine.heartbeat_ns = now;
+  Status published = write_file_exclusive(epoch_path(job, next),
+                                          mine.to_json(), config_.owner);
+  if (published.code() == StatusCode::kAlreadyExists) {
+    // Lost the race; whoever won is live by definition.
+    claim.outcome = LeaseClaim::Outcome::Busy;
+    claim.prior_error.clear();
+    return claim;
+  }
+  if (!published.is_ok()) return published;
+  crash_point("lease.claim");
+  claim.outcome = LeaseClaim::Outcome::Claimed;
+  claim.epoch = next;
+  claim.attempt = next;
+  claim.poison = next > config_.max_attempts;
+  return claim;
+}
+
+Status LeaseDir::heartbeat(const std::string& job,
+                           const LeaseClaim& claim) const {
+  if (highest_epoch(job) != claim.epoch) {
+    return make_status(StatusCode::kCancelled,
+                       "lease for job '%s' epoch %d was taken over",
+                       job.c_str(), claim.epoch);
+  }
+  LeaseRecord rec;
+  rec.owner = config_.owner;
+  rec.attempt = claim.attempt;
+  rec.running = true;
+  rec.heartbeat_ns = lease_now_ns();
+  Status s = write_file_atomic(epoch_path(job, claim.epoch), rec.to_json(),
+                               config_.owner);
+  if (s.is_ok()) crash_point("lease.heartbeat");
+  return s;
+}
+
+Status LeaseDir::mark_failed(const std::string& job, const LeaseClaim& claim,
+                             const std::string& error) const {
+  LeaseRecord rec;
+  rec.owner = config_.owner;
+  rec.attempt = claim.attempt;
+  rec.running = false;
+  rec.heartbeat_ns = lease_now_ns();
+  rec.backoff_until_ns =
+      rec.heartbeat_ns +
+      static_cast<std::uint64_t>(config_.backoff_after(claim.attempt).count());
+  rec.error = error;
+  return write_file_atomic(epoch_path(job, claim.epoch), rec.to_json(),
+                           config_.owner);
+}
+
+HeartbeatKeeper::HeartbeatKeeper(const LeaseDir& dir, std::string job,
+                                 LeaseClaim claim, CancelToken* on_lost)
+    : dir_(dir),
+      job_(std::move(job)),
+      claim_(claim),
+      on_lost_(on_lost),
+      thread_([this] { run(); }) {}
+
+HeartbeatKeeper::~HeartbeatKeeper() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void HeartbeatKeeper::run() {
+  std::unique_lock lock(mutex_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, dir_.config().heartbeat_period,
+                     [this] { return stop_; })) {
+      return;
+    }
+    lock.unlock();
+    const Status s = dir_.heartbeat(job_, claim_);
+    lock.lock();
+    if (!s.is_ok()) {
+      // Lost the lease (taken over) or cannot prove liveness anymore;
+      // either way, keeping the job would risk double work on a lease
+      // someone else now owns.
+      lost_.store(true);
+      if (on_lost_ != nullptr) on_lost_->cancel();
+      return;
+    }
+  }
+}
+
+}  // namespace dfmres

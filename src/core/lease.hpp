@@ -1,0 +1,157 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/util/cancel.hpp"
+#include "src/util/status.hpp"
+
+namespace dfmres {
+
+/// Filesystem lease protocol for multi-process campaign workers.
+///
+/// Each job owns a directory `<root>/leases/<job>/` holding
+/// epoch-numbered claim files `e1`, `e2`, ... that are *never deleted*
+/// while the campaign runs. A claim — fresh or takeover — is always the
+/// NOREPLACE creation of the next epoch file, so the kernel's rename
+/// arbitration makes every epoch claimable exactly once and there is no
+/// delete/recreate window in which two workers can both believe they own
+/// a job. The highest existing epoch file is the sole authority: lower
+/// epochs are history, and a worker whose epoch has been superseded
+/// discovers it at the next heartbeat and abandons the job.
+///
+/// Epoch k carries attempt number k. A lease is claimable when its
+/// current holder is provably not making progress:
+///   - the file is torn / unparsable (a crash mid-publish), or
+///   - state is "run" but the heartbeat stamp is older than the TTL, or
+///   - state is "err" and the error backoff window has elapsed.
+/// Claims past the attempt budget are *poison* claims: the winner does
+/// not run the job again, it wins the exclusive right to publish the
+/// poisoned-job shard, so a sweep with one pathological job still
+/// terminates with a complete merged report.
+///
+/// Heartbeat stamps are CLOCK_MONOTONIC nanoseconds, comparable across
+/// processes on the same boot (the only deployment this layer targets);
+/// wall clocks are never consulted, so ntp steps cannot expire leases.
+struct LeaseConfig {
+  std::string owner;  ///< unique per worker process (e.g. "w<pid>")
+  std::chrono::nanoseconds heartbeat_period{std::chrono::milliseconds(500)};
+  /// Staleness threshold; 0 means 3x heartbeat_period (one refresh plus
+  /// two missed ones — a single scheduling hiccup never expires a live
+  /// worker).
+  std::chrono::nanoseconds ttl{0};
+  int max_attempts = 3;  ///< run attempts before a job is poisoned
+  std::chrono::nanoseconds backoff_base{std::chrono::milliseconds(250)};
+
+  [[nodiscard]] std::chrono::nanoseconds effective_ttl() const {
+    return ttl.count() > 0 ? ttl : 3 * heartbeat_period;
+  }
+  /// backoff_base * 2^(attempt-1), capped at 8x base.
+  [[nodiscard]] std::chrono::nanoseconds backoff_after(int attempt) const;
+};
+
+/// One parsed `dfmres-lease-v1` file (single-line JSON).
+struct LeaseRecord {
+  std::string owner;
+  int attempt = 0;
+  bool running = true;  ///< state "run"; false = "err" (holder reported)
+  std::uint64_t heartbeat_ns = 0;
+  std::uint64_t backoff_until_ns = 0;
+  std::string error;
+
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] static Expected<LeaseRecord> parse(std::string_view text);
+};
+
+/// Outcome of one claim attempt on one job.
+struct LeaseClaim {
+  enum class Outcome {
+    Claimed,  ///< we own this epoch; run the job (or write poison shard)
+    Busy,     ///< a live holder is heartbeating (or we lost the race)
+    Backoff,  ///< errored holder's backoff window still open; retry later
+  };
+  Outcome outcome = Outcome::Busy;
+  int epoch = 0;             ///< the epoch we own (Claimed only)
+  int attempt = 0;           ///< == epoch
+  bool poison = false;       ///< Claimed past the budget: publish poison
+  std::string prior_error;   ///< last holder's error (poison shards)
+  std::uint64_t wait_ns = 0; ///< Backoff: remaining window, as a hint
+};
+
+/// Monotonic timestamp used for heartbeat stamps.
+[[nodiscard]] std::uint64_t lease_now_ns();
+
+/// The lease table of one campaign root. Methods are process-safe by
+/// construction (all arbitration happens in the filesystem) and
+/// thread-safe (no mutable state beyond the config).
+class LeaseDir {
+ public:
+  LeaseDir(std::string campaign_root, LeaseConfig config);
+
+  /// Creates `<root>/leases`. The campaign root must already exist.
+  [[nodiscard]] Status init() const;
+
+  /// Tries to claim `job` (see protocol above). kInternal only for real
+  /// I/O failures — protocol outcomes are in the returned LeaseClaim.
+  [[nodiscard]] Expected<LeaseClaim> try_claim(const std::string& job) const;
+
+  /// Refreshes the heartbeat stamp of a held claim. Returns kCancelled
+  /// when a higher epoch exists — the lease was declared stale and taken
+  /// over; the caller must stop working on the job.
+  [[nodiscard]] Status heartbeat(const std::string& job,
+                                 const LeaseClaim& claim) const;
+
+  /// Records a failed attempt on a held claim: state "err", the error
+  /// text, and a backoff window other workers honour before re-claiming.
+  [[nodiscard]] Status mark_failed(const std::string& job,
+                                   const LeaseClaim& claim,
+                                   const std::string& error) const;
+
+  /// Highest existing epoch for `job` (0 = never claimed). For tests
+  /// and the merge election.
+  [[nodiscard]] int highest_epoch(const std::string& job) const;
+
+  [[nodiscard]] const LeaseConfig& config() const { return config_; }
+  [[nodiscard]] std::string job_dir(const std::string& job) const;
+  [[nodiscard]] std::string epoch_path(const std::string& job,
+                                       int epoch) const;
+
+ private:
+  std::string root_;
+  LeaseConfig config_;
+};
+
+/// Owns the heartbeat refresh thread for one held claim: refreshes every
+/// heartbeat_period until destroyed, and trips `on_lost` (the job's
+/// cancel token) if the lease is lost or refreshing fails, so the worker
+/// unwinds instead of double-computing a taken-over job.
+class HeartbeatKeeper {
+ public:
+  HeartbeatKeeper(const LeaseDir& dir, std::string job, LeaseClaim claim,
+                  CancelToken* on_lost);
+  ~HeartbeatKeeper();
+  HeartbeatKeeper(const HeartbeatKeeper&) = delete;
+  HeartbeatKeeper& operator=(const HeartbeatKeeper&) = delete;
+
+  /// True when the lease was lost (on_lost has been tripped).
+  [[nodiscard]] bool lost() const { return lost_.load(); }
+
+ private:
+  void run();
+
+  const LeaseDir& dir_;
+  std::string job_;
+  LeaseClaim claim_;
+  CancelToken* on_lost_;
+  std::atomic<bool> lost_{false};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace dfmres

@@ -209,7 +209,13 @@ class Procedure {
         }
         auto next = try_region(current, q, /*phase=*/1, /*p2=*/0.0);
         if (!journal_error_.is_ok()) return journal_error_;
-        if (!next) break;
+        if (!next) {
+          // A cancelled try_region also comes back empty; only a journal
+          // marked Done may treat that as convergence, else resume would
+          // believe a truncated search finished.
+          stopped = cancel_expired(options_.cancel);
+          break;
+        }
         current = std::move(*next);
         bump_version();
         accepted_at_q = true;
@@ -244,7 +250,10 @@ class Procedure {
         }
         auto next = try_region(current, q, /*phase=*/2, p2);
         if (!journal_error_.is_ok()) return journal_error_;
-        if (!next) break;
+        if (!next) {
+          stopped = cancel_expired(options_.cancel);
+          break;
+        }
         current = std::move(*next);
         bump_version();
         accepted_at_q = true;

@@ -1,0 +1,91 @@
+#include "src/util/crashpoint.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace dfmres {
+
+namespace {
+
+struct ArmedSite {
+  std::string site;
+  std::atomic<long> remaining{0};
+};
+
+// Parsed once; never freed (the process dies by SIGKILL when a site
+// fires, so cleanup is moot and a static avoids shutdown-order issues).
+// A deque because atomics are not movable.
+std::deque<ArmedSite>* g_sites = nullptr;
+std::atomic<bool> g_armed{false};
+std::atomic<bool> g_parsed{false};
+std::mutex g_parse_mutex;
+
+void parse_spec() {
+  const char* env = std::getenv("DFMRES_CRASH_AFTER");
+  if (env == nullptr || *env == '\0') return;
+  auto* sites = new std::deque<ArmedSite>();
+  std::string_view spec(env);
+  while (!spec.empty()) {
+    const std::size_t comma = spec.find(',');
+    const std::string_view entry = spec.substr(0, comma);
+    spec = comma == std::string_view::npos ? std::string_view{}
+                                           : spec.substr(comma + 1);
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string_view::npos || colon == 0) continue;
+    const std::string count_text(entry.substr(colon + 1));
+    char* end = nullptr;
+    const long n = std::strtol(count_text.c_str(), &end, 10);
+    if (end == count_text.c_str() || *end != '\0' || n <= 0) continue;
+    auto& slot = sites->emplace_back();
+    slot.site = std::string(entry.substr(0, colon));
+    slot.remaining.store(n, std::memory_order_relaxed);
+  }
+  if (sites->empty()) {
+    delete sites;
+    return;
+  }
+  g_sites = sites;
+  g_armed.store(true, std::memory_order_release);
+}
+
+void ensure_parsed() {
+  if (g_parsed.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(g_parse_mutex);
+  if (!g_parsed.load(std::memory_order_relaxed)) {
+    parse_spec();
+    g_parsed.store(true, std::memory_order_release);
+  }
+}
+
+}  // namespace
+
+void crash_point_rearm_from_env() {
+  std::lock_guard<std::mutex> lock(g_parse_mutex);
+  g_armed.store(false, std::memory_order_release);
+  g_sites = nullptr;  // leaked: in-flight readers may still hold it
+  parse_spec();
+  g_parsed.store(true, std::memory_order_release);
+}
+
+void crash_point(const char* site) {
+  ensure_parsed();
+  if (!g_armed.load(std::memory_order_acquire)) return;
+  for (ArmedSite& armed : *g_sites) {
+    if (armed.site != site) continue;
+    if (armed.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Emulate a hard kill: no destructors, no buffered-IO flush.
+      ::kill(::getpid(), SIGKILL);
+      ::pause();  // unreachable; quiets noreturn analysis across signals
+    }
+    return;
+  }
+}
+
+}  // namespace dfmres

@@ -1,0 +1,36 @@
+#pragma once
+
+namespace dfmres {
+
+/// Fault-injection hook compiled into durability commit sites (checkpoint
+/// append, lease claim/heartbeat, shard stage/publish, report merge).
+///
+/// `DFMRES_CRASH_AFTER=site:N[,site:M,...]` arms the hook: the Nth time
+/// `crash_point(site)` executes for an armed site, the process SIGKILLs
+/// itself — no destructors, no atexit, no flushing — emulating a power
+/// cut or OOM-kill immediately *after* that commit completed. Sites this
+/// build knows about:
+///
+///   ckpt.append    after a checkpoint journal record is fsync'd
+///   lease.claim    after a lease epoch file is published
+///   lease.heartbeat after a heartbeat refresh is written
+///   shard.stage    after a job's shard content is rendered
+///   shard.publish  after a shard file is published
+///   merge          after the merged campaign report is written
+///   job.start      after a worker claimed a job, before any work
+///
+/// Unarmed (env var unset) the hook is one relaxed atomic load. Counting
+/// is process-wide and thread-safe; the chaos harness relies on the Nth
+/// hit being exact, so sites must not be called from signal handlers.
+void crash_point(const char* site);
+
+/// Re-reads DFMRES_CRASH_AFTER, replacing any armed state. crash_point
+/// parses the environment only once per process, and a fork inherits
+/// the parent's parsed (possibly unarmed) snapshot — a forked test
+/// child that wants crash points armed from a setenv done after that
+/// first parse must call this before running. Not thread-safe against
+/// concurrent crash_point callers in flight; call it while the process
+/// is quiescent (e.g. right after fork()).
+void crash_point_rearm_from_env();
+
+}  // namespace dfmres

@@ -43,6 +43,10 @@ Expected<std::chrono::nanoseconds> parse_duration_spec(std::string_view text) {
   // 1e9 seconds ≈ 31 years; anything larger is a typo, and the cast to
   // nanoseconds below would overflow Int64 around 292 years anyway.
   if (seconds > 1e9) return reject("out of range");
+  // A positive value below 1ns (e.g. "1e-300s") passes every check
+  // above yet truncates to a zero-length duration, which downstream
+  // means "no deadline" — the opposite of what was asked for.
+  if (seconds * 1e9 < 1.0) return reject("smaller than 1ns");
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
       std::chrono::duration<double>(seconds));
 }

@@ -1,0 +1,161 @@
+#include "src/util/fsio.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#ifndef RENAME_NOREPLACE
+#define RENAME_NOREPLACE (1 << 0)
+#endif
+#endif
+
+namespace dfmres {
+
+namespace {
+
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status errno_status(const char* op, const std::string& path) {
+  return make_status(StatusCode::kInternal, "%s '%s': %s", op, path.c_str(),
+                     std::strerror(errno));
+}
+
+}  // namespace
+
+Status fsync_parent_dir(const std::string& path) {
+  const std::string dir = parent_dir(path);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return errno_status("cannot open directory", dir);
+  const bool ok = ::fsync(fd) == 0;
+  const int saved = errno;
+  ::close(fd);
+  if (!ok) {
+    errno = saved;
+    return errno_status("cannot fsync directory", dir);
+  }
+  return Status::ok();
+}
+
+Status make_dir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) != 0) {
+    if (errno == EEXIST) return Status::ok();
+    return make_status(StatusCode::kInvalidArgument,
+                       "cannot create directory '%s': %s", path.c_str(),
+                       std::strerror(errno));
+  }
+  return fsync_parent_dir(path);
+}
+
+Status rename_durable(const std::string& tmp, const std::string& path) {
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return errno_status("cannot rename into", path);
+  }
+  return fsync_parent_dir(path);
+}
+
+Status rename_noreplace(const std::string& tmp, const std::string& path) {
+#if defined(__linux__) && defined(SYS_renameat2)
+  if (::syscall(SYS_renameat2, AT_FDCWD, tmp.c_str(), AT_FDCWD, path.c_str(),
+                RENAME_NOREPLACE) == 0) {
+    return fsync_parent_dir(path);
+  }
+  if (errno == EEXIST) {
+    return make_status(StatusCode::kAlreadyExists, "'%s' already exists",
+                       path.c_str());
+  }
+  if (errno != EINVAL && errno != ENOSYS) {
+    return errno_status("cannot rename into", path);
+  }
+  // Old kernel / filesystem without RENAME_NOREPLACE: fall through.
+#endif
+  // link() never replaces an existing name, which gives the same
+  // exactly-once guarantee; the temp link is then dropped.
+  if (::link(tmp.c_str(), path.c_str()) != 0) {
+    if (errno == EEXIST) {
+      return make_status(StatusCode::kAlreadyExists, "'%s' already exists",
+                         path.c_str());
+    }
+    return errno_status("cannot link into", path);
+  }
+  ::unlink(tmp.c_str());
+  return fsync_parent_dir(path);
+}
+
+namespace {
+
+Status write_tmp(const std::string& tmp, std::string_view data) {
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return errno_status("cannot create", tmp);
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status s = errno_status("cannot write", tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return s;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const Status s = errno_status("cannot fsync", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  ::close(fd);
+  return Status::ok();
+}
+
+}  // namespace
+
+Status write_file_atomic(const std::string& path, std::string_view data,
+                         std::string_view tmp_tag) {
+  const std::string tmp =
+      path + ".tmp." + std::string(tmp_tag.empty() ? "w" : tmp_tag);
+  if (Status s = write_tmp(tmp, data); !s.is_ok()) return s;
+  Status s = rename_durable(tmp, path);
+  if (!s.is_ok()) ::unlink(tmp.c_str());
+  return s;
+}
+
+Status write_file_exclusive(const std::string& path, std::string_view data,
+                            std::string_view tmp_tag) {
+  const std::string tmp =
+      path + ".tmp." + std::string(tmp_tag.empty() ? "w" : tmp_tag);
+  if (Status s = write_tmp(tmp, data); !s.is_ok()) return s;
+  Status s = rename_noreplace(tmp, path);
+  if (!s.is_ok()) ::unlink(tmp.c_str());
+  return s;
+}
+
+Expected<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return make_status(StatusCode::kNotFound, "cannot open '%s'",
+                       path.c_str());
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+bool path_exists(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace dfmres

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "src/util/status.hpp"
+
+namespace dfmres {
+
+/// Small POSIX filesystem-durability toolkit shared by the checkpoint
+/// journal, the campaign lease protocol and the shard/report writers.
+///
+/// The durability rules these helpers encode:
+///  - fsync of a file makes its *bytes* durable, but a file created or
+///    renamed into a directory is only durably *named* after the
+///    directory itself is fsync'd — otherwise a power loss can orphan a
+///    fully-fsync'd file;
+///  - publishing a document atomically means: write a temp file in the
+///    same directory, fsync it, rename() it over the final name, then
+///    fsync the directory, so observers see either the old complete
+///    content or the new complete content, never a torn file.
+
+/// fsync() of the directory containing `path` (`path` itself may or may
+/// not exist). Needed after creating, renaming or unlinking an entry to
+/// make the namespace change durable.
+[[nodiscard]] Status fsync_parent_dir(const std::string& path);
+
+/// Creates `path` (one level, 0755). Success when it already exists.
+/// Durable: the parent directory is fsync'd after a real creation.
+[[nodiscard]] Status make_dir(const std::string& path);
+
+/// Atomic replace-rename with durability: rename(tmp, path) followed by
+/// a parent-directory fsync. `tmp` must live in the same directory.
+[[nodiscard]] Status rename_durable(const std::string& tmp,
+                                    const std::string& path);
+
+/// Atomic create-rename: like rename_durable but fails with
+/// kAlreadyExists (leaving `tmp` in place for the caller to clean up)
+/// when `path` already exists. This is the exactly-once arbiter of the
+/// lease protocol: of N processes racing to publish the same name,
+/// exactly one wins. Uses renameat2(RENAME_NOREPLACE) where the kernel
+/// supports it, with a link()+unlink() fallback.
+[[nodiscard]] Status rename_noreplace(const std::string& tmp,
+                                      const std::string& path);
+
+/// Writes `data` to `path` atomically and durably (temp file + fsync +
+/// replace-rename + directory fsync). The temp name embeds `tmp_tag` so
+/// concurrent writers (distinct owners) never collide on the temp file.
+[[nodiscard]] Status write_file_atomic(const std::string& path,
+                                       std::string_view data,
+                                       std::string_view tmp_tag);
+
+/// Like write_file_atomic, but publishing with rename_noreplace: the
+/// first writer wins, later writers get kAlreadyExists (their temp file
+/// is cleaned up).
+[[nodiscard]] Status write_file_exclusive(const std::string& path,
+                                          std::string_view data,
+                                          std::string_view tmp_tag);
+
+/// Slurps a whole file. kNotFound when it does not exist.
+[[nodiscard]] Expected<std::string> read_file(const std::string& path);
+
+/// True when `path` exists (any file type).
+[[nodiscard]] bool path_exists(const std::string& path);
+
+}  // namespace dfmres

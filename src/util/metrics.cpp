@@ -100,6 +100,64 @@ void MetricsRegistry::merge(const MetricsRegistry& shard) {
   }
 }
 
+Status MetricsRegistry::merge_json(const JsonValue& doc) {
+  const auto bad = [](const char* what) {
+    return make_status(StatusCode::kInvalidArgument,
+                       "metrics document: %s", what);
+  };
+  if (!doc.is_object()) return bad("not an object");
+  // Stage into a private registry first so a mid-document parse error
+  // leaves this registry untouched, then reuse the deterministic merge.
+  MetricsRegistry staged;
+  for (const auto& [section, body] : doc.members()) {
+    if (!body.is_object()) return bad("section is not an object");
+    if (section == "counters") {
+      for (const auto& [name, v] : body.members()) {
+        if (!v.is_number() || v.as_number() < 0) return bad("bad counter");
+        staged.counters_[name] = static_cast<std::uint64_t>(v.as_number());
+      }
+    } else if (section == "gauges") {
+      for (const auto& [name, v] : body.members()) {
+        if (!v.is_number()) return bad("bad gauge");
+        staged.gauges_[name] = v.as_number();
+      }
+    } else if (section == "histograms") {
+      for (const auto& [name, v] : body.members()) {
+        const JsonValue* count = v.find("count");
+        const JsonValue* sum = v.find("sum");
+        const JsonValue* min = v.find("min");
+        const JsonValue* max = v.find("max");
+        if (count == nullptr || !count->is_number() ||
+            count->as_number() < 0 || sum == nullptr || !sum->is_number() ||
+            min == nullptr || !min->is_number() || max == nullptr ||
+            !max->is_number()) {
+          return bad("bad histogram");
+        }
+        staged.histograms_[name] = RunningStats::restore(
+            static_cast<std::size_t>(count->as_number()), sum->as_number(),
+            min->as_number(), max->as_number());
+      }
+    } else if (section == "series") {
+      for (const auto& [name, points] : body.members()) {
+        if (!points.is_array()) return bad("bad series");
+        auto& dst = staged.series_[name];
+        for (const JsonValue& p : points.items()) {
+          if (!p.is_array() || p.items().size() != 2 ||
+              !p.items()[0].is_number() || !p.items()[1].is_number()) {
+            return bad("bad series point");
+          }
+          dst.push_back(
+              MetricSample{p.items()[0].as_number(), p.items()[1].as_number()});
+        }
+      }
+    } else {
+      return bad("unknown section");
+    }
+  }
+  merge(staged);
+  return Status::ok();
+}
+
 std::uint64_t MetricsRegistry::counter(std::string_view name) const {
   std::lock_guard lock(mutex_);
   auto it = counters_.find(name);

@@ -12,6 +12,8 @@
 
 namespace dfmres {
 
+class JsonValue;
+
 /// One point of a named time series (x = step index or seconds, y =
 /// the sampled value).
 struct MetricSample {
@@ -60,6 +62,12 @@ class MetricsRegistry {
   /// shard's value, histograms merge, series append (then re-sort by x,
   /// stably, so interleaved shards land in a canonical order).
   void merge(const MetricsRegistry& shard);
+
+  /// merge(), but from a parsed to_json() document — how campaign
+  /// workers ship their registries across process boundaries inside
+  /// shard files. Rejects documents that do not match the to_json()
+  /// schema with kInvalidArgument; on error the registry is unchanged.
+  [[nodiscard]] Status merge_json(const JsonValue& doc);
 
   [[nodiscard]] std::uint64_t counter(std::string_view name) const;
   [[nodiscard]] double gauge(std::string_view name) const;

@@ -30,6 +30,17 @@ void RunningStats::merge(const RunningStats& other) {
   count_ += other.count_;
 }
 
+RunningStats RunningStats::restore(std::size_t count, double sum, double min,
+                                   double max) {
+  RunningStats s;
+  if (count == 0) return s;
+  s.count_ = count;
+  s.sum_ = sum;
+  s.min_ = min;
+  s.max_ = max;
+  return s;
+}
+
 double RunningStats::mean() const {
   return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }

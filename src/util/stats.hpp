@@ -17,6 +17,12 @@ class RunningStats {
   /// here (order-independent up to floating-point sum rounding).
   void merge(const RunningStats& other);
 
+  /// Rebuilds an accumulator from its serialized aggregate (the
+  /// {count,sum,min,max} quadruple is the complete state; mean is
+  /// derived). Used when importing metrics shards from JSON.
+  [[nodiscard]] static RunningStats restore(std::size_t count, double sum,
+                                            double min, double max);
+
   [[nodiscard]] std::size_t count() const { return count_; }
   [[nodiscard]] double sum() const { return sum_; }
   [[nodiscard]] double mean() const;

@@ -15,6 +15,7 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kNotFound: return "not_found";
     case StatusCode::kFailedPrecondition: return "failed_precondition";
     case StatusCode::kUnsatisfiable: return "unsatisfiable";
+    case StatusCode::kAlreadyExists: return "already_exists";
     case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
     case StatusCode::kCancelled: return "cancelled";
     case StatusCode::kDataLoss: return "data_loss";

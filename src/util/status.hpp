@@ -17,6 +17,8 @@ enum class StatusCode : std::uint8_t {
   kFailedPrecondition, ///< state mismatch: checkpoint vs options/design
   kUnsatisfiable,      ///< no solution under constraints: banned-subset
                        ///< mapping, die too full for an edit
+  kAlreadyExists,      ///< exclusive create lost: the name is taken
+                       ///< (lease epochs, shard publish)
   kDeadlineExceeded,   ///< cooperative deadline expiry
   kCancelled,          ///< explicit cancellation request
   kDataLoss,           ///< corrupt or truncated persistent record

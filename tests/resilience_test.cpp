@@ -340,6 +340,12 @@ TEST(Resilience, InterruptedThenResumedMatchesUninterrupted) {
   const ResynthesisResult interrupted =
       resynthesize(flow2, orig2, interrupted_options).value();
 
+  // A truncated search must never journal Done — a cancelled candidate
+  // probe comes back empty exactly like converged search, and mistaking
+  // one for the other would make the resume below a no-op.
+  EXPECT_EQ(read_checkpoint(dir).value().search_complete(),
+            !interrupted.report.deadline_expired);
+
   // Resume without a deadline and run to completion.
   DesignFlow flow3(osu018_library(), fast_options());
   const FlowState orig3 = flow3.run_initial(small_block()).value();

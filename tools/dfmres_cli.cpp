@@ -12,15 +12,33 @@
 //       procedure; print the before/after comparison.
 //   dfmres campaign <--manifest F|--table2> [--jobs N] [--threads N]
 //       Run a batched multi-design sweep from a campaign manifest, N
-//       jobs in flight, and write one aggregated campaign report.
+//       jobs in flight, and write one aggregated campaign report. With
+//       --workers N --campaign-root DIR the sweep instead runs as N
+//       forked worker processes claiming jobs through lease files in
+//       DIR; crashed workers are respawned and their jobs resumed from
+//       the shared checkpoints, and the shards are merged into
+//       DIR/report.json.
+//   dfmres work --campaign-root DIR
+//       Attach one worker process to an existing campaign root (the
+//       elastic half of --workers: extra workers can join a running
+//       campaign from other shells or hosts sharing the directory).
+//   dfmres canon <report.json>
+//       Print the canonical projection of a campaign report (the
+//       schedule-independent substance) for bit-identity comparison.
 //   dfmres verilog <circuit>
 //       Map a benchmark and dump it as structural Verilog to stdout.
 //
 // Exit codes: 0 success, 1 runtime failure (reported with its status),
-// 2 usage / flag-validation error.
+// 2 usage / flag-validation error, 130 interrupted by SIGINT/SIGTERM
+// (partial outputs were still flushed; a second signal kills hard).
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +47,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/circuits/benchmarks.hpp"
 #include "src/core/campaign.hpp"
@@ -39,12 +58,64 @@
 #include "src/netlist/verilog.hpp"
 #include "src/sim/simd_dispatch.hpp"
 #include "src/synth/mapper.hpp"
+#include "src/util/fsio.hpp"
+#include "src/util/json.hpp"
 #include "src/util/metrics.hpp"
 #include "src/util/trace.hpp"
 
 namespace {
 
 using namespace dfmres;
+
+/// Graceful-interrupt plumbing. The first SIGINT/SIGTERM trips the
+/// root cancel token (CancelToken::cancel is a relaxed atomic store —
+/// async-signal-safe) so runs unwind cooperatively, flush their partial
+/// outputs and exit 130. A second signal restores the default
+/// disposition and re-raises, so a wedged run can still be killed.
+volatile std::sig_atomic_t g_signal_num = 0;
+CancelToken g_signal_token;
+
+extern "C" void handle_interrupt(int sig) {
+  if (g_signal_num != 0) {
+    std::signal(sig, SIG_DFL);
+    ::raise(sig);
+    return;
+  }
+  g_signal_num = sig;
+  g_signal_token.cancel();
+}
+
+void install_signal_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = handle_interrupt;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocking waits must see EINTR
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+[[nodiscard]] bool interrupted() { return g_signal_num != 0; }
+
+/// Maps a run's natural exit code through the interrupt state: an
+/// interrupted run reports 130 (the shell convention for SIGINT death)
+/// so callers can tell "stopped on request, partial results flushed"
+/// from a hard failure.
+[[nodiscard]] int exit_code(int natural) {
+  return interrupted() ? 130 : natural;
+}
+
+/// argv[0] as seen by main(), the exec fallback when /proc is absent.
+const char* g_argv0 = "dfmres";
+
+[[nodiscard]] std::string self_exe_path() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return g_argv0;
+}
 
 /// The flag block shared by the run-producing commands. Every command
 /// takes the three observability outputs: --trace-out (Chrome
@@ -128,11 +199,14 @@ struct CommonRunFlags {
     if (!trace_out.empty()) Tracer::instance().enable();
   }
 
-  /// The run's stop token (inert when no --deadline was given). Not
-  /// assignable (atomic latch), so it is armed at construction.
+  /// The run's stop token: trips on --deadline expiry (when given) and
+  /// always on SIGINT/SIGTERM through the signal parent, so every run
+  /// is interruptible. Not assignable (atomic latch), so it is armed at
+  /// construction.
   [[nodiscard]] CancelToken make_cancel() const {
-    return deadline.count() > 0 ? CancelToken::with_deadline(deadline)
-                                : CancelToken();
+    return CancelToken(deadline.count() > 0 ? Deadline::after(deadline)
+                                            : Deadline::never(),
+                       &g_signal_token);
   }
 
   /// Writes the requested outputs. Returns false if any write failed.
@@ -174,7 +248,8 @@ struct CommonRunFlags {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: dfmres <list|flow|resyn|campaign|verilog> [args]\n"
+               "usage: dfmres <list|flow|resyn|campaign|work|canon|verilog> "
+               "[args]\n"
                "  dfmres list\n"
                "  dfmres flow <circuit|file.v> [--write out.v] [--util U] "
                "[--threads N]\n"
@@ -189,8 +264,14 @@ int usage() {
                "[--threads N] [--deadline D]\n"
                "               [--checkpoint-root DIR] [--resume] "
                "[--emit-table2 F]\n"
+               "               [--workers N --campaign-root DIR "
+               "[--heartbeat D] [--lease-ttl D] [--max-attempts N]]\n"
                "               [--trace-out F] [--metrics-out F] "
                "[--report-out F]\n"
+               "  dfmres work --campaign-root DIR [--owner ID] [--threads N]\n"
+               "               [--heartbeat D] [--lease-ttl D] "
+               "[--max-attempts N]\n"
+               "  dfmres canon <report.json>\n"
                "  dfmres verilog <circuit>\n"
                "  --manifest F: campaign manifest JSON "
                "(dfmres-campaign-manifest-v1)\n"
@@ -200,6 +281,20 @@ int usage() {
                "and exit\n"
                "  --jobs N: campaign jobs in flight at once; each gets "
                "total-threads/N fault-sim lanes\n"
+               "  --workers N: fork N worker processes claiming jobs via "
+               "lease files in --campaign-root\n"
+               "                  (crash-tolerant: dead workers are "
+               "respawned, jobs resume from shared checkpoints)\n"
+               "  --campaign-root DIR: the shared coordination directory "
+               "(manifest, leases, checkpoints, shards, report)\n"
+               "  --heartbeat D: worker lease refresh period "
+               "(default 500ms)\n"
+               "  --lease-ttl D: heartbeat age after which a lease is "
+               "stale and reclaimable (default 3x heartbeat)\n"
+               "  --max-attempts N: lease attempts before a job is marked "
+               "poisoned (default 3)\n"
+               "  --owner ID: worker identity stamped into leases and "
+               "shards (default w<pid>)\n"
                "  --threads N: fault-simulation worker lanes "
                "(0 = hardware, 1 = serial; results are identical)\n"
                "  --simd M: fault-simulation kernel: auto|scalar|portable4|"
@@ -448,7 +543,7 @@ int cmd_resyn(int argc, char** argv) {
   const std::uint64_t fingerprint =
       resynthesis_fingerprint(flow, *original, options);
   const CancelToken cancel = obs.make_cancel();
-  if (obs.deadline.count() > 0) options.cancel = &cancel;
+  options.cancel = &cancel;
   auto result = resynthesize(flow, *original, options);
   if (!result) {
     std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
@@ -485,13 +580,193 @@ int cmd_resyn(int argc, char** argv) {
                                  std::chrono::steady_clock::now() - t0)
                                  .count());
   if (!obs.flush(report)) return 1;
-  return 0;
+  if (interrupted()) {
+    std::fprintf(stderr,
+                 "interrupted: kept the best accepted design so far\n");
+  }
+  return exit_code(0);
+}
+
+/// Forks one `dfmres work` child attached to `root`. Returns the pid or
+/// -1 (reported). The child never returns from here.
+pid_t spawn_worker(const std::string& root, int threads,
+                   const std::string& heartbeat, const std::string& ttl,
+                   long max_attempts) {
+  const std::string exe = self_exe_path();
+  const std::string threads_text = std::to_string(threads);
+  const std::string attempts_text = std::to_string(max_attempts);
+  const pid_t pid = ::fork();
+  if (pid != 0) {
+    if (pid < 0) std::perror("fork");
+    return pid;
+  }
+  std::vector<const char*> args = {exe.c_str(),    "work",
+                                   "--campaign-root", root.c_str(),
+                                   "--threads",    threads_text.c_str(),
+                                   "--max-attempts", attempts_text.c_str()};
+  if (!heartbeat.empty()) {
+    args.push_back("--heartbeat");
+    args.push_back(heartbeat.c_str());
+  }
+  if (!ttl.empty()) {
+    args.push_back("--lease-ttl");
+    args.push_back(ttl.c_str());
+  }
+  args.push_back(nullptr);
+  ::execv(exe.c_str(), const_cast<char* const*>(args.data()));
+  std::perror("execv");
+  ::_exit(127);
+}
+
+/// The `--workers N` coordinator: initializes the campaign root, forks
+/// N workers, respawns the ones that die abnormally (SIGKILL chaos,
+/// crash points) within a bounded budget, and merges the shards if no
+/// worker got to it. SIGINT/SIGTERM forwards to the workers and exits
+/// 130 once they drain.
+int run_worker_campaign(const CampaignManifest& manifest,
+                        const std::string& root, int workers, int threads,
+                        const std::string& heartbeat, const std::string& ttl,
+                        long max_attempts, const CommonRunFlags& obs) {
+  if (Status s = init_campaign_root(manifest, root); !s.is_ok()) {
+    std::fprintf(stderr, "%s\n", s.to_string().c_str());
+    return 1;
+  }
+  std::vector<pid_t> live;
+  for (int i = 0; i < workers; ++i) {
+    const pid_t pid = spawn_worker(root, threads, heartbeat, ttl,
+                                   max_attempts);
+    if (pid > 0) live.push_back(pid);
+  }
+  if (live.empty()) return 1;
+  // The first generation inherits DFMRES_CRASH_AFTER (the chaos hook);
+  // respawned workers run clean so each armed crash site fires exactly
+  // once and the campaign still converges deterministically.
+  ::unsetenv("DFMRES_CRASH_AFTER");
+  int respawn_budget = 4 + 4 * workers;
+  bool forwarded_signal = false;
+  int worker_failures = 0;
+  while (!live.empty()) {
+    if (interrupted() && !forwarded_signal) {
+      forwarded_signal = true;
+      for (const pid_t child : live) ::kill(child, SIGTERM);
+    }
+    int wstatus = 0;
+    const pid_t pid = ::waitpid(-1, &wstatus, 0);
+    if (pid < 0) {
+      if (errno != EINTR) break;
+      continue;  // interrupt forwarding happens at the top of the loop
+    }
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      if (live[i] == pid) {
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+    const bool clean = WIFEXITED(wstatus) && (WEXITSTATUS(wstatus) == 0 ||
+                                              WEXITSTATUS(wstatus) == 130);
+    if (clean || interrupted()) {
+      if (WIFEXITED(wstatus) && WEXITSTATUS(wstatus) != 0 &&
+          WEXITSTATUS(wstatus) != 130) {
+        ++worker_failures;
+      }
+      continue;
+    }
+    ++worker_failures;
+    if (respawn_budget > 0) {
+      --respawn_budget;
+      if (WIFSIGNALED(wstatus)) {
+        std::fprintf(stderr, "worker %d killed by signal %d; respawning\n",
+                     static_cast<int>(pid), WTERMSIG(wstatus));
+      } else {
+        std::fprintf(stderr, "worker %d exited %d; respawning\n",
+                     static_cast<int>(pid), WEXITSTATUS(wstatus));
+      }
+      const pid_t fresh = spawn_worker(root, threads, heartbeat, ttl,
+                                       max_attempts);
+      if (fresh > 0) live.push_back(fresh);
+    } else {
+      std::fprintf(stderr, "worker %d died and the respawn budget is "
+                   "exhausted\n", static_cast<int>(pid));
+    }
+  }
+  if (interrupted()) {
+    std::fprintf(stderr, "interrupted: campaign root %s keeps its "
+                 "checkpoints; rerun to resume\n", root.c_str());
+    return 130;
+  }
+  // Normally the last worker out merges; cover the window where every
+  // worker died between the final shard publish and the merge.
+  const std::string report_path = root + "/report.json";
+  if (!path_exists(report_path)) {
+    const auto merged = merge_campaign_shards(root);
+    if (!merged) {
+      std::fprintf(stderr, "%s\n", merged.status().to_string().c_str());
+      return 1;
+    }
+  }
+  const auto report_text = read_file(report_path);
+  if (!report_text) {
+    std::fprintf(stderr, "%s\n", report_text.status().to_string().c_str());
+    return 1;
+  }
+  // Campaign verdict straight from the merged document, so the exit
+  // code matches what any consumer of report.json would conclude.
+  long failed = 0;
+  long skipped = 0;
+  const auto doc = JsonValue::parse(*report_text);
+  if (doc) {
+    if (const JsonValue* v = doc->find("failed")) {
+      failed = static_cast<long>(v->as_number());
+    }
+    if (const JsonValue* v = doc->find("skipped")) {
+      skipped = static_cast<long>(v->as_number());
+    }
+    const auto print_count = [&](const char* key) {
+      const JsonValue* v = doc->find(key);
+      std::printf(" %s=%ld", key, v ? static_cast<long>(v->as_number()) : 0);
+    };
+    std::printf("campaign:");
+    print_count("jobs_total");
+    print_count("completed");
+    print_count("expired");
+    print_count("failed");
+    print_count("skipped");
+    std::printf("  (%d worker(s), %d failure(s) absorbed)\n", workers,
+                worker_failures);
+  }
+  std::printf("wrote %s\n", report_path.c_str());
+  if (!obs.report_out.empty() && obs.report_out != report_path) {
+    if (Status s = write_file_atomic(obs.report_out, *report_text, "cli");
+        !s.is_ok()) {
+      std::fprintf(stderr, "%s\n", s.to_string().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", obs.report_out.c_str());
+  }
+  return failed == 0 && skipped == 0 ? 0 : 1;
+}
+
+/// Validated duration flag: keeps the original spelling (forwarded to
+/// worker argv) after checking it parses.
+bool take_duration(const char* flag, const char* text, std::string* out) {
+  const auto d = parse_duration_spec(text);
+  if (!d) {
+    std::fprintf(stderr, "%s: %s\n", flag, d.status().to_string().c_str());
+    return false;
+  }
+  *out = text;
+  return true;
 }
 
 int cmd_campaign(int argc, char** argv) {
   std::string manifest_path;
   std::string emit_path;
   bool table2 = false;
+  long workers = 0;
+  long max_attempts = 3;
+  std::string campaign_root;
+  std::string heartbeat;
+  std::string lease_ttl;
   CampaignOptions options;
   CommonRunFlags obs(/*with_robustness=*/true, "--checkpoint-root");
   for (int i = 0; i < argc; ++i) {
@@ -509,6 +784,18 @@ int cmd_campaign(int argc, char** argv) {
       long threads = 0;
       if (!parse_long("--threads", argv[++i], 0, 1024, &threads)) return 2;
       options.total_threads = static_cast<int>(threads);
+    } else if (!std::strcmp(argv[i], "--workers") && i + 1 < argc) {
+      if (!parse_long("--workers", argv[++i], 1, 256, &workers)) return 2;
+    } else if (!std::strcmp(argv[i], "--campaign-root") && i + 1 < argc) {
+      campaign_root = argv[++i];
+    } else if (!std::strcmp(argv[i], "--heartbeat") && i + 1 < argc) {
+      if (!take_duration("--heartbeat", argv[++i], &heartbeat)) return 2;
+    } else if (!std::strcmp(argv[i], "--lease-ttl") && i + 1 < argc) {
+      if (!take_duration("--lease-ttl", argv[++i], &lease_ttl)) return 2;
+    } else if (!std::strcmp(argv[i], "--max-attempts") && i + 1 < argc) {
+      if (!parse_long("--max-attempts", argv[++i], 1, 100, &max_attempts)) {
+        return 2;
+      }
     } else if (obs.match(argc, argv, &i)) {
       continue;
     } else {
@@ -543,8 +830,23 @@ int cmd_campaign(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", manifest.status().to_string().c_str());
     return 1;
   }
+  if (workers > 0) {
+    if (campaign_root.empty()) {
+      std::fprintf(stderr, "--workers requires --campaign-root DIR\n");
+      return 2;
+    }
+    return run_worker_campaign(*manifest, campaign_root,
+                               static_cast<int>(workers),
+                               options.total_threads, heartbeat, lease_ttl,
+                               max_attempts, obs);
+  }
+  if (!campaign_root.empty()) {
+    std::fprintf(stderr, "--campaign-root requires --workers N (use "
+                 "'dfmres work' to attach to an existing root)\n");
+    return 2;
+  }
   const CancelToken cancel = obs.make_cancel();
-  if (obs.deadline.count() > 0) options.cancel = &cancel;
+  options.cancel = &cancel;
   const auto result = run_campaign(*manifest, options);
   if (!result) {
     std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
@@ -574,7 +876,86 @@ int cmd_campaign(int argc, char** argv) {
               result->inner_threads);
   result->merge_metrics_into(MetricsRegistry::global());
   if (!obs.flush(*result)) return 1;
-  return result->failed == 0 && result->skipped == 0 ? 0 : 1;
+  if (interrupted()) {
+    std::fprintf(stderr, "interrupted: partial campaign report flushed\n");
+  }
+  return exit_code(result->failed == 0 && result->skipped == 0 ? 0 : 1);
+}
+
+/// `dfmres work`: one worker process attached to a campaign root.
+int cmd_work(int argc, char** argv) {
+  CampaignWorkerOptions options;
+  long threads = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--campaign-root") && i + 1 < argc) {
+      options.campaign_root = argv[++i];
+    } else if (!std::strcmp(argv[i], "--owner") && i + 1 < argc) {
+      options.owner = argv[++i];
+    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+      if (!parse_long("--threads", argv[++i], 0, 1024, &threads)) return 2;
+      options.total_threads = static_cast<int>(threads);
+    } else if (!std::strcmp(argv[i], "--heartbeat") && i + 1 < argc) {
+      const auto d = parse_duration_spec(argv[++i]);
+      if (!d) {
+        std::fprintf(stderr, "--heartbeat: %s\n",
+                     d.status().to_string().c_str());
+        return 2;
+      }
+      options.heartbeat = *d;
+    } else if (!std::strcmp(argv[i], "--lease-ttl") && i + 1 < argc) {
+      const auto d = parse_duration_spec(argv[++i]);
+      if (!d) {
+        std::fprintf(stderr, "--lease-ttl: %s\n",
+                     d.status().to_string().c_str());
+        return 2;
+      }
+      options.lease_ttl = *d;
+    } else if (!std::strcmp(argv[i], "--max-attempts") && i + 1 < argc) {
+      long attempts = 0;
+      if (!parse_long("--max-attempts", argv[++i], 1, 100, &attempts)) {
+        return 2;
+      }
+      options.max_attempts = static_cast<int>(attempts);
+    } else {
+      return usage();
+    }
+  }
+  if (options.campaign_root.empty()) {
+    std::fprintf(stderr, "work requires --campaign-root DIR\n");
+    return 2;
+  }
+  const CancelToken cancel(Deadline::never(), &g_signal_token);
+  options.cancel = &cancel;
+  const auto stats = run_campaign_worker(options);
+  if (!stats) {
+    std::fprintf(stderr, "%s\n", stats.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("worker: %d job(s), %d poisoned%s%s\n", stats->jobs_run,
+              stats->jobs_poisoned, stats->merged ? ", merged the report" : "",
+              stats->cancelled ? ", interrupted" : "");
+  return stats->cancelled ? 130 : 0;
+}
+
+/// `dfmres canon`: the canonical projection of a campaign report, for
+/// byte-identity comparison across worker counts and kill schedules.
+int cmd_canon(int argc, char** argv) {
+  if (argc != 1) return usage();
+  const auto text = read_file(argv[0]);
+  if (!text) {
+    std::fprintf(stderr, "%s: %s\n", argv[0],
+                 text.status().to_string().c_str());
+    return 1;
+  }
+  const auto canon = canonical_campaign_report(*text);
+  if (!canon) {
+    std::fprintf(stderr, "%s: %s\n", argv[0],
+                 canon.status().to_string().c_str());
+    return 1;
+  }
+  std::fputs(canon->c_str(), stdout);
+  if (canon->empty() || canon->back() != '\n') std::fputs("\n", stdout);
+  return 0;
 }
 
 int cmd_verilog(int argc, char** argv) {
@@ -605,11 +986,15 @@ int cmd_verilog(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
+  g_argv0 = argv[0];
+  install_signal_handlers();
   const std::string cmd = argv[1];
   if (cmd == "list") return cmd_list();
   if (cmd == "flow") return cmd_flow(argc - 2, argv + 2);
   if (cmd == "resyn") return cmd_resyn(argc - 2, argv + 2);
   if (cmd == "campaign") return cmd_campaign(argc - 2, argv + 2);
+  if (cmd == "work") return cmd_work(argc - 2, argv + 2);
+  if (cmd == "canon") return cmd_canon(argc - 2, argv + 2);
   if (cmd == "verilog") return cmd_verilog(argc - 2, argv + 2);
   return usage();
 }

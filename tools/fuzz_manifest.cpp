@@ -1,0 +1,65 @@
+// Fuzzing harness for the campaign-manifest front-end.
+//
+// Manifests are the second fully-untrusted input surface (campaign
+// roots are shared directories — any process can write one), and they
+// pull in the strict JSON parser, the duration-spec parser and the
+// manifest validation rules. The contract under fuzz: never crash or
+// hang; an accepted manifest must validate clean and round-trip through
+// its canonical JSON to an equal document (parse(to_json(m)) == m at
+// the JSON level).
+//
+// Build with -DDFMRES_FUZZ=ON:
+//  - under clang, a real libFuzzer binary (-fsanitize=fuzzer); seed it
+//    with tools/fuzz_corpus_manifest/;
+//  - under gcc (no libFuzzer runtime), a standalone replayer that runs
+//    every file passed on the command line through the same entry point
+//    (scripts/check.sh uses it as a corpus regression gate).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/core/campaign.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  const auto manifest = dfmres::CampaignManifest::from_json(text);
+  if (!manifest) return 0;
+  // An accepted manifest must pass its own validation rules...
+  if (!manifest->validate().is_ok()) __builtin_trap();
+  // ...and its canonical JSON must re-parse to the same canonical JSON
+  // (the round-trip contract from_json documents).
+  const std::string canonical = manifest->to_json();
+  const auto reparsed = dfmres::CampaignManifest::from_json(canonical);
+  if (!reparsed) __builtin_trap();
+  if (reparsed->to_json() != canonical) __builtin_trap();
+  return 0;
+}
+
+#ifdef DFMRES_FUZZ_STANDALONE
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-file>...\n", argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open '%s'\n", argv[i]);
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const std::string s = text.str();
+    LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(s.data()),
+                           s.size());
+    std::printf("ok %s (%zu bytes)\n", argv[i], s.size());
+  }
+  return 0;
+}
+#endif
