@@ -53,3 +53,26 @@ wait "$COORD"
 "$DFMRES" canon "$ROOT/root/report.json" > "$ROOT/chaos.canon"
 cmp "$ROOT/serial.canon" "$ROOT/chaos.canon"
 echo "chaos_campaign: merged report canonically identical to serial run."
+
+# The merged trace timeline is the flight recorder for the carnage
+# above: when kills actually landed, the lease-protocol rows must show
+# at least one takeover (a respawned worker claiming a dead victim's
+# stale lease). Merging twice also proves the stitch is deterministic.
+"$DFMRES" trace merge --campaign-root "$ROOT/root" --out "$ROOT/trace1.json"
+"$DFMRES" trace merge --campaign-root "$ROOT/root" --out "$ROOT/trace2.json"
+cmp "$ROOT/trace1.json" "$ROOT/trace2.json"
+KILLED=$((KILLS - kills_left))
+python3 - "$ROOT/trace1.json" "$KILLED" <<'EOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+killed = int(sys.argv[2])
+names = [e.get("name") for e in trace["traceEvents"]]
+assert "lease.claim" in names, "no lease-protocol rows in the timeline"
+if killed > 0:
+    assert "lease.takeover" in names, (
+        f"{killed} worker(s) were SIGKILLed but the merged timeline"
+        " records no lease.takeover"
+    )
+print(f"chaos_campaign: timeline OK ({names.count('lease.takeover')}"
+      f" takeover(s) recorded for {killed} kill(s))")
+EOF

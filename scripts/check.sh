@@ -43,6 +43,21 @@ print("observability gate: trace/metrics/report OK")
 EOF
 python3 scripts/summarize_report.py "$OBS_DIR/report.json"
 
+# A failing run must still flush its observability outputs: the CLI
+# exits non-zero but --trace-out holds a complete, loadable document,
+# not nothing and not a torn file.
+if "$BUILD_DIR/tools/dfmres" resyn no_such_design \
+    --trace-out "$OBS_DIR/failed_trace.json" 2>/dev/null; then
+  echo "check.sh: expected resyn on a bogus design to fail" >&2
+  exit 1
+fi
+python3 - "$OBS_DIR/failed_trace.json" <<'EOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+assert "traceEvents" in trace, "failed run left no trace document"
+print("observability gate: failed-run trace still loads")
+EOF
+
 # Campaign gate: a 2-job mini-campaign from a manifest must finish with
 # every job completed and emit a schema-valid campaign report whose
 # per-job run reports and merged metrics survive the summarizer.
@@ -97,6 +112,49 @@ DFMRES_CRASH_AFTER="ckpt.append:2,shard.stage:1" \
 cmp "$CHAOS_DIR/serial.canon" "$CHAOS_DIR/chaos.canon"
 python3 scripts/summarize_report.py "$CHAOS_DIR"/root/shards/*.json
 echo "chaos gate: crash-resumed merge canonically identical"
+
+# Telemetry gate: a 2-worker chaos mini-campaign (every first-generation
+# worker SIGKILLed right after claiming, so the respawns take over the
+# stale leases) must leave behind schema-valid machine output at every
+# layer: dfmres status --json, the per-worker telemetry snapshots, and a
+# merged Chrome timeline that re-merges byte-identically and records the
+# forced lease takeover.
+TELEM_DIR="$BUILD_DIR/telemetry_gate"
+rm -rf "$TELEM_DIR"
+mkdir -p "$TELEM_DIR"
+DFMRES_CRASH_AFTER="job.start:1" \
+  "$BUILD_DIR/tools/dfmres" campaign --manifest "$CAMP_DIR/manifest.json" \
+  --workers 2 --campaign-root "$TELEM_DIR/root" --snapshot-interval 100ms
+"$BUILD_DIR/tools/dfmres" status --json --campaign-root "$TELEM_DIR/root" \
+  > "$TELEM_DIR/status.json"
+"$BUILD_DIR/tools/dfmres" trace merge --campaign-root "$TELEM_DIR/root" \
+  --out "$TELEM_DIR/merge1.json"
+"$BUILD_DIR/tools/dfmres" trace merge --campaign-root "$TELEM_DIR/root" \
+  --out "$TELEM_DIR/merge2.json"
+cmp "$TELEM_DIR/merge1.json" "$TELEM_DIR/merge2.json"
+python3 - "$TELEM_DIR" <<'EOF'
+import json, sys, os, glob
+d = sys.argv[1]
+status = json.load(open(os.path.join(d, "status.json")))
+assert status["schema"] == "dfmres-status-v1"
+assert status["report_written"]
+assert status["done"] == status["jobs_total"] == 2
+assert all(j["state"] == "done" for j in status["jobs"])
+assert status["workers"], "no telemetry snapshots behind the status"
+shards = sorted(glob.glob(os.path.join(d, "root", "telemetry", "*.json")))
+assert shards, "telemetry directory is empty"
+for path in shards:
+    snap = json.load(open(path))
+    assert snap["schema"] == "dfmres-telemetry-v1", path
+trace = json.load(open(os.path.join(d, "merge1.json")))
+names = {e.get("name") for e in trace["traceEvents"]}
+assert "lease.claim" in names, "no lease-protocol rows in the timeline"
+assert "lease.takeover" in names, "kill injection left no takeover event"
+pids = {e["pid"] for e in trace["traceEvents"] if e.get("ph") == "X"}
+assert len(pids) >= 2, f"expected spans from >=2 worker pids, got {pids}"
+print("telemetry gate: status/snapshots/merge/takeover OK")
+EOF
+python3 scripts/summarize_report.py "$TELEM_DIR/status.json"
 
 # Probe-overlay gate: the copy-on-write overlays must stay bit-identical
 # to full per-probe loads and keep the local-edit probe cost at O(cone):

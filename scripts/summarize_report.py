@@ -36,6 +36,12 @@ def summarize(path):
     if schema == "dfmres-campaign-shard-v1":
         summarize_shard(path, report)
         return
+    if schema == "dfmres-status-v1":
+        summarize_status(path, report)
+        return
+    if schema == "dfmres-telemetry-v1":
+        summarize_telemetry(path, report)
+        return
     if schema == "dfmres-bench-probe-overlay-v1":
         summarize_probe_overlay(path, report)
         return
@@ -47,6 +53,55 @@ def summarize(path):
 
     print(f"== {path}")
     summarize_run(report)
+
+
+def summarize_status(path, status):
+    """dfmres-status-v1: one line of `dfmres status --json` output."""
+    print(f"== {path}")
+    report_flag = "  [report written]" if status["report_written"] else ""
+    print(
+        f"   campaign: {status['done']}/{status['jobs_total']} done,"
+        f" {status['running']} running, {status['pending']} pending"
+        f"{report_flag}"
+    )
+    if status["eta_s"] > 0.0:
+        print(f"   eta: ~{status['eta_s']:.0f}s")
+    for job in status["jobs"]:
+        detail = f" ({job['error']})" if job.get("error") else ""
+        owner = f" @{job['owner']}" if job.get("owner") else ""
+        print(
+            f"   job {job['name']}: {job['state']}{owner},"
+            f" attempt {job['attempt']}{detail}"
+        )
+    for worker in status["workers"]:
+        job = worker["job"] or "idle"
+        rate = (
+            f", {worker['faults_per_s']:.0f} faults/s"
+            if worker["faults_per_s"] >= 0.0
+            else ""
+        )
+        print(
+            f"   worker {worker['owner']} (pid {worker['pid']},"
+            f" seq {worker['seq']}): {job},"
+            f" {worker['faults_classified']} faults classified{rate}"
+        )
+
+
+def summarize_telemetry(path, snap):
+    """dfmres-telemetry-v1: one worker's crash-durable snapshot."""
+    print(f"== {path}")
+    progress = snap["progress"]
+    job = snap["job"] or "idle"
+    print(
+        f"   snapshot {snap['owner']}.{snap['seq']} (pid {snap['pid']}):"
+        f" {job}, phase {snap['phase']}, {snap['jobs_done']} job(s) done"
+    )
+    print(
+        f"   progress: {progress['analyses']} analyses,"
+        f" {progress['faults_classified']} faults classified,"
+        f" {progress['probes_committed']} probes committed,"
+        f" {len(snap['trace'])} trace span(s) shipped"
+    )
 
 
 def summarize_probe_overlay(path, report):

@@ -18,6 +18,7 @@
 
 #include "src/circuits/benchmarks.hpp"
 #include "src/core/lease.hpp"
+#include "src/core/telemetry.hpp"
 #include "src/layout/floorplan.hpp"
 #include "src/netlist/verilog.hpp"
 #include "src/place/placement.hpp"
@@ -1034,6 +1035,24 @@ Expected<CampaignWorkerStats> run_campaign_worker(
       lease_config.owner.c_str(), root.c_str(), manifest->jobs.size(),
       inner_threads);
 
+  // The telemetry bus: periodic crash-durable snapshots of this
+  // worker's progress and trace spans under <root>/telemetry/. Best
+  // effort throughout — a worker that can compute but cannot publish
+  // telemetry keeps computing.
+  std::optional<TelemetryPublisher> telemetry;
+  if (options.telemetry_interval.count() > 0) {
+    TelemetryOptions telemetry_options;
+    telemetry_options.campaign_root = root;
+    telemetry_options.owner = lease_config.owner;
+    telemetry_options.interval = options.telemetry_interval;
+    telemetry.emplace(std::move(telemetry_options));
+    if (Status s = telemetry->init(); !s.is_ok()) {
+      log(LogLevel::Warn, "worker %s: telemetry disabled: %s",
+          lease_config.owner.c_str(), s.to_string().c_str());
+      telemetry.reset();
+    }
+  }
+
   CampaignWorkerStats stats;
   const auto poll_pause = std::min<std::chrono::nanoseconds>(
       options.heartbeat, std::chrono::milliseconds(200));
@@ -1081,6 +1100,10 @@ Expected<CampaignWorkerStats> run_campaign_worker(
             lease_config.owner.c_str(), spec.name.c_str(),
             lease_config.max_attempts);
         ++stats.jobs_poisoned;
+        if (telemetry.has_value()) {
+          telemetry->note_job_done();
+          (void)telemetry->publish_now();
+        }
         progressed = true;
         continue;
       }
@@ -1096,11 +1119,15 @@ Expected<CampaignWorkerStats> run_campaign_worker(
       job_options.total_threads = total_threads;
       CampaignJobResult result;
       bool lease_lost = false;
+      if (telemetry.has_value()) {
+        telemetry->set_job(spec.name, claim->attempt);
+      }
       {
         HeartbeatKeeper keeper(leases, spec.name, *claim, &claim_token);
         result = run_job(spec, job_options, inner_threads);
         lease_lost = keeper.lost();
       }
+      if (telemetry.has_value()) telemetry->clear_job();
       if (lease_lost) {
         log(LogLevel::Warn, "worker %s: lost lease on '%s' (attempt %d)",
             lease_config.owner.c_str(), spec.name.c_str(), claim->attempt);
@@ -1148,6 +1175,13 @@ Expected<CampaignWorkerStats> run_campaign_worker(
           lease_config.owner.c_str(), spec.name.c_str(), result.seconds,
           claim->attempt);
       ++stats.jobs_run;
+      if (telemetry.has_value()) {
+        if (result.metrics != nullptr) {
+          telemetry->absorb_metrics(*result.metrics);
+        }
+        telemetry->note_job_done();
+        (void)telemetry->publish_now();
+      }
       progressed = true;
     }
     if (cancel_expired(options.cancel)) {

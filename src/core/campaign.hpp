@@ -221,6 +221,10 @@ struct CampaignWorkerOptions {
   std::chrono::nanoseconds lease_ttl{0};  ///< 0 = 3x heartbeat
   int max_attempts = 3;
   std::chrono::nanoseconds backoff_base{std::chrono::milliseconds(250)};
+  /// Period of the crash-durable telemetry snapshots this worker
+  /// publishes under `<root>/telemetry/` (see telemetry.hpp). 0
+  /// disables telemetry entirely.
+  std::chrono::nanoseconds telemetry_interval{std::chrono::seconds(1)};
 };
 
 struct CampaignWorkerStats {

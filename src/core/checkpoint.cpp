@@ -17,9 +17,43 @@
 
 namespace dfmres {
 
+// Open-file-description locks are per open(), not per process, so two
+// CheckpointWriters in one process conflict the same way two processes
+// do — which is what makes the lock unit-testable. Old glibc headers
+// may lack the constant; the kernel ABI value is stable.
+#ifndef F_OFD_SETLK
+#define F_OFD_SETLK 37
+#endif
+
 namespace {
 
 constexpr int kJournalVersion = 1;
+
+/// Takes (non-blocking) an exclusive whole-file OFD record lock on an
+/// open journal fd. A held lock fences the previous holder's *open
+/// file description*: after a lease TTL takeover, the old writer — even
+/// one merely stalled, not dead — cannot reacquire and its process sees
+/// the conflict as kUnavailable, a clean failed attempt rather than two
+/// writers interleaving fsync'd records in one journal. The lock dies
+/// with the fd, so a SIGKILL'd holder releases it instantly.
+Status lock_journal(int fd, const std::string& path) {
+  struct flock lk {};
+  lk.l_type = F_WRLCK;
+  lk.l_whence = SEEK_SET;
+  lk.l_start = 0;
+  lk.l_len = 0;  // whole file, including future appends
+  if (::fcntl(fd, F_OFD_SETLK, &lk) != 0) {
+    if (errno == EACCES || errno == EAGAIN) {
+      return make_status(StatusCode::kUnavailable,
+                         "checkpoint journal %s: locked by another writer",
+                         path.c_str());
+    }
+    return make_status(StatusCode::kInternal,
+                       "checkpoint journal %s: cannot lock: %s", path.c_str(),
+                       std::strerror(errno));
+  }
+  return Status::ok();
+}
 
 std::array<std::uint32_t, 256> make_crc_table() {
   std::array<std::uint32_t, 256> table{};
@@ -199,11 +233,25 @@ Status CheckpointWriter::open_fresh(const std::string& dir,
   close();
   if (Status s = make_dir(dir); !s.is_ok()) return s;
   path_ = checkpoint_journal_path(dir);
-  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  // No O_TRUNC here: truncation must wait until the lock proves no
+  // live writer owns the journal, or a racing open would destroy a
+  // journal it then fails to lock.
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT, 0644);
   if (fd_ < 0) {
     return make_status(StatusCode::kInvalidArgument,
                        "cannot create checkpoint journal %s: %s",
                        path_.c_str(), std::strerror(errno));
+  }
+  if (Status s = lock_journal(fd_, path_); !s.is_ok()) {
+    close();
+    return s;
+  }
+  if (::ftruncate(fd_, 0) != 0) {
+    const Status s = make_status(StatusCode::kInternal,
+                                 "cannot truncate checkpoint journal %s: %s",
+                                 path_.c_str(), std::strerror(errno));
+    close();
+    return s;
   }
   // The journal's *bytes* are made durable by the per-record fsync in
   // write_line, but its *name* is only durable once the directory entry
@@ -226,6 +274,10 @@ Status CheckpointWriter::open_resume(const std::string& dir,
     return make_status(StatusCode::kInvalidArgument,
                        "cannot reopen checkpoint journal %s: %s",
                        path_.c_str(), std::strerror(errno));
+  }
+  if (Status s = lock_journal(fd_, path_); !s.is_ok()) {
+    close();
+    return s;
   }
   if (::ftruncate(fd_, static_cast<off_t>(valid_bytes)) != 0 ||
       ::lseek(fd_, 0, SEEK_END) < 0) {

@@ -81,6 +81,14 @@ struct CheckpointJournal {
 /// Append-only journal writer with fsync-per-record durability. All
 /// methods are single-threaded; the resynthesis procedure appends only
 /// from its serial acceptance walk.
+/// Append-only journal writer. Both open paths take a non-blocking
+/// exclusive fcntl(F_OFD_SETLK) whole-file lock before touching any
+/// bytes and hold it until close: on a shared campaign root this fences
+/// a taken-over writer — a stalled-but-alive previous lease holder gets
+/// kUnavailable instead of interleaving appends with the new claimant.
+/// OFD locks bind to the open file description (not the process), die
+/// with the fd on any exit including SIGKILL, and conflict between two
+/// writers inside one process, so the fence is unit-testable.
 class CheckpointWriter {
  public:
   CheckpointWriter() = default;

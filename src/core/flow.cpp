@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/core/telemetry.hpp"
 #include "src/library/osu018.hpp"
 #include "src/util/logging.hpp"
 #include "src/util/trace.hpp"
@@ -125,6 +126,10 @@ FlowState DesignFlow::analyze_committed(
   }
   AtpgResult atpg = run_atpg(netlist, universe, udfm_, atpg_options, &cache_);
   atpg_totals_.merge(atpg.counters);
+  ProgressCounters& progress = ProgressCounters::global();
+  progress.analyses.fetch_add(1, std::memory_order_relaxed);
+  progress.faults_classified.fetch_add(universe.size(),
+                                       std::memory_order_relaxed);
   if (generate_tests) {
     // Re-anchor the seed epoch: these tests become the replay set and
     // the rewritten-gate ledger restarts from this design point.
@@ -178,6 +183,10 @@ Expected<FlowState> DesignFlow::probe_reanalyze_impl(
                        updates);
   if (atpg.cancelled) return cancel->to_status();
   if (counters != nullptr) counters->merge(atpg.counters);
+  ProgressCounters& progress = ProgressCounters::global();
+  progress.probes_committed.fetch_add(1, std::memory_order_relaxed);
+  progress.faults_classified.fetch_add(universe.size(),
+                                       std::memory_order_relaxed);
   ClusterAnalysis clusters =
       cluster_undetectable(netlist, universe, atpg.status);
   return FlowState{std::move(netlist), std::move(*placement),
@@ -208,6 +217,10 @@ Expected<std::size_t> DesignFlow::probe_count_impl(
       run_atpg_overlay(nl, internal, udfm_, atpg_options, base_cache, updates);
   if (result.cancelled) return cancel->to_status();
   if (counters != nullptr) counters->merge(result.counters);
+  ProgressCounters& progress = ProgressCounters::global();
+  progress.analyses.fetch_add(1, std::memory_order_relaxed);
+  progress.faults_classified.fetch_add(internal.size(),
+                                       std::memory_order_relaxed);
   return result.num_undetectable;
 }
 

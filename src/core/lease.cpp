@@ -37,6 +37,7 @@ std::string LeaseRecord::to_json() const {
   w.field("attempt", attempt);
   w.field("state", running ? "run" : "err");
   w.field("heartbeat_ns", heartbeat_ns);
+  w.field("claimed_ns", claimed_ns);
   w.field("backoff_until_ns", backoff_until_ns);
   w.field("error", error);
   w.end_object();
@@ -81,6 +82,13 @@ Expected<LeaseRecord> LeaseRecord::parse(std::string_view text) {
   rec.heartbeat_ns = static_cast<std::uint64_t>(heartbeat->as_number());
   rec.backoff_until_ns = static_cast<std::uint64_t>(backoff->as_number());
   rec.error = error->as_string();
+  // claimed_ns postdates the first lease schema revision; absent (an
+  // older root) means "unknown" and the trace merge falls back to the
+  // heartbeat stamp.
+  const JsonValue* claimed = doc->find("claimed_ns");
+  if (claimed != nullptr && claimed->is_number()) {
+    rec.claimed_ns = static_cast<std::uint64_t>(claimed->as_number());
+  }
   return rec;
 }
 
@@ -149,6 +157,7 @@ Expected<LeaseClaim> LeaseDir::try_claim(const std::string& job) const {
   mine.attempt = next;
   mine.running = true;
   mine.heartbeat_ns = now;
+  mine.claimed_ns = now;
   Status published = write_file_exclusive(epoch_path(job, next),
                                           mine.to_json(), config_.owner);
   if (published.code() == StatusCode::kAlreadyExists) {
@@ -163,6 +172,7 @@ Expected<LeaseClaim> LeaseDir::try_claim(const std::string& job) const {
   claim.epoch = next;
   claim.attempt = next;
   claim.poison = next > config_.max_attempts;
+  claim.claimed_ns = now;
   return claim;
 }
 
@@ -178,6 +188,7 @@ Status LeaseDir::heartbeat(const std::string& job,
   rec.attempt = claim.attempt;
   rec.running = true;
   rec.heartbeat_ns = lease_now_ns();
+  rec.claimed_ns = claim.claimed_ns;
   Status s = write_file_atomic(epoch_path(job, claim.epoch), rec.to_json(),
                                config_.owner);
   if (s.is_ok()) crash_point("lease.heartbeat");
@@ -191,6 +202,7 @@ Status LeaseDir::mark_failed(const std::string& job, const LeaseClaim& claim,
   rec.attempt = claim.attempt;
   rec.running = false;
   rec.heartbeat_ns = lease_now_ns();
+  rec.claimed_ns = claim.claimed_ns;
   rec.backoff_until_ns =
       rec.heartbeat_ns +
       static_cast<std::uint64_t>(config_.backoff_after(claim.attempt).count());

@@ -60,6 +60,11 @@ struct LeaseRecord {
   int attempt = 0;
   bool running = true;  ///< state "run"; false = "err" (holder reported)
   std::uint64_t heartbeat_ns = 0;
+  /// When this epoch was claimed (lease_now_ns). Preserved by heartbeat
+  /// refreshes and failure marks, so the telemetry trace merge can place
+  /// claim/takeover events at their real times. Absent in records from
+  /// older roots: parses as 0.
+  std::uint64_t claimed_ns = 0;
   std::uint64_t backoff_until_ns = 0;
   std::string error;
 
@@ -80,6 +85,7 @@ struct LeaseClaim {
   bool poison = false;       ///< Claimed past the budget: publish poison
   std::string prior_error;   ///< last holder's error (poison shards)
   std::uint64_t wait_ns = 0; ///< Backoff: remaining window, as a hint
+  std::uint64_t claimed_ns = 0;  ///< claim time, re-stamped by heartbeats
 };
 
 /// Monotonic timestamp used for heartbeat stamps.

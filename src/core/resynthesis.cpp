@@ -9,6 +9,7 @@
 #include <unordered_set>
 
 #include "src/core/checkpoint.hpp"
+#include "src/core/telemetry.hpp"
 #include "src/netlist/extract.hpp"
 #include "src/util/fmt.hpp"
 #include "src/util/logging.hpp"
@@ -117,6 +118,13 @@ class Procedure {
   Expected<ResynthesisResult> run(const FlowState& original) {
     const auto t0 = start_time_;
     TraceSpan run_span("resyn.run", "resyn");
+    // Telemetry phase marker: 1 = cluster break-up, 2 = global shrink,
+    // 3 = sign-off; back to idle however this run exits.
+    struct PhaseIdleGuard {
+      ~PhaseIdleGuard() {
+        ProgressCounters::global().phase.store(0, std::memory_order_relaxed);
+      }
+    } phase_idle_guard;
     if (run_span.active()) {
       run_span.arg("q_max", options_.q_max);
       run_span.arg("u0", static_cast<std::uint64_t>(
@@ -181,6 +189,7 @@ class Procedure {
       bool accepted_at_q = false;
 
       // ---- phase 1: break up the largest clusters ----
+      ProgressCounters::global().phase.store(1, std::memory_order_relaxed);
       for (int iter = 0; iter < options_.max_iterations_per_phase; ++iter) {
         const double smax_of_f =
             current.num_faults() == 0
@@ -231,6 +240,7 @@ class Procedure {
                     static_cast<double>(current.num_faults()));
 
       // ---- phase 2: shrink U over the whole circuit ----
+      ProgressCounters::global().phase.store(2, std::memory_order_relaxed);
       for (int iter = 0; iter < options_.max_iterations_per_phase; ++iter) {
         if (replay_pos < replay.size()) {
           const CheckpointRecord& rec = replay[replay_pos];
@@ -289,6 +299,7 @@ class Procedure {
     Expected<FlowState> final_state = [&]() -> Expected<FlowState> {
       const ScopedTimer t(report_.signoff_seconds);
       TraceSpan span("resyn.signoff", "resyn");
+      ProgressCounters::global().phase.store(3, std::memory_order_relaxed);
       return flow_.analyze(AnalysisRequest::incremental(
           current.netlist, current.placement, /*generate_tests=*/true));
     }();

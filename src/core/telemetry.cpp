@@ -1,0 +1,852 @@
+#include "src/core/telemetry.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "src/core/campaign.hpp"
+#include "src/core/lease.hpp"
+#include "src/util/crashpoint.hpp"
+#include "src/util/fmt.hpp"
+#include "src/util/fsio.hpp"
+#include "src/util/json.hpp"
+
+namespace dfmres {
+
+namespace {
+
+/// Reserved lease the merge election runs under (see campaign.cpp).
+constexpr const char* kMergeLeaseName = "__merge__";
+
+/// How stale a heartbeat / snapshot may be before status renders the
+/// holder as "stale" rather than "running" and stops counting the
+/// worker as live for the ETA. Deliberately generous: status is a
+/// human-paced view, not the lease TTL.
+constexpr double kStaleAfterSeconds = 10.0;
+
+// ---- telemetry snapshot document ----
+
+struct SnapshotEvent {
+  std::string name;
+  std::string cat;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::uint64_t rec = 0;
+  std::uint64_t tid = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+struct Snapshot {
+  std::string owner;
+  std::uint64_t seq = 0;
+  std::uint64_t pid = 0;
+  std::uint64_t published_ns = 0;
+  std::uint64_t anchor_ns = 0;
+  std::string job;
+  int attempt = 0;
+  int phase = 0;
+  int jobs_done = 0;
+  std::uint64_t analyses = 0;
+  std::uint64_t faults_classified = 0;
+  std::uint64_t probes_committed = 0;
+  std::vector<SnapshotEvent> events;
+};
+
+bool json_u64(const JsonValue& doc, const char* key, std::uint64_t* out) {
+  const JsonValue* v = doc.find(key);
+  if (v == nullptr || !v->is_number() || v->as_number() < 0) return false;
+  *out = static_cast<std::uint64_t>(v->as_number());
+  return true;
+}
+
+bool json_str(const JsonValue& doc, const char* key, std::string* out) {
+  const JsonValue* v = doc.find(key);
+  if (v == nullptr || !v->is_string()) return false;
+  *out = v->as_string();
+  return true;
+}
+
+/// Parses one dfmres-telemetry-v1 document. Returns false for anything
+/// malformed — readers tolerate torn or foreign files by skipping them.
+bool parse_snapshot(std::string_view text, Snapshot* out) {
+  Expected<JsonValue> doc = JsonValue::parse(text);
+  if (!doc || !doc->is_object()) return false;
+  const JsonValue* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kTelemetrySchema) {
+    return false;
+  }
+  std::uint64_t attempt = 0;
+  std::uint64_t phase = 0;
+  std::uint64_t jobs_done = 0;
+  if (!json_str(*doc, "owner", &out->owner) ||
+      !json_u64(*doc, "seq", &out->seq) ||
+      !json_u64(*doc, "pid", &out->pid) ||
+      !json_u64(*doc, "published_ns", &out->published_ns) ||
+      !json_u64(*doc, "trace_anchor_ns", &out->anchor_ns) ||
+      !json_str(*doc, "job", &out->job) ||
+      !json_u64(*doc, "attempt", &attempt) ||
+      !json_u64(*doc, "phase", &phase) ||
+      !json_u64(*doc, "jobs_done", &jobs_done)) {
+    return false;
+  }
+  out->attempt = static_cast<int>(attempt);
+  out->phase = static_cast<int>(phase);
+  out->jobs_done = static_cast<int>(jobs_done);
+  const JsonValue* progress = doc->find("progress");
+  if (progress == nullptr || !progress->is_object() ||
+      !json_u64(*progress, "analyses", &out->analyses) ||
+      !json_u64(*progress, "faults_classified", &out->faults_classified) ||
+      !json_u64(*progress, "probes_committed", &out->probes_committed)) {
+    return false;
+  }
+  const JsonValue* trace = doc->find("trace");
+  if (trace == nullptr || !trace->is_array()) return false;
+  for (const JsonValue& item : trace->items()) {
+    if (!item.is_object()) return false;
+    SnapshotEvent ev;
+    if (!json_str(item, "name", &ev.name) ||
+        !json_str(item, "cat", &ev.cat) ||
+        !json_u64(item, "start_ns", &ev.start_ns) ||
+        !json_u64(item, "dur_ns", &ev.dur_ns) ||
+        !json_u64(item, "id", &ev.id) ||
+        !json_u64(item, "parent", &ev.parent) ||
+        !json_u64(item, "rec", &ev.rec) ||
+        !json_u64(item, "tid", &ev.tid)) {
+      return false;
+    }
+    if (const JsonValue* args = item.find("args");
+        args != nullptr && args->is_object()) {
+      for (const auto& [key, value] : args->members()) {
+        if (!value.is_string()) return false;
+        ev.args.emplace_back(key, value.as_string());
+      }
+    }
+    out->events.push_back(std::move(ev));
+  }
+  return true;
+}
+
+/// Splits `<owner>.<seq>.json` from the right, so owners containing
+/// dots stay intact. Anything else (temp files, foreign files) is
+/// rejected.
+bool parse_telemetry_name(const std::string& name, std::string* owner,
+                          std::uint64_t* seq) {
+  constexpr std::string_view kExt = ".json";
+  if (name.size() <= kExt.size() ||
+      name.compare(name.size() - kExt.size(), kExt.size(), kExt) != 0) {
+    return false;
+  }
+  const std::string stem = name.substr(0, name.size() - kExt.size());
+  const std::size_t dot = stem.rfind('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 >= stem.size()) {
+    return false;
+  }
+  std::uint64_t value = 0;
+  for (std::size_t i = dot + 1; i < stem.size(); ++i) {
+    const char c = stem[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *owner = stem.substr(0, dot);
+  *seq = value;
+  return true;
+}
+
+/// All parsable snapshots of a root, ordered by (owner, seq). Torn and
+/// foreign files are skipped; a missing telemetry directory is an empty
+/// campaign, not an error.
+std::vector<Snapshot> load_snapshots(const std::string& root) {
+  std::vector<Snapshot> out;
+  Expected<std::vector<std::string>> names = list_dir(root + "/telemetry");
+  if (!names) return out;
+  for (const std::string& name : *names) {
+    std::string owner;
+    std::uint64_t seq = 0;
+    if (!parse_telemetry_name(name, &owner, &seq)) continue;
+    Expected<std::string> text = read_file(root + "/telemetry/" + name);
+    if (!text) continue;
+    Snapshot snap;
+    if (!parse_snapshot(*text, &snap)) continue;
+    if (snap.owner != owner || snap.seq != seq) continue;
+    out.push_back(std::move(snap));
+  }
+  std::sort(out.begin(), out.end(), [](const Snapshot& a, const Snapshot& b) {
+    return a.owner != b.owner ? a.owner < b.owner : a.seq < b.seq;
+  });
+  return out;
+}
+
+/// Minimal shard facts the trace merge / status poll need; full parsing
+/// lives in campaign.cpp.
+struct ShardFacts {
+  bool present = false;
+  bool ok = false;
+  bool poisoned = false;
+  bool deadline_expired = false;
+  bool skipped = false;
+  int attempts = 0;
+  std::string worker;
+  std::string status;
+  double runtime_seconds = 0.0;
+};
+
+ShardFacts read_shard_facts(const std::string& root, const std::string& job) {
+  ShardFacts facts;
+  Expected<std::string> text = read_file(root + "/shards/" + job + ".json");
+  if (!text) return facts;
+  Expected<JsonValue> doc = JsonValue::parse(*text);
+  if (!doc || !doc->is_object()) return facts;
+  const JsonValue* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kCampaignShardSchema) {
+    return facts;
+  }
+  const auto boolean = [&](const char* key, bool* out) {
+    const JsonValue* v = doc->find(key);
+    if (v != nullptr && v->is_bool()) *out = v->as_bool();
+  };
+  facts.present = true;
+  boolean("ok", &facts.ok);
+  boolean("poisoned", &facts.poisoned);
+  boolean("deadline_expired", &facts.deadline_expired);
+  boolean("skipped", &facts.skipped);
+  std::uint64_t attempts = 0;
+  if (json_u64(*doc, "attempts", &attempts)) {
+    facts.attempts = static_cast<int>(attempts);
+  }
+  (void)json_str(*doc, "worker", &facts.worker);
+  (void)json_str(*doc, "status", &facts.status);
+  if (const JsonValue* v = doc->find("runtime_seconds");
+      v != nullptr && v->is_number()) {
+    facts.runtime_seconds = v->as_number();
+  }
+  return facts;
+}
+
+/// Epoch lease records of one job, index 0 = epoch 1. Torn epochs are
+/// kept as empty optionals so takeover classification can still see the
+/// epoch count.
+std::vector<std::pair<bool, LeaseRecord>> read_epochs(const std::string& root,
+                                                      const std::string& job) {
+  std::vector<std::pair<bool, LeaseRecord>> epochs;
+  for (int k = 1;; ++k) {
+    const std::string path = root + "/leases/" + job + strfmt("/e%d", k);
+    if (!path_exists(path)) break;
+    Expected<std::string> text = read_file(path);
+    bool parsed = false;
+    LeaseRecord rec;
+    if (text) {
+      if (Expected<LeaseRecord> r = LeaseRecord::parse(*text)) {
+        rec = *r;
+        parsed = true;
+      }
+    }
+    epochs.emplace_back(parsed, std::move(rec));
+  }
+  return epochs;
+}
+
+void write_args_object(
+    JsonWriter& w,
+    const std::vector<std::pair<std::string, std::string>>& args) {
+  w.key("args");
+  w.begin_object();
+  for (const auto& [key, value] : args) w.field(key, value);
+  w.end_object();
+}
+
+double to_us(std::uint64_t ns, std::uint64_t base_ns) {
+  return static_cast<double>(ns - base_ns) / 1e3;
+}
+
+}  // namespace
+
+// ---- ProgressCounters ----
+
+ProgressCounters& ProgressCounters::global() {
+  static ProgressCounters counters;
+  return counters;
+}
+
+// ---- TelemetryPublisher ----
+
+std::string telemetry_file_name(const std::string& owner, std::uint64_t seq) {
+  return owner + strfmt(".%llu.json", static_cast<unsigned long long>(seq));
+}
+
+TelemetryPublisher::TelemetryPublisher(TelemetryOptions options)
+    : options_(std::move(options)) {}
+
+Status TelemetryPublisher::init() {
+  dir_ = options_.campaign_root + "/telemetry";
+  if (Status s = make_dir(dir_); !s.is_ok()) return s;
+  // Recover the sequence: a respawned worker with the same owner must
+  // continue past every name it already published, or the exclusive
+  // create would wedge it behind its own history.
+  std::uint64_t max_seq = 0;
+  Expected<std::vector<std::string>> names = list_dir(dir_);
+  if (!names) return names.status();
+  for (const std::string& name : *names) {
+    std::string owner;
+    std::uint64_t seq = 0;
+    if (parse_telemetry_name(name, &owner, &seq) && owner == options_.owner) {
+      max_seq = std::max(max_seq, seq);
+    }
+  }
+  next_seq_.store(max_seq + 1, std::memory_order_relaxed);
+  Tracer& tracer = Tracer::instance();
+  tracer_was_enabled_ = tracer.enabled();
+  tracer.enable();
+  // Both clocks are CLOCK_MONOTONIC; the anchor maps tracer-relative
+  // span times onto the lease timeline so the merge can interleave
+  // spans and lease events from different processes on one axis.
+  anchor_ns_ = lease_now_ns() - tracer.now_ns();
+  initialized_ = true;
+  if (options_.interval.count() > 0) {
+    thread_ = std::thread([this] { run(); });
+  }
+  return Status::ok();
+}
+
+TelemetryPublisher::~TelemetryPublisher() {
+  if (thread_.joinable()) {
+    {
+      std::lock_guard lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+  if (initialized_) {
+    // Final drain snapshot: a clean exit (including SIGINT/SIGTERM
+    // drains that unwind through destructors) always leaves the last
+    // interval's spans on the bus.
+    std::lock_guard lock(mutex_);
+    (void)publish_locked();
+    if (!tracer_was_enabled_) Tracer::instance().disable();
+  }
+}
+
+void TelemetryPublisher::run() {
+  std::unique_lock lock(mutex_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, options_.interval, [this] { return stop_; })) {
+      return;
+    }
+    (void)publish_locked();
+  }
+}
+
+void TelemetryPublisher::set_job(const std::string& job, int attempt) {
+  std::lock_guard lock(mutex_);
+  job_ = job;
+  attempt_ = attempt;
+}
+
+void TelemetryPublisher::clear_job() {
+  std::lock_guard lock(mutex_);
+  job_.clear();
+  attempt_ = 0;
+}
+
+void TelemetryPublisher::note_job_done() {
+  std::lock_guard lock(mutex_);
+  ++jobs_done_;
+}
+
+void TelemetryPublisher::absorb_metrics(const MetricsRegistry& shard) {
+  std::lock_guard lock(mutex_);
+  cumulative_.merge(shard);
+}
+
+Status TelemetryPublisher::publish_now() {
+  std::lock_guard lock(mutex_);
+  return publish_locked();
+}
+
+Status TelemetryPublisher::publish_locked() {
+  if (!initialized_) {
+    return make_status(StatusCode::kFailedPrecondition,
+                       "telemetry publisher not initialized");
+  }
+  const std::uint64_t seq = next_seq_.load(std::memory_order_relaxed);
+  std::uint64_t next_cursor = trace_cursor_;
+  const std::string json = snapshot_json(seq, &next_cursor);
+  const std::string path =
+      dir_ + "/" + telemetry_file_name(options_.owner, seq);
+  Status s = write_file_exclusive(path, json, options_.owner);
+  if (s.code() == StatusCode::kAlreadyExists) {
+    // A twin with our owner published this name (misconfigured fleet).
+    // Skip past it; our spans stay unshipped for the next attempt.
+    next_seq_.fetch_add(1, std::memory_order_relaxed);
+    return s;
+  }
+  if (!s.is_ok()) return s;
+  crash_point("telemetry.publish");
+  // Commit order matters for the at-most-one-interval loss bound: the
+  // cursor only advances once the file carrying those spans is durably
+  // named, so a SIGKILL between publishes re-ships nothing and loses
+  // nothing already published.
+  next_seq_.fetch_add(1, std::memory_order_relaxed);
+  trace_cursor_ = next_cursor;
+  return Status::ok();
+}
+
+std::string TelemetryPublisher::snapshot_json(std::uint64_t seq,
+                                              std::uint64_t* next_cursor) {
+  const std::vector<TraceEvent> events =
+      Tracer::instance().collect_since(trace_cursor_, next_cursor);
+  const ProgressCounters& progress = ProgressCounters::global();
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema", kTelemetrySchema);
+  w.field("owner", options_.owner);
+  w.field("seq", seq);
+  w.field("pid", static_cast<std::uint64_t>(::getpid()));
+  w.field("published_ns", lease_now_ns());
+  w.field("trace_anchor_ns", anchor_ns_);
+  w.field("job", job_);
+  w.field("attempt", attempt_);
+  w.field("phase", progress.phase.load(std::memory_order_relaxed));
+  w.field("jobs_done", jobs_done_);
+  w.key("progress");
+  w.begin_object();
+  w.field("analyses", progress.analyses.load(std::memory_order_relaxed));
+  w.field("faults_classified",
+          progress.faults_classified.load(std::memory_order_relaxed));
+  w.field("probes_committed",
+          progress.probes_committed.load(std::memory_order_relaxed));
+  w.end_object();
+  w.key("metrics");
+  w.raw(cumulative_.to_json());
+  w.key("trace");
+  w.begin_array();
+  for (const TraceEvent& e : events) {
+    w.begin_object();
+    w.field("name", e.name);
+    w.field("cat", e.cat);
+    w.field("start_ns", e.start_ns);
+    w.field("dur_ns", e.dur_ns);
+    w.field("id", e.id);
+    w.field("parent", e.parent);
+    w.field("rec", e.rec);
+    w.field("tid", static_cast<std::uint64_t>(e.tid));
+    w.key("args");
+    w.begin_object();
+    for (const auto& [key, value] : e.args) w.field(key, value);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+// ---- Cross-process trace merge ----
+
+Expected<std::string> merge_campaign_trace(const std::string& root) {
+  Expected<CampaignManifest> manifest = read_campaign_root(root);
+  if (!manifest) return manifest.status();
+  const std::vector<Snapshot> snapshots = load_snapshots(root);
+
+  // Lease rows: one pseudo-thread per job in manifest order, plus the
+  // merge election last. Everything below is derived from file content
+  // only, so the merged document is a pure function of the root.
+  std::vector<std::string> lease_rows;
+  for (const CampaignJobSpec& job : manifest->jobs) {
+    lease_rows.push_back(job.name);
+  }
+  lease_rows.push_back(kMergeLeaseName);
+
+  struct LeaseEvent {
+    std::string name;
+    std::uint64_t ts_ns = 0;
+    std::uint64_t tid = 0;  ///< lease row index + 1
+    char phase = 'i';       ///< 'i' instant, 's'/'f' flow endpoints
+    std::uint64_t flow_id = 0;
+    std::vector<std::pair<std::string, std::string>> args;
+  };
+  std::vector<LeaseEvent> lease_events;
+  std::uint64_t next_flow_id = 1;
+  for (std::size_t row = 0; row < lease_rows.size(); ++row) {
+    const std::string& job = lease_rows[row];
+    const auto epochs = read_epochs(root, job);
+    const ShardFacts shard =
+        job == kMergeLeaseName ? ShardFacts{} : read_shard_facts(root, job);
+    for (std::size_t i = 0; i < epochs.size(); ++i) {
+      const auto& [parsed, rec] = epochs[i];
+      if (!parsed) continue;  // torn epoch: crash mid-publish, no times
+      const std::uint64_t claim_ns =
+          rec.claimed_ns != 0 ? rec.claimed_ns : rec.heartbeat_ns;
+      LeaseEvent claim;
+      claim.ts_ns = claim_ns;
+      claim.tid = row + 1;
+      claim.args.emplace_back("owner", rec.owner);
+      claim.args.emplace_back("attempt", strfmt("%d", rec.attempt));
+      const bool prior_err = i > 0 && epochs[i - 1].first &&
+                             !epochs[i - 1].second.running;
+      if (i == 0) {
+        claim.name = "lease.claim";
+      } else if (prior_err) {
+        claim.name = "lease.retry";
+        claim.args.emplace_back("prior_error", epochs[i - 1].second.error);
+      } else {
+        claim.name = "lease.takeover";
+      }
+      if (shard.poisoned && i + 1 == epochs.size()) {
+        claim.name = "lease.poison";
+      }
+      lease_events.push_back(claim);
+      if (i > 0 && epochs[i - 1].first && epochs[i - 1].second.running) {
+        // TTL takeover: a flow arrow from the victim's last sign of
+        // life to the claimant makes the handoff legible on the
+        // timeline.
+        LeaseEvent from;
+        from.name = "lease.handoff";
+        from.ts_ns = epochs[i - 1].second.heartbeat_ns;
+        from.tid = row + 1;
+        from.phase = 's';
+        from.flow_id = next_flow_id;
+        LeaseEvent to = from;
+        to.ts_ns = claim_ns;
+        to.phase = 'f';
+        lease_events.push_back(from);
+        lease_events.push_back(to);
+        ++next_flow_id;
+      }
+      if (rec.heartbeat_ns > claim_ns) {
+        LeaseEvent beat;
+        beat.name = rec.running ? "lease.heartbeat" : "lease.error";
+        beat.ts_ns = rec.heartbeat_ns;
+        beat.tid = row + 1;
+        beat.args.emplace_back("owner", rec.owner);
+        if (!rec.running) beat.args.emplace_back("error", rec.error);
+        lease_events.push_back(beat);
+      }
+    }
+  }
+
+  // Normalize the time axis to the earliest event so timestamps are
+  // campaign-relative microseconds instead of nanoseconds since boot
+  // (which %.12g would round).
+  std::uint64_t base_ns = UINT64_MAX;
+  for (const Snapshot& snap : snapshots) {
+    for (const SnapshotEvent& e : snap.events) {
+      base_ns = std::min(base_ns, snap.anchor_ns + e.start_ns);
+    }
+  }
+  for (const LeaseEvent& e : lease_events) {
+    base_ns = std::min(base_ns, e.ts_ns);
+  }
+  if (base_ns == UINT64_MAX) base_ns = 0;
+
+  JsonWriter w;
+  w.begin_object();
+  w.field("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+  const auto metadata = [&w](const char* what, std::uint64_t pid,
+                             std::uint64_t tid, bool with_tid,
+                             const std::string& label) {
+    w.begin_object();
+    w.field("ph", "M");
+    w.field("name", what);
+    w.field("pid", pid);
+    if (with_tid) w.field("tid", tid);
+    w.key("args");
+    w.begin_object();
+    w.field("name", label);
+    w.end_object();
+    w.end_object();
+  };
+  // The lease pseudo-process: pid 0 cannot collide with a real worker.
+  metadata("process_name", 0, 0, false, "lease protocol");
+  for (std::size_t row = 0; row < lease_rows.size(); ++row) {
+    metadata("thread_name", 0, row + 1, true, lease_rows[row]);
+  }
+  // Worker processes: label each (pid, tid) pair actually present, in
+  // (owner, seq) order with first-seen-wins, so respawned owners get
+  // one row per incarnation under their real pid.
+  std::vector<std::pair<std::uint64_t, std::string>> pids_seen;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, bool> tids_seen;
+  for (const Snapshot& snap : snapshots) {
+    const auto pid_known =
+        std::find_if(pids_seen.begin(), pids_seen.end(),
+                     [&](const auto& p) { return p.first == snap.pid; });
+    if (pid_known == pids_seen.end()) {
+      pids_seen.emplace_back(snap.pid, snap.owner);
+      metadata("process_name", snap.pid, 0, false, "worker " + snap.owner);
+    }
+    for (const SnapshotEvent& e : snap.events) {
+      if (!tids_seen.emplace(std::make_pair(snap.pid, e.tid), true).second) {
+        continue;
+      }
+      metadata("thread_name", snap.pid, e.tid, true,
+               e.tid == 0 ? std::string("main") : strfmt("worker-%llu",
+                            static_cast<unsigned long long>(e.tid)));
+    }
+  }
+  for (const Snapshot& snap : snapshots) {
+    for (const SnapshotEvent& e : snap.events) {
+      w.begin_object();
+      w.field("ph", "X");
+      w.field("name", e.name);
+      w.field("cat", e.cat);
+      w.field("pid", snap.pid);
+      w.field("tid", e.tid);
+      w.field("ts", to_us(snap.anchor_ns + e.start_ns, base_ns));
+      w.field("dur", static_cast<double>(e.dur_ns) / 1e3);
+      std::vector<std::pair<std::string, std::string>> args;
+      args.emplace_back("owner", snap.owner);
+      args.emplace_back(
+          "span", strfmt("%llu", static_cast<unsigned long long>(e.id)));
+      if (e.parent != 0) {
+        args.emplace_back(
+            "parent",
+            strfmt("%llu", static_cast<unsigned long long>(e.parent)));
+      }
+      args.insert(args.end(), e.args.begin(), e.args.end());
+      write_args_object(w, args);
+      w.end_object();
+    }
+  }
+  for (const LeaseEvent& e : lease_events) {
+    w.begin_object();
+    if (e.phase == 'i') {
+      w.field("ph", "i");
+      w.field("s", "t");
+    } else {
+      w.field("ph", e.phase == 's' ? "s" : "f");
+      if (e.phase == 'f') w.field("bp", "e");
+      w.field("id", e.flow_id);
+    }
+    w.field("name", e.name);
+    w.field("cat", "lease");
+    w.field("pid", 0);
+    w.field("tid", e.tid);
+    w.field("ts", to_us(e.ts_ns, base_ns));
+    write_args_object(w, e.args);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+// ---- Live status ----
+
+Expected<CampaignStatus> poll_campaign_status(const std::string& root) {
+  Expected<CampaignManifest> manifest = read_campaign_root(root);
+  if (!manifest) return manifest.status();
+  const std::uint64_t now = lease_now_ns();
+  CampaignStatus st;
+  st.jobs_total = manifest->jobs.size();
+  st.report_written = path_exists(root + "/report.json");
+  double runtime_sum = 0.0;
+  std::size_t runtime_n = 0;
+  for (const CampaignJobSpec& job : manifest->jobs) {
+    JobStatusRow row;
+    row.name = job.name;
+    const ShardFacts shard = read_shard_facts(root, job.name);
+    if (shard.present) {
+      if (shard.poisoned) {
+        row.state = "poisoned";
+      } else if (!shard.ok) {
+        row.state = "failed";
+      } else if (shard.deadline_expired) {
+        row.state = "expired";
+      } else {
+        row.state = "done";
+      }
+      row.owner = shard.worker;
+      row.attempt = shard.attempts;
+      row.runtime_s = shard.runtime_seconds;
+      if (!shard.ok || shard.poisoned) row.error = shard.status;
+      ++st.done;
+      if (shard.ok && !shard.poisoned && shard.runtime_seconds > 0.0) {
+        runtime_sum += shard.runtime_seconds;
+        ++runtime_n;
+      }
+    } else {
+      const auto epochs = read_epochs(root, job.name);
+      row.attempt = static_cast<int>(epochs.size());
+      if (epochs.empty() || !epochs.back().first) {
+        // Never claimed, or the newest epoch is torn (claimable).
+        row.state = "pending";
+        ++st.pending;
+      } else {
+        const LeaseRecord& rec = epochs.back().second;
+        row.owner = rec.owner;
+        if (rec.running) {
+          row.heartbeat_age_s =
+              now > rec.heartbeat_ns
+                  ? static_cast<double>(now - rec.heartbeat_ns) / 1e9
+                  : 0.0;
+          if (row.heartbeat_age_s > kStaleAfterSeconds) {
+            row.state = "stale";
+          } else {
+            row.state = "running";
+            ++st.running;
+          }
+        } else {
+          row.error = rec.error;
+          if (now < rec.backoff_until_ns) {
+            row.state = "backoff";
+          } else {
+            row.state = "pending";
+            ++st.pending;
+          }
+        }
+      }
+    }
+    st.jobs.push_back(std::move(row));
+  }
+
+  // Workers: latest snapshot per owner, rate from the last two.
+  const std::vector<Snapshot> snapshots = load_snapshots(root);
+  std::size_t live_workers = 0;
+  for (std::size_t i = 0; i < snapshots.size();) {
+    std::size_t j = i;
+    while (j + 1 < snapshots.size() &&
+           snapshots[j + 1].owner == snapshots[i].owner) {
+      ++j;
+    }
+    const Snapshot& last = snapshots[j];
+    WorkerStatusRow row;
+    row.owner = last.owner;
+    row.pid = last.pid;
+    row.seq = last.seq;
+    row.age_s = now > last.published_ns
+                    ? static_cast<double>(now - last.published_ns) / 1e9
+                    : 0.0;
+    row.job = last.job;
+    row.attempt = last.attempt;
+    row.phase = last.phase;
+    row.jobs_done = last.jobs_done;
+    row.analyses = last.analyses;
+    row.faults_classified = last.faults_classified;
+    row.probes_committed = last.probes_committed;
+    if (j > i) {
+      const Snapshot& prev = snapshots[j - 1];
+      if (last.published_ns > prev.published_ns &&
+          last.faults_classified >= prev.faults_classified) {
+        const double dt =
+            static_cast<double>(last.published_ns - prev.published_ns) / 1e9;
+        row.faults_per_s =
+            static_cast<double>(last.faults_classified -
+                                prev.faults_classified) / dt;
+      }
+    }
+    if (row.age_s < kStaleAfterSeconds) ++live_workers;
+    st.workers.push_back(std::move(row));
+    i = j + 1;
+  }
+
+  const std::size_t remaining = st.jobs_total - st.done;
+  if (remaining == 0) {
+    st.eta_s = 0.0;
+  } else if (runtime_n > 0) {
+    const double mean = runtime_sum / static_cast<double>(runtime_n);
+    st.eta_s = static_cast<double>(remaining) * mean /
+               static_cast<double>(std::max<std::size_t>(1, live_workers));
+  }
+  return st;
+}
+
+std::string render_status_json(const CampaignStatus& status) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema", kStatusSchema);
+  w.field("report_written", status.report_written);
+  w.field("jobs_total", static_cast<std::uint64_t>(status.jobs_total));
+  w.field("done", static_cast<std::uint64_t>(status.done));
+  w.field("running", static_cast<std::uint64_t>(status.running));
+  w.field("pending", static_cast<std::uint64_t>(status.pending));
+  w.field("eta_s", status.eta_s);
+  w.key("jobs");
+  w.begin_array();
+  for (const JobStatusRow& job : status.jobs) {
+    w.begin_object();
+    w.field("name", job.name);
+    w.field("state", job.state);
+    w.field("owner", job.owner);
+    w.field("attempt", job.attempt);
+    w.field("heartbeat_age_s", job.heartbeat_age_s);
+    w.field("runtime_s", job.runtime_s);
+    w.field("error", job.error);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("workers");
+  w.begin_array();
+  for (const WorkerStatusRow& worker : status.workers) {
+    w.begin_object();
+    w.field("owner", worker.owner);
+    w.field("pid", worker.pid);
+    w.field("seq", worker.seq);
+    w.field("age_s", worker.age_s);
+    w.field("job", worker.job);
+    w.field("attempt", worker.attempt);
+    w.field("phase", worker.phase);
+    w.field("jobs_done", worker.jobs_done);
+    w.field("analyses", worker.analyses);
+    w.field("faults_classified", worker.faults_classified);
+    w.field("probes_committed", worker.probes_committed);
+    w.field("faults_per_s", worker.faults_per_s);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take() + "\n";
+}
+
+std::string render_status_table(const CampaignStatus& status) {
+  std::string out = strfmt(
+      "campaign: %zu/%zu done, %zu running, %zu pending%s\n",
+      status.done, status.jobs_total, status.running, status.pending,
+      status.report_written ? "  [report written]" : "");
+  if (status.eta_s > 0.0) {
+    out += strfmt("eta: ~%.0fs\n", status.eta_s);
+  }
+  out += strfmt("%-16s %-9s %-12s %3s %8s %9s  %s\n", "JOB", "STATE",
+                "OWNER", "ATT", "HB-AGE", "RUNTIME", "ERROR");
+  for (const JobStatusRow& job : status.jobs) {
+    const std::string hb = job.heartbeat_age_s >= 0.0
+                               ? strfmt("%.1fs", job.heartbeat_age_s)
+                               : std::string("-");
+    const std::string rt = job.runtime_s >= 0.0
+                               ? strfmt("%.1fs", job.runtime_s)
+                               : std::string("-");
+    out += strfmt("%-16s %-9s %-12s %3d %8s %9s  %s\n", job.name.c_str(),
+                  job.state.c_str(), job.owner.c_str(), job.attempt,
+                  hb.c_str(), rt.c_str(), job.error.c_str());
+  }
+  if (!status.workers.empty()) {
+    out += strfmt("%-12s %5s %7s %-16s %2s %4s %10s %10s %9s\n", "WORKER",
+                  "SEQ", "AGE", "JOB", "PH", "DONE", "FAULTS", "PROBES",
+                  "RATE");
+    for (const WorkerStatusRow& worker : status.workers) {
+      const std::string rate =
+          worker.faults_per_s >= 0.0
+              ? strfmt("%.0f/s", worker.faults_per_s)
+              : std::string("-");
+      out += strfmt(
+          "%-12s %5llu %6.1fs %-16s %2d %4d %10llu %10llu %9s\n",
+          worker.owner.c_str(),
+          static_cast<unsigned long long>(worker.seq), worker.age_s,
+          worker.job.empty() ? "-" : worker.job.c_str(), worker.phase,
+          worker.jobs_done,
+          static_cast<unsigned long long>(worker.faults_classified),
+          static_cast<unsigned long long>(worker.probes_committed),
+          rate.c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace dfmres

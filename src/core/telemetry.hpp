@@ -1,0 +1,201 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/util/metrics.hpp"
+#include "src/util/status.hpp"
+#include "src/util/trace.hpp"
+
+namespace dfmres {
+
+class CampaignManifest;
+
+/// The campaign root doubles as a telemetry bus: every worker
+/// periodically publishes a crash-durable snapshot file
+/// `<root>/telemetry/<owner>.<seq>.json` (schema dfmres-telemetry-v1)
+/// carrying its progress counters, cumulative metrics registry and the
+/// trace spans completed since the previous snapshot. Snapshots are
+/// published with the same exclusive-create/atomic-rename discipline as
+/// lease and shard files, so a SIGKILL at any instant loses at most the
+/// spans of one interval and never leaves a torn document. Readers
+/// (`dfmres status`, `dfmres trace merge`) only ever open files — no
+/// locks, no signals — so observing a live campaign cannot perturb it.
+
+inline constexpr const char* kTelemetrySchema = "dfmres-telemetry-v1";
+inline constexpr const char* kStatusSchema = "dfmres-status-v1";
+
+/// Process-wide progress counters incremented by the flow/resynthesis
+/// hot paths and sampled by the telemetry publisher. Relaxed atomics:
+/// readers want a cheap recent value, not a fence.
+struct ProgressCounters {
+  std::atomic<std::uint64_t> analyses{0};
+  std::atomic<std::uint64_t> faults_classified{0};
+  std::atomic<std::uint64_t> probes_committed{0};
+  /// Resynthesis phase: 0 idle, 1 cluster break-up, 2 global shrink,
+  /// 3 sign-off.
+  std::atomic<int> phase{0};
+
+  void reset() {
+    analyses.store(0, std::memory_order_relaxed);
+    faults_classified.store(0, std::memory_order_relaxed);
+    probes_committed.store(0, std::memory_order_relaxed);
+    phase.store(0, std::memory_order_relaxed);
+  }
+
+  static ProgressCounters& global();
+};
+
+struct TelemetryOptions {
+  std::string campaign_root;
+  std::string owner;
+  /// Snapshot period; 0 disables the background thread (snapshots then
+  /// happen only at publish_now / destruction).
+  std::chrono::nanoseconds interval{std::chrono::seconds(1)};
+};
+
+/// One worker's telemetry publisher. Owns the snapshot thread, the
+/// monotonic sequence numbers (recovered from the directory across
+/// restarts of the same owner, so a respawned worker never reuses a
+/// name), and the incremental trace cursor. Enables the process tracer
+/// for its lifetime and restores the previous enabled-state on
+/// destruction, so standalone runs and tests see the tracer exactly as
+/// they configured it.
+class TelemetryPublisher {
+ public:
+  explicit TelemetryPublisher(TelemetryOptions options);
+  ~TelemetryPublisher();
+  TelemetryPublisher(const TelemetryPublisher&) = delete;
+  TelemetryPublisher& operator=(const TelemetryPublisher&) = delete;
+
+  /// Creates `<root>/telemetry`, recovers the owner's next sequence
+  /// number, anchors the trace clock to lease time and starts the
+  /// snapshot thread. Call once before any publish.
+  [[nodiscard]] Status init();
+
+  /// Tags subsequent snapshots with the job this worker is running.
+  void set_job(const std::string& job, int attempt);
+  void clear_job();
+  void note_job_done();
+
+  /// Folds one finished job's metrics shard into the cumulative
+  /// registry this worker publishes.
+  void absorb_metrics(const MetricsRegistry& shard);
+
+  /// Publishes one snapshot immediately (also called by the thread and
+  /// the destructor). Best effort by design: a full disk must not kill
+  /// a worker that can still compute, so failures are returned for
+  /// logging but leave the publisher armed.
+  Status publish_now();
+
+  [[nodiscard]] std::uint64_t next_seq() const {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+  [[nodiscard]] Status publish_locked();
+  [[nodiscard]] std::string snapshot_json(std::uint64_t seq,
+                                          std::uint64_t* next_cursor);
+
+  TelemetryOptions options_;
+  std::string dir_;
+  bool tracer_was_enabled_ = false;
+  bool initialized_ = false;
+  std::uint64_t anchor_ns_ = 0;  ///< lease_now_ns() - tracer.now_ns()
+  std::atomic<std::uint64_t> next_seq_{1};
+  std::uint64_t trace_cursor_ = 1;  ///< first unshipped trace record
+  MetricsRegistry cumulative_;
+  std::mutex mutex_;  ///< guards job tag + publish critical section
+  std::string job_;
+  int attempt_ = 0;
+  int jobs_done_ = 0;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+/// Telemetry snapshot file name for (owner, seq).
+[[nodiscard]] std::string telemetry_file_name(const std::string& owner,
+                                              std::uint64_t seq);
+
+// ---- Cross-process trace merge ----
+
+/// Stitches every worker's telemetry trace shards plus the lease files
+/// into one Chrome trace_event timeline: real pid/tid rows per worker
+/// process, and a pid-0 "lease protocol" pseudo-process carrying claim /
+/// takeover / retry / poison instants, heartbeat ticks and takeover flow
+/// arrows synthesized from the epoch files. Purely content-driven and
+/// ordered (owner, seq, record sequence; jobs in manifest order), so
+/// re-merging an unchanged root is byte-identical — the output is
+/// diffable evidence. Torn or foreign files in the telemetry directory
+/// are skipped, not fatal. kNotFound only when `root` has no manifest.
+[[nodiscard]] Expected<std::string> merge_campaign_trace(
+    const std::string& root);
+
+// ---- Live status ----
+
+/// One manifest job's observed state, derived read-only from shards and
+/// lease files.
+struct JobStatusRow {
+  std::string name;
+  /// "done" | "expired" | "failed" | "poisoned" (terminal, from the
+  /// shard) or "running" | "stale" | "backoff" | "pending" (from the
+  /// lease authority; "stale" = heartbeat older than 10 s).
+  std::string state;
+  std::string owner;    ///< current/last holder ("" for pending)
+  int attempt = 0;      ///< lease epochs consumed so far
+  double heartbeat_age_s = -1.0;  ///< running/stale only
+  double runtime_s = -1.0;        ///< terminal jobs: shard runtime
+  std::string error;              ///< failed/backoff/poisoned detail
+};
+
+/// One worker's latest telemetry snapshot, plus the progress rate from
+/// its last two snapshots.
+struct WorkerStatusRow {
+  std::string owner;
+  std::uint64_t pid = 0;
+  std::uint64_t seq = 0;
+  double age_s = -1.0;  ///< since the snapshot was published
+  std::string job;      ///< "" = idle / between jobs
+  int attempt = 0;
+  int phase = 0;
+  int jobs_done = 0;
+  std::uint64_t analyses = 0;
+  std::uint64_t faults_classified = 0;
+  std::uint64_t probes_committed = 0;
+  double faults_per_s = -1.0;  ///< needs two snapshots
+};
+
+struct CampaignStatus {
+  bool report_written = false;  ///< <root>/report.json exists
+  std::size_t jobs_total = 0;
+  std::size_t done = 0;     ///< terminal shards (any verdict)
+  std::size_t running = 0;  ///< live heartbeat
+  std::size_t pending = 0;  ///< never claimed / claimable
+  /// Naive remaining-work estimate: remaining jobs x mean terminal
+  /// runtime / live workers. Negative = not enough data.
+  double eta_s = -1.0;
+  std::vector<JobStatusRow> jobs;      ///< manifest order
+  std::vector<WorkerStatusRow> workers;  ///< owner order
+};
+
+/// Polls a campaign root read-only. Never takes a lease, never writes:
+/// status observation is free of observer effects by construction.
+[[nodiscard]] Expected<CampaignStatus> poll_campaign_status(
+    const std::string& root);
+
+/// One `dfmres-status-v1` JSON line (newline-terminated), the machine
+/// interface behind `dfmres status --json`.
+[[nodiscard]] std::string render_status_json(const CampaignStatus& status);
+
+/// Human table for `dfmres status`.
+[[nodiscard]] std::string render_status_table(const CampaignStatus& status);
+
+}  // namespace dfmres

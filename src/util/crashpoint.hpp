@@ -18,6 +18,7 @@ namespace dfmres {
 ///   shard.publish  after a shard file is published
 ///   merge          after the merged campaign report is written
 ///   job.start      after a worker claimed a job, before any work
+///   telemetry.publish after a telemetry snapshot file is published
 ///
 /// Unarmed (env var unset) the hook is one relaxed atomic load. Counting
 /// is process-wide and thread-safe; the chaos harness relies on the Nth

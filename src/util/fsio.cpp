@@ -1,9 +1,11 @@
 #include "src/util/fsio.hpp"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <fstream>
@@ -156,6 +158,33 @@ Expected<std::string> read_file(const std::string& path) {
 bool path_exists(const std::string& path) {
   struct stat st {};
   return ::stat(path.c_str(), &st) == 0;
+}
+
+Expected<std::vector<std::string>> list_dir(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) {
+    if (errno == ENOENT) {
+      return make_status(StatusCode::kNotFound, "no directory '%s'",
+                         path.c_str());
+    }
+    return errno_status("cannot open directory", path);
+  }
+  std::vector<std::string> names;
+  errno = 0;
+  while (const struct dirent* entry = ::readdir(dir)) {
+    const char* name = entry->d_name;
+    if (std::strcmp(name, ".") == 0 || std::strcmp(name, "..") == 0) continue;
+    names.emplace_back(name);
+    errno = 0;
+  }
+  const int saved = errno;
+  ::closedir(dir);
+  if (saved != 0) {
+    errno = saved;
+    return errno_status("cannot read directory", path);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
 }
 
 }  // namespace dfmres

@@ -2,6 +2,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/util/status.hpp"
 
@@ -62,5 +63,11 @@ namespace dfmres {
 
 /// True when `path` exists (any file type).
 [[nodiscard]] bool path_exists(const std::string& path);
+
+/// Entry names of a directory ("." and ".." excluded), sorted
+/// lexicographically so callers iterate deterministically regardless of
+/// on-disk order. kNotFound when the directory does not exist.
+[[nodiscard]] Expected<std::vector<std::string>> list_dir(
+    const std::string& path);
 
 }  // namespace dfmres

@@ -19,6 +19,7 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
     case StatusCode::kCancelled: return "cancelled";
     case StatusCode::kDataLoss: return "data_loss";
+    case StatusCode::kUnavailable: return "unavailable";
     case StatusCode::kInternal: return "internal";
   }
   return "unknown";

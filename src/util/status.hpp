@@ -22,6 +22,8 @@ enum class StatusCode : std::uint8_t {
   kDeadlineExceeded,   ///< cooperative deadline expiry
   kCancelled,          ///< explicit cancellation request
   kDataLoss,           ///< corrupt or truncated persistent record
+  kUnavailable,        ///< resource held elsewhere right now (journal
+                       ///< lock); retrying later can succeed
   kInternal,           ///< invariant breach surfaced instead of aborted
 };
 

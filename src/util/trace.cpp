@@ -1,9 +1,9 @@
 #include "src/util/trace.hpp"
 
 #include <algorithm>
-#include <cstdio>
 
 #include "src/util/fmt.hpp"
+#include "src/util/fsio.hpp"
 #include "src/util/json.hpp"
 
 namespace dfmres {
@@ -67,6 +67,7 @@ void Tracer::record(TraceEvent event) {
   if (!enabled()) return;
   ThreadBuffer& buffer = local_buffer();
   event.tid = buffer.tid;
+  event.rec = next_rec_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard lock(buffer.mutex);
   buffer.events.push_back(std::move(event));
 }
@@ -85,6 +86,28 @@ std::vector<TraceEvent> Tracer::snapshot() const {
                      return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
                                                      : a.id < b.id;
                    });
+  return out;
+}
+
+std::vector<TraceEvent> Tracer::collect_since(std::uint64_t min_rec,
+                                              std::uint64_t* next_cursor) const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard registry_lock(registry_mutex_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard lock(buffer->mutex);
+      for (const TraceEvent& e : buffer->events) {
+        if (e.rec >= min_rec) out.push_back(e);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.rec < b.rec;
+            });
+  std::uint64_t cursor = min_rec;
+  if (!out.empty()) cursor = out.back().rec + 1;
+  if (next_cursor != nullptr) *next_cursor = cursor;
   return out;
 }
 
@@ -142,19 +165,10 @@ std::string Tracer::chrome_json() const {
 }
 
 Status Tracer::write_chrome_json(const std::string& path) const {
-  const std::string json = chrome_json();
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    return make_status(StatusCode::kInvalidArgument,
-                       "cannot open trace output '%s'", path.c_str());
-  }
-  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
-  const bool close_ok = std::fclose(f) == 0;
-  if (written != json.size() || !close_ok) {
-    return make_status(StatusCode::kDataLoss, "short write to trace output '%s'",
-                       path.c_str());
-  }
-  return Status::ok();
+  // Atomic publish: a trace flushed on a SIGINT/SIGTERM drain (or raced
+  // by a second flusher) is either absent or complete valid JSON, never
+  // a truncated document chrome://tracing refuses to load.
+  return write_file_atomic(path, chrome_json(), "trace");
 }
 
 std::uint64_t Tracer::current_span() { return t_current_span; }

@@ -23,6 +23,7 @@ struct TraceEvent {
   std::uint64_t dur_ns = 0;
   std::uint64_t id = 0;        ///< span id, unique per session, never 0
   std::uint64_t parent = 0;    ///< enclosing span id; 0 = root
+  std::uint64_t rec = 0;       ///< record sequence (completion order)
   std::uint32_t tid = 0;       ///< tracer-local thread index
   std::vector<std::pair<std::string, std::string>> args;
 };
@@ -63,6 +64,15 @@ class Tracer {
   /// Merged copy of every thread's events, ordered by start time.
   [[nodiscard]] std::vector<TraceEvent> snapshot() const;
 
+  /// Incremental cursor read for the telemetry publisher: every buffered
+  /// event whose record sequence is >= `min_rec`, ordered by sequence.
+  /// Events are copied, never drained, so an end-of-run chrome_json()
+  /// still sees the full session. Pass the returned cursor (one past the
+  /// highest sequence seen) as the next call's `min_rec` to ship each
+  /// completed span exactly once.
+  [[nodiscard]] std::vector<TraceEvent> collect_since(
+      std::uint64_t min_rec, std::uint64_t* next_cursor) const;
+
   /// Chrome trace_event JSON ({"traceEvents": [...]}) of the current
   /// buffers, with one thread_name metadata record per thread.
   [[nodiscard]] std::string chrome_json() const;
@@ -95,6 +105,7 @@ class Tracer {
 
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> next_rec_{1};
   std::atomic<bool> anchored_{false};
   std::chrono::steady_clock::time_point anchor_{};
   mutable std::mutex registry_mutex_;

@@ -14,6 +14,8 @@
 #include "src/library/osu018.hpp"
 #include "src/netlist/verilog.hpp"
 #include "src/util/cancel.hpp"
+#include "src/util/json.hpp"
+#include "src/util/trace.hpp"
 
 namespace dfmres {
 namespace {
@@ -369,6 +371,79 @@ TEST(Resilience, InterruptedThenResumedMatchesUninterrupted) {
   // interruption (replay doesn't probe), but the accepted sequence is
   // the reference's.
   EXPECT_EQ(accepted_records(resumed.report), accepted_records(ref.report));
+}
+
+// ---------------------------------------------------------------------
+// Journal write fencing and observability-on-failure regressions.
+// ---------------------------------------------------------------------
+
+TEST(Checkpoint, JournalLockFencesSecondWriter) {
+  const std::string dir = testing::TempDir() + "dfmres_ckpt_lock";
+  CheckpointWriter holder;
+  ASSERT_TRUE(holder.open_fresh(dir, 11).is_ok());
+
+  // While the first writer holds the OFD lock, neither open path may
+  // touch the journal: a taken-over-but-alive lease holder must get a
+  // clean refusal instead of interleaving appends with the claimant.
+  CheckpointWriter fenced;
+  const Status fresh = fenced.open_fresh(dir, 11);
+  EXPECT_EQ(fresh.code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(fenced.is_open());
+  const Status resume = fenced.open_resume(dir, 0);
+  EXPECT_EQ(resume.code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(fenced.is_open());
+
+  // The fenced attempt must not have truncated the holder's file: the
+  // holder keeps appending durable records as if nothing happened.
+  CheckpointRecord a;
+  a.region = {1};
+  a.banned = {true};
+  ASSERT_TRUE(holder.append(a).is_ok());
+  holder.close();
+  const auto journal = read_checkpoint(dir);
+  ASSERT_TRUE(journal) << journal.status().to_string();
+  EXPECT_EQ(journal->records.size(), 1u);
+
+  // The lock dies with the fd: after close the successor opens freely.
+  CheckpointWriter successor;
+  EXPECT_TRUE(successor.open_resume(dir, journal->valid_bytes).is_ok());
+  successor.close();
+}
+
+TEST(Resilience, DeadlineExpiredRunStillYieldsValidTraceJson) {
+  // Regression: an expired deadline used to exit the CLI before the
+  // trace buffers were flushed, leaving --trace-out absent or torn.
+  // The library-level contract behind the fix: whatever spans a
+  // truncated run recorded must export as complete, parseable Chrome
+  // JSON at any instant.
+  Tracer& tracer = Tracer::instance();
+  const bool was_enabled = tracer.enabled();
+  tracer.enable();
+
+  DesignFlow flow(osu018_library(), fast_options());
+  const FlowState original = flow.run_initial(small_block()).value();
+  CancelToken token;
+  token.cancel();
+  ResynthesisOptions options;
+  options.cancel = &token;
+  const ResynthesisResult result =
+      resynthesize(flow, original, options).value();
+  EXPECT_TRUE(result.report.deadline_expired);
+
+  const std::string path =
+      testing::TempDir() + "dfmres_expired_trace.json";
+  ASSERT_TRUE(tracer.write_chrome_json(path).is_ok());
+  if (!was_enabled) tracer.disable();
+
+  const std::string text = slurp(path);
+  const auto doc = JsonValue::parse(text);
+  ASSERT_TRUE(doc) << doc.status().to_string();
+  const JsonValue* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // The truncated run still recorded real spans, flow analysis at
+  // minimum — an empty export would mean the flush happened too early.
+  EXPECT_FALSE(events->items().empty());
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,317 @@
+// Telemetry-bus tests: crash-durable snapshot sequencing (SIGKILL at
+// the telemetry.publish commit site loses at most one interval and a
+// respawned owner continues the numbering), cross-process trace merge
+// determinism and pid/tid correctness, the dfmres-status-v1 JSON
+// round-trip against a live two-worker campaign, and torn-snapshot
+// tolerance in both readers.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/campaign.hpp"
+#include "src/core/telemetry.hpp"
+#include "src/util/crashpoint.hpp"
+#include "src/util/fsio.hpp"
+#include "src/util/json.hpp"
+
+namespace dfmres {
+namespace {
+
+std::string make_root(const std::string& tag) {
+  const std::string root = testing::TempDir() + "dfmres_telem_" + tag + "_" +
+                           std::to_string(::getpid());
+  EXPECT_TRUE(make_dir(root).is_ok());
+  return root;
+}
+
+TelemetryOptions manual_options(const std::string& root,
+                                const std::string& owner) {
+  TelemetryOptions options;
+  options.campaign_root = root;
+  options.owner = owner;
+  options.interval = std::chrono::nanoseconds(0);  // publish_now only
+  return options;
+}
+
+/// Trimmed search budgets so worker-run jobs stay unit-test sized.
+void trim(CampaignJobSpec& job) {
+  job.flow.atpg.random_batches = 4;
+  job.flow.atpg.backtrack_limit = 1000;
+  job.resyn.max_iterations_per_phase = 8;
+  job.resyn.reanalyses_per_iteration = 8;
+}
+
+CampaignWorkerOptions fast_worker(const std::string& root,
+                                  const std::string& owner) {
+  CampaignWorkerOptions options;
+  options.campaign_root = root;
+  options.owner = owner;
+  options.total_threads = 1;
+  options.heartbeat = std::chrono::milliseconds(20);
+  options.lease_ttl = std::chrono::milliseconds(60);
+  options.backoff_base = std::chrono::milliseconds(10);
+  options.telemetry_interval = std::chrono::milliseconds(25);
+  return options;
+}
+
+TEST(Telemetry, FileNameEncodesOwnerAndSeq) {
+  EXPECT_EQ(telemetry_file_name("w42", 7), "w42.7.json");
+  EXPECT_EQ(telemetry_file_name("coord", 123), "coord.123.json");
+}
+
+TEST(Telemetry, PublishNowAdvancesSeqAndWritesDurableSnapshots) {
+  const std::string root = make_root("seq");
+  TelemetryPublisher pub(manual_options(root, "w1"));
+  ASSERT_TRUE(pub.init().is_ok());
+  EXPECT_EQ(pub.next_seq(), 1u);
+  ASSERT_TRUE(pub.publish_now().is_ok());
+  ASSERT_TRUE(pub.publish_now().is_ok());
+  EXPECT_EQ(pub.next_seq(), 3u);
+  for (std::uint64_t seq = 1; seq <= 2; ++seq) {
+    const auto text =
+        read_file(root + "/telemetry/" + telemetry_file_name("w1", seq));
+    ASSERT_TRUE(text) << text.status().to_string();
+    const auto doc = JsonValue::parse(*text);
+    ASSERT_TRUE(doc) << doc.status().to_string();
+    EXPECT_EQ(doc->find("schema")->as_string(), kTelemetrySchema);
+    EXPECT_EQ(doc->find("owner")->as_string(), "w1");
+    EXPECT_EQ(doc->find("seq")->as_number(), static_cast<double>(seq));
+    EXPECT_EQ(doc->find("pid")->as_number(),
+              static_cast<double>(::getpid()));
+  }
+}
+
+/// Forks a child that publishes `publishes` snapshots for `owner`. The
+/// parent arms DFMRES_CRASH_AFTER before calling; the child re-reads it
+/// post-fork so the telemetry.publish crash site fires in the child.
+int fork_publisher(const std::string& root, const std::string& owner,
+                   int publishes) {
+  std::fflush(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    crash_point_rearm_from_env();
+    TelemetryPublisher pub(manual_options(root, owner));
+    if (!pub.init().is_ok()) ::_exit(2);
+    for (int i = 0; i < publishes; ++i) {
+      if (!pub.publish_now().is_ok()) ::_exit(3);
+    }
+    ::_exit(0);
+  }
+  int wstatus = 0;
+  ::waitpid(pid, &wstatus, 0);
+  return wstatus;
+}
+
+TEST(Telemetry, SeqStaysMonotonicAcrossSigkillAtPublishCommit) {
+  const std::string root = make_root("sigkill");
+
+  // Child dies at the second telemetry.publish commit: the seq-2 file
+  // is already durable, the in-memory cursor advance is lost. That is
+  // the worst instant for the protocol — the published file must be
+  // whole and the numbering must not restart or skip.
+  ASSERT_EQ(::setenv("DFMRES_CRASH_AFTER", "telemetry.publish:2", 1), 0);
+  const int killed = fork_publisher(root, "w1", 5);
+  ASSERT_EQ(::unsetenv("DFMRES_CRASH_AFTER"), 0);
+  ASSERT_TRUE(WIFSIGNALED(killed)) << "publisher survived the crash point";
+  EXPECT_EQ(WTERMSIG(killed), SIGKILL);
+
+  EXPECT_TRUE(path_exists(root + "/telemetry/w1.1.json"));
+  EXPECT_TRUE(path_exists(root + "/telemetry/w1.2.json"));
+  EXPECT_FALSE(path_exists(root + "/telemetry/w1.3.json"));
+
+  // Both survivors parse whole: exclusive-create + rename publication
+  // cannot leave a torn document behind.
+  for (std::uint64_t seq = 1; seq <= 2; ++seq) {
+    const auto text =
+        read_file(root + "/telemetry/" + telemetry_file_name("w1", seq));
+    ASSERT_TRUE(text);
+    EXPECT_TRUE(JsonValue::parse(*text)) << "torn snapshot " << seq;
+  }
+
+  // A respawn under the same owner recovers the directory high-water
+  // mark and continues the sequence instead of reusing a name.
+  TelemetryPublisher pub(manual_options(root, "w1"));
+  ASSERT_TRUE(pub.init().is_ok());
+  EXPECT_EQ(pub.next_seq(), 3u);
+  ASSERT_TRUE(pub.publish_now().is_ok());
+  EXPECT_TRUE(path_exists(root + "/telemetry/w1.3.json"));
+}
+
+TEST(TelemetryHeavy, MergedTraceIsDeterministicWithRealPidTid) {
+  CampaignManifest manifest;
+  manifest.jobs.push_back({});
+  CampaignJobSpec& spec = manifest.jobs[0];
+  spec.name = "tlu";
+  spec.design = "sparc_tlu";
+  spec.resyn.q_max = 0;
+  trim(spec);
+
+  const std::string root = make_root("merge") + "/camp";
+  ASSERT_TRUE(init_campaign_root(manifest, root).is_ok());
+  const auto stats = run_campaign_worker(fast_worker(root, "w1"));
+  ASSERT_TRUE(stats) << stats.status().to_string();
+
+  const auto first = merge_campaign_trace(root);
+  ASSERT_TRUE(first) << first.status().to_string();
+  const auto second = merge_campaign_trace(root);
+  ASSERT_TRUE(second) << second.status().to_string();
+  // Byte-identical re-merge: the timeline is diffable evidence.
+  EXPECT_EQ(*first, *second);
+
+  const auto doc = JsonValue::parse(*first);
+  ASSERT_TRUE(doc) << doc.status().to_string();
+  const JsonValue* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  const double worker_pid = static_cast<double>(::getpid());
+  bool saw_lease_process = false;
+  bool saw_worker_process = false;
+  bool saw_worker_span = false;
+  bool saw_claim = false;
+  for (const JsonValue& event : events->items()) {
+    const std::string ph = event.find("ph")->as_string();
+    const double pid = event.find("pid")->as_number();
+    if (ph == "M") {
+      const std::string name = event.find("name")->as_string();
+      if (name == "process_name") {
+        const std::string label =
+            event.find("args")->find("name")->as_string();
+        if (pid == 0.0 && label == "lease protocol") {
+          saw_lease_process = true;
+        }
+        if (pid == worker_pid && label == "worker w1") {
+          saw_worker_process = true;
+        }
+      }
+      continue;
+    }
+    if (ph == "X") {
+      // Every duration span belongs to the real worker process and
+      // carries a thread row.
+      EXPECT_EQ(pid, worker_pid);
+      EXPECT_NE(event.find("tid"), nullptr);
+      saw_worker_span = true;
+    }
+    if (ph == "i" && event.find("name")->as_string() == "lease.claim") {
+      EXPECT_EQ(pid, 0.0);
+      saw_claim = true;
+    }
+  }
+  EXPECT_TRUE(saw_lease_process);
+  EXPECT_TRUE(saw_worker_process);
+  EXPECT_TRUE(saw_worker_span);
+  EXPECT_TRUE(saw_claim);
+}
+
+TEST(TelemetryHeavy, StatusJsonRoundTripsAgainstLiveTwoWorkerCampaign) {
+  CampaignManifest manifest;
+  for (const char* name : {"tlu-a", "tlu-b"}) {
+    manifest.jobs.push_back({});
+    CampaignJobSpec& spec = manifest.jobs.back();
+    spec.name = name;
+    spec.design = "sparc_tlu";
+    spec.resyn.q_max = 0;
+    trim(spec);
+  }
+
+  const std::string root = make_root("status") + "/camp";
+  ASSERT_TRUE(init_campaign_root(manifest, root).is_ok());
+
+  std::thread a([&] { (void)run_campaign_worker(fast_worker(root, "w1")); });
+  std::thread b([&] { (void)run_campaign_worker(fast_worker(root, "w2")); });
+
+  // Poll the live campaign: read-only observation must succeed and
+  // parse at every instant, whatever half-written mixture of leases,
+  // shards and snapshots is on disk.
+  for (int i = 0; i < 20; ++i) {
+    const auto live = poll_campaign_status(root);
+    ASSERT_TRUE(live) << live.status().to_string();
+    const auto line = render_status_json(*live);
+    const auto doc = JsonValue::parse(line);
+    ASSERT_TRUE(doc) << doc.status().to_string();
+    if (live->report_written) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  a.join();
+  b.join();
+
+  const auto status = poll_campaign_status(root);
+  ASSERT_TRUE(status) << status.status().to_string();
+  EXPECT_TRUE(status->report_written);
+  EXPECT_EQ(status->jobs_total, 2u);
+  EXPECT_EQ(status->done, 2u);
+  EXPECT_EQ(status->eta_s, 0.0);
+  ASSERT_EQ(status->jobs.size(), 2u);
+  // Manifest order, both terminal.
+  EXPECT_EQ(status->jobs[0].name, "tlu-a");
+  EXPECT_EQ(status->jobs[1].name, "tlu-b");
+  for (const JobStatusRow& job : status->jobs) {
+    EXPECT_EQ(job.state, "done") << job.name;
+    EXPECT_GE(job.runtime_s, 0.0);
+  }
+  // Both workers published snapshots from this pid.
+  ASSERT_GE(status->workers.size(), 2u);
+  for (const WorkerStatusRow& worker : status->workers) {
+    EXPECT_EQ(worker.pid, static_cast<std::uint64_t>(::getpid()));
+    EXPECT_GE(worker.seq, 1u);
+  }
+
+  // The machine interface round-trips: one newline-terminated line of
+  // dfmres-status-v1 whose fields mirror the polled struct.
+  const std::string line = render_status_json(*status);
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_EQ(line.find('\n'), line.size() - 1);
+  const auto doc = JsonValue::parse(line);
+  ASSERT_TRUE(doc) << doc.status().to_string();
+  EXPECT_EQ(doc->find("schema")->as_string(), kStatusSchema);
+  EXPECT_TRUE(doc->find("report_written")->as_bool());
+  EXPECT_EQ(doc->find("jobs_total")->as_number(), 2.0);
+  EXPECT_EQ(doc->find("done")->as_number(), 2.0);
+  ASSERT_EQ(doc->find("jobs")->items().size(), 2u);
+  for (const JsonValue& job : doc->find("jobs")->items()) {
+    EXPECT_EQ(job.find("state")->as_string(), "done");
+  }
+  ASSERT_GE(doc->find("workers")->items().size(), 2u);
+
+  // Torn-snapshot tolerance: a crash mid-rename cannot happen, but a
+  // half-copied or foreign file in telemetry/ must be skipped by both
+  // readers, not fatal — and skipping keeps the merge byte-identical.
+  const auto merged_before = merge_campaign_trace(root);
+  ASSERT_TRUE(merged_before) << merged_before.status().to_string();
+  ASSERT_TRUE(write_file_atomic(root + "/telemetry/w9.1.json",
+                                "{\"schema\": \"dfmres-telem", "t")
+                  .is_ok());
+  ASSERT_TRUE(
+      write_file_atomic(root + "/telemetry/w9.2.json", "", "t").is_ok());
+  ASSERT_TRUE(write_file_atomic(root + "/telemetry/README", "not json", "t")
+                  .is_ok());
+  const auto merged_after = merge_campaign_trace(root);
+  ASSERT_TRUE(merged_after) << merged_after.status().to_string();
+  EXPECT_EQ(*merged_before, *merged_after);
+  const auto tolerant = poll_campaign_status(root);
+  ASSERT_TRUE(tolerant) << tolerant.status().to_string();
+  EXPECT_EQ(tolerant->workers.size(), status->workers.size());
+}
+
+TEST(Telemetry, MergeWithoutManifestIsNotFound) {
+  const std::string root = make_root("nomanifest");
+  const auto merged = merge_campaign_trace(root);
+  ASSERT_FALSE(merged);
+  EXPECT_EQ(merged.code(), StatusCode::kNotFound);
+  const auto status = poll_campaign_status(root);
+  ASSERT_FALSE(status);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace dfmres

@@ -22,6 +22,13 @@
 //       Attach one worker process to an existing campaign root (the
 //       elastic half of --workers: extra workers can join a running
 //       campaign from other shells or hosts sharing the directory).
+//   dfmres status --campaign-root DIR [--follow] [--json]
+//       Observe a campaign root read-only: per-job lease/shard state,
+//       per-worker telemetry and an ETA. --follow polls until the
+//       merged report lands; --json emits dfmres-status-v1 lines.
+//   dfmres trace merge --campaign-root DIR [--out F]
+//       Stitch every worker's telemetry trace shards and the lease
+//       protocol events into one Chrome trace_event timeline.
 //   dfmres canon <report.json>
 //       Print the canonical projection of a campaign report (the
 //       schedule-independent substance) for bit-identity comparison.
@@ -47,12 +54,14 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/circuits/benchmarks.hpp"
 #include "src/core/campaign.hpp"
 #include "src/core/resynthesis.hpp"
 #include "src/core/run_report.hpp"
+#include "src/core/telemetry.hpp"
 #include "src/library/osu018.hpp"
 #include "src/netlist/stats.hpp"
 #include "src/netlist/verilog.hpp"
@@ -219,9 +228,12 @@ struct CommonRunFlags {
         [&](const std::string& path) { return result.write_report(path); });
   }
 
- private:
-  template <typename WriteReport>
-  [[nodiscard]] bool flush_impl(const WriteReport& write_report) const {
+  /// The error/drain-path flush: whatever spans and metrics the run got
+  /// to record are still evidence, so a load failure, a cancelled run or
+  /// an expired deadline writes complete, valid --trace-out /
+  /// --metrics-out documents instead of nothing (the report needs a
+  /// finished run and is skipped).
+  bool flush_observability() const {
     bool ok = true;
     const auto emit = [&](const std::string& path, const Status& s) {
       if (path.empty()) return;
@@ -238,6 +250,22 @@ struct CommonRunFlags {
     if (!metrics_out.empty()) {
       emit(metrics_out, MetricsRegistry::global().write_json(metrics_out));
     }
+    return ok;
+  }
+
+ private:
+  template <typename WriteReport>
+  [[nodiscard]] bool flush_impl(const WriteReport& write_report) const {
+    bool ok = flush_observability();
+    const auto emit = [&](const std::string& path, const Status& s) {
+      if (path.empty()) return;
+      if (s.is_ok()) {
+        std::printf("wrote %s\n", path.c_str());
+      } else {
+        std::fprintf(stderr, "%s\n", s.to_string().c_str());
+        ok = false;
+      }
+    };
     if (!report_out.empty()) emit(report_out, write_report(report_out));
     return ok;
   }
@@ -248,7 +276,8 @@ struct CommonRunFlags {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: dfmres <list|flow|resyn|campaign|work|canon|verilog> "
+               "usage: dfmres "
+               "<list|flow|resyn|campaign|work|status|trace|canon|verilog> "
                "[args]\n"
                "  dfmres list\n"
                "  dfmres flow <circuit|file.v> [--write out.v] [--util U] "
@@ -270,7 +299,10 @@ int usage() {
                "[--report-out F]\n"
                "  dfmres work --campaign-root DIR [--owner ID] [--threads N]\n"
                "               [--heartbeat D] [--lease-ttl D] "
-               "[--max-attempts N]\n"
+               "[--max-attempts N] [--snapshot-interval D]\n"
+               "  dfmres status --campaign-root DIR [--follow] [--json] "
+               "[--interval D]\n"
+               "  dfmres trace merge --campaign-root DIR [--out F]\n"
                "  dfmres canon <report.json>\n"
                "  dfmres verilog <circuit>\n"
                "  --manifest F: campaign manifest JSON "
@@ -295,6 +327,18 @@ int usage() {
                "poisoned (default 3)\n"
                "  --owner ID: worker identity stamped into leases and "
                "shards (default w<pid>)\n"
+               "  --snapshot-interval D: period of the crash-durable "
+               "telemetry snapshots workers publish under\n"
+               "                  <root>/telemetry (default 1s; 0 "
+               "disables)\n"
+               "  --follow: poll status until the merged report is "
+               "written (SIGINT stops)\n"
+               "  --json: emit one dfmres-status-v1 JSON line per poll "
+               "instead of the table\n"
+               "  --interval D: status poll period with --follow "
+               "(default 2s)\n"
+               "  --out F: write the merged Chrome trace to F (atomic) "
+               "instead of stdout\n"
                "  --threads N: fault-simulation worker lanes "
                "(0 = hardware, 1 = serial; results are identical)\n"
                "  --simd M: fault-simulation kernel: auto|scalar|portable4|"
@@ -424,6 +468,14 @@ std::optional<FlowState> run_flow(DesignFlow& flow, const Netlist& design,
   return std::move(*state);
 }
 
+/// Run-failure exit that still writes --trace-out/--metrics-out (the
+/// SIGINT/SIGTERM drain and deadline-expiry paths land here too, via
+/// exit_code's 130 mapping).
+int flush_and_fail(const CommonRunFlags& obs) {
+  (void)obs.flush_observability();
+  return exit_code(1);
+}
+
 int cmd_list() {
   for (const auto n : benchmark_names()) {
     std::printf("%.*s\n", static_cast<int>(n.size()), n.data());
@@ -461,10 +513,10 @@ int cmd_flow(int argc, char** argv) {
   const auto t0 = std::chrono::steady_clock::now();
   bool is_mapped = false;
   const auto design = load_design(argv[0], &is_mapped);
-  if (!design) return 1;
+  if (!design) return flush_and_fail(obs);
   DesignFlow flow(osu018_library(), options);
   const auto state = run_flow(flow, *design, is_mapped);
-  if (!state) return 1;
+  if (!state) return flush_and_fail(obs);
   std::printf("%s", describe(state->netlist).c_str());
   print_state("flow", *state, nullptr);
   std::printf("%s\n", state->atpg.counters.summary().c_str());
@@ -533,10 +585,10 @@ int cmd_resyn(int argc, char** argv) {
   const auto t0 = std::chrono::steady_clock::now();
   bool is_mapped = false;
   const auto design = load_design(argv[0], &is_mapped);
-  if (!design) return 1;
+  if (!design) return flush_and_fail(obs);
   DesignFlow flow(osu018_library(), flow_options);
   const auto original = run_flow(flow, *design, is_mapped);
-  if (!original) return 1;
+  if (!original) return flush_and_fail(obs);
   print_state("orig", *original, nullptr);
   // The fingerprint depends on the seed tests, which the sign-off
   // regenerates — compute it now, on the state resynthesize() will see.
@@ -547,7 +599,7 @@ int cmd_resyn(int argc, char** argv) {
   auto result = resynthesize(flow, *original, options);
   if (!result) {
     std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
-    return 1;
+    return flush_and_fail(obs);
   }
   print_state("resyn", result->state, original ? &*original : nullptr);
   std::printf("%s\n", result->state.atpg.counters.summary().c_str());
@@ -591,7 +643,7 @@ int cmd_resyn(int argc, char** argv) {
 /// -1 (reported). The child never returns from here.
 pid_t spawn_worker(const std::string& root, int threads,
                    const std::string& heartbeat, const std::string& ttl,
-                   long max_attempts) {
+                   long max_attempts, const std::string& snapshot_interval) {
   const std::string exe = self_exe_path();
   const std::string threads_text = std::to_string(threads);
   const std::string attempts_text = std::to_string(max_attempts);
@@ -612,6 +664,10 @@ pid_t spawn_worker(const std::string& root, int threads,
     args.push_back("--lease-ttl");
     args.push_back(ttl.c_str());
   }
+  if (!snapshot_interval.empty()) {
+    args.push_back("--snapshot-interval");
+    args.push_back(snapshot_interval.c_str());
+  }
   args.push_back(nullptr);
   ::execv(exe.c_str(), const_cast<char* const*>(args.data()));
   std::perror("execv");
@@ -626,7 +682,9 @@ pid_t spawn_worker(const std::string& root, int threads,
 int run_worker_campaign(const CampaignManifest& manifest,
                         const std::string& root, int workers, int threads,
                         const std::string& heartbeat, const std::string& ttl,
-                        long max_attempts, const CommonRunFlags& obs) {
+                        long max_attempts,
+                        const std::string& snapshot_interval,
+                        const CommonRunFlags& obs) {
   if (Status s = init_campaign_root(manifest, root); !s.is_ok()) {
     std::fprintf(stderr, "%s\n", s.to_string().c_str());
     return 1;
@@ -634,7 +692,7 @@ int run_worker_campaign(const CampaignManifest& manifest,
   std::vector<pid_t> live;
   for (int i = 0; i < workers; ++i) {
     const pid_t pid = spawn_worker(root, threads, heartbeat, ttl,
-                                   max_attempts);
+                                   max_attempts, snapshot_interval);
     if (pid > 0) live.push_back(pid);
   }
   if (live.empty()) return 1;
@@ -682,7 +740,7 @@ int run_worker_campaign(const CampaignManifest& manifest,
                      static_cast<int>(pid), WEXITSTATUS(wstatus));
       }
       const pid_t fresh = spawn_worker(root, threads, heartbeat, ttl,
-                                       max_attempts);
+                                       max_attempts, snapshot_interval);
       if (fresh > 0) live.push_back(fresh);
     } else {
       std::fprintf(stderr, "worker %d died and the respawn budget is "
@@ -767,6 +825,7 @@ int cmd_campaign(int argc, char** argv) {
   std::string campaign_root;
   std::string heartbeat;
   std::string lease_ttl;
+  std::string snapshot_interval;
   CampaignOptions options;
   CommonRunFlags obs(/*with_robustness=*/true, "--checkpoint-root");
   for (int i = 0; i < argc; ++i) {
@@ -792,6 +851,14 @@ int cmd_campaign(int argc, char** argv) {
       if (!take_duration("--heartbeat", argv[++i], &heartbeat)) return 2;
     } else if (!std::strcmp(argv[i], "--lease-ttl") && i + 1 < argc) {
       if (!take_duration("--lease-ttl", argv[++i], &lease_ttl)) return 2;
+    } else if (!std::strcmp(argv[i], "--snapshot-interval") && i + 1 < argc) {
+      // "0" (disable) is meaningful here, unlike other duration flags.
+      ++i;
+      if (std::strcmp(argv[i], "0") != 0 &&
+          !take_duration("--snapshot-interval", argv[i], &snapshot_interval)) {
+        return 2;
+      }
+      snapshot_interval = argv[i];
     } else if (!std::strcmp(argv[i], "--max-attempts") && i + 1 < argc) {
       if (!parse_long("--max-attempts", argv[++i], 1, 100, &max_attempts)) {
         return 2;
@@ -838,7 +905,7 @@ int cmd_campaign(int argc, char** argv) {
     return run_worker_campaign(*manifest, campaign_root,
                                static_cast<int>(workers),
                                options.total_threads, heartbeat, lease_ttl,
-                               max_attempts, obs);
+                               max_attempts, snapshot_interval, obs);
   }
   if (!campaign_root.empty()) {
     std::fprintf(stderr, "--campaign-root requires --workers N (use "
@@ -916,6 +983,19 @@ int cmd_work(int argc, char** argv) {
         return 2;
       }
       options.max_attempts = static_cast<int>(attempts);
+    } else if (!std::strcmp(argv[i], "--snapshot-interval") && i + 1 < argc) {
+      ++i;
+      if (!std::strcmp(argv[i], "0")) {
+        options.telemetry_interval = std::chrono::nanoseconds{0};
+      } else {
+        const auto d = parse_duration_spec(argv[i]);
+        if (!d) {
+          std::fprintf(stderr, "--snapshot-interval: %s\n",
+                       d.status().to_string().c_str());
+          return 2;
+        }
+        options.telemetry_interval = *d;
+      }
     } else {
       return usage();
     }
@@ -935,6 +1015,101 @@ int cmd_work(int argc, char** argv) {
               stats->jobs_poisoned, stats->merged ? ", merged the report" : "",
               stats->cancelled ? ", interrupted" : "");
   return stats->cancelled ? 130 : 0;
+}
+
+/// `dfmres status`: read-only observation of a campaign root. Polling
+/// opens files and nothing else — no leases, no locks, no signals — so
+/// watching a live campaign cannot slow it down or perturb its
+/// scheduling.
+int cmd_status(int argc, char** argv) {
+  std::string root;
+  bool follow = false;
+  bool as_json = false;
+  std::chrono::nanoseconds interval{std::chrono::seconds(2)};
+  for (int i = 0; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--campaign-root") && i + 1 < argc) {
+      root = argv[++i];
+    } else if (!std::strcmp(argv[i], "--follow")) {
+      follow = true;
+    } else if (!std::strcmp(argv[i], "--json")) {
+      as_json = true;
+    } else if (!std::strcmp(argv[i], "--interval") && i + 1 < argc) {
+      const auto d = parse_duration_spec(argv[++i]);
+      if (!d) {
+        std::fprintf(stderr, "--interval: %s\n",
+                     d.status().to_string().c_str());
+        return 2;
+      }
+      interval = *d;
+    } else {
+      return usage();
+    }
+  }
+  if (root.empty()) {
+    std::fprintf(stderr, "status requires --campaign-root DIR\n");
+    return 2;
+  }
+  for (;;) {
+    const auto status = poll_campaign_status(root);
+    if (!status) {
+      std::fprintf(stderr, "%s\n", status.status().to_string().c_str());
+      return 1;
+    }
+    if (as_json) {
+      std::fputs(render_status_json(*status).c_str(), stdout);
+    } else {
+      std::fputs(render_status_table(*status).c_str(), stdout);
+    }
+    std::fflush(stdout);
+    if (!follow || status->report_written) return exit_code(0);
+    if (!as_json) std::printf("\n");
+    // Sleep in short slices so SIGINT ends the follow promptly.
+    auto left = interval;
+    while (left.count() > 0 && !interrupted()) {
+      const auto slice =
+          std::min<std::chrono::nanoseconds>(left,
+                                             std::chrono::milliseconds(100));
+      std::this_thread::sleep_for(slice);
+      left -= slice;
+    }
+    if (interrupted()) return 130;
+  }
+}
+
+/// `dfmres trace merge`: the cross-process timeline.
+int cmd_trace(int argc, char** argv) {
+  if (argc < 1 || std::strcmp(argv[0], "merge") != 0) return usage();
+  std::string root;
+  std::string out;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--campaign-root") && i + 1 < argc) {
+      root = argv[++i];
+    } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (root.empty()) {
+    std::fprintf(stderr, "trace merge requires --campaign-root DIR\n");
+    return 2;
+  }
+  const auto merged = merge_campaign_trace(root);
+  if (!merged) {
+    std::fprintf(stderr, "%s\n", merged.status().to_string().c_str());
+    return 1;
+  }
+  if (out.empty()) {
+    std::fputs(merged->c_str(), stdout);
+    std::fputs("\n", stdout);
+    return 0;
+  }
+  if (Status s = write_file_atomic(out, *merged, "trace"); !s.is_ok()) {
+    std::fprintf(stderr, "%s\n", s.to_string().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
 }
 
 /// `dfmres canon`: the canonical projection of a campaign report, for
@@ -994,6 +1169,8 @@ int main(int argc, char** argv) {
   if (cmd == "resyn") return cmd_resyn(argc - 2, argv + 2);
   if (cmd == "campaign") return cmd_campaign(argc - 2, argv + 2);
   if (cmd == "work") return cmd_work(argc - 2, argv + 2);
+  if (cmd == "status") return cmd_status(argc - 2, argv + 2);
+  if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
   if (cmd == "canon") return cmd_canon(argc - 2, argv + 2);
   if (cmd == "verilog") return cmd_verilog(argc - 2, argv + 2);
   return usage();
