@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "bench/bench_util.hpp"
+#include "src/core/schemas.hpp"
 #include "src/netlist/extract.hpp"
 #include "src/synth/mapper.hpp"
 #include "src/util/json.hpp"
@@ -286,7 +287,7 @@ int main(int argc, char** argv) {
 
   JsonWriter w;
   w.begin_object();
-  w.field("schema", "dfmres-bench-probe-overlay-v1");
+  w.field("schema", schemas::kBenchProbeOverlay);
   w.field("circuit", circuit);
   w.field("identical", identical);
   w.field("bytes_per_probe_ratio", local_ratio);

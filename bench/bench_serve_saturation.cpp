@@ -1,0 +1,283 @@
+// Saturation bench for the `dfmres serve` daemon: submit→report
+// latency percentiles versus offered load, with one load level pushed
+// past the admission bound so the explicit kResourceExhausted rejection
+// path is exercised and measured rather than assumed.
+//
+// An in-process daemon (4 workers) serves single-job flow campaigns
+// over its Unix-domain socket; each load level opens `offered`
+// concurrent client connections, every client timing its own
+// submit→report round trip. Writes `BENCH_serve_saturation.json`
+// (schema dfmres-bench-serve-v1) with p50/p95/p99 per level.
+//
+// Overrides: DFMRES_BENCH_SERVE_WORKERS (default 4),
+// DFMRES_BENCH_SERVE_INFLIGHT (admission bound, default 8).
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/core/request.hpp"
+#include "src/core/schemas.hpp"
+#include "src/core/serve.hpp"
+#include "src/util/cancel.hpp"
+#include "src/util/fsio.hpp"
+#include "src/util/json.hpp"
+
+using namespace dfmres;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int env_int(const char* name, int fallback) {
+  if (const char* env = std::getenv(name)) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+/// One client round trip: connect, submit a single-job campaign, read
+/// events until the terminal one. Fills `latency_s` on success.
+struct Submission {
+  bool accepted = false;
+  bool rejected = false;
+  double latency_s = 0.0;
+};
+
+Submission submit_and_wait(const std::string& socket_path,
+                           const std::string& id, std::uint64_t seed) {
+  Submission out;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return out;
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return out;
+  }
+
+  CampaignJobSpec job;
+  job.name = id;
+  job.design = "sparc_tlu";
+  job.mode = CampaignJobSpec::Mode::Flow;
+  job.flow.atpg.random_batches = 4;
+  job.flow.atpg.backtrack_limit = 1000;
+  job.flow.atpg.seed = seed;
+  Request request;
+  request.payload = RunRequest{id, std::move(job)};
+  const std::string line = request_to_json(request) + "\n";
+
+  const auto t0 = Clock::now();
+  for (std::size_t off = 0; off < line.size();) {
+    const ssize_t n = ::write(fd, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return out;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  std::string buf;
+  char chunk[4096];
+  bool done = false;
+  while (!done) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buf.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buf.find('\n', start);
+      if (nl == std::string::npos) break;
+      const std::string text = buf.substr(start, nl - start);
+      start = nl + 1;
+      const auto doc = JsonValue::parse(text);
+      if (!doc) continue;
+      const JsonValue* ev = doc->find("event");
+      if (ev == nullptr || !ev->is_string()) continue;
+      if (ev->as_string() == "accepted") out.accepted = true;
+      if (ev->as_string() == "rejected" || ev->as_string() == "error") {
+        out.rejected = true;
+        done = true;
+        break;
+      }
+      if (ev->as_string() == "report") {
+        out.latency_s = std::chrono::duration<double>(Clock::now() - t0).count();
+        done = true;
+        break;
+      }
+    }
+    buf.erase(0, start);
+  }
+  ::close(fd);
+  return out;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return -1.0;
+  const std::size_t n = sorted.size();
+  const std::size_t idx = std::min(
+      n - 1, static_cast<std::size_t>(p * static_cast<double>(n - 1) + 0.5));
+  return sorted[idx];
+}
+
+struct Level {
+  int offered = 0;
+  int accepted = 0;
+  int rejected = 0;
+  double wall_s = 0.0;
+  double p50_ms = -1.0;
+  double p95_ms = -1.0;
+  double p99_ms = -1.0;
+  double jobs_per_s = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  const int workers = env_int("DFMRES_BENCH_SERVE_WORKERS", 4);
+  const int max_inflight = env_int("DFMRES_BENCH_SERVE_INFLIGHT", 8);
+
+  const std::string root =
+      "BENCH_serve_root_" + std::to_string(::getpid());
+  const std::string sock = root + ".sock";
+
+  ServeOptions options;
+  options.campaign_root = root;
+  options.socket_path = sock;
+  options.workers = workers;
+  options.total_threads = workers;
+  options.max_inflight_jobs = static_cast<std::size_t>(max_inflight);
+  // One client connection per submission at every level.
+  options.max_client_campaigns = 4096;
+  options.poll_interval = std::chrono::milliseconds(10);
+  std::thread daemon([&options] {
+    const auto stats = run_serve(options);
+    if (!stats) {
+      std::fprintf(stderr, "serve: %s\n", stats.status().to_string().c_str());
+    }
+  });
+  // Wait for the socket to come up.
+  for (int i = 0; i < 200 && !path_exists(sock); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  // The last level offers more concurrent jobs than the admission
+  // bound, so its rejected count must be nonzero: the bench verifies
+  // the backpressure contract while measuring it.
+  std::vector<int> offered_levels = {1, 2, 4, max_inflight, 2 * max_inflight};
+  std::vector<Level> levels;
+  int job_serial = 0;
+  for (const int offered : offered_levels) {
+    Level level;
+    level.offered = offered;
+    std::vector<Submission> results(static_cast<std::size_t>(offered));
+    std::vector<std::thread> clients;
+    const auto t0 = Clock::now();
+    for (int i = 0; i < offered; ++i) {
+      const std::string id = "bench-" + std::to_string(job_serial++);
+      const std::uint64_t seed = static_cast<std::uint64_t>(1000 + i);
+      clients.emplace_back([&results, &sock, i, id, seed] {
+        results[static_cast<std::size_t>(i)] = submit_and_wait(sock, id, seed);
+      });
+    }
+    for (auto& t : clients) t.join();
+    level.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+
+    std::vector<double> latencies;
+    for (const Submission& s : results) {
+      if (s.rejected) {
+        ++level.rejected;
+      } else if (s.latency_s > 0.0) {
+        ++level.accepted;
+        latencies.push_back(s.latency_s);
+      }
+    }
+    std::sort(latencies.begin(), latencies.end());
+    level.p50_ms = percentile(latencies, 0.50) * 1e3;
+    level.p95_ms = percentile(latencies, 0.95) * 1e3;
+    level.p99_ms = percentile(latencies, 0.99) * 1e3;
+    if (level.wall_s > 0.0) {
+      level.jobs_per_s = static_cast<double>(level.accepted) / level.wall_s;
+    }
+    std::printf("offered %3d: accepted %3d rejected %3d  p50 %7.1fms  "
+                "p95 %7.1fms  p99 %7.1fms  %.1f jobs/s\n",
+                level.offered, level.accepted, level.rejected, level.p50_ms,
+                level.p95_ms, level.p99_ms, level.jobs_per_s);
+    levels.push_back(level);
+  }
+
+  // Drain the daemon so the root merges everything and the thread exits.
+  {
+    Request request;
+    request.payload = DrainRequest{};
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, sock.c_str(), sock.size() + 1);
+    if (fd >= 0 &&
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      const std::string line = request_to_json(request) + "\n";
+      (void)!::write(fd, line.data(), line.size());
+      char sink[256];
+      while (::read(fd, sink, sizeof(sink)) > 0) {
+      }
+    }
+    if (fd >= 0) ::close(fd);
+  }
+  daemon.join();
+
+  const Level& saturated = levels.back();
+  const bool rejections_seen = saturated.rejected > 0;
+
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema", schemas::kBenchServe);
+  w.field("workers", static_cast<std::int64_t>(workers));
+  w.field("max_inflight_jobs", static_cast<std::int64_t>(max_inflight));
+  w.field("rejections_seen", rejections_seen);
+  w.key("levels");
+  w.begin_array();
+  for (const Level& level : levels) {
+    w.begin_object();
+    w.field("offered", static_cast<std::int64_t>(level.offered));
+    w.field("accepted", static_cast<std::int64_t>(level.accepted));
+    w.field("rejected", static_cast<std::int64_t>(level.rejected));
+    w.field("wall_s", level.wall_s);
+    w.field("p50_ms", level.p50_ms);
+    w.field("p95_ms", level.p95_ms);
+    w.field("p99_ms", level.p99_ms);
+    w.field("jobs_per_s", level.jobs_per_s);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::ofstream out("BENCH_serve_saturation.json");
+  out << w.take() << "\n";
+  std::printf("wrote BENCH_serve_saturation.json\n");
+
+  if (!rejections_seen) {
+    std::fprintf(stderr, "expected admission rejections at offered=%d "
+                 "with max_inflight=%d\n", saturated.offered, max_inflight);
+    return 1;
+  }
+  return 0;
+}

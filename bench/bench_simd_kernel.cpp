@@ -22,6 +22,7 @@
 #include <limits>
 #include <string>
 #include <vector>
+#include "src/core/schemas.hpp"
 
 #include "bench/bench_util.hpp"
 #include "src/atpg/excitation.hpp"
@@ -218,7 +219,8 @@ int main(int argc, char** argv) {
               all_identical ? "yes" : "NO (BUG)");
 
   std::ofstream json("BENCH_simd_kernel.json");
-  json << "{\n  \"schema\": \"dfmres-bench-simd-kernel-v1\",\n";
+  json << "{\n  \"schema\": \"" << dfmres::schemas::kBenchSimdKernel
+       << "\",\n";
   json << "  \"gates\": " << num_gates << ",\n";
   json << "  \"patterns\": " << num_patterns << ",\n";
   json << "  \"excitations\": " << excs.size() << ",\n";

@@ -17,6 +17,41 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure
 # seed must run through its front-end without crashing.
 "$BUILD_DIR/tools/fuzz_verilog" tools/fuzz_corpus/*.v
 "$BUILD_DIR/tools/fuzz_manifest" tools/fuzz_corpus_manifest/*.json
+"$BUILD_DIR/tools/fuzz_request" tools/fuzz_corpus_request/*.json
+
+# Schema registry cross-check: the C++ registry (src/core/schemas.hpp)
+# and the Python summarizer must agree on the exact set of versioned
+# document names, so neither side can grow a schema the other cannot
+# see.
+grep -o '"dfmres-[a-z0-9-]*-v[0-9]*"' src/core/schemas.hpp \
+  | tr -d '"' | sort -u > "$BUILD_DIR/schemas_cpp.txt"
+python3 scripts/summarize_report.py --list-schemas \
+  | sort -u > "$BUILD_DIR/schemas_py.txt"
+diff -u "$BUILD_DIR/schemas_cpp.txt" "$BUILD_DIR/schemas_py.txt"
+echo "schema registry: C++ and Python agree" \
+  "($(wc -l < "$BUILD_DIR/schemas_cpp.txt") schemas)"
+
+# CLI exit-code contract (regression pin): 0 = success, 1 = runtime
+# failure, 2 = usage/flag error. Scripts and the serve tests key off
+# these; a drift here silently breaks every caller.
+expect_exit() {
+  want="$1"; shift
+  set +e
+  "$@" >/dev/null 2>&1
+  got=$?
+  set -e
+  if [ "$got" != "$want" ]; then
+    echo "check.sh: '$*' exited $got, pinned $want" >&2
+    exit 1
+  fi
+}
+expect_exit 0 "$BUILD_DIR/tools/dfmres" list
+expect_exit 1 "$BUILD_DIR/tools/dfmres" resyn no_such_design
+expect_exit 1 "$BUILD_DIR/tools/dfmres" request --socket /nonexistent.sock drain
+expect_exit 2 "$BUILD_DIR/tools/dfmres" resyn sparc_tlu --q 999
+expect_exit 2 "$BUILD_DIR/tools/dfmres" flow sparc_tlu --util bogus
+expect_exit 2 "$BUILD_DIR/tools/dfmres" no_such_command
+echo "cli exit codes: 0/1/2 contract holds"
 
 # Observability gate: a CLI run with all three output flags must produce
 # three well-formed JSON documents (trace loadable in chrome://tracing,
@@ -112,6 +147,84 @@ DFMRES_CRASH_AFTER="ckpt.append:2,shard.stage:1" \
 cmp "$CHAOS_DIR/serial.canon" "$CHAOS_DIR/chaos.canon"
 python3 scripts/summarize_report.py "$CHAOS_DIR"/root/shards/*.json
 echo "chaos gate: crash-resumed merge canonically identical"
+
+# Serve gate: the always-on daemon must accept the same manifest over
+# its socket via the protocol client, stream schema-valid
+# dfmres-response-v1 events, answer a status query, drain cleanly
+# (exit 0), and leave a campaign report whose canonical projection is
+# byte-identical to the in-process serial run above.
+SERVE_DIR="$BUILD_DIR/serve_gate"
+rm -rf "$SERVE_DIR"
+mkdir -p "$SERVE_DIR"
+SERVE_SOCK="$SERVE_DIR/serve.sock"
+"$BUILD_DIR/tools/dfmres" serve --campaign-root "$SERVE_DIR/root" \
+  --listen "$SERVE_SOCK" --workers 2 > "$SERVE_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+i=0
+while [ ! -S "$SERVE_SOCK" ] && [ "$i" -lt 100 ]; do
+  sleep 0.1
+  i=$((i + 1))
+done
+"$BUILD_DIR/tools/dfmres" request --socket "$SERVE_SOCK" submit \
+  --id gate --manifest "$CAMP_DIR/manifest.json" --wait \
+  > "$SERVE_DIR/submit_events.jsonl"
+"$BUILD_DIR/tools/dfmres" request --socket "$SERVE_SOCK" status --id gate \
+  > "$SERVE_DIR/status_event.jsonl"
+"$BUILD_DIR/tools/dfmres" request --socket "$SERVE_SOCK" drain \
+  > "$SERVE_DIR/drain_events.jsonl"
+wait "$SERVE_PID"
+python3 - "$SERVE_DIR" <<'EOF'
+import json, sys, os
+d = sys.argv[1]
+def lines(name):
+    with open(os.path.join(d, name)) as fh:
+        return [json.loads(l) for l in fh if l.strip()]
+submit = lines("submit_events.jsonl")
+assert all(e["schema"] == "dfmres-response-v1" for e in submit)
+events = [e["event"] for e in submit]
+assert events[0] == "accepted", events
+assert events.count("job_done") == 2, events
+assert events[-1] == "report", events
+report = submit[-1]["report"]
+assert report["schema"] == "dfmres-campaign-report-v1"
+assert report["completed"] == 2 and report["failed"] == 0
+status = lines("status_event.jsonl")
+assert status[-1]["event"] == "status"
+assert status[-1]["status"]["schema"] == "dfmres-status-v1"
+assert status[-1]["status"]["report_written"]
+drain = lines("drain_events.jsonl")
+assert drain[-1]["event"] == "drained"
+print("serve gate: accepted/job_done/report/status/drained all schema-valid")
+EOF
+"$BUILD_DIR/tools/dfmres" canon "$SERVE_DIR/root/gate/report.json" \
+  > "$SERVE_DIR/serve.canon"
+cmp "$CHAOS_DIR/serial.canon" "$SERVE_DIR/serve.canon"
+echo "serve gate: socket-run report canonically identical to serial"
+
+# Saturation bench: latency percentiles must be ordered at every load
+# level and the over-capacity level must produce explicit admission
+# rejections (the bench itself exits non-zero if it sees none).
+SAT_DIR="$BUILD_DIR/serve_sat_gate"
+rm -rf "$SAT_DIR"
+mkdir -p "$SAT_DIR"
+SAT_BIN="$BUILD_DIR/bench/bench_serve_saturation"
+case "$SAT_BIN" in /*) ;; *) SAT_BIN="$(pwd)/$SAT_BIN" ;; esac
+(cd "$SAT_DIR" && "$SAT_BIN")
+python3 - "$SAT_DIR/BENCH_serve_saturation.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["schema"] == "dfmres-bench-serve-v1"
+assert report["rejections_seen"], "saturated level saw no rejections"
+for level in report["levels"]:
+    assert level["accepted"] + level["rejected"] == level["offered"], level
+    if level["accepted"]:
+        assert 0 < level["p50_ms"] <= level["p95_ms"] <= level["p99_ms"], level
+sat = report["levels"][-1]
+assert sat["offered"] > report["max_inflight_jobs"] and sat["rejected"] > 0
+print(f"serve saturation gate: {len(report['levels'])} levels,"
+      f" {sat['rejected']} rejection(s) at offered={sat['offered']}")
+EOF
+python3 scripts/summarize_report.py "$SAT_DIR/BENCH_serve_saturation.json"
 
 # Telemetry gate: a 2-worker chaos mini-campaign (every first-generation
 # worker SIGKILLed right after claiming, so the respawns take over the

@@ -15,11 +15,16 @@ cmake -B "$BUILD_DIR" -S . -DDFMRES_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target atpg_test sim_test util_test observability_test campaign_test \
-  overlay_test simd_kernel_test lease_test
+  overlay_test simd_kernel_test lease_test ready_queue_test
 
 # TSAN_OPTIONS: fail loudly, first report wins.
 TSAN_OPTIONS="halt_on_error=1 exitcode=66" \
   "$BUILD_DIR/tests/util_test" --gtest_filter='ThreadPool.*:Logging.*'
+# ReadyQueue: the serve daemon's MPMC dispatch queue. The stress suite
+# mixes try_/blocking push/pop from many producers and consumers; any
+# racy cell handoff shows up here. (serve_test itself is fork-based and
+# stays out of TSan, like the other fork-driven suites.)
+TSAN_OPTIONS="halt_on_error=1 exitcode=66" "$BUILD_DIR/tests/ready_queue_test"
 TSAN_OPTIONS="halt_on_error=1 exitcode=66" "$BUILD_DIR/tests/atpg_test"
 TSAN_OPTIONS="halt_on_error=1 exitcode=66" "$BUILD_DIR/tests/sim_test"
 # Tracer buffers + cross-worker span propagation and the metrics locks.

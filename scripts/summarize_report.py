@@ -11,11 +11,33 @@ reports, prints one block per file. Exits non-zero on a file that is
 not a valid document of either schema, so CI can use it as a schema
 gate.
 
+With --list-schemas, prints every versioned document name the tooling
+understands (one per line) and exits; scripts/check.sh diffs this list
+against the C++ registry in src/core/schemas.hpp so the two sides of
+the language boundary cannot drift.
+
 Usage: scripts/summarize_report.py report.json [more.json ...]
+       scripts/summarize_report.py --list-schemas
 """
 
 import json
 import sys
+
+# Mirror of src/core/schemas.hpp kAll[] — checked by scripts/check.sh.
+KNOWN_SCHEMAS = [
+    "dfmres-campaign-manifest-v1",
+    "dfmres-campaign-report-v1",
+    "dfmres-campaign-shard-v1",
+    "dfmres-run-report-v1",
+    "dfmres-lease-v1",
+    "dfmres-telemetry-v1",
+    "dfmres-status-v1",
+    "dfmres-request-v1",
+    "dfmres-response-v1",
+    "dfmres-bench-probe-overlay-v1",
+    "dfmres-bench-simd-kernel-v1",
+    "dfmres-bench-serve-v1",
+]
 
 
 def fmt_state(s):
@@ -47,6 +69,9 @@ def summarize(path):
         return
     if schema == "dfmres-bench-simd-kernel-v1":
         summarize_simd_kernel(path, report)
+        return
+    if schema == "dfmres-bench-serve-v1":
+        summarize_serve_saturation(path, report)
         return
     if schema != "dfmres-run-report-v1":
         raise ValueError(f"{path}: unexpected schema {schema!r}")
@@ -164,6 +189,26 @@ def summarize_simd_kernel(path, report):
     )
     if not report["identical_masks"]:
         raise ValueError(f"{path}: kernel masks diverge from scalar")
+
+
+def summarize_serve_saturation(path, report):
+    """BENCH_serve_saturation.json: serve-daemon latency vs offered load."""
+    print(f"== {path}")
+    print(
+        f"   serve saturation: {report['workers']} worker(s),"
+        f" admission bound {report['max_inflight_jobs']} in-flight job(s),"
+        f" rejections_seen={'yes' if report['rejections_seen'] else 'NO'}"
+    )
+    for level in report["levels"]:
+        print(
+            f"   offered {level['offered']:3d}: {level['accepted']:3d} accepted"
+            f" {level['rejected']:3d} rejected"
+            f"  p50 {level['p50_ms']:7.1f}ms  p95 {level['p95_ms']:7.1f}ms"
+            f"  p99 {level['p99_ms']:7.1f}ms"
+            f"  {level['jobs_per_s']:.1f} jobs/s"
+        )
+    if not report["rejections_seen"]:
+        raise ValueError(f"{path}: saturated level saw no admission rejections")
 
 
 def job_flags(job):
@@ -315,6 +360,10 @@ def main(argv):
     if len(argv) < 2 or argv[1] in ("-h", "--help"):
         print(__doc__.strip())
         return 2
+    if argv[1] == "--list-schemas":
+        for schema in KNOWN_SCHEMAS:
+            print(schema)
+        return 0
     for path in argv[1:]:
         summarize(path)
     return 0

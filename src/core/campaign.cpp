@@ -18,6 +18,7 @@
 
 #include "src/circuits/benchmarks.hpp"
 #include "src/core/lease.hpp"
+#include "src/core/request.hpp"
 #include "src/core/telemetry.hpp"
 #include "src/layout/floorplan.hpp"
 #include "src/netlist/verilog.hpp"
@@ -27,6 +28,7 @@
 #include "src/util/fsio.hpp"
 #include "src/util/json.hpp"
 #include "src/util/logging.hpp"
+#include "src/util/ready_queue.hpp"
 #include "src/util/thread_pool.hpp"
 #include "src/util/trace.hpp"
 
@@ -37,146 +39,23 @@ namespace {
 constexpr const char* kModeFlow = "flow";
 constexpr const char* kModeResyn = "resyn";
 
-/// Strict manifest-side accessors: every value is type- and
-/// range-checked so a manifest typo fails the parse, not the campaign.
-Status manifest_error(std::size_t job, const char* key, const char* what) {
-  return make_status(StatusCode::kInvalidArgument,
-                     "manifest job %zu: key '%s': %s", job, key, what);
-}
-
-Status parse_number(const JsonValue& v, std::size_t job, const char* key,
-                    double lo, double hi, double* out) {
-  if (!v.is_number()) return manifest_error(job, key, "expected a number");
-  const double d = v.as_number();
-  if (!(d >= lo) || !(d <= hi)) {
-    return manifest_error(job, key, "out of range");
-  }
-  *out = d;
-  return Status::ok();
-}
-
-template <typename T>
-Status parse_integer(const JsonValue& v, std::size_t job, const char* key,
-                     double lo, double hi, T* out) {
-  double d = 0.0;
-  if (Status s = parse_number(v, job, key, lo, hi, &d); !s.is_ok()) return s;
-  if (d != std::floor(d)) return manifest_error(job, key, "expected an integer");
-  *out = static_cast<T>(d);
-  return Status::ok();
-}
-
-Status parse_bool(const JsonValue& v, std::size_t job, const char* key,
-                  bool* out) {
-  if (!v.is_bool()) return manifest_error(job, key, "expected a boolean");
-  *out = v.as_bool();
-  return Status::ok();
-}
-
-Status parse_string(const JsonValue& v, std::size_t job, const char* key,
-                    std::string* out) {
-  if (!v.is_string()) return manifest_error(job, key, "expected a string");
-  *out = v.as_string();
-  return Status::ok();
-}
-
-Status parse_job(const JsonValue& v, std::size_t index, CampaignJobSpec* out) {
-  if (!v.is_object()) {
-    return make_status(StatusCode::kInvalidArgument,
-                       "manifest job %zu: expected an object", index);
-  }
-  bool have_name = false;
-  bool have_design = false;
-  for (const auto& [key, value] : v.members()) {
-    Status s;
-    if (key == "name") {
-      s = parse_string(value, index, "name", &out->name);
-      have_name = true;
-    } else if (key == "design") {
-      s = parse_string(value, index, "design", &out->design);
-      have_design = true;
-    } else if (key == "mode") {
-      std::string mode;
-      s = parse_string(value, index, "mode", &mode);
-      if (s.is_ok()) {
-        if (mode == kModeFlow) {
-          out->mode = CampaignJobSpec::Mode::Flow;
-        } else if (mode == kModeResyn) {
-          out->mode = CampaignJobSpec::Mode::Resyn;
-        } else {
-          s = manifest_error(index, "mode", "expected \"flow\" or \"resyn\"");
-        }
-      }
-    } else if (key == "utilization") {
-      s = parse_number(value, index, "utilization", 0.05, 1.0,
-                       &out->flow.utilization);
-    } else if (key == "threads") {
-      s = parse_integer(value, index, "threads", 0, 1024,
-                        &out->flow.atpg.num_threads);
-    } else if (key == "warm_start") {
-      s = parse_bool(value, index, "warm_start", &out->flow.warm_start);
-    } else if (key == "seed") {
-      s = parse_integer(value, index, "seed", 0, 9e15, &out->flow.atpg.seed);
-    } else if (key == "random_batches") {
-      s = parse_integer(value, index, "random_batches", 1, 65536,
-                        &out->flow.atpg.random_batches);
-    } else if (key == "backtrack_limit") {
-      s = parse_integer(value, index, "backtrack_limit", 1, 1e9,
-                        &out->flow.atpg.backtrack_limit);
-    } else if (key == "q_max") {
-      s = parse_integer(value, index, "q_max", 0, 100, &out->resyn.q_max);
-    } else if (key == "p1_pct") {
-      double pct = 0.0;
-      s = parse_number(value, index, "p1_pct", 0.0, 100.0, &pct);
-      if (s.is_ok()) out->resyn.p1 = pct / 100.0;
-    } else if (key == "max_iterations_per_phase") {
-      s = parse_integer(value, index, "max_iterations_per_phase", 1, 100000,
-                        &out->resyn.max_iterations_per_phase);
-    } else if (key == "trend_window") {
-      s = parse_integer(value, index, "trend_window", 1, 1000,
-                        &out->resyn.trend_window);
-    } else if (key == "reanalyses_per_iteration") {
-      s = parse_integer(value, index, "reanalyses_per_iteration", 1, 1000000,
-                        &out->resyn.reanalyses_per_iteration);
-    } else if (key == "dedup_candidates") {
-      s = parse_bool(value, index, "dedup_candidates",
-                     &out->resyn.dedup_candidates);
-    } else if (key == "parallel_ladder") {
-      s = parse_bool(value, index, "parallel_ladder",
-                     &out->resyn.parallel_ladder);
-    } else if (key == "deadline") {
-      std::string spec;
-      s = parse_string(value, index, "deadline", &spec);
-      if (s.is_ok()) {
-        auto d = parse_duration_spec(spec);
-        if (!d) {
-          s = manifest_error(index, "deadline", d.status().message().c_str());
-        } else {
-          out->deadline = *d;
-        }
-      }
-    } else {
-      s = make_status(StatusCode::kInvalidArgument,
-                      "manifest job %zu: unknown key '%s'", index, key.c_str());
-    }
-    if (!s.is_ok()) return s;
-  }
-  if (!have_name) return manifest_error(index, "name", "missing");
-  if (!have_design) return manifest_error(index, "design", "missing");
-  return Status::ok();
-}
-
 }  // namespace
 
 Expected<CampaignManifest> CampaignManifest::from_json(std::string_view text) {
   auto doc = JsonValue::parse(text);
   if (!doc) return doc.status();
-  if (!doc->is_object()) {
+  return from_json_value(*doc);
+}
+
+Expected<CampaignManifest> CampaignManifest::from_json_value(
+    const JsonValue& doc) {
+  if (!doc.is_object()) {
     return make_status(StatusCode::kInvalidArgument,
                        "manifest: expected a top-level object");
   }
   CampaignManifest manifest;
   bool have_schema = false;
-  for (const auto& [key, value] : doc->members()) {
+  for (const auto& [key, value] : doc.members()) {
     if (key == "schema") {
       if (!value.is_string() || value.as_string() != kSchema) {
         return make_status(StatusCode::kInvalidArgument,
@@ -190,7 +69,9 @@ Expected<CampaignManifest> CampaignManifest::from_json(std::string_view text) {
       }
       for (std::size_t i = 0; i < value.items().size(); ++i) {
         CampaignJobSpec job;
-        if (Status s = parse_job(value.items()[i], i, &job); !s.is_ok()) {
+        const std::string ctx = strfmt("manifest job %zu", i);
+        if (Status s = parse_job_spec(value.items()[i], ctx.c_str(), &job);
+            !s.is_ok()) {
           return s;
         }
         manifest.jobs.push_back(std::move(job));
@@ -226,31 +107,7 @@ std::string CampaignManifest::to_json() const {
   w.key("jobs");
   w.begin_array();
   for (const auto& job : jobs) {
-    w.begin_object();
-    w.field("name", job.name);
-    w.field("design", job.design);
-    w.field("mode",
-            job.mode == CampaignJobSpec::Mode::Flow ? kModeFlow : kModeResyn);
-    w.field("utilization", job.flow.utilization);
-    w.field("threads", job.flow.atpg.num_threads);
-    w.field("warm_start", job.flow.warm_start);
-    w.field("seed", static_cast<std::uint64_t>(job.flow.atpg.seed));
-    w.field("random_batches", job.flow.atpg.random_batches);
-    w.field("backtrack_limit",
-            static_cast<std::int64_t>(job.flow.atpg.backtrack_limit));
-    w.field("q_max", job.resyn.q_max);
-    w.field("p1_pct", job.resyn.p1 * 100.0);
-    w.field("max_iterations_per_phase", job.resyn.max_iterations_per_phase);
-    w.field("trend_window", job.resyn.trend_window);
-    w.field("reanalyses_per_iteration", job.resyn.reanalyses_per_iteration);
-    w.field("dedup_candidates", job.resyn.dedup_candidates);
-    w.field("parallel_ladder", job.resyn.parallel_ladder);
-    if (job.deadline.count() > 0) {
-      w.field("deadline",
-              strfmt("%.17gs", std::chrono::duration<double>(job.deadline)
-                                   .count()));
-    }
-    w.end_object();
+    write_job_spec(w, job);
   }
   w.end_array();
   w.end_object();
@@ -592,13 +449,25 @@ Expected<CampaignResult> run_campaign(const CampaignManifest& manifest,
       manifest.jobs.size(), out.jobs_in_flight, out.inner_threads);
 
   const auto t0 = std::chrono::steady_clock::now();
-  std::atomic<std::size_t> next{0};
+  // The ready queue replaces the old atomic job counter: producers
+  // seed it in manifest order, runners pull relaxed-FIFO. Determinism
+  // is unaffected — each result lands in its manifest slot
+  // (out.jobs[i]) and the report renders in manifest order, so the
+  // queue only ever changes *dispatch* order, never output bytes.
+  ReadyQueue ready(manifest.jobs.size());
+  for (std::size_t i = 0; i < manifest.jobs.size(); ++i) {
+    if (!ready.try_push(i)) {
+      return make_status(StatusCode::kInternal,
+                         "campaign ready queue rejected job %zu", i);
+    }
+  }
+  ready.close();  // pop() drains the backlog, then reports closed
   const auto runner = [&] {
     for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= manifest.jobs.size()) return;
-      out.jobs[i] = run_job(manifest.jobs[i], options, out.inner_threads);
-      const CampaignJobResult& job = out.jobs[i];
+      Expected<std::uint64_t> i = ready.pop();
+      if (!i) return;  // closed and drained
+      out.jobs[*i] = run_job(manifest.jobs[*i], options, out.inner_threads);
+      const CampaignJobResult& job = out.jobs[*i];
       log(job.ok() ? LogLevel::Info : LogLevel::Warn,
           "campaign: job '%s' %s in %.1fs%s", job.name.c_str(),
           job.skipped ? "skipped"
@@ -1009,6 +878,156 @@ Status publish_shard(const std::string& root, const CampaignReportRow& row,
 
 }  // namespace
 
+Expected<JobPassOutcome> campaign_job_pass(const CampaignJobPassContext& ctx,
+                                           const CampaignJobSpec& spec) {
+  const std::string& root = ctx.root;
+  if (path_exists(shard_path(root, spec.name))) {
+    return JobPassOutcome::kAlreadyDone;
+  }
+  if (!ctx.skip && cancel_expired(ctx.cancel)) {
+    return JobPassOutcome::kCancelled;
+  }
+  auto claim = ctx.leases->try_claim(spec.name);
+  if (!claim) return claim.status();
+  if (claim->outcome != LeaseClaim::Outcome::Claimed) {
+    return JobPassOutcome::kBusy;
+  }
+  crash_point("job.start");
+
+  const char* mode_name =
+      spec.mode == CampaignJobSpec::Mode::Flow ? kModeFlow : kModeResyn;
+
+  if (claim->poison) {
+    // We won the poison epoch: the job burned its attempt budget.
+    // Publish the tombstone so the sweep terminates with a complete
+    // merged report instead of convoying on one pathological job.
+    CampaignReportRow row;
+    row.name = spec.name;
+    row.design = spec.design;
+    row.mode = mode_name;
+    row.ok = false;
+    row.status = strfmt(
+        "internal: poisoned after %d failed attempts; last error: %s",
+        ctx.max_attempts,
+        claim->prior_error.empty() ? "(lease lost repeatedly)"
+                                   : claim->prior_error.c_str());
+    row.poisoned = true;
+    row.attempts = ctx.max_attempts;
+    row.worker = ctx.owner;
+    MetricsRegistry empty;
+    if (Status s = publish_shard(root, row, empty.to_json(), ctx.owner);
+        !s.is_ok()) {
+      return s;
+    }
+    log(LogLevel::Warn, "worker %s: job '%s' poisoned (%d attempts)",
+        ctx.owner.c_str(), spec.name.c_str(), ctx.max_attempts);
+    if (ctx.telemetry != nullptr) {
+      ctx.telemetry->note_job_done();
+      (void)ctx.telemetry->publish_now();
+    }
+    return JobPassOutcome::kPoisoned;
+  }
+
+  if (ctx.skip) {
+    // Terminalize without running: a cancelled campaign's pending jobs
+    // become skipped shards so the merge still completes.
+    CampaignReportRow row;
+    row.name = spec.name;
+    row.design = spec.design;
+    row.mode = mode_name;
+    row.ok = false;
+    row.status = "ok";
+    row.skipped = true;
+    row.attempts = claim->attempt;
+    row.worker = ctx.owner;
+    MetricsRegistry empty;
+    if (Status s = publish_shard(root, row, empty.to_json(), ctx.owner);
+        !s.is_ok()) {
+      return s;
+    }
+    log(LogLevel::Info, "worker %s: job '%s' skipped (campaign cancelled)",
+        ctx.owner.c_str(), spec.name.c_str());
+    if (ctx.telemetry != nullptr) {
+      ctx.telemetry->note_job_done();
+      (void)ctx.telemetry->publish_now();
+    }
+    return JobPassOutcome::kPublished;
+  }
+
+  // Run the job under a claim-scoped token: the heartbeat keeper trips
+  // it if the lease is lost (so we stop double-computing a taken-over
+  // job), and the caller's token chains through it.
+  CancelToken claim_token(Deadline::never(), ctx.cancel);
+  CampaignOptions job_options;
+  job_options.cancel = &claim_token;
+  job_options.checkpoint_root = root + "/ckpt";
+  job_options.resume = true;
+  job_options.total_threads = ctx.total_threads;
+  CampaignJobResult result;
+  bool lease_lost = false;
+  if (ctx.telemetry != nullptr) {
+    ctx.telemetry->set_job(spec.name, claim->attempt);
+  }
+  {
+    HeartbeatKeeper keeper(*ctx.leases, spec.name, *claim, &claim_token);
+    result = run_job(spec, job_options, ctx.inner_threads);
+    lease_lost = keeper.lost();
+  }
+  if (ctx.telemetry != nullptr) ctx.telemetry->clear_job();
+  if (lease_lost) {
+    log(LogLevel::Warn, "worker %s: lost lease on '%s' (attempt %d)",
+        ctx.owner.c_str(), spec.name.c_str(), claim->attempt);
+    return JobPassOutcome::kLeaseLost;  // someone else owns the job now
+  }
+  if (cancel_expired(ctx.cancel)) {
+    // Interrupted mid-job: no shard — the checkpoint journal holds the
+    // progress and the next claimant resumes bit-identically.
+    return JobPassOutcome::kCancelled;
+  }
+  if (!result.status.is_ok()) {
+    if (Status s = ctx.leases->mark_failed(spec.name, *claim,
+                                           result.status.to_string());
+        !s.is_ok()) {
+      return s;
+    }
+    log(LogLevel::Warn, "worker %s: job '%s' attempt %d failed: %s",
+        ctx.owner.c_str(), spec.name.c_str(), claim->attempt,
+        result.status.to_string().c_str());
+    return JobPassOutcome::kAttemptFailed;
+  }
+  CampaignReportRow row;
+  row.name = result.name;
+  row.design = result.design;
+  row.mode = result.mode == CampaignJobSpec::Mode::Flow ? kModeFlow
+                                                        : kModeResyn;
+  row.ok = result.ok();
+  row.status = "ok";
+  row.deadline_expired = result.deadline_expired;
+  row.attempts = claim->attempt;
+  row.worker = ctx.owner;
+  row.inner_threads = result.inner_threads;
+  row.runtime_seconds = result.seconds;
+  if (result.report.has_value()) row.report_json = result.report->to_json();
+  if (Status s = publish_shard(root, row,
+                               result.metrics != nullptr
+                                   ? result.metrics->to_json()
+                                   : MetricsRegistry{}.to_json(),
+                               ctx.owner);
+      !s.is_ok()) {
+    return s;
+  }
+  log(LogLevel::Info, "worker %s: job '%s' done in %.1fs (attempt %d)",
+      ctx.owner.c_str(), spec.name.c_str(), result.seconds, claim->attempt);
+  if (ctx.telemetry != nullptr) {
+    if (result.metrics != nullptr) {
+      ctx.telemetry->absorb_metrics(*result.metrics);
+    }
+    ctx.telemetry->note_job_done();
+    (void)ctx.telemetry->publish_now();
+  }
+  return JobPassOutcome::kPublished;
+}
+
 Expected<CampaignWorkerStats> run_campaign_worker(
     const CampaignWorkerOptions& options) {
   const std::string& root = options.campaign_root;
@@ -1054,6 +1073,21 @@ Expected<CampaignWorkerStats> run_campaign_worker(
   }
 
   CampaignWorkerStats stats;
+  CampaignJobPassContext ctx;
+  ctx.root = root;
+  ctx.leases = &leases;
+  ctx.owner = lease_config.owner;
+  ctx.total_threads = total_threads;
+  ctx.inner_threads = inner_threads;
+  ctx.cancel = options.cancel;
+  ctx.telemetry = telemetry.has_value() ? &*telemetry : nullptr;
+  ctx.max_attempts = lease_config.max_attempts;
+
+  // The same ready-queue pull as run_campaign and the serve daemon:
+  // each round seeds the queue with the jobs still lacking shards (in
+  // manifest order) and drains it through campaign_job_pass; busy or
+  // failed jobs come back on the next round.
+  ReadyQueue ready(manifest->jobs.size());
   const auto poll_pause = std::min<std::chrono::nanoseconds>(
       options.heartbeat, std::chrono::milliseconds(200));
   for (;;) {
@@ -1061,134 +1095,38 @@ Expected<CampaignWorkerStats> run_campaign_worker(
       stats.cancelled = true;
       break;
     }
-    bool all_shards = true;
+    std::size_t pending = 0;
+    for (std::size_t i = 0; i < manifest->jobs.size(); ++i) {
+      if (path_exists(shard_path(root, manifest->jobs[i].name))) continue;
+      if (ready.try_push(i)) ++pending;  // capacity = |jobs|: never full
+    }
+    if (pending == 0) break;  // every job has a shard
     bool progressed = false;
-    for (const CampaignJobSpec& spec : manifest->jobs) {
+    std::uint64_t i = 0;
+    while (ready.try_pop(&i)) {
       if (cancel_expired(options.cancel)) break;
-      if (path_exists(shard_path(root, spec.name))) continue;
-      all_shards = false;
-      auto claim = leases.try_claim(spec.name);
-      if (!claim) return claim.status();
-      if (claim->outcome != LeaseClaim::Outcome::Claimed) continue;
-      crash_point("job.start");
-
-      if (claim->poison) {
-        // We won the poison epoch: the job burned its attempt budget.
-        // Publish the tombstone so the sweep terminates with a complete
-        // merged report instead of convoying on one pathological job.
-        CampaignReportRow row;
-        row.name = spec.name;
-        row.design = spec.design;
-        row.mode = spec.mode == CampaignJobSpec::Mode::Flow ? kModeFlow
-                                                            : kModeResyn;
-        row.ok = false;
-        row.status = strfmt(
-            "internal: poisoned after %d failed attempts; last error: %s",
-            lease_config.max_attempts,
-            claim->prior_error.empty() ? "(lease lost repeatedly)"
-                                       : claim->prior_error.c_str());
-        row.poisoned = true;
-        row.attempts = lease_config.max_attempts;
-        row.worker = lease_config.owner;
-        MetricsRegistry empty;
-        if (Status s = publish_shard(root, row, empty.to_json(),
-                                     lease_config.owner);
-            !s.is_ok()) {
-          return s;
-        }
-        log(LogLevel::Warn, "worker %s: job '%s' poisoned (%d attempts)",
-            lease_config.owner.c_str(), spec.name.c_str(),
-            lease_config.max_attempts);
-        ++stats.jobs_poisoned;
-        if (telemetry.has_value()) {
-          telemetry->note_job_done();
-          (void)telemetry->publish_now();
-        }
-        progressed = true;
-        continue;
+      auto outcome = campaign_job_pass(ctx, manifest->jobs[i]);
+      if (!outcome) return outcome.status();
+      switch (*outcome) {
+        case JobPassOutcome::kPublished:
+          ++stats.jobs_run;
+          progressed = true;
+          break;
+        case JobPassOutcome::kPoisoned:
+          ++stats.jobs_poisoned;
+          progressed = true;
+          break;
+        case JobPassOutcome::kAttemptFailed:
+          progressed = true;
+          break;
+        default:
+          break;  // AlreadyDone / Busy / LeaseLost / Cancelled
       }
-
-      // Run the job under a claim-scoped token: the heartbeat keeper
-      // trips it if the lease is lost (so we stop double-computing a
-      // taken-over job), and the worker-level token chains through it.
-      CancelToken claim_token(Deadline::never(), options.cancel);
-      CampaignOptions job_options;
-      job_options.cancel = &claim_token;
-      job_options.checkpoint_root = root + "/ckpt";
-      job_options.resume = true;
-      job_options.total_threads = total_threads;
-      CampaignJobResult result;
-      bool lease_lost = false;
-      if (telemetry.has_value()) {
-        telemetry->set_job(spec.name, claim->attempt);
-      }
-      {
-        HeartbeatKeeper keeper(leases, spec.name, *claim, &claim_token);
-        result = run_job(spec, job_options, inner_threads);
-        lease_lost = keeper.lost();
-      }
-      if (telemetry.has_value()) telemetry->clear_job();
-      if (lease_lost) {
-        log(LogLevel::Warn, "worker %s: lost lease on '%s' (attempt %d)",
-            lease_config.owner.c_str(), spec.name.c_str(), claim->attempt);
-        continue;  // someone else owns the job now; discard our partial
-      }
-      if (cancel_expired(options.cancel)) {
-        // Interrupted mid-job: no shard — the checkpoint journal holds
-        // the progress and the next claimant resumes bit-identically.
-        break;
-      }
-      if (!result.status.is_ok()) {
-        if (Status s = leases.mark_failed(spec.name, *claim,
-                                          result.status.to_string());
-            !s.is_ok()) {
-          return s;
-        }
-        log(LogLevel::Warn, "worker %s: job '%s' attempt %d failed: %s",
-            lease_config.owner.c_str(), spec.name.c_str(), claim->attempt,
-            result.status.to_string().c_str());
-        progressed = true;
-        continue;
-      }
-      CampaignReportRow row;
-      row.name = result.name;
-      row.design = result.design;
-      row.mode = result.mode == CampaignJobSpec::Mode::Flow ? kModeFlow
-                                                            : kModeResyn;
-      row.ok = result.ok();
-      row.status = "ok";
-      row.deadline_expired = result.deadline_expired;
-      row.attempts = claim->attempt;
-      row.worker = lease_config.owner;
-      row.inner_threads = result.inner_threads;
-      row.runtime_seconds = result.seconds;
-      if (result.report.has_value()) row.report_json = result.report->to_json();
-      if (Status s = publish_shard(
-              root, row,
-              result.metrics != nullptr ? result.metrics->to_json()
-                                        : MetricsRegistry{}.to_json(),
-              lease_config.owner);
-          !s.is_ok()) {
-        return s;
-      }
-      log(LogLevel::Info, "worker %s: job '%s' done in %.1fs (attempt %d)",
-          lease_config.owner.c_str(), spec.name.c_str(), result.seconds,
-          claim->attempt);
-      ++stats.jobs_run;
-      if (telemetry.has_value()) {
-        if (result.metrics != nullptr) {
-          telemetry->absorb_metrics(*result.metrics);
-        }
-        telemetry->note_job_done();
-        (void)telemetry->publish_now();
-      }
-      progressed = true;
     }
     if (cancel_expired(options.cancel)) {
       stats.cancelled = true;
       break;
     }
-    if (all_shards) break;
     if (!progressed) std::this_thread::sleep_for(poll_pause);
   }
 

@@ -9,10 +9,13 @@
 
 #include "src/core/resynthesis.hpp"
 #include "src/core/run_report.hpp"
+#include "src/core/schemas.hpp"
 #include "src/util/duration.hpp"
 #include "src/util/metrics.hpp"
 
 namespace dfmres {
+
+class JsonValue;
 
 /// One job of a campaign: a design crossed with the flow and (for resyn
 /// jobs) resynthesis options. The spec's `resyn.cancel`,
@@ -42,7 +45,7 @@ struct CampaignJobSpec {
 /// commonly swept knobs; programmatic callers (benches, tests) can fill
 /// any CampaignJobSpec field directly.
 struct CampaignManifest {
-  static constexpr const char* kSchema = "dfmres-campaign-manifest-v1";
+  static constexpr const char* kSchema = schemas::kCampaignManifest;
 
   std::vector<CampaignJobSpec> jobs;
 
@@ -51,6 +54,10 @@ struct CampaignManifest {
   /// locator for syntax errors).
   [[nodiscard]] static Expected<CampaignManifest> from_json(
       std::string_view text);
+  /// Same strict parse over an already-parsed document (embedded
+  /// manifests inside dfmres-request-v1 submissions).
+  [[nodiscard]] static Expected<CampaignManifest> from_json_value(
+      const JsonValue& doc);
   [[nodiscard]] static Expected<CampaignManifest> read(
       const std::string& path);
 
@@ -155,7 +162,7 @@ struct CampaignReportTotals {
     const std::string& metrics_json);
 
 struct CampaignResult {
-  static constexpr const char* kReportSchema = "dfmres-campaign-report-v1";
+  static constexpr const char* kReportSchema = schemas::kCampaignReport;
 
   /// One entry per manifest job, in manifest order regardless of the
   /// order jobs finished in.
@@ -205,7 +212,7 @@ struct CampaignResult {
 // manifest order, so the merged report does not depend on the worker
 // count or on which workers died along the way.
 
-inline constexpr const char* kCampaignShardSchema = "dfmres-campaign-shard-v1";
+inline constexpr const char* kCampaignShardSchema = schemas::kCampaignShard;
 
 struct CampaignWorkerOptions {
   std::string campaign_root;
@@ -254,6 +261,45 @@ struct CampaignWorkerStats {
 /// eventually poison shards, never worker exits.
 [[nodiscard]] Expected<CampaignWorkerStats> run_campaign_worker(
     const CampaignWorkerOptions& options);
+
+// ---- Shared per-job execution core ----
+//
+// One claim-and-run pass over a single job: the unit both the
+// standalone worker (`dfmres work`) and the `dfmres serve` daemon
+// schedule through their ready queues. Everything stateful about the
+// pass lives in the campaign root (leases, checkpoints, shards), so a
+// pass is idempotent and safe to retry from any thread or process.
+
+class LeaseDir;
+class TelemetryPublisher;
+
+enum class JobPassOutcome {
+  kPublished,     ///< a result (or skip) shard was written
+  kPoisoned,      ///< the attempt budget burned; tombstone published
+  kAlreadyDone,   ///< a shard already existed; nothing to do
+  kBusy,          ///< lease held elsewhere or in backoff; retry later
+  kAttemptFailed, ///< ran and failed; lease marked, retry later
+  kLeaseLost,     ///< heartbeat lost mid-run; result discarded
+  kCancelled,     ///< ctx.cancel tripped; no shard, state resumable
+};
+
+struct CampaignJobPassContext {
+  std::string root;
+  const LeaseDir* leases = nullptr;
+  std::string owner;
+  int total_threads = 0;  ///< resolved hardware budget
+  int inner_threads = 0;  ///< resolved fault-sim lanes for the job
+  const CancelToken* cancel = nullptr;
+  TelemetryPublisher* telemetry = nullptr;  ///< optional
+  int max_attempts = 3;
+  /// Publish a skipped shard instead of running the job: a cancelled
+  /// campaign still terminalizes every pending job so the merge
+  /// completes with a full report.
+  bool skip = false;
+};
+
+[[nodiscard]] Expected<JobPassOutcome> campaign_job_pass(
+    const CampaignJobPassContext& ctx, const CampaignJobSpec& spec);
 
 /// True when every manifest job has a published shard.
 [[nodiscard]] bool campaign_shards_complete(const std::string& root,

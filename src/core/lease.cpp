@@ -1,4 +1,5 @@
 #include "src/core/lease.hpp"
+#include "src/core/schemas.hpp"
 
 #include <time.h>
 
@@ -13,7 +14,7 @@ namespace dfmres {
 
 namespace {
 
-constexpr const char* kLeaseSchema = "dfmres-lease-v1";
+constexpr const char* kLeaseSchema = schemas::kLease;
 
 }  // namespace
 

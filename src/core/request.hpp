@@ -1,0 +1,121 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "src/core/campaign.hpp"
+#include "src/core/schemas.hpp"
+#include "src/util/json.hpp"
+#include "src/util/status.hpp"
+
+namespace dfmres {
+
+/// The unified request surface: one typed, versioned description of
+/// "run this work / tell me about it" shared by every entry point. A
+/// CLI flag, a manifest field and a `dfmres-request-v1` wire field all
+/// funnel through the same per-knob validation table
+/// (apply_job_field_json / apply_job_field_text below), so the three
+/// surfaces cannot drift apart: adding a knob means adding one registry
+/// row, and every front-end picks it up with the same name, type and
+/// range checks.
+
+// ---- single options-validation path --------------------------------------
+
+/// Applies one job knob from a parsed JSON value (manifest jobs, wire
+/// `job` objects). `ctx` names the caller's locus for error messages
+/// (e.g. "manifest job 3"). Unknown keys are kInvalidArgument.
+[[nodiscard]] Status apply_job_field_json(CampaignJobSpec* job,
+                                          const std::string& key,
+                                          const JsonValue& value,
+                                          const char* ctx);
+
+/// Applies one job knob from flag text (`--q 5`). Same registry, same
+/// ranges: the text is converted to the field's kind first, so "5x"
+/// for an integer knob fails exactly like a JSON string would.
+[[nodiscard]] Status apply_job_field_text(CampaignJobSpec* job,
+                                          std::string_view key,
+                                          const char* text, const char* ctx);
+
+/// Parses a whole job object (all keys through the registry; `name` and
+/// `design` required).
+[[nodiscard]] Status parse_job_spec(const JsonValue& value, const char* ctx,
+                                    CampaignJobSpec* out);
+
+/// Serializes a job spec with the registry's wire keys (the manifest
+/// `jobs[]` entry form, reused verbatim inside requests).
+void write_job_spec(JsonWriter& w, const CampaignJobSpec& job);
+
+// ---- table-driven CLI flag parsing ---------------------------------------
+
+/// One `--flag VALUE` -> registry-key binding. Each CLI command lists
+/// the bindings it accepts; the values flow through
+/// apply_job_field_text, so the flag parser has no validation logic of
+/// its own.
+struct CliFlagBinding {
+  const char* flag;  ///< e.g. "--q"
+  const char* key;   ///< registry key, e.g. "q_max"
+};
+
+/// Consumes argv[*i] (and its value) when it matches a binding.
+/// Returns: true consumed, false not a bound flag; kInvalidArgument
+/// when the flag matched but its value failed validation (the CLI
+/// exits 2).
+[[nodiscard]] Expected<bool> match_job_flag(
+    std::span<const CliFlagBinding> bindings, int argc, char** argv, int* i,
+    CampaignJobSpec* job);
+
+// ---- typed requests (dfmres-request-v1) ----------------------------------
+
+/// Submit one job; the daemon runs it as a single-job campaign named
+/// `id` under its campaign root.
+struct RunRequest {
+  std::string id;  ///< client-chosen campaign id (single path component)
+  CampaignJobSpec job;
+};
+
+/// Submit a whole manifest as campaign `id`.
+struct CampaignRequest {
+  std::string id;
+  CampaignManifest manifest;
+};
+
+/// Query one campaign (`id`) or, with an empty id, the server itself.
+struct StatusRequest {
+  std::string id;
+};
+
+/// Cancel campaign `id`: running jobs unwind cooperatively, pending
+/// jobs terminalize as skipped, the report still merges.
+struct CancelRequest {
+  std::string id;
+};
+
+/// Stop admissions, finish everything in flight, then shut down.
+struct DrainRequest {};
+
+struct Request {
+  std::variant<RunRequest, CampaignRequest, StatusRequest, CancelRequest,
+               DrainRequest>
+      payload;
+
+  [[nodiscard]] const char* kind() const;
+  /// The campaign id the request addresses ("" for drain / server-wide
+  /// status).
+  [[nodiscard]] const std::string& id() const;
+};
+
+/// Strict parse of one newline-delimited `dfmres-request-v1` document.
+/// Unknown keys, wrong types, out-of-range values and malformed ids are
+/// all kInvalidArgument with a message naming the offending key.
+[[nodiscard]] Expected<Request> parse_request(std::string_view json);
+
+/// The wire form parse_request accepts (round-trip stable).
+[[nodiscard]] std::string request_to_json(const Request& request);
+
+/// A campaign id must be usable as a directory name under the campaign
+/// root and must not collide with reserved names.
+[[nodiscard]] Status validate_campaign_id(const std::string& id);
+
+}  // namespace dfmres

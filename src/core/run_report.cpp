@@ -1,4 +1,5 @@
 #include "src/core/run_report.hpp"
+#include "src/core/schemas.hpp"
 
 #include <cstdio>
 #include <ctime>
@@ -84,7 +85,7 @@ void RunReport::set_partial(bool partial) { partial_ = partial; }
 std::string RunReport::to_json() const {
   JsonWriter w;
   w.begin_object();
-  w.field("schema", "dfmres-run-report-v1");
+  w.field("schema", schemas::kRunReport);
   w.field("command", command_);
   w.field("circuit", circuit_);
   w.field("sim_kernel", sim_kernel_);

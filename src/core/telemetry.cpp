@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <utility>
 
 #include "src/core/campaign.hpp"
@@ -640,16 +641,20 @@ Expected<std::string> merge_campaign_trace(const std::string& root) {
 
 // ---- Live status ----
 
-Expected<CampaignStatus> poll_campaign_status(const std::string& root) {
-  Expected<CampaignManifest> manifest = read_campaign_root(root);
-  if (!manifest) return manifest.status();
-  const std::uint64_t now = lease_now_ns();
-  CampaignStatus st;
-  st.jobs_total = manifest->jobs.size();
+namespace {
+
+/// The shard/lease-derived job rows of a status poll (shared by the
+/// one-shot poll and the incremental poller; telemetry handling is the
+/// part that differs).
+void fill_job_rows(const std::string& root, const CampaignManifest& manifest,
+                   std::uint64_t now, CampaignStatus* st_out,
+                   double* runtime_sum_out, std::size_t* runtime_n_out) {
+  CampaignStatus& st = *st_out;
+  double& runtime_sum = *runtime_sum_out;
+  std::size_t& runtime_n = *runtime_n_out;
+  st.jobs_total = manifest.jobs.size();
   st.report_written = path_exists(root + "/report.json");
-  double runtime_sum = 0.0;
-  std::size_t runtime_n = 0;
-  for (const CampaignJobSpec& job : manifest->jobs) {
+  for (const CampaignJobSpec& job : manifest.jobs) {
     JobStatusRow row;
     row.name = job.name;
     const ShardFacts shard = read_shard_facts(root, job.name);
@@ -706,45 +711,115 @@ Expected<CampaignStatus> poll_campaign_status(const std::string& root) {
     }
     st.jobs.push_back(std::move(row));
   }
+}
 
-  // Workers: latest snapshot per owner, rate from the last two.
-  const std::vector<Snapshot> snapshots = load_snapshots(root);
-  std::size_t live_workers = 0;
-  for (std::size_t i = 0; i < snapshots.size();) {
-    std::size_t j = i;
-    while (j + 1 < snapshots.size() &&
-           snapshots[j + 1].owner == snapshots[i].owner) {
-      ++j;
+/// Worker row from the (prev, last) snapshot pair of one owner.
+WorkerStatusRow worker_row_from(const Snapshot* prev, const Snapshot& last,
+                                std::uint64_t now) {
+  WorkerStatusRow row;
+  row.owner = last.owner;
+  row.pid = last.pid;
+  row.seq = last.seq;
+  row.age_s = now > last.published_ns
+                  ? static_cast<double>(now - last.published_ns) / 1e9
+                  : 0.0;
+  row.job = last.job;
+  row.attempt = last.attempt;
+  row.phase = last.phase;
+  row.jobs_done = last.jobs_done;
+  row.analyses = last.analyses;
+  row.faults_classified = last.faults_classified;
+  row.probes_committed = last.probes_committed;
+  if (prev != nullptr && last.published_ns > prev->published_ns &&
+      last.faults_classified >= prev->faults_classified) {
+    const double dt =
+        static_cast<double>(last.published_ns - prev->published_ns) / 1e9;
+    row.faults_per_s =
+        static_cast<double>(last.faults_classified -
+                            prev->faults_classified) / dt;
+  }
+  return row;
+}
+
+}  // namespace
+
+struct StatusPoller::Impl {
+  struct OwnerCache {
+    std::uint64_t cursor = 0;  ///< highest seq already consumed
+    std::optional<Snapshot> prev;
+    std::optional<Snapshot> last;
+  };
+
+  std::string root;
+  std::map<std::string, OwnerCache> owners;  ///< sorted: render order
+  std::size_t parsed = 0;
+
+  /// Reads only the telemetry files whose sequence number is beyond the
+  /// owner's cursor; everything older was consumed by a previous poll.
+  void refresh() {
+    Expected<std::vector<std::string>> names = list_dir(root + "/telemetry");
+    if (!names) return;
+    std::map<std::string, std::vector<std::pair<std::uint64_t, std::string>>>
+        fresh;
+    for (const std::string& name : *names) {
+      std::string owner;
+      std::uint64_t seq = 0;
+      if (!parse_telemetry_name(name, &owner, &seq)) continue;
+      const auto it = owners.find(owner);
+      if (it != owners.end() && seq <= it->second.cursor) continue;
+      fresh[owner].emplace_back(seq, name);
     }
-    const Snapshot& last = snapshots[j];
-    WorkerStatusRow row;
-    row.owner = last.owner;
-    row.pid = last.pid;
-    row.seq = last.seq;
-    row.age_s = now > last.published_ns
-                    ? static_cast<double>(now - last.published_ns) / 1e9
-                    : 0.0;
-    row.job = last.job;
-    row.attempt = last.attempt;
-    row.phase = last.phase;
-    row.jobs_done = last.jobs_done;
-    row.analyses = last.analyses;
-    row.faults_classified = last.faults_classified;
-    row.probes_committed = last.probes_committed;
-    if (j > i) {
-      const Snapshot& prev = snapshots[j - 1];
-      if (last.published_ns > prev.published_ns &&
-          last.faults_classified >= prev.faults_classified) {
-        const double dt =
-            static_cast<double>(last.published_ns - prev.published_ns) / 1e9;
-        row.faults_per_s =
-            static_cast<double>(last.faults_classified -
-                                prev.faults_classified) / dt;
+    for (auto& [owner, files] : fresh) {
+      // list_dir sorts lexicographically, which misorders multi-digit
+      // sequence numbers; fold in true sequence order.
+      std::sort(files.begin(), files.end());
+      OwnerCache& cache = owners[owner];
+      for (auto& [seq, name] : files) {
+        if (seq <= cache.cursor) continue;
+        Expected<std::string> text = read_file(root + "/telemetry/" + name);
+        if (!text) continue;  // vanished between list and read
+        ++parsed;
+        // Snapshots are atomic-renamed into place, so a parse failure
+        // is permanent (foreign file): advance the cursor either way
+        // rather than re-parsing it every poll.
+        cache.cursor = seq;
+        Snapshot snap;
+        if (!parse_snapshot(*text, &snap)) continue;
+        if (snap.owner != owner || snap.seq != seq) continue;
+        cache.prev = std::move(cache.last);
+        cache.last = std::move(snap);
       }
     }
+  }
+};
+
+StatusPoller::StatusPoller(std::string root)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->root = std::move(root);
+}
+
+StatusPoller::~StatusPoller() = default;
+
+std::size_t StatusPoller::snapshots_parsed() const { return impl_->parsed; }
+
+Expected<CampaignStatus> StatusPoller::poll() {
+  const std::string& root = impl_->root;
+  Expected<CampaignManifest> manifest = read_campaign_root(root);
+  if (!manifest) return manifest.status();
+  const std::uint64_t now = lease_now_ns();
+  CampaignStatus st;
+  double runtime_sum = 0.0;
+  std::size_t runtime_n = 0;
+  fill_job_rows(root, *manifest, now, &st, &runtime_sum, &runtime_n);
+
+  impl_->refresh();
+  std::size_t live_workers = 0;
+  for (const auto& [owner, cache] : impl_->owners) {
+    if (!cache.last.has_value()) continue;
+    WorkerStatusRow row = worker_row_from(
+        cache.prev.has_value() ? &*cache.prev : nullptr, *cache.last, now);
     if (row.age_s < kStaleAfterSeconds) ++live_workers;
     st.workers.push_back(std::move(row));
-    i = j + 1;
   }
 
   const std::size_t remaining = st.jobs_total - st.done;
@@ -756,6 +831,11 @@ Expected<CampaignStatus> poll_campaign_status(const std::string& root) {
                static_cast<double>(std::max<std::size_t>(1, live_workers));
   }
   return st;
+}
+
+Expected<CampaignStatus> poll_campaign_status(const std::string& root) {
+  StatusPoller poller(root);
+  return poller.poll();
 }
 
 std::string render_status_json(const CampaignStatus& status) {

@@ -4,12 +4,14 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/util/metrics.hpp"
+#include "src/core/schemas.hpp"
 #include "src/util/status.hpp"
 #include "src/util/trace.hpp"
 
@@ -28,8 +30,8 @@ class CampaignManifest;
 /// (`dfmres status`, `dfmres trace merge`) only ever open files — no
 /// locks, no signals — so observing a live campaign cannot perturb it.
 
-inline constexpr const char* kTelemetrySchema = "dfmres-telemetry-v1";
-inline constexpr const char* kStatusSchema = "dfmres-status-v1";
+inline constexpr const char* kTelemetrySchema = schemas::kTelemetry;
+inline constexpr const char* kStatusSchema = schemas::kStatus;
 
 /// Process-wide progress counters incremented by the flow/resynthesis
 /// hot paths and sampled by the telemetry publisher. Relaxed atomics:
@@ -186,8 +188,33 @@ struct CampaignStatus {
   std::vector<WorkerStatusRow> workers;  ///< owner order
 };
 
+/// Incremental status poller: the engine behind `dfmres status
+/// --follow` and the serve daemon's status requests. Holds per-owner
+/// telemetry sequence cursors, so across repeated poll() calls each
+/// snapshot file is opened and parsed at most once — a follow loop no
+/// longer rebuilds the full state (re-reading every snapshot ever
+/// published) on every tick. Read-only like poll_campaign_status.
+class StatusPoller {
+ public:
+  explicit StatusPoller(std::string root);
+  ~StatusPoller();
+  StatusPoller(const StatusPoller&) = delete;
+  StatusPoller& operator=(const StatusPoller&) = delete;
+
+  [[nodiscard]] Expected<CampaignStatus> poll();
+
+  /// Telemetry documents parsed since construction, each file counted
+  /// at most once (the follow-loop regression test pins this).
+  [[nodiscard]] std::size_t snapshots_parsed() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Polls a campaign root read-only. Never takes a lease, never writes:
 /// status observation is free of observer effects by construction.
+/// One-shot form of StatusPoller.
 [[nodiscard]] Expected<CampaignStatus> poll_campaign_status(
     const std::string& root);
 

@@ -1,0 +1,169 @@
+#include "src/util/ready_queue.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace dfmres {
+
+namespace {
+
+/// Spin-then-sleep backoff for the blocking entry points. Jobs on this
+/// queue run for seconds, so parking in the hundreds-of-microseconds
+/// range costs nothing while keeping the idle queue cold.
+struct Backoff {
+  int spins = 0;
+  void pause() {
+    if (spins < 64) {
+      ++spins;
+      std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        std::min(1000, (spins < 1024 ? spins : 1024))));
+    spins = std::min(spins * 2, 4096);
+  }
+};
+
+}  // namespace
+
+ReadyQueue::ReadyQueue(std::size_t capacity, std::size_t block_size) {
+  block_size_ = std::max<std::size_t>(1, block_size);
+  num_blocks_ = std::max<std::size_t>(
+      2, (std::max<std::size_t>(1, capacity) + block_size_ - 1) / block_size_);
+  capacity_ = num_blocks_ * block_size_;
+  cells_ = std::make_unique<Cell[]>(capacity_);
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    cells_[i].seq.store(static_cast<std::uint64_t>(i),
+                        std::memory_order_relaxed);
+  }
+  blocks_ = std::make_unique<Block[]>(num_blocks_);
+  for (std::size_t b = 0; b < num_blocks_; ++b) {
+    const std::uint64_t start = static_cast<std::uint64_t>(b) * block_size_;
+    blocks_[b].palloc.store(start, std::memory_order_relaxed);
+    blocks_[b].creserve.store(start, std::memory_order_relaxed);
+  }
+}
+
+ReadyQueue::~ReadyQueue() = default;
+
+bool ReadyQueue::try_push(std::uint64_t value) {
+  if (closed_.load(std::memory_order_acquire)) return false;
+  for (;;) {
+    const std::uint64_t bidx = phead_.load(std::memory_order_acquire);
+    Block& blk = blocks_[bidx % num_blocks_];
+    const std::uint64_t pos = blk.palloc.load(std::memory_order_acquire);
+    if (pos < bidx * block_size_ || pos > block_end(bidx)) {
+      continue;  // stale head: the block was re-armed for a later round
+    }
+    if (pos == block_end(bidx)) {
+      // Block exhausted: re-arm the next physical block for its new
+      // round (its cursor still shows the end of round next-nb), then
+      // publish the advanced head. Either CAS losing means another
+      // producer did the same step.
+      const std::uint64_t next = bidx + 1;
+      if (next >= num_blocks_) {
+        std::uint64_t expect = block_end(next - num_blocks_);
+        blocks_[next % num_blocks_].palloc.compare_exchange_strong(
+            expect, next * block_size_, std::memory_order_acq_rel);
+      }
+      std::uint64_t head = bidx;
+      phead_.compare_exchange_strong(head, next, std::memory_order_acq_rel);
+      continue;
+    }
+    Cell& cell = cell_at(pos);
+    if (cell.seq.load(std::memory_order_acquire) != pos) {
+      // The consumer of the previous round has not freed this cell:
+      // the queue is full at its head position.
+      return false;
+    }
+    std::uint64_t expect = pos;
+    if (!blk.palloc.compare_exchange_weak(expect, pos + 1,
+                                          std::memory_order_acq_rel)) {
+      continue;  // another producer took pos; retry at the new cursor
+    }
+    cell.value = value;
+    cell.seq.store(pos + 1, std::memory_order_release);
+    pushed_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+}
+
+bool ReadyQueue::try_pop(std::uint64_t* value) {
+  for (;;) {
+    const std::uint64_t bidx = chead_.load(std::memory_order_acquire);
+    Block& blk = blocks_[bidx % num_blocks_];
+    const std::uint64_t pos = blk.creserve.load(std::memory_order_acquire);
+    if (pos < bidx * block_size_ || pos > block_end(bidx)) {
+      continue;  // stale head
+    }
+    if (pos == block_end(bidx)) {
+      // Block drained. Only follow the producers: if they have not
+      // opened a later block there is nothing beyond this one.
+      if (phead_.load(std::memory_order_acquire) <= bidx) return false;
+      const std::uint64_t next = bidx + 1;
+      if (next >= num_blocks_) {
+        std::uint64_t expect = block_end(next - num_blocks_);
+        blocks_[next % num_blocks_].creserve.compare_exchange_strong(
+            expect, next * block_size_, std::memory_order_acq_rel);
+      }
+      std::uint64_t head = bidx;
+      chead_.compare_exchange_strong(head, next, std::memory_order_acq_rel);
+      continue;
+    }
+    Cell& cell = cell_at(pos);
+    if (cell.seq.load(std::memory_order_acquire) != pos + 1) {
+      // Not committed: empty, or a transient hole (a producer between
+      // winning the slot and storing the value). Never skip ahead —
+      // that would break the per-producer FIFO guarantee.
+      return false;
+    }
+    std::uint64_t expect = pos;
+    if (!blk.creserve.compare_exchange_weak(expect, pos + 1,
+                                            std::memory_order_acq_rel)) {
+      continue;  // another consumer reserved pos
+    }
+    *value = cell.value;
+    cell.seq.store(pos + capacity_, std::memory_order_release);
+    popped_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+}
+
+Status ReadyQueue::push(std::uint64_t value, const CancelToken* cancel) {
+  Backoff backoff;
+  for (;;) {
+    if (closed_.load(std::memory_order_acquire)) {
+      return make_status(StatusCode::kUnavailable, "ready queue is closed");
+    }
+    if (cancel_expired(cancel)) return cancel->to_status();
+    if (try_push(value)) return Status::ok();
+    backoff.pause();
+  }
+}
+
+Expected<std::uint64_t> ReadyQueue::pop(const CancelToken* cancel) {
+  Backoff backoff;
+  for (;;) {
+    std::uint64_t value = 0;
+    if (try_pop(&value)) return value;
+    // Check closed after the pop attempt so a close() racing the final
+    // push still drains: pushes finish before close in program order.
+    if (closed_.load(std::memory_order_acquire) && !try_pop(&value)) {
+      return make_status(StatusCode::kUnavailable,
+                         "ready queue is closed and drained");
+    }
+    if (cancel_expired(cancel)) return cancel->to_status();
+    backoff.pause();
+  }
+}
+
+void ReadyQueue::close() { closed_.store(true, std::memory_order_release); }
+
+std::size_t ReadyQueue::size_approx() const {
+  const std::uint64_t pushed = pushed_.load(std::memory_order_relaxed);
+  const std::uint64_t popped = popped_.load(std::memory_order_relaxed);
+  return pushed > popped ? static_cast<std::size_t>(pushed - popped) : 0;
+}
+
+}  // namespace dfmres

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "src/util/cancel.hpp"
+#include "src/util/status.hpp"
+
+namespace dfmres {
+
+/// Bounded block-based MPMC ready queue for job dispatch.
+///
+/// The single-atomic-counter pull the campaign scheduler used to run
+/// serializes every runner on one cache line and pins dispatch to
+/// manifest order, so one slow job convoys the runners behind it. This
+/// queue splits the ring into blocks: producers and consumers contend
+/// on a per-block cursor and only touch the global block heads once per
+/// `block_size` operations, so heterogeneous jobs load-balance across
+/// runners instead of convoying.
+///
+/// Ordering contract (the "relaxed FIFO"): positions are handed out
+/// monotonically, so the *reservation* order of items is FIFO per
+/// producer — one producer's pushes are always dequeued in push order —
+/// while pushes from different producers interleave arbitrarily.
+/// Deterministic results do not depend on dispatch order: each job's
+/// output is keyed by its manifest slot and reports are rendered in
+/// manifest order, which is the queue-independence argument behind the
+/// `dfmres canon` byte-identity guarantee (DESIGN.md §17).
+///
+/// A cell whose producer has won its slot but not yet committed the
+/// value is a transient hole; try_pop reports empty rather than skip
+/// ahead, which keeps the per-producer guarantee exact. Blocking
+/// push/pop spin with a bounded exponential backoff, so the queue has
+/// no internal locks at all.
+class ReadyQueue {
+ public:
+  /// Capacity is rounded up to a whole number of blocks (at least two
+  /// blocks — the block-cursor protocol needs a distinct "next" block).
+  explicit ReadyQueue(std::size_t capacity, std::size_t block_size = 64);
+  ~ReadyQueue();
+  ReadyQueue(const ReadyQueue&) = delete;
+  ReadyQueue& operator=(const ReadyQueue&) = delete;
+
+  /// Non-blocking: false when the queue is full (backpressure) or
+  /// closed. Never spuriously fails on contention alone.
+  [[nodiscard]] bool try_push(std::uint64_t value);
+
+  /// Non-blocking: false when no committed item is reservable right
+  /// now (empty, or a transient producer hole at the head).
+  [[nodiscard]] bool try_pop(std::uint64_t* value);
+
+  /// Blocking push: waits for space. kUnavailable after close(),
+  /// kCancelled/kDeadlineExceeded when `cancel` trips.
+  [[nodiscard]] Status push(std::uint64_t value,
+                            const CancelToken* cancel = nullptr);
+
+  /// Blocking pop: waits for an item. Drains remaining items after
+  /// close(), then returns kUnavailable; kCancelled/kDeadlineExceeded
+  /// when `cancel` trips first.
+  [[nodiscard]] Expected<std::uint64_t> pop(const CancelToken* cancel = nullptr);
+
+  /// Closes the queue: subsequent pushes fail, poppers drain what is
+  /// left and then unblock. Idempotent.
+  void close();
+  [[nodiscard]] bool closed() const {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  /// Committed-minus-consumed estimate; exact when quiescent.
+  [[nodiscard]] std::size_t size_approx() const;
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t block_size() const { return block_size_; }
+
+ private:
+  struct Cell {
+    /// Vyukov-style sequence over absolute positions: `pos` = free for
+    /// the producer of position pos, `pos + 1` = committed and
+    /// consumable, `pos + capacity` = freed for the next round.
+    std::atomic<std::uint64_t> seq;
+    std::uint64_t value;
+  };
+
+  struct alignas(64) Block {
+    /// Next absolute position a producer in this block allocates.
+    /// Monotonic: n*B .. (n+1)*B for round-n use, then re-armed to
+    /// (n+nb)*B when the producer head wraps back around.
+    std::atomic<std::uint64_t> palloc{0};
+    /// Consumer-side mirror of palloc (next position to reserve).
+    std::atomic<std::uint64_t> creserve{0};
+  };
+
+  [[nodiscard]] Cell& cell_at(std::uint64_t pos) {
+    return cells_[pos % capacity_];
+  }
+  [[nodiscard]] std::uint64_t block_end(std::uint64_t block) const {
+    return (block + 1) * block_size_;
+  }
+
+  std::size_t capacity_ = 0;
+  std::size_t block_size_ = 0;
+  std::size_t num_blocks_ = 0;
+  std::unique_ptr<Cell[]> cells_;
+  std::unique_ptr<Block[]> blocks_;
+  /// Absolute block numbers of the current producer / consumer block.
+  alignas(64) std::atomic<std::uint64_t> phead_{0};
+  alignas(64) std::atomic<std::uint64_t> chead_{0};
+  /// Lifetime push/pop totals, for size_approx and admission control.
+  alignas(64) std::atomic<std::uint64_t> pushed_{0};
+  std::atomic<std::uint64_t> popped_{0};
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace dfmres

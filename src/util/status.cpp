@@ -21,6 +21,7 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kDataLoss: return "data_loss";
     case StatusCode::kUnavailable: return "unavailable";
     case StatusCode::kInternal: return "internal";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
   }
   return "unknown";
 }

@@ -25,6 +25,8 @@ enum class StatusCode : std::uint8_t {
   kUnavailable,        ///< resource held elsewhere right now (journal
                        ///< lock); retrying later can succeed
   kInternal,           ///< invariant breach surfaced instead of aborted
+  kResourceExhausted,  ///< admission control: quota or queue bound hit;
+                       ///< the request was rejected, not queued
 };
 
 [[nodiscard]] const char* status_code_name(StatusCode code);

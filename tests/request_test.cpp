@@ -1,0 +1,269 @@
+// Request-surface tests: the single options-validation registry shared
+// by manifests, CLI flags and the dfmres-request-v1 wire form; strict
+// request parsing; wire round-trips; campaign-id validation.
+
+#include "src/core/request.hpp"
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "src/core/campaign.hpp"
+#include "src/util/json.hpp"
+
+namespace dfmres {
+namespace {
+
+using Mode = CampaignJobSpec::Mode;
+
+// ---- the shared field registry -------------------------------------------
+
+TEST(JobFieldRegistry, TextValuesApplyWithRangeChecks) {
+  CampaignJobSpec job;
+  EXPECT_TRUE(apply_job_field_text(&job, "utilization", "0.65", "t").is_ok());
+  EXPECT_DOUBLE_EQ(job.flow.utilization, 0.65);
+  EXPECT_TRUE(apply_job_field_text(&job, "q_max", "7", "t").is_ok());
+  EXPECT_EQ(job.resyn.q_max, 7);
+  EXPECT_TRUE(apply_job_field_text(&job, "p1_pct", "25", "t").is_ok());
+  EXPECT_DOUBLE_EQ(job.resyn.p1, 0.25);
+  EXPECT_TRUE(apply_job_field_text(&job, "mode", "flow", "t").is_ok());
+  EXPECT_EQ(job.mode, Mode::Flow);
+  EXPECT_TRUE(apply_job_field_text(&job, "seed", "42", "t").is_ok());
+  EXPECT_EQ(job.flow.atpg.seed, 42u);
+  EXPECT_TRUE(apply_job_field_text(&job, "deadline", "500ms", "t").is_ok());
+  EXPECT_EQ(job.deadline, std::chrono::nanoseconds(500'000'000));
+
+  // Out of range / wrong type / unknown key all fail loudly.
+  EXPECT_EQ(apply_job_field_text(&job, "q_max", "101", "t").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(apply_job_field_text(&job, "q_max", "2.5", "t").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(apply_job_field_text(&job, "q_max", "5x", "t").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(apply_job_field_text(&job, "utilization", "0.01", "t").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(apply_job_field_text(&job, "mode", "turbo", "t").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(apply_job_field_text(&job, "no_such_knob", "1", "t").code(),
+            StatusCode::kInvalidArgument);
+  // The error message names the caller's locus.
+  const Status s = apply_job_field_text(&job, "q_max", "101", "job 3");
+  EXPECT_NE(s.message().find("job 3"), std::string::npos);
+}
+
+TEST(JobFieldRegistry, JsonAndTextPathsAgree) {
+  // The same knob set through both front-ends lands identically: one
+  // registry row, two converters.
+  CampaignJobSpec via_text;
+  ASSERT_TRUE(apply_job_field_text(&via_text, "threads", "8", "t").is_ok());
+  ASSERT_TRUE(
+      apply_job_field_text(&via_text, "warm_start", "false", "t").is_ok());
+
+  const auto doc =
+      JsonValue::parse("{\"threads\": 8, \"warm_start\": false}");
+  ASSERT_TRUE(doc);
+  CampaignJobSpec via_json;
+  for (const auto& [key, value] : doc->members()) {
+    ASSERT_TRUE(apply_job_field_json(&via_json, key, value, "t").is_ok());
+  }
+  EXPECT_EQ(via_text.flow.atpg.num_threads, via_json.flow.atpg.num_threads);
+  EXPECT_EQ(via_text.flow.warm_start, via_json.flow.warm_start);
+}
+
+TEST(JobFieldRegistry, JobSpecRoundTripsThroughWriter) {
+  CampaignJobSpec job;
+  job.name = "j1";
+  job.design = "sparc_tlu";
+  job.mode = Mode::Resyn;
+  job.flow.utilization = 0.6;
+  job.flow.atpg.seed = 99;
+  job.resyn.q_max = 3;
+  job.resyn.p1 = 0.5;
+  job.deadline = std::chrono::milliseconds(1500);
+
+  JsonWriter w;
+  write_job_spec(w, job);
+  const auto doc = JsonValue::parse(w.take());
+  ASSERT_TRUE(doc) << doc.status().to_string();
+  CampaignJobSpec back;
+  ASSERT_TRUE(parse_job_spec(*doc, "round-trip", &back).is_ok());
+  EXPECT_EQ(back.name, "j1");
+  EXPECT_EQ(back.design, "sparc_tlu");
+  EXPECT_EQ(back.mode, Mode::Resyn);
+  EXPECT_DOUBLE_EQ(back.flow.utilization, 0.6);
+  EXPECT_EQ(back.flow.atpg.seed, 99u);
+  EXPECT_EQ(back.resyn.q_max, 3);
+  EXPECT_DOUBLE_EQ(back.resyn.p1, 0.5);
+  EXPECT_EQ(back.deadline, job.deadline);
+}
+
+TEST(JobFieldRegistry, ParseJobSpecRequiresNameAndDesign) {
+  CampaignJobSpec out;
+  const auto no_name = JsonValue::parse("{\"design\": \"d\"}");
+  ASSERT_TRUE(no_name);
+  EXPECT_EQ(parse_job_spec(*no_name, "t", &out).code(),
+            StatusCode::kInvalidArgument);
+  const auto no_design = JsonValue::parse("{\"name\": \"a\"}");
+  ASSERT_TRUE(no_design);
+  EXPECT_EQ(parse_job_spec(*no_design, "t", &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---- table-driven CLI flags ----------------------------------------------
+
+TEST(CliFlagTable, MatchesBoundFlagsAndValidates) {
+  static constexpr CliFlagBinding kFlags[] = {
+      {"--q", "q_max"},
+      {"--util", "utilization"},
+  };
+  CampaignJobSpec job;
+  const char* argv_ok[] = {"--q", "5"};
+  int i = 0;
+  auto matched =
+      match_job_flag(kFlags, 2, const_cast<char**>(argv_ok), &i, &job);
+  ASSERT_TRUE(matched) << matched.status().to_string();
+  EXPECT_TRUE(*matched);
+  EXPECT_EQ(i, 1);  // consumed the value
+  EXPECT_EQ(job.resyn.q_max, 5);
+
+  // Unbound flag: not consumed, not an error.
+  const char* argv_other[] = {"--write", "out.v"};
+  i = 0;
+  matched = match_job_flag(kFlags, 2, const_cast<char**>(argv_other), &i, &job);
+  ASSERT_TRUE(matched);
+  EXPECT_FALSE(*matched);
+  EXPECT_EQ(i, 0);
+
+  // Bound flag, bad value: the registry's validation error surfaces.
+  const char* argv_bad[] = {"--q", "banana"};
+  i = 0;
+  matched = match_job_flag(kFlags, 2, const_cast<char**>(argv_bad), &i, &job);
+  EXPECT_FALSE(matched);
+  EXPECT_EQ(matched.status().code(), StatusCode::kInvalidArgument);
+
+  // Bound flag with no value: invalid, not silently ignored.
+  const char* argv_missing[] = {"--q"};
+  i = 0;
+  matched =
+      match_job_flag(kFlags, 1, const_cast<char**>(argv_missing), &i, &job);
+  EXPECT_FALSE(matched);
+}
+
+// ---- campaign ids --------------------------------------------------------
+
+TEST(CampaignId, ValidatesDirectorySafety) {
+  EXPECT_TRUE(validate_campaign_id("run-1").is_ok());
+  EXPECT_TRUE(validate_campaign_id("A.b_c-9").is_ok());
+  EXPECT_FALSE(validate_campaign_id("").is_ok());
+  EXPECT_FALSE(validate_campaign_id(".").is_ok());
+  EXPECT_FALSE(validate_campaign_id("..").is_ok());
+  EXPECT_FALSE(validate_campaign_id("a/b").is_ok());
+  EXPECT_FALSE(validate_campaign_id("__reserved").is_ok());
+  EXPECT_FALSE(validate_campaign_id(std::string(200, 'x')).is_ok());
+}
+
+// ---- dfmres-request-v1 wire form -----------------------------------------
+
+constexpr const char* kManifestJson =
+    "{\"schema\": \"dfmres-campaign-manifest-v1\", \"jobs\": ["
+    "{\"name\": \"a\", \"design\": \"sparc_tlu\", \"mode\": \"flow\"}]}";
+
+TEST(ParseRequest, AcceptsEveryKind) {
+  const std::string campaign =
+      std::string("{\"schema\": \"dfmres-request-v1\", "
+                  "\"kind\": \"submit_campaign\", \"id\": \"c1\", "
+                  "\"manifest\": ") + kManifestJson + "}";
+  auto r = parse_request(campaign);
+  ASSERT_TRUE(r) << r.status().to_string();
+  EXPECT_STREQ(r->kind(), "submit_campaign");
+  EXPECT_EQ(r->id(), "c1");
+  const auto* cr = std::get_if<CampaignRequest>(&r->payload);
+  ASSERT_NE(cr, nullptr);
+  ASSERT_EQ(cr->manifest.jobs.size(), 1u);
+  EXPECT_EQ(cr->manifest.jobs[0].design, "sparc_tlu");
+
+  r = parse_request(
+      "{\"schema\": \"dfmres-request-v1\", \"kind\": \"submit_job\", "
+      "\"id\": \"j1\", \"job\": {\"name\": \"j1\", \"design\": \"d\", "
+      "\"q_max\": 2}}");
+  ASSERT_TRUE(r) << r.status().to_string();
+  EXPECT_STREQ(r->kind(), "submit_job");
+  const auto* rr = std::get_if<RunRequest>(&r->payload);
+  ASSERT_NE(rr, nullptr);
+  EXPECT_EQ(rr->job.resyn.q_max, 2);
+
+  r = parse_request("{\"schema\": \"dfmres-request-v1\", "
+                    "\"kind\": \"status\"}");
+  ASSERT_TRUE(r) << r.status().to_string();
+  EXPECT_STREQ(r->kind(), "status");
+  EXPECT_EQ(r->id(), "");
+
+  r = parse_request("{\"schema\": \"dfmres-request-v1\", "
+                    "\"kind\": \"cancel\", \"id\": \"c1\"}");
+  ASSERT_TRUE(r) << r.status().to_string();
+  EXPECT_STREQ(r->kind(), "cancel");
+
+  r = parse_request("{\"schema\": \"dfmres-request-v1\", "
+                    "\"kind\": \"drain\"}");
+  ASSERT_TRUE(r) << r.status().to_string();
+  EXPECT_STREQ(r->kind(), "drain");
+}
+
+TEST(ParseRequest, RejectsMalformedDocuments) {
+  const auto code = [](const std::string& text) {
+    return parse_request(text).status().code();
+  };
+  EXPECT_EQ(code("not json"), StatusCode::kInvalidArgument);
+  EXPECT_EQ(code("{}"), StatusCode::kInvalidArgument);
+  // Wrong / missing schema.
+  EXPECT_EQ(code("{\"schema\": \"dfmres-request-v2\", \"kind\": \"drain\"}"),
+            StatusCode::kInvalidArgument);
+  // Unknown kind.
+  EXPECT_EQ(code("{\"schema\": \"dfmres-request-v1\", \"kind\": \"boop\"}"),
+            StatusCode::kInvalidArgument);
+  // Unknown top-level key: strict by design.
+  EXPECT_EQ(code("{\"schema\": \"dfmres-request-v1\", \"kind\": \"drain\", "
+                 "\"extra\": 1}"),
+            StatusCode::kInvalidArgument);
+  // submit_campaign without a manifest / with a malformed id.
+  EXPECT_EQ(code("{\"schema\": \"dfmres-request-v1\", "
+                 "\"kind\": \"submit_campaign\", \"id\": \"c1\"}"),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(code(std::string("{\"schema\": \"dfmres-request-v1\", "
+                             "\"kind\": \"submit_campaign\", "
+                             "\"id\": \"../up\", \"manifest\": ") +
+                 kManifestJson + "}"),
+            StatusCode::kInvalidArgument);
+  // Bad knob value inside the embedded job: the registry fires through
+  // the wire path too.
+  EXPECT_EQ(code("{\"schema\": \"dfmres-request-v1\", "
+                 "\"kind\": \"submit_job\", \"id\": \"j\", "
+                 "\"job\": {\"name\": \"j\", \"design\": \"d\", "
+                 "\"q_max\": 101}}"),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ParseRequest, WireRoundTrip) {
+  Request request;
+  CampaignJobSpec job;
+  job.name = "j1";
+  job.design = "sparc_tlu";
+  job.mode = Mode::Flow;
+  job.flow.atpg.seed = 7;
+  request.payload = RunRequest{"j1", job};
+  const std::string wire = request_to_json(request);
+  const auto back = parse_request(wire);
+  ASSERT_TRUE(back) << back.status().to_string() << " wire: " << wire;
+  EXPECT_EQ(request_to_json(*back), wire);  // round-trip stable
+
+  auto manifest = CampaignManifest::from_json(kManifestJson);
+  ASSERT_TRUE(manifest);
+  Request campaign;
+  campaign.payload = CampaignRequest{"c9", std::move(*manifest)};
+  const std::string wire2 = request_to_json(campaign);
+  const auto back2 = parse_request(wire2);
+  ASSERT_TRUE(back2) << back2.status().to_string() << " wire: " << wire2;
+  EXPECT_EQ(request_to_json(*back2), wire2);
+}
+
+}  // namespace
+}  // namespace dfmres

@@ -303,6 +303,55 @@ TEST(TelemetryHeavy, StatusJsonRoundTripsAgainstLiveTwoWorkerCampaign) {
   EXPECT_EQ(tolerant->workers.size(), status->workers.size());
 }
 
+/// The `--follow` fix: across repeated polls a StatusPoller opens and
+/// parses each telemetry snapshot at most once (per-owner seq cursors),
+/// instead of rebuilding the full state from every file every tick.
+TEST(Telemetry, FollowCursorParsesEachSnapshotAtMostOnce) {
+  const std::string root = make_root("cursor") + "/camp";
+  CampaignManifest manifest;
+  manifest.jobs.push_back({});
+  manifest.jobs[0].name = "tlu";
+  manifest.jobs[0].design = "sparc_tlu";
+  trim(manifest.jobs[0]);
+  ASSERT_TRUE(init_campaign_root(manifest, root).is_ok());
+
+  TelemetryPublisher w1(manual_options(root, "w1"));
+  ASSERT_TRUE(w1.init().is_ok());
+  ASSERT_TRUE(w1.publish_now().is_ok());
+  ASSERT_TRUE(w1.publish_now().is_ok());
+  TelemetryPublisher w2(manual_options(root, "w2"));
+  ASSERT_TRUE(w2.init().is_ok());
+  ASSERT_TRUE(w2.publish_now().is_ok());
+
+  StatusPoller poller(root);
+  // Poll 1 reads the 3 existing snapshots once each.
+  const auto first = poller.poll();
+  ASSERT_TRUE(first) << first.status().to_string();
+  EXPECT_EQ(first->workers.size(), 2u);
+  EXPECT_EQ(poller.snapshots_parsed(), 3u);
+  // Poll 2: nothing new on disk, nothing re-read.
+  const auto second = poller.poll();
+  ASSERT_TRUE(second) << second.status().to_string();
+  EXPECT_EQ(second->workers.size(), 2u);
+  EXPECT_EQ(poller.snapshots_parsed(), 3u);
+  // Poll 3 after one fresh snapshot: exactly one more parse, and the
+  // rate derives from the (prev, last) pair held across polls.
+  ASSERT_TRUE(w1.publish_now().is_ok());
+  const auto third = poller.poll();
+  ASSERT_TRUE(third) << third.status().to_string();
+  EXPECT_EQ(poller.snapshots_parsed(), 4u);
+  ASSERT_EQ(third->workers.size(), 2u);
+  EXPECT_EQ(third->workers[0].owner, "w1");
+  EXPECT_EQ(third->workers[0].seq, 3u);
+
+  // The one-shot poll agrees with a fresh poller (same implementation).
+  const auto one_shot = poll_campaign_status(root);
+  ASSERT_TRUE(one_shot) << one_shot.status().to_string();
+  ASSERT_EQ(one_shot->workers.size(), third->workers.size());
+  EXPECT_EQ(one_shot->workers[0].seq, third->workers[0].seq);
+  EXPECT_EQ(one_shot->workers[1].seq, third->workers[1].seq);
+}
+
 TEST(Telemetry, MergeWithoutManifestIsNotFound) {
   const std::string root = make_root("nomanifest");
   const auto merged = merge_campaign_trace(root);

@@ -26,6 +26,15 @@
 //       Observe a campaign root read-only: per-job lease/shard state,
 //       per-worker telemetry and an ETA. --follow polls until the
 //       merged report lands; --json emits dfmres-status-v1 lines.
+//   dfmres serve --campaign-root DIR --listen SOCKET [--workers N]
+//       Run the always-on job service: a daemon multiplexing many
+//       concurrent campaigns from many clients over one Unix-domain
+//       socket (newline-delimited dfmres-request-v1 in,
+//       dfmres-response-v1 events out). Killed daemons restart by
+//       rescanning DIR; a drain request shuts down cleanly.
+//   dfmres request --socket S <submit|submit-job|status|cancel|drain>
+//       The reference protocol client: send one request to a serve
+//       daemon and stream its response events (nc/socat equivalent).
 //   dfmres trace merge --campaign-root DIR [--out F]
 //       Stitch every worker's telemetry trace shards and the lease
 //       protocol events into one Chrome trace_event timeline.
@@ -40,6 +49,8 @@
 // (partial outputs were still flushed; a second signal kills hard).
 
 #include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -50,6 +61,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -59,8 +71,10 @@
 
 #include "src/circuits/benchmarks.hpp"
 #include "src/core/campaign.hpp"
+#include "src/core/request.hpp"
 #include "src/core/resynthesis.hpp"
 #include "src/core/run_report.hpp"
+#include "src/core/serve.hpp"
 #include "src/core/telemetry.hpp"
 #include "src/library/osu018.hpp"
 #include "src/netlist/stats.hpp"
@@ -276,8 +290,8 @@ struct CommonRunFlags {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: dfmres "
-               "<list|flow|resyn|campaign|work|status|trace|canon|verilog> "
+               "usage: dfmres <list|flow|resyn|campaign|work|status|serve|"
+               "request|trace|canon|verilog> "
                "[args]\n"
                "  dfmres list\n"
                "  dfmres flow <circuit|file.v> [--write out.v] [--util U] "
@@ -302,6 +316,18 @@ int usage() {
                "[--max-attempts N] [--snapshot-interval D]\n"
                "  dfmres status --campaign-root DIR [--follow] [--json] "
                "[--interval D]\n"
+               "  dfmres serve --campaign-root DIR --listen SOCKET "
+               "[--workers N] [--threads N]\n"
+               "               [--max-inflight N] [--client-quota N] "
+               "[--queue-capacity N]\n"
+               "  dfmres request --socket S submit --id ID --manifest F "
+               "[--wait]\n"
+               "  dfmres request --socket S submit-job --id ID --design D "
+               "[--name N] [--mode flow|resyn]\n"
+               "               [--q N] [--p1 PCT] [--util U] [--seed N] "
+               "[--deadline D] [--wait]\n"
+               "  dfmres request --socket S <status [--id ID]|cancel --id ID"
+               "|drain>\n"
                "  dfmres trace merge --campaign-root DIR [--out F]\n"
                "  dfmres canon <report.json>\n"
                "  dfmres verilog <circuit>\n"
@@ -375,22 +401,6 @@ bool parse_long(const char* flag, const char* text, long min, long max,
   if (end == text || *end != '\0' || errno == ERANGE || v < min || v > max) {
     std::fprintf(stderr, "invalid value '%s' for %s (expected integer in "
                  "[%ld, %ld])\n", text, flag, min, max);
-    return false;
-  }
-  *out = v;
-  return true;
-}
-
-/// Validated floating-point flag value in [min, max].
-bool parse_double(const char* flag, const char* text, double min, double max,
-                  double* out) {
-  errno = 0;
-  char* end = nullptr;
-  const double v = std::strtod(text, &end);
-  if (end == text || *end != '\0' || errno == ERANGE || !(v >= min) ||
-      !(v <= max)) {
-    std::fprintf(stderr, "invalid value '%s' for %s (expected number in "
-                 "[%g, %g])\n", text, flag, min, max);
     return false;
   }
   *out = v;
@@ -483,25 +493,36 @@ int cmd_list() {
   return 0;
 }
 
+/// A matched-but-invalid job flag: report the registry's message and
+/// exit 2 (same contract as the old hand-rolled parse_long/parse_double
+/// paths, now shared with manifests and the wire protocol).
+int report_flag_error(const Status& status) {
+  std::fprintf(stderr, "%s\n", status.to_string().c_str());
+  return 2;
+}
+
 int cmd_flow(int argc, char** argv) {
   if (argc < 1) return usage();
+  // Registry-backed knobs: the value validation (type, range, message)
+  // lives in the request.hpp field table, shared with manifest and wire
+  // parsing.
+  static constexpr CliFlagBinding kFlags[] = {
+      {"--util", "utilization"},
+      {"--threads", "threads"},
+      {"--seed", "seed"},
+  };
   std::string write_path;
-  FlowOptions options;
+  CampaignJobSpec job;
+  job.mode = CampaignJobSpec::Mode::Flow;
   CommonRunFlags obs(/*with_robustness=*/false);
   for (int i = 1; i < argc; ++i) {
+    const auto matched = match_job_flag(kFlags, argc, argv, &i, &job);
+    if (!matched) return report_flag_error(matched.status());
+    if (*matched) continue;
     if (!std::strcmp(argv[i], "--write") && i + 1 < argc) {
       write_path = argv[++i];
-    } else if (!std::strcmp(argv[i], "--util") && i + 1 < argc) {
-      if (!parse_double("--util", argv[++i], 0.05, 1.0,
-                        &options.utilization)) {
-        return 2;
-      }
-    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
-      long threads = 0;
-      if (!parse_long("--threads", argv[++i], 0, 1024, &threads)) return 2;
-      options.atpg.num_threads = static_cast<int>(threads);
     } else if (!std::strcmp(argv[i], "--cold")) {
-      options.warm_start = false;
+      job.flow.warm_start = false;
     } else if (obs.match(argc, argv, &i)) {
       continue;
     } else {
@@ -509,6 +530,7 @@ int cmd_flow(int argc, char** argv) {
     }
   }
   if (obs.failed) return 2;
+  const FlowOptions& options = job.flow;
   obs.arm();
   const auto t0 = std::chrono::steady_clock::now();
   bool is_mapped = false;
@@ -545,29 +567,27 @@ int cmd_flow(int argc, char** argv) {
 
 int cmd_resyn(int argc, char** argv) {
   if (argc < 1) return usage();
+  static constexpr CliFlagBinding kFlags[] = {
+      {"--q", "q_max"},
+      {"--p1", "p1_pct"},
+      {"--util", "utilization"},
+      {"--threads", "threads"},
+      {"--seed", "seed"},
+  };
   std::string write_path;
-  ResynthesisOptions options;
-  FlowOptions flow_options;
+  CampaignJobSpec job;
+  job.mode = CampaignJobSpec::Mode::Resyn;
   CommonRunFlags obs(/*with_robustness=*/true);
   for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--q") && i + 1 < argc) {
-      long q = 0;
-      if (!parse_long("--q", argv[++i], 0, 100, &q)) return 2;
-      options.q_max = static_cast<int>(q);
-    } else if (!std::strcmp(argv[i], "--p1") && i + 1 < argc) {
-      double pct = 0.0;
-      if (!parse_double("--p1", argv[++i], 0.0, 100.0, &pct)) return 2;
-      options.p1 = pct / 100.0;
-    } else if (!std::strcmp(argv[i], "--write") && i + 1 < argc) {
+    const auto matched = match_job_flag(kFlags, argc, argv, &i, &job);
+    if (!matched) return report_flag_error(matched.status());
+    if (*matched) continue;
+    if (!std::strcmp(argv[i], "--write") && i + 1 < argc) {
       write_path = argv[++i];
-    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
-      long threads = 0;
-      if (!parse_long("--threads", argv[++i], 0, 1024, &threads)) return 2;
-      flow_options.atpg.num_threads = static_cast<int>(threads);
     } else if (!std::strcmp(argv[i], "--cold")) {
-      flow_options.warm_start = false;
-      options.dedup_candidates = false;
-      options.parallel_ladder = false;
+      job.flow.warm_start = false;
+      job.resyn.dedup_candidates = false;
+      job.resyn.parallel_ladder = false;
     } else if (obs.match(argc, argv, &i)) {
       continue;
     } else {
@@ -575,6 +595,8 @@ int cmd_resyn(int argc, char** argv) {
     }
   }
   if (obs.failed) return 2;
+  ResynthesisOptions& options = job.resyn;
+  const FlowOptions& flow_options = job.flow;
   options.checkpoint_dir = obs.checkpoint;
   options.resume = obs.resume;
   if (options.resume && options.checkpoint_dir.empty()) {
@@ -1049,8 +1071,13 @@ int cmd_status(int argc, char** argv) {
     std::fprintf(stderr, "status requires --campaign-root DIR\n");
     return 2;
   }
+  // One poller for the whole (possibly --follow) session: its per-owner
+  // sequence cursors make every telemetry snapshot parse at most once
+  // across polls, instead of the follow loop rereading the campaign's
+  // entire telemetry history every tick.
+  StatusPoller poller(root);
   for (;;) {
-    const auto status = poll_campaign_status(root);
+    const auto status = poller.poll();
     if (!status) {
       std::fprintf(stderr, "%s\n", status.status().to_string().c_str());
       return 1;
@@ -1074,6 +1101,240 @@ int cmd_status(int argc, char** argv) {
     }
     if (interrupted()) return 130;
   }
+}
+
+/// `dfmres serve`: the always-on job service. Runs until a drain
+/// request completes (exit 0) or SIGINT/SIGTERM (exit 130; everything
+/// resumes on the next start).
+int cmd_serve(int argc, char** argv) {
+  ServeOptions options;
+  for (int i = 0; i < argc; ++i) {
+    long v = 0;
+    if (!std::strcmp(argv[i], "--campaign-root") && i + 1 < argc) {
+      options.campaign_root = argv[++i];
+    } else if (!std::strcmp(argv[i], "--listen") && i + 1 < argc) {
+      options.socket_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--workers") && i + 1 < argc) {
+      if (!parse_long("--workers", argv[++i], 1, 256, &v)) return 2;
+      options.workers = static_cast<int>(v);
+    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+      if (!parse_long("--threads", argv[++i], 0, 1024, &v)) return 2;
+      options.total_threads = static_cast<int>(v);
+    } else if (!std::strcmp(argv[i], "--max-inflight") && i + 1 < argc) {
+      if (!parse_long("--max-inflight", argv[++i], 1, 1000000, &v)) return 2;
+      options.max_inflight_jobs = static_cast<std::size_t>(v);
+    } else if (!std::strcmp(argv[i], "--client-quota") && i + 1 < argc) {
+      if (!parse_long("--client-quota", argv[++i], 1, 100000, &v)) return 2;
+      options.max_client_campaigns = static_cast<std::size_t>(v);
+    } else if (!std::strcmp(argv[i], "--queue-capacity") && i + 1 < argc) {
+      if (!parse_long("--queue-capacity", argv[++i], 1, 1000000, &v)) {
+        return 2;
+      }
+      options.queue_capacity = static_cast<std::size_t>(v);
+    } else {
+      return usage();
+    }
+  }
+  if (options.campaign_root.empty() || options.socket_path.empty()) {
+    std::fprintf(stderr, "serve requires --campaign-root DIR and "
+                 "--listen SOCKET\n");
+    return 2;
+  }
+  const CancelToken cancel(Deadline::never(), &g_signal_token);
+  options.cancel = &cancel;
+  const auto stats = run_serve(options);
+  if (!stats) {
+    std::fprintf(stderr, "%s\n", stats.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("serve: %zu admitted, %zu recovered, %zu completed, %zu "
+              "job(s) executed, %zu rejected, %zu malformed%s\n",
+              stats->campaigns_admitted, stats->campaigns_recovered,
+              stats->campaigns_completed, stats->jobs_executed,
+              stats->requests_rejected, stats->requests_malformed,
+              stats->drained ? ", drained" : ", interrupted");
+  return stats->drained ? 0 : exit_code(1);
+}
+
+/// Connects to the serve daemon's Unix-domain socket. -1 = reported.
+int connect_serve_socket(const std::string& path) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    std::fprintf(stderr, "socket path too long: %s\n", path.c_str());
+    return -1;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    return -1;
+  }
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    std::fprintf(stderr, "connect %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Streams `dfmres-response-v1` lines from the daemon to stdout until
+/// `decide` picks an exit code (or EOF / SIGINT). `decide` sees each
+/// parsed event document; returning a negative code keeps streaming.
+int stream_serve_events(int fd, bool print,
+                        const std::function<int(const JsonValue&)>& decide) {
+  std::string buf;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) {
+        if (interrupted()) return 130;
+        continue;
+      }
+      std::perror("read");
+      return 1;
+    }
+    if (n == 0) {
+      std::fprintf(stderr, "server closed the connection\n");
+      return 1;
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buf.find('\n', start);
+      if (nl == std::string::npos) break;
+      const std::string line = buf.substr(start, nl - start);
+      start = nl + 1;
+      if (line.empty()) continue;
+      if (print) std::printf("%s\n", line.c_str());
+      const auto doc = JsonValue::parse(line);
+      if (!doc) continue;  // torn / foreign line: keep streaming
+      const int code = decide(*doc);
+      if (code >= 0) return code;
+    }
+    buf.erase(0, start);
+  }
+}
+
+[[nodiscard]] const char* event_name(const JsonValue& doc) {
+  const JsonValue* ev = doc.find("event");
+  return ev != nullptr && ev->is_string() ? ev->as_string().c_str() : "";
+}
+
+/// `dfmres request`: the reference protocol client. Sends exactly one
+/// `dfmres-request-v1` line over the daemon socket and streams the
+/// response events to stdout; scripts get the protocol without speaking
+/// raw JSON (nc/socat remain equivalent).
+int cmd_request(int argc, char** argv) {
+  if (argc < 1) return usage();
+  static constexpr CliFlagBinding kJobFlags[] = {
+      {"--mode", "mode"},         {"--util", "utilization"},
+      {"--threads", "threads"},   {"--seed", "seed"},
+      {"--q", "q_max"},           {"--p1", "p1_pct"},
+      {"--deadline", "deadline"},
+  };
+  std::string verb;
+  std::string socket_path;
+  std::string id;
+  std::string manifest_path;
+  std::string name;
+  bool wait = false;
+  CampaignJobSpec job;
+  for (int i = 0; i < argc; ++i) {
+    const auto matched = match_job_flag(kJobFlags, argc, argv, &i, &job);
+    if (!matched) return report_flag_error(matched.status());
+    if (*matched) continue;
+    if (std::strncmp(argv[i], "--", 2) != 0 && verb.empty()) {
+      verb = argv[i];
+    } else if (!std::strcmp(argv[i], "--socket") && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--id") && i + 1 < argc) {
+      id = argv[++i];
+    } else if (!std::strcmp(argv[i], "--manifest") && i + 1 < argc) {
+      manifest_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--design") && i + 1 < argc) {
+      job.design = argv[++i];
+    } else if (!std::strcmp(argv[i], "--name") && i + 1 < argc) {
+      name = argv[++i];
+    } else if (!std::strcmp(argv[i], "--wait")) {
+      wait = true;
+    } else {
+      return usage();
+    }
+  }
+  if (socket_path.empty() || verb.empty()) {
+    std::fprintf(stderr, "request requires --socket PATH and a verb "
+                 "(submit|submit-job|status|cancel|drain)\n");
+    return 2;
+  }
+
+  Request request;
+  if (verb == "submit") {
+    if (id.empty() || manifest_path.empty()) {
+      std::fprintf(stderr, "submit requires --id ID and --manifest F\n");
+      return 2;
+    }
+    auto manifest = CampaignManifest::read(manifest_path);
+    if (!manifest) {
+      std::fprintf(stderr, "%s\n", manifest.status().to_string().c_str());
+      return 1;
+    }
+    request.payload = CampaignRequest{id, std::move(*manifest)};
+  } else if (verb == "submit-job") {
+    if (id.empty() || job.design.empty()) {
+      std::fprintf(stderr, "submit-job requires --id ID and --design D\n");
+      return 2;
+    }
+    job.name = name.empty() ? id : name;
+    request.payload = RunRequest{id, std::move(job)};
+  } else if (verb == "status") {
+    request.payload = StatusRequest{id};
+  } else if (verb == "cancel") {
+    if (id.empty()) {
+      std::fprintf(stderr, "cancel requires --id ID\n");
+      return 2;
+    }
+    request.payload = CancelRequest{id};
+  } else if (verb == "drain") {
+    request.payload = DrainRequest{};
+  } else {
+    return usage();
+  }
+  if (Status s = validate_campaign_id(request.id());
+      !request.id().empty() && !s.is_ok()) {
+    std::fprintf(stderr, "--id: %s\n", s.to_string().c_str());
+    return 2;
+  }
+
+  const int fd = connect_serve_socket(socket_path);
+  if (fd < 0) return 1;
+  const std::string line = request_to_json(request) + "\n";
+  for (std::size_t off = 0; off < line.size();) {
+    const ssize_t n = ::write(fd, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::perror("write");
+      ::close(fd);
+      return 1;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  // Each verb has one terminal event; a submit with --wait keeps the
+  // stream open through job_done events until the campaign report.
+  const int code = stream_serve_events(fd, true, [&](const JsonValue& doc) {
+    const std::string event = event_name(doc);
+    if (event == "rejected" || event == "error") return 1;
+    if (verb == "drain") return event == "drained" ? 0 : -1;
+    if (verb == "status") return event == "status" ? 0 : -1;
+    if (verb == "cancel" || !wait) return event == "accepted" ? 0 : -1;
+    return event == "report" ? 0 : -1;
+  });
+  ::close(fd);
+  return code;
 }
 
 /// `dfmres trace merge`: the cross-process timeline.
@@ -1170,6 +1431,8 @@ int main(int argc, char** argv) {
   if (cmd == "campaign") return cmd_campaign(argc - 2, argv + 2);
   if (cmd == "work") return cmd_work(argc - 2, argv + 2);
   if (cmd == "status") return cmd_status(argc - 2, argv + 2);
+  if (cmd == "serve") return cmd_serve(argc - 2, argv + 2);
+  if (cmd == "request") return cmd_request(argc - 2, argv + 2);
   if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
   if (cmd == "canon") return cmd_canon(argc - 2, argv + 2);
   if (cmd == "verilog") return cmd_verilog(argc - 2, argv + 2);

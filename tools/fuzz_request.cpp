@@ -1,0 +1,75 @@
+// Fuzzing harness for the dfmres-request-v1 front-end.
+//
+// Requests are the most exposed untrusted surface: any process that can
+// reach the serve socket gets a full line into parse_request, which
+// drives the strict JSON parser, the job-field registry (every knob's
+// type and range checks) and campaign-id validation. The contract under
+// fuzz: never crash or hang; an accepted request must carry a valid
+// campaign id (or none, for drain / server-wide status) and must
+// round-trip through its canonical wire form to an identical string
+// (request_to_json(parse(request_to_json(r))) == request_to_json(r)).
+//
+// Build with -DDFMRES_FUZZ=ON:
+//  - under clang, a real libFuzzer binary (-fsanitize=fuzzer); seed it
+//    with tools/fuzz_corpus_request/;
+//  - under gcc (no libFuzzer runtime), a standalone replayer that runs
+//    every file passed on the command line through the same entry point
+//    (scripts/check.sh uses it as a corpus regression gate).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "src/core/request.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  const auto request = dfmres::parse_request(text);
+  if (!request) return 0;
+  // An accepted request must address a directory-safe campaign id; only
+  // drain and server-wide status may leave it empty.
+  const std::string& id = request->id();
+  if (id.empty()) {
+    const bool idless = std::strcmp(request->kind(), "drain") == 0 ||
+                        std::strcmp(request->kind(), "status") == 0;
+    if (!idless) __builtin_trap();
+  } else if (!dfmres::validate_campaign_id(id).is_ok()) {
+    __builtin_trap();
+  }
+  // The canonical wire form must re-parse to the same canonical form
+  // (the round-trip contract request_to_json documents).
+  const std::string canonical = dfmres::request_to_json(*request);
+  const auto reparsed = dfmres::parse_request(canonical);
+  if (!reparsed) __builtin_trap();
+  if (dfmres::request_to_json(*reparsed) != canonical) __builtin_trap();
+  return 0;
+}
+
+#ifdef DFMRES_FUZZ_STANDALONE
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-file>...\n", argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open '%s'\n", argv[i]);
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const std::string s = text.str();
+    LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(s.data()),
+                           s.size());
+    std::printf("ok %s (%zu bytes)\n", argv[i], s.size());
+  }
+  return 0;
+}
+#endif
